@@ -1,0 +1,22 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark prints the quantity the paper reports next to the timing so
+that ``pytest benchmarks/ --benchmark-only -s`` regenerates the table rows;
+EXPERIMENTS.md records the measured values against the paper's.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--paper-scale",
+        action="store_true",
+        default=False,
+        help="run the benchmarks at the paper's exploration depths (slower)",
+    )
+
+
+@pytest.fixture(scope="session")
+def paper_scale(request):
+    return request.config.getoption("--paper-scale")

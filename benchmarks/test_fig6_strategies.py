@@ -1,0 +1,41 @@
+"""Experiment E3: Fig. 6 -- the symbolic execution tree and its strategies.
+
+Fig. 6a shows the execution tree of the running example (Ex. 5.1): a
+probabilistic root branch, one Environment ("red") branch on ``sig(x)``, one
+fair probabilistic branch, and paths with 0, 2 and 3 recursive-call nodes.
+Fig. 6b lists its two Environment strategies.  The benchmark times tree
+construction plus strategy enumeration and asserts the structure.
+"""
+
+from fractions import Fraction
+
+from repro.astcheck import build_execution_tree, count_strategies, enumerate_strategies
+from repro.astcheck.exectree import ExecMu, ExecNondetBranch, ExecProbBranch
+from repro.programs import running_example
+
+
+def _build_and_enumerate():
+    tree = build_execution_tree(running_example(Fraction(3, 5)).fix)
+    strategies = list(enumerate_strategies(tree))
+    return tree, strategies
+
+
+def test_fig6_tree_and_strategies(benchmark):
+    tree, strategies = benchmark(_build_and_enumerate)
+
+    mu_nodes = sum(1 for node in tree.nodes() if isinstance(node, ExecMu))
+    print(
+        f"\n[Fig. 6] probabilistic branches = {tree.prob_node_count}, "
+        f"Environment branches = {tree.nondet_node_count}, "
+        f"mu nodes = {mu_nodes}, leaves = {tree.leaf_count}, "
+        f"strategies = {len(strategies)}"
+    )
+    # Fig. 6a: one red node, two probabilistic branches, paths with 0/2/3 calls.
+    assert isinstance(tree.root, ExecProbBranch)
+    assert tree.nondet_node_count == 1
+    assert tree.prob_node_count == 2
+    assert tree.max_recursive_calls == 3
+    assert isinstance(tree.root.else_child, ExecNondetBranch)
+    # Fig. 6b: exactly two Environment strategies.
+    assert count_strategies(tree) == 2
+    assert len(strategies) == 2

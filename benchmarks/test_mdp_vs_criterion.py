@@ -1,0 +1,64 @@
+"""Ablation A3: the Thm. 5.4 criterion vs. the one-counter MDP detour.
+
+Sec. 5.1 notes that AST of a family of step distributions "can be shown by
+reduction to a one-counter Markov decision process" (the route of earlier
+work) but that the direct criterion is linear time.  This benchmark runs both
+routes on the same families -- the criterion plus Lem. 5.6 on one side, the
+adversarial value iteration of :mod:`repro.mdp` on the other -- checks they
+agree, and makes the cost gap visible in the timings.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.mdp import from_counting_distributions
+from repro.randomwalk import CountingDistribution
+
+
+def _family(size: int, ast: bool):
+    """A family of ``size`` counting distributions, uniformly AST or not."""
+    members = []
+    for index in range(size):
+        stop = Fraction(5 + index, 10 + index) if ast else Fraction(1, 3 + index)
+        members.append(CountingDistribution({0: stop, 2: 1 - stop}))
+    return members
+
+
+@pytest.mark.parametrize("size", [2, 8, 32])
+def test_criterion_route(benchmark, size):
+    mdp = from_counting_distributions(_family(size, ast=True))
+
+    decision = benchmark(mdp.decide_uniform_ast)
+
+    print(f"\n[A3] criterion on a family of {size}: {decision}")
+    assert decision.uniform_ast
+
+
+@pytest.mark.parametrize("size", [2, 8])
+def test_value_iteration_route(benchmark, size):
+    mdp = from_counting_distributions(_family(size, ast=True))
+
+    value = benchmark(mdp.adversarial_value, 1, 80, None, False)
+
+    print(f"\n[A3] 80-step adversarial value on a family of {size}: {float(value):.4f}")
+    # The walk is uniformly AST, so the finite-horizon value is already high
+    # and (being a lower bound) never exceeds 1.
+    assert 0.8 < float(value) <= 1.0
+
+
+def test_routes_agree_on_a_failing_family(benchmark):
+    family = _family(4, ast=False)
+    mdp = from_counting_distributions(family)
+
+    decision = benchmark(mdp.decide_uniform_ast)
+
+    value = float(mdp.adversarial_value(1, 200, exact=False))
+    worst_stop = min(float(member(0)) for member in family)
+    limit = worst_stop / (1 - worst_stop)
+    print(
+        f"\n[A3] failing family: criterion says {decision.uniform_ast}, "
+        f"adversarial value {value:.4f} <= {limit:.4f}"
+    )
+    assert not decision.uniform_ast
+    assert value <= limit + 1e-9

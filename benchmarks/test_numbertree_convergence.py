@@ -1,0 +1,56 @@
+"""Ablation A4: recursion-tree mass vs. the walk's absorption probability.
+
+The decomposition of App. D.1 identifies terminating runs with number trees;
+the cumulative probability of all trees up to a node budget is a certified
+lower bound on the termination probability of the extracted walk and
+converges to it (Lem. D.6).  The benchmark measures the dynamic-programming
+computation of the cumulative mass for the Table 2 counting distributions and
+checks the convergence against the branching-process extinction probability.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.counting.numbertrees import (
+    extinction_probability,
+    termination_mass_up_to,
+)
+from repro.randomwalk import CountingDistribution
+
+_DISTRIBUTIONS = {
+    "geo(1/2)": CountingDistribution({0: Fraction(1, 2), 1: Fraction(1, 2)}),
+    "printer(1/2)": CountingDistribution({0: Fraction(1, 2), 2: Fraction(1, 2)}),
+    "3print(2/3)": CountingDistribution({0: Fraction(2, 3), 3: Fraction(1, 3)}),
+    "gr": CountingDistribution({0: Fraction(1, 2), 3: Fraction(1, 2)}),
+}
+
+
+@pytest.mark.parametrize("name", list(_DISTRIBUTIONS))
+def test_tree_mass_convergence(benchmark, name, paper_scale):
+    distribution = _DISTRIBUTIONS[name]
+    budget = 101 if paper_scale else 41
+
+    mass = benchmark(termination_mass_up_to, distribution, budget)
+
+    limit = extinction_probability(distribution)
+    print(
+        f"\n[A4] {name:14s} tree mass up to {budget} nodes = {float(mass):.6f}, "
+        f"extinction probability = {limit:.6f}"
+    )
+    assert float(mass) <= limit + 1e-9
+    # Sub- and critically-branching examples approach 1; gr approaches the
+    # inverse golden ratio. The budgeted mass should be within striking
+    # distance of its limit.
+    assert float(mass) >= limit - 0.25
+
+
+def test_tree_mass_monotone_in_budget(benchmark):
+    distribution = _DISTRIBUTIONS["printer(1/2)"]
+
+    def masses():
+        return [termination_mass_up_to(distribution, budget) for budget in (5, 11, 21)]
+
+    values = benchmark(masses)
+    print("\n[A4] printer(1/2) cumulative masses:", [float(value) for value in values])
+    assert values == sorted(values)

@@ -1,0 +1,33 @@
+"""Extension experiment E7: combined AST / PAST classification.
+
+The paper establishes what is decidable about PAST (Thm. 3.10) but its
+prototypes only verify AST; this extension benchmark runs the counting-based
+PAST verification/refutation of :mod:`repro.pastcheck` over the printer
+family and the Table 2 programs and records the verdicts, which are the
+qualitative claims of Ex. 1.1: AST iff ``p >= 1/2`` and PAST iff ``p > 1/2``.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.pastcheck import TerminationClass, classify_termination
+from repro.programs import geometric, printer_nonaffine, running_example
+
+_EXPECTED = {
+    "printer(2/5)": (printer_nonaffine(Fraction(2, 5)), TerminationClass.UNKNOWN),
+    "printer(1/2)": (printer_nonaffine(Fraction(1, 2)), TerminationClass.AST_NOT_PAST),
+    "printer(3/5)": (printer_nonaffine(Fraction(3, 5)), TerminationClass.PAST_VERIFIED),
+    "geo(1/2)": (geometric(Fraction(1, 2)), TerminationClass.PAST_VERIFIED),
+    "ex5.1(0.6)": (running_example(Fraction(3, 5)), TerminationClass.AST_PAST_UNKNOWN),
+}
+
+
+@pytest.mark.parametrize("name", list(_EXPECTED))
+def test_classification_row(benchmark, name):
+    program, expected = _EXPECTED[name]
+
+    classification = benchmark(classify_termination, program)
+
+    print(f"\n[E7] {name:14s} -> {classification.summary()}")
+    assert classification.verdict is expected

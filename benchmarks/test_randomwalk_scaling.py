@@ -1,0 +1,58 @@
+"""Experiment E5: the linear-time Thm. 5.4 criterion vs. ground truth.
+
+The paper's point (Sec. 5.1) is that AST of the extracted random walk is
+decidable in *linear time* in the size of the step distribution, replacing the
+polynomial-time one-counter-MDP detour of earlier work.  The benchmark
+measures the criterion on step distributions of growing support and contrasts
+it with the truncated matrix iteration used as ground truth (which is orders
+of magnitude slower), asserting that the two agree.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.randomwalk import StepDistribution, termination_probability
+
+
+def _wide_step_distribution(width: int, drift_negative: bool) -> StepDistribution:
+    """A step distribution with support {-1, ..., width} and controllable drift."""
+    mass = {}
+    total_points = width + 2
+    for point in range(-1, width + 1):
+        mass[point] = Fraction(1, total_points)
+    if drift_negative:
+        # Move extra weight onto -1 to force the drift below 0.
+        shift = Fraction(width, 2 * total_points * max(width, 1))
+        mass[-1] += sum(Fraction(point, 1) * mass[point] for point in range(0, width + 1)) / 1
+        total = sum(mass.values())
+        mass = {point: weight / total for point, weight in mass.items()}
+    return StepDistribution(mass)
+
+
+@pytest.mark.parametrize("width", [4, 16, 64, 256])
+def test_criterion_scales_linearly(benchmark, width):
+    step = _wide_step_distribution(width, drift_negative=True)
+
+    verdict = benchmark(step.is_ast)
+
+    print(f"\n[E5] support width = {width + 2}, drift = {float(step.drift):+.4f}, AST = {verdict}")
+    assert verdict == (step.total_mass == 1 and step.drift <= 0 and not step.is_dirac_at(0))
+
+
+@pytest.mark.parametrize("width", [4, 16])
+def test_matrix_iteration_ground_truth(benchmark, width):
+    step = _wide_step_distribution(width, drift_negative=True)
+
+    bound = benchmark(termination_probability, step, 1, 120)
+
+    print(f"\n[E5] truncated iteration P^120(1,0) = {float(bound):.4f} (criterion: {step.is_ast()})")
+    if step.is_ast() and step.drift < 0:
+        assert bound > Fraction(1, 2)
+
+
+def test_criterion_detects_positive_drift(benchmark):
+    step = StepDistribution({-1: Fraction(1, 4), 1: Fraction(3, 4)})
+    verdict = benchmark(step.is_ast)
+    assert not verdict
+    assert termination_probability(step, 1, 300) < Fraction(9, 10)

@@ -1,0 +1,51 @@
+"""Experiment E1: Table 1 -- lower bounds on the probability of termination.
+
+One benchmark per row of Table 1.  Each run reports the certified lower bound
+(``LB``), the exploration depth ``d`` and the number of terminating paths; the
+timing is pytest-benchmark's.  The depths are scaled down from the paper's so
+the suite runs in seconds (pass ``--paper-scale`` for depths closer to the
+paper's); the qualitative shape -- which programs reach high bounds at a given
+depth and which saturate below 1 -- is what EXPERIMENTS.md compares.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.lowerbound import LowerBoundEngine
+from repro.programs import table1_programs
+
+# name -> (bench depth, paper depth, paper-reported LB)
+_ROWS = {
+    "geo(1/2)": (100, 100, 0.9999990463),
+    "geo(1/5)": (100, 200, 0.9995620416),
+    "1dRW(1/2,1)": (60, 200, 0.8036193847),
+    "1dRW(7/10,1)": (60, 150, 0.9720964250),
+    "gr": (50, 80, 0.6112594604),
+    "ex1.1(1/2)": (50, 90, 0.8318119049),
+    "ex1.1(1/4)": (50, 90, 0.3328795089),
+    "3print(3/4)": (50, 80, 0.9606655982),
+    "bin(1/2,2)": (80, 100, 0.9998493194),
+    "pedestrian": (35, 40, 0.6002376673),
+}
+
+
+@pytest.mark.parametrize("name", list(_ROWS))
+def test_table1_row(benchmark, name, paper_scale):
+    program = table1_programs()[name]
+    bench_depth, paper_depth, paper_lb = _ROWS[name]
+    depth = paper_depth if paper_scale else bench_depth
+    engine = LowerBoundEngine(strategy=program.strategy)
+
+    result = benchmark(engine.lower_bound, program.applied, depth)
+
+    bound = float(result.probability)
+    print(
+        f"\n[Table 1] {name:14s} LB = {bound:.10f}  depth = {depth:>3}  "
+        f"paths = {result.path_count:>5}  (paper: LB = {paper_lb:.10f} at d = {paper_depth})"
+    )
+    # Soundness: never exceed the known probability of termination.
+    if program.known_probability is not None:
+        assert bound <= program.known_probability + 1e-9
+    # Sanity: the bound is non-trivial at the benchmark depth.
+    assert bound > 0.1

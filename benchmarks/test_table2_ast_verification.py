@@ -1,0 +1,33 @@
+"""Experiment E2: Table 2 -- automatic AST verification.
+
+One benchmark per row of Table 2.  Each run reports the computed worst-case
+counting distribution ``Papprox`` (which must coincide with the paper's
+exactly -- they are rational numbers) and the verification verdict.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.astcheck import verify_ast
+from repro.programs import table2_programs
+
+# name -> the Papprox reported in Table 2.
+_EXPECTED = {
+    "ex1.1-(1)(1/2)": {0: Fraction(1, 2), 1: Fraction(1, 2)},
+    "ex1.1-(2)(1/2)": {0: Fraction(1, 2), 2: Fraction(1, 2)},
+    "3print(2/3)": {0: Fraction(2, 3), 3: Fraction(1, 3)},
+    "ex5.1(0.6)": {0: Fraction(3, 5), 2: Fraction(1, 5), 3: Fraction(1, 5)},
+    "ex5.15(0.65)": {0: Fraction(13, 20), 2: Fraction(49, 800), 3: Fraction(231, 800)},
+}
+
+
+@pytest.mark.parametrize("name", list(_EXPECTED))
+def test_table2_row(benchmark, name):
+    program = table2_programs()[name]
+
+    result = benchmark(verify_ast, program)
+
+    print(f"\n[Table 2] {name:16s} Papprox = {result.papprox}  verified = {result.verified}")
+    assert result.verified
+    assert result.papprox.as_dict() == _EXPECTED[name]

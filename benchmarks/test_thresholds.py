@@ -1,0 +1,62 @@
+"""Experiment E4: the AST thresholds stated in the paper.
+
+* Ex. 1.1 (2) is AST iff p >= 1/2 (Sec. 1.1, Ex. 5.14);
+* Ex. 5.1 is verified AST by Thm. 5.9 for p >= 3/5 but by Cor. 5.13 only for
+  p >= 2/3 (Ex. 5.11 / Ex. 5.14);
+* Ex. 5.15 is verified AST for p >= sqrt(7) - 2 ~ 0.6458 (Ex. 5.15, App. D.5).
+
+The benchmark sweeps p across each threshold with the automatic verifier and
+checks that the verdict flips exactly where the paper says it does.
+"""
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.astcheck import verify_ast
+from repro.counting import verify_ast_by_corollary
+from repro.programs import printer_nonaffine, running_example, running_example_first_class
+
+
+def _sweep(builder, probabilities):
+    return {p: verify_ast(builder(p)).verified for p in probabilities}
+
+
+def test_threshold_printer_nonaffine(benchmark):
+    probabilities = [Fraction(n, 100) for n in (40, 45, 49, 50, 55, 60)]
+    verdicts = benchmark(_sweep, printer_nonaffine, probabilities)
+    print(f"\n[E4] Ex. 1.1 (2) verdicts: { {float(k): v for k, v in verdicts.items()} }")
+    for probability, verdict in verdicts.items():
+        assert verdict == (probability >= Fraction(1, 2))
+
+
+def test_threshold_running_example(benchmark):
+    probabilities = [Fraction(n, 100) for n in (55, 59, 60, 62, 70)]
+    verdicts = benchmark(_sweep, running_example, probabilities)
+    print(f"\n[E4] Ex. 5.1 verdicts: { {float(k): v for k, v in verdicts.items()} }")
+    for probability, verdict in verdicts.items():
+        assert verdict == (probability >= Fraction(3, 5))
+
+
+def test_threshold_running_example_first_class(benchmark):
+    threshold = math.sqrt(7) - 2
+    probabilities = [Fraction(n, 1000) for n in (630, 640, 645, 646, 650, 700)]
+    verdicts = benchmark(_sweep, running_example_first_class, probabilities)
+    print(f"\n[E4] Ex. 5.15 verdicts: { {float(k): v for k, v in verdicts.items()} }")
+    for probability, verdict in verdicts.items():
+        assert verdict == (float(probability) >= threshold)
+
+
+def test_corollary_is_weaker_than_the_verifier_on_ex_5_1(benchmark):
+    def both(probability):
+        return (
+            verify_ast_by_corollary(running_example(probability).fix, arguments=(0, 1, 5)).verified,
+            verify_ast(running_example(probability)).verified,
+        )
+
+    corollary, verifier = benchmark(both, Fraction(3, 5))
+    print(f"\n[E4] Ex. 5.1 at p=3/5: Cor. 5.13 = {corollary}, Thm. 5.9 verifier = {verifier}")
+    assert verifier and not corollary
+    corollary_at_two_thirds, _ = both(Fraction(2, 3))
+    assert corollary_at_two_thirds

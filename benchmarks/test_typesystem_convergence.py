@@ -1,0 +1,41 @@
+"""Experiment E6: Thm. 4.1 numerically -- the sup over typings approaches Pterm.
+
+The intersection type system characterises ``Pterm`` as the least upper bound
+of ``omega(A)`` over all derivable set types (Thm. 4.1).  The benchmark infers
+set types at increasing exploration/subdivision depths for two programs with
+known ``Pterm`` and checks that the weights increase towards the limit while
+always remaining sound lower bounds.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.programs import geometric, printer_nonaffine
+from repro.typesystem import infer_set_type
+
+_CASES = {
+    "geo(1/2)": (geometric(Fraction(1, 2)), 1.0),
+    "ex1.1(1/4)": (printer_nonaffine(Fraction(1, 4)), 1 / 3),
+}
+
+_DEPTHS = ((20, 6), (40, 8), (60, 10))
+
+
+@pytest.mark.parametrize("name", list(_CASES))
+def test_typesystem_weight_converges(benchmark, name):
+    program, limit = _CASES[name]
+
+    def infer_at_all_depths():
+        return [
+            infer_set_type(program.applied, max_steps=steps, sweep_depth=depth)
+            for steps, depth in _DEPTHS
+        ]
+
+    results = benchmark(infer_at_all_depths)
+
+    weights = [float(result.weight) for result in results]
+    print(f"\n[E6] {name}: omega(A) at increasing depth = {[f'{w:.4f}' for w in weights]} -> {limit:.4f}")
+    assert all(earlier <= later + 1e-12 for earlier, later in zip(weights, weights[1:]))
+    assert all(weight <= limit + 1e-9 for weight in weights)
+    assert weights[-1] > 0.5 * limit

@@ -1,0 +1,56 @@
+"""AST vs. PAST across the printer family (Ex. 1.1) and its variants.
+
+The non-affine printer of Ex. 1.1 (2) is AST exactly when the per-print
+success probability is at least 1/2, PAST exactly when it is strictly above
+1/2, and at the critical parameter it terminates almost surely with infinite
+expected runtime.  This example sweeps the parameter, classifies every
+instance with the combined AST/PAST analyses, and shows the certified
+``Eterm`` lower bounds of the interval semantics diverging at criticality.
+
+Run with ``python examples/past_classification.py``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.pastcheck import classify_termination, eterm_lower_bounds
+from repro.programs import geometric, printer_nonaffine, von_neumann_coin
+
+
+def main() -> None:
+    print("== classification sweep over the non-affine printer ==")
+    for p in (Fraction(1, 4), Fraction(2, 5), Fraction(1, 2), Fraction(3, 5), Fraction(4, 5)):
+        program = printer_nonaffine(p)
+        classification = classify_termination(program)
+        past = classification.past
+        calls = (
+            "-"
+            if past.expected_calls_per_body is None
+            else f"{float(past.expected_calls_per_body):.3f}"
+        )
+        print(f"p = {str(p):5s}  E[calls/body] = {calls:>6s}  ->  {classification.summary()}")
+
+    print("\n== certified Eterm lower bounds (Thm. 3.4) ==")
+    examples = (
+        ("PAST: geo(1/2)", geometric(Fraction(1, 2)).applied),
+        ("not PAST: printer p=1/2", printer_nonaffine(Fraction(1, 2)).applied),
+    )
+    for label, term in examples:
+        points = eterm_lower_bounds(term, depths=(20, 40, 60))
+        rendered = ", ".join(
+            f"depth {point.depth}: E >= {float(point.expected_steps):6.2f}" for point in points
+        )
+        print(f"{label:24s} {rendered}")
+    print(
+        "(the PAST program's bounds saturate at its finite expected runtime; "
+        "the critical one's keep growing)"
+    )
+
+    print("\n== an affine example: von Neumann's fair coin ==")
+    classification = classify_termination(von_neumann_coin(Fraction(1, 3)))
+    print("von Neumann coin with bias 1/3:", classification.summary())
+
+
+if __name__ == "__main__":
+    main()

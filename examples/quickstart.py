@@ -1,0 +1,66 @@
+"""Quickstart: parse an SPCF program, run it, bound its termination probability.
+
+This walks through the library's main entry points on the paper's running
+example, the unreliable 3D-printing company of Ex. 1.1:
+
+* program (1) retries a failed print once per day (affine recursion),
+* program (2) prints an additional copy on every failure (non-affine
+  recursion) and is AST exactly when the per-print success probability is at
+  least 1/2.
+
+Run with ``python examples/quickstart.py``.
+"""
+
+from fractions import Fraction
+
+from repro import (
+    CbVMachine,
+    Trace,
+    estimate_termination,
+    lower_bound,
+    parse,
+    pretty,
+    typecheck,
+    verify_ast,
+)
+from repro.programs import printer_affine, printer_nonaffine
+
+
+def main() -> None:
+    # 1. Build a program from surface syntax and type-check it.
+    term = parse("(mu phi x. if sample - 1/2 then x else phi (phi (x + 1))) 1")
+    print("program      :", pretty(term))
+    print("simple type  :", typecheck(term))
+
+    # 2. Run it on a concrete trace of random draws (the sampling semantics).
+    machine = CbVMachine()
+    run = machine.run(term, Trace([Fraction(1, 4)]))
+    print("run on [1/4] :", run.status.value, "in", run.steps, "steps")
+
+    # 3. Estimate the probability of termination by Monte Carlo.
+    estimate = estimate_termination(term, runs=2000, max_steps=20_000)
+    print(f"MC estimate  : {estimate.probability:.3f} (+/- {2 * estimate.stderr:.3f})")
+
+    # 4. Compute a certified lower bound on the probability of termination
+    #    with the interval-trace semantics of Sec. 3.
+    bound = lower_bound(term, max_steps=60)
+    print("lower bound  :", bound.summary())
+
+    # 5. Verify almost-sure termination automatically (Sec. 6): the verifier
+    #    needs no exploration depth because it analyses one body unfolding.
+    for probability in (Fraction(1, 2), Fraction(2, 5)):
+        program = printer_nonaffine(probability)
+        result = verify_ast(program)
+        print(f"verify p={probability}: {result.summary()}")
+        if not result.verified:
+            for reason in result.reasons:
+                print("    reason:", reason)
+
+    # 6. The affine variant (program (1)) is AST for every positive p --
+    #    the functional zero-one law (Sec. 5.4).
+    result = verify_ast(printer_affine(Fraction(1, 100)))
+    print("affine printer, p=1/100:", result.summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Random-walk analysis: the Thm. 5.4 criterion and the zero-one law.
+
+The demo analyses a family of step distributions directly (without going
+through a program): it contrasts the exact linear-time criterion with
+truncated matrix iteration and Monte-Carlo simulation, and illustrates the
+zero-one law corollary (an affine recursion -- rank 1 -- is AST as soon as it
+stops with any positive probability, whereas a rank-2 recursion needs stopping
+probability at least 1/2).
+
+Run with ``python examples/random_walk_analysis.py``.
+"""
+
+from fractions import Fraction
+
+from repro.randomwalk import (
+    CountingDistribution,
+    estimate_absorption,
+    termination_probability,
+)
+
+
+def analyse(label: str, counting: CountingDistribution) -> None:
+    shifted = counting.shifted()
+    decided = shifted.is_ast()
+    iterated = termination_probability(shifted, start=1, steps=400)
+    simulated = estimate_absorption(shifted, start=1, runs=2000, max_steps=4000)
+    print(
+        f"  {label:<40} drift = {float(shifted.drift):+.3f}  "
+        f"Thm 5.4: {'AST' if decided else 'not AST':<8} "
+        f"P^400(1,0) = {float(iterated):.4f}  MC = {simulated:.3f}"
+    )
+
+
+def main() -> None:
+    print("Rank-2 recursion (two calls on failure), stopping probability p:")
+    for numerator in (4, 5, 6):
+        p = Fraction(numerator, 10)
+        analyse(
+            f"p = {p}",
+            CountingDistribution({0: p, 2: 1 - p}),
+        )
+    print()
+    print("Affine recursion (one call on failure) -- the zero-one law:")
+    for numerator in (1, 10, 99):
+        p = Fraction(numerator, 100)
+        analyse(
+            f"p = {p}",
+            CountingDistribution({0: p, 1: 1 - p}),
+        )
+    print()
+    print("The Ex. 5.1 worst-case distribution at p = 3/5 (Table 2):")
+    analyse(
+        "3/5 d0 + 1/5 d2 + 1/5 d3",
+        CountingDistribution({0: Fraction(3, 5), 2: Fraction(1, 5), 3: Fraction(1, 5)}),
+    )
+
+
+if __name__ == "__main__":
+    main()

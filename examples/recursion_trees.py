@@ -1,0 +1,91 @@
+"""Recursion trees, random-walk runs, and the one-counter MDP view (Sec. 5, App. D).
+
+The counting-based AST proof identifies the recursion structure of a run with
+a *number tree*, identifies number trees with terminating runs of a random
+walk, and verifies the walk with the linear-time criterion of Thm. 5.4 (or,
+more laboriously, by value iteration on a one-counter MDP).  This example
+makes each of those identifications concrete on the printer programs.
+
+Run with ``python examples/recursion_trees.py``.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+from repro.counting.numbertrees import (
+    empirical_tree_distribution,
+    enumerate_trees,
+    extinction_probability,
+    sample_call_tree,
+    termination_mass_up_to,
+    tree_probability,
+)
+from repro.mdp import from_counting_distributions
+from repro.programs import golden_ratio, printer_nonaffine
+from repro.randomwalk import CountingDistribution
+
+
+def main() -> None:
+    p = Fraction(3, 5)
+    program = printer_nonaffine(p)
+    offspring = CountingDistribution({0: p, 2: 1 - p})
+
+    # 1. Sample actual call trees and compare with the product formula.
+    print("== call trees of the printer at p = 3/5 ==")
+    rng = random.Random(1)
+    run = sample_call_tree(program.fix, 1, rng=rng)
+    assert run is not None
+    print("one sampled run returned", run.value, "with call tree", run.tree.render())
+    empirical = empirical_tree_distribution(program.fix, 1, runs=2_000, seed=7)
+    print(f"{'tree':14s} {'analytic':>9s} {'empirical':>10s}")
+    for tree in enumerate_trees(3):
+        analytic = float(tree_probability(tree, offspring))
+        observed = float(empirical.get(tree, Fraction(0)))
+        print(f"{tree.render():14s} {analytic:9.4f} {observed:10.4f}")
+
+    # 2. Number trees as runs of the shifted random walk.
+    tree = next(t for t in enumerate_trees(4) if t.node_count == 4)
+    print("\ntree", tree.render(), "corresponds to the walk", tree.to_absolute_run())
+
+    # 3. Cumulative tree mass approaches the extinction probability.
+    print("\n== cumulative tree mass vs. extinction probability ==")
+    for name, distribution in (
+        ("printer p=3/5", offspring),
+        ("gr           ", CountingDistribution({0: Fraction(1, 2), 3: Fraction(1, 2)})),
+    ):
+        masses = [float(termination_mass_up_to(distribution, budget)) for budget in (5, 15, 31)]
+        limit = extinction_probability(distribution)
+        print(
+            f"{name}: mass up to 5/15/31 nodes = "
+            + ", ".join(f"{mass:.4f}" for mass in masses)
+            + f"  ->  limit {limit:.4f}"
+        )
+
+    # 4. The one-counter MDP route vs. the Thm. 5.4 criterion.
+    print("\n== one-counter MDP cross-check ==")
+    family = [offspring, CountingDistribution({0: Fraction(1, 2), 1: Fraction(1, 2)})]
+    mdp = from_counting_distributions(family)
+    decision = mdp.decide_uniform_ast()
+    value = float(mdp.adversarial_value(1, 120, exact=False))
+    print("Thm. 5.4 + Lem. 5.6 decision:", decision)
+    print(f"adversarial 120-step value from counter 1: {value:.4f} (tends to 1)")
+
+    # 5. The golden-ratio program is not AST: the walk escapes.
+    gr = golden_ratio()
+    gr_offspring = CountingDistribution({0: Fraction(1, 2), 3: Fraction(1, 2)})
+    print(
+        "\ngr: offspring mean",
+        float(gr_offspring.expected_calls),
+        "-> AST?",
+        gr_offspring.is_ast(),
+        "(termination probability",
+        f"{extinction_probability(gr_offspring):.4f})",
+    )
+    sampled = sample_call_tree(gr.fix, 0, rng=random.Random(5), max_calls=500)
+    print("a sampled gr run terminated with", "a" if sampled else "no", "finite call tree")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package and no network access, so
+PEP 660 editable installs (which build a wheel) are unavailable.  This shim
+lets ``python setup.py develop`` / ``pip install -e . --no-build-isolation``
+fall back to the classic egg-link mechanism.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,70 @@
+"""repro -- a reproduction of "On Probabilistic Termination of Functional
+Programs with Continuous Distributions" (Beutner & Ong, PLDI 2021).
+
+The package provides, from the bottom up:
+
+* :mod:`repro.spcf` -- the SPCF language (syntax, simple types, primitives,
+  parser, printer, sugar),
+* :mod:`repro.semantics` -- the trace-based CbN/CbV operational semantics and
+  Monte-Carlo estimation,
+* :mod:`repro.intervals` -- intervals, boxes, interval traces and the
+  interval-based semantics of Sec. 3,
+* :mod:`repro.symbolic` and :mod:`repro.geometry` -- stochastic symbolic
+  execution and the measuring oracles,
+* :mod:`repro.lowerbound` -- certified lower bounds on ``Pterm``/``Eterm``
+  (Table 1),
+* :mod:`repro.typesystem` -- the intersection type system of Sec. 4,
+* :mod:`repro.randomwalk` and :mod:`repro.counting` -- the counting-based
+  recursion analysis of Sec. 5,
+* :mod:`repro.astcheck` -- the automatic AST verifier of Sec. 6 (Table 2),
+* :mod:`repro.hierarchy` -- executable views of the Pi^0_2 / Sigma^0_2
+  results,
+* :mod:`repro.programs` -- every benchmark program of the evaluation.
+
+Quickstart::
+
+    from fractions import Fraction
+    from repro import lower_bound, verify_ast
+    from repro.programs import printer_nonaffine
+
+    program = printer_nonaffine(Fraction(1, 2))
+    print(verify_ast(program).summary())          # AST verified; Papprox = ...
+    print(lower_bound(program.applied, 60).summary())
+"""
+
+from repro.spcf import parse, pretty, typecheck
+from repro.semantics import CbNMachine, CbVMachine, Trace, estimate_termination
+from repro.intervals import Interval, IntervalTrace, embed
+from repro.lowerbound import LowerBoundEngine, LowerBoundResult, lower_bound
+from repro.astcheck import ASTVerificationResult, verify_ast
+from repro.randomwalk import CountingDistribution, StepDistribution
+from repro.counting import counting_pattern_exact, verify_ast_by_corollary
+from repro.pastcheck import classify_termination, refute_past, verify_past
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "ASTVerificationResult",
+    "CbNMachine",
+    "CbVMachine",
+    "CountingDistribution",
+    "Interval",
+    "IntervalTrace",
+    "LowerBoundEngine",
+    "LowerBoundResult",
+    "StepDistribution",
+    "Trace",
+    "__version__",
+    "classify_termination",
+    "counting_pattern_exact",
+    "embed",
+    "estimate_termination",
+    "lower_bound",
+    "parse",
+    "pretty",
+    "refute_past",
+    "typecheck",
+    "verify_ast",
+    "verify_ast_by_corollary",
+    "verify_past",
+]

@@ -1,0 +1,49 @@
+"""Automatic AST verification for non-affine recursive programs (Sec. 6).
+
+The verifier
+
+1. symbolically executes the body of the recursion on the unknown argument
+   ``(*)``, producing a finite *symbolic execution tree* whose nodes are
+   recursive calls, score statements, probabilistic branches (guards over
+   sample variables only) and nondeterministic branches (guards that mention
+   the unknown argument or a recursive outcome) -- Fig. 6,
+2. lets the Environment resolve nondeterministic branches by a strategy and
+   computes ``Papprox``, the worst-case (over strategies) distribution of the
+   number of recursive calls, via exact/certified measures of the path
+   constraints (Sec. 6.2, Thm. 6.2),
+3. checks that the shifted ``Papprox`` walk is AST with the linear-time
+   criterion of Thm. 5.4, which by Thm. 5.9 implies AST of the program on
+   every actual argument.
+"""
+
+from repro.astcheck.exectree import (
+    ExecLeaf,
+    ExecMu,
+    ExecNode,
+    ExecNondetBranch,
+    ExecProbBranch,
+    ExecScore,
+    ExecutionTree,
+    build_execution_tree,
+)
+from repro.astcheck.strategy import count_strategies, enumerate_strategies, resolve_tree
+from repro.astcheck.papprox import min_probability_at_most, papprox_distribution
+from repro.astcheck.verifier import ASTVerificationResult, verify_ast
+
+__all__ = [
+    "ASTVerificationResult",
+    "ExecLeaf",
+    "ExecMu",
+    "ExecNode",
+    "ExecNondetBranch",
+    "ExecProbBranch",
+    "ExecScore",
+    "ExecutionTree",
+    "build_execution_tree",
+    "count_strategies",
+    "enumerate_strategies",
+    "min_probability_at_most",
+    "papprox_distribution",
+    "resolve_tree",
+    "verify_ast",
+]

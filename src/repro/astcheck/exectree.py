@@ -1,0 +1,258 @@
+"""Symbolic execution trees for recursion bodies (Sec. 6.1, App. E.1).
+
+The tree records everything the counting analysis needs about one evaluation
+of the body ``M[(*)/x, mu/phi]`` of a recursive program ``mu phi x. M``:
+
+* ``ExecLeaf`` -- the body reached a value,
+* ``ExecMu`` -- a recursive call was made (its outcome continues as the
+  unknown numeral ``star``),
+* ``ExecScore`` -- a ``score(v)`` was crossed (the path requires ``v >= 0``),
+* ``ExecProbBranch`` -- a conditional whose guard only mentions sample
+  variables: both branches are explored and the guard becomes a constraint,
+* ``ExecNondetBranch`` -- a conditional whose guard mentions the unknown
+  argument ``(*)`` (or a recursive outcome): the branch is resolved by the
+  Environment player, not probabilistically (the "red" nodes of Fig. 6).
+
+The builder is the call-by-value symbolic executor of
+:mod:`repro.symbolic.execute`, with recursive calls cut off at ``mu`` nodes,
+so it terminates whenever one evaluation of the body terminates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterator, List, Optional, Tuple, Union
+
+from repro.spcf.primitives import PrimitiveRegistry, default_registry
+from repro.spcf.syntax import Fix, Term, substitute
+from repro.symbolic.constraints import Constraint, ConstraintSet, Relation
+from repro.symbolic.execute import (
+    RecMarker,
+    StepBranch,
+    StepRecCall,
+    StepScore,
+    StepStuck,
+    StepTerm,
+    StepValue,
+    Strategy,
+    SymbolicStepper,
+)
+from repro.symbolic.values import ArgVal, SymNumeral, SymVal
+
+
+class ExecNode:
+    """Base class of execution-tree nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class ExecLeaf(ExecNode):
+    """The body reached a value."""
+
+    result: Term
+
+
+@dataclass(frozen=True)
+class ExecMu(ExecNode):
+    """A recursive call; ``argument`` is the symbolic call argument."""
+
+    argument: SymVal
+    child: ExecNode
+
+
+@dataclass(frozen=True)
+class ExecScore(ExecNode):
+    """A ``score(value)``; the path continues only when ``value >= 0``."""
+
+    value: SymVal
+    child: ExecNode
+
+
+@dataclass(frozen=True)
+class ExecProbBranch(ExecNode):
+    """A conditional resolved probabilistically (guard over sample variables)."""
+
+    guard: SymVal
+    then_child: ExecNode
+    else_child: ExecNode
+
+
+@dataclass(frozen=True)
+class ExecNondetBranch(ExecNode):
+    """A conditional resolved by the Environment (guard mentions ``(*)``/``star``)."""
+
+    guard: SymVal
+    then_child: ExecNode
+    else_child: ExecNode
+
+    @property
+    def depends_on_star(self) -> bool:
+        return self.guard.contains_star()
+
+
+@dataclass(frozen=True)
+class ExecStuck(ExecNode):
+    """The body got stuck (e.g. a failing score on a constant)."""
+
+    reason: str
+
+
+@dataclass(frozen=True)
+class ExecutionTree:
+    """A symbolic execution tree together with summary statistics."""
+
+    root: ExecNode
+    sample_variables: int
+    """An upper bound on the number of sample variables used along any path."""
+
+    def nodes(self) -> Iterator[ExecNode]:
+        yield from _iter_nodes(self.root)
+
+    @property
+    def max_recursive_calls(self) -> int:
+        """The maximal number of ``mu`` nodes on any root-to-leaf path."""
+        return _max_mu(self.root)
+
+    @property
+    def nondet_node_count(self) -> int:
+        return sum(1 for node in self.nodes() if isinstance(node, ExecNondetBranch))
+
+    @property
+    def prob_node_count(self) -> int:
+        return sum(1 for node in self.nodes() if isinstance(node, ExecProbBranch))
+
+    @property
+    def leaf_count(self) -> int:
+        return sum(1 for node in self.nodes() if isinstance(node, ExecLeaf))
+
+    @property
+    def has_stuck_paths(self) -> bool:
+        return any(isinstance(node, ExecStuck) for node in self.nodes())
+
+    @property
+    def has_star_guards(self) -> bool:
+        """True if some Environment branch depends on a recursive outcome."""
+        return any(
+            isinstance(node, ExecNondetBranch) and node.depends_on_star
+            for node in self.nodes()
+        )
+
+
+def _iter_nodes(node: ExecNode) -> Iterator[ExecNode]:
+    yield node
+    if isinstance(node, (ExecMu, ExecScore)):
+        yield from _iter_nodes(node.child)
+    elif isinstance(node, (ExecProbBranch, ExecNondetBranch)):
+        yield from _iter_nodes(node.then_child)
+        yield from _iter_nodes(node.else_child)
+
+
+def _max_mu(node: ExecNode) -> int:
+    if isinstance(node, ExecMu):
+        return 1 + _max_mu(node.child)
+    if isinstance(node, ExecScore):
+        return _max_mu(node.child)
+    if isinstance(node, (ExecProbBranch, ExecNondetBranch)):
+        return max(_max_mu(node.then_child), _max_mu(node.else_child))
+    return 0
+
+
+class ExecutionTreeError(Exception):
+    """Raised when the body cannot be summarised as a finite execution tree."""
+
+
+def build_execution_tree(
+    fix: Fix,
+    max_steps: int = 5_000,
+    registry: Optional[PrimitiveRegistry] = None,
+) -> ExecutionTree:
+    """Build the symbolic execution tree of ``body((*)) = M[(*)/x, mu/phi]``."""
+    registry = registry or default_registry()
+    stepper = SymbolicStepper(Strategy.CBV, registry)
+    body = substitute(
+        fix.body, {fix.var: SymNumeral(ArgVal()), fix.fvar: RecMarker()}
+    )
+    max_variables = [0]
+    root = _build(stepper, body, 0, max_steps, max_variables)
+    return ExecutionTree(root, max_variables[0])
+
+
+def _build(
+    stepper: SymbolicStepper,
+    term: Term,
+    next_variable: int,
+    budget: int,
+    max_variables: List[int],
+) -> ExecNode:
+    steps = 0
+    while True:
+        if steps > budget:
+            raise ExecutionTreeError(
+                "the recursion body did not reach a value within the step budget; "
+                "it may diverge without making recursive calls"
+            )
+        outcome = stepper.step(term, next_variable)
+        if isinstance(outcome, StepValue):
+            max_variables[0] = max(max_variables[0], next_variable)
+            return ExecLeaf(term)
+        if isinstance(outcome, StepTerm):
+            term = outcome.term
+            if outcome.consumed_sample:
+                next_variable += 1
+            steps += 1
+            continue
+        if isinstance(outcome, StepScore):
+            child = _build(
+                stepper, outcome.term, next_variable, budget - steps, max_variables
+            )
+            return ExecScore(outcome.value, child)
+        if isinstance(outcome, StepRecCall):
+            child = _build(
+                stepper, outcome.term, next_variable, budget - steps, max_variables
+            )
+            return ExecMu(outcome.argument, child)
+        if isinstance(outcome, StepBranch):
+            then_child = _build(
+                stepper, outcome.then_term, next_variable, budget - steps, max_variables
+            )
+            else_child = _build(
+                stepper, outcome.else_term, next_variable, budget - steps, max_variables
+            )
+            if outcome.guard.contains_argument() or outcome.guard.contains_star():
+                return ExecNondetBranch(outcome.guard, then_child, else_child)
+            return ExecProbBranch(outcome.guard, then_child, else_child)
+        if isinstance(outcome, StepStuck):
+            return ExecStuck(outcome.reason)
+        raise TypeError(f"unexpected step outcome {outcome!r}")
+
+
+def render_tree(tree: ExecutionTree) -> str:
+    """A small ASCII rendering of the execution tree (compare Fig. 6a)."""
+    lines: List[str] = []
+    _render(tree.root, "", lines)
+    return "\n".join(lines)
+
+
+def _render(node: ExecNode, indent: str, lines: List[str]) -> None:
+    if isinstance(node, ExecLeaf):
+        lines.append(f"{indent}leaf")
+    elif isinstance(node, ExecMu):
+        lines.append(f"{indent}mu")
+        _render(node.child, indent + "  ", lines)
+    elif isinstance(node, ExecScore):
+        lines.append(f"{indent}score({node.value!r})")
+        _render(node.child, indent + "  ", lines)
+    elif isinstance(node, ExecProbBranch):
+        lines.append(f"{indent}branch[{node.guard!r}]")
+        _render(node.then_child, indent + "  ", lines)
+        _render(node.else_child, indent + "  ", lines)
+    elif isinstance(node, ExecNondetBranch):
+        lines.append(f"{indent}branch*[{node.guard!r}]   (Environment)")
+        _render(node.then_child, indent + "  ", lines)
+        _render(node.else_child, indent + "  ", lines)
+    elif isinstance(node, ExecStuck):
+        lines.append(f"{indent}stuck: {node.reason}")
+    else:
+        raise TypeError(f"unknown node {node!r}")

@@ -1,0 +1,159 @@
+"""Computing ``Papprox``: the worst-case counting distribution (Sec. 6.2).
+
+``Papprox(0) = min_sigma P(sigma, 0)`` and
+``Papprox(n) = min_sigma P(sigma, n) - min_sigma P(sigma, n-1)``, where
+``P(sigma, n)`` is the probability (over the sample variables) of following a
+path of the resolved tree that traverses at most ``n`` recursive-call nodes.
+
+``min_sigma P(sigma, n)`` is computed by a single tree recursion that carries
+the constraint prefix of the current path:
+
+* a leaf contributes the measure of the accumulated constraints,
+* a ``mu`` node consumes one unit of budget (contributing 0 when exhausted),
+* a score node adds the constraint ``value >= 0``,
+* a probabilistic branch splits the measure between its two children (the two
+  guard constraints are disjoint events, so the minimum distributes over the
+  sum -- strategies resolve disjoint subtrees independently),
+* a nondeterministic branch takes the minimum of its children.
+
+Theorem 6.2 guarantees ``Papprox`` is below every member of the counting
+pattern in the cumulative order, so (with Lem. 5.10 and Thm. 5.9) AST of the
+shifted ``Papprox`` walk implies AST of the program on every argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.astcheck.exectree import (
+    ExecLeaf,
+    ExecMu,
+    ExecNode,
+    ExecNondetBranch,
+    ExecProbBranch,
+    ExecScore,
+    ExecStuck,
+    ExecutionTree,
+)
+from repro.geometry.measure import MeasureOptions, measure_constraints
+from repro.randomwalk.step_distribution import CountingDistribution
+from repro.spcf.primitives import PrimitiveRegistry, default_registry
+from repro.symbolic.constraints import Constraint, ConstraintSet, Relation
+
+Number = Union[Fraction, float]
+
+
+def min_probability_at_most(
+    tree: ExecutionTree,
+    budget: int,
+    measure_options: Optional[MeasureOptions] = None,
+    registry: Optional[PrimitiveRegistry] = None,
+) -> Number:
+    """``min_sigma P(sigma, budget)``: worst-case probability of <= budget calls."""
+    registry = registry or default_registry()
+    measure_options = measure_options or MeasureOptions()
+    return _go(tree.root, ConstraintSet(), budget, measure_options, registry)
+
+
+def _measure(
+    constraints: ConstraintSet,
+    measure_options: MeasureOptions,
+    registry: PrimitiveRegistry,
+) -> Number:
+    dimension = constraints.dimension()
+    result = measure_constraints(
+        constraints, dimension, options=measure_options, registry=registry
+    )
+    return result.value
+
+
+def _go(
+    node: ExecNode,
+    constraints: ConstraintSet,
+    budget: int,
+    measure_options: MeasureOptions,
+    registry: PrimitiveRegistry,
+) -> Number:
+    if isinstance(node, ExecLeaf):
+        return _measure(constraints, measure_options, registry)
+    if isinstance(node, ExecStuck):
+        # A stuck path never reaches a value, so it contributes nothing to the
+        # probability of completing with at most ``budget`` calls.
+        return Fraction(0)
+    if isinstance(node, ExecMu):
+        if budget == 0:
+            return Fraction(0)
+        return _go(node.child, constraints, budget - 1, measure_options, registry)
+    if isinstance(node, ExecScore):
+        extended = constraints.add(Constraint(node.value, Relation.GE))
+        return _go(node.child, extended, budget, measure_options, registry)
+    if isinstance(node, ExecProbBranch):
+        left = _go(
+            node.then_child,
+            constraints.add(Constraint(node.guard, Relation.LE)),
+            budget,
+            measure_options,
+            registry,
+        )
+        right = _go(
+            node.else_child,
+            constraints.add(Constraint(node.guard, Relation.GT)),
+            budget,
+            measure_options,
+            registry,
+        )
+        return left + right
+    if isinstance(node, ExecNondetBranch):
+        left = _go(node.then_child, constraints, budget, measure_options, registry)
+        right = _go(node.else_child, constraints, budget, measure_options, registry)
+        return min(left, right)
+    raise TypeError(f"unknown node {node!r}")
+
+
+@dataclass(frozen=True)
+class PapproxResult:
+    """``Papprox`` together with the worst-case cumulative probabilities."""
+
+    distribution: CountingDistribution
+    cumulative: Tuple[Number, ...]
+    """``min_sigma P(sigma, n)`` for ``n = 0 .. rank``."""
+
+    rank: int
+    exact: bool
+
+
+def papprox_distribution(
+    tree: ExecutionTree,
+    measure_options: Optional[MeasureOptions] = None,
+    registry: Optional[PrimitiveRegistry] = None,
+) -> PapproxResult:
+    """Compute ``Papprox`` for an execution tree (Sec. 6.2)."""
+    registry = registry or default_registry()
+    measure_options = measure_options or MeasureOptions()
+    rank = tree.max_recursive_calls
+    cumulative: List[Number] = []
+    for budget in range(rank + 1):
+        cumulative.append(
+            min_probability_at_most(tree, budget, measure_options, registry)
+        )
+    masses: Dict[int, Number] = {}
+    previous: Number = Fraction(0)
+    for calls, value in enumerate(cumulative):
+        mass = value - previous
+        if mass < 0:
+            # Measures from the float polytope oracle can introduce tiny
+            # negative increments; clamp them (soundly: this only lowers the
+            # cumulative weight of Papprox).
+            mass = Fraction(0)
+        if mass > 0:
+            masses[calls] = mass
+        previous = value
+    exact = all(isinstance(value, Fraction) for value in cumulative)
+    return PapproxResult(
+        distribution=CountingDistribution(masses),
+        cumulative=tuple(cumulative),
+        rank=rank,
+        exact=exact,
+    )

@@ -1,0 +1,119 @@
+"""Environment strategies on symbolic execution trees (Sec. 6.2, Fig. 6b).
+
+A *strategy* resolves every nondeterministic ("red") branch of the execution
+tree by picking one of its children; the result is a tree with only
+probabilistic branching, for which path probabilities are well defined.  This
+module enumerates strategies explicitly (useful for the Fig. 6 reproduction
+and for small trees); the ``Papprox`` computation itself uses the equivalent
+but exponentially cheaper tree recursion in :mod:`repro.astcheck.papprox`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.astcheck.exectree import (
+    ExecLeaf,
+    ExecMu,
+    ExecNode,
+    ExecNondetBranch,
+    ExecProbBranch,
+    ExecScore,
+    ExecStuck,
+    ExecutionTree,
+)
+
+
+@dataclass(frozen=True)
+class ResolvedTree:
+    """An execution tree with every nondeterministic branch resolved."""
+
+    root: ExecNode
+    choices: Tuple[bool, ...]
+    """The left/right decisions taken at nondeterministic nodes, in discovery order."""
+
+
+def count_strategies(tree: ExecutionTree) -> int:
+    """The number of distinct Environment strategies of the tree."""
+    return _count(tree.root)
+
+
+def _count(node: ExecNode) -> int:
+    if isinstance(node, (ExecLeaf, ExecStuck)):
+        return 1
+    if isinstance(node, (ExecMu, ExecScore)):
+        return _count(node.child)
+    if isinstance(node, ExecProbBranch):
+        return _count(node.then_child) * _count(node.else_child)
+    if isinstance(node, ExecNondetBranch):
+        return _count(node.then_child) + _count(node.else_child)
+    raise TypeError(f"unknown node {node!r}")
+
+
+def enumerate_strategies(tree: ExecutionTree) -> Iterator[ResolvedTree]:
+    """Enumerate every resolved tree (Fig. 6b lists them for the running example)."""
+    for root, choices in _enumerate(tree.root):
+        yield ResolvedTree(root, tuple(choices))
+
+
+def _enumerate(node: ExecNode) -> Iterator[Tuple[ExecNode, List[bool]]]:
+    if isinstance(node, (ExecLeaf, ExecStuck)):
+        yield node, []
+        return
+    if isinstance(node, ExecMu):
+        for child, choices in _enumerate(node.child):
+            yield ExecMu(node.argument, child), choices
+        return
+    if isinstance(node, ExecScore):
+        for child, choices in _enumerate(node.child):
+            yield ExecScore(node.value, child), choices
+        return
+    if isinstance(node, ExecProbBranch):
+        for then_child, then_choices in _enumerate(node.then_child):
+            for else_child, else_choices in _enumerate(node.else_child):
+                yield (
+                    ExecProbBranch(node.guard, then_child, else_child),
+                    then_choices + else_choices,
+                )
+        return
+    if isinstance(node, ExecNondetBranch):
+        for then_child, choices in _enumerate(node.then_child):
+            yield then_child, [True] + choices
+        for else_child, choices in _enumerate(node.else_child):
+            yield else_child, [False] + choices
+        return
+    raise TypeError(f"unknown node {node!r}")
+
+
+def resolve_tree(tree: ExecutionTree, choices: Tuple[bool, ...]) -> ResolvedTree:
+    """Resolve nondeterministic branches with explicit left/right ``choices``.
+
+    Choices are consumed in the order nondeterministic nodes are encountered
+    on a depth-first traversal of the chosen subtrees.
+    """
+    remaining = list(choices)
+    root = _resolve(tree.root, remaining)
+    if remaining:
+        raise ValueError("more choices supplied than nondeterministic nodes reached")
+    return ResolvedTree(root, tuple(choices))
+
+
+def _resolve(node: ExecNode, choices: List[bool]) -> ExecNode:
+    if isinstance(node, (ExecLeaf, ExecStuck)):
+        return node
+    if isinstance(node, ExecMu):
+        return ExecMu(node.argument, _resolve(node.child, choices))
+    if isinstance(node, ExecScore):
+        return ExecScore(node.value, _resolve(node.child, choices))
+    if isinstance(node, ExecProbBranch):
+        then_child = _resolve(node.then_child, choices)
+        else_child = _resolve(node.else_child, choices)
+        return ExecProbBranch(node.guard, then_child, else_child)
+    if isinstance(node, ExecNondetBranch):
+        if not choices:
+            raise ValueError("ran out of choices while resolving the tree")
+        pick_left = choices.pop(0)
+        chosen = node.then_child if pick_left else node.else_child
+        return _resolve(chosen, choices)
+    raise TypeError(f"unknown node {node!r}")

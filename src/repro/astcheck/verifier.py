@@ -1,0 +1,171 @@
+"""The automatic AST verifier (Sec. 6 / Sec. 7.2 of the paper).
+
+``verify_ast`` takes a first-order recursive program ``mu phi x. M`` (or a
+:class:`~repro.programs.library.Program`) and runs the full pipeline:
+
+1. the progress check of App. D.3 (recursive outcomes may not flow into
+   guards or scores -- otherwise the counting analysis does not apply),
+2. construction of the symbolic execution tree of the body on the unknown
+   argument (Sec. 6.1),
+3. computation of ``Papprox`` via strategy-worst-case path measures
+   (Sec. 6.2, Thm. 6.2),
+4. the Thm. 5.4 criterion on the shifted ``Papprox`` walk; by Thm. 5.9 and
+   Lem. 5.10 success implies the program is AST on every actual argument.
+
+The verifier is *sound but incomplete*: a negative answer means "not verified
+by this method", not "not AST".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Optional, Tuple, Union
+
+from repro.astcheck.exectree import ExecutionTree, ExecutionTreeError, build_execution_tree
+from repro.astcheck.papprox import PapproxResult, papprox_distribution
+from repro.counting.progress import ProgressCheckResult, guards_independent_of_recursion
+from repro.counting.rank import recursive_rank_bound
+from repro.geometry.measure import MeasureOptions
+from repro.randomwalk.step_distribution import CountingDistribution
+from repro.spcf.primitives import PrimitiveRegistry, default_registry
+from repro.spcf.syntax import Fix
+
+Number = Union[Fraction, float]
+
+_FLOAT_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class ASTVerificationResult:
+    """Outcome of the automatic AST verification."""
+
+    verified: bool
+    papprox: Optional[CountingDistribution]
+    rank: int
+    progress: ProgressCheckResult
+    tree: Optional[ExecutionTree]
+    reasons: Tuple[str, ...]
+    exact: bool
+
+    def summary(self) -> str:
+        """A one-line, Table-2-style summary."""
+        status = "AST verified" if self.verified else "not verified"
+        papprox = repr(self.papprox) if self.papprox is not None else "-"
+        return f"{status}; Papprox = {papprox}"
+
+
+def _counting_distribution_is_ast(
+    distribution: CountingDistribution, exact: bool
+) -> Tuple[bool, List[str]]:
+    """Thm. 5.4 on the shifted walk, with a tolerance when measures are floats."""
+    reasons: List[str] = []
+    total = distribution.total_mass
+    drift = distribution.expected_calls - 1  # drift of the shifted step distribution
+    if exact:
+        mass_ok = total == 1
+        drift_ok = drift <= 0
+    else:
+        mass_ok = abs(float(total) - 1.0) <= _FLOAT_TOLERANCE
+        drift_ok = float(drift) <= _FLOAT_TOLERANCE
+    if not mass_ok:
+        reasons.append(
+            f"the worst-case counting distribution has total mass {float(total):.6f} < 1 "
+            "(some strategy loses probability mass)"
+        )
+    dirac_zero = distribution.support() == (0,) and mass_ok
+    if dirac_zero:
+        # The walk started at 1 never moves; but a recursion that never calls
+        # itself trivially terminates, so treat delta_0 as verified.
+        return True, reasons
+    if not drift_ok:
+        reasons.append(
+            f"the worst-case expected number of recursive calls is {float(distribution.expected_calls):.6f} > 1"
+        )
+    return mass_ok and drift_ok, reasons
+
+
+def verify_ast(
+    program: Union[Fix, "object"],
+    max_steps: int = 5_000,
+    measure_options: Optional[MeasureOptions] = None,
+    registry: Optional[PrimitiveRegistry] = None,
+) -> ASTVerificationResult:
+    """Verify AST of a first-order recursive program on every argument.
+
+    ``program`` may be a ``Fix`` term or any object with a ``fix`` attribute
+    (such as :class:`repro.programs.library.Program`).
+    """
+    registry = registry or default_registry()
+    measure_options = measure_options or MeasureOptions()
+    fix = program if isinstance(program, Fix) else getattr(program, "fix", None)
+    if not isinstance(fix, Fix):
+        raise TypeError("verify_ast expects a Fix term or a Program with a .fix")
+
+    rank = recursive_rank_bound(fix)
+    reasons: List[str] = []
+
+    progress = guards_independent_of_recursion(fix)
+    if not progress.ok:
+        reasons.append(f"progress check failed: {progress.reason}")
+        return ASTVerificationResult(
+            verified=False,
+            papprox=None,
+            rank=rank,
+            progress=progress,
+            tree=None,
+            reasons=tuple(reasons),
+            exact=True,
+        )
+
+    try:
+        tree = build_execution_tree(fix, max_steps=max_steps, registry=registry)
+    except ExecutionTreeError as error:
+        reasons.append(str(error))
+        return ASTVerificationResult(
+            verified=False,
+            papprox=None,
+            rank=rank,
+            progress=progress,
+            tree=None,
+            reasons=tuple(reasons),
+            exact=True,
+        )
+
+    if tree.has_star_guards:
+        reasons.append(
+            "a branch guard depends on a recursive outcome; the counting analysis "
+            "does not apply (this should have been caught by the progress check)"
+        )
+        return ASTVerificationResult(
+            verified=False,
+            papprox=None,
+            rank=rank,
+            progress=progress,
+            tree=tree,
+            reasons=tuple(reasons),
+            exact=True,
+        )
+
+    result: PapproxResult = papprox_distribution(
+        tree, measure_options=measure_options, registry=registry
+    )
+    verified, criterion_reasons = _counting_distribution_is_ast(
+        result.distribution, result.exact
+    )
+    reasons.extend(criterion_reasons)
+    if tree.has_stuck_paths and verified:
+        verified = False
+        reasons.append(
+            "some path of the body gets stuck (e.g. a failing score); its "
+            "probability mass is missing from the counting distribution"
+        )
+    return ASTVerificationResult(
+        verified=verified,
+        papprox=result.distribution,
+        rank=max(rank, result.rank),
+        progress=progress,
+        tree=tree,
+        reasons=tuple(reasons),
+        exact=result.exact,
+    )

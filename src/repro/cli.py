@@ -1,0 +1,237 @@
+"""Command-line interface for the reproduction.
+
+The CLI exposes the two analyses the paper ships as prototypes, plus the
+Monte-Carlo estimator, over programs written in the surface syntax of
+:mod:`repro.spcf.parser` or taken from the built-in benchmark library::
+
+    python -m repro lower-bound "(mu phi x. if sample - 1/2 then x else phi (x+1)) 1" --depth 80
+    python -m repro verify "mu phi x. if sample - 1/2 then x else phi (phi (x+1))"
+    python -m repro estimate --program "ex1.1(1/4)" --runs 5000
+    python -m repro table1 --depth 50
+    python -m repro table2
+    python -m repro list-programs
+
+Program arguments may be either a source string or the name of a benchmark
+program (as listed by ``list-programs``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from fractions import Fraction
+from typing import Optional, Sequence
+
+from repro.astcheck import verify_ast
+from repro.astcheck.exectree import build_execution_tree, render_tree
+from repro.lowerbound import LowerBoundEngine
+from repro.pastcheck import classify_termination
+from repro.programs import extra_programs, table1_programs, table2_programs
+from repro.programs.library import Program
+from repro.report import full_report
+from repro.semantics import estimate_termination
+from repro.spcf import parse, pretty, typecheck
+from repro.spcf.syntax import Fix, Term
+from repro.symbolic.execute import Strategy
+
+
+def _all_programs():
+    programs = {}
+    programs.update(table1_programs())
+    for name, program in table2_programs().items():
+        programs.setdefault(name, program)
+    for name, program in extra_programs().items():
+        programs.setdefault(name, program)
+    return programs
+
+
+def _resolve_program(source: str) -> Program:
+    """Resolve a CLI program argument: a library name or surface syntax."""
+    programs = _all_programs()
+    if source in programs:
+        return programs[source]
+    term = parse(source)
+    fix = term if isinstance(term, Fix) else _find_fix(term)
+    return Program(
+        name="<command line>",
+        fix=fix if isinstance(fix, Fix) else Fix("phi", "x", term),
+        applied=term,
+        description="program supplied on the command line",
+    )
+
+
+def _find_fix(term: Term) -> Optional[Fix]:
+    from repro.spcf.syntax import subterms
+
+    for sub in subterms(term):
+        if isinstance(sub, Fix):
+            return sub
+    return None
+
+
+def _command_lower_bound(arguments: argparse.Namespace) -> int:
+    program = _resolve_program(arguments.program)
+    strategy = Strategy.CBV if arguments.cbv else program.strategy
+    engine = LowerBoundEngine(strategy=strategy)
+    start = time.perf_counter()
+    result = engine.lower_bound(program.applied, max_steps=arguments.depth)
+    elapsed = time.perf_counter() - start
+    print(f"program      : {pretty(program.applied, unicode_symbols=False)}")
+    print(f"type         : {typecheck(program.applied)!r}")
+    print(f"lower bound  : {float(result.probability):.10f}")
+    if result.exact_measures:
+        print(f"  exactly    : {result.probability}")
+    print(f"E[steps] >=  : {float(result.expected_steps):.4f}")
+    print(f"paths        : {result.path_count} (exhaustive: {result.exhaustive})")
+    print(f"depth        : {arguments.depth}")
+    print(f"time         : {elapsed * 1000:.1f} ms")
+    return 0
+
+
+def _command_verify(arguments: argparse.Namespace) -> int:
+    program = _resolve_program(arguments.program)
+    start = time.perf_counter()
+    result = verify_ast(program)
+    elapsed = time.perf_counter() - start
+    print(f"program      : {pretty(program.fix, unicode_symbols=False)}")
+    print(f"verdict      : {'AST verified' if result.verified else 'not verified'}")
+    print(f"Papprox      : {result.papprox}")
+    print(f"rank         : {result.rank}")
+    print(f"time         : {elapsed * 1000:.1f} ms")
+    if result.reasons:
+        for reason in result.reasons:
+            print(f"  note       : {reason}")
+    if arguments.tree and result.tree is not None:
+        print("execution tree:")
+        print(render_tree(result.tree))
+    return 0 if result.verified else 1
+
+
+def _command_estimate(arguments: argparse.Namespace) -> int:
+    program = _resolve_program(arguments.program)
+    estimate = estimate_termination(
+        program.applied, runs=arguments.runs, max_steps=arguments.max_steps
+    )
+    low, high = estimate.confidence_interval()
+    print(f"program      : {pretty(program.applied, unicode_symbols=False)}")
+    print(f"Pterm (MC)   : {estimate.probability:.4f}  (99% CI [{low:.4f}, {high:.4f}])")
+    if estimate.mean_steps is not None:
+        print(f"mean steps   : {estimate.mean_steps:.1f}")
+        print(f"mean samples : {estimate.mean_samples:.1f}")
+    return 0
+
+
+def _command_table1(arguments: argparse.Namespace) -> int:
+    print(f"{'term':16s} {'LB':>14s} {'paths':>7s} {'depth':>6s} {'time':>9s}")
+    for name, program in table1_programs().items():
+        engine = LowerBoundEngine(strategy=program.strategy)
+        start = time.perf_counter()
+        result = engine.lower_bound(program.applied, max_steps=arguments.depth)
+        elapsed = time.perf_counter() - start
+        print(
+            f"{name:16s} {float(result.probability):14.10f} {result.path_count:7d} "
+            f"{arguments.depth:6d} {elapsed * 1000:8.0f}ms"
+        )
+    return 0
+
+
+def _command_table2(arguments: argparse.Namespace) -> int:
+    print(f"{'term':18s} {'verified':>9s}  Papprox")
+    for name, program in table2_programs().items():
+        start = time.perf_counter()
+        result = verify_ast(program)
+        elapsed = time.perf_counter() - start
+        print(
+            f"{name:18s} {'yes' if result.verified else 'no':>9s}  {result.papprox}"
+            f"   ({elapsed * 1000:.0f} ms)"
+        )
+    return 0
+
+
+def _command_list_programs(arguments: argparse.Namespace) -> int:
+    for name, program in sorted(_all_programs().items()):
+        print(f"{name:18s} {program.description}")
+    return 0
+
+
+def _command_classify(arguments: argparse.Namespace) -> int:
+    program = _resolve_program(arguments.program)
+    start = time.perf_counter()
+    classification = classify_termination(program)
+    elapsed = time.perf_counter() - start
+    print(f"program      : {pretty(program.fix, unicode_symbols=False)}")
+    print(f"verdict      : {classification.summary()}")
+    if classification.past.papprox is not None:
+        print(f"Papprox      : {classification.past.papprox}")
+    if classification.past.expected_total_calls is not None:
+        print(f"E[calls]     : {classification.past.expected_total_calls}")
+    print(f"time         : {elapsed * 1000:.1f} ms")
+    return 0
+
+
+def _command_report(arguments: argparse.Namespace) -> int:
+    print(full_report(depth=arguments.depth))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Probabilistic termination analyses for SPCF programs "
+        "(Beutner & Ong, PLDI 2021 reproduction).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    lower = subparsers.add_parser(
+        "lower-bound", help="certified lower bound on the probability of termination"
+    )
+    lower.add_argument("program", help="surface-syntax program or library program name")
+    lower.add_argument("--depth", type=int, default=80, help="per-path step budget")
+    lower.add_argument("--cbv", action="store_true", help="use call-by-value evaluation")
+    lower.set_defaults(handler=_command_lower_bound)
+
+    verify = subparsers.add_parser("verify", help="automatic AST verification")
+    verify.add_argument("program", help="a recursive function (mu-term) or library name")
+    verify.add_argument("--tree", action="store_true", help="print the execution tree")
+    verify.set_defaults(handler=_command_verify)
+
+    estimate = subparsers.add_parser("estimate", help="Monte-Carlo estimate of Pterm")
+    estimate.add_argument("--program", required=True)
+    estimate.add_argument("--runs", type=int, default=2000)
+    estimate.add_argument("--max-steps", type=int, default=20_000)
+    estimate.set_defaults(handler=_command_estimate)
+
+    table1 = subparsers.add_parser("table1", help="regenerate Table 1 (lower bounds)")
+    table1.add_argument("--depth", type=int, default=50)
+    table1.set_defaults(handler=_command_table1)
+
+    table2 = subparsers.add_parser("table2", help="regenerate Table 2 (AST verification)")
+    table2.set_defaults(handler=_command_table2)
+
+    list_programs = subparsers.add_parser("list-programs", help="list the built-in programs")
+    list_programs.set_defaults(handler=_command_list_programs)
+
+    classify = subparsers.add_parser(
+        "classify", help="combined AST / PAST classification of a recursive program"
+    )
+    classify.add_argument("program", help="a recursive function (mu-term) or library name")
+    classify.set_defaults(handler=_command_classify)
+
+    report = subparsers.add_parser(
+        "report", help="regenerate all evaluation tables as markdown"
+    )
+    report.add_argument("--depth", type=int, default=50)
+    report.set_defaults(handler=_command_report)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    return arguments.handler(arguments)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

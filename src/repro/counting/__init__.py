@@ -1,0 +1,66 @@
+"""Counting-based recursion analysis (Sec. 5 of the paper).
+
+For a first-order recursive program ``mu phi x. M`` without nested recursion,
+the analysis
+
+1. instruments the body with the counting reduction of Fig. 5 (recursive
+   calls return the unknown numeral ``star`` and are counted),
+2. extracts the *counting pattern*: the distribution of the number of
+   recursive-call sites exercised by one run of the body (Def. 5.7),
+3. statically ensures the counting reduction never gets stuck on a guard
+   containing a recursive outcome (the ``R-top`` simple type system of
+   App. D.3),
+4. bounds the *recursive rank* (the maximal number of call sites, App. D.4),
+5. applies Thm. 5.9 / Cor. 5.13: if the shifted counting distribution drives
+   an almost-surely absorbed random walk, the program is AST on every
+   argument.
+"""
+
+from repro.counting.star_semantics import StarNumeral, StarRunResult, StarRunStatus, run_body
+from repro.counting.pattern import (
+    counting_pattern_exact,
+    counting_pattern_monte_carlo,
+)
+from repro.counting.progress import guards_independent_of_recursion
+from repro.counting.rank import recursive_rank_bound
+from repro.counting.corollaries import (
+    CorollaryResult,
+    epsilon_recursion_avoidance,
+    verify_ast_by_corollary,
+)
+from repro.counting.numbertrees import (
+    NumberTree,
+    enumerate_trees,
+    extinction_probability,
+    from_relative_run,
+    sample_call_tree,
+    termination_mass_up_to,
+    tree_probability,
+    tree_probability_inf,
+)
+from repro.counting.summary import Summary, SummaryMachine, run_body_with_summaries
+
+__all__ = [
+    "CorollaryResult",
+    "NumberTree",
+    "StarNumeral",
+    "StarRunResult",
+    "StarRunStatus",
+    "Summary",
+    "SummaryMachine",
+    "counting_pattern_exact",
+    "counting_pattern_monte_carlo",
+    "enumerate_trees",
+    "epsilon_recursion_avoidance",
+    "extinction_probability",
+    "from_relative_run",
+    "guards_independent_of_recursion",
+    "recursive_rank_bound",
+    "run_body",
+    "run_body_with_summaries",
+    "sample_call_tree",
+    "termination_mass_up_to",
+    "tree_probability",
+    "tree_probability_inf",
+    "verify_ast_by_corollary",
+]

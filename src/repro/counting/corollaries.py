@@ -1,0 +1,83 @@
+"""Epsilon-recursion-avoidance and the Cor. 5.13 proof rule.
+
+A program ``mu phi x. M`` is *epsilon-recursion avoiding* (Def. 5.12) when a
+run of its body makes no recursive call with probability at least ``epsilon``,
+for every actual argument.  Cor. 5.13: if the recursive rank is ``m`` and the
+program is ``epsilon``-RA with ``m (1 - epsilon) <= 1``, then it is AST on
+every argument.  The special case ``m <= 1`` recovers the zero-one law for
+affine recursion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Optional, Sequence, Union
+
+from repro.counting.pattern import counting_pattern_exact
+from repro.counting.rank import recursive_rank_bound
+from repro.spcf.syntax import Fix
+
+Number = Union[Fraction, float, int]
+
+
+@dataclass(frozen=True)
+class CorollaryResult:
+    """The outcome of applying Cor. 5.13."""
+
+    verified: bool
+    rank: int
+    epsilon: Union[Fraction, float]
+    condition_value: Union[Fraction, float]
+    """``rank * (1 - epsilon)``; AST is concluded when this is at most 1."""
+
+    arguments_checked: Sequence[Number]
+
+    def __repr__(self) -> str:
+        status = "AST" if self.verified else "not concluded"
+        return (
+            f"CorollaryResult({status}: rank={self.rank}, epsilon={self.epsilon}, "
+            f"rank*(1-epsilon)={self.condition_value})"
+        )
+
+
+def epsilon_recursion_avoidance(
+    fix: Fix,
+    arguments: Sequence[Number] = (0, 1, 2, 5, 10),
+    max_steps: int = 2_000,
+) -> Union[Fraction, float]:
+    """A lower bound on ``epsilon`` such that ``fix`` is ``epsilon``-RA.
+
+    The probability of making no recursive call is evaluated exactly for each
+    supplied argument and the minimum is returned.  For the paper's programs
+    this probability does not depend on the argument (the accept/retry guard
+    never mentions it); callers analysing argument-sensitive programs should
+    supply a representative set of arguments or use the symbolic verifier in
+    :mod:`repro.astcheck`, which needs no argument samples at all.
+    """
+    epsilon: Union[Fraction, float, None] = None
+    for argument in arguments:
+        pattern = counting_pattern_exact(fix, argument, max_steps=max_steps)
+        zero_mass = pattern.distribution(0)
+        if epsilon is None or zero_mass < epsilon:
+            epsilon = zero_mass
+    return epsilon if epsilon is not None else Fraction(0)
+
+
+def verify_ast_by_corollary(
+    fix: Fix,
+    arguments: Sequence[Number] = (0, 1, 2, 5, 10),
+    rank: Optional[int] = None,
+    max_steps: int = 2_000,
+) -> CorollaryResult:
+    """Apply Cor. 5.13: AST follows from ``rank * (1 - epsilon) <= 1``."""
+    rank = rank if rank is not None else recursive_rank_bound(fix)
+    epsilon = epsilon_recursion_avoidance(fix, arguments=arguments, max_steps=max_steps)
+    condition = rank * (1 - epsilon)
+    return CorollaryResult(
+        verified=condition <= 1,
+        rank=rank,
+        epsilon=epsilon,
+        condition_value=condition,
+        arguments_checked=tuple(arguments),
+    )

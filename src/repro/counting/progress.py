@@ -1,0 +1,134 @@
+"""The ``R-top`` simple type system of App. D.3 (Fig. 17).
+
+The counting semantics of Fig. 5 gets stuck when the outcome of a recursive
+call (the unknown numeral ``star``) flows into the guard of a conditional or
+into a ``score``.  The paper rules this out statically with a refinement of
+the simple type system: a second base type ``R-top`` ("a real that may be a
+recursive outcome") with ``R <= R-top``, where the recursive function has type
+``R -> R-top``, conditional guards and score arguments must have type ``R``,
+and primitives are available at both ``R^n -> R`` and ``R-top^n -> R-top``.
+
+This module implements a checker for the first-order fragment in which the
+paper's examples live: lambda-bound variables are given the smallest base type
+consistent with their binding site (``R`` for ``let``-style bindings of
+sampled or arithmetic values, ``R-top`` when the bound term may contain a
+recursive outcome).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.spcf.syntax import (
+    App,
+    Fix,
+    If,
+    Lam,
+    Numeral,
+    Prim,
+    Sample,
+    Score,
+    Term,
+    Var,
+)
+
+
+@dataclass(frozen=True)
+class ProgressCheckResult:
+    """Outcome of the App. D.3 progress check."""
+
+    ok: bool
+    reason: Optional[str] = None
+
+
+# Abstract base "types": R (plain real) and RT (possibly a recursive outcome).
+_R = "R"
+_RT = "R-top"
+_FUN = "fun"  # the recursion variable itself
+
+
+class _Fail(Exception):
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+def guards_independent_of_recursion(fix: Fix) -> ProgressCheckResult:
+    """Check that no conditional guard / score argument can see a recursive outcome.
+
+    This is the semantic guarantee provided by typability in Fig. 17
+    (Lem. D.8): under it the counting reduction enjoys progress, so the
+    counting pattern of the program sums to 1 (provided no ``score`` fails).
+    """
+    environment: Dict[str, str] = {fix.var: _R, fix.fvar: _FUN}
+    try:
+        _infer(fix.body, environment)
+    except _Fail as failure:
+        return ProgressCheckResult(False, failure.reason)
+    return ProgressCheckResult(True)
+
+
+def _join(left: str, right: str) -> str:
+    if left == _FUN or right == _FUN:
+        raise _Fail("the recursive function is used as a first-class value")
+    return _RT if _RT in (left, right) else _R
+
+
+def _infer(term: Term, environment: Dict[str, str]) -> str:
+    if isinstance(term, Numeral):
+        return _R
+    if isinstance(term, Sample):
+        return _R
+    if isinstance(term, Var):
+        if term.name not in environment:
+            raise _Fail(f"unbound variable {term.name!r}")
+        return environment[term.name]
+    if isinstance(term, Prim):
+        result = _R
+        for argument in term.args:
+            result = _join(result, _infer(argument, environment))
+        return result
+    if isinstance(term, If):
+        guard = _infer(term.cond, environment)
+        if guard != _R:
+            raise _Fail("a conditional guard may depend on a recursive outcome")
+        branches = _join(
+            _infer(term.then, environment), _infer(term.orelse, environment)
+        )
+        return branches
+    if isinstance(term, Score):
+        argument = _infer(term.arg, environment)
+        if argument != _R:
+            raise _Fail("a score argument may depend on a recursive outcome")
+        return _R
+    if isinstance(term, App):
+        function = term.fn
+        if isinstance(function, Var) and environment.get(function.name) == _FUN:
+            # A recursive call: the argument may be anything of base type; the
+            # result is R-top.
+            _infer(term.arg, environment)
+            return _RT
+        if isinstance(function, Lam):
+            bound_type = _infer(term.arg, environment)
+            if bound_type == _FUN:
+                raise _Fail("the recursive function is bound to a variable")
+            extended = dict(environment)
+            extended[function.var] = bound_type
+            return _infer(function.body, extended)
+        if isinstance(function, Fix):
+            raise _Fail("nested recursion is outside the scope of the counting analysis")
+        argument = _infer(term.arg, environment)
+        function_type = _infer(function, environment)
+        # A non-recursive application at base type simply propagates taint.
+        return _join(function_type if function_type != _FUN else _R, argument)
+    if isinstance(term, Lam):
+        # An abstraction not immediately applied: analyse its body assuming a
+        # plain real argument; its uses propagate taint through _join above.
+        extended = dict(environment)
+        extended[term.var] = _R
+        return _infer(term.body, extended)
+    if isinstance(term, Fix):
+        raise _Fail("nested recursion is outside the scope of the counting analysis")
+    # Extension leaves (interval numerals, symbolic numerals) are plain reals.
+    return _R

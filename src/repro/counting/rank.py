@@ -1,0 +1,58 @@
+"""Upper bounds on the recursive rank (Sec. 5.4 / App. D.4).
+
+The *recursive rank* of ``mu phi x. M`` is the maximal number of call sites
+from which recursive calls are made in any single run of the body.  The paper
+bounds it with a non-idempotent intersection type system (Fig. 18) in which
+the cardinality of the intersection assigned to ``phi`` counts its semantic
+uses.  For the first-order programs the analysis targets, that cardinality is
+computed here by a syntax-directed abstract interpretation:
+
+* conditional branches contribute the *maximum* of their counts (only one
+  branch runs),
+* all other term formers contribute the *sum* of their children's counts
+  (call-by-value evaluates every subterm that is not behind a conditional),
+* an occurrence of ``phi`` in function position contributes 1.
+
+This matches the intersection-type count on the benchmark programs and is an
+upper bound whenever the body does not duplicate ``phi`` through higher-order
+plumbing (which the first-order restriction forbids).
+"""
+
+from __future__ import annotations
+
+from repro.spcf.syntax import App, Fix, If, Lam, Numeral, Prim, Sample, Score, Term, Var
+
+
+def recursive_rank_bound(fix: Fix) -> int:
+    """An upper bound on the recursive rank of ``fix`` (Sec. 5.4)."""
+    return _count(fix.body, fix.fvar)
+
+
+def _count(term: Term, recursion_variable: str) -> int:
+    if isinstance(term, Var):
+        return 1 if term.name == recursion_variable else 0
+    if isinstance(term, (Numeral, Sample)):
+        return 0
+    if isinstance(term, Lam):
+        if term.var == recursion_variable:
+            return 0
+        return _count(term.body, recursion_variable)
+    if isinstance(term, Fix):
+        if recursion_variable in (term.fvar, term.var):
+            return 0
+        return _count(term.body, recursion_variable)
+    if isinstance(term, App):
+        return _count(term.fn, recursion_variable) + _count(term.arg, recursion_variable)
+    if isinstance(term, If):
+        guard = _count(term.cond, recursion_variable)
+        branches = max(
+            _count(term.then, recursion_variable),
+            _count(term.orelse, recursion_variable),
+        )
+        return guard + branches
+    if isinstance(term, Prim):
+        return sum(_count(argument, recursion_variable) for argument in term.args)
+    if isinstance(term, Score):
+        return _count(term.arg, recursion_variable)
+    # Extension leaves carry no occurrences.
+    return 0

@@ -1,0 +1,214 @@
+"""The counting-based reduction relation of Fig. 5 (the ``star`` semantics).
+
+To extract the counting pattern of ``mu phi x. M`` the paper analyses the term
+``body(r) = M[r/x, mu/phi]``: the recursion variable is replaced by a marker
+and the argument by a fixed real ``r``.  Evaluation proceeds call-by-value on
+a concrete trace, except that
+
+* applying the marker to a value counts one recursive call and returns the
+  distinguished unknown numeral ``star``,
+* a primitive applied to ``star`` returns ``star``,
+* a conditional or a ``score`` whose scrutinee is ``star`` is stuck (the
+  control flow would depend on a recursive outcome -- the progress type
+  system of App. D.3 rules this out statically).
+
+This module provides the concrete counting machine; the exact, measure-based
+extraction of the counting pattern lives in :mod:`repro.counting.pattern`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Optional, Tuple, Union
+
+from repro.semantics.traces import Trace
+from repro.spcf.primitives import PrimitiveRegistry, default_registry
+from repro.spcf.syntax import (
+    App,
+    Fix,
+    If,
+    Lam,
+    Numeral,
+    Prim,
+    Sample,
+    Score,
+    Term,
+    Var,
+    substitute,
+)
+from repro.symbolic.execute import RecMarker
+
+Number = Union[Fraction, float, int]
+
+
+@dataclass(frozen=True)
+class StarNumeral(Term):
+    """The distinguished unknown numeral ``star`` of type R."""
+
+    def __repr__(self) -> str:
+        return "StarNumeral()"
+
+
+class StarRunStatus(enum.Enum):
+    """Outcome of running the counting machine on a recursion body."""
+
+    COMPLETED = "completed"
+    TRACE_EXHAUSTED = "trace-exhausted"
+    STUCK_ON_STAR_GUARD = "stuck-on-star-guard"
+    SCORE_FAILED = "score-failed"
+    STUCK = "stuck"
+    STEP_LIMIT = "step-limit"
+
+
+@dataclass(frozen=True)
+class StarRunResult:
+    """Result of one run of the counting machine."""
+
+    status: StarRunStatus
+    calls: int
+    steps: int
+    term: Term
+    trace: Trace
+
+    @property
+    def completed(self) -> bool:
+        return self.status is StarRunStatus.COMPLETED
+
+
+def _is_star_value(term: Term) -> bool:
+    return isinstance(term, (Var, Numeral, StarNumeral, Lam, Fix, RecMarker))
+
+
+class _Stuck(Exception):
+    def __init__(self, status: StarRunStatus, detail: str) -> None:
+        super().__init__(detail)
+        self.status = status
+        self.detail = detail
+
+
+class StarMachine:
+    """The call-by-value counting machine of Fig. 5."""
+
+    def __init__(self, registry: Optional[PrimitiveRegistry] = None) -> None:
+        self.registry = registry or default_registry()
+
+    def step(
+        self, term: Term, trace: Trace, calls: int
+    ) -> Optional[Tuple[Term, Trace, int]]:
+        """Perform one counting step; returns ``None`` when ``term`` is a value."""
+        if _is_star_value(term):
+            return None
+        return self._step(term, trace, calls)
+
+    def _step(self, term: Term, trace: Trace, calls: int) -> Tuple[Term, Trace, int]:
+        if isinstance(term, App):
+            fn, arg = term.fn, term.arg
+            if not _is_star_value(fn):
+                new_fn, trace, calls = self._step(fn, trace, calls)
+                return App(new_fn, arg), trace, calls
+            if not _is_star_value(arg):
+                new_arg, trace, calls = self._step(arg, trace, calls)
+                return App(fn, new_arg), trace, calls
+            if isinstance(fn, RecMarker):
+                return StarNumeral(), trace, calls + 1
+            if isinstance(fn, Lam):
+                return substitute(fn.body, {fn.var: arg}), trace, calls
+            if isinstance(fn, Fix):
+                return substitute(fn.body, {fn.var: arg, fn.fvar: fn}), trace, calls
+            raise _Stuck(StarRunStatus.STUCK, "application of a non-function value")
+        if isinstance(term, If):
+            cond = term.cond
+            if isinstance(cond, StarNumeral):
+                raise _Stuck(
+                    StarRunStatus.STUCK_ON_STAR_GUARD,
+                    "conditional guard depends on a recursive outcome",
+                )
+            if isinstance(cond, Numeral):
+                return (term.then if cond.value <= 0 else term.orelse), trace, calls
+            if _is_star_value(cond):
+                raise _Stuck(StarRunStatus.STUCK, "conditional guard is not a numeral")
+            new_cond, trace, calls = self._step(cond, trace, calls)
+            return If(new_cond, term.then, term.orelse), trace, calls
+        if isinstance(term, Prim):
+            for index, argument in enumerate(term.args):
+                if isinstance(argument, (Numeral, StarNumeral)):
+                    continue
+                if _is_star_value(argument):
+                    raise _Stuck(
+                        StarRunStatus.STUCK, f"primitive argument {index} is not a numeral"
+                    )
+                new_argument, trace, calls = self._step(argument, trace, calls)
+                new_args = term.args[:index] + (new_argument,) + term.args[index + 1 :]
+                return Prim(term.op, new_args), trace, calls
+            if any(isinstance(argument, StarNumeral) for argument in term.args):
+                return StarNumeral(), trace, calls
+            primitive = self.registry[term.op]
+            values = [argument.value for argument in term.args]  # type: ignore[union-attr]
+            try:
+                result = primitive(*values)
+            except (ValueError, ZeroDivisionError, OverflowError) as error:
+                raise _Stuck(StarRunStatus.STUCK, f"primitive {term.op!r} failed: {error}")
+            return Numeral(result), trace, calls
+        if isinstance(term, Sample):
+            if trace.is_empty():
+                raise _Stuck(StarRunStatus.TRACE_EXHAUSTED, "sample on an empty trace")
+            return Numeral(trace.head()), trace.rest(), calls
+        if isinstance(term, Score):
+            argument = term.arg
+            if isinstance(argument, StarNumeral):
+                raise _Stuck(
+                    StarRunStatus.STUCK_ON_STAR_GUARD,
+                    "score argument depends on a recursive outcome",
+                )
+            if isinstance(argument, Numeral):
+                if argument.value < 0:
+                    raise _Stuck(StarRunStatus.SCORE_FAILED, "score of a negative value")
+                return argument, trace, calls
+            if _is_star_value(argument):
+                raise _Stuck(StarRunStatus.STUCK, "score argument is not a numeral")
+            new_argument, trace, calls = self._step(argument, trace, calls)
+            return Score(new_argument), trace, calls
+        if isinstance(term, Var):
+            raise _Stuck(StarRunStatus.STUCK, f"free variable {term.name!r}")
+        raise TypeError(f"cannot step term {term!r}")
+
+    def run(
+        self, term: Term, trace: Trace, max_steps: int = 100_000
+    ) -> StarRunResult:
+        """Run the counting machine until a value, stuckness, or the step budget."""
+        steps = 0
+        calls = 0
+        current, remaining = term, trace
+        while steps < max_steps:
+            try:
+                outcome = self.step(current, remaining, calls)
+            except _Stuck as stuck:
+                return StarRunResult(stuck.status, calls, steps, current, remaining)
+            if outcome is None:
+                return StarRunResult(
+                    StarRunStatus.COMPLETED, calls, steps, current, remaining
+                )
+            current, remaining, calls = outcome
+            steps += 1
+        return StarRunResult(StarRunStatus.STEP_LIMIT, calls, steps, current, remaining)
+
+
+def instantiate_body(fix: Fix, argument: Number) -> Term:
+    """``body(argument) = M[argument/x, mu/phi]`` for the program ``mu phi x. M``."""
+    return substitute(
+        fix.body, {fix.var: Numeral(argument), fix.fvar: RecMarker()}
+    )
+
+
+def run_body(
+    fix: Fix,
+    argument: Number,
+    trace: Trace,
+    max_steps: int = 100_000,
+    registry: Optional[PrimitiveRegistry] = None,
+) -> StarRunResult:
+    """Run one counting-semantics evaluation of the body of ``fix`` on ``argument``."""
+    machine = StarMachine(registry)
+    return machine.run(instantiate_body(fix, argument), trace, max_steps=max_steps)

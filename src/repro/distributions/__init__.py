@@ -1,0 +1,60 @@
+"""Continuous distributions as SPCF terms, and interval-separability analysis.
+
+Footnote 5 of the paper notes that "sampling from other real-valued
+distributions can be obtained from ``sample`` by applying the inverse of the
+distribution's cumulative distribution function".  :mod:`repro.distributions`
+makes that remark concrete:
+
+* :mod:`repro.distributions.registry` extends the default primitive registry
+  with the inverse-CDF primitives (``probit``, ``logit``, ``cauchy_icdf``,
+  ``sqrt``, ``floor``) together with sound interval extensions,
+* :mod:`repro.distributions.transforms` builds SPCF terms that sample from
+  the uniform, Bernoulli, exponential, logistic, normal, Cauchy and Pareto
+  distributions (plus empirical cross-check helpers),
+* :mod:`repro.distributions.separability` provides numeric checkers for the
+  interval-preservation and interval-separability hypotheses of Lem. 3.2 /
+  Lem. 3.7, the Smith-Volterra-Cantor construction of Ex. 3.9 and the
+  incompleteness gap it induces in the interval-based semantics.
+"""
+
+from repro.distributions.registry import extended_registry
+from repro.distributions.transforms import (
+    bernoulli,
+    cauchy,
+    exponential,
+    logistic,
+    normal,
+    pareto,
+    sample_values,
+    uniform,
+)
+from repro.distributions.separability import (
+    FatCantorSet,
+    IntervalPreservationReport,
+    SeparabilityReport,
+    check_interval_preserving,
+    check_interval_separable,
+    fat_cantor_primitive,
+    fat_cantor_set,
+    incompleteness_example,
+)
+
+__all__ = [
+    "FatCantorSet",
+    "IntervalPreservationReport",
+    "SeparabilityReport",
+    "bernoulli",
+    "cauchy",
+    "check_interval_preserving",
+    "check_interval_separable",
+    "exponential",
+    "extended_registry",
+    "fat_cantor_primitive",
+    "fat_cantor_set",
+    "incompleteness_example",
+    "logistic",
+    "normal",
+    "pareto",
+    "sample_values",
+    "uniform",
+]

@@ -1,0 +1,155 @@
+"""Inverse-CDF primitives and the extended primitive registry.
+
+The default SPCF registry (:func:`repro.spcf.primitives.default_registry`)
+contains the arithmetic and the sigmoid/exp/log primitives the paper's
+examples use.  Distribution transforms need a few more inverse-CDF functions;
+all of them are continuous and strictly monotone on their domain, hence
+interval preserving (Lem. 3.2) and interval separable (Lem. 3.7), except for
+``floor`` which is included deliberately as a *non*-interval-preserving
+example for the numeric checkers of :mod:`repro.distributions.separability`.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Optional, Tuple, Union
+
+from scipy.special import ndtri
+
+from repro.spcf.primitives import (
+    Primitive,
+    PrimitiveRegistry,
+    default_registry,
+)
+
+Number = Union[Fraction, float]
+IntervalPair = Tuple[Number, Number]
+
+__all__ = ["extended_registry", "extra_primitives"]
+
+_WIDEN = 1e-12
+
+
+def _widen(lo: float, hi: float) -> IntervalPair:
+    pad_lo = abs(lo) * _WIDEN + _WIDEN
+    pad_hi = abs(hi) * _WIDEN + _WIDEN
+    return lo - pad_lo, hi + pad_hi
+
+
+# -- probit (inverse CDF of the standard normal) -----------------------------
+
+
+def _probit(u: Number) -> float:
+    value = float(u)
+    if not 0.0 < value < 1.0:
+        raise ValueError("probit is only defined on (0, 1)")
+    return float(ndtri(value))
+
+
+def _interval_probit(a: IntervalPair) -> IntervalPair:
+    lo, hi = float(a[0]), float(a[1])
+    if lo <= 0.0 or hi >= 1.0:
+        raise ValueError("probit interval extension requires endpoints inside (0, 1)")
+    return _widen(float(ndtri(lo)), float(ndtri(hi)))
+
+
+# -- logit --------------------------------------------------------------------
+
+
+def _logit(u: Number) -> float:
+    value = float(u)
+    if not 0.0 < value < 1.0:
+        raise ValueError("logit is only defined on (0, 1)")
+    return math.log(value / (1.0 - value))
+
+
+def _interval_logit(a: IntervalPair) -> IntervalPair:
+    lo, hi = float(a[0]), float(a[1])
+    if lo <= 0.0 or hi >= 1.0:
+        raise ValueError("logit interval extension requires endpoints inside (0, 1)")
+    return _widen(_logit(lo), _logit(hi))
+
+
+# -- Cauchy inverse CDF --------------------------------------------------------
+
+
+def _cauchy_icdf(u: Number) -> float:
+    value = float(u)
+    if not 0.0 < value < 1.0:
+        raise ValueError("the Cauchy inverse CDF is only defined on (0, 1)")
+    return math.tan(math.pi * (value - 0.5))
+
+
+def _interval_cauchy(a: IntervalPair) -> IntervalPair:
+    lo, hi = float(a[0]), float(a[1])
+    if lo <= 0.0 or hi >= 1.0:
+        raise ValueError("the Cauchy interval extension requires endpoints inside (0, 1)")
+    return _widen(_cauchy_icdf(lo), _cauchy_icdf(hi))
+
+
+# -- square root ---------------------------------------------------------------
+
+
+def _sqrt(x: Number) -> float:
+    value = float(x)
+    if value < 0.0:
+        raise ValueError("sqrt of a negative number")
+    return math.sqrt(value)
+
+
+def _interval_sqrt(a: IntervalPair) -> IntervalPair:
+    lo, hi = float(a[0]), float(a[1])
+    if lo < 0.0:
+        raise ValueError("sqrt interval extension requires a non-negative lower bound")
+    widened_lo, widened_hi = _widen(math.sqrt(lo), math.sqrt(hi))
+    return max(widened_lo, 0.0), widened_hi
+
+
+# -- floor: a deliberately non-interval-preserving primitive -------------------
+
+
+def _floor(x: Number) -> Number:
+    if isinstance(x, Fraction):
+        return Fraction(math.floor(x))
+    return float(math.floor(x))
+
+
+def _interval_floor(a: IntervalPair) -> IntervalPair:
+    # The true image of [a, b] under floor is a *finite set* of integers, not
+    # an interval; the extension below is a sound over-approximation, which is
+    # all interval evaluation needs, but the function is not interval
+    # preserving in the sense of Def. 3.1.
+    return _floor(a[0]), _floor(a[1])
+
+
+def extra_primitives() -> Tuple[Primitive, ...]:
+    """The inverse-CDF (and counterexample) primitives added by this module."""
+    return (
+        Primitive("probit", 1, _probit, _interval_probit, q_interval_preserving=False),
+        Primitive("logit", 1, _logit, _interval_logit, q_interval_preserving=False),
+        Primitive(
+            "cauchy_icdf", 1, _cauchy_icdf, _interval_cauchy, q_interval_preserving=False
+        ),
+        Primitive("sqrt", 1, _sqrt, _interval_sqrt, q_interval_preserving=False),
+        Primitive("floor", 1, _floor, _interval_floor),
+    )
+
+
+def extended_registry(
+    base: Optional[PrimitiveRegistry] = None,
+    extras: Optional[Tuple[Primitive, ...]] = None,
+) -> PrimitiveRegistry:
+    """A fresh registry containing the default primitives plus the extras.
+
+    The default registry object is shared across the package, so this builds
+    a new one rather than mutating it.
+    """
+    base = base or default_registry()
+    registry = PrimitiveRegistry()
+    for name in base.names():
+        registry.register(base[name])
+    for primitive in extras if extras is not None else extra_primitives():
+        if primitive.name not in registry:
+            registry.register(primitive)
+    return registry

@@ -1,0 +1,129 @@
+"""Distribution transforms: continuous distributions as SPCF terms.
+
+Every builder returns a *closed SPCF term of type R* that, evaluated under
+the sampling semantics, is distributed according to the named distribution.
+All of them follow footnote 5 of the paper: draw ``u ~ U[0, 1]`` with
+``sample`` and push it through the inverse CDF, expressed with the primitives
+of :mod:`repro.distributions.registry`.
+
+Each transform uses its ``sample`` draw exactly once, so the terms denote the
+same distribution under call-by-name and call-by-value evaluation and can be
+substituted freely into larger programs (e.g. as the step length of a random
+walk or the guard of a probabilistic branch).
+
+``sample_values`` runs any such term repeatedly under the sampling semantics
+and returns the observed values; the tests use it to cross-check the
+transforms against closed-form moments and CDFs.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+from typing import List, Optional, Union
+
+from repro.distributions.registry import extended_registry
+from repro.semantics.cbv import CbVMachine
+from repro.semantics.machine import RunStatus
+from repro.semantics.sampler import run_lazily
+from repro.spcf.primitives import PrimitiveRegistry
+from repro.spcf.sugar import add, mul, prim, sub
+from repro.spcf.syntax import If, Numeral, Sample, Term
+
+Number = Union[Fraction, float, int]
+
+__all__ = [
+    "bernoulli",
+    "cauchy",
+    "exponential",
+    "logistic",
+    "normal",
+    "pareto",
+    "sample_values",
+    "uniform",
+]
+
+
+def uniform(low: Number = 0, high: Number = 1) -> Term:
+    """``U[low, high]``: ``low + (high - low) * sample``."""
+    if high < low:
+        raise ValueError("uniform requires low <= high")
+    return add(Numeral(low), mul(sub(Numeral(high), Numeral(low)), Sample()))
+
+
+def bernoulli(p: Number) -> Term:
+    """``Bernoulli(p)``: 1 with probability ``p``, else 0.
+
+    Encoded as ``if(sample - p, 1, 0)``: the left branch (guard ``<= 0``) is
+    taken exactly when the draw is at most ``p``.
+    """
+    if not 0 <= p <= 1:
+        raise ValueError("a Bernoulli parameter must lie in [0, 1]")
+    return If(sub(Sample(), Numeral(p)), Numeral(1), Numeral(0))
+
+
+def exponential(rate: Number = 1) -> Term:
+    """``Exp(rate)``: ``-log(sample) / rate`` (inverse-CDF transform)."""
+    if rate <= 0:
+        raise ValueError("an exponential rate must be positive")
+    scale = Fraction(1, 1) / Fraction(rate) if isinstance(rate, (int, Fraction)) else 1.0 / rate
+    return mul(Numeral(scale), prim("neg", prim("log", Sample())))
+
+
+def logistic(location: Number = 0, scale: Number = 1) -> Term:
+    """``Logistic(location, scale)``: ``location + scale * logit(sample)``."""
+    if scale <= 0:
+        raise ValueError("a logistic scale must be positive")
+    return add(Numeral(location), mul(Numeral(scale), prim("logit", Sample())))
+
+
+def normal(mean: Number = 0, stddev: Number = 1) -> Term:
+    """``N(mean, stddev^2)``: ``mean + stddev * probit(sample)``."""
+    if stddev <= 0:
+        raise ValueError("a normal standard deviation must be positive")
+    return add(Numeral(mean), mul(Numeral(stddev), prim("probit", Sample())))
+
+
+def cauchy(location: Number = 0, scale: Number = 1) -> Term:
+    """``Cauchy(location, scale)``: ``location + scale * tan(pi (sample - 1/2))``."""
+    if scale <= 0:
+        raise ValueError("a Cauchy scale must be positive")
+    return add(Numeral(location), mul(Numeral(scale), prim("cauchy_icdf", Sample())))
+
+
+def pareto(shape: Number, minimum: Number = 1) -> Term:
+    """``Pareto(shape, minimum)``: ``minimum * exp(-log(1 - sample) / shape)``."""
+    if shape <= 0 or minimum <= 0:
+        raise ValueError("Pareto shape and minimum must be positive")
+    exponent = (
+        Fraction(-1, 1) / Fraction(shape)
+        if isinstance(shape, (int, Fraction))
+        else -1.0 / shape
+    )
+    inner = prim("log", sub(Numeral(1), Sample()))
+    return mul(Numeral(minimum), prim("exp", mul(Numeral(exponent), inner)))
+
+
+def sample_values(
+    term: Term,
+    runs: int = 1_000,
+    seed: Optional[int] = 0,
+    max_steps: int = 10_000,
+    registry: Optional[PrimitiveRegistry] = None,
+) -> List[float]:
+    """Evaluate ``term`` repeatedly under the sampling semantics.
+
+    Returns the values of the terminating runs as floats; non-terminating or
+    stuck runs (e.g. the measure-zero event ``sample = 0`` for a transform
+    using ``log``) are skipped.
+    """
+    machine = CbVMachine(registry or extended_registry())
+    rng = random.Random(seed)
+    values: List[float] = []
+    for _ in range(runs):
+        result = run_lazily(machine, term, rng=rng, max_steps=max_steps)
+        if result.status is not RunStatus.TERMINATED or result.value is None:
+            continue
+        if isinstance(result.value, Numeral):
+            values.append(float(result.value.value))
+    return values

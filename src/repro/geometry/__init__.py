@@ -1,0 +1,35 @@
+"""Measuring sets of traces: the geometric oracles of the reproduction.
+
+Every probability computed in the paper reduces to measuring the solution set
+of a conjunction of inequality constraints over sample variables inside the
+unit cube ``[0, 1]^m``:
+
+* the lower-bound engine measures the constraint sets of terminating symbolic
+  paths (Sec. 3 / Sec. 7.1),
+* the AST verifier measures branching probabilities of symbolic execution
+  trees, which for the restricted primitive set are volumes of convex
+  polytopes (Sec. 7.2 -- the paper uses the analytic formula of Lasserre via
+  the `vinci` implementation; we substitute an exact product/univariate path,
+  a vertex-enumeration + convex-hull path built on scipy, a certified
+  interval-subdivision sweep and a Monte-Carlo cross check).
+
+The single entry point is :func:`repro.geometry.measure.measure_constraints`.
+"""
+
+from repro.geometry.linear import halfspaces_from_constraints, independent_blocks
+from repro.geometry.polytope import polytope_volume
+from repro.geometry.sweep import SweepResult, sweep_measure
+from repro.geometry.montecarlo import monte_carlo_measure
+from repro.geometry.measure import MeasureOptions, MeasureResult, measure_constraints
+
+__all__ = [
+    "MeasureOptions",
+    "MeasureResult",
+    "SweepResult",
+    "halfspaces_from_constraints",
+    "independent_blocks",
+    "measure_constraints",
+    "monte_carlo_measure",
+    "polytope_volume",
+    "sweep_measure",
+]

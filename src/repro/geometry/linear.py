@@ -1,0 +1,170 @@
+"""Linear structure of constraint sets.
+
+This module extracts half-space representations from symbolic constraint sets
+(when every constraint is affine in the sample variables) and decomposes a
+constraint set into *independent blocks*: groups of variables that never occur
+together in a constraint.  The measure of the whole set is the product of the
+measures of the blocks, which keeps the expensive polytope computations
+low-dimensional (the benchmark programs mostly produce univariate blocks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.spcf.primitives import PrimitiveRegistry, default_registry
+from repro.symbolic.constraints import Constraint, ConstraintSet, Relation
+
+
+@dataclass(frozen=True)
+class HalfSpace:
+    """The half space ``sum_i coefficients[i] * x_i  <=  bound``.
+
+    ``strict`` records whether the original constraint was strict; strictness
+    is irrelevant for Lebesgue measure but is kept for exactness bookkeeping
+    (e.g. emptiness of zero-dimensional sets).
+    """
+
+    coefficients: Tuple[Tuple[int, Fraction], ...]
+    bound: Fraction
+    strict: bool = False
+
+    def as_dict(self) -> Dict[int, Fraction]:
+        return dict(self.coefficients)
+
+    def variables(self) -> Tuple[int, ...]:
+        return tuple(index for index, _ in self.coefficients)
+
+    def is_trivially_true(self) -> bool:
+        """A constraint with no variables that holds (e.g. ``-1 <= 0``)."""
+        if self.coefficients:
+            return False
+        if self.strict:
+            return 0 < self.bound
+        return 0 <= self.bound
+
+    def is_trivially_false(self) -> bool:
+        if self.coefficients:
+            return False
+        return not self.is_trivially_true()
+
+
+def halfspace_from_constraint(
+    constraint: Constraint, registry: Optional[PrimitiveRegistry] = None
+) -> Optional[HalfSpace]:
+    """Convert one symbolic constraint to a half space, or ``None`` if non-affine."""
+    registry = registry or default_registry()
+    form = constraint.linear_form(registry)
+    if form is None:
+        return None
+    relation = constraint.relation
+    # form <= 0  : coeffs . x <= -constant
+    # form <  0  : coeffs . x <  -constant
+    # form >  0  : -coeffs . x < constant
+    # form >= 0  : -coeffs . x <= constant
+    if relation in (Relation.LE, Relation.LT):
+        coefficients = form.as_dict()
+        bound = -form.constant
+        strict = relation is Relation.LT
+    else:
+        coefficients = {index: -value for index, value in form.as_dict().items()}
+        bound = form.constant
+        strict = relation is Relation.GT
+    return HalfSpace(tuple(sorted(coefficients.items())), bound, strict)
+
+
+def halfspaces_from_constraints(
+    constraints: ConstraintSet, registry: Optional[PrimitiveRegistry] = None
+) -> Optional[List[HalfSpace]]:
+    """Convert a constraint set to half spaces; ``None`` if any constraint is non-affine."""
+    registry = registry or default_registry()
+    halfspaces: List[HalfSpace] = []
+    for constraint in constraints:
+        halfspace = halfspace_from_constraint(constraint, registry)
+        if halfspace is None:
+            return None
+        halfspaces.append(halfspace)
+    return halfspaces
+
+
+def independent_blocks(
+    dimension: int, halfspaces: Sequence[HalfSpace]
+) -> List[Tuple[List[int], List[HalfSpace]]]:
+    """Partition variables ``0..dimension-1`` into independent blocks.
+
+    Two variables belong to the same block when some half space mentions both;
+    each returned block carries the half spaces over its variables.  Variables
+    mentioned by no constraint form singleton blocks with no half spaces
+    (their contribution to the measure is the full unit interval).
+    Constant half spaces (no variables) are attached to the first block, or
+    returned as a separate block with an empty variable list when
+    ``dimension`` is 0.
+    """
+    parent = list(range(dimension))
+
+    def find(index: int) -> int:
+        while parent[index] != index:
+            parent[index] = parent[parent[index]]
+            index = parent[index]
+        return index
+
+    def union(left: int, right: int) -> None:
+        parent[find(left)] = find(right)
+
+    for halfspace in halfspaces:
+        variables = halfspace.variables()
+        for first, second in zip(variables, variables[1:]):
+            union(first, second)
+
+    groups: Dict[int, List[int]] = {}
+    for index in range(dimension):
+        groups.setdefault(find(index), []).append(index)
+
+    blocks: List[Tuple[List[int], List[HalfSpace]]] = []
+    constant_halfspaces: List[HalfSpace] = []
+    halfspaces_by_root: Dict[int, List[HalfSpace]] = {root: [] for root in groups}
+    for halfspace in halfspaces:
+        variables = halfspace.variables()
+        if not variables:
+            constant_halfspaces.append(halfspace)
+            continue
+        halfspaces_by_root[find(variables[0])].append(halfspace)
+    for root, variables in sorted(groups.items()):
+        blocks.append((sorted(variables), halfspaces_by_root[root]))
+    if constant_halfspaces:
+        if blocks:
+            blocks[0] = (blocks[0][0], blocks[0][1] + constant_halfspaces)
+        else:
+            blocks.append(([], constant_halfspaces))
+    return blocks
+
+
+def univariate_interval(
+    variable: int, halfspaces: Sequence[HalfSpace]
+) -> Optional[Tuple[Fraction, Fraction]]:
+    """Measure-relevant bounds of a single variable under univariate half spaces.
+
+    Returns the intersection of ``[0, 1]`` with all half spaces, as a pair
+    ``(lo, hi)`` with ``lo <= hi`` (or ``None`` if the intersection is empty
+    or some half space mentions another variable).
+    """
+    lo, hi = Fraction(0), Fraction(1)
+    for halfspace in halfspaces:
+        variables = halfspace.variables()
+        if not variables:
+            if halfspace.is_trivially_false():
+                return None
+            continue
+        if variables != (variable,):
+            return None
+        coefficient = halfspace.as_dict()[variable]
+        bound = halfspace.bound
+        if coefficient > 0:
+            hi = min(hi, bound / coefficient)
+        else:
+            lo = max(lo, bound / coefficient)
+    if lo > hi:
+        return None
+    return lo, hi

@@ -1,0 +1,186 @@
+"""The measuring facade used by the lower-bound engine and the AST verifier.
+
+``measure_constraints`` decides how to measure the solution set of a
+constraint set inside the unit cube:
+
+* zero-dimensional sets are decided exactly,
+* affine constraint sets are split into independent variable blocks
+  (:func:`repro.geometry.linear.independent_blocks`); univariate blocks are
+  measured exactly with rational arithmetic, multivariate blocks up to a
+  configurable dimension with the polytope oracle, and larger blocks with the
+  certified subdivision sweep,
+* non-affine constraint sets fall back to the sweep (sound lower bound).
+
+The result records whether the returned value is exact or only a certified
+lower bound, so callers (in particular the lower-bound engine, whose whole
+purpose is soundness) can propagate that information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Optional, Union
+
+from repro.intervals.interval import Interval
+from repro.geometry.linear import (
+    HalfSpace,
+    halfspaces_from_constraints,
+    independent_blocks,
+    univariate_interval,
+)
+from repro.geometry.polytope import polytope_volume
+from repro.geometry.sweep import sweep_measure
+from repro.spcf.primitives import PrimitiveRegistry, default_registry
+from repro.symbolic.constraints import Constraint, ConstraintSet
+
+Number = Union[Fraction, float]
+
+
+@dataclass(frozen=True)
+class MeasureOptions:
+    """Tuning knobs for the measuring facade."""
+
+    max_hull_dimension: int = 8
+    """Largest block dimension handled by the polytope (convex hull) oracle."""
+
+    sweep_depth: int = 14
+    """Bisection depth of the certified sweep fallback."""
+
+    prefer_sweep: bool = False
+    """Force the sweep even for affine constraint sets (used by ablations)."""
+
+
+@dataclass(frozen=True)
+class MeasureResult:
+    """A measure together with its provenance."""
+
+    value: Number
+    exact: bool
+    lower_bound: bool
+    method: str
+
+    def as_float(self) -> float:
+        return float(self.value)
+
+
+def measure_constraints(
+    constraints: ConstraintSet,
+    dimension: int,
+    options: Optional[MeasureOptions] = None,
+    registry: Optional[PrimitiveRegistry] = None,
+    argument: Optional[Interval] = None,
+) -> MeasureResult:
+    """Measure the solution set of ``constraints`` inside ``[0, 1]^dimension``."""
+    options = options or MeasureOptions()
+    registry = registry or default_registry()
+
+    if dimension == 0:
+        satisfied = constraints.satisfied_by({}, registry)
+        value = Fraction(1) if satisfied else Fraction(0)
+        return MeasureResult(value, exact=True, lower_bound=False, method="trivial")
+
+    if constraints.contains_star():
+        # The measure depends on an unknown recursive outcome; the only sound
+        # answer usable as a lower bound is 0.
+        return MeasureResult(Fraction(0), exact=False, lower_bound=True, method="unknown-star")
+
+    halfspaces = None
+    if not options.prefer_sweep and argument is None and not constraints.contains_argument():
+        halfspaces = halfspaces_from_constraints(constraints, registry)
+
+    if halfspaces is None:
+        sweep = sweep_measure(
+            constraints,
+            dimension,
+            max_depth=options.sweep_depth,
+            registry=registry,
+            argument=argument,
+        )
+        exact = sweep.undecided == 0
+        return MeasureResult(
+            sweep.lower, exact=exact, lower_bound=not exact, method="sweep"
+        )
+
+    total: Number = Fraction(1)
+    exact = True
+    methods = set()
+    for variables, block_halfspaces in independent_blocks(dimension, halfspaces):
+        block_value, block_exact, method = _measure_block(
+            variables, block_halfspaces, constraints, options, registry
+        )
+        methods.add(method)
+        total = total * block_value
+        exact = exact and block_exact
+        if total == 0:
+            break
+    method = "+".join(sorted(methods)) if methods else "trivial"
+    return MeasureResult(total, exact=exact, lower_bound=not exact, method=method)
+
+
+def _measure_block(variables, halfspaces, constraints, options, registry):
+    """Measure one independent block; returns (value, exact, method)."""
+    if not variables:
+        # Only constant half spaces: 1 if all hold, 0 otherwise.
+        if any(h.is_trivially_false() for h in halfspaces):
+            return Fraction(0), True, "constant"
+        return Fraction(1), True, "constant"
+    if len(variables) == 1 and all(len(h.variables()) <= 1 for h in halfspaces):
+        bounds = univariate_interval(variables[0], halfspaces)
+        if bounds is None:
+            return Fraction(0), True, "interval"
+        lo, hi = bounds
+        return hi - lo, True, "interval"
+    if len(variables) <= options.max_hull_dimension:
+        remapping = {variable: position for position, variable in enumerate(variables)}
+        remapped = [
+            HalfSpace(
+                tuple(
+                    sorted((remapping[index], coefficient) for index, coefficient in h.coefficients)
+                ),
+                h.bound,
+                h.strict,
+            )
+            for h in halfspaces
+        ]
+        if len(variables) == 2:
+            from repro.geometry.polytope import polygon_area_exact
+
+            area = polygon_area_exact(remapped)
+            if area is not None:
+                return area, True, "polygon"
+        value = polytope_volume(len(variables), remapped)
+        return value, False, "polytope"
+    # Large multivariate block: certified sweep restricted to the block's
+    # constraints (other blocks are measured separately).
+    block_constraints = ConstraintSet(
+        constraint
+        for constraint in constraints
+        if constraint.variables() & set(variables) or not constraint.variables()
+    )
+    remapped_constraints, block_dimension = _remap_constraints(block_constraints, variables)
+    sweep = sweep_measure(
+        remapped_constraints, block_dimension, max_depth=options.sweep_depth, registry=registry
+    )
+    exact = sweep.undecided == 0
+    return sweep.lower, exact, "sweep"
+
+
+def _remap_constraints(constraints: ConstraintSet, variables):
+    """Renumber the variables of a block to ``0..len(variables)-1``."""
+    from repro.symbolic.values import ConstVal, PrimVal, SampleVar, SymVal
+
+    remapping = {variable: position for position, variable in enumerate(variables)}
+
+    def remap_value(value: SymVal) -> SymVal:
+        if isinstance(value, SampleVar):
+            return SampleVar(remapping.get(value.index, value.index))
+        if isinstance(value, PrimVal):
+            return PrimVal(value.op, tuple(remap_value(argument) for argument in value.args))
+        return value
+
+    remapped = ConstraintSet(
+        Constraint(remap_value(constraint.value), constraint.relation)
+        for constraint in constraints
+    )
+    return remapped, len(variables)

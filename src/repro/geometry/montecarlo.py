@@ -1,0 +1,54 @@
+"""Monte-Carlo estimation of constraint-set measures.
+
+Used as a cross check for the exact/certified oracles in tests and in the
+volume-oracle ablation benchmark; never used where the paper requires a sound
+lower bound.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.intervals.interval import Interval
+from repro.spcf.primitives import PrimitiveRegistry, default_registry
+from repro.symbolic.constraints import ConstraintSet
+
+
+@dataclass(frozen=True)
+class MonteCarloMeasure:
+    """An unbiased estimate of a constraint-set measure with its standard error."""
+
+    estimate: float
+    stderr: float
+    samples: int
+
+    def within(self, value: float, z: float = 4.0) -> bool:
+        """True iff ``value`` lies within ``z`` standard errors of the estimate."""
+        return abs(value - self.estimate) <= z * max(self.stderr, 1e-9)
+
+
+def monte_carlo_measure(
+    constraints: ConstraintSet,
+    dimension: int,
+    samples: int = 20_000,
+    seed: Optional[int] = 0,
+    registry: Optional[PrimitiveRegistry] = None,
+    argument: Optional[float] = None,
+) -> MonteCarloMeasure:
+    """Estimate the measure of the solution set of ``constraints`` in ``[0,1]^dim``."""
+    registry = registry or default_registry()
+    rng = random.Random(seed)
+    if dimension == 0:
+        satisfied = constraints.satisfied_by({}, registry, argument)
+        return MonteCarloMeasure(1.0 if satisfied else 0.0, 0.0, samples)
+    hits = 0
+    for _ in range(samples):
+        assignment = {index: rng.random() for index in range(dimension)}
+        if constraints.satisfied_by(assignment, registry, argument):
+            hits += 1
+    estimate = hits / samples
+    stderr = math.sqrt(max(estimate * (1 - estimate), 1e-12) / samples)
+    return MonteCarloMeasure(estimate, stderr, samples)

@@ -1,0 +1,196 @@
+"""Volume of convex polytopes clipped to the unit cube.
+
+The AST verifier (Sec. 7.2 of the paper) restricts primitive operations so
+that branching probabilities are volumes of convex polytopes; the paper uses
+Lasserre's analytic formula via the `vinci` implementation of Bueler, Enge and
+Fukuda.  We substitute a pipeline built on scipy:
+
+1. find a strictly interior point of the polytope (Chebyshev centre via
+   ``scipy.optimize.linprog``),
+2. enumerate its vertices with ``scipy.spatial.HalfspaceIntersection``,
+3. take the volume of their convex hull (``scipy.spatial.ConvexHull``).
+
+Degenerate polytopes (empty interior) have Lebesgue measure zero and are
+reported as 0.  The result is a float; exact rational measures are produced
+by the univariate fast path in :mod:`repro.geometry.measure` and by the
+subdivision sweep, which certify bounds when exactness matters.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.geometry.linear import HalfSpace
+
+_FEASIBILITY_TOLERANCE = 1e-9
+
+
+def _halfspace_matrix(
+    dimension: int, halfspaces: Sequence[HalfSpace]
+) -> Optional[np.ndarray]:
+    """Stack problem half spaces and unit-cube facets as rows ``[a | -b]``.
+
+    Rows follow the scipy ``HalfspaceIntersection`` convention
+    ``a . x + b' <= 0`` with ``b' = -bound``.  Returns ``None`` when a
+    constant half space is trivially false (empty polytope).
+    """
+    rows: List[List[float]] = []
+    for halfspace in halfspaces:
+        if not halfspace.variables():
+            if halfspace.is_trivially_false():
+                return None
+            continue
+        row = [0.0] * dimension
+        for index, coefficient in halfspace.coefficients:
+            row[index] = float(coefficient)
+        rows.append(row + [-float(halfspace.bound)])
+    for index in range(dimension):
+        lower = [0.0] * dimension
+        lower[index] = -1.0
+        rows.append(lower + [0.0])
+        upper = [0.0] * dimension
+        upper[index] = 1.0
+        rows.append(upper + [-1.0])
+    return np.asarray(rows, dtype=float)
+
+
+def _chebyshev_centre(matrix: np.ndarray, dimension: int) -> Optional[np.ndarray]:
+    """An interior point maximising the distance to every facet, or ``None``."""
+    from scipy.optimize import linprog
+
+    normals = matrix[:, :-1]
+    offsets = -matrix[:, -1]
+    norms = np.linalg.norm(normals, axis=1)
+    # maximise r  s.t.  normals . x + r * ||normal|| <= offsets
+    objective = np.zeros(dimension + 1)
+    objective[-1] = -1.0
+    lhs = np.hstack([normals, norms.reshape(-1, 1)])
+    result = linprog(
+        objective,
+        A_ub=lhs,
+        b_ub=offsets,
+        bounds=[(None, None)] * dimension + [(0, None)],
+        method="highs",
+    )
+    if not result.success or result.x[-1] <= _FEASIBILITY_TOLERANCE:
+        return None
+    return result.x[:-1]
+
+
+def polytope_volume(dimension: int, halfspaces: Sequence[HalfSpace]) -> float:
+    """Volume of ``{x in [0,1]^dimension | halfspaces}`` as a float.
+
+    A polytope with empty interior (infeasible or lower-dimensional) has
+    volume 0.  The 0-dimensional polytope has volume 1 when all constant
+    constraints hold and 0 otherwise.
+    """
+    if dimension == 0:
+        if any(h.is_trivially_false() for h in halfspaces):
+            return 0.0
+        return 1.0
+    matrix = _halfspace_matrix(dimension, halfspaces)
+    if matrix is None:
+        return 0.0
+    interior = _chebyshev_centre(matrix, dimension)
+    if interior is None:
+        return 0.0
+    from scipy.spatial import ConvexHull, HalfspaceIntersection, QhullError
+
+    try:
+        intersection = HalfspaceIntersection(matrix, interior)
+        hull = ConvexHull(intersection.intersections)
+    except QhullError:
+        return 0.0
+    return float(hull.volume)
+
+
+def box_clip_volume(dimension: int, halfspaces: Sequence[HalfSpace]) -> float:
+    """Alias of :func:`polytope_volume` kept for readability at call sites."""
+    return polytope_volume(dimension, halfspaces)
+
+
+# ---------------------------------------------------------------------------
+# Exact two-dimensional volumes.
+# ---------------------------------------------------------------------------
+
+
+def polygon_area_exact(halfspaces: Sequence[HalfSpace]):
+    """Exact rational area of ``{x in [0,1]^2 | halfspaces}``.
+
+    The paper's verifier reports exact rational probabilities; two-dimensional
+    constraint blocks (which is all the Table 2 programs need beyond the
+    univariate fast path) are measured exactly here: candidate vertices are
+    the pairwise intersections of the bounding lines (constraints plus the
+    four unit-square edges), feasible vertices are kept, and the area of their
+    convex hull is computed by the shoelace formula -- all in ``Fraction``
+    arithmetic.  Returns ``None`` when a half space has non-rational data.
+    """
+    from fractions import Fraction
+
+    lines = []  # each line: (a0, a1, b) meaning a0*x0 + a1*x1 <= b
+    for halfspace in halfspaces:
+        coefficients = halfspace.as_dict()
+        a0 = coefficients.get(0, Fraction(0))
+        a1 = coefficients.get(1, Fraction(0))
+        bound = halfspace.bound
+        if not all(isinstance(value, Fraction) for value in (a0, a1, bound)):
+            return None
+        if a0 == 0 and a1 == 0:
+            if halfspace.is_trivially_false():
+                return Fraction(0)
+            continue
+        lines.append((a0, a1, bound))
+    lines.append((Fraction(-1), Fraction(0), Fraction(0)))
+    lines.append((Fraction(1), Fraction(0), Fraction(1)))
+    lines.append((Fraction(0), Fraction(-1), Fraction(0)))
+    lines.append((Fraction(0), Fraction(1), Fraction(1)))
+
+    def feasible(point) -> bool:
+        x0, x1 = point
+        return all(a0 * x0 + a1 * x1 <= b for a0, a1, b in lines)
+
+    vertices = set()
+    for index, (a0, a1, b0) in enumerate(lines):
+        for c0, c1, b1 in lines[index + 1 :]:
+            determinant = a0 * c1 - a1 * c0
+            if determinant == 0:
+                continue
+            x0 = (b0 * c1 - a1 * b1) / determinant
+            x1 = (a0 * b1 - b0 * c0) / determinant
+            point = (x0, x1)
+            if feasible(point):
+                vertices.add(point)
+    if len(vertices) < 3:
+        return Fraction(0)
+    hull = _convex_hull_2d(sorted(vertices))
+    area = Fraction(0)
+    for index in range(len(hull)):
+        x0, y0 = hull[index]
+        x1, y1 = hull[(index + 1) % len(hull)]
+        area += x0 * y1 - x1 * y0
+    return abs(area) / 2
+
+
+def _convex_hull_2d(points):
+    """Andrew's monotone-chain convex hull over exact rational points."""
+
+    def cross(origin, first, second):
+        return (first[0] - origin[0]) * (second[1] - origin[1]) - (
+            first[1] - origin[1]
+        ) * (second[0] - origin[0])
+
+    if len(points) <= 2:
+        return list(points)
+    lower = []
+    for point in points:
+        while len(lower) >= 2 and cross(lower[-2], lower[-1], point) <= 0:
+            lower.pop()
+        lower.append(point)
+    upper = []
+    for point in reversed(points):
+        while len(upper) >= 2 and cross(upper[-2], upper[-1], point) <= 0:
+            upper.pop()
+        upper.append(point)
+    return lower[:-1] + upper[:-1]

@@ -1,0 +1,15 @@
+"""Executable views of the arithmetic-hierarchy results (Sec. 3.4)."""
+
+from repro.hierarchy.formulas import (
+    ASTFormula,
+    PASTFormula,
+    ast_semi_decision,
+    lower_bound_semidecider,
+)
+
+__all__ = [
+    "ASTFormula",
+    "PASTFormula",
+    "ast_semi_decision",
+    "lower_bound_semidecider",
+]

@@ -1,0 +1,145 @@
+"""Executable presentations of the Pi^0_2 / Sigma^0_2 results (Thm. 3.10).
+
+Thm. 3.10 places AST in Pi^0_2 by exhibiting, for every rational epsilon > 0,
+a finite set of pairwise-compatible terminating interval traces of weight at
+least ``1 - epsilon`` (the existential witness); the universal quantifier
+ranges over the epsilons.  This module makes the two quantifier alternations
+executable:
+
+* :func:`lower_bound_semidecider` is the Sigma^0_1 inner procedure: given a
+  rational threshold it searches interval-trace witnesses of increasing depth
+  and *terminates* iff the probability of termination exceeds the threshold
+  (completeness, Thm. 3.8) -- with a budget, since this reproduction must
+  return;
+* :class:`ASTFormula` packages the "for all epsilon, exists a witness" view:
+  ``check(epsilons, budget)`` verifies finitely many instances of the
+  universal quantifier and reports the witnesses found;
+* :class:`PASTFormula` is the analogous Sigma^0_2 view for positive AST
+  (Def. 2.2): ``exists c, for all finite witness sets, E <= c``.
+
+These are demonstrations of the recursion-theoretic structure, not decision
+procedures (none can exist: the problems are Pi^0_2- / Sigma^0_2-complete).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.lowerbound.engine import LowerBoundEngine
+from repro.lowerbound.result import LowerBoundResult
+from repro.spcf.syntax import Term
+
+Number = Union[Fraction, float]
+
+
+def lower_bound_semidecider(
+    term: Term,
+    threshold: Number,
+    depth_schedule: Sequence[int] = (20, 40, 80, 160, 320),
+    engine: Optional[LowerBoundEngine] = None,
+) -> Optional[LowerBoundResult]:
+    """Search for a witness that ``Pterm(term) > threshold``.
+
+    Runs the lower-bound engine at increasing depths and returns the first
+    result whose certified bound exceeds ``threshold`` (the Sigma^0_1
+    semi-decision of the strict lower-bound problem); returns ``None`` when
+    the depth schedule is exhausted without finding a witness.
+    """
+    engine = engine or LowerBoundEngine()
+    for depth in depth_schedule:
+        result = engine.lower_bound(term, max_steps=depth)
+        if result.probability > threshold:
+            return result
+    return None
+
+
+@dataclass(frozen=True)
+class ASTWitness:
+    """A witness for one instance of the universal quantifier of AST."""
+
+    epsilon: Fraction
+    result: Optional[LowerBoundResult]
+
+    @property
+    def found(self) -> bool:
+        return self.result is not None
+
+
+@dataclass(frozen=True)
+class ASTFormula:
+    """The Pi^0_2 presentation of AST: for all eps > 0 exists a witness set."""
+
+    term: Term
+
+    def check(
+        self,
+        epsilons: Sequence[Fraction] = (Fraction(1, 10), Fraction(1, 100)),
+        depth_schedule: Sequence[int] = (20, 40, 80, 160),
+        engine: Optional[LowerBoundEngine] = None,
+    ) -> List[ASTWitness]:
+        """Verify finitely many instances of the universal quantifier.
+
+        Every returned witness certifies ``Pterm >= 1 - epsilon``; a missing
+        witness is inconclusive (the search budget may simply be too small).
+        """
+        engine = engine or LowerBoundEngine()
+        witnesses = []
+        for epsilon in epsilons:
+            threshold = Fraction(1) - epsilon
+            result = lower_bound_semidecider(
+                self.term, threshold, depth_schedule=depth_schedule, engine=engine
+            )
+            witnesses.append(ASTWitness(Fraction(epsilon), result))
+        return witnesses
+
+    def all_found(self, witnesses: Sequence[ASTWitness]) -> bool:
+        return all(witness.found for witness in witnesses)
+
+
+@dataclass(frozen=True)
+class PASTFormula:
+    """The Sigma^0_2 presentation of PAST for AST terms (Thm. 3.10).
+
+    ``Eterm(M) < infinity`` iff there exists a rational ``c`` such that every
+    finite set of terminating interval traces has expected-steps weight at
+    most ``c``.  ``refutes(c, ...)`` searches for a counter-witness to one
+    instance of the inner universal quantifier: a finite trace set whose
+    expected-steps weight already exceeds ``c``.
+    """
+
+    term: Term
+
+    def refutes(
+        self,
+        bound: Number,
+        depth_schedule: Sequence[int] = (20, 40, 80, 160),
+        engine: Optional[LowerBoundEngine] = None,
+    ) -> Optional[LowerBoundResult]:
+        """Search for a witness that the expected time exceeds ``bound``."""
+        engine = engine or LowerBoundEngine()
+        for depth in depth_schedule:
+            result = engine.lower_bound(self.term, max_steps=depth)
+            if result.expected_steps > bound:
+                return result
+        return None
+
+    def consistent_with(
+        self,
+        bound: Number,
+        depth_schedule: Sequence[int] = (20, 40, 80),
+        engine: Optional[LowerBoundEngine] = None,
+    ) -> bool:
+        """True when no explored witness refutes ``Eterm <= bound``."""
+        return self.refutes(bound, depth_schedule=depth_schedule, engine=engine) is None
+
+
+def ast_semi_decision(
+    term: Term,
+    epsilon: Fraction = Fraction(1, 100),
+    depth_schedule: Sequence[int] = (20, 40, 80, 160),
+) -> bool:
+    """Convenience wrapper: did we find a witness that ``Pterm >= 1 - epsilon``?"""
+    witness = lower_bound_semidecider(term, Fraction(1) - epsilon, depth_schedule)
+    return witness is not None

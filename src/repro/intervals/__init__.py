@@ -1,0 +1,40 @@
+"""The interval substrate and interval-based semantics (Sec. 3 of the paper).
+
+This package provides:
+
+* :class:`~repro.intervals.interval.Interval` -- closed, bounded intervals with
+  exact rational endpoints whenever possible,
+* :class:`~repro.intervals.box.Box` -- finite products of intervals with their
+  Lebesgue volume and subdivision operations,
+* :class:`~repro.intervals.trace.IntervalTrace` -- traces of intervals with
+  endpoints in [0, 1], their weight ``omega``, the *compatibility* relation of
+  Def. 3.3 and the refinement relation ``s <| p`` between standard traces and
+  interval traces,
+* interval terms (standard terms whose numerals are replaced by interval
+  numerals, Sec. 3.1) and the canonical embedding ``M -> M^2I``,
+* the interval-based small-step semantics of Fig. 9 together with soundness
+  helpers (Thm. 3.4: sums of weights of pairwise compatible terminating
+  interval traces lower-bound ``Pterm``).
+"""
+
+from repro.intervals.interval import Interval, UNIT_INTERVAL
+from repro.intervals.box import Box, unit_box
+from repro.intervals.trace import IntervalTrace, refines, weight_of_traces
+from repro.intervals.terms import IntervalNumeral, embed, term_refines
+from repro.intervals.semantics import IntervalMachine, IntervalRunResult, IntervalRunStatus
+
+__all__ = [
+    "Box",
+    "Interval",
+    "IntervalMachine",
+    "IntervalNumeral",
+    "IntervalRunResult",
+    "IntervalRunStatus",
+    "IntervalTrace",
+    "UNIT_INTERVAL",
+    "embed",
+    "refines",
+    "term_refines",
+    "unit_box",
+    "weight_of_traces",
+]

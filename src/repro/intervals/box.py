@@ -1,0 +1,105 @@
+"""Finite products of intervals (boxes) and their Lebesgue volume.
+
+Boxes play two roles in the reproduction: as the geometric objects measured by
+the lower-bound engine (a terminating interval trace of length ``n`` is an
+``n``-dimensional box inside the unit cube, Sec. 3.2) and as the cells of the
+subdivision sweep used when constraints are not linear (Sec. 7.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Iterator, Sequence, Tuple, Union
+
+from repro.intervals.interval import Interval, Number
+
+
+@dataclass(frozen=True)
+class Box:
+    """A product of closed intervals, one per dimension."""
+
+    intervals: Tuple[Interval, ...]
+
+    def __init__(self, intervals: Iterable[Interval]) -> None:
+        object.__setattr__(self, "intervals", tuple(intervals))
+
+    def __len__(self) -> int:
+        return len(self.intervals)
+
+    def __iter__(self) -> Iterator[Interval]:
+        return iter(self.intervals)
+
+    def __getitem__(self, index: int) -> Interval:
+        return self.intervals[index]
+
+    @property
+    def dimension(self) -> int:
+        return len(self.intervals)
+
+    @property
+    def volume(self) -> Union[Fraction, float]:
+        """The Lebesgue volume (product of widths); 1 for the 0-dimensional box."""
+        result: Union[Fraction, float] = Fraction(1)
+        for interval in self.intervals:
+            result = result * interval.width
+        return result
+
+    def contains(self, point: Sequence[Number]) -> bool:
+        if len(point) != self.dimension:
+            raise ValueError("point dimension does not match box dimension")
+        return all(interval.contains(value) for interval, value in zip(self.intervals, point))
+
+    def within_unit(self) -> bool:
+        return all(interval.within_unit() for interval in self.intervals)
+
+    def widest_dimension(self) -> int:
+        """Index of a dimension of maximal width (0 for the empty box)."""
+        if not self.intervals:
+            return 0
+        widths = [interval.width for interval in self.intervals]
+        return max(range(len(widths)), key=lambda index: widths[index])
+
+    def split(self, dimension: int = None) -> Tuple["Box", "Box"]:
+        """Bisect the box along ``dimension`` (defaults to the widest one)."""
+        if not self.intervals:
+            raise ValueError("cannot split a 0-dimensional box")
+        if dimension is None:
+            dimension = self.widest_dimension()
+        left, right = self.intervals[dimension].split()
+        prefix = self.intervals[:dimension]
+        suffix = self.intervals[dimension + 1 :]
+        return Box(prefix + (left,) + suffix), Box(prefix + (right,) + suffix)
+
+    def subdivide(self, parts_per_dimension: int) -> Iterator["Box"]:
+        """A regular grid subdivision with ``parts_per_dimension^n`` cells."""
+        if not self.intervals:
+            yield self
+            return
+        pieces = [list(interval.subdivide(parts_per_dimension)) for interval in self.intervals]
+        yield from (Box(cell) for cell in _product(pieces))
+
+    def corners(self) -> Iterator[Tuple[Union[Fraction, float], ...]]:
+        """All ``2^n`` corner points of the box."""
+        yield from _product([[interval.lo, interval.hi] for interval in self.intervals])
+
+    def midpoint(self) -> Tuple[Union[Fraction, float], ...]:
+        return tuple(interval.midpoint for interval in self.intervals)
+
+    def __repr__(self) -> str:
+        return "Box(" + " x ".join(repr(interval) for interval in self.intervals) + ")"
+
+
+def _product(choices):
+    if not choices:
+        yield ()
+        return
+    head, *rest = choices
+    for value in head:
+        for tail in _product(rest):
+            yield (value,) + tail
+
+
+def unit_box(dimension: int) -> Box:
+    """The unit cube ``[0, 1]^dimension``."""
+    return Box(Interval(0, 1) for _ in range(dimension))

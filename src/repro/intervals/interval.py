@@ -1,0 +1,118 @@
+"""Closed bounded intervals ``[a, b]`` with rational or float endpoints.
+
+Intervals are the basic objects of the paper's interval-trace semantics
+(Sec. 3): an interval numeral ``[a, b]`` stands for an unknown value within
+``[a, b]``.  Endpoints are kept as :class:`fractions.Fraction` whenever the
+inputs are rational so that widths, weights and volumes are exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterator, Tuple, Union
+
+Number = Union[Fraction, float, int]
+
+
+def _normalise(value: Number) -> Union[Fraction, float]:
+    if isinstance(value, bool):
+        raise TypeError("booleans are not interval endpoints")
+    if isinstance(value, int):
+        return Fraction(value)
+    if isinstance(value, (Fraction, float)):
+        return value
+    raise TypeError(f"not a number: {value!r}")
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed bounded interval ``[lo, hi]`` with ``lo <= hi``."""
+
+    lo: Union[Fraction, float]
+    hi: Union[Fraction, float]
+
+    def __init__(self, lo: Number, hi: Number) -> None:
+        lo = _normalise(lo)
+        hi = _normalise(hi)
+        if lo > hi:
+            raise ValueError(f"malformed interval [{lo}, {hi}]")
+        object.__setattr__(self, "lo", lo)
+        object.__setattr__(self, "hi", hi)
+
+    # -- constructors -------------------------------------------------------
+
+    @staticmethod
+    def point(value: Number) -> "Interval":
+        """The degenerate interval ``[value, value]``."""
+        return Interval(value, value)
+
+    # -- basic queries -------------------------------------------------------
+
+    @property
+    def width(self) -> Union[Fraction, float]:
+        """The length ``hi - lo`` of the interval."""
+        return self.hi - self.lo
+
+    @property
+    def midpoint(self) -> Union[Fraction, float]:
+        if isinstance(self.lo, Fraction) and isinstance(self.hi, Fraction):
+            return (self.lo + self.hi) / 2
+        return (float(self.lo) + float(self.hi)) / 2.0
+
+    def is_point(self) -> bool:
+        return self.lo == self.hi
+
+    def is_rational(self) -> bool:
+        """True iff both endpoints are exact rationals."""
+        return isinstance(self.lo, Fraction) and isinstance(self.hi, Fraction)
+
+    def contains(self, value: Number) -> bool:
+        return self.lo <= value <= self.hi
+
+    def contains_interval(self, other: "Interval") -> bool:
+        return self.lo <= other.lo and other.hi <= self.hi
+
+    def within_unit(self) -> bool:
+        """True iff the interval is contained in [0, 1]."""
+        return 0 <= self.lo and self.hi <= 1
+
+    # -- relations -----------------------------------------------------------
+
+    def intersects(self, other: "Interval") -> bool:
+        return self.lo <= other.hi and other.lo <= self.hi
+
+    def intersection(self, other: "Interval") -> "Interval":
+        if not self.intersects(other):
+            raise ValueError(f"intervals {self} and {other} do not intersect")
+        return Interval(max(self.lo, other.lo), min(self.hi, other.hi))
+
+    def almost_disjoint(self, other: "Interval") -> bool:
+        """True iff the intervals overlap in at most one point (Sec. 4)."""
+        return self.hi <= other.lo or other.hi <= self.lo
+
+    # -- operations ----------------------------------------------------------
+
+    def split(self) -> Tuple["Interval", "Interval"]:
+        """Split at the midpoint into two halves covering the interval."""
+        mid = self.midpoint
+        return Interval(self.lo, mid), Interval(mid, self.hi)
+
+    def subdivide(self, parts: int) -> Iterator["Interval"]:
+        """Split into ``parts`` equal-width consecutive pieces."""
+        if parts <= 0:
+            raise ValueError("parts must be positive")
+        width = self.width
+        for index in range(parts):
+            lo = self.lo + width * Fraction(index, parts)
+            hi = self.lo + width * Fraction(index + 1, parts)
+            yield Interval(lo, hi)
+
+    def as_pair(self) -> Tuple[Union[Fraction, float], Union[Fraction, float]]:
+        return (self.lo, self.hi)
+
+    def __repr__(self) -> str:
+        return f"[{self.lo}, {self.hi}]"
+
+
+UNIT_INTERVAL = Interval(0, 1)

@@ -1,0 +1,206 @@
+"""The interval-based small-step semantics of Fig. 9 (call-by-name).
+
+Configurations are ``<M, p>`` where ``M`` is an interval term and ``p`` an
+interval trace.  The rules mirror the standard CbN semantics except that
+
+* ``sample`` consumes an interval from the interval trace,
+* a conditional ``if([a, b], N, P)`` reduces to ``N`` only when ``b <= 0`` and
+  to ``P`` only when ``a > 0``; when the interval straddles 0 the
+  configuration is *ambiguous* and gets stuck (the interval is not precise
+  enough to determine the branch),
+* a primitive applies its interval extension ``f_hat``,
+* ``score([a, b])`` requires ``a >= 0``.
+
+A terminating interval trace certifies that *every* standard trace refining it
+is terminating with the same number of steps (Lem. B.2), which is the engine
+behind the soundness theorem (Thm. 3.4).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.intervals.interval import Interval
+from repro.intervals.terms import IntervalNumeral, is_interval_value
+from repro.intervals.trace import IntervalTrace
+from repro.spcf.primitives import PrimitiveRegistry, default_registry
+from repro.spcf.syntax import (
+    App,
+    Fix,
+    If,
+    Lam,
+    Numeral,
+    Prim,
+    Sample,
+    Score,
+    Term,
+    Var,
+    substitute,
+)
+
+
+class IntervalRunStatus(enum.Enum):
+    """Outcome of running an interval configuration."""
+
+    TERMINATED = "terminated"
+    VALUE_WITH_LEFTOVER_TRACE = "value-with-leftover-trace"
+    TRACE_EXHAUSTED = "trace-exhausted"
+    AMBIGUOUS_BRANCH = "ambiguous-branch"
+    SCORE_FAILED = "score-failed"
+    STUCK = "stuck"
+    STEP_LIMIT = "step-limit"
+
+
+@dataclass(frozen=True)
+class IntervalRunResult:
+    """Result of running an interval term on an interval trace."""
+
+    status: IntervalRunStatus
+    term: Term
+    trace: IntervalTrace
+    steps: int
+    detail: Optional[str] = None
+
+    @property
+    def terminated(self) -> bool:
+        return self.status is IntervalRunStatus.TERMINATED
+
+
+class _Stuck(Exception):
+    def __init__(self, status: IntervalRunStatus, detail: str) -> None:
+        super().__init__(detail)
+        self.status = status
+        self.detail = detail
+
+
+class IntervalMachine:
+    """The call-by-name interval-based machine of Fig. 9."""
+
+    def __init__(self, registry: Optional[PrimitiveRegistry] = None) -> None:
+        self.registry = registry or default_registry()
+
+    def step(
+        self, term: Term, trace: IntervalTrace
+    ) -> Optional[Tuple[Term, IntervalTrace]]:
+        """Perform one reduction step; return ``None`` on an interval value."""
+        if is_interval_value(term):
+            return None
+        return self._step(term, trace)
+
+    def _step(self, term: Term, trace: IntervalTrace) -> Tuple[Term, IntervalTrace]:
+        if isinstance(term, Numeral):
+            raise _Stuck(
+                IntervalRunStatus.STUCK,
+                "standard numeral inside an interval term (forgot to embed?)",
+            )
+        if isinstance(term, App):
+            fn = term.fn
+            if isinstance(fn, Lam):
+                return substitute(fn.body, {fn.var: term.arg}), trace
+            if isinstance(fn, Fix):
+                return substitute(fn.body, {fn.var: term.arg, fn.fvar: fn}), trace
+            if is_interval_value(fn):
+                raise _Stuck(
+                    IntervalRunStatus.STUCK, "application of a non-function value"
+                )
+            new_fn, new_trace = self._step(fn, trace)
+            return App(new_fn, term.arg), new_trace
+        if isinstance(term, If):
+            cond = term.cond
+            if isinstance(cond, IntervalNumeral):
+                interval = cond.interval
+                if interval.hi <= 0:
+                    return term.then, trace
+                if interval.lo > 0:
+                    return term.orelse, trace
+                raise _Stuck(
+                    IntervalRunStatus.AMBIGUOUS_BRANCH,
+                    f"guard interval {interval} straddles 0",
+                )
+            if is_interval_value(cond):
+                raise _Stuck(
+                    IntervalRunStatus.STUCK, "conditional guard is not an interval numeral"
+                )
+            new_cond, new_trace = self._step(cond, trace)
+            return If(new_cond, term.then, term.orelse), new_trace
+        if isinstance(term, Prim):
+            for index, argument in enumerate(term.args):
+                if isinstance(argument, IntervalNumeral):
+                    continue
+                if is_interval_value(argument):
+                    raise _Stuck(
+                        IntervalRunStatus.STUCK,
+                        f"primitive argument {index} is not an interval numeral",
+                    )
+                new_argument, new_trace = self._step(argument, trace)
+                new_args = term.args[:index] + (new_argument,) + term.args[index + 1 :]
+                return Prim(term.op, new_args), new_trace
+            primitive = self.registry[term.op]
+            bounds = [arg.interval.as_pair() for arg in term.args]  # type: ignore[union-attr]
+            try:
+                lo, hi = primitive.on_box(*bounds)
+            except (ValueError, ZeroDivisionError, OverflowError) as error:
+                raise _Stuck(
+                    IntervalRunStatus.STUCK, f"primitive {term.op!r} failed: {error}"
+                )
+            return IntervalNumeral(Interval(lo, hi)), trace
+        if isinstance(term, Sample):
+            if trace.is_empty():
+                raise _Stuck(
+                    IntervalRunStatus.TRACE_EXHAUSTED, "sample on an empty interval trace"
+                )
+            return IntervalNumeral(trace.head()), trace.rest()
+        if isinstance(term, Score):
+            argument = term.arg
+            if isinstance(argument, IntervalNumeral):
+                if argument.interval.lo < 0:
+                    raise _Stuck(
+                        IntervalRunStatus.SCORE_FAILED,
+                        "score of an interval with a negative lower bound",
+                    )
+                return argument, trace
+            if is_interval_value(argument):
+                raise _Stuck(
+                    IntervalRunStatus.STUCK, "score argument is not an interval numeral"
+                )
+            new_argument, new_trace = self._step(argument, trace)
+            return Score(new_argument), new_trace
+        if isinstance(term, Var):
+            raise _Stuck(IntervalRunStatus.STUCK, f"free variable {term.name!r}")
+        raise TypeError(f"cannot step interval term {term!r}")
+
+    def run(
+        self, term: Term, trace: IntervalTrace, max_steps: int = 100_000
+    ) -> IntervalRunResult:
+        """Run ``<term, trace>`` until a value, stuckness, or the step budget."""
+        steps = 0
+        current, remaining = term, trace
+        while steps < max_steps:
+            try:
+                outcome = self.step(current, remaining)
+            except _Stuck as stuck:
+                return IntervalRunResult(
+                    stuck.status, current, remaining, steps, stuck.detail
+                )
+            if outcome is None:
+                if remaining.is_empty():
+                    return IntervalRunResult(
+                        IntervalRunStatus.TERMINATED, current, remaining, steps
+                    )
+                return IntervalRunResult(
+                    IntervalRunStatus.VALUE_WITH_LEFTOVER_TRACE,
+                    current,
+                    remaining,
+                    steps,
+                )
+            current, remaining = outcome
+            steps += 1
+        return IntervalRunResult(IntervalRunStatus.STEP_LIMIT, current, remaining, steps)
+
+    def terminates_on(
+        self, term: Term, trace: IntervalTrace, max_steps: int = 100_000
+    ) -> bool:
+        """True iff ``trace`` is a terminating interval trace for ``term``."""
+        return self.run(term, trace, max_steps=max_steps).terminated

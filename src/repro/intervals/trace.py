@@ -1,0 +1,144 @@
+"""Interval traces: finite sequences of intervals with endpoints in [0, 1].
+
+An interval trace ``p = [a_1,b_1] ... [a_n,b_n]`` summarises the set of
+standard traces that refine it (``s <| p`` iff ``s`` has the same length and
+``s_i`` lies in ``[a_i, b_i]`` for every ``i``).  Its *weight* ``omega(p)`` is
+the Lebesgue measure of that set, i.e. the product of the interval widths
+(Sec. 3.2).  Two interval traces are *compatible* (Def. 3.3) when the sets of
+standard traces refining them are almost disjoint, which is what lets the
+weights of a family of terminating interval traces be summed soundly
+(Thm. 3.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Iterator, Sequence, Tuple, Union
+
+from repro.intervals.box import Box
+from repro.intervals.interval import Interval
+from repro.semantics.traces import Trace
+
+
+@dataclass(frozen=True)
+class IntervalTrace:
+    """A finite sequence of intervals, each contained in [0, 1]."""
+
+    intervals: Tuple[Interval, ...]
+
+    def __init__(self, intervals: Iterable[Interval] = ()) -> None:
+        intervals = tuple(intervals)
+        for interval in intervals:
+            if not interval.within_unit():
+                raise ValueError(
+                    f"interval-trace entries must lie within [0, 1], got {interval}"
+                )
+        object.__setattr__(self, "intervals", intervals)
+
+    # -- sequence protocol ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.intervals)
+
+    def __iter__(self) -> Iterator[Interval]:
+        return iter(self.intervals)
+
+    def __getitem__(self, index: int) -> Interval:
+        return self.intervals[index]
+
+    def is_empty(self) -> bool:
+        return not self.intervals
+
+    def head(self) -> Interval:
+        if not self.intervals:
+            raise IndexError("empty interval trace has no head")
+        return self.intervals[0]
+
+    def rest(self) -> "IntervalTrace":
+        if not self.intervals:
+            raise IndexError("empty interval trace has no rest")
+        return IntervalTrace(self.intervals[1:])
+
+    def prepend(self, interval: Interval) -> "IntervalTrace":
+        return IntervalTrace((interval,) + self.intervals)
+
+    def concat(self, other: "IntervalTrace") -> "IntervalTrace":
+        return IntervalTrace(self.intervals + other.intervals)
+
+    # -- measure-theoretic structure ------------------------------------------
+
+    @property
+    def weight(self) -> Union[Fraction, float]:
+        """``omega(p)``: the product of the interval widths."""
+        result: Union[Fraction, float] = Fraction(1)
+        for interval in self.intervals:
+            result = result * interval.width
+        return result
+
+    def as_box(self) -> Box:
+        """The box of standard traces refining this interval trace."""
+        return Box(self.intervals)
+
+    def compatible(self, other: "IntervalTrace") -> bool:
+        """Compatibility of interval traces (Def. 3.3).
+
+        Two interval traces are compatible if they have different lengths or
+        are almost disjoint at some position.
+        """
+        if len(self) != len(other):
+            return True
+        return any(
+            mine.almost_disjoint(theirs) for mine, theirs in zip(self.intervals, other.intervals)
+        )
+
+    def strongly_compatible(self, other: "IntervalTrace") -> bool:
+        """Strong compatibility (App. C.2.2).
+
+        Two traces are strongly compatible when either is a strict prefix
+        situation (one is empty / lengths differ at a point where the other
+        continues), or they agree on a common prefix and are almost disjoint
+        at the first position where they differ.
+        """
+        if self.is_empty() or other.is_empty():
+            return True
+        mine, theirs = self.head(), other.head()
+        if mine == theirs:
+            return self.rest().strongly_compatible(other.rest())
+        return mine.almost_disjoint(theirs)
+
+    def __repr__(self) -> str:
+        return "IntervalTrace(" + ", ".join(repr(i) for i in self.intervals) + ")"
+
+
+def refines(trace: Trace, interval_trace: IntervalTrace) -> bool:
+    """The refinement relation ``s <| p`` between standard and interval traces."""
+    if len(trace) != len(interval_trace):
+        return False
+    return all(
+        interval.contains(draw) for draw, interval in zip(trace, interval_trace)
+    )
+
+
+def pairwise_compatible(traces: Sequence[IntervalTrace]) -> bool:
+    """True iff every two distinct traces in the family are compatible."""
+    for index, first in enumerate(traces):
+        for second in traces[index + 1 :]:
+            if not first.compatible(second):
+                return False
+    return True
+
+
+def weight_of_traces(traces: Sequence[IntervalTrace]) -> Union[Fraction, float]:
+    """``omega(A)``: the summed weight of a family of interval traces.
+
+    Raises ``ValueError`` if the family is not pairwise compatible, because
+    only then is the sum a sound lower bound on a trace-measure (Thm. 3.4).
+    """
+    traces = list(traces)
+    if not pairwise_compatible(traces):
+        raise ValueError("interval traces are not pairwise compatible")
+    total: Union[Fraction, float] = Fraction(0)
+    for trace in traces:
+        total = total + trace.weight
+    return total

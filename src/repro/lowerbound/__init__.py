@@ -1,0 +1,14 @@
+"""Lower bounds on the probability of termination and the expected runtime.
+
+This is the paper's first prototype (Sec. 3 + Sec. 7.1): terminating symbolic
+paths are enumerated up to a depth budget, the measure of each path's
+constraint set is computed (exactly for affine constraints, by a certified
+interval sweep otherwise), and the sum of those measures is a sound lower
+bound on ``Pterm`` (Thm. 3.4); the measure-weighted sum of step counts is a
+sound lower bound on ``Eterm``.
+"""
+
+from repro.lowerbound.engine import LowerBoundEngine, lower_bound
+from repro.lowerbound.result import LowerBoundResult, PathMeasure
+
+__all__ = ["LowerBoundEngine", "LowerBoundResult", "PathMeasure", "lower_bound"]

@@ -1,0 +1,95 @@
+"""The lower-bound engine (Sec. 3, Sec. 7.1).
+
+``LowerBoundEngine.lower_bound(term, max_steps)`` enumerates the terminating
+symbolic paths of ``term`` whose length does not exceed ``max_steps`` and sums
+the measures of their constraint sets.  Distinct terminating paths differ in
+at least one branch decision, so their trace sets are disjoint and the sum is
+sound (this is the executable counterpart of summing the weights of pairwise
+compatible interval traces in Thm. 3.4).  Completeness (Thm. 3.8) shows up
+operationally: as ``max_steps`` grows the bound converges to ``Pterm`` for
+programs over interval-separable primitives.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Optional, Union
+
+from repro.geometry.measure import MeasureOptions, measure_constraints
+from repro.lowerbound.result import LowerBoundResult, PathMeasure
+from repro.spcf.primitives import PrimitiveRegistry, default_registry
+from repro.spcf.syntax import Term, free_variables
+from repro.symbolic.execute import Strategy, SymbolicExplorer
+
+Number = Union[Fraction, float]
+
+
+class LowerBoundEngine:
+    """Computes certified lower bounds on ``Pterm`` and ``Eterm``."""
+
+    def __init__(
+        self,
+        strategy: Strategy = Strategy.CBN,
+        registry: Optional[PrimitiveRegistry] = None,
+        measure_options: Optional[MeasureOptions] = None,
+    ) -> None:
+        self.registry = registry or default_registry()
+        self.strategy = strategy
+        self.measure_options = measure_options or MeasureOptions()
+        self._explorer = SymbolicExplorer(strategy, self.registry)
+
+    def lower_bound(
+        self,
+        term: Term,
+        max_steps: int = 100,
+        max_paths: int = 200_000,
+    ) -> LowerBoundResult:
+        """Compute a lower bound on ``Pterm(term)`` by depth-bounded exploration.
+
+        ``max_steps`` is the per-path reduction-step budget (the ``d`` column
+        of Table 1); ``max_paths`` caps the total number of explored paths as
+        a safety valve for very wide programs.
+        """
+        if free_variables(term):
+            raise ValueError("lower bounds are only defined for closed terms")
+        exploration = self._explorer.explore(
+            term, max_steps_per_path=max_steps, max_paths=max_paths
+        )
+        measured = []
+        probability: Number = Fraction(0)
+        expected_steps: Number = Fraction(0)
+        exact = True
+        for path in exploration.terminated:
+            measure = measure_constraints(
+                path.constraints,
+                path.num_variables,
+                options=self.measure_options,
+                registry=self.registry,
+            )
+            if measure.value == 0:
+                continue
+            measured.append(PathMeasure(path, measure))
+            probability = probability + measure.value
+            expected_steps = expected_steps + measure.value * path.steps
+            exact = exact and measure.exact
+        return LowerBoundResult(
+            probability=probability,
+            expected_steps=expected_steps,
+            paths=tuple(measured),
+            max_steps=max_steps,
+            exhaustive=exploration.complete,
+            exact_measures=exact,
+        )
+
+
+def lower_bound(
+    term: Term,
+    max_steps: int = 100,
+    max_paths: int = 200_000,
+    strategy: Strategy = Strategy.CBN,
+    registry: Optional[PrimitiveRegistry] = None,
+    measure_options: Optional[MeasureOptions] = None,
+) -> LowerBoundResult:
+    """Convenience wrapper around :class:`LowerBoundEngine`."""
+    engine = LowerBoundEngine(strategy, registry, measure_options)
+    return engine.lower_bound(term, max_steps=max_steps, max_paths=max_paths)

@@ -1,0 +1,63 @@
+"""Result objects of the lower-bound engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Tuple, Union
+
+from repro.geometry.measure import MeasureResult
+from repro.symbolic.execute import SymbolicPath
+
+Number = Union[Fraction, float]
+
+
+@dataclass(frozen=True)
+class PathMeasure:
+    """One terminating symbolic path together with the measure of its trace set."""
+
+    path: SymbolicPath
+    measure: MeasureResult
+
+    @property
+    def weight(self) -> Number:
+        return self.measure.value
+
+    @property
+    def steps(self) -> int:
+        return self.path.steps
+
+
+@dataclass(frozen=True)
+class LowerBoundResult:
+    """A certified lower bound on ``Pterm`` (and on ``Eterm``).
+
+    ``probability`` is the sum of the path measures; by Thm. 3.4 it never
+    exceeds the true probability of termination.  ``expected_steps`` is the
+    measure-weighted sum of step counts over the same paths, a lower bound on
+    the expected time to termination.  ``exhaustive`` records whether the
+    exploration saw every path up to the requested depth (if not, the bound is
+    still sound, just potentially weaker).
+    """
+
+    probability: Number
+    expected_steps: Number
+    paths: Tuple[PathMeasure, ...]
+    max_steps: int
+    exhaustive: bool
+    exact_measures: bool
+
+    @property
+    def path_count(self) -> int:
+        return len(self.paths)
+
+    def as_floats(self) -> Tuple[float, float]:
+        return float(self.probability), float(self.expected_steps)
+
+    def summary(self) -> str:
+        """A one-line, Table-1-style summary of the result."""
+        return (
+            f"LB = {float(self.probability):.10f}  "
+            f"(paths = {self.path_count}, depth = {self.max_steps}, "
+            f"E[steps] >= {float(self.expected_steps):.3f})"
+        )

@@ -1,0 +1,27 @@
+"""One-counter Markov decision processes (Sec. 5.1, the route via [6]/[36]).
+
+Before Thm. 5.4 the paper notes that a step distribution (or a family of
+them) "can be shown AST by reduction to a one-counter Markov decision
+process" and that its direct criterion gives a tighter complexity bound than
+that detour.  This package implements the detour so the two routes can be
+compared: a one-counter MDP whose actions are finite step distributions, the
+adversarial (minimising) and angelic (maximising) value iterations for the
+probability of hitting counter value 0, uniform-AST decisions, and simulation
+under explicit adversaries.
+"""
+
+from repro.mdp.onecounter import (
+    AdversaryPolicy,
+    OneCounterMDP,
+    UniformASTDecision,
+    from_counting_distributions,
+    simulate_adversarial_walk,
+)
+
+__all__ = [
+    "AdversaryPolicy",
+    "OneCounterMDP",
+    "UniformASTDecision",
+    "from_counting_distributions",
+    "simulate_adversarial_walk",
+]

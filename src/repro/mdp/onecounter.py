@@ -1,0 +1,239 @@
+"""One-counter MDPs over families of step distributions.
+
+A *one-counter MDP* has states ``N + {bottom}``; at every state ``n > 0`` the
+controller picks one of finitely many actions, each a finite step
+distribution ``s_a`` on the integers, and the counter moves to
+``max(0, n + i)`` with probability ``s_a(i)`` (the missing mass of ``s_a``
+goes to the absorbing failure state ``bottom``).  State 0 is absorbing.
+
+Uniform AST of a family of step distributions (Def. 5.5) is exactly the
+statement that the *adversarial* (minimising) value of reaching 0 is 1 from
+every start state.  The paper decides this in linear time via Thm. 5.4 and
+Lem. 5.6; this module also provides the classical value-iteration route so
+that benchmarks can compare the two, and an explicit adversary simulation as
+a further cross check.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.randomwalk.step_distribution import CountingDistribution, StepDistribution
+
+Number = Union[Fraction, float]
+
+__all__ = [
+    "AdversaryPolicy",
+    "OneCounterMDP",
+    "UniformASTDecision",
+    "from_counting_distributions",
+    "simulate_adversarial_walk",
+]
+
+
+AdversaryPolicy = Callable[[int], int]
+"""A (memoryless) adversary: maps the current counter value to an action index."""
+
+
+@dataclass(frozen=True)
+class UniformASTDecision:
+    """The outcome of deciding uniform AST for the actions of a one-counter MDP."""
+
+    uniform_ast: bool
+    failing_action: Optional[int]
+    certificates: Tuple[Dict[str, object], ...]
+
+    def __repr__(self) -> str:
+        verdict = "uniform AST" if self.uniform_ast else "not uniform AST"
+        suffix = "" if self.failing_action is None else f" (action {self.failing_action} fails)"
+        return f"UniformASTDecision({verdict}{suffix})"
+
+
+@dataclass(frozen=True)
+class OneCounterMDP:
+    """A one-counter MDP whose actions are finite step distributions."""
+
+    actions: Tuple[StepDistribution, ...]
+
+    def __init__(self, actions: Sequence[StepDistribution]) -> None:
+        actions = tuple(actions)
+        if not actions:
+            raise ValueError("a one-counter MDP needs at least one action")
+        object.__setattr__(self, "actions", actions)
+
+    # -- structural helpers -------------------------------------------------
+
+    @property
+    def action_count(self) -> int:
+        return len(self.actions)
+
+    def max_upward_jump(self) -> int:
+        """The largest positive counter change any action can make."""
+        jumps = [max((point for point, _ in action.mass), default=0) for action in self.actions]
+        return max(max(jumps), 0)
+
+    # -- the paper's decision route (Thm. 5.4 + Lem. 5.6) --------------------
+
+    def decide_uniform_ast(self) -> UniformASTDecision:
+        """Uniform AST of the action family.
+
+        For a finite family this is equivalent (Lem. 5.6) to every individual
+        action driving an almost-surely absorbed walk, which Thm. 5.4 decides
+        in time linear in the support sizes.
+        """
+        certificates: List[Dict[str, object]] = []
+        failing: Optional[int] = None
+        for index, action in enumerate(self.actions):
+            certificate = action.ast_certificate()
+            certificates.append(certificate)
+            if failing is None and not action.is_ast():
+                failing = index
+        return UniformASTDecision(
+            uniform_ast=failing is None,
+            failing_action=failing,
+            certificates=tuple(certificates),
+        )
+
+    # -- value iteration ------------------------------------------------------
+
+    def value_iteration(
+        self,
+        start: int,
+        horizon: int,
+        max_counter: Optional[int] = None,
+        minimise: bool = True,
+        exact: bool = True,
+    ) -> Number:
+        """The ``horizon``-step value of reaching counter 0 from ``start``.
+
+        With ``minimise=True`` the controller is adversarial (the inf of
+        Def. 5.5); with ``minimise=False`` it is angelic.  The counter is
+        truncated at ``max_counter`` (default: large enough for the horizon)
+        and states beyond the truncation are treated as value 0, so the
+        returned value is a certified lower bound on the true optimal value
+        and is monotone in ``horizon``.  ``exact=False`` switches to floats,
+        which is useful for long horizons where rational denominators blow up.
+        """
+        if start < 0:
+            raise ValueError("the counter lives on the naturals")
+        if start == 0:
+            return Fraction(1)
+        cap = max_counter if max_counter is not None else start + horizon * max(
+            1, self.max_upward_jump()
+        )
+        choose = min if minimise else max
+        zero: Number = Fraction(0) if exact else 0.0
+        one: Number = Fraction(1) if exact else 1.0
+        masses = [
+            [(point, mass if exact else float(mass)) for point, mass in action.mass]
+            for action in self.actions
+        ]
+        # values[n] for n in 0..cap; beyond cap the value is pessimistically 0.
+        values: List[Number] = [zero] * (cap + 1)
+        values[0] = one
+        for _ in range(horizon):
+            updated: List[Number] = [zero] * (cap + 1)
+            updated[0] = one
+            for state in range(1, cap + 1):
+                best: Optional[Number] = None
+                for action_mass in masses:
+                    total: Number = zero
+                    for point, mass in action_mass:
+                        target = state + point
+                        if target <= 0:
+                            total = total + mass
+                        elif target <= cap:
+                            total = total + mass * values[target]
+                        # beyond the cap: counts as 0.
+                    best = total if best is None else choose(best, total)
+                updated[state] = best if best is not None else zero
+            values = updated
+        return values[start]
+
+    def adversarial_value(
+        self,
+        start: int,
+        horizon: int,
+        max_counter: Optional[int] = None,
+        exact: bool = True,
+    ) -> Number:
+        """The minimising controller's value (the quantity of Def. 5.5)."""
+        return self.value_iteration(start, horizon, max_counter, minimise=True, exact=exact)
+
+    def angelic_value(
+        self,
+        start: int,
+        horizon: int,
+        max_counter: Optional[int] = None,
+        exact: bool = True,
+    ) -> Number:
+        """The maximising controller's value."""
+        return self.value_iteration(start, horizon, max_counter, minimise=False, exact=exact)
+
+    def greedy_adversary(self) -> AdversaryPolicy:
+        """A memoryless adversary that always plays the action with the
+        largest drift (ties broken by the smallest mass at or below -1).
+
+        For families of shifted counting distributions this is the natural
+        worst case: it maximises the expected growth of the number of pending
+        calls.  It is only a heuristic -- the value iteration is the sound
+        reference -- but it is useful for simulation cross checks.
+        """
+        drifts = [action.drift for action in self.actions]
+        down_mass = [
+            sum((mass for point, mass in action.mass if point <= -1), Fraction(0))
+            for action in self.actions
+        ]
+        order = sorted(
+            range(len(self.actions)),
+            key=lambda index: (float(drifts[index]), -float(down_mass[index])),
+            reverse=True,
+        )
+        worst = order[0]
+        return lambda _state: worst
+
+
+def from_counting_distributions(
+    family: Sequence[CountingDistribution],
+) -> OneCounterMDP:
+    """Build the one-counter MDP whose actions are the shifted members of
+    ``family`` (the walk of Sec. 5.3 with an adversarial choice of member)."""
+    members = list(family)
+    if not members:
+        raise ValueError("the family of counting distributions must be non-empty")
+    return OneCounterMDP(tuple(member.shifted() for member in members))
+
+
+def simulate_adversarial_walk(
+    mdp: OneCounterMDP,
+    policy: AdversaryPolicy,
+    start: int = 1,
+    max_steps: int = 10_000,
+    rng: Optional[random.Random] = None,
+) -> Tuple[bool, int]:
+    """Simulate one trajectory under ``policy``.
+
+    Returns ``(absorbed_at_zero, steps_taken)``; failure (the missing mass)
+    and running out of the step budget both count as not absorbed.
+    """
+    rng = rng or random.Random(0)
+    state = start
+    for taken in range(max_steps):
+        if state == 0:
+            return True, taken
+        action = mdp.actions[policy(state)]
+        draw = rng.random()
+        running = 0.0
+        jump: Optional[int] = None
+        for point, mass in action.mass:
+            running += float(mass)
+            if draw <= running:
+                jump = point
+                break
+        if jump is None:
+            return False, taken + 1
+        state = max(0, state + jump)
+    return state == 0, max_steps

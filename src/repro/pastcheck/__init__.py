@@ -1,0 +1,46 @@
+"""Positive almost-sure termination (PAST) analysis.
+
+The paper characterises PAST recursion-theoretically (Thm. 3.10: ``Sigma^0_2``
+for AST programs) and its lower-bound machinery (Thm. 3.4) bounds ``Eterm``
+from below; this package adds the natural counting-based *upper* route:
+
+* if the worst-case counting distribution ``Papprox`` has total mass 1 and
+  makes strictly fewer than one recursive call in expectation, then the
+  recursion tree is a subcritical branching process, the expected number of
+  calls is finite, and (the body doing boundedly many steps per call) the
+  program is PAST -- :func:`verify_past`;
+* if the exact counting pattern is argument independent, complete, and makes
+  at least one call in expectation (without being call-free), the expected
+  number of calls is infinite and the program is *not* PAST even when it is
+  AST -- :func:`refute_past` (Ex. 1.1 (2) at the critical ``p = 1/2``);
+* :func:`eterm_lower_bounds` tracks the certified ``Eterm`` lower bounds of
+  the interval semantics across exploration depths, and
+  :func:`classify_termination` combines everything with the Sec. 6 AST
+  verifier into a single verdict.
+"""
+
+from repro.pastcheck.analysis import (
+    EtermLowerBoundPoint,
+    PASTRefutationResult,
+    PASTVerificationResult,
+    TerminationClass,
+    TerminationClassification,
+    classify_termination,
+    eterm_lower_bounds,
+    expected_total_calls,
+    refute_past,
+    verify_past,
+)
+
+__all__ = [
+    "EtermLowerBoundPoint",
+    "PASTRefutationResult",
+    "PASTVerificationResult",
+    "TerminationClass",
+    "TerminationClassification",
+    "classify_termination",
+    "eterm_lower_bounds",
+    "expected_total_calls",
+    "refute_past",
+    "verify_past",
+]

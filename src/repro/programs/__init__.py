@@ -1,0 +1,57 @@
+"""The benchmark program library: every term used in the paper's evaluation.
+
+Each entry is a :class:`~repro.programs.library.Program` bundling the
+recursive function (a ``Fix`` term), the applied closed program, the expected
+probability of termination where the paper states it, and the evaluation
+strategy under which the paper analyses it.  :mod:`repro.programs.extra`
+adds programs the paper only discusses in the text (Ex. 3.5, Ex. B.4, von
+Neumann's coin, score-conditioned and nested variants).
+"""
+
+from repro.programs.library import (
+    Program,
+    bin_walk,
+    geometric,
+    golden_ratio,
+    one_dim_random_walk,
+    pedestrian,
+    printer_affine,
+    printer_nonaffine,
+    running_example,
+    running_example_first_class,
+    table1_programs,
+    table2_programs,
+    three_print,
+)
+from repro.programs.extra import (
+    conditional_single_sample,
+    exponential_step_walk,
+    extra_programs,
+    nested_recursion,
+    score_gated_printer,
+    two_sample_sum,
+    von_neumann_coin,
+)
+
+__all__ = [
+    "Program",
+    "bin_walk",
+    "conditional_single_sample",
+    "exponential_step_walk",
+    "extra_programs",
+    "geometric",
+    "golden_ratio",
+    "nested_recursion",
+    "one_dim_random_walk",
+    "pedestrian",
+    "printer_affine",
+    "printer_nonaffine",
+    "running_example",
+    "running_example_first_class",
+    "score_gated_printer",
+    "table1_programs",
+    "table2_programs",
+    "three_print",
+    "two_sample_sum",
+    "von_neumann_coin",
+]

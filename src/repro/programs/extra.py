@@ -1,0 +1,191 @@
+"""Additional example programs beyond the Table 1 / Table 2 benchmark set.
+
+These programs exercise corners of the system that the paper discusses in the
+text rather than in the evaluation tables: the two-sample guard of Ex. 3.5
+(whose terminating trace set is not a countable union of boxes), the
+single-conditional term of Ex. B.4, von Neumann's fair coin (an affine
+recursion whose termination probability is 1 for every bias), a random walk
+whose step length is a continuous first-class sample, a program that uses
+``score`` and can fail, and a nested recursion that the counting-based
+verifier must refuse.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Union
+
+from repro.distributions.transforms import exponential
+from repro.programs.library import Program
+from repro.spcf.sugar import add, choice, let, sub
+from repro.spcf.syntax import App, Fix, If, Numeral, Sample, Score, Term, Var
+from repro.symbolic.execute import Strategy
+
+Number = Union[Fraction, float, int]
+
+__all__ = [
+    "conditional_single_sample",
+    "exponential_step_walk",
+    "extra_programs",
+    "nested_recursion",
+    "score_gated_printer",
+    "two_sample_sum",
+    "von_neumann_coin",
+]
+
+
+def two_sample_sum() -> Program:
+    """Ex. 3.5: retry while the sum of two fresh samples exceeds 1.
+
+    ``(mu phi x. if sample + sample - 1 then x else phi x) 0``: the set of
+    traces that terminate without a recursive call is the triangle
+    ``{r1 r2 | r1 + r2 <= 1}``, which no countable union of interval traces
+    covers exactly -- yet the program is AST and the interval semantics still
+    certifies bounds arbitrarily close to 1 (completeness, Thm. 3.8).
+    """
+    guard = sub(add(Sample(), Sample()), 1)
+    body = If(guard, Var("x"), App(Var("phi"), Var("x")))
+    fix = Fix("phi", "x", body)
+    return Program(
+        name="two-sample-sum",
+        fix=fix,
+        applied=App(fix, Numeral(0)),
+        description="retry until two fresh samples sum to at most 1 (Ex. 3.5)",
+        known_probability=1.0,
+    )
+
+
+def conditional_single_sample() -> Program:
+    """Ex. B.4: a single conditional on one sample, ``if(sample - 1/2, 0, 1)``.
+
+    Terminates on every trace of length one; the interval trace ``[0, 1]`` is
+    *not* terminating for the embedded interval term (the guard interval
+    straddles 0), which is why completeness needs the branching partition.
+    """
+    term = If(sub(Sample(), Fraction(1, 2)), Numeral(0), Numeral(1))
+    fix = Fix("phi", "x", term)
+    return Program(
+        name="single-conditional",
+        fix=fix,
+        applied=term,
+        description="one conditional on one sample (Ex. B.4)",
+        known_probability=1.0,
+    )
+
+
+def von_neumann_coin(p: Number = Fraction(1, 3)) -> Program:
+    """Von Neumann's fair coin from a ``p``-biased coin.
+
+    Each round draws two ``p``-biased bits; if they differ the first decides
+    the output, otherwise the round is repeated.  The recursion is affine
+    (one call site per path), so the zero-one law applies: the program is AST
+    for every ``p`` strictly between 0 and 1, and the result is a fair bit.
+    """
+    if not 0 < p < 1:
+        raise ValueError("the bias must lie strictly between 0 and 1")
+    retry = App(Var("phi"), Var("x"))
+    # First draw heads (probability p): output 1 if the second draw is tails.
+    first_heads = If(sub(Sample(), p), retry, Numeral(1))
+    # First draw tails: output 0 if the second draw is heads.
+    first_tails = If(sub(Sample(), p), Numeral(0), retry)
+    body = If(sub(Sample(), p), first_heads, first_tails)
+    fix = Fix("phi", "x", body)
+    return Program(
+        name=f"von-neumann({p})",
+        fix=fix,
+        applied=App(fix, Numeral(0)),
+        description="von Neumann fair-coin extraction from a biased coin",
+        known_probability=1.0,
+    )
+
+
+def exponential_step_walk(rate: Number = 1, start: Number = 3) -> Program:
+    """A walk towards 0 whose step lengths are exponential first-class samples.
+
+    ``mu phi x. if x <= 0 then x else phi (x - Exp(rate))``: every step
+    subtracts a fresh exponential draw, so the walk reaches 0 after finitely
+    many steps almost surely (the expected number of rounds is about
+    ``rate * start``).  The step length is built by the inverse-CDF transform
+    of :mod:`repro.distributions`, demonstrating continuous samples used as
+    first-class values inside a recursive program.
+    """
+    if rate <= 0:
+        raise ValueError("the exponential rate must be positive")
+    body = If(
+        Var("x"),
+        Var("x"),
+        App(Var("phi"), sub(Var("x"), exponential(rate))),
+    )
+    fix = Fix("phi", "x", body)
+    return Program(
+        name=f"exp-walk({rate},{start})",
+        fix=fix,
+        applied=App(fix, Numeral(start)),
+        description="walk towards 0 with exponential step lengths",
+        strategy=Strategy.CBV,
+        known_probability=1.0,
+    )
+
+
+def score_gated_printer(p: Number = Fraction(1, 2), threshold: Number = Fraction(1, 4)) -> Program:
+    """The affine printer with a ``score`` that fails on small samples.
+
+    Each retry conditions on the drawn value being at least ``threshold``
+    (``score(sample - threshold)`` fails when the draw is smaller), so a run
+    can get stuck: the program is *not* AST -- the verifier must notice the
+    missing probability mass instead of silently ignoring the failing score.
+    """
+    retry = let(
+        "w",
+        Score(sub(Sample(), threshold)),
+        App(Var("phi"), add(Var("x"), 1)),
+    )
+    body = choice(Var("x"), p, retry)
+    fix = Fix("phi", "x", body)
+    return Program(
+        name=f"score-printer({p})",
+        fix=fix,
+        applied=App(fix, Numeral(1)),
+        description="printer whose retries condition on a minimum sample value",
+        strategy=Strategy.CBV,
+        known_probability=None,
+    )
+
+
+def nested_recursion(p: Number = Fraction(1, 2)) -> Program:
+    """A geometric loop whose retry runs a second, inner geometric loop.
+
+    The outer body contains a nested fixpoint, which the counting-based
+    verifier of Sec. 5/6 does not handle (it analyses a single first-order
+    recursion); the lower-bound engine and the Monte-Carlo sampler still
+    apply.  The program is AST for every ``p > 0``.
+    """
+    inner_body = If(sub(Sample(), p), Var("y"), App(Var("psi"), add(Var("y"), 1)))
+    inner = Fix("psi", "y", inner_body)
+    outer_body = If(
+        sub(Sample(), p),
+        Var("x"),
+        App(Var("phi"), App(inner, add(Var("x"), 1))),
+    )
+    fix = Fix("phi", "x", outer_body)
+    return Program(
+        name=f"nested({p})",
+        fix=fix,
+        applied=App(fix, Numeral(0)),
+        description="geometric retry loop whose retry runs an inner geometric loop",
+        strategy=Strategy.CBV,
+        known_probability=1.0 if p > 0 else 0.0,
+    )
+
+
+def extra_programs() -> Dict[str, Program]:
+    """The additional example programs, keyed by name."""
+    programs = (
+        two_sample_sum(),
+        conditional_single_sample(),
+        von_neumann_coin(Fraction(1, 3)),
+        exponential_step_walk(1, 3),
+        score_gated_printer(Fraction(1, 2)),
+        nested_recursion(Fraction(1, 2)),
+    )
+    return {program.name: program for program in programs}

@@ -1,0 +1,41 @@
+"""Random walks on the natural numbers (Sec. 5.1 of the paper).
+
+Counting-based AST verification reduces the termination of a non-affine
+recursive program to the almost-sure absorption at 0 of a left-truncated
+random walk driven by a *step distribution* on the integers.  This package
+provides
+
+* counting distributions (sub-pmfs on N) and their shift to step
+  distributions (footnote 10),
+* the linear-time AST criterion of Thm. 5.4 with exact rational arithmetic,
+* uniform AST for finite families (Lem. 5.6) and the ``cumulative-weight``
+  partial order with its compatibility lemma (Lem. 5.10),
+* the stochastic matrix of Def. 5.2 with truncated iteration (ground truth
+  for the criterion) and Monte-Carlo simulation.
+"""
+
+from repro.randomwalk.step_distribution import (
+    CountingDistribution,
+    StepDistribution,
+    dirac,
+)
+from repro.randomwalk.matrix import RandomWalkMatrix, termination_probability
+from repro.randomwalk.order import (
+    cumulative_dominates,
+    family_uniform_ast,
+    uniform_ast_by_domination,
+)
+from repro.randomwalk.simulate import simulate_walk, estimate_absorption
+
+__all__ = [
+    "CountingDistribution",
+    "RandomWalkMatrix",
+    "StepDistribution",
+    "cumulative_dominates",
+    "dirac",
+    "estimate_absorption",
+    "family_uniform_ast",
+    "simulate_walk",
+    "termination_probability",
+    "uniform_ast_by_domination",
+]

@@ -1,0 +1,84 @@
+"""The stochastic matrix of Def. 5.2 and truncated ground-truth iteration.
+
+Given a step distribution ``s`` the walk lives on ``N + {bottom}``: state 0 is
+absorbing (success), ``bottom`` is absorbing (failure, fed by the missing mass
+of ``s``), and from a state ``n > 0`` the walk moves to ``m`` with probability
+``s(m - n)`` (moves below 0 are truncated into 0).  ``P^k(m, 0)`` converges
+monotonically to the absorption probability; iterating the matrix product for
+finitely many steps therefore yields certified lower bounds on it, which the
+tests use as ground truth for the Thm. 5.4 criterion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Union
+
+from repro.randomwalk.step_distribution import StepDistribution
+
+Number = Union[Fraction, float]
+
+
+@dataclass
+class RandomWalkMatrix:
+    """Truncated-at-0 random walk driven by a finite step distribution."""
+
+    step: StepDistribution
+
+    def transition(self, state: int, target: int) -> Number:
+        """``P(state, target)`` per Def. 5.2 (states are naturals; -1 encodes bottom)."""
+        if state == -1:
+            return Fraction(1) if target == -1 else Fraction(0)
+        if state == 0:
+            return Fraction(1) if target == 0 else Fraction(0)
+        if target == -1:
+            return self.step.missing_mass
+        if target == 0:
+            return sum(
+                (probability for point, probability in self.step.mass if point <= -state),
+                Fraction(0),
+            )
+        return self.step(target - state)
+
+    def absorption_lower_bound(self, start: int, steps: int) -> Number:
+        """``P^steps(start, 0)``: the probability of having been absorbed at 0.
+
+        Computed by iterating the distribution over states forward; states are
+        pruned when their probability is exactly 0.  Because absorption
+        probabilities are monotone in ``steps`` this is a lower bound on the
+        true absorption probability.
+        """
+        if start == 0:
+            return Fraction(1)
+        distribution: Dict[int, Number] = {start: Fraction(1)}
+        absorbed: Number = Fraction(0)
+        for _ in range(steps):
+            if not distribution:
+                break
+            updated: Dict[int, Number] = {}
+            for state, probability in distribution.items():
+                if probability == 0:
+                    continue
+                # Success: every jump of size <= -state.
+                to_zero = sum(
+                    (mass for point, mass in self.step.mass if point <= -state),
+                    Fraction(0),
+                )
+                if to_zero:
+                    absorbed = absorbed + probability * to_zero
+                for point, mass in self.step.mass:
+                    target = state + point
+                    if target <= 0:
+                        continue
+                    updated[target] = updated.get(target, Fraction(0)) + probability * mass
+                # The missing mass transitions to bottom and is dropped.
+            distribution = updated
+        return absorbed
+
+
+def termination_probability(
+    step: StepDistribution, start: int = 1, steps: int = 200
+) -> Number:
+    """Convenience wrapper: ``P^steps(start, 0)`` for the walk driven by ``step``."""
+    return RandomWalkMatrix(step).absorption_lower_bound(start, steps)

@@ -1,0 +1,53 @@
+"""The cumulative-weight order on counting distributions and uniform AST.
+
+Section 5.3 introduces a partial order compatible with termination:
+
+    s <= t   iff   for every n,  sum_{m <= n} s(m)  <=  sum_{m <= n} t(m).
+
+Lem. 5.10: if ``s <= t_i`` for every member of a family and the shifted walk
+of ``s`` is AST, then the family is *uniform AST* -- no matter which member is
+chosen at each step, the walk reaches 0 almost surely.  Lem. 5.6: a finite
+family each member of which is AST is uniform AST.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.randomwalk.step_distribution import CountingDistribution
+
+
+def cumulative_dominates(
+    lower: CountingDistribution, upper: CountingDistribution
+) -> bool:
+    """``lower <= upper`` in the cumulative-weight order of Sec. 5.3."""
+    points = set(lower.support()) | set(upper.support())
+    if not points:
+        return True
+    for point in range(max(points) + 1):
+        if lower.cumulative(point) > upper.cumulative(point):
+            return False
+    return True
+
+
+def family_uniform_ast(family: Sequence[CountingDistribution]) -> bool:
+    """Uniform AST of a *finite* family by Lem. 5.6 (each member AST)."""
+    family = list(family)
+    if not family:
+        return True
+    return all(member.is_ast() for member in family)
+
+
+def uniform_ast_by_domination(
+    witness: CountingDistribution, family: Iterable[CountingDistribution]
+) -> bool:
+    """Uniform AST of ``family`` by Lem. 5.10.
+
+    ``witness`` must be cumulative-dominated by every member of the family and
+    its shifted walk must be AST.  (The family may be infinite as long as the
+    caller can enumerate or spot-check it; this function checks the supplied
+    members.)
+    """
+    if not witness.is_ast():
+        return False
+    return all(cumulative_dominates(witness, member) for member in family)

@@ -1,0 +1,69 @@
+"""Monte-Carlo simulation of the truncated random walk.
+
+Used in tests and in the random-walk scaling benchmark as an independent
+cross check of the Thm. 5.4 criterion and of the truncated matrix iteration.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.randomwalk.step_distribution import StepDistribution
+
+
+@dataclass(frozen=True)
+class WalkOutcome:
+    """One simulated trajectory of the walk."""
+
+    absorbed_at_zero: bool
+    failed: bool
+    steps: int
+    final_state: int
+
+
+def simulate_walk(
+    step: StepDistribution,
+    start: int = 1,
+    max_steps: int = 10_000,
+    rng: Optional[random.Random] = None,
+) -> WalkOutcome:
+    """Simulate one trajectory until absorption, failure, or the step budget."""
+    rng = rng or random
+    state = start
+    cumulative: List[Tuple[float, int]] = []
+    running = 0.0
+    for point, mass in step.mass:
+        running += float(mass)
+        cumulative.append((running, point))
+    for taken in range(max_steps):
+        if state == 0:
+            return WalkOutcome(True, False, taken, 0)
+        draw = rng.random()
+        jump = None
+        for threshold, point in cumulative:
+            if draw <= threshold:
+                jump = point
+                break
+        if jump is None:
+            return WalkOutcome(False, True, taken + 1, state)
+        state = max(0, state + jump)
+    return WalkOutcome(state == 0, False, max_steps, state)
+
+
+def estimate_absorption(
+    step: StepDistribution,
+    start: int = 1,
+    runs: int = 2000,
+    max_steps: int = 10_000,
+    seed: Optional[int] = 0,
+) -> float:
+    """Empirical probability of absorption at 0 within ``max_steps`` steps."""
+    rng = random.Random(seed)
+    hits = 0
+    for _ in range(runs):
+        outcome = simulate_walk(step, start=start, max_steps=max_steps, rng=rng)
+        if outcome.absorbed_at_zero:
+            hits += 1
+    return hits / runs if runs else 0.0

@@ -1,0 +1,195 @@
+"""Counting distributions, step distributions, and the Thm. 5.4 AST criterion.
+
+A *counting distribution* is a sub-probability mass function on the natural
+numbers: it gives, for a run of a recursion body, the probability of making
+recursive calls from exactly ``n`` distinct call sites (Def. 5.7).  Shifting
+it by ``-1`` (a body resolving into ``n`` new calls changes the number of
+pending calls by ``n - 1``) yields a *step distribution* on the integers,
+which drives the random walk of Def. 5.2.
+
+Thm. 5.4 characterises almost-sure absorption of that walk in linear time: a
+finite step distribution ``s`` is AST iff
+
+  (a) its total mass is 1,
+  (b) it is not the Dirac distribution at 0, and
+  (c) its drift ``sum_i i * s(i)`` is at most 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Iterable, Mapping, Optional, Tuple, Union
+
+Number = Union[Fraction, float, int]
+
+
+def _normalise(value: Number) -> Union[Fraction, float]:
+    if isinstance(value, bool):
+        raise TypeError("probabilities cannot be booleans")
+    if isinstance(value, int):
+        return Fraction(value)
+    return value
+
+
+def _clean(mass: Mapping[int, Number]) -> Dict[int, Union[Fraction, float]]:
+    cleaned: Dict[int, Union[Fraction, float]] = {}
+    for support_point, probability in mass.items():
+        probability = _normalise(probability)
+        if probability < 0:
+            raise ValueError(f"negative probability {probability} at {support_point}")
+        if probability == 0:
+            continue
+        cleaned[int(support_point)] = probability
+    return cleaned
+
+
+@dataclass(frozen=True)
+class StepDistribution:
+    """A finite sub-pmf on the integers giving the relative change per step."""
+
+    mass: Tuple[Tuple[int, Union[Fraction, float]], ...]
+
+    def __init__(self, mass: Mapping[int, Number]) -> None:
+        cleaned = _clean(mass)
+        total = sum(cleaned.values(), Fraction(0))
+        if total > 1 and not _approximately_le(total, 1):
+            raise ValueError(f"total probability mass {total} exceeds 1")
+        object.__setattr__(self, "mass", tuple(sorted(cleaned.items())))
+
+    # -- pmf interface -------------------------------------------------------
+
+    def __call__(self, value: int) -> Union[Fraction, float]:
+        return dict(self.mass).get(value, Fraction(0))
+
+    def as_dict(self) -> Dict[int, Union[Fraction, float]]:
+        return dict(self.mass)
+
+    def support(self) -> Tuple[int, ...]:
+        return tuple(point for point, _ in self.mass)
+
+    @property
+    def total_mass(self) -> Union[Fraction, float]:
+        return sum((probability for _, probability in self.mass), Fraction(0))
+
+    @property
+    def missing_mass(self) -> Union[Fraction, float]:
+        """The probability of failure (transition to the error state)."""
+        return 1 - self.total_mass
+
+    @property
+    def drift(self) -> Union[Fraction, float]:
+        """The expected relative change ``sum_i i * s(i)``."""
+        return sum((point * probability for point, probability in self.mass), Fraction(0))
+
+    def is_dirac_at(self, value: int) -> bool:
+        return self.mass == ((value, Fraction(1)),) or (
+            len(self.mass) == 1 and self.mass[0][0] == value and self.mass[0][1] == 1
+        )
+
+    # -- the Thm. 5.4 criterion ------------------------------------------------
+
+    def is_ast(self) -> bool:
+        """Decide almost-sure absorption at 0 of the truncated walk (Thm. 5.4)."""
+        if self.total_mass != 1:
+            return False
+        if self.is_dirac_at(0):
+            return False
+        return self.drift <= 0
+
+    def ast_certificate(self) -> Dict[str, object]:
+        """A human-readable record of the three Thm. 5.4 conditions."""
+        return {
+            "total_mass": self.total_mass,
+            "total_mass_is_one": self.total_mass == 1,
+            "is_dirac_at_zero": self.is_dirac_at(0),
+            "drift": self.drift,
+            "drift_nonpositive": self.drift <= 0,
+            "ast": self.is_ast(),
+        }
+
+    def __repr__(self) -> str:
+        entries = ", ".join(f"{point}: {probability}" for point, probability in self.mass)
+        return f"StepDistribution({{{entries}}})"
+
+
+def _approximately_le(left: Number, right: Number) -> bool:
+    if isinstance(left, Fraction) and isinstance(right, (Fraction, int)):
+        return left <= right
+    return float(left) <= float(right) + 1e-9
+
+
+@dataclass(frozen=True)
+class CountingDistribution:
+    """A finite sub-pmf on the naturals: the law of the number of recursive calls."""
+
+    mass: Tuple[Tuple[int, Union[Fraction, float]], ...]
+
+    def __init__(self, mass: Mapping[int, Number]) -> None:
+        cleaned = _clean(mass)
+        if any(point < 0 for point in cleaned):
+            raise ValueError("counting distributions live on the natural numbers")
+        total = sum(cleaned.values(), Fraction(0))
+        if total > 1 and not _approximately_le(total, 1):
+            raise ValueError(f"total probability mass {total} exceeds 1")
+        object.__setattr__(self, "mass", tuple(sorted(cleaned.items())))
+
+    def __call__(self, value: int) -> Union[Fraction, float]:
+        return dict(self.mass).get(value, Fraction(0))
+
+    def as_dict(self) -> Dict[int, Union[Fraction, float]]:
+        return dict(self.mass)
+
+    def support(self) -> Tuple[int, ...]:
+        return tuple(point for point, _ in self.mass)
+
+    @property
+    def total_mass(self) -> Union[Fraction, float]:
+        return sum((probability for _, probability in self.mass), Fraction(0))
+
+    @property
+    def expected_calls(self) -> Union[Fraction, float]:
+        return sum((point * probability for point, probability in self.mass), Fraction(0))
+
+    @property
+    def rank(self) -> int:
+        """The largest number of calls with positive probability (0 if none)."""
+        support = self.support()
+        return max(support) if support else 0
+
+    def shifted(self) -> StepDistribution:
+        """The shifted step distribution ``s(z) = self(z + 1)`` (footnote 10)."""
+        return StepDistribution({point - 1: probability for point, probability in self.mass})
+
+    def is_ast(self) -> bool:
+        """Decide AST of the associated shifted random walk."""
+        return self.shifted().is_ast()
+
+    def cumulative(self, value: int) -> Union[Fraction, float]:
+        """``sum_{m <= value} self(m)``."""
+        return sum(
+            (probability for point, probability in self.mass if point <= value),
+            Fraction(0),
+        )
+
+    def scaled(self, factor: Number) -> "CountingDistribution":
+        factor = _normalise(factor)
+        return CountingDistribution(
+            {point: probability * factor for point, probability in self.mass}
+        )
+
+    def mixed_with(self, other: "CountingDistribution") -> "CountingDistribution":
+        """Pointwise sum (the caller is responsible for keeping total mass <= 1)."""
+        combined: Dict[int, Union[Fraction, float]] = dict(self.mass)
+        for point, probability in other.mass:
+            combined[point] = combined.get(point, Fraction(0)) + probability
+        return CountingDistribution(combined)
+
+    def __repr__(self) -> str:
+        entries = " + ".join(f"{probability}*d{point}" for point, probability in self.mass)
+        return f"CountingDistribution({entries or '0'})"
+
+
+def dirac(point: int) -> CountingDistribution:
+    """The Dirac counting distribution at ``point``."""
+    return CountingDistribution({point: Fraction(1)})

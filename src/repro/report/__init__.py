@@ -1,0 +1,23 @@
+"""Report generation: Table 1 / Table 2 style summaries as markdown.
+
+The paper's evaluation is two tables; :mod:`repro.report` regenerates them
+(and a combined AST/PAST classification table) as machine- and
+human-readable markdown, which the CLI exposes as ``python -m repro report``
+and the benchmark suite uses when writing ``EXPERIMENTS.md`` style records.
+"""
+
+from repro.report.tables import (
+    classification_report,
+    full_report,
+    markdown_table,
+    table1_report,
+    table2_report,
+)
+
+__all__ = [
+    "classification_report",
+    "full_report",
+    "markdown_table",
+    "table1_report",
+    "table2_report",
+]

@@ -1,0 +1,45 @@
+"""Trace-based (sampling-style) operational semantics for SPCF (Sec. 2.3).
+
+A probabilistic program is evaluated against a *trace*: the finite sequence of
+values in [0, 1] that successive ``sample`` statements consume.  This package
+provides the call-by-name and call-by-value small-step machines of Fig. 2 /
+Fig. 8, utilities for traces, and Monte-Carlo estimation of the probability of
+termination and of the expected number of reduction steps (used throughout the
+tests and benchmarks as a ground-truth cross check for the paper's lower-bound
+machinery).
+"""
+
+from repro.semantics.traces import Trace, random_trace
+from repro.semantics.cbn import CbNMachine
+from repro.semantics.cbv import CbVMachine
+from repro.semantics.machine import RunResult, RunStatus
+from repro.semantics.sampler import TerminationEstimate, estimate_termination
+from repro.semantics.oracle import (
+    ConditionalOracle,
+    Direction,
+    OracleMachine,
+    OracleRunResult,
+    OracleRunStatus,
+    branching_classes,
+    in_branching_class,
+    record_branching,
+)
+
+__all__ = [
+    "CbNMachine",
+    "CbVMachine",
+    "ConditionalOracle",
+    "Direction",
+    "OracleMachine",
+    "OracleRunResult",
+    "OracleRunStatus",
+    "RunResult",
+    "RunStatus",
+    "TerminationEstimate",
+    "Trace",
+    "branching_classes",
+    "estimate_termination",
+    "in_branching_class",
+    "random_trace",
+    "record_branching",
+]

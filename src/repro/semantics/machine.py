@@ -1,0 +1,81 @@
+"""Shared machinery of the CbN and CbV small-step machines.
+
+Both machines evaluate configurations ``<M, s>`` where ``M`` is a closed SPCF
+term and ``s`` a trace; a run either reaches ``<V, eps>`` (termination: the
+value and the entire trace were consumed -- Def. 2.1 requires the terminating
+trace to be consumed exactly), runs out of the supplied trace, gets stuck on a
+failing ``score``, or exceeds the step budget.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.spcf.syntax import Term
+from repro.semantics.traces import Trace
+
+
+class RunStatus(enum.Enum):
+    """Outcome of running a configuration to quiescence."""
+
+    TERMINATED = "terminated"
+    """Reached a value with the whole trace consumed."""
+
+    VALUE_WITH_LEFTOVER_TRACE = "value-with-leftover-trace"
+    """Reached a value but some of the supplied trace was not consumed."""
+
+    TRACE_EXHAUSTED = "trace-exhausted"
+    """A ``sample`` redex found an empty trace: the supplied trace is too short."""
+
+    SCORE_FAILED = "score-failed"
+    """A ``score(r)`` redex with ``r < 0`` (conditioning on an impossible event)."""
+
+    STUCK = "stuck"
+    """Any other stuck non-value configuration (ill-typed or open term)."""
+
+    STEP_LIMIT = "step-limit"
+    """The step budget was exhausted before reaching a value."""
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """The result of running a term on a trace."""
+
+    status: RunStatus
+    term: Term
+    trace: Trace
+    steps: int
+    detail: Optional[str] = None
+
+    @property
+    def terminated(self) -> bool:
+        """True iff the run reached a value and consumed its whole trace."""
+        return self.status is RunStatus.TERMINATED
+
+    @property
+    def reached_value(self) -> bool:
+        """True iff the run reached a value (whether or not trace remains)."""
+        return self.status in (
+            RunStatus.TERMINATED,
+            RunStatus.VALUE_WITH_LEFTOVER_TRACE,
+        )
+
+
+class SPCFMachineError(Exception):
+    """Raised on malformed configurations (e.g. stepping an open term)."""
+
+
+class StuckSignal(Exception):
+    """Internal signal used by the machines to report a stuck configuration.
+
+    :meth:`CbNMachine.run` / :meth:`CbVMachine.run` convert this signal into a
+    :class:`RunResult`; single-step drivers (such as the Monte-Carlo sampler)
+    may catch it directly.
+    """
+
+    def __init__(self, status: RunStatus, detail: str) -> None:
+        super().__init__(detail)
+        self.status = status
+        self.detail = detail

@@ -1,0 +1,91 @@
+"""Standard traces: finite sequences of draws from [0, 1] (Sec. 2.3).
+
+The set of traces ``S`` is the disjoint union of the ``R^n_[0,1]``; the trace
+measure assigns to a measurable subset of ``R^n_[0,1]`` its ``n``-dimensional
+Lebesgue measure.  Traces are represented as immutable tuples of numbers; a
+thin :class:`Trace` wrapper provides the head/rest operations the small-step
+machines need plus validation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Iterator, Optional, Sequence, Tuple, Union
+
+Number = Union[Fraction, float, int]
+
+
+def _validate_draw(value: Number) -> Union[Fraction, float]:
+    if isinstance(value, bool):
+        raise ValueError("booleans are not valid random draws")
+    if isinstance(value, int):
+        value = Fraction(value)
+    if not 0 <= value <= 1:
+        raise ValueError(f"trace entries must lie in [0, 1], got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A finite sequence of random draws, each in [0, 1]."""
+
+    draws: Tuple[Union[Fraction, float], ...]
+
+    def __init__(self, draws: Iterable[Number] = ()) -> None:
+        object.__setattr__(self, "draws", tuple(_validate_draw(d) for d in draws))
+
+    def __len__(self) -> int:
+        return len(self.draws)
+
+    def __iter__(self) -> Iterator[Union[Fraction, float]]:
+        return iter(self.draws)
+
+    def __getitem__(self, index: int) -> Union[Fraction, float]:
+        return self.draws[index]
+
+    def is_empty(self) -> bool:
+        return not self.draws
+
+    def head(self) -> Union[Fraction, float]:
+        """The first draw; raises ``IndexError`` on the empty trace."""
+        if not self.draws:
+            raise IndexError("empty trace has no head")
+        return self.draws[0]
+
+    def rest(self) -> "Trace":
+        """The trace with its first draw removed."""
+        if not self.draws:
+            raise IndexError("empty trace has no rest")
+        return Trace(self.draws[1:])
+
+    def prepend(self, value: Number) -> "Trace":
+        return Trace((value,) + self.draws)
+
+    def concat(self, other: "Trace") -> "Trace":
+        return Trace(self.draws + other.draws)
+
+    def __repr__(self) -> str:
+        return f"Trace({list(self.draws)!r})"
+
+
+EMPTY_TRACE = Trace(())
+
+
+def random_trace(
+    length: int, rng: Optional[random.Random] = None, as_fraction: bool = False
+) -> Trace:
+    """Draw ``length`` i.i.d. uniform samples from [0, 1].
+
+    With ``as_fraction=True`` the draws are dyadic rationals (53-bit), which
+    keeps downstream arithmetic exact while remaining uniformly distributed
+    to within float resolution.
+    """
+    rng = rng or random
+    draws: Sequence[Number]
+    if as_fraction:
+        draws = [Fraction(rng.getrandbits(53), 1 << 53) for _ in range(length)]
+    else:
+        draws = [rng.random() for _ in range(length)]
+    return Trace(draws)

@@ -1,0 +1,68 @@
+"""Statistical PCF (SPCF): the probabilistic functional language of the paper.
+
+This subpackage provides the abstract syntax of SPCF terms (Sec. 2.2), the
+simple type system (Fig. 1 / Fig. 7), the registry of primitive functions
+together with their interval extensions (Def. 3.1), a small surface-syntax
+parser, a pretty printer, and the syntactic sugar used throughout the paper
+(probabilistic choice ``M (+)_p N``, ``let``, sequencing).
+"""
+
+from repro.spcf.syntax import (
+    App,
+    Fix,
+    If,
+    Lam,
+    Numeral,
+    Prim,
+    Sample,
+    Score,
+    Term,
+    Var,
+    alpha_equivalent,
+    free_variables,
+    is_value,
+    subterms,
+    substitute,
+    term_size,
+)
+from repro.spcf.types import ArrowType, RealType, SimpleType, TypeError_, type_of, typecheck
+from repro.spcf.primitives import Primitive, PrimitiveRegistry, default_registry
+from repro.spcf.sugar import choice, let, num, prim, seq
+from repro.spcf.parser import ParseError, parse
+from repro.spcf.printer import pretty
+
+__all__ = [
+    "App",
+    "ArrowType",
+    "Fix",
+    "If",
+    "Lam",
+    "Numeral",
+    "ParseError",
+    "Prim",
+    "Primitive",
+    "PrimitiveRegistry",
+    "RealType",
+    "Sample",
+    "Score",
+    "SimpleType",
+    "Term",
+    "TypeError_",
+    "Var",
+    "alpha_equivalent",
+    "choice",
+    "default_registry",
+    "free_variables",
+    "is_value",
+    "let",
+    "num",
+    "parse",
+    "pretty",
+    "prim",
+    "seq",
+    "substitute",
+    "subterms",
+    "term_size",
+    "type_of",
+    "typecheck",
+]

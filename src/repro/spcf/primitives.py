@@ -1,0 +1,265 @@
+"""Primitive functions of SPCF and their interval extensions.
+
+Every primitive ``f : R^n -> R`` in the registry carries
+
+* a numeric implementation (exact on :class:`fractions.Fraction` inputs where
+  possible),
+* an *interval extension* ``f_hat`` (Def. 3.1: the image of a box under a
+  continuous ``f`` is an interval; ``f_hat`` returns that interval, possibly
+  slightly widened for transcendental functions so that the extension is
+  still an over-approximation and interval reasoning remains sound),
+* flags recording whether the function is Q-interval preserving and interval
+  separable (Lem. 3.2 / Lem. 3.7), and whether it is affine in its arguments
+  (used by the symbolic layer to extract linear constraints).
+
+The default registry contains every primitive used by the paper's examples:
+``add, sub, mul, neg, abs, min, max, exp, log, sig`` plus multiplication and
+addition by constants via ordinary ``mul``/``add``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, Dict, Iterator, Sequence, Tuple, Union
+
+Number = Union[Fraction, float]
+IntervalPair = Tuple[Number, Number]
+
+_FLOAT_OUTWARD = 1e-12
+
+
+def _to_float(value: Number) -> float:
+    return float(value)
+
+
+def _widen_outward(lo: float, hi: float) -> Tuple[float, float]:
+    """Pad a float interval outward so transcendental extensions stay sound."""
+    pad_lo = abs(lo) * _FLOAT_OUTWARD + _FLOAT_OUTWARD
+    pad_hi = abs(hi) * _FLOAT_OUTWARD + _FLOAT_OUTWARD
+    return lo - pad_lo, hi + pad_hi
+
+
+@dataclass(frozen=True)
+class Primitive:
+    """A primitive function together with its interval extension."""
+
+    name: str
+    arity: int
+    apply: Callable[..., Number]
+    interval_apply: Callable[..., IntervalPair]
+    interval_separable: bool = True
+    q_interval_preserving: bool = True
+    affine: bool = False
+
+    def __call__(self, *args: Number) -> Number:
+        if len(args) != self.arity:
+            raise TypeError(
+                f"primitive {self.name!r} expects {self.arity} arguments, got {len(args)}"
+            )
+        return self.apply(*args)
+
+    def on_box(self, *bounds: IntervalPair) -> IntervalPair:
+        """Apply the interval extension to interval arguments ``(lo, hi)``."""
+        if len(bounds) != self.arity:
+            raise TypeError(
+                f"primitive {self.name!r} expects {self.arity} interval arguments, "
+                f"got {len(bounds)}"
+            )
+        for lo, hi in bounds:
+            if lo > hi:
+                raise ValueError(f"malformed interval argument [{lo}, {hi}]")
+        return self.interval_apply(*bounds)
+
+
+class PrimitiveRegistry:
+    """A mapping from primitive names to :class:`Primitive` objects."""
+
+    def __init__(self) -> None:
+        self._primitives: Dict[str, Primitive] = {}
+
+    def register(self, primitive: Primitive) -> Primitive:
+        if primitive.name in self._primitives:
+            raise ValueError(f"primitive {primitive.name!r} already registered")
+        self._primitives[primitive.name] = primitive
+        return primitive
+
+    def __getitem__(self, name: str) -> Primitive:
+        try:
+            return self._primitives[name]
+        except KeyError:
+            raise KeyError(f"unknown primitive {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._primitives
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._primitives)
+
+    def names(self) -> Sequence[str]:
+        return tuple(self._primitives)
+
+    def all_interval_separable(self) -> bool:
+        """True iff every registered primitive is interval separable (Thm. 3.8)."""
+        return all(p.interval_separable for p in self._primitives.values())
+
+
+# ---------------------------------------------------------------------------
+# Numeric implementations.
+# ---------------------------------------------------------------------------
+
+
+def _add(a: Number, b: Number) -> Number:
+    return a + b
+
+
+def _sub(a: Number, b: Number) -> Number:
+    return a - b
+
+
+def _mul(a: Number, b: Number) -> Number:
+    return a * b
+
+
+def _neg(a: Number) -> Number:
+    return -a
+
+
+def _abs(a: Number) -> Number:
+    return abs(a)
+
+
+def _min(a: Number, b: Number) -> Number:
+    return a if a <= b else b
+
+
+def _max(a: Number, b: Number) -> Number:
+    return a if a >= b else b
+
+
+def _exp(a: Number) -> float:
+    return math.exp(_to_float(a))
+
+
+def _log(a: Number) -> float:
+    value = _to_float(a)
+    if value <= 0.0:
+        raise ValueError("log of a non-positive number")
+    return math.log(value)
+
+
+def _sig(a: Number) -> float:
+    """The logistic sigmoid 1 / (1 + e^-x) used in Ex. 5.1 / Ex. 5.15."""
+    value = _to_float(a)
+    if value >= 0:
+        return 1.0 / (1.0 + math.exp(-value))
+    expv = math.exp(value)
+    return expv / (1.0 + expv)
+
+
+# ---------------------------------------------------------------------------
+# Interval extensions.
+# ---------------------------------------------------------------------------
+
+
+def _interval_add(a: IntervalPair, b: IntervalPair) -> IntervalPair:
+    return a[0] + b[0], a[1] + b[1]
+
+
+def _interval_sub(a: IntervalPair, b: IntervalPair) -> IntervalPair:
+    return a[0] - b[1], a[1] - b[0]
+
+
+def _interval_mul(a: IntervalPair, b: IntervalPair) -> IntervalPair:
+    candidates = (a[0] * b[0], a[0] * b[1], a[1] * b[0], a[1] * b[1])
+    return min(candidates), max(candidates)
+
+
+def _interval_neg(a: IntervalPair) -> IntervalPair:
+    return -a[1], -a[0]
+
+
+def _interval_abs(a: IntervalPair) -> IntervalPair:
+    lo, hi = a
+    if lo >= 0:
+        return lo, hi
+    if hi <= 0:
+        return -hi, -lo
+    return lo * 0, max(-lo, hi)
+
+
+def _interval_min(a: IntervalPair, b: IntervalPair) -> IntervalPair:
+    return _min(a[0], b[0]), _min(a[1], b[1])
+
+
+def _interval_max(a: IntervalPair, b: IntervalPair) -> IntervalPair:
+    return _max(a[0], b[0]), _max(a[1], b[1])
+
+
+def _interval_exp(a: IntervalPair) -> IntervalPair:
+    lo, hi = _widen_outward(math.exp(_to_float(a[0])), math.exp(_to_float(a[1])))
+    return max(lo, 0.0), hi
+
+
+def _interval_log(a: IntervalPair) -> IntervalPair:
+    if _to_float(a[0]) <= 0.0:
+        raise ValueError("log interval extension requires a positive lower bound")
+    return _widen_outward(math.log(_to_float(a[0])), math.log(_to_float(a[1])))
+
+
+def _interval_sig(a: IntervalPair) -> IntervalPair:
+    lo, hi = _widen_outward(_sig(a[0]), _sig(a[1]))
+    return max(lo, 0.0), min(hi, 1.0)
+
+
+def _build_default_registry() -> PrimitiveRegistry:
+    """Build the default SPCF primitive registry used throughout the paper."""
+    registry = PrimitiveRegistry()
+    registry.register(
+        Primitive("add", 2, _add, _interval_add, affine=True)
+    )
+    registry.register(
+        Primitive("sub", 2, _sub, _interval_sub, affine=True)
+    )
+    registry.register(Primitive("mul", 2, _mul, _interval_mul))
+    registry.register(Primitive("neg", 1, _neg, _interval_neg, affine=True))
+    registry.register(Primitive("abs", 1, _abs, _interval_abs))
+    registry.register(Primitive("min", 2, _min, _interval_min))
+    registry.register(Primitive("max", 2, _max, _interval_max))
+    registry.register(
+        Primitive(
+            "exp",
+            1,
+            _exp,
+            _interval_exp,
+            q_interval_preserving=False,
+        )
+    )
+    registry.register(
+        Primitive(
+            "log",
+            1,
+            _log,
+            _interval_log,
+            q_interval_preserving=False,
+        )
+    )
+    registry.register(
+        Primitive(
+            "sig",
+            1,
+            _sig,
+            _interval_sig,
+            q_interval_preserving=False,
+        )
+    )
+    return registry
+
+
+_DEFAULT_REGISTRY = _build_default_registry()
+
+
+def default_registry() -> PrimitiveRegistry:
+    """Return the (cached) default primitive registry."""
+    return _DEFAULT_REGISTRY

@@ -1,0 +1,86 @@
+"""Pretty printer for SPCF terms.
+
+The output uses the paper's notation: ``μφ x. M`` for fixpoints, ``λx. M`` for
+abstractions, ``if M then N else P`` for conditionals (branching on ``M ≤ 0``)
+and infix spellings for the arithmetic primitives.  ``pretty`` produces a
+single-line rendering; ``pretty(term, unicode_symbols=False)`` uses an ASCII
+spelling suitable for logs.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.spcf.syntax import (
+    App,
+    Fix,
+    If,
+    Lam,
+    Numeral,
+    Prim,
+    Sample,
+    Score,
+    Term,
+    Var,
+)
+
+_INFIX = {"add": "+", "sub": "-", "mul": "*", "min": "min", "max": "max"}
+
+
+def pretty(term: Term, unicode_symbols: bool = True) -> str:
+    """Render ``term`` as a one-line string."""
+    symbols = _Symbols(unicode_symbols)
+    return _render(term, symbols, top=True)
+
+
+class _Symbols:
+    def __init__(self, unicode_symbols: bool) -> None:
+        self.lam = "λ" if unicode_symbols else "\\"
+        self.mu = "μ" if unicode_symbols else "mu "
+        self.leq = "≤" if unicode_symbols else "<="
+
+
+def _render_number(value) -> str:
+    if isinstance(value, Fraction):
+        if value.denominator == 1:
+            return str(value.numerator)
+        return f"{value.numerator}/{value.denominator}"
+    return repr(value)
+
+
+def _render(term: Term, symbols: _Symbols, top: bool = False) -> str:
+    if isinstance(term, Var):
+        return term.name
+    if isinstance(term, Numeral):
+        return _render_number(term.value)
+    if isinstance(term, Sample):
+        return "sample"
+    if isinstance(term, Score):
+        return f"score({_render(term.arg, symbols)})"
+    if isinstance(term, Lam):
+        body = _render(term.body, symbols)
+        rendered = f"{symbols.lam}{term.var}. {body}"
+        return rendered if top else f"({rendered})"
+    if isinstance(term, Fix):
+        body = _render(term.body, symbols)
+        rendered = f"{symbols.mu}{term.fvar} {term.var}. {body}"
+        return rendered if top else f"({rendered})"
+    if isinstance(term, App):
+        fn = _render(term.fn, symbols)
+        arg = _render(term.arg, symbols)
+        if isinstance(term.arg, App):
+            arg = f"({arg})"
+        return f"{fn} {arg}"
+    if isinstance(term, If):
+        cond = _render(term.cond, symbols)
+        then = _render(term.then, symbols)
+        orelse = _render(term.orelse, symbols)
+        return f"if {cond} {symbols.leq} 0 then {then} else {orelse}"
+    if isinstance(term, Prim):
+        if term.op in _INFIX and len(term.args) == 2:
+            left = _render(term.args[0], symbols)
+            right = _render(term.args[1], symbols)
+            return f"({left} {_INFIX[term.op]} {right})"
+        args = ", ".join(_render(arg, symbols) for arg in term.args)
+        return f"{term.op}({args})"
+    raise TypeError(f"unknown term: {term!r}")

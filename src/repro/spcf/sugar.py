@@ -1,0 +1,87 @@
+"""Syntactic sugar for SPCF used throughout the paper.
+
+* ``choice(m, p, n)`` is the probabilistic choice ``M (+)_P N`` which the paper
+  abbreviates as ``if(sample - P, M, N)``: with probability ``P`` (the guard
+  ``sample - P <= 0``) the left branch ``M`` is taken.
+* ``let(x, m, body)`` is the standard call-by-value let, encoded as
+  ``(lambda x. body) m``.
+* ``seq(m, n)`` evaluates ``m`` for effect and continues with ``n``.
+* ``num`` / ``prim`` are small constructors that keep example programs terse.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.spcf.syntax import (
+    App,
+    If,
+    Lam,
+    Numeral,
+    Number,
+    Prim,
+    Sample,
+    Term,
+)
+
+
+def num(value: Number) -> Numeral:
+    """Build the numeral term for ``value``."""
+    return Numeral(value)
+
+
+def prim(op: str, *args: Union[Term, Number]) -> Prim:
+    """Build a primitive application, coercing plain numbers to numerals."""
+    return Prim(op, tuple(_coerce(arg) for arg in args))
+
+
+def add(left: Union[Term, Number], right: Union[Term, Number]) -> Prim:
+    """``left + right``."""
+    return prim("add", left, right)
+
+
+def sub(left: Union[Term, Number], right: Union[Term, Number]) -> Prim:
+    """``left - right``."""
+    return prim("sub", left, right)
+
+
+def mul(left: Union[Term, Number], right: Union[Term, Number]) -> Prim:
+    """``left * right``."""
+    return prim("mul", left, right)
+
+
+def choice(left: Term, probability: Union[Term, Number], right: Term) -> If:
+    """The probabilistic choice ``left (+)_probability right`` (paper Sec. 2.2).
+
+    Takes ``left`` with probability ``probability``; desugars to
+    ``if(sample - probability, left, right)``.
+    """
+    return If(sub(Sample(), _coerce(probability)), left, right)
+
+
+def fair_choice(left: Term, right: Term) -> If:
+    """``left (+) right``: the fair binary choice (probability 1/2 each)."""
+    from fractions import Fraction
+
+    return choice(left, Fraction(1, 2), right)
+
+
+def let(variable: str, bound: Union[Term, Number], body: Term) -> App:
+    """``let variable = bound in body``, encoded as ``(lambda variable. body) bound``.
+
+    Under call-by-value this evaluates ``bound`` first, which is the reading
+    used by the paper (e.g. Ex. 5.15 samples the error value once and reuses
+    it); under call-by-name the bound term is substituted unevaluated.
+    """
+    return App(Lam(variable, body), _coerce(bound))
+
+
+def seq(first: Union[Term, Number], second: Term) -> App:
+    """Evaluate ``first`` (for effect), discard it, and continue with ``second``."""
+    return let("_ignored", first, second)
+
+
+def _coerce(value: Union[Term, Number]) -> Term:
+    if isinstance(value, Term):
+        return value
+    return Numeral(value)

@@ -1,0 +1,389 @@
+"""Abstract syntax of SPCF terms (Sec. 2.2 of the paper).
+
+Terms are given by the grammar
+
+    V ::= x | r | lambda x. M | mu phi x. M
+    M ::= V | M N | if(M, N, P) | f(M_1, ..., M_|f|) | sample | score(M)
+
+where ``r`` ranges over real numbers (we use :class:`fractions.Fraction`
+whenever possible so that measures and lower bounds stay exact) and ``f``
+over primitive functions from a :class:`~repro.spcf.primitives.PrimitiveRegistry`.
+
+Terms are immutable (frozen dataclasses); all structural operations --
+free variables, capture-avoiding substitution, alpha-equivalence -- are
+provided as module-level functions.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, FrozenSet, Iterator, Mapping, Tuple, Union
+
+Number = Union[Fraction, float, int]
+
+
+def as_number(value: Number) -> Union[Fraction, float]:
+    """Normalise a Python number to a ``Fraction`` (exact) or ``float``.
+
+    Integers and fractions stay exact; floats stay floats.  This is the
+    single place deciding exact-vs-approximate representation of numerals.
+    """
+    if isinstance(value, bool):
+        raise TypeError("booleans are not SPCF numerals")
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, int):
+        return Fraction(value)
+    if isinstance(value, float):
+        return value
+    raise TypeError(f"not a number: {value!r}")
+
+
+class Term:
+    """Base class of all SPCF terms."""
+
+    __slots__ = ()
+
+    def __call__(self, *args: "Term") -> "Term":
+        """Left-associated application: ``f(a, b)`` builds ``App(App(f, a), b)``."""
+        result: Term = self
+        for arg in args:
+            result = App(result, arg)
+        return result
+
+
+@dataclass(frozen=True)
+class Var(Term):
+    """A term variable."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"Var({self.name!r})"
+
+
+@dataclass(frozen=True)
+class Numeral(Term):
+    """A real-valued constant ``r``."""
+
+    value: Union[Fraction, float]
+
+    def __init__(self, value: Number) -> None:
+        object.__setattr__(self, "value", as_number(value))
+
+    def __repr__(self) -> str:
+        return f"Numeral({self.value!r})"
+
+
+@dataclass(frozen=True)
+class Lam(Term):
+    """Lambda abstraction ``lambda x. body``."""
+
+    var: str
+    body: Term
+
+
+@dataclass(frozen=True)
+class Fix(Term):
+    """Fixpoint constructor ``mu phi x. body``.
+
+    ``fvar`` is bound to the recursively defined function itself, ``var`` to
+    its argument; both are bound in ``body``.
+    """
+
+    fvar: str
+    var: str
+    body: Term
+
+
+@dataclass(frozen=True)
+class App(Term):
+    """Application ``fn arg``."""
+
+    fn: Term
+    arg: Term
+
+
+@dataclass(frozen=True)
+class If(Term):
+    """Conditional ``if(cond, then, orelse)``: takes ``then`` iff ``cond <= 0``."""
+
+    cond: Term
+    then: Term
+    orelse: Term
+
+
+@dataclass(frozen=True)
+class Prim(Term):
+    """Application of a primitive function ``op`` to real-typed arguments."""
+
+    op: str
+    args: Tuple[Term, ...]
+
+    def __init__(self, op: str, args) -> None:
+        object.__setattr__(self, "op", op)
+        object.__setattr__(self, "args", tuple(args))
+
+
+@dataclass(frozen=True)
+class Sample(Term):
+    """A draw from the uniform distribution on [0, 1]."""
+
+
+@dataclass(frozen=True)
+class Score(Term):
+    """Stochastic conditioning ``score(arg)``; gets stuck when ``arg < 0``."""
+
+    arg: Term
+
+
+def is_extension_leaf(term: Term) -> bool:
+    """True for leaf-like term extensions defined outside this module.
+
+    Other layers of the library extend the term language with new constants
+    of type ``R`` (interval numerals in Sec. 3, the unknown numeral ``*`` of
+    the counting semantics in Sec. 5, symbolic sample variables in App. B.5).
+    These extensions are all *leaves*: dataclasses none of whose fields are
+    terms.  The generic traversals below (free variables, substitution,
+    alpha-equivalence, ...) treat them as closed constants.
+    """
+    if isinstance(term, (Var, Numeral, Lam, Fix, App, If, Prim, Sample, Score)):
+        return False
+    if not isinstance(term, Term):
+        return False
+    fields = getattr(term, "__dataclass_fields__", {})
+    return not any(isinstance(getattr(term, name), Term) for name in fields)
+
+
+def is_value(term: Term) -> bool:
+    """A value is a variable, a numeral, a lambda or a fixpoint abstraction."""
+    return isinstance(term, (Var, Numeral, Lam, Fix))
+
+
+def subterms(term: Term) -> Iterator[Term]:
+    """Yield every subterm of ``term`` (including ``term`` itself), pre-order."""
+    yield term
+    if isinstance(term, (Var, Numeral, Sample)) or is_extension_leaf(term):
+        return
+    if isinstance(term, Lam):
+        yield from subterms(term.body)
+    elif isinstance(term, Fix):
+        yield from subterms(term.body)
+    elif isinstance(term, App):
+        yield from subterms(term.fn)
+        yield from subterms(term.arg)
+    elif isinstance(term, If):
+        yield from subterms(term.cond)
+        yield from subterms(term.then)
+        yield from subterms(term.orelse)
+    elif isinstance(term, Prim):
+        for arg in term.args:
+            yield from subterms(arg)
+    elif isinstance(term, Score):
+        yield from subterms(term.arg)
+    else:
+        raise TypeError(f"unknown term: {term!r}")
+
+
+def term_size(term: Term) -> int:
+    """Number of AST nodes in ``term``."""
+    return sum(1 for _ in subterms(term))
+
+
+def free_variables(term: Term) -> FrozenSet[str]:
+    """The set of free variables of ``term``."""
+    if isinstance(term, Var):
+        return frozenset({term.name})
+    if isinstance(term, (Numeral, Sample)) or is_extension_leaf(term):
+        return frozenset()
+    if isinstance(term, Lam):
+        return free_variables(term.body) - {term.var}
+    if isinstance(term, Fix):
+        return free_variables(term.body) - {term.fvar, term.var}
+    if isinstance(term, App):
+        return free_variables(term.fn) | free_variables(term.arg)
+    if isinstance(term, If):
+        return (
+            free_variables(term.cond)
+            | free_variables(term.then)
+            | free_variables(term.orelse)
+        )
+    if isinstance(term, Prim):
+        result: FrozenSet[str] = frozenset()
+        for arg in term.args:
+            result = result | free_variables(arg)
+        return result
+    if isinstance(term, Score):
+        return free_variables(term.arg)
+    raise TypeError(f"unknown term: {term!r}")
+
+
+def is_closed(term: Term) -> bool:
+    """True iff ``term`` has no free variables."""
+    return not free_variables(term)
+
+
+_FRESH_COUNTER = itertools.count()
+
+
+def fresh_variable(base: str, avoid: FrozenSet[str]) -> str:
+    """Return a variable name derived from ``base`` that is not in ``avoid``."""
+    if base not in avoid:
+        return base
+    stem = base.split("#", 1)[0]
+    while True:
+        candidate = f"{stem}#{next(_FRESH_COUNTER)}"
+        if candidate not in avoid:
+            return candidate
+
+
+def substitute(term: Term, replacements: Mapping[str, Term]) -> Term:
+    """Capture-avoiding simultaneous substitution ``term[replacements]``.
+
+    Bound variables are renamed when they would capture a free variable of a
+    substituted term.  Substituting the empty mapping returns ``term``.
+    """
+    if not replacements:
+        return term
+    free_of_replacements: FrozenSet[str] = frozenset()
+    for replacement in replacements.values():
+        free_of_replacements = free_of_replacements | free_variables(replacement)
+    return _substitute(term, dict(replacements), free_of_replacements)
+
+
+def _substitute(
+    term: Term, replacements: Dict[str, Term], avoid: FrozenSet[str]
+) -> Term:
+    if isinstance(term, Var):
+        return replacements.get(term.name, term)
+    if isinstance(term, (Numeral, Sample)) or is_extension_leaf(term):
+        return term
+    if isinstance(term, Lam):
+        body, var = _substitute_under_binders(term.body, (term.var,), replacements, avoid)
+        return Lam(var[0], body)
+    if isinstance(term, Fix):
+        body, bound = _substitute_under_binders(
+            term.body, (term.fvar, term.var), replacements, avoid
+        )
+        return Fix(bound[0], bound[1], body)
+    if isinstance(term, App):
+        return App(
+            _substitute(term.fn, replacements, avoid),
+            _substitute(term.arg, replacements, avoid),
+        )
+    if isinstance(term, If):
+        return If(
+            _substitute(term.cond, replacements, avoid),
+            _substitute(term.then, replacements, avoid),
+            _substitute(term.orelse, replacements, avoid),
+        )
+    if isinstance(term, Prim):
+        return Prim(term.op, tuple(_substitute(a, replacements, avoid) for a in term.args))
+    if isinstance(term, Score):
+        return Score(_substitute(term.arg, replacements, avoid))
+    raise TypeError(f"unknown term: {term!r}")
+
+
+def _substitute_under_binders(
+    body: Term,
+    binders: Tuple[str, ...],
+    replacements: Dict[str, Term],
+    avoid: FrozenSet[str],
+) -> Tuple[Term, Tuple[str, ...]]:
+    """Substitute inside a binder scope, renaming binders to avoid capture."""
+    narrowed = {name: value for name, value in replacements.items() if name not in binders}
+    if not narrowed:
+        return body, binders
+    new_binders = []
+    renaming: Dict[str, Term] = {}
+    taken = avoid | free_variables(body) | set(binders)
+    for binder in binders:
+        if binder in avoid:
+            new_name = fresh_variable(binder, taken)
+            taken = taken | {new_name}
+            renaming[binder] = Var(new_name)
+            new_binders.append(new_name)
+        else:
+            new_binders.append(binder)
+    if renaming:
+        body = _substitute(body, renaming, frozenset(renaming))
+    return _substitute(body, narrowed, avoid), tuple(new_binders)
+
+
+def alpha_equivalent(left: Term, right: Term) -> bool:
+    """Structural equality of terms up to renaming of bound variables."""
+    return _alpha(left, right, {}, {}, [0])
+
+
+def _alpha(
+    left: Term,
+    right: Term,
+    left_env: Dict[str, int],
+    right_env: Dict[str, int],
+    counter,
+) -> bool:
+    if type(left) is not type(right):
+        return False
+    if isinstance(left, Var):
+        assert isinstance(right, Var)
+        left_level = left_env.get(left.name)
+        right_level = right_env.get(right.name)
+        if left_level is None and right_level is None:
+            return left.name == right.name
+        return left_level == right_level
+    if isinstance(left, Numeral):
+        assert isinstance(right, Numeral)
+        return left.value == right.value
+    if isinstance(left, Sample):
+        return True
+    if is_extension_leaf(left):
+        return left == right
+    if isinstance(left, Lam):
+        assert isinstance(right, Lam)
+        level = counter[0]
+        counter[0] += 1
+        return _alpha(
+            left.body,
+            right.body,
+            {**left_env, left.var: level},
+            {**right_env, right.var: level},
+            counter,
+        )
+    if isinstance(left, Fix):
+        assert isinstance(right, Fix)
+        level_f = counter[0]
+        level_x = counter[0] + 1
+        counter[0] += 2
+        return _alpha(
+            left.body,
+            right.body,
+            {**left_env, left.fvar: level_f, left.var: level_x},
+            {**right_env, right.fvar: level_f, right.var: level_x},
+            counter,
+        )
+    if isinstance(left, App):
+        assert isinstance(right, App)
+        return _alpha(left.fn, right.fn, left_env, right_env, counter) and _alpha(
+            left.arg, right.arg, left_env, right_env, counter
+        )
+    if isinstance(left, If):
+        assert isinstance(right, If)
+        return (
+            _alpha(left.cond, right.cond, left_env, right_env, counter)
+            and _alpha(left.then, right.then, left_env, right_env, counter)
+            and _alpha(left.orelse, right.orelse, left_env, right_env, counter)
+        )
+    if isinstance(left, Prim):
+        assert isinstance(right, Prim)
+        if left.op != right.op or len(left.args) != len(right.args):
+            return False
+        return all(
+            _alpha(a, b, left_env, right_env, counter)
+            for a, b in zip(left.args, right.args)
+        )
+    if isinstance(left, Score):
+        assert isinstance(right, Score)
+        return _alpha(left.arg, right.arg, left_env, right_env, counter)
+    raise TypeError(f"unknown term: {left!r}")

@@ -1,0 +1,196 @@
+"""Symbolic inequality constraints and constraint sets (App. B.5.1).
+
+A *symbolic inequality* is a pair of a symbolic value and a relation against
+zero (the paper compares against arbitrary reals; comparing against 0 loses no
+generality because the value can absorb the bound).  Paths collected by the
+symbolic executors carry a :class:`ConstraintSet`; its solution set inside
+``[0, 1]^m`` is exactly the set of standard traces following that path
+(Prop. B.8), and measuring it is how every probability in the reproduction is
+computed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import FrozenSet, Iterable, Iterator, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.intervals.box import Box
+from repro.intervals.interval import Interval
+from repro.spcf.primitives import PrimitiveRegistry, default_registry
+from repro.symbolic.values import LinearForm, SymVal
+
+Number = Union[Fraction, float, int]
+
+
+class Relation(enum.Enum):
+    """Comparison of a symbolic value against zero."""
+
+    LE = "<= 0"
+    GT = "> 0"
+    GE = ">= 0"
+    LT = "< 0"
+
+    def holds(self, value: Number) -> bool:
+        if self is Relation.LE:
+            return value <= 0
+        if self is Relation.GT:
+            return value > 0
+        if self is Relation.GE:
+            return value >= 0
+        return value < 0
+
+    def negation(self) -> "Relation":
+        return {
+            Relation.LE: Relation.GT,
+            Relation.GT: Relation.LE,
+            Relation.GE: Relation.LT,
+            Relation.LT: Relation.GE,
+        }[self]
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """A symbolic inequality ``value  relation  0``."""
+
+    value: SymVal
+    relation: Relation
+
+    def variables(self) -> FrozenSet[int]:
+        return self.value.variables()
+
+    def satisfied_by(
+        self,
+        assignment: Mapping[int, Number],
+        registry: Optional[PrimitiveRegistry] = None,
+        argument: Optional[Number] = None,
+    ) -> bool:
+        """Check the constraint under a concrete assignment of sample variables."""
+        return self.relation.holds(self.value.evaluate(assignment, registry, argument))
+
+    def box_status(
+        self,
+        box: Mapping[int, Interval],
+        registry: Optional[PrimitiveRegistry] = None,
+        argument: Optional[Interval] = None,
+    ) -> Optional[bool]:
+        """Decide the constraint over a whole box of assignments.
+
+        Returns ``True`` when every assignment in the box satisfies it,
+        ``False`` when none does, and ``None`` when the box straddles the
+        constraint boundary (interval evaluation cannot decide).
+        """
+        bounds = self.value.interval_evaluate(box, registry, argument)
+        if self.relation is Relation.LE:
+            if bounds.hi <= 0:
+                return True
+            if bounds.lo > 0:
+                return False
+        elif self.relation is Relation.GT:
+            if bounds.lo > 0:
+                return True
+            if bounds.hi <= 0:
+                return False
+        elif self.relation is Relation.GE:
+            if bounds.lo >= 0:
+                return True
+            if bounds.hi < 0:
+                return False
+        else:  # Relation.LT
+            if bounds.hi < 0:
+                return True
+            if bounds.lo >= 0:
+                return False
+        return None
+
+    def linear_form(
+        self, registry: Optional[PrimitiveRegistry] = None
+    ) -> Optional[LinearForm]:
+        return self.value.linear_form(registry)
+
+    def __repr__(self) -> str:
+        return f"({self.value!r} {self.relation.value})"
+
+
+@dataclass(frozen=True)
+class ConstraintSet:
+    """A finite conjunction of symbolic inequalities."""
+
+    constraints: Tuple[Constraint, ...]
+
+    def __init__(self, constraints: Iterable[Constraint] = ()) -> None:
+        object.__setattr__(self, "constraints", tuple(constraints))
+
+    def __iter__(self) -> Iterator[Constraint]:
+        return iter(self.constraints)
+
+    def __len__(self) -> int:
+        return len(self.constraints)
+
+    def add(self, constraint: Constraint) -> "ConstraintSet":
+        return ConstraintSet(self.constraints + (constraint,))
+
+    def extend(self, constraints: Iterable[Constraint]) -> "ConstraintSet":
+        return ConstraintSet(self.constraints + tuple(constraints))
+
+    def variables(self) -> FrozenSet[int]:
+        result: FrozenSet[int] = frozenset()
+        for constraint in self.constraints:
+            result = result | constraint.variables()
+        return result
+
+    def dimension(self) -> int:
+        """1 + the largest sample-variable index mentioned (0 when none are)."""
+        variables = self.variables()
+        return (max(variables) + 1) if variables else 0
+
+    def contains_argument(self) -> bool:
+        return any(c.value.contains_argument() for c in self.constraints)
+
+    def contains_star(self) -> bool:
+        return any(c.value.contains_star() for c in self.constraints)
+
+    def satisfied_by(
+        self,
+        assignment: Mapping[int, Number],
+        registry: Optional[PrimitiveRegistry] = None,
+        argument: Optional[Number] = None,
+    ) -> bool:
+        return all(
+            constraint.satisfied_by(assignment, registry, argument)
+            for constraint in self.constraints
+        )
+
+    def box_status(
+        self,
+        box: Mapping[int, Interval],
+        registry: Optional[PrimitiveRegistry] = None,
+        argument: Optional[Interval] = None,
+    ) -> Optional[bool]:
+        """Decide all constraints over a box: True / False / undecided (None)."""
+        undecided = False
+        for constraint in self.constraints:
+            status = constraint.box_status(box, registry, argument)
+            if status is False:
+                return False
+            if status is None:
+                undecided = True
+        return None if undecided else True
+
+    def all_linear(self, registry: Optional[PrimitiveRegistry] = None) -> bool:
+        """True iff every constraint has an exact affine form."""
+        return all(c.linear_form(registry) is not None for c in self.constraints)
+
+    def __repr__(self) -> str:
+        return "ConstraintSet(" + ", ".join(map(repr, self.constraints)) + ")"
+
+
+def box_from_sequence(intervals: Sequence[Interval]) -> Mapping[int, Interval]:
+    """View a sequence of intervals as a variable-indexed box mapping."""
+    return {index: interval for index, interval in enumerate(intervals)}
+
+
+def box_to_mapping(box: Box) -> Mapping[int, Interval]:
+    """View a :class:`~repro.intervals.box.Box` as a variable-indexed mapping."""
+    return {index: interval for index, interval in enumerate(box.intervals)}

@@ -1,0 +1,425 @@
+"""Symbolic small-step execution and path exploration (App. B.5, Sec. 7.1).
+
+The executor evaluates a closed SPCF term on a trace of *sample variables*:
+every ``sample`` redex is resolved by a fresh variable ``a_i`` and every
+conditional whose guard still mentions sample variables *forks* the execution,
+recording the guard constraint (``guard <= 0`` on the left branch, ``guard >
+0`` on the right branch) -- this is precisely the conditional-oracle semantics
+of Fig. 11/12.  A terminating path therefore consists of
+
+* the constraint set over the sample variables it introduced,
+* the number of sample variables and of reduction steps,
+* the branch choices taken (the conditional oracle ``kappa``).
+
+Exploration enumerates terminating paths up to a per-path step budget (and an
+optional bound on the number of explored paths); the measures of their
+constraint sets sum to a lower bound on ``Pterm`` (Thm. 3.4 + Prop. B.8),
+which is what :mod:`repro.lowerbound` computes.
+
+The same stepping machinery supports a call-by-value mode and a distinguished
+*recursion marker*; the AST verifier (Sec. 6) uses those to build symbolic
+execution trees of recursion bodies.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Deque, List, Optional, Sequence, Tuple, Union
+
+from repro.spcf.primitives import PrimitiveRegistry, default_registry
+from repro.spcf.syntax import (
+    App,
+    Fix,
+    If,
+    Lam,
+    Numeral,
+    Prim,
+    Sample,
+    Score,
+    Term,
+    Var,
+    substitute,
+)
+from repro.symbolic.constraints import Constraint, ConstraintSet, Relation
+from repro.symbolic.values import (
+    ConstVal,
+    SampleVar,
+    SymNumeral,
+    SymVal,
+    simplify_prim,
+)
+
+
+@dataclass(frozen=True)
+class RecMarker(Term):
+    """The distinguished symbol ``mu`` standing for the recursive function.
+
+    The counting semantics of Sec. 5.2 analyses ``body(r) = M[r/x, mu/phi]``:
+    the recursive function is replaced by this marker, and applying the marker
+    to a value is recorded as a recursive call whose outcome is the unknown
+    numeral ``star``.
+    """
+
+
+class Strategy(enum.Enum):
+    """Evaluation strategy of the symbolic executor."""
+
+    CBN = "call-by-name"
+    CBV = "call-by-value"
+
+
+def as_symbolic_value(term: Term) -> Optional[SymVal]:
+    """View a term-level constant of type R as a symbolic value, if it is one."""
+    if isinstance(term, Numeral):
+        return ConstVal(term.value)
+    if isinstance(term, SymNumeral):
+        return term.value
+    return None
+
+
+def _is_symbolic_value(term: Term) -> bool:
+    return isinstance(term, (Var, Numeral, SymNumeral, Lam, Fix, RecMarker))
+
+
+# ---------------------------------------------------------------------------
+# One symbolic step.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StepValue:
+    """The term is already a value."""
+
+
+@dataclass(frozen=True)
+class StepTerm:
+    """A deterministic step to ``term``; ``consumed_sample`` reports whether a
+    fresh sample variable was introduced."""
+
+    term: Term
+    consumed_sample: bool = False
+
+
+@dataclass(frozen=True)
+class StepBranch:
+    """A conditional on a non-constant symbolic guard: the execution forks."""
+
+    guard: SymVal
+    then_term: Term
+    else_term: Term
+
+
+@dataclass(frozen=True)
+class StepScore:
+    """A ``score`` on a non-constant symbolic value: records ``value >= 0``."""
+
+    value: SymVal
+    term: Term
+
+
+@dataclass(frozen=True)
+class StepRecCall:
+    """An application of the recursion marker to a value (CbV counting mode)."""
+
+    argument: SymVal
+    term: Term
+
+
+@dataclass(frozen=True)
+class StepStuck:
+    """No rule applies."""
+
+    reason: str
+
+
+StepOutcome = Union[StepValue, StepTerm, StepBranch, StepScore, StepRecCall, StepStuck]
+
+
+class SymbolicStepper:
+    """Performs single symbolic reduction steps under a chosen strategy."""
+
+    def __init__(
+        self,
+        strategy: Strategy = Strategy.CBN,
+        registry: Optional[PrimitiveRegistry] = None,
+    ) -> None:
+        self.strategy = strategy
+        self.registry = registry or default_registry()
+
+    def step(self, term: Term, next_variable: int) -> StepOutcome:
+        """Reduce the unique redex of ``term``; fresh samples use ``next_variable``."""
+        if _is_symbolic_value(term):
+            return StepValue()
+        return self._step(term, next_variable)
+
+    # The private helpers return outcomes whose continuation terms are the
+    # *redex-local* results; contexts are rebuilt on the way out.
+
+    def _step(self, term: Term, next_variable: int) -> StepOutcome:
+        if isinstance(term, App):
+            return self._step_app(term, next_variable)
+        if isinstance(term, If):
+            return self._step_if(term, next_variable)
+        if isinstance(term, Prim):
+            return self._step_prim(term, next_variable)
+        if isinstance(term, Sample):
+            return StepTerm(SymNumeral(SampleVar(next_variable)), consumed_sample=True)
+        if isinstance(term, Score):
+            return self._step_score(term, next_variable)
+        if isinstance(term, Var):
+            return StepStuck(f"free variable {term.name!r}")
+        return StepStuck(f"cannot step term {term!r}")
+
+    def _step_app(self, term: App, next_variable: int) -> StepOutcome:
+        fn, arg = term.fn, term.arg
+        if not _is_symbolic_value(fn):
+            return self._in_context(
+                self._step(fn, next_variable), lambda t: App(t, arg)
+            )
+        if self.strategy is Strategy.CBV and not _is_symbolic_value(arg):
+            if isinstance(fn, (Lam, Fix, RecMarker)):
+                return self._in_context(
+                    self._step(arg, next_variable), lambda t: App(fn, t)
+                )
+        if isinstance(fn, RecMarker):
+            argument = as_symbolic_value(arg)
+            if argument is None and self.strategy is Strategy.CBV:
+                return StepStuck("recursion marker applied to a non-numeric value")
+            # The outcome of the recursive call is the unknown numeral ``star``
+            # (Fig. 5); the continuation resumes with it in redex position.
+            from repro.symbolic.values import StarVal
+
+            return StepRecCall(
+                argument if argument is not None else ConstVal(0),
+                SymNumeral(StarVal()),
+            )
+        if isinstance(fn, Lam):
+            if self.strategy is Strategy.CBV and not _is_symbolic_value(arg):
+                return self._in_context(
+                    self._step(arg, next_variable), lambda t: App(fn, t)
+                )
+            return StepTerm(substitute(fn.body, {fn.var: arg}))
+        if isinstance(fn, Fix):
+            if self.strategy is Strategy.CBV and not _is_symbolic_value(arg):
+                return self._in_context(
+                    self._step(arg, next_variable), lambda t: App(fn, t)
+                )
+            return StepTerm(substitute(fn.body, {fn.var: arg, fn.fvar: fn}))
+        return StepStuck("application of a non-function value")
+
+    def _step_if(self, term: If, next_variable: int) -> StepOutcome:
+        guard = as_symbolic_value(term.cond)
+        if guard is not None:
+            if isinstance(guard, ConstVal):
+                chosen = term.then if guard.value <= 0 else term.orelse
+                return StepTerm(chosen)
+            return StepBranch(guard, term.then, term.orelse)
+        if _is_symbolic_value(term.cond):
+            return StepStuck("conditional guard is not of type R")
+        return self._in_context(
+            self._step(term.cond, next_variable),
+            lambda t: If(t, term.then, term.orelse),
+        )
+
+    def _step_prim(self, term: Prim, next_variable: int) -> StepOutcome:
+        for index, argument in enumerate(term.args):
+            if as_symbolic_value(argument) is not None:
+                continue
+            if _is_symbolic_value(argument):
+                return StepStuck(f"primitive argument {index} is not of type R")
+            prefix = term.args[:index]
+            suffix = term.args[index + 1 :]
+            return self._in_context(
+                self._step(argument, next_variable),
+                lambda t: Prim(term.op, prefix + (t,) + suffix),
+            )
+        values = [as_symbolic_value(argument) for argument in term.args]
+        if any(value.contains_star() for value in values):
+            # f(..., star, ...) reduces to star (Fig. 5).
+            from repro.symbolic.values import StarVal
+
+            return StepTerm(SymNumeral(StarVal()))
+        try:
+            result = simplify_prim(term.op, values, self.registry)
+        except (ValueError, ZeroDivisionError, OverflowError) as error:
+            return StepStuck(f"primitive {term.op!r} failed: {error}")
+        return StepTerm(SymNumeral(result))
+
+    def _step_score(self, term: Score, next_variable: int) -> StepOutcome:
+        value = as_symbolic_value(term.arg)
+        if value is not None:
+            if isinstance(value, ConstVal):
+                if value.value < 0:
+                    return StepStuck("score of a negative constant")
+                return StepTerm(SymNumeral(value))
+            return StepScore(value, SymNumeral(value))
+        if _is_symbolic_value(term.arg):
+            return StepStuck("score argument is not of type R")
+        return self._in_context(
+            self._step(term.arg, next_variable), lambda t: Score(t)
+        )
+
+    @staticmethod
+    def _in_context(outcome: StepOutcome, plug) -> StepOutcome:
+        """Rebuild the surrounding evaluation context around an inner outcome."""
+        if isinstance(outcome, StepTerm):
+            return StepTerm(plug(outcome.term), outcome.consumed_sample)
+        if isinstance(outcome, StepBranch):
+            return StepBranch(outcome.guard, plug(outcome.then_term), plug(outcome.else_term))
+        if isinstance(outcome, StepScore):
+            return StepScore(outcome.value, plug(outcome.term))
+        if isinstance(outcome, StepRecCall):
+            return StepRecCall(outcome.argument, plug(outcome.term))
+        return outcome
+
+
+# ---------------------------------------------------------------------------
+# Path exploration.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SymbolicPath:
+    """A terminating symbolic execution path.
+
+    ``constraints`` characterise exactly the standard traces of length
+    ``num_variables`` that follow this path; ``steps`` is the number of
+    reduction steps to the value ``result`` and ``branches`` the conditional
+    oracle (``True`` = left/then branch).
+    """
+
+    constraints: ConstraintSet
+    num_variables: int
+    steps: int
+    result: Term
+    branches: Tuple[bool, ...]
+
+
+@dataclass(frozen=True)
+class ExplorationResult:
+    """Outcome of a bounded exploration of the symbolic execution tree."""
+
+    terminated: Tuple[SymbolicPath, ...]
+    unfinished: int
+    stuck: int
+    exhausted_path_budget: bool
+
+    @property
+    def complete(self) -> bool:
+        """True iff every path reached a value within the budgets."""
+        return self.unfinished == 0 and not self.exhausted_path_budget
+
+
+@dataclass
+class _Configuration:
+    term: Term
+    constraints: ConstraintSet
+    next_variable: int
+    steps: int
+    branches: Tuple[bool, ...]
+
+
+class SymbolicExplorer:
+    """Enumerates terminating symbolic paths of a closed SPCF term."""
+
+    def __init__(
+        self,
+        strategy: Strategy = Strategy.CBN,
+        registry: Optional[PrimitiveRegistry] = None,
+    ) -> None:
+        self.registry = registry or default_registry()
+        self.stepper = SymbolicStepper(strategy, self.registry)
+
+    def explore(
+        self,
+        term: Term,
+        max_steps_per_path: int = 500,
+        max_paths: int = 100_000,
+    ) -> ExplorationResult:
+        """Enumerate terminating paths with at most ``max_steps_per_path`` steps each.
+
+        The exploration is a breadth-first traversal of the (binary) branching
+        tree, so when the ``max_paths`` budget is exhausted the paths already
+        returned are exactly those with the fewest branch decisions -- the
+        bound is an anytime result that only improves with a larger budget.
+        Paths still running when their step budget is exhausted are counted in
+        ``unfinished`` so that callers know whether the returned set of paths
+        is exhaustive up to that depth.
+        """
+        terminated: List[SymbolicPath] = []
+        unfinished = 0
+        stuck = 0
+        exhausted = False
+        pending: Deque[_Configuration] = deque(
+            [_Configuration(term, ConstraintSet(), 0, 0, ())]
+        )
+        explored = 0
+        while pending:
+            if explored >= max_paths:
+                exhausted = True
+                break
+            configuration = pending.popleft()
+            explored += 1
+            outcome = self._run_to_event(configuration, max_steps_per_path)
+            kind, payload = outcome
+            if kind == "terminated":
+                terminated.append(payload)
+            elif kind == "unfinished":
+                unfinished += 1
+            elif kind == "stuck":
+                stuck += 1
+            else:  # branch
+                pending.extend(payload)
+        return ExplorationResult(tuple(terminated), unfinished, stuck, exhausted)
+
+    def _run_to_event(
+        self, configuration: _Configuration, max_steps: int
+    ) -> Tuple[str, object]:
+        term = configuration.term
+        constraints = configuration.constraints
+        next_variable = configuration.next_variable
+        steps = configuration.steps
+        branches = configuration.branches
+        while steps < max_steps:
+            outcome = self.stepper.step(term, next_variable)
+            if isinstance(outcome, StepValue):
+                return (
+                    "terminated",
+                    SymbolicPath(constraints, next_variable, steps, term, branches),
+                )
+            if isinstance(outcome, StepTerm):
+                term = outcome.term
+                if outcome.consumed_sample:
+                    next_variable += 1
+                steps += 1
+                continue
+            if isinstance(outcome, StepScore):
+                constraints = constraints.add(Constraint(outcome.value, Relation.GE))
+                term = outcome.term
+                steps += 1
+                continue
+            if isinstance(outcome, StepBranch):
+                left = _Configuration(
+                    outcome.then_term,
+                    constraints.add(Constraint(outcome.guard, Relation.LE)),
+                    next_variable,
+                    steps + 1,
+                    branches + (True,),
+                )
+                right = _Configuration(
+                    outcome.else_term,
+                    constraints.add(Constraint(outcome.guard, Relation.GT)),
+                    next_variable,
+                    steps + 1,
+                    branches + (False,),
+                )
+                return ("branch", [left, right])
+            if isinstance(outcome, StepRecCall):
+                return ("stuck", "unexpected recursion marker during exploration")
+            if isinstance(outcome, StepStuck):
+                return ("stuck", outcome.reason)
+            raise TypeError(f"unexpected step outcome {outcome!r}")
+        return ("unfinished", None)

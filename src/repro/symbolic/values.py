@@ -1,0 +1,368 @@
+"""Symbolic values: expressions over sample variables (App. B.5).
+
+A symbolic value of type ``R`` is built from
+
+* rational/float constants,
+* sample variables ``a_i`` standing for the outcome of the ``i``-th
+  ``sample`` statement fired along a path,
+* the unknown actual argument ``(*)`` of the recursion under analysis
+  (written ``ArgVal``; Sec. 6.1 replaces the actual argument by an unknown),
+* the unknown outcome ``(star)`` of a recursive call (``StarVal``; Fig. 5
+  replaces recursive results by the distinguished numeral ``*``),
+* applications of primitive functions to symbolic values.
+
+Symbolic values support concrete evaluation under an assignment of the sample
+variables, sound interval evaluation over a box of possible assignments, and
+extraction of an exact linear form when the value is affine in the sample
+variables (used by the polytope volume oracle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, FrozenSet, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.intervals.interval import Interval
+from repro.spcf.primitives import PrimitiveRegistry, default_registry
+from repro.spcf.syntax import Term
+
+Number = Union[Fraction, float, int]
+
+
+class SymVal:
+    """Base class of symbolic values."""
+
+    __slots__ = ()
+
+    # -- structure ----------------------------------------------------------
+
+    def variables(self) -> FrozenSet[int]:
+        """Indices of the sample variables occurring in the value."""
+        raise NotImplementedError
+
+    def contains_argument(self) -> bool:
+        """True iff the unknown recursion argument ``(*)`` occurs."""
+        raise NotImplementedError
+
+    def contains_star(self) -> bool:
+        """True iff the unknown recursive outcome ``star`` occurs."""
+        raise NotImplementedError
+
+    def is_concrete(self) -> bool:
+        """True iff the value mentions neither sample variables nor unknowns."""
+        return (
+            not self.variables()
+            and not self.contains_argument()
+            and not self.contains_star()
+        )
+
+    # -- semantics ------------------------------------------------------------
+
+    def evaluate(
+        self,
+        assignment: Mapping[int, Number],
+        registry: Optional[PrimitiveRegistry] = None,
+        argument: Optional[Number] = None,
+    ) -> Union[Fraction, float]:
+        """Evaluate under an assignment of sample variables (and the argument)."""
+        raise NotImplementedError
+
+    def interval_evaluate(
+        self,
+        box: Mapping[int, Interval],
+        registry: Optional[PrimitiveRegistry] = None,
+        argument: Optional[Interval] = None,
+    ) -> Interval:
+        """Soundly over-approximate the range of the value over ``box``."""
+        raise NotImplementedError
+
+    def linear_form(
+        self, registry: Optional[PrimitiveRegistry] = None
+    ) -> Optional["LinearForm"]:
+        """Return an exact affine form in the sample variables, if one exists."""
+        raise NotImplementedError
+
+    def substitute_argument(self, value: "SymVal") -> "SymVal":
+        """Replace the unknown argument ``(*)`` by ``value``."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class LinearForm:
+    """An affine expression ``sum_i coeff_i * a_i + constant`` with exact coefficients."""
+
+    coefficients: Tuple[Tuple[int, Fraction], ...]
+    constant: Fraction
+
+    @staticmethod
+    def from_mapping(coefficients: Mapping[int, Fraction], constant: Fraction) -> "LinearForm":
+        cleaned = tuple(
+            sorted((index, value) for index, value in coefficients.items() if value != 0)
+        )
+        return LinearForm(cleaned, constant)
+
+    def as_dict(self) -> Dict[int, Fraction]:
+        return dict(self.coefficients)
+
+    def evaluate(self, assignment: Mapping[int, Number]) -> Union[Fraction, float]:
+        total: Union[Fraction, float] = self.constant
+        for index, coefficient in self.coefficients:
+            total = total + coefficient * assignment[index]
+        return total
+
+    def scale(self, factor: Fraction) -> "LinearForm":
+        return LinearForm.from_mapping(
+            {index: coefficient * factor for index, coefficient in self.coefficients},
+            self.constant * factor,
+        )
+
+    def add(self, other: "LinearForm") -> "LinearForm":
+        coefficients = dict(self.coefficients)
+        for index, coefficient in other.coefficients:
+            coefficients[index] = coefficients.get(index, Fraction(0)) + coefficient
+        return LinearForm.from_mapping(coefficients, self.constant + other.constant)
+
+    def negate(self) -> "LinearForm":
+        return self.scale(Fraction(-1))
+
+    def is_constant(self) -> bool:
+        return not self.coefficients
+
+
+@dataclass(frozen=True)
+class ConstVal(SymVal):
+    """A constant symbolic value."""
+
+    value: Union[Fraction, float]
+
+    def __init__(self, value: Number) -> None:
+        if isinstance(value, int) and not isinstance(value, bool):
+            value = Fraction(value)
+        object.__setattr__(self, "value", value)
+
+    def variables(self) -> FrozenSet[int]:
+        return frozenset()
+
+    def contains_argument(self) -> bool:
+        return False
+
+    def contains_star(self) -> bool:
+        return False
+
+    def evaluate(self, assignment, registry=None, argument=None):
+        return self.value
+
+    def interval_evaluate(self, box, registry=None, argument=None) -> Interval:
+        return Interval.point(self.value)
+
+    def linear_form(self, registry=None) -> Optional[LinearForm]:
+        # Python floats are binary rationals, so converting them to Fraction is
+        # exact; constants arising from transcendental primitives (e.g.
+        # ``sig(1)``) therefore still admit an exact affine form *relative to
+        # the float approximation of the constant*.
+        return LinearForm((), Fraction(self.value))
+
+    def substitute_argument(self, value: SymVal) -> SymVal:
+        return self
+
+    def __repr__(self) -> str:
+        return f"ConstVal({self.value})"
+
+
+@dataclass(frozen=True)
+class SampleVar(SymVal):
+    """The ``index``-th sample variable ``a_index``."""
+
+    index: int
+
+    def variables(self) -> FrozenSet[int]:
+        return frozenset({self.index})
+
+    def contains_argument(self) -> bool:
+        return False
+
+    def contains_star(self) -> bool:
+        return False
+
+    def evaluate(self, assignment, registry=None, argument=None):
+        return assignment[self.index]
+
+    def interval_evaluate(self, box, registry=None, argument=None) -> Interval:
+        return box.get(self.index, Interval(0, 1))
+
+    def linear_form(self, registry=None) -> Optional[LinearForm]:
+        return LinearForm(((self.index, Fraction(1)),), Fraction(0))
+
+    def substitute_argument(self, value: SymVal) -> SymVal:
+        return self
+
+    def __repr__(self) -> str:
+        return f"a{self.index}"
+
+
+class _UnknownEvaluation(Exception):
+    """Raised when evaluating a value containing an unknown symbol."""
+
+
+@dataclass(frozen=True)
+class ArgVal(SymVal):
+    """The unknown actual argument ``(*)`` of the recursion under analysis."""
+
+    def variables(self) -> FrozenSet[int]:
+        return frozenset()
+
+    def contains_argument(self) -> bool:
+        return True
+
+    def contains_star(self) -> bool:
+        return False
+
+    def evaluate(self, assignment, registry=None, argument=None):
+        if argument is None:
+            raise _UnknownEvaluation("cannot evaluate the unknown argument (*)")
+        return argument
+
+    def interval_evaluate(self, box, registry=None, argument=None) -> Interval:
+        if argument is None:
+            raise _UnknownEvaluation("no interval supplied for the unknown argument (*)")
+        return argument
+
+    def linear_form(self, registry=None) -> Optional[LinearForm]:
+        return None
+
+    def substitute_argument(self, value: SymVal) -> SymVal:
+        return value
+
+    def __repr__(self) -> str:
+        return "(*)"
+
+
+@dataclass(frozen=True)
+class StarVal(SymVal):
+    """The unknown outcome ``star`` of a recursive call (Fig. 5)."""
+
+    def variables(self) -> FrozenSet[int]:
+        return frozenset()
+
+    def contains_argument(self) -> bool:
+        return False
+
+    def contains_star(self) -> bool:
+        return True
+
+    def evaluate(self, assignment, registry=None, argument=None):
+        raise _UnknownEvaluation("cannot evaluate the unknown recursive outcome star")
+
+    def interval_evaluate(self, box, registry=None, argument=None) -> Interval:
+        raise _UnknownEvaluation("cannot bound the unknown recursive outcome star")
+
+    def linear_form(self, registry=None) -> Optional[LinearForm]:
+        return None
+
+    def substitute_argument(self, value: SymVal) -> SymVal:
+        return self
+
+    def __repr__(self) -> str:
+        return "star"
+
+
+@dataclass(frozen=True)
+class PrimVal(SymVal):
+    """A postponed primitive application ``op(args...)`` on symbolic values."""
+
+    op: str
+    args: Tuple[SymVal, ...]
+
+    def __init__(self, op: str, args: Sequence[SymVal]) -> None:
+        object.__setattr__(self, "op", op)
+        object.__setattr__(self, "args", tuple(args))
+
+    def variables(self) -> FrozenSet[int]:
+        result: FrozenSet[int] = frozenset()
+        for arg in self.args:
+            result = result | arg.variables()
+        return result
+
+    def contains_argument(self) -> bool:
+        return any(arg.contains_argument() for arg in self.args)
+
+    def contains_star(self) -> bool:
+        return any(arg.contains_star() for arg in self.args)
+
+    def evaluate(self, assignment, registry=None, argument=None):
+        registry = registry or default_registry()
+        values = [arg.evaluate(assignment, registry, argument) for arg in self.args]
+        return registry[self.op](*values)
+
+    def interval_evaluate(self, box, registry=None, argument=None) -> Interval:
+        registry = registry or default_registry()
+        bounds = [
+            arg.interval_evaluate(box, registry, argument).as_pair() for arg in self.args
+        ]
+        lo, hi = registry[self.op].on_box(*bounds)
+        return Interval(lo, hi)
+
+    def linear_form(self, registry=None) -> Optional[LinearForm]:
+        registry = registry or default_registry()
+        forms = [arg.linear_form(registry) for arg in self.args]
+        if any(form is None for form in forms):
+            return None
+        if self.op == "add":
+            return forms[0].add(forms[1])
+        if self.op == "sub":
+            return forms[0].add(forms[1].negate())
+        if self.op == "neg":
+            return forms[0].negate()
+        if self.op == "mul":
+            left, right = forms
+            if left.is_constant():
+                return right.scale(left.constant)
+            if right.is_constant():
+                return left.scale(right.constant)
+            return None
+        if self.op in ("min", "max", "abs") and all(form.is_constant() for form in forms):
+            constants = [form.constant for form in forms]
+            value = registry[self.op](*constants)
+            if isinstance(value, Fraction):
+                return LinearForm((), value)
+        return None
+
+    def substitute_argument(self, value: SymVal) -> SymVal:
+        return PrimVal(self.op, tuple(arg.substitute_argument(value) for arg in self.args))
+
+    def __repr__(self) -> str:
+        return f"{self.op}({', '.join(map(repr, self.args))})"
+
+
+def const(value: Number) -> ConstVal:
+    """Build a constant symbolic value."""
+    return ConstVal(value)
+
+
+def sample_var(index: int) -> SampleVar:
+    """Build the ``index``-th sample variable."""
+    return SampleVar(index)
+
+
+def simplify_prim(op: str, args: Sequence[SymVal], registry: Optional[PrimitiveRegistry] = None) -> SymVal:
+    """Build ``PrimVal(op, args)``, folding it to a constant when possible."""
+    registry = registry or default_registry()
+    if all(isinstance(arg, ConstVal) for arg in args):
+        values = [arg.value for arg in args]  # type: ignore[union-attr]
+        return ConstVal(registry[op](*values))
+    return PrimVal(op, tuple(args))
+
+
+@dataclass(frozen=True)
+class SymNumeral(Term):
+    """A term-level constant of type ``R`` wrapping a symbolic value.
+
+    This is the leaf extension used by the symbolic executors; the generic
+    term traversals of :mod:`repro.spcf.syntax` treat it as a closed constant.
+    """
+
+    value: SymVal
+
+    def __repr__(self) -> str:
+        return f"SymNumeral({self.value!r})"

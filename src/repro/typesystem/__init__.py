@@ -1,0 +1,42 @@
+"""The intersection type system of Sec. 4.
+
+Set types annotate a term of type R with triples ``(alpha, p, tau)``: a value
+description ``alpha`` (an interval for base-type results, an arrow shape for
+functions), a terminating interval trace ``p`` and the number of reduction
+steps ``tau`` taken along it.  The weight ``omega(A)`` of a set type is the
+summed weight of its traces and ``E(A)`` the trace-weighted sum of step
+counts; Thm. 4.1 states that the suprema of these two quantities over all
+derivations are exactly ``Pterm`` and (for AST terms) ``Eterm``.
+
+The package provides the type syntax with ``omega``/``E``, an explicit
+derivation representation with a rule-by-rule checker for the judgement forms
+used by base-type programs, and an inference oracle that produces set types
+(together with their witnessing interval traces) from the interval-based
+semantics, so that the sup-convergence of Thm. 4.1 can be observed
+numerically.
+"""
+
+from repro.typesystem.settypes import (
+    ArrowElement,
+    IntervalElement,
+    SetType,
+    TypeElement,
+    expected_steps,
+    weight,
+)
+from repro.typesystem.derivation import Derivation, DerivationError, check_derivation
+from repro.typesystem.inference import infer_set_type, InferenceResult
+
+__all__ = [
+    "ArrowElement",
+    "Derivation",
+    "DerivationError",
+    "InferenceResult",
+    "IntervalElement",
+    "SetType",
+    "TypeElement",
+    "check_derivation",
+    "expected_steps",
+    "infer_set_type",
+    "weight",
+]

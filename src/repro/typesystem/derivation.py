@@ -1,0 +1,335 @@
+"""Explicit typing derivations and a rule-by-rule checker (Fig. 4).
+
+A :class:`Derivation` records the rule applied, the subject term, the typing
+environment (mapping variables to intersections, i.e. tuples of set types),
+the concluded set type, and the sub-derivations for the premises.  The checker
+validates the local side conditions of each rule:
+
+* ``(num)``   -- an interval numeral is typed by itself with the empty trace,
+* ``(sample)``-- the sampled intervals are pairwise almost disjoint and each
+  triple consumes exactly its own interval in one step,
+* ``(if)``    -- the branch premises are selected by the sign of the guard
+  intervals and the conclusion is the union of the branch types shifted by
+  the guard's trace and step count plus one,
+* ``(score)`` -- only non-negative intervals survive, one step is added,
+* ``(prim)``  -- the conclusion applies the interval extension of the
+  primitive to the argument triples, concatenating traces and adding one step,
+* ``(app)``/``(abs)``/``(fix)``/``(var)``/``(empty)`` -- the CbN application
+  discipline of the paper.
+
+The checker validates derivations; building them is the business of
+:mod:`repro.typesystem.inference` (for base-type programs) or of the caller
+(the tests construct small derivations by hand, including invalid ones).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.intervals.interval import Interval
+from repro.intervals.terms import IntervalNumeral
+from repro.intervals.trace import IntervalTrace
+from repro.spcf.primitives import PrimitiveRegistry, default_registry
+from repro.spcf.syntax import App, Fix, If, Lam, Prim, Sample, Score, Term, Var
+from repro.typesystem.settypes import (
+    ArrowElement,
+    IntervalElement,
+    SetType,
+    TypedTriple,
+)
+
+Environment = Mapping[str, Tuple[SetType, ...]]
+
+
+class DerivationError(Exception):
+    """Raised when a derivation violates a side condition of its rule."""
+
+
+@dataclass(frozen=True)
+class Derivation:
+    """One node of a typing derivation."""
+
+    rule: str
+    term: Term
+    conclusion: SetType
+    environment: Dict[str, Tuple[SetType, ...]] = field(default_factory=dict)
+    premises: Tuple["Derivation", ...] = ()
+
+
+def _triples_multiset(set_type: SetType) -> Counter:
+    return Counter((repr(t.element), t.trace.intervals, t.steps) for t in set_type)
+
+
+def _same_set_type(left: SetType, right: SetType) -> bool:
+    return _triples_multiset(left) == _triples_multiset(right)
+
+
+def check_derivation(
+    derivation: Derivation, registry: Optional[PrimitiveRegistry] = None
+) -> bool:
+    """Check every rule application in ``derivation``; raise on violations."""
+    registry = registry or default_registry()
+    _check(derivation, registry)
+    return True
+
+
+def _check(derivation: Derivation, registry: PrimitiveRegistry) -> None:
+    for premise in derivation.premises:
+        _check(premise, registry)
+    handler = _RULES.get(derivation.rule)
+    if handler is None:
+        raise DerivationError(f"unknown rule {derivation.rule!r}")
+    handler(derivation, registry)
+
+
+# -- individual rules --------------------------------------------------------
+
+
+def _check_empty(derivation: Derivation, registry: PrimitiveRegistry) -> None:
+    if len(derivation.conclusion) != 0:
+        raise DerivationError("the (empty) rule concludes the empty set type")
+
+
+def _check_num(derivation: Derivation, registry: PrimitiveRegistry) -> None:
+    term = derivation.term
+    if not isinstance(term, IntervalNumeral):
+        raise DerivationError("the (num) rule applies to interval numerals")
+    expected = SetType(
+        (TypedTriple(IntervalElement(term.interval), IntervalTrace(()), 0),)
+    )
+    if not _same_set_type(derivation.conclusion, expected):
+        raise DerivationError("the (num) conclusion must be {([a,b], eps, 0)}")
+
+
+def _check_var(derivation: Derivation, registry: PrimitiveRegistry) -> None:
+    term = derivation.term
+    if not isinstance(term, Var):
+        raise DerivationError("the (var) rule applies to variables")
+    intersection = derivation.environment.get(term.name)
+    if intersection is None:
+        raise DerivationError(f"variable {term.name!r} is not in the environment")
+    if not any(_same_set_type(derivation.conclusion, member) for member in intersection):
+        raise DerivationError(
+            "the (var) conclusion must be one of the environment's set types"
+        )
+
+
+def _check_sample(derivation: Derivation, registry: PrimitiveRegistry) -> None:
+    if not isinstance(derivation.term, Sample):
+        raise DerivationError("the (sample) rule applies to sample")
+    intervals = []
+    for triple in derivation.conclusion:
+        if not isinstance(triple.element, IntervalElement):
+            raise DerivationError("sample is typed with interval elements")
+        if len(triple.trace) != 1 or triple.trace[0] != triple.element.interval:
+            raise DerivationError(
+                "each sample triple must consume exactly its own interval"
+            )
+        if triple.steps != 1:
+            raise DerivationError("a sample reduction takes exactly one step")
+        if not triple.element.interval.within_unit():
+            raise DerivationError("sampled intervals must lie within [0, 1]")
+        intervals.append(triple.element.interval)
+    for index, first in enumerate(intervals):
+        for second in intervals[index + 1 :]:
+            if not first.almost_disjoint(second):
+                raise DerivationError("sampled intervals must be pairwise almost disjoint")
+
+
+def _check_abs(derivation: Derivation, registry: PrimitiveRegistry) -> None:
+    term = derivation.term
+    if not isinstance(term, Lam):
+        raise DerivationError("the (abs) rule applies to lambda abstractions")
+    if len(derivation.conclusion) != 1:
+        raise DerivationError("the (abs) conclusion is a singleton")
+    triple = derivation.conclusion.triples[0]
+    if not isinstance(triple.element, ArrowElement):
+        raise DerivationError("the (abs) conclusion must be an arrow element")
+    if len(triple.trace) != 0 or triple.steps != 0:
+        raise DerivationError("an abstraction is a value: empty trace, zero steps")
+    if len(derivation.premises) != 1:
+        raise DerivationError("the (abs) rule has exactly one premise")
+    premise = derivation.premises[0]
+    bound = premise.environment.get(term.var)
+    if bound is None or Counter(map(repr, bound)) != Counter(
+        map(repr, triple.element.source)
+    ):
+        raise DerivationError(
+            "the premise must bind the abstracted variable to the arrow's source"
+        )
+    if not _same_set_type(premise.conclusion, triple.element.target):
+        raise DerivationError("the premise must conclude the arrow's target")
+
+
+def _check_fix(derivation: Derivation, registry: PrimitiveRegistry) -> None:
+    term = derivation.term
+    if not isinstance(term, Fix):
+        raise DerivationError("the (fix) rule applies to fixpoint abstractions")
+    if len(derivation.conclusion) != 1:
+        raise DerivationError("the (fix) conclusion is a singleton")
+    triple = derivation.conclusion.triples[0]
+    if not isinstance(triple.element, ArrowElement):
+        raise DerivationError("the (fix) conclusion must be an arrow element")
+    if len(triple.trace) != 0 or triple.steps != 0:
+        raise DerivationError("a fixpoint abstraction is a value: empty trace, zero steps")
+    if not derivation.premises:
+        raise DerivationError("the (fix) rule needs at least the body premise")
+    body_premise = derivation.premises[0]
+    if not _same_set_type(body_premise.conclusion, triple.element.target):
+        raise DerivationError("the body premise must conclude the arrow's target")
+    bound = body_premise.environment.get(term.var)
+    if bound is None or Counter(map(repr, bound)) != Counter(
+        map(repr, triple.element.source)
+    ):
+        raise DerivationError(
+            "the body premise must bind the argument variable to the arrow's source"
+        )
+
+
+def _check_score(derivation: Derivation, registry: PrimitiveRegistry) -> None:
+    term = derivation.term
+    if not isinstance(term, Score):
+        raise DerivationError("the (score) rule applies to score terms")
+    if len(derivation.premises) != 1:
+        raise DerivationError("the (score) rule has exactly one premise")
+    premise = derivation.premises[0]
+    expected = []
+    for triple in premise.conclusion:
+        if not isinstance(triple.element, IntervalElement):
+            raise DerivationError("score premises must have interval elements")
+        if triple.element.interval.lo >= 0:
+            expected.append(
+                TypedTriple(triple.element, triple.trace, triple.steps + 1)
+            )
+    if not _same_set_type(derivation.conclusion, SetType(expected)):
+        raise DerivationError(
+            "the (score) conclusion keeps the non-negative triples with one more step"
+        )
+
+
+def _check_if(derivation: Derivation, registry: PrimitiveRegistry) -> None:
+    term = derivation.term
+    if not isinstance(term, If):
+        raise DerivationError("the (if) rule applies to conditionals")
+    if not derivation.premises:
+        raise DerivationError("the (if) rule needs a guard premise")
+    guard = derivation.premises[0]
+    branch_premises = list(derivation.premises[1:])
+    expected = SetType(())
+    for triple in guard.conclusion:
+        if not isinstance(triple.element, IntervalElement):
+            raise DerivationError("the guard must have interval elements")
+        interval = triple.element.interval
+        if interval.hi <= 0 or interval.lo > 0:
+            if not branch_premises:
+                raise DerivationError("missing a branch premise for a decided guard triple")
+            branch = branch_premises.pop(0)
+            expected = expected.union(branch.conclusion.shifted(triple.trace, triple.steps + 1))
+        else:
+            raise DerivationError(
+                "guard intervals must decide the branch (no straddling of 0)"
+            )
+    if branch_premises:
+        raise DerivationError("too many branch premises")
+    if not _same_set_type(derivation.conclusion, expected):
+        raise DerivationError(
+            "the (if) conclusion must be the union of the shifted branch types"
+        )
+
+
+def _check_prim(derivation: Derivation, registry: PrimitiveRegistry) -> None:
+    term = derivation.term
+    if not isinstance(term, Prim):
+        raise DerivationError("the (prim) rule applies to primitive applications")
+    primitive = registry[term.op]
+    if len(derivation.premises) < 1:
+        raise DerivationError("the (prim) rule needs its argument premises")
+    if primitive.arity == 1:
+        expected = []
+        for triple in derivation.premises[0].conclusion:
+            interval = _interval_of(triple)
+            lo, hi = primitive.on_box(interval.as_pair())
+            expected.append(
+                TypedTriple(IntervalElement(Interval(lo, hi)), triple.trace, triple.steps + 1)
+            )
+        if not _same_set_type(derivation.conclusion, SetType(expected)):
+            raise DerivationError("unary (prim) conclusion mismatch")
+        return
+    if primitive.arity != 2:
+        raise DerivationError("the checker supports primitives of arity 1 and 2")
+    first = derivation.premises[0]
+    rest = list(derivation.premises[1:])
+    expected = []
+    for triple in first.conclusion:
+        if not rest:
+            raise DerivationError("missing a second-argument premise")
+        second = rest.pop(0)
+        for other in second.conclusion:
+            lo, hi = primitive.on_box(
+                _interval_of(triple).as_pair(), _interval_of(other).as_pair()
+            )
+            expected.append(
+                TypedTriple(
+                    IntervalElement(Interval(lo, hi)),
+                    triple.trace.concat(other.trace),
+                    triple.steps + other.steps + 1,
+                )
+            )
+    if rest:
+        raise DerivationError("too many second-argument premises")
+    if not _same_set_type(derivation.conclusion, SetType(expected)):
+        raise DerivationError("binary (prim) conclusion mismatch")
+
+
+def _check_app(derivation: Derivation, registry: PrimitiveRegistry) -> None:
+    term = derivation.term
+    if not isinstance(term, App):
+        raise DerivationError("the (app) rule applies to applications")
+    if not derivation.premises:
+        raise DerivationError("the (app) rule needs the function premise")
+    function = derivation.premises[0]
+    argument_premises = list(derivation.premises[1:])
+    expected = SetType(())
+    for triple in function.conclusion:
+        if not isinstance(triple.element, ArrowElement):
+            raise DerivationError("the function premise must have arrow elements")
+        for required in triple.element.source:
+            if not argument_premises:
+                raise DerivationError("missing an argument premise")
+            premise = argument_premises.pop(0)
+            if not _same_set_type(premise.conclusion, required):
+                raise DerivationError(
+                    "an argument premise does not match the arrow's source"
+                )
+        expected = expected.union(
+            triple.element.target.shifted(triple.trace, triple.steps + 1)
+        )
+    if argument_premises:
+        raise DerivationError("too many argument premises")
+    if not _same_set_type(derivation.conclusion, expected):
+        raise DerivationError(
+            "the (app) conclusion must be the union of the shifted targets"
+        )
+
+
+def _interval_of(triple: TypedTriple) -> Interval:
+    if not isinstance(triple.element, IntervalElement):
+        raise DerivationError("expected an interval element")
+    return triple.element.interval
+
+
+_RULES = {
+    "empty": _check_empty,
+    "num": _check_num,
+    "var": _check_var,
+    "sample": _check_sample,
+    "abs": _check_abs,
+    "fix": _check_fix,
+    "score": _check_score,
+    "if": _check_if,
+    "prim": _check_prim,
+    "app": _check_app,
+}

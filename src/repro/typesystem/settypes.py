@@ -1,0 +1,121 @@
+"""Set types, intersections, and their quantitative functionals (Sec. 4.1).
+
+The grammar of the paper is
+
+    alpha ::= [a, b] | sigma -> A        (element types)
+    sigma ::= {A_1, ..., A_n}            (intersections)
+    A     ::= {(alpha_1, p_1, tau_1), ..., (alpha_m, p_m, tau_m)}   (set types)
+
+where each ``p_i`` is an interval trace and ``tau_i`` a step count.  A set
+type lists finitely many ways a term can converge: the value description, the
+interval trace consumed, and the number of steps taken.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Iterator, Tuple, Union
+
+from repro.intervals.interval import Interval
+from repro.intervals.trace import IntervalTrace
+
+Number = Union[Fraction, float]
+
+
+class TypeElement:
+    """Base class of element types ``alpha``."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class IntervalElement(TypeElement):
+    """A base-type element: the value lies in ``interval``."""
+
+    interval: Interval
+
+    def __repr__(self) -> str:
+        return f"IntervalElement({self.interval!r})"
+
+
+@dataclass(frozen=True)
+class ArrowElement(TypeElement):
+    """A functional element ``sigma -> target``."""
+
+    source: Tuple["SetType", ...]
+    target: "SetType"
+
+    def __init__(self, source: Iterable["SetType"], target: "SetType") -> None:
+        object.__setattr__(self, "source", tuple(source))
+        object.__setattr__(self, "target", target)
+
+    def __repr__(self) -> str:
+        return f"ArrowElement({list(self.source)!r} -> {self.target!r})"
+
+
+@dataclass(frozen=True)
+class TypedTriple:
+    """One element ``(alpha, p, tau)`` of a set type."""
+
+    element: TypeElement
+    trace: IntervalTrace
+    steps: int
+
+    def shifted(self, prefix: IntervalTrace, extra_steps: int) -> "TypedTriple":
+        """``(alpha, prefix . p, tau + extra_steps)`` -- the paper's ``A^(p, t)``."""
+        return TypedTriple(self.element, prefix.concat(self.trace), self.steps + extra_steps)
+
+
+@dataclass(frozen=True)
+class SetType:
+    """A finite set of typed triples."""
+
+    triples: Tuple[TypedTriple, ...]
+
+    def __init__(self, triples: Iterable[TypedTriple] = ()) -> None:
+        object.__setattr__(self, "triples", tuple(triples))
+
+    def __iter__(self) -> Iterator[TypedTriple]:
+        return iter(self.triples)
+
+    def __len__(self) -> int:
+        return len(self.triples)
+
+    def union(self, other: "SetType") -> "SetType":
+        return SetType(self.triples + other.triples)
+
+    def shifted(self, prefix: IntervalTrace, extra_steps: int) -> "SetType":
+        """Prepend ``prefix`` to every trace and add ``extra_steps`` to every count."""
+        return SetType(triple.shifted(prefix, extra_steps) for triple in self.triples)
+
+    def traces(self) -> Tuple[IntervalTrace, ...]:
+        return tuple(triple.trace for triple in self.triples)
+
+    def pairwise_compatible(self) -> bool:
+        """Compatibility of the witnessing traces (needed for Thm. 3.4 soundness)."""
+        traces = self.traces()
+        for index, first in enumerate(traces):
+            for second in traces[index + 1 :]:
+                if not first.compatible(second):
+                    return False
+        return True
+
+    def __repr__(self) -> str:
+        return f"SetType({list(self.triples)!r})"
+
+
+def weight(set_type: SetType) -> Number:
+    """``omega(A)``: the summed weight of the witnessing interval traces."""
+    total: Number = Fraction(0)
+    for triple in set_type:
+        total = total + triple.trace.weight
+    return total
+
+
+def expected_steps(set_type: SetType) -> Number:
+    """``E(A)``: the trace-weighted sum of step counts."""
+    total: Number = Fraction(0)
+    for triple in set_type:
+        total = total + triple.trace.weight * triple.steps
+    return total

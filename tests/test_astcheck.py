@@ -1,0 +1,204 @@
+"""Tests for the AST verifier: execution trees, strategies, Papprox, verdicts."""
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.astcheck import (
+    build_execution_tree,
+    count_strategies,
+    enumerate_strategies,
+    min_probability_at_most,
+    papprox_distribution,
+    verify_ast,
+)
+from repro.astcheck.exectree import (
+    ExecMu,
+    ExecNondetBranch,
+    ExecProbBranch,
+    ExecutionTreeError,
+    render_tree,
+)
+from repro.counting.pattern import counting_pattern_exact
+from repro.programs import (
+    geometric,
+    golden_ratio,
+    one_dim_random_walk,
+    printer_affine,
+    printer_nonaffine,
+    running_example,
+    running_example_first_class,
+    table2_programs,
+    three_print,
+)
+from repro.randomwalk.order import cumulative_dominates
+from repro.spcf.syntax import App, Fix, If, Numeral, Sample, Score, Var
+
+
+class TestExecutionTree:
+    def test_running_example_tree_matches_fig_6a(self):
+        tree = build_execution_tree(running_example(Fraction(3, 5)).fix)
+        # Root: probabilistic branch on a0 - p.
+        assert isinstance(tree.root, ExecProbBranch)
+        # Failure branch: the Environment branch on a1 - sig((*)).
+        failure = tree.root.else_child
+        assert isinstance(failure, ExecNondetBranch)
+        assert failure.guard.contains_argument()
+        # Its left child is the fair probabilistic choice between 3 and 2 calls.
+        tired = failure.then_child
+        assert isinstance(tired, ExecProbBranch)
+        assert tree.max_recursive_calls == 3
+        assert tree.nondet_node_count == 1
+        assert tree.prob_node_count == 2
+        assert tree.leaf_count == 4
+
+    def test_fig_6b_strategy_count(self):
+        tree = build_execution_tree(running_example(Fraction(3, 5)).fix)
+        assert count_strategies(tree) == 2
+        resolved = list(enumerate_strategies(tree))
+        assert len(resolved) == 2
+        assert {r.choices for r in resolved} == {(True,), (False,)}
+
+    def test_affine_programs_have_no_nondeterministic_nodes(self):
+        tree = build_execution_tree(geometric(Fraction(1, 2)).fix)
+        assert tree.nondet_node_count == 0
+        assert tree.max_recursive_calls == 1
+        assert count_strategies(tree) == 1
+
+    def test_argument_dependent_guard_is_nondeterministic(self):
+        tree = build_execution_tree(one_dim_random_walk(Fraction(1, 2), 1).fix)
+        # The guard x <= 0 depends on the unknown argument.
+        assert isinstance(tree.root, ExecNondetBranch)
+        assert tree.max_recursive_calls == 1
+
+    def test_diverging_body_raises(self):
+        # mu phi x. (mu psi y. psi y) x -- the body diverges without recursing.
+        inner = Fix("psi", "y", App(Var("psi"), Var("y")))
+        fix = Fix("phi", "x", App(inner, Var("x")))
+        with pytest.raises(ExecutionTreeError):
+            build_execution_tree(fix, max_steps=200)
+
+    def test_render_tree_mentions_environment_nodes(self):
+        tree = build_execution_tree(running_example(Fraction(3, 5)).fix)
+        rendering = render_tree(tree)
+        assert "Environment" in rendering
+        assert rendering.count("mu") >= 3
+
+
+class TestPapprox:
+    def test_min_probability_is_monotone_in_the_budget(self):
+        tree = build_execution_tree(running_example_first_class(Fraction(13, 20)).fix)
+        values = [min_probability_at_most(tree, budget) for budget in range(4)]
+        assert all(a <= b for a, b in zip(values, values[1:]))
+        assert values[-1] == 1
+
+    def test_papprox_of_the_running_example(self):
+        tree = build_execution_tree(running_example(Fraction(3, 5)).fix)
+        result = papprox_distribution(tree)
+        assert result.exact
+        assert result.distribution.as_dict() == {
+            0: Fraction(3, 5),
+            2: Fraction(1, 5),
+            3: Fraction(1, 5),
+        }
+
+    def test_papprox_of_ex_5_15_matches_table_2(self):
+        tree = build_execution_tree(running_example_first_class(Fraction(13, 20)).fix)
+        result = papprox_distribution(tree)
+        assert result.distribution.as_dict() == {
+            0: Fraction(13, 20),
+            2: Fraction(49, 800),
+            3: Fraction(231, 800),
+        }
+
+    def test_papprox_is_below_the_counting_pattern(self):
+        # Thm. 6.2: Papprox is cumulative-dominated by the counting pattern of
+        # every actual argument.
+        program = running_example(Fraction(3, 5))
+        papprox = papprox_distribution(build_execution_tree(program.fix)).distribution
+        for argument in (0, 1, 5, 20):
+            pattern = counting_pattern_exact(program.fix, argument).distribution
+            assert cumulative_dominates(papprox, pattern)
+
+
+class TestVerifier:
+    def test_table2_programs_are_verified_with_the_paper_distributions(self):
+        expected = {
+            "ex1.1-(1)(1/2)": {0: Fraction(1, 2), 1: Fraction(1, 2)},
+            "ex1.1-(2)(1/2)": {0: Fraction(1, 2), 2: Fraction(1, 2)},
+            "3print(2/3)": {0: Fraction(2, 3), 3: Fraction(1, 3)},
+            "ex5.1(0.6)": {0: Fraction(3, 5), 2: Fraction(1, 5), 3: Fraction(1, 5)},
+            "ex5.15(0.65)": {
+                0: Fraction(13, 20),
+                2: Fraction(49, 800),
+                3: Fraction(231, 800),
+            },
+        }
+        for name, program in table2_programs().items():
+            result = verify_ast(program)
+            assert result.verified, name
+            assert result.papprox.as_dict() == expected[name], name
+
+    def test_thresholds_of_the_printer_examples(self):
+        assert verify_ast(printer_nonaffine(Fraction(1, 2))).verified
+        assert not verify_ast(printer_nonaffine(Fraction(49, 100))).verified
+        assert verify_ast(three_print(Fraction(2, 3))).verified
+        assert not verify_ast(three_print(Fraction(3, 5))).verified
+
+    def test_threshold_of_the_running_example_is_three_fifths(self):
+        assert verify_ast(running_example(Fraction(3, 5))).verified
+        assert not verify_ast(running_example(Fraction(59, 100))).verified
+
+    def test_threshold_of_ex_5_15_is_sqrt7_minus_2(self):
+        threshold = math.sqrt(7) - 2
+        above = Fraction(13, 20)  # 0.65
+        below = Fraction(16, 25)  # 0.64
+        assert float(below) < threshold < float(above)
+        assert verify_ast(running_example_first_class(above)).verified
+        assert not verify_ast(running_example_first_class(below)).verified
+
+    def test_affine_zero_one_law(self):
+        assert verify_ast(printer_affine(Fraction(1, 1000))).verified
+        assert verify_ast(geometric(Fraction(1, 10))).verified
+
+    def test_golden_ratio_program_is_not_ast(self):
+        result = verify_ast(golden_ratio())
+        assert not result.verified
+        assert result.papprox.expected_calls > 1
+
+    def test_one_dim_random_walk_is_verified_despite_argument_guards(self):
+        # The guard x <= 0 is resolved by the Environment; in the worst case
+        # the walk never stops at 0, but each unfolding is still affine with a
+        # coin flip, so Papprox = 1/2 d1 + 1/2 d1 = d1 ... which has drift 0.
+        result = verify_ast(one_dim_random_walk(Fraction(1, 2), 1))
+        assert result.verified
+        result = verify_ast(one_dim_random_walk(Fraction(2, 5), 1))
+        assert result.verified  # still rank 1: the functional zero-one law
+
+    def test_verifier_rejects_star_dependent_guards(self):
+        fix = Fix("phi", "x", If(App(Var("phi"), Var("x")), Numeral(0), Numeral(1)))
+        result = verify_ast(fix)
+        assert not result.verified
+        assert not result.progress.ok
+
+    def test_verifier_reports_score_mass_loss(self):
+        # score(sample - 1) fails on almost every draw; the surviving mass is 0.
+        fix = Fix(
+            "phi",
+            "x",
+            If(Sample(), Var("x"), Score(Numeral(-1))),
+        )
+        result = verify_ast(fix)
+        assert not result.verified
+
+    def test_verifier_accepts_program_objects_and_fix_terms(self):
+        program = printer_nonaffine(Fraction(1, 2))
+        assert verify_ast(program).verified == verify_ast(program.fix).verified
+        with pytest.raises(TypeError):
+            verify_ast(program.applied)
+
+    def test_summary_is_informative(self):
+        summary = verify_ast(printer_nonaffine(Fraction(1, 2))).summary()
+        assert "AST verified" in summary
+        assert "d2" in summary

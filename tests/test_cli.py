@@ -1,0 +1,97 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_verify_a_library_program(capsys):
+    exit_code = main(["verify", "ex1.1-(2)(1/2)"])
+    output = capsys.readouterr().out
+    assert exit_code == 0
+    assert "AST verified" in output
+    assert "1/2*d2" in output
+
+
+def test_verify_a_surface_syntax_program_that_is_not_ast(capsys):
+    exit_code = main(
+        ["verify", "mu phi x. if sample - 1/4 then x else phi (phi (x + 1))", "--tree"]
+    )
+    output = capsys.readouterr().out
+    assert exit_code == 1
+    assert "not verified" in output
+    assert "execution tree" in output
+
+
+def test_lower_bound_command(capsys):
+    exit_code = main(
+        [
+            "lower-bound",
+            "(mu phi x. if sample - 1/2 then x else phi (x + 1)) 1",
+            "--depth",
+            "40",
+        ]
+    )
+    output = capsys.readouterr().out
+    assert exit_code == 0
+    assert "lower bound" in output
+    assert "0.99" in output
+
+
+def test_estimate_command_accepts_library_names(capsys):
+    exit_code = main(["estimate", "--program", "geo(1/2)", "--runs", "200"])
+    output = capsys.readouterr().out
+    assert exit_code == 0
+    assert "Pterm (MC)" in output
+
+
+def test_table2_command_lists_all_rows(capsys):
+    exit_code = main(["table2"])
+    output = capsys.readouterr().out
+    assert exit_code == 0
+    assert output.count("yes") == 5
+
+
+def test_list_programs_command(capsys):
+    exit_code = main(["list-programs"])
+    output = capsys.readouterr().out
+    assert exit_code == 0
+    assert "geo(1/2)" in output
+    assert "pedestrian" in output
+
+
+def test_parser_requires_a_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_classify_command_on_past_program(capsys):
+    exit_code = main(["classify", "geo(1/2)"])
+    output = capsys.readouterr().out
+    assert exit_code == 0
+    assert "PAST (and hence AST) verified" in output
+    assert "E[calls]" in output
+
+
+def test_classify_command_on_critical_program(capsys):
+    exit_code = main(["classify", "ex1.1(1/2)"])
+    output = capsys.readouterr().out
+    assert exit_code == 0
+    assert "AST verified; not PAST" in output
+
+
+def test_report_command_emits_markdown_tables(capsys):
+    exit_code = main(["report", "--depth", "15"])
+    output = capsys.readouterr().out
+    assert exit_code == 0
+    assert "## Table 1" in output
+    assert "## Table 2" in output
+    assert "## AST / PAST classification" in output
+
+
+def test_list_programs_includes_extra_library(capsys):
+    exit_code = main(["list-programs"])
+    output = capsys.readouterr().out
+    assert exit_code == 0
+    assert "two-sample-sum" in output
+    assert "von-neumann(1/3)" in output

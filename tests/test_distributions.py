@@ -1,0 +1,302 @@
+"""Tests for distribution transforms and interval-separability analysis.
+
+The transforms are checked against closed-form moments and CDF values; the
+numeric probes are checked to accept the continuous primitives (Lem. 3.2 /
+Lem. 3.7) and to reject the deliberately discontinuous ``floor`` and the fat
+Cantor distance of Ex. 3.9; and the incompleteness example is checked to
+exhibit the predicted gap in the interval-based lower bound.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import (
+    bernoulli,
+    cauchy,
+    check_interval_preserving,
+    check_interval_separable,
+    exponential,
+    extended_registry,
+    fat_cantor_primitive,
+    fat_cantor_set,
+    incompleteness_example,
+    logistic,
+    normal,
+    pareto,
+    sample_values,
+    uniform,
+)
+from repro.spcf import typecheck
+from repro.spcf.primitives import default_registry
+from repro.spcf.types import RealType
+
+
+# ---------------------------------------------------------------------------
+# Registry.
+# ---------------------------------------------------------------------------
+
+
+class TestExtendedRegistry:
+    def test_contains_default_and_extra_primitives(self):
+        registry = extended_registry()
+        for name in ("add", "mul", "sig", "probit", "logit", "cauchy_icdf", "sqrt", "floor"):
+            assert name in registry
+
+    def test_default_registry_not_mutated(self):
+        extended_registry()
+        assert "probit" not in default_registry()
+
+    def test_probit_matches_normal_quantiles(self):
+        registry = extended_registry()
+        probit = registry["probit"]
+        assert probit(Fraction(1, 2)) == pytest.approx(0.0, abs=1e-12)
+        assert probit(0.975) == pytest.approx(1.959964, abs=1e-5)
+
+    def test_probit_domain_error(self):
+        registry = extended_registry()
+        with pytest.raises(ValueError):
+            registry["probit"](0.0)
+
+    def test_logit_is_inverse_of_sigmoid(self):
+        registry = extended_registry()
+        logit = registry["logit"]
+        sig = registry["sig"]
+        for value in (0.1, 0.35, 0.5, 0.9):
+            assert sig(logit(value)) == pytest.approx(value, abs=1e-12)
+
+    def test_interval_extensions_are_monotone_enclosures(self):
+        registry = extended_registry()
+        for name in ("probit", "logit", "cauchy_icdf", "sqrt"):
+            primitive = registry[name]
+            lo, hi = primitive.on_box((0.2, 0.7))
+            assert lo <= primitive(0.2) <= hi
+            assert lo <= primitive(0.45) <= hi
+            assert lo <= primitive(0.7) <= hi
+
+    def test_sqrt_extension_rejects_negative(self):
+        registry = extended_registry()
+        with pytest.raises(ValueError):
+            registry["sqrt"].on_box((-0.5, 0.5))
+
+
+# ---------------------------------------------------------------------------
+# Transforms.
+# ---------------------------------------------------------------------------
+
+
+class TestTransforms:
+    def test_all_transforms_typecheck_as_reals(self):
+        registry = extended_registry()
+        for term in (
+            uniform(2, 5),
+            bernoulli(Fraction(1, 3)),
+            exponential(2),
+            logistic(0, 1),
+            normal(0, 1),
+            cauchy(0, 1),
+            pareto(3, 1),
+        ):
+            assert typecheck(term, registry=registry) == RealType()
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            uniform(3, 1)
+        with pytest.raises(ValueError):
+            bernoulli(Fraction(3, 2))
+        with pytest.raises(ValueError):
+            exponential(0)
+        with pytest.raises(ValueError):
+            logistic(0, 0)
+        with pytest.raises(ValueError):
+            normal(0, 0)
+        with pytest.raises(ValueError):
+            cauchy(0, 0)
+        with pytest.raises(ValueError):
+            pareto(0, 1)
+
+    def test_uniform_moments(self):
+        values = sample_values(uniform(2, 6), runs=4_000, seed=1)
+        assert len(values) > 3_900
+        assert all(2 <= value <= 6 for value in values)
+        assert statistics.fmean(values) == pytest.approx(4.0, abs=0.1)
+
+    def test_bernoulli_mean(self):
+        values = sample_values(bernoulli(Fraction(3, 10)), runs=4_000, seed=2)
+        assert set(values) <= {0.0, 1.0}
+        assert statistics.fmean(values) == pytest.approx(0.3, abs=0.03)
+
+    def test_exponential_mean_and_cdf(self):
+        rate = 2
+        values = sample_values(exponential(rate), runs=4_000, seed=3)
+        assert all(value >= 0 for value in values)
+        assert statistics.fmean(values) == pytest.approx(1 / rate, abs=0.05)
+        below_median = sum(1 for value in values if value <= math.log(2) / rate)
+        assert below_median / len(values) == pytest.approx(0.5, abs=0.03)
+
+    def test_normal_moments(self):
+        values = sample_values(normal(1, 2), runs=4_000, seed=4)
+        assert statistics.fmean(values) == pytest.approx(1.0, abs=0.15)
+        assert statistics.pstdev(values) == pytest.approx(2.0, abs=0.15)
+
+    def test_logistic_median_and_quartiles(self):
+        values = sample_values(logistic(3, 1), runs=4_000, seed=5)
+        below = sum(1 for value in values if value <= 3)
+        assert below / len(values) == pytest.approx(0.5, abs=0.03)
+        below_q1 = sum(1 for value in values if value <= 3 + math.log(1 / 3))
+        assert below_q1 / len(values) == pytest.approx(0.25, abs=0.03)
+
+    def test_cauchy_median_and_quartiles(self):
+        values = sample_values(cauchy(0, 2), runs=4_000, seed=6)
+        below = sum(1 for value in values if value <= 0)
+        assert below / len(values) == pytest.approx(0.5, abs=0.03)
+        below_q3 = sum(1 for value in values if value <= 2)
+        assert below_q3 / len(values) == pytest.approx(0.75, abs=0.03)
+
+    def test_pareto_support_and_cdf(self):
+        values = sample_values(pareto(3, 2), runs=4_000, seed=7)
+        assert all(value >= 2 - 1e-9 for value in values)
+        # P(X <= 4) = 1 - (2/4)^3 = 7/8.
+        below = sum(1 for value in values if value <= 4)
+        assert below / len(values) == pytest.approx(7 / 8, abs=0.03)
+
+    @given(st.floats(min_value=0.05, max_value=0.95))
+    @settings(max_examples=20, deadline=None)
+    def test_bernoulli_mean_tracks_parameter(self, p):
+        values = sample_values(bernoulli(p), runs=600, seed=8)
+        assert statistics.fmean(values) == pytest.approx(p, abs=0.11)
+
+
+# ---------------------------------------------------------------------------
+# Numeric probes of Lem. 3.2 / Lem. 3.7.
+# ---------------------------------------------------------------------------
+
+
+class TestProbes:
+    def test_continuous_primitives_look_interval_preserving(self):
+        registry = extended_registry()
+        for name in ("add", "mul", "exp", "sig", "probit", "logit"):
+            report = check_interval_preserving(registry[name], samples=2_000)
+            assert report.looks_interval_preserving, name
+
+    def test_floor_is_not_interval_preserving(self):
+        registry = extended_registry()
+        report = check_interval_preserving(
+            registry["floor"], box=((0.0, 3.0),), samples=2_000
+        )
+        assert not report.looks_interval_preserving
+
+    def test_separability_probe_accepts_addition(self):
+        registry = extended_registry()
+        report = check_interval_separable(
+            registry["add"], target=(0.25, 0.75), depth=7
+        )
+        assert report.consistent_with_separability
+        # The true preimage measure is 0.75^2/2 - 0.25^2/2 = 1/4.
+        assert report.inside_measure > 0.2
+        assert report.inside_measure < 0.26
+
+    def test_separability_boundary_shrinks_with_depth(self):
+        registry = extended_registry()
+        shallow = check_interval_separable(registry["add"], target=(0.25, 0.75), depth=4)
+        deep = check_interval_separable(registry["add"], target=(0.25, 0.75), depth=7)
+        assert deep.boundary_measure < shallow.boundary_measure
+
+    def test_separability_probe_rejects_fat_cantor_distance(self):
+        primitive = fat_cantor_primitive(max_depth=12)
+        report = check_interval_separable(primitive, target=(0.0, 0.0), depth=9)
+        # The preimage of {0} is the fat Cantor set: no cell is certainly
+        # inside, and the boundary cells keep at least measure 1/2.
+        assert report.inside_measure == 0.0
+        assert report.boundary_measure > 0.45
+        assert not report.consistent_with_separability
+
+    def test_probe_rejects_wrong_arity_box(self):
+        registry = extended_registry()
+        with pytest.raises(ValueError):
+            check_interval_preserving(registry["add"], box=((0.0, 1.0),))
+        with pytest.raises(ValueError):
+            check_interval_separable(registry["add"], target=(0, 1), box=((0.0, 1.0),))
+
+
+# ---------------------------------------------------------------------------
+# The fat Cantor set and Ex. 3.9.
+# ---------------------------------------------------------------------------
+
+
+class TestFatCantor:
+    def test_measure_is_one_half(self):
+        cantor = fat_cantor_set()
+        assert cantor.measure == Fraction(1, 2)
+        assert cantor.removed_measure_up_to(1) == Fraction(1, 4)
+        assert cantor.removed_measure_up_to(2) == Fraction(3, 8)
+        # The removed mass converges to 1/2 from below.
+        assert cantor.removed_measure_up_to(30) < Fraction(1, 2)
+        assert float(cantor.removed_measure_up_to(30)) == pytest.approx(0.5, abs=1e-8)
+
+    def test_gaps_are_disjoint_and_sum_to_removed_mass(self):
+        cantor = fat_cantor_set()
+        gaps = cantor.gaps_up_to(6)
+        assert len(gaps) == 2**6 - 1
+        for (lo_a, hi_a), (lo_b, hi_b) in zip(gaps, gaps[1:]):
+            assert hi_a <= lo_b
+        total = sum((hi - lo for lo, hi in gaps), Fraction(0))
+        assert total == cantor.removed_measure_up_to(6)
+
+    def test_endpoints_belong_to_the_set(self):
+        cantor = fat_cantor_set()
+        assert cantor.distance(0) == 0.0
+        assert cantor.distance(1) == 0.0
+        for lo, hi in cantor.gaps_up_to(4):
+            assert cantor.distance(lo) == pytest.approx(0.0, abs=1e-12)
+            assert cantor.distance(hi) == pytest.approx(0.0, abs=1e-12)
+
+    def test_gap_midpoints_have_the_expected_distance(self):
+        cantor = fat_cantor_set()
+        # The first gap has length 1/4 and is centred at 1/2.
+        assert cantor.distance(0.5) == pytest.approx(1 / 8, abs=1e-12)
+
+    def test_distance_outside_unit_interval(self):
+        cantor = fat_cantor_set()
+        assert cantor.distance(-0.25) == pytest.approx(0.25)
+        assert cantor.distance(1.5) == pytest.approx(0.5)
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=150, deadline=None)
+    def test_distance_is_lipschitz_and_nonnegative(self, x):
+        cantor = fat_cantor_set(max_depth=20)
+        assert cantor.distance(x) >= 0.0
+        delta = 1e-3
+        assert abs(cantor.distance(x) - cantor.distance(min(1.0, x + delta))) <= delta + 1e-12
+
+    def test_primitive_interval_extension_encloses_values(self):
+        primitive = fat_cantor_primitive(max_depth=20)
+        cantor = fat_cantor_set(max_depth=20)
+        for lo, hi in ((0.1, 0.3), (0.45, 0.55), (0.0, 1.0)):
+            bound_lo, bound_hi = primitive.on_box((lo, hi))
+            for point in (lo, hi, (lo + hi) / 2):
+                assert bound_lo - 1e-12 <= cantor.distance(point) <= bound_hi + 1e-12
+
+    def test_extension_never_certifies_nonpositive_on_fat_boxes(self):
+        primitive = fat_cantor_primitive(max_depth=20)
+        for lo, hi in ((0.0, 0.1), (0.3, 0.31), (0.7, 0.9)):
+            _, upper = primitive.on_box((lo, hi))
+            assert upper > 0.0
+
+
+class TestIncompletenessExample:
+    def test_lower_bound_capped_by_the_set_measure(self):
+        report = incompleteness_example(max_depth=12, sweep_depth=9, max_steps=40)
+        # Ex. 3.9: the program is AST but the interval semantics can certify at
+        # most 1 - lambda(C) = 1/2.
+        assert report.true_probability == 1.0
+        assert report.lower_bound <= 0.5 + 1e-9
+        assert report.lower_bound > 0.2
+        assert report.incomplete
+        assert report.gap >= 0.5 - 1e-9

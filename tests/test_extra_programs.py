@@ -1,0 +1,148 @@
+"""Tests for the additional example programs and the report module.
+
+The extra programs exercise corners the benchmark tables do not: two-sample
+guards (Ex. 3.5), von Neumann's coin, continuous first-class step lengths,
+failing scores, and nested recursion.  The report module is checked to render
+well-formed markdown containing the expected verdicts.
+"""
+
+from __future__ import annotations
+
+import statistics
+from fractions import Fraction
+
+import pytest
+
+from repro.astcheck import verify_ast
+from repro.lowerbound import lower_bound
+from repro.pastcheck import classify_termination, TerminationClass
+from repro.programs import (
+    conditional_single_sample,
+    exponential_step_walk,
+    extra_programs,
+    nested_recursion,
+    score_gated_printer,
+    two_sample_sum,
+    von_neumann_coin,
+)
+from repro.report import classification_report, markdown_table, table1_report, table2_report
+from repro.semantics import estimate_termination
+from repro.semantics.sampler import run_lazily
+from repro.semantics.cbv import CbVMachine
+from repro.semantics.machine import RunStatus
+from repro.spcf import typecheck
+from repro.spcf.types import RealType
+import random
+
+
+class TestExtraProgramLibrary:
+    def test_all_programs_typecheck(self):
+        for name, program in extra_programs().items():
+            assert typecheck(program.applied) == RealType(), name
+
+    def test_library_names_are_unique_and_described(self):
+        programs = extra_programs()
+        assert len(programs) == 6
+        for program in programs.values():
+            assert program.description
+
+    def test_two_sample_sum_lower_bound_approaches_one(self):
+        program = two_sample_sum()
+        shallow = lower_bound(program.applied, 15)
+        deep = lower_bound(program.applied, 45)
+        assert float(shallow.probability) < float(deep.probability)
+        assert float(deep.probability) > 0.95
+
+    def test_two_sample_sum_first_level_weight(self):
+        # The no-recursion traces form the triangle of area 1/2.
+        program = two_sample_sum()
+        result = lower_bound(program.applied, 8)
+        assert float(result.probability) == pytest.approx(0.5, abs=1e-9)
+
+    def test_conditional_single_sample_is_past(self):
+        program = conditional_single_sample()
+        result = lower_bound(program.applied, 10)
+        assert result.probability == 1
+
+    def test_von_neumann_coin_is_fair_and_ast(self):
+        program = von_neumann_coin(Fraction(1, 3))
+        verification = verify_ast(program)
+        assert verification.verified
+        machine = CbVMachine()
+        rng = random.Random(3)
+        values = []
+        for _ in range(1_500):
+            outcome = run_lazily(machine, program.applied, rng=rng)
+            if outcome.status is RunStatus.TERMINATED and outcome.value is not None:
+                values.append(float(outcome.value.value))
+        assert statistics.fmean(values) == pytest.approx(0.5, abs=0.05)
+
+    def test_von_neumann_rejects_degenerate_bias(self):
+        with pytest.raises(ValueError):
+            von_neumann_coin(0)
+        with pytest.raises(ValueError):
+            von_neumann_coin(1)
+
+    def test_von_neumann_classified_past(self):
+        classification = classify_termination(von_neumann_coin(Fraction(1, 4)))
+        assert classification.verdict is TerminationClass.PAST_VERIFIED
+
+    def test_exponential_step_walk_terminates(self):
+        program = exponential_step_walk(1, 3)
+        estimate = estimate_termination(program.applied, runs=400, seed=2)
+        assert estimate.probability > 0.99
+
+    def test_exponential_step_walk_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            exponential_step_walk(0, 3)
+
+    def test_score_gated_printer_loses_mass(self):
+        program = score_gated_printer(Fraction(1, 2), Fraction(1, 4))
+        verification = verify_ast(program)
+        assert not verification.verified
+        estimate = estimate_termination(program.applied, runs=1_500, seed=4)
+        # Half the runs retry, and a quarter of those fail the score.
+        assert estimate.probability < 0.95
+
+    def test_nested_recursion_not_handled_by_counting_verifier(self):
+        program = nested_recursion(Fraction(1, 2))
+        verification = verify_ast(program)
+        assert not verification.verified
+
+    def test_nested_recursion_still_has_lower_bounds(self):
+        program = nested_recursion(Fraction(1, 2))
+        result = lower_bound(program.applied, 40)
+        assert 0.5 <= float(result.probability) <= 1.0
+        estimate = estimate_termination(program.applied, runs=500, seed=5)
+        assert estimate.probability > 0.97
+
+
+class TestMarkdownTables:
+    def test_markdown_table_shape(self):
+        table = markdown_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("| a")
+        assert set(lines[1]) <= {"|", "-"}
+
+    def test_markdown_table_validates_rows(self):
+        with pytest.raises(ValueError):
+            markdown_table(["a"], [["1", "2"]])
+        with pytest.raises(ValueError):
+            markdown_table([], [])
+
+    def test_table1_report_contains_every_row(self):
+        report = table1_report(depth=20, max_paths=5_000)
+        assert report.startswith("## Table 1")
+        for name in ("geo(1/2)", "gr", "pedestrian"):
+            assert name in report
+
+    def test_table2_report_all_verified(self):
+        report = table2_report()
+        assert report.startswith("## Table 2")
+        assert "no" not in [cell.strip() for line in report.splitlines() for cell in line.split("|")]
+
+    def test_classification_report_mentions_verdicts(self):
+        report = classification_report()
+        assert "AST" in report
+        assert "PAST" in report

@@ -1,0 +1,112 @@
+"""End-to-end integration tests tying the analyses together.
+
+Each test exercises several packages at once, mirroring how a user of the
+library (or the paper's evaluation) would combine them: lower bounds versus
+Monte-Carlo ground truth, the verifier versus the counting corollary, and the
+sugar/parser round trip into the analyses.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import (
+    estimate_termination,
+    lower_bound,
+    parse,
+    verify_ast,
+    verify_ast_by_corollary,
+)
+from repro.astcheck import build_execution_tree, papprox_distribution
+from repro.counting import counting_pattern_exact
+from repro.programs import (
+    printer_nonaffine,
+    running_example,
+    table1_programs,
+    table2_programs,
+)
+from repro.randomwalk import termination_probability
+from repro.randomwalk.order import cumulative_dominates
+from repro.semantics import CbNMachine
+from repro.typesystem import infer_set_type
+
+
+class TestSoundnessAcrossAnalyses:
+    def test_lower_bounds_are_sound_for_every_table1_program(self):
+        for name, program in table1_programs().items():
+            if name == "pedestrian":
+                depth = 30
+            elif name.startswith("1dRW"):
+                depth = 50
+            else:
+                depth = 45
+            bound = lower_bound(program.applied, max_steps=depth, strategy=program.strategy)
+            assert 0 <= bound.probability <= 1, name
+            if program.known_probability is not None:
+                assert float(bound.probability) <= program.known_probability + 1e-9, name
+
+    def test_verifier_and_corollary_agree_when_both_apply(self):
+        # Whenever Cor. 5.13 verifies a program, the strategy-based verifier
+        # must verify it too (it is at least as strong, Thm. 5.9 vs Cor. 5.13).
+        for probability in (Fraction(1, 2), Fraction(3, 5), Fraction(3, 4)):
+            program = printer_nonaffine(probability)
+            corollary = verify_ast_by_corollary(program.fix, arguments=(0, 1))
+            verifier = verify_ast(program)
+            if corollary.verified:
+                assert verifier.verified
+
+    def test_verifier_is_strictly_stronger_on_the_running_example(self):
+        program = running_example(Fraction(3, 5))
+        corollary = verify_ast_by_corollary(program.fix, arguments=(0, 1, 5))
+        verifier = verify_ast(program)
+        assert verifier.verified and not corollary.verified
+
+    def test_verified_programs_really_terminate_empirically(self):
+        # The Table 2 programs at their critical parameters have heavy-tailed
+        # run lengths; a moderate step cap keeps the estimate cheap and only
+        # biases it downwards, which the > 0.9 threshold tolerates.
+        for name, program in table2_programs().items():
+            result = verify_ast(program)
+            assert result.verified, name
+            estimate = estimate_termination(program.applied, runs=300, max_steps=2_500)
+            assert estimate.probability > 0.9, name
+
+    def test_papprox_dominates_counting_patterns_and_drives_an_ast_walk(self):
+        program = running_example(Fraction(7, 10))
+        papprox = papprox_distribution(build_execution_tree(program.fix)).distribution
+        pattern = counting_pattern_exact(program.fix, 4).distribution
+        assert cumulative_dominates(papprox, pattern)
+        assert papprox.is_ast()
+        assert termination_probability(papprox.shifted(), start=1, steps=200) > Fraction(3, 4)
+
+    def test_typesystem_engine_and_sampler_line_up(self):
+        program = printer_nonaffine(Fraction(1, 2))
+        typed = infer_set_type(program.applied, max_steps=45, sweep_depth=8)
+        engine = lower_bound(program.applied, max_steps=45)
+        sampled = estimate_termination(
+            program.applied, runs=300, max_steps=4_000, machine=CbNMachine()
+        )
+        assert typed.weight <= engine.probability
+        assert float(engine.probability) <= sampled.probability + 4 * sampled.stderr + 0.02
+
+
+class TestSurfaceSyntaxWorkflow:
+    def test_a_program_written_in_surface_syntax_goes_through_every_analysis(self):
+        source = "mu phi x. if sample - 3/5 then x else phi (phi (x + 1))"
+        fix = parse(source)
+        applied = parse(f"({source}) 1")
+        verification = verify_ast(fix)
+        assert verification.verified
+        assert verification.papprox.as_dict() == {0: Fraction(3, 5), 2: Fraction(2, 5)}
+        bound = lower_bound(applied, max_steps=50)
+        estimate = estimate_termination(applied, runs=800)
+        assert 0.8 < float(bound.probability) <= estimate.probability + 0.05
+
+    def test_a_non_ast_variant_is_rejected_and_its_limit_is_visible(self):
+        source = "mu phi x. if sample - 1/4 then x else phi (phi (x + 1))"
+        fix = parse(source)
+        applied = parse(f"({source}) 1")
+        assert not verify_ast(fix).verified
+        bound = lower_bound(applied, max_steps=60)
+        # Pterm = 1/3: the certified bound approaches but never exceeds it.
+        assert Fraction(1, 4) < bound.probability < Fraction(1, 3)

@@ -1,0 +1,192 @@
+"""Tests for intervals, boxes, interval traces and the interval-based semantics."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.intervals import (
+    Box,
+    Interval,
+    IntervalMachine,
+    IntervalRunStatus,
+    IntervalTrace,
+    embed,
+    refines,
+    term_refines,
+    unit_box,
+    weight_of_traces,
+)
+from repro.intervals.terms import IntervalNumeral
+from repro.intervals.trace import pairwise_compatible
+from repro.semantics import CbNMachine, Trace
+from repro.spcf import parse
+from repro.spcf.syntax import Numeral
+
+
+class TestInterval:
+    def test_construction_and_validation(self):
+        interval = Interval(Fraction(1, 4), Fraction(1, 2))
+        assert interval.width == Fraction(1, 4)
+        assert interval.midpoint == Fraction(3, 8)
+        with pytest.raises(ValueError):
+            Interval(1, 0)
+
+    def test_point_intervals(self):
+        point = Interval.point(Fraction(1, 3))
+        assert point.is_point()
+        assert point.width == 0
+        assert point.contains(Fraction(1, 3))
+
+    def test_containment_and_intersection(self):
+        a = Interval(0, Fraction(1, 2))
+        b = Interval(Fraction(1, 4), 1)
+        assert a.intersects(b)
+        assert a.intersection(b) == Interval(Fraction(1, 4), Fraction(1, 2))
+        assert not a.almost_disjoint(b)
+        assert a.almost_disjoint(Interval(Fraction(1, 2), 1))
+        with pytest.raises(ValueError):
+            Interval(0, Fraction(1, 4)).intersection(Interval(Fraction(1, 2), 1))
+
+    def test_split_and_subdivide_cover_the_interval(self):
+        interval = Interval(0, 1)
+        left, right = interval.split()
+        assert left.hi == right.lo == Fraction(1, 2)
+        pieces = list(interval.subdivide(4))
+        assert len(pieces) == 4
+        assert sum(piece.width for piece in pieces) == 1
+
+    def test_within_unit(self):
+        assert Interval(0, 1).within_unit()
+        assert not Interval(-1, 0).within_unit()
+
+
+class TestBox:
+    def test_volume_is_the_product_of_widths(self):
+        box = Box([Interval(0, Fraction(1, 2)), Interval(0, Fraction(1, 3))])
+        assert box.volume == Fraction(1, 6)
+        assert unit_box(3).volume == 1
+        assert unit_box(0).volume == 1
+
+    def test_split_preserves_volume(self):
+        box = Box([Interval(0, 1), Interval(0, Fraction(1, 2))])
+        left, right = box.split()
+        assert left.volume + right.volume == box.volume
+
+    def test_subdivide_grid(self):
+        cells = list(unit_box(2).subdivide(2))
+        assert len(cells) == 4
+        assert sum(cell.volume for cell in cells) == 1
+
+    def test_contains_and_corners(self):
+        box = Box([Interval(0, 1), Interval(Fraction(1, 2), 1)])
+        assert box.contains([Fraction(1, 2), Fraction(3, 4)])
+        assert not box.contains([Fraction(1, 2), Fraction(1, 4)])
+        assert len(list(box.corners())) == 4
+
+    @given(st.integers(min_value=1, max_value=4))
+    def test_split_of_unit_box_halves_the_volume(self, dimension):
+        left, right = unit_box(dimension).split()
+        assert left.volume == right.volume == Fraction(1, 2)
+
+
+class TestIntervalTrace:
+    def test_weight_is_the_product_of_widths(self):
+        trace = IntervalTrace([Interval(0, Fraction(1, 2)), Interval(0, Fraction(1, 4))])
+        assert trace.weight == Fraction(1, 8)
+        assert IntervalTrace([]).weight == 1
+
+    def test_entries_must_be_subunit(self):
+        with pytest.raises(ValueError):
+            IntervalTrace([Interval(0, 2)])
+
+    def test_compatibility_matches_the_paper_example(self):
+        # The four traces of Sec. 3.2 are pairwise compatible.
+        third = Fraction(1, 3)
+        half = Fraction(1, 2)
+        traces = [
+            IntervalTrace([Interval(0, 1), Interval(0, third)]),
+            IntervalTrace([Interval(0, 1), Interval(third, half)]),
+            IntervalTrace([Interval(0, 1), Interval(Fraction(3, 4), 1)]),
+            IntervalTrace([Interval(0, 1)]),
+        ]
+        assert pairwise_compatible(traces)
+        assert weight_of_traces(traces) == third + (half - third) + Fraction(1, 4) + 1
+
+    def test_incompatible_traces_are_rejected(self):
+        overlapping = [
+            IntervalTrace([Interval(0, Fraction(1, 2))]),
+            IntervalTrace([Interval(Fraction(1, 4), 1)]),
+        ]
+        assert not pairwise_compatible(overlapping)
+        with pytest.raises(ValueError):
+            weight_of_traces(overlapping)
+
+    def test_refinement_of_standard_traces(self):
+        interval_trace = IntervalTrace([Interval(0, Fraction(1, 2)), Interval(0, 1)])
+        assert refines(Trace([Fraction(1, 4), Fraction(3, 4)]), interval_trace)
+        assert not refines(Trace([Fraction(3, 4), Fraction(3, 4)]), interval_trace)
+        assert not refines(Trace([Fraction(1, 4)]), interval_trace)
+
+    def test_strong_compatibility_is_stricter_than_compatibility(self):
+        # The Ex. C.13 traces: compatible but not strongly compatible.
+        first = IntervalTrace([Interval(0, Fraction(1, 2)), Interval(0, Fraction(1, 2))])
+        second = IntervalTrace([Interval(0, Fraction(1, 3)), Interval(Fraction(1, 2), 1)])
+        assert first.compatible(second)
+        assert not first.strongly_compatible(second)
+
+
+GEO = parse("(mu phi x. if sample - 1/2 then x else phi (x + 1)) 1")
+
+
+class TestIntervalSemantics:
+    def test_embedding_replaces_numerals_by_point_intervals(self):
+        embedded = embed(GEO)
+        assert term_refines(GEO, embedded)
+        assert any(
+            isinstance(sub, IntervalNumeral)
+            for sub in [embedded.arg]  # the applied argument 1 becomes [1,1]
+        )
+
+    def test_terminating_interval_trace(self):
+        machine = IntervalMachine()
+        trace = IntervalTrace([Interval(0, Fraction(1, 2))])
+        result = machine.run(embed(GEO), trace)
+        assert result.status is IntervalRunStatus.TERMINATED
+
+    def test_ambiguous_guard_is_reported(self):
+        machine = IntervalMachine()
+        trace = IntervalTrace([Interval(Fraction(1, 4), Fraction(3, 4))])
+        result = machine.run(embed(GEO), trace)
+        assert result.status is IntervalRunStatus.AMBIGUOUS_BRANCH
+
+    def test_unembedded_numerals_are_rejected(self):
+        machine = IntervalMachine()
+        result = machine.run(parse("if 1 then 0 else 0"), IntervalTrace([]))
+        assert result.status is IntervalRunStatus.STUCK
+
+    def test_score_with_possibly_negative_interval_fails(self):
+        term = parse("score(sample - 1)")
+        result = IntervalMachine().run(embed(term), IntervalTrace([Interval(0, 1)]))
+        assert result.status is IntervalRunStatus.SCORE_FAILED
+
+    # -- the refinement lemma (Lem. B.2): a terminating interval trace
+    #    certifies termination, with the same step count, of every standard
+    #    trace refining it.
+    @given(st.lists(st.fractions(min_value=0, max_value=1), min_size=2, max_size=2))
+    def test_refining_traces_terminate_with_the_same_step_count(self, draws):
+        machine = IntervalMachine()
+        interval_trace = IntervalTrace(
+            [Interval(Fraction(3, 5), 1), Interval(0, Fraction(2, 5))]
+        )
+        interval_result = machine.run(embed(GEO), interval_trace)
+        assert interval_result.terminated
+        standard = Trace(
+            [
+                Fraction(3, 5) + draws[0] * Fraction(2, 5),
+                draws[1] * Fraction(2, 5),
+            ]
+        )
+        concrete = CbNMachine().run(GEO, standard)
+        assert concrete.terminated
+        assert concrete.steps == interval_result.steps

@@ -1,0 +1,151 @@
+"""Tests for the CbN and CbV trace-based machines and the Monte-Carlo sampler."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.semantics import (
+    CbNMachine,
+    CbVMachine,
+    RunStatus,
+    Trace,
+    estimate_termination,
+    random_trace,
+)
+from repro.semantics.sampler import run_lazily
+from repro.spcf import parse
+from repro.spcf.sugar import add, choice, let
+from repro.spcf.syntax import App, Lam, Numeral, Prim, Sample, Score, Var
+from repro.programs import geometric, printer_nonaffine
+
+
+GEO = parse("(mu phi x. if sample - 1/2 then x else phi (x + 1)) 1")
+
+
+class TestTraces:
+    def test_trace_entries_are_validated(self):
+        with pytest.raises(ValueError):
+            Trace([2])
+        with pytest.raises(ValueError):
+            Trace([-0.1])
+
+    def test_trace_head_rest_concat(self):
+        trace = Trace([Fraction(1, 2), Fraction(1, 4)])
+        assert trace.head() == Fraction(1, 2)
+        assert trace.rest() == Trace([Fraction(1, 4)])
+        assert trace.rest().rest().is_empty()
+        assert Trace([0]).concat(Trace([1])) == Trace([0, 1])
+        with pytest.raises(IndexError):
+            Trace([]).head()
+
+    def test_random_trace_has_requested_length_and_range(self):
+        trace = random_trace(10)
+        assert len(trace) == 10
+        assert all(0 <= draw <= 1 for draw in trace)
+        exact = random_trace(5, as_fraction=True)
+        assert all(isinstance(draw, Fraction) for draw in exact)
+
+
+class TestCbNMachine:
+    def test_geometric_terminates_on_small_first_draw(self):
+        result = CbNMachine().run(GEO, Trace([Fraction(1, 4)]))
+        assert result.status is RunStatus.TERMINATED
+        assert result.term == Numeral(1)
+
+    def test_geometric_needs_more_trace_after_failure(self):
+        machine = CbNMachine()
+        result = machine.run(GEO, Trace([Fraction(3, 4)]))
+        assert result.status is RunStatus.TRACE_EXHAUSTED
+        result = machine.run(GEO, Trace([Fraction(3, 4), Fraction(1, 4)]))
+        assert result.status is RunStatus.TERMINATED
+        assert result.term == Numeral(2)
+
+    def test_value_with_leftover_trace_is_not_termination(self):
+        result = CbNMachine().run(GEO, Trace([Fraction(1, 4), Fraction(1, 4)]))
+        assert result.status is RunStatus.VALUE_WITH_LEFTOVER_TRACE
+        assert not result.terminated
+
+    def test_score_failure_is_reported(self):
+        result = CbNMachine().run(Score(Numeral(-1)), Trace([]))
+        assert result.status is RunStatus.SCORE_FAILED
+
+    def test_score_success_returns_its_argument(self):
+        result = CbNMachine().run(Score(Numeral(Fraction(1, 2))), Trace([]))
+        assert result.status is RunStatus.TERMINATED
+        assert result.term == Numeral(Fraction(1, 2))
+
+    def test_step_limit(self):
+        diverging = parse("(mu phi x. phi x) 0")
+        result = CbNMachine().run(diverging, Trace([]), max_steps=50)
+        assert result.status is RunStatus.STEP_LIMIT
+        assert result.steps == 50
+
+    def test_free_variable_is_stuck(self):
+        result = CbNMachine().run(add(Var("x"), 1), Trace([]))
+        assert result.status is RunStatus.STUCK
+
+    def test_cbn_duplicates_unevaluated_sample_arguments(self):
+        # (lam x. x + x) sample  consumes two draws under CbN ...
+        term = App(Lam("x", add(Var("x"), Var("x"))), Sample())
+        result = CbNMachine().run(term, Trace([Fraction(1, 4), Fraction(1, 2)]))
+        assert result.status is RunStatus.TERMINATED
+        assert result.term == Numeral(Fraction(3, 4))
+
+
+class TestCbVMachine:
+    def test_cbv_evaluates_sample_arguments_once(self):
+        # ... but only one draw under CbV.
+        term = App(Lam("x", add(Var("x"), Var("x"))), Sample())
+        result = CbVMachine().run(term, Trace([Fraction(1, 4)]))
+        assert result.status is RunStatus.TERMINATED
+        assert result.term == Numeral(Fraction(1, 2))
+
+    def test_let_binds_the_sampled_value(self):
+        term = let("e", Sample(), add(Var("e"), Var("e")))
+        result = CbVMachine().run(term, Trace([Fraction(1, 3)]))
+        assert result.terminated
+        assert result.term == Numeral(Fraction(2, 3))
+
+    def test_geometric_agrees_with_cbn_on_this_program(self):
+        for trace in (Trace([Fraction(1, 4)]), Trace([Fraction(3, 4), Fraction(1, 8)])):
+            cbn = CbNMachine().run(GEO, trace)
+            cbv = CbVMachine().run(GEO, trace)
+            assert cbn.terminated and cbv.terminated
+            assert cbn.term == cbv.term
+
+    def test_probabilistic_choice_picks_left_with_small_draw(self):
+        term = choice(Numeral(10), Fraction(1, 3), Numeral(20))
+        assert CbVMachine().run(term, Trace([Fraction(1, 4)])).term == Numeral(10)
+        assert CbVMachine().run(term, Trace([Fraction(1, 2)])).term == Numeral(20)
+
+    def test_primitive_failure_is_stuck(self):
+        term = Prim("log", (Numeral(0),))
+        result = CbVMachine().run(term, Trace([]))
+        assert result.status is RunStatus.STUCK
+
+
+class TestSampler:
+    def test_lazy_run_counts_samples(self):
+        import random
+
+        result = run_lazily(CbVMachine(), GEO, rng=random.Random(1), max_steps=1000)
+        assert result.status is RunStatus.TERMINATED
+        assert result.samples_used >= 1
+
+    def test_estimate_matches_known_probability_for_ast_program(self):
+        estimate = estimate_termination(geometric(Fraction(1, 2)).applied, runs=800)
+        assert estimate.probability > 0.99
+
+    def test_estimate_for_non_ast_program_is_near_the_closed_form(self):
+        # Ex. 1.1 (2) at p = 1/4 terminates with probability 1/3.  The step cap
+        # is kept small: terminating runs are short, and the non-terminating
+        # two thirds would otherwise dominate the runtime of the estimate.
+        program = printer_nonaffine(Fraction(1, 4))
+        estimate = estimate_termination(program.applied, runs=500, max_steps=1_500)
+        low, high = estimate.confidence_interval()
+        assert low <= 1 / 3 <= high + 0.03
+
+    def test_estimate_handles_programs_that_never_terminate(self):
+        estimate = estimate_termination(parse("(mu phi x. phi x) 0"), runs=50, max_steps=200)
+        assert estimate.probability == 0.0
+        assert estimate.mean_steps is None

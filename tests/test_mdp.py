@@ -1,0 +1,243 @@
+"""Tests for the one-counter MDP route to uniform AST (repro.mdp).
+
+The adversarial value iteration is cross-checked against the single-action
+random-walk matrix, against the Thm. 5.4 / Lem. 5.6 decision used by the
+paper, and against simulation under an explicit greedy adversary.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mdp import (
+    OneCounterMDP,
+    from_counting_distributions,
+    simulate_adversarial_walk,
+)
+from repro.randomwalk import (
+    CountingDistribution,
+    RandomWalkMatrix,
+    StepDistribution,
+)
+
+
+def step(mass):
+    return StepDistribution(mass)
+
+
+def counting(mass):
+    return CountingDistribution(mass)
+
+
+class TestConstruction:
+    def test_needs_an_action(self):
+        with pytest.raises(ValueError):
+            OneCounterMDP(())
+
+    def test_from_counting_distributions_shifts(self):
+        mdp = from_counting_distributions([counting({0: Fraction(1, 2), 2: Fraction(1, 2)})])
+        assert mdp.action_count == 1
+        assert set(mdp.actions[0].support()) == {-1, 1}
+
+    def test_from_empty_family_rejected(self):
+        with pytest.raises(ValueError):
+            from_counting_distributions([])
+
+    def test_max_upward_jump(self):
+        mdp = OneCounterMDP(
+            (
+                step({-1: Fraction(1, 2), 3: Fraction(1, 2)}),
+                step({-1: Fraction(1)}),
+            )
+        )
+        assert mdp.max_upward_jump() == 3
+
+
+class TestDecision:
+    def test_uniform_ast_of_ast_family(self):
+        mdp = OneCounterMDP(
+            (
+                step({-1: Fraction(1, 2), 1: Fraction(1, 2)}),
+                step({-1: Fraction(2, 3), 2: Fraction(1, 3)}),
+            )
+        )
+        decision = mdp.decide_uniform_ast()
+        assert decision.uniform_ast
+        assert decision.failing_action is None
+        assert len(decision.certificates) == 2
+
+    def test_failing_member_identified(self):
+        mdp = OneCounterMDP(
+            (
+                step({-1: Fraction(1, 2), 1: Fraction(1, 2)}),
+                step({-1: Fraction(1, 3), 2: Fraction(2, 3)}),
+            )
+        )
+        decision = mdp.decide_uniform_ast()
+        assert not decision.uniform_ast
+        assert decision.failing_action == 1
+
+    def test_missing_mass_fails(self):
+        mdp = OneCounterMDP((step({-1: Fraction(1, 2)}),))
+        assert not mdp.decide_uniform_ast().uniform_ast
+
+    def test_repr_mentions_verdict(self):
+        mdp = OneCounterMDP((step({-1: Fraction(1)}),))
+        assert "uniform AST" in repr(mdp.decide_uniform_ast())
+
+
+class TestValueIteration:
+    def test_start_zero_is_one(self):
+        mdp = OneCounterMDP((step({-1: Fraction(1)}),))
+        assert mdp.adversarial_value(0, 10) == 1
+
+    def test_negative_start_rejected(self):
+        mdp = OneCounterMDP((step({-1: Fraction(1)}),))
+        with pytest.raises(ValueError):
+            mdp.adversarial_value(-1, 10)
+
+    def test_deterministic_descent(self):
+        mdp = OneCounterMDP((step({-1: Fraction(1)}),))
+        assert mdp.adversarial_value(3, 2) == 0
+        assert mdp.adversarial_value(3, 3) == 1
+
+    def test_single_action_matches_matrix_iteration(self):
+        distribution = step({-1: Fraction(3, 5), 1: Fraction(2, 5)})
+        mdp = OneCounterMDP((distribution,))
+        matrix = RandomWalkMatrix(distribution)
+        for horizon in (5, 11, 20):
+            assert mdp.adversarial_value(1, horizon) == matrix.absorption_lower_bound(
+                1, horizon
+            )
+
+    def test_adversary_not_better_than_angel(self):
+        mdp = OneCounterMDP(
+            (
+                step({-1: Fraction(1, 2), 1: Fraction(1, 2)}),
+                step({-1: Fraction(9, 10), 1: Fraction(1, 10)}),
+            )
+        )
+        for horizon in (5, 15, 30):
+            assert mdp.adversarial_value(1, horizon) <= mdp.angelic_value(1, horizon)
+
+    def test_adversarial_value_monotone_in_horizon(self):
+        mdp = OneCounterMDP(
+            (
+                step({-1: Fraction(1, 2), 1: Fraction(1, 2)}),
+                step({-1: Fraction(2, 3), 2: Fraction(1, 3)}),
+            )
+        )
+        previous = Fraction(0)
+        for horizon in (1, 4, 8, 16, 32):
+            value = mdp.adversarial_value(1, horizon)
+            assert value >= previous
+            previous = value
+        assert previous <= 1
+
+    def test_adversarial_value_approaches_one_for_uniform_ast_family(self):
+        family = [
+            counting({0: Fraction(1, 2), 1: Fraction(1, 2)}),
+            counting({0: Fraction(3, 5), 2: Fraction(2, 5)}),
+        ]
+        mdp = from_counting_distributions(family)
+        assert mdp.decide_uniform_ast().uniform_ast
+        assert float(mdp.adversarial_value(1, 200, exact=False)) > 0.9
+
+    def test_adversarial_value_stays_low_for_failing_family(self):
+        # One member has strictly positive drift: the adversary plays only it
+        # and the walk escapes to infinity with positive probability.
+        family = [
+            counting({0: Fraction(1, 2), 1: Fraction(1, 2)}),
+            counting({0: Fraction(1, 4), 2: Fraction(3, 4)}),
+        ]
+        mdp = from_counting_distributions(family)
+        assert not mdp.decide_uniform_ast().uniform_ast
+        # p/(1-p) = 1/3 is the true adversarial value; the iteration stays below it.
+        value = float(mdp.adversarial_value(1, 300, exact=False))
+        assert value <= 1 / 3 + 1e-9
+        assert value > 0.25
+
+    def test_angelic_value_can_rescue_a_failing_member(self):
+        # The angelic controller ignores the bad action entirely.
+        family = [
+            counting({0: Fraction(1, 2), 1: Fraction(1, 2)}),
+            counting({0: Fraction(1, 4), 2: Fraction(3, 4)}),
+        ]
+        mdp = from_counting_distributions(family)
+        assert float(mdp.angelic_value(1, 200, exact=False)) > 0.9
+
+    def test_exact_and_float_iterations_agree(self):
+        mdp = from_counting_distributions(
+            [counting({0: Fraction(3, 5), 2: Fraction(2, 5)})]
+        )
+        exact = float(mdp.adversarial_value(1, 40, exact=True))
+        approx = float(mdp.adversarial_value(1, 40, exact=False))
+        assert exact == pytest.approx(approx, abs=1e-12)
+
+    @given(
+        st.lists(
+            st.fractions(min_value=Fraction(1, 5), max_value=Fraction(4, 5)),
+            min_size=1,
+            max_size=3,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_criterion_agrees_with_value_iteration_trend(self, stop_probabilities):
+        family = [counting({0: p, 2: 1 - p}) for p in stop_probabilities]
+        mdp = from_counting_distributions(family)
+        decision = mdp.decide_uniform_ast()
+        value = float(mdp.adversarial_value(1, 120, exact=False))
+        if decision.uniform_ast:
+            # All members have non-positive shifted drift; the walk mixes fast
+            # enough for the 120-step value to clear 0.75 on this family shape.
+            assert value > 0.75
+        else:
+            worst = min(float(p) for p in stop_probabilities)
+            limit = worst / (1 - worst)
+            assert value <= limit + 1e-9
+
+
+class TestSimulation:
+    def test_greedy_adversary_picks_worst_drift(self):
+        mdp = from_counting_distributions(
+            [
+                counting({0: Fraction(1, 2), 1: Fraction(1, 2)}),
+                counting({0: Fraction(1, 4), 2: Fraction(3, 4)}),
+            ]
+        )
+        policy = mdp.greedy_adversary()
+        assert policy(1) == 1
+        assert policy(17) == 1
+
+    def test_simulation_absorbs_for_ast_single_action(self):
+        mdp = from_counting_distributions([counting({0: Fraction(3, 4), 2: Fraction(1, 4)})])
+        policy = mdp.greedy_adversary()
+        rng = random.Random(1)
+        hits = sum(
+            1
+            for _ in range(200)
+            if simulate_adversarial_walk(mdp, policy, start=1, rng=rng)[0]
+        )
+        assert hits > 180
+
+    def test_simulation_tracks_value_iteration_for_failing_family(self):
+        family = [
+            counting({0: Fraction(1, 2), 1: Fraction(1, 2)}),
+            counting({0: Fraction(1, 4), 2: Fraction(3, 4)}),
+        ]
+        mdp = from_counting_distributions(family)
+        policy = mdp.greedy_adversary()
+        rng = random.Random(2)
+        runs = 1500
+        hits = sum(
+            1
+            for _ in range(runs)
+            if simulate_adversarial_walk(mdp, policy, start=1, max_steps=2_000, rng=rng)[0]
+        )
+        empirical = hits / runs
+        assert empirical == pytest.approx(1 / 3, abs=0.05)

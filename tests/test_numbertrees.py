@@ -1,0 +1,396 @@
+"""Tests for the recursion-tree decomposition of App. D.1.
+
+Covers number trees and the bijections with random-walk runs, the per-size
+tree masses and the extinction probability (Lem. D.6), the summary semantics
+of Fig. 16, and the call-tree sampler that cross-checks Prop. D.5 against
+actual runs of the benchmark programs.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.counting.numbertrees import (
+    NumberTree,
+    absolute_run_from_relative,
+    empirical_tree_distribution,
+    enumerate_trees,
+    extinction_probability,
+    from_relative_run,
+    is_valid_relative_run,
+    leaf,
+    relative_run_from_absolute,
+    sample_call_tree,
+    termination_mass_up_to,
+    tree_mass_by_size,
+    tree_probability,
+    tree_probability_inf,
+)
+from repro.counting.summary import (
+    Summary,
+    SummaryRunStatus,
+    run_body_with_summaries,
+)
+from repro.programs.library import (
+    geometric,
+    golden_ratio,
+    printer_nonaffine,
+    three_print,
+)
+from repro.randomwalk import CountingDistribution, RandomWalkMatrix
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis strategy for small number trees.
+# ---------------------------------------------------------------------------
+
+number_trees = st.recursive(
+    st.just(leaf()),
+    lambda children: st.lists(children, min_size=1, max_size=3).map(
+        lambda kids: NumberTree(tuple(kids))
+    ),
+    max_leaves=12,
+)
+
+
+# ---------------------------------------------------------------------------
+# Basic structure.
+# ---------------------------------------------------------------------------
+
+
+class TestNumberTreeStructure:
+    def test_leaf_has_no_calls(self):
+        tree = leaf()
+        assert tree.label == 0
+        assert tree.node_count == 1
+        assert tree.recursive_calls == 0
+        assert tree.depth == 0
+
+    def test_fig_15b_tree(self):
+        # 2 < [0, 1 < [0]]: the tree of Fig. 15b.
+        tree = NumberTree((leaf(), NumberTree((leaf(),))))
+        assert tree.label == 2
+        assert tree.node_count == 4
+        assert tree.recursive_calls == 3
+        assert tree.depth == 2
+        assert list(tree.labels()) == [2, 0, 1, 0]
+
+    def test_render_round_trips_visually(self):
+        tree = NumberTree((leaf(), NumberTree((leaf(),))))
+        assert tree.render() == "2<0, 1<0>>"
+
+    def test_distinct_trees_are_distinct_values(self):
+        first = NumberTree((leaf(), NumberTree((leaf(),))))
+        second = NumberTree((NumberTree((leaf(),)), leaf()))
+        assert first != second
+        assert first.node_count == second.node_count
+
+
+# ---------------------------------------------------------------------------
+# Bijections with runs (App. D.1).
+# ---------------------------------------------------------------------------
+
+
+class TestRunBijections:
+    def test_leaf_relative_run(self):
+        assert leaf().to_relative_run() == (-1,)
+
+    def test_fig_15b_relative_run(self):
+        tree = NumberTree((leaf(), NumberTree((leaf(),))))
+        assert tree.to_relative_run() == (1, -1, 0, -1)
+
+    def test_absolute_run_starts_at_one_ends_at_zero(self):
+        tree = NumberTree((leaf(), NumberTree((leaf(),))))
+        states = tree.to_absolute_run()
+        assert states[0] == 1
+        assert states[-1] == 0
+        assert all(state > 0 for state in states[:-1])
+
+    def test_invalid_relative_runs_rejected(self):
+        assert not is_valid_relative_run(())
+        assert not is_valid_relative_run((0,))
+        assert not is_valid_relative_run((-2,))
+        assert not is_valid_relative_run((-1, -1))
+        assert not is_valid_relative_run((1, -1, -1, -1))
+
+    def test_from_relative_run_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            from_relative_run((0, 0))
+
+    def test_absolute_relative_round_trip(self):
+        run = (2, -1, 0, -1, -1)
+        assert relative_run_from_absolute(absolute_run_from_relative(run)) == run
+
+    def test_relative_run_from_absolute_requires_start_one(self):
+        with pytest.raises(ValueError):
+            relative_run_from_absolute((2, 1, 0))
+
+    @given(number_trees)
+    @settings(max_examples=200, deadline=None)
+    def test_tree_to_run_round_trip(self, tree):
+        run = tree.to_relative_run()
+        assert is_valid_relative_run(run)
+        assert from_relative_run(run) == tree
+
+    @given(number_trees)
+    @settings(max_examples=100, deadline=None)
+    def test_run_length_equals_node_count(self, tree):
+        assert len(tree.to_relative_run()) == tree.node_count
+
+
+# ---------------------------------------------------------------------------
+# Enumeration.
+# ---------------------------------------------------------------------------
+
+
+class TestEnumeration:
+    def test_counts_follow_catalan_numbers(self):
+        # Number trees with exactly n nodes are ordered rooted trees: Catalan(n-1).
+        by_size = {}
+        for tree in enumerate_trees(6):
+            by_size[tree.node_count] = by_size.get(tree.node_count, 0) + 1
+        assert by_size == {1: 1, 2: 1, 3: 2, 4: 5, 5: 14, 6: 42}
+
+    def test_enumeration_has_no_duplicates(self):
+        trees = list(enumerate_trees(6))
+        assert len(trees) == len(set(trees))
+
+    def test_max_children_bound(self):
+        trees = list(enumerate_trees(5, max_children=1))
+        # Only chains are possible with unary branching.
+        assert all(all(label <= 1 for label in tree.labels()) for tree in trees)
+        assert len(trees) == 5
+
+    def test_empty_enumeration(self):
+        assert list(enumerate_trees(0)) == []
+
+
+# ---------------------------------------------------------------------------
+# Probabilities, per-size masses, extinction.
+# ---------------------------------------------------------------------------
+
+
+class TestTreeProbability:
+    def test_example_d4(self):
+        # Ex. D.4: s(0) = s(2) = 1/2 variant -- the paper's worked value uses
+        # t(2) = 1/2, t(1) = 1/4, t(0) = 1/4 and the Fig. 15b tree.
+        distribution = CountingDistribution(
+            {2: Fraction(1, 2), 1: Fraction(1, 4), 0: Fraction(1, 4)}
+        )
+        tree = NumberTree((leaf(), NumberTree((leaf(),))))
+        assert tree_probability(tree, distribution) == Fraction(1, 128)
+
+    def test_zero_outside_support(self):
+        distribution = CountingDistribution({0: Fraction(1, 2), 2: Fraction(1, 2)})
+        chain = NumberTree((leaf(),))
+        assert tree_probability(chain, distribution) == 0
+
+    def test_inf_probability_uses_worst_member(self):
+        family = [
+            CountingDistribution({0: Fraction(1, 2), 2: Fraction(1, 2)}),
+            CountingDistribution({0: Fraction(3, 4), 2: Fraction(1, 4)}),
+        ]
+        tree = NumberTree((leaf(), leaf()))
+        # inf at the root label 2 is 1/4, at each leaf label 0 is 1/2.
+        assert tree_probability_inf(tree, family) == Fraction(1, 16)
+
+    def test_inf_requires_nonempty_family(self):
+        with pytest.raises(ValueError):
+            tree_probability_inf(leaf(), [])
+
+    def test_mass_by_size_matches_enumeration(self):
+        distribution = CountingDistribution(
+            {0: Fraction(1, 2), 1: Fraction(1, 4), 2: Fraction(1, 4)}
+        )
+        masses = tree_mass_by_size(distribution, 6)
+        by_enumeration = [Fraction(0)] * 6
+        for tree in enumerate_trees(6):
+            by_enumeration[tree.node_count - 1] += tree_probability(tree, distribution)
+        assert masses == by_enumeration
+
+    def test_termination_mass_monotone_and_bounded(self):
+        distribution = CountingDistribution({0: Fraction(1, 2), 2: Fraction(1, 2)})
+        previous = Fraction(0)
+        for budget in (1, 3, 5, 9, 15):
+            mass = termination_mass_up_to(distribution, budget)
+            assert previous <= mass <= 1
+            previous = mass
+
+    def test_termination_mass_matches_walk_absorption(self):
+        # The cumulative tree mass and the truncated walk iteration both lower
+        # bound (and converge to) the same absorption probability.
+        distribution = CountingDistribution({0: Fraction(3, 5), 2: Fraction(2, 5)})
+        walk = RandomWalkMatrix(distribution.shifted())
+        tree_mass = float(termination_mass_up_to(distribution, 41))
+        walk_mass = float(walk.absorption_lower_bound(1, 400))
+        assert abs(tree_mass - walk_mass) < 5e-2
+        assert tree_mass <= 1.0
+
+    def test_extinction_probability_golden_ratio(self):
+        # s = 1/2 d0 + 1/2 d3: extinction probability is (sqrt 5 - 1)/2.
+        distribution = CountingDistribution({0: Fraction(1, 2), 3: Fraction(1, 2)})
+        value = extinction_probability(distribution)
+        assert value == pytest.approx((math.sqrt(5) - 1) / 2, abs=1e-9)
+
+    def test_extinction_probability_subcritical_printer(self):
+        # Ex. 1.1 (2) at p = 1/4: termination probability p / (1 - p) = 1/3.
+        distribution = CountingDistribution({0: Fraction(1, 4), 2: Fraction(3, 4)})
+        assert extinction_probability(distribution) == pytest.approx(1 / 3, abs=1e-9)
+
+    def test_extinction_probability_ast_case(self):
+        # At the critical parameter the Kleene iterates approach 1 like 2/k,
+        # so the fixpoint iteration converges slowly; allow the matching slack.
+        distribution = CountingDistribution({0: Fraction(1, 2), 2: Fraction(1, 2)})
+        assert extinction_probability(distribution) == pytest.approx(1.0, abs=1e-3)
+        assert extinction_probability(distribution) <= 1.0
+
+    @given(
+        st.fractions(min_value=Fraction(1, 10), max_value=Fraction(9, 10)),
+        st.integers(min_value=2, max_value=4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_termination_mass_below_extinction(self, p, branches):
+        distribution = CountingDistribution({0: p, branches: 1 - p})
+        mass = float(termination_mass_up_to(distribution, 13))
+        assert mass <= extinction_probability(distribution) + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# The summary semantics (Fig. 16).
+# ---------------------------------------------------------------------------
+
+
+class TestSummarySemantics:
+    def test_geometric_no_call(self):
+        program = geometric(Fraction(1, 2))
+        result = run_body_with_summaries(program.fix, 1, [Fraction(1, 4)])
+        assert result.completed
+        assert result.value == 1
+        assert result.calls == 0
+        assert result.draws_used == 1
+
+    def test_geometric_one_call_uses_summary(self):
+        program = geometric(Fraction(1, 2))
+        summary = Summary(argument=Fraction(2), result=Fraction(7))
+        result = run_body_with_summaries(program.fix, 1, [Fraction(3, 4), summary])
+        assert result.completed
+        assert result.value == 7
+        assert result.summaries_used == (summary,)
+
+    def test_argument_mismatch_detected(self):
+        program = geometric(Fraction(1, 2))
+        summary = Summary(argument=Fraction(5), result=Fraction(7))
+        result = run_body_with_summaries(program.fix, 1, [Fraction(3, 4), summary])
+        assert result.status is SummaryRunStatus.ARGUMENT_MISMATCH
+
+    def test_argument_check_can_be_disabled(self):
+        program = geometric(Fraction(1, 2))
+        summary = Summary(argument=Fraction(5), result=Fraction(7))
+        result = run_body_with_summaries(
+            program.fix, 1, [Fraction(3, 4), summary], check_arguments=False
+        )
+        assert result.completed
+        assert result.value == 7
+
+    def test_summary_in_place_of_draw_is_an_error(self):
+        program = geometric(Fraction(1, 2))
+        result = run_body_with_summaries(
+            program.fix, 1, [Summary(argument=Fraction(2), result=Fraction(3))]
+        )
+        assert result.status is SummaryRunStatus.EXPECTED_DRAW
+
+    def test_draw_in_place_of_summary_is_an_error(self):
+        program = geometric(Fraction(1, 2))
+        result = run_body_with_summaries(
+            program.fix, 1, [Fraction(3, 4), Fraction(1, 2)]
+        )
+        assert result.status is SummaryRunStatus.EXPECTED_SUMMARY
+
+    def test_trace_exhaustion(self):
+        program = geometric(Fraction(1, 2))
+        result = run_body_with_summaries(program.fix, 1, [])
+        assert result.status is SummaryRunStatus.TRACE_EXHAUSTED
+
+    def test_nonaffine_two_summaries(self):
+        program = printer_nonaffine(Fraction(1, 2))
+        summaries = [
+            Summary(argument=Fraction(2), result=Fraction(4)),
+            Summary(argument=Fraction(4), result=Fraction(9)),
+        ]
+        result = run_body_with_summaries(
+            program.fix, 1, [Fraction(3, 4), *summaries]
+        )
+        assert result.completed
+        assert result.calls == 2
+        # The outer call receives the result of the inner one.
+        assert result.value == 9
+
+
+# ---------------------------------------------------------------------------
+# The call-tree sampler against the analytic tree probabilities.
+# ---------------------------------------------------------------------------
+
+
+class TestCallTreeSampler:
+    def test_geometric_trees_are_chains(self):
+        program = geometric(Fraction(1, 2))
+        rng = random.Random(7)
+        for _ in range(50):
+            run = sample_call_tree(program.fix, 1, rng=rng)
+            assert run is not None
+            assert all(label <= 1 for label in run.tree.labels())
+
+    def test_golden_ratio_tree_labels(self):
+        program = golden_ratio()
+        rng = random.Random(3)
+        seen_labels = set()
+        for _ in range(200):
+            run = sample_call_tree(program.fix, 0, rng=rng, max_calls=2_000)
+            if run is None:
+                continue
+            seen_labels.update(run.tree.labels())
+        assert seen_labels <= {0, 3}
+        assert 3 in seen_labels
+
+    def test_value_counts_the_days(self):
+        # Ex. 1.1 (1): the returned value is the argument plus the number of
+        # failed attempts, which equals the recursion depth.
+        program = geometric(Fraction(1, 2))
+        rng = random.Random(11)
+        for _ in range(50):
+            run = sample_call_tree(program.fix, 1, rng=rng)
+            assert run is not None
+            assert run.value == 1 + run.tree.recursive_calls
+
+    def test_empirical_matches_tree_probability_for_printer(self):
+        # Ex. 1.1 (2) at p = 3/5: the counting pattern is argument-independent
+        # (3/5 d0 + 2/5 d2), so the probability of each call-tree shape is the
+        # product formula of Prop. D.5 with equality.
+        p = Fraction(3, 5)
+        program = printer_nonaffine(p)
+        distribution = CountingDistribution({0: p, 2: 1 - p})
+        empirical = empirical_tree_distribution(program.fix, 1, runs=4_000, seed=5)
+        assert empirical, "no terminating runs sampled"
+        for tree in (leaf(), NumberTree((leaf(), leaf()))):
+            analytic = float(tree_probability(tree, distribution))
+            observed = float(empirical.get(tree, Fraction(0)))
+            assert observed == pytest.approx(analytic, abs=0.04)
+
+    def test_empirical_mass_bounded_by_one(self):
+        program = three_print(Fraction(3, 4))
+        empirical = empirical_tree_distribution(program.fix, 1, runs=500, seed=1)
+        assert sum(empirical.values()) <= 1
+
+    def test_nonterminating_budget_returns_none(self):
+        # At p = 0 the non-affine printer never terminates.
+        program = printer_nonaffine(Fraction(0))
+        run = sample_call_tree(
+            program.fix, 1, rng=random.Random(0), max_calls=200, max_steps=20_000
+        )
+        assert run is None

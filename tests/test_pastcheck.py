@@ -1,0 +1,195 @@
+"""Tests for the PAST analyses (repro.pastcheck).
+
+The verification route is checked on sub-critical programs (geo, the
+non-affine printer above the critical parameter), the refutation route on
+critical and super-critical programs (the printer at and below 1/2, gr), and
+the classification on the paper's running examples.  The Eterm lower bounds
+of the interval semantics are checked to saturate for PAST programs and to
+keep growing for AST-but-not-PAST programs.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pastcheck import (
+    TerminationClass,
+    classify_termination,
+    eterm_lower_bounds,
+    expected_total_calls,
+    refute_past,
+    verify_past,
+)
+from repro.programs.library import (
+    geometric,
+    golden_ratio,
+    printer_nonaffine,
+    running_example,
+    three_print,
+)
+from repro.randomwalk import CountingDistribution
+
+
+class TestExpectedTotalCalls:
+    def test_subcritical_closed_form(self):
+        distribution = CountingDistribution({0: Fraction(3, 5), 2: Fraction(2, 5)})
+        # mean = 4/5, total progeny = 1 / (1 - 4/5) = 5.
+        assert expected_total_calls(distribution) == Fraction(5)
+
+    def test_call_free_body(self):
+        distribution = CountingDistribution({0: Fraction(1)})
+        assert expected_total_calls(distribution) == Fraction(1)
+
+    def test_critical_is_infinite(self):
+        distribution = CountingDistribution({0: Fraction(1, 2), 2: Fraction(1, 2)})
+        assert expected_total_calls(distribution) == float("inf")
+
+    def test_supercritical_is_infinite(self):
+        distribution = CountingDistribution({0: Fraction(1, 4), 2: Fraction(3, 4)})
+        assert expected_total_calls(distribution) == float("inf")
+
+    @given(st.fractions(min_value=Fraction(1, 100), max_value=Fraction(99, 100)))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_geometric_series(self, p):
+        # Offspring 1 with probability 1 - p: total progeny 1/p.
+        distribution = CountingDistribution({0: p, 1: 1 - p})
+        assert expected_total_calls(distribution) == 1 / p
+
+
+class TestVerifyPast:
+    def test_geometric_is_past(self):
+        result = verify_past(geometric(Fraction(1, 2)))
+        assert result.verified
+        assert result.expected_calls_per_body == Fraction(1, 2)
+        assert result.expected_total_calls == Fraction(2)
+        assert "PAST verified" in result.summary()
+
+    def test_nonaffine_printer_above_critical_is_past(self):
+        result = verify_past(printer_nonaffine(Fraction(3, 5)))
+        assert result.verified
+        assert result.expected_calls_per_body == Fraction(4, 5)
+        assert result.expected_total_calls == Fraction(5)
+
+    def test_nonaffine_printer_at_critical_not_verified(self):
+        result = verify_past(printer_nonaffine(Fraction(1, 2)))
+        assert not result.verified
+        assert result.ast_result.verified
+        assert any("critical" in reason for reason in result.reasons)
+
+    def test_subcritical_three_print(self):
+        result = verify_past(three_print(Fraction(4, 5)))
+        # mean calls = 3/5 < 1.
+        assert result.verified
+        assert result.expected_total_calls == Fraction(5, 2)
+
+    def test_non_ast_program_not_verified(self):
+        result = verify_past(printer_nonaffine(Fraction(1, 4)))
+        assert not result.verified
+        assert not result.ast_result.verified
+        assert "AST verification did not succeed" in result.reasons[0]
+
+    def test_running_example_at_critical_papprox(self):
+        # Ex. 5.1 at p = 0.6: Papprox = 0.6 d0 + 0.2 d2 + 0.2 d3, mean 1.
+        result = verify_past(running_example(Fraction(3, 5)))
+        assert not result.verified
+        assert result.ast_result.verified
+        assert result.expected_calls_per_body == Fraction(1)
+
+    def test_body_tree_depth_reported(self):
+        result = verify_past(geometric(Fraction(1, 2)))
+        assert result.body_tree_depth is not None
+        assert result.body_tree_depth >= 2
+
+    def test_rejects_non_program_input(self):
+        with pytest.raises(TypeError):
+            verify_past(42)
+
+
+class TestRefutePast:
+    def test_critical_printer_refuted(self):
+        result = refute_past(printer_nonaffine(Fraction(1, 2)))
+        assert result.refuted
+        assert result.argument_independent
+        assert result.expected_calls_per_body == Fraction(1)
+        assert "not PAST" in result.summary()
+
+    def test_supercritical_printer_refuted(self):
+        result = refute_past(printer_nonaffine(Fraction(1, 4)))
+        assert result.refuted
+        assert result.expected_calls_per_body == Fraction(3, 2)
+
+    def test_golden_ratio_refuted(self):
+        result = refute_past(golden_ratio())
+        assert result.refuted
+        assert result.expected_calls_per_body == Fraction(3, 2)
+
+    def test_subcritical_not_refuted(self):
+        result = refute_past(printer_nonaffine(Fraction(3, 5)))
+        assert not result.refuted
+        assert any("sub-critical" in reason for reason in result.reasons)
+
+    def test_argument_dependent_pattern_declines(self):
+        # Ex. 5.1's counting pattern depends on sig(x): no refutation.
+        result = refute_past(running_example(Fraction(3, 5)), arguments=(0, 1, 5))
+        assert not result.refuted
+        assert not result.argument_independent
+
+    def test_affine_geometric_not_refuted(self):
+        result = refute_past(geometric(Fraction(1, 2)))
+        assert not result.refuted
+
+    def test_requires_sample_arguments(self):
+        result = refute_past(printer_nonaffine(Fraction(1, 2)), arguments=())
+        assert not result.refuted
+        assert "no sample arguments supplied" in result.reasons
+
+
+class TestEtermLowerBounds:
+    def test_bounds_are_monotone_in_depth(self):
+        program = geometric(Fraction(1, 2))
+        points = eterm_lower_bounds(program.applied, depths=(10, 25, 45))
+        assert [point.depth for point in points] == [10, 25, 45]
+        for earlier, later in zip(points, points[1:]):
+            assert later.probability >= earlier.probability
+            assert later.expected_steps >= earlier.expected_steps
+
+    def test_past_program_expected_steps_saturate(self):
+        program = geometric(Fraction(1, 2))
+        points = eterm_lower_bounds(program.applied, depths=(30, 60))
+        growth = float(points[-1].expected_steps) - float(points[0].expected_steps)
+        assert growth < 1.0
+
+    def test_critical_program_expected_steps_keep_growing(self):
+        program = printer_nonaffine(Fraction(1, 2))
+        points = eterm_lower_bounds(program.applied, depths=(20, 40, 60))
+        first_growth = float(points[1].expected_steps) - float(points[0].expected_steps)
+        second_growth = float(points[2].expected_steps) - float(points[1].expected_steps)
+        assert first_growth > 0.5
+        assert second_growth > 0.5
+
+
+class TestClassification:
+    def test_geometric_is_past(self):
+        classification = classify_termination(geometric(Fraction(1, 2)))
+        assert classification.verdict is TerminationClass.PAST_VERIFIED
+        assert "PAST" in classification.summary()
+
+    def test_critical_printer_is_ast_not_past(self):
+        classification = classify_termination(printer_nonaffine(Fraction(1, 2)))
+        assert classification.verdict is TerminationClass.AST_NOT_PAST
+
+    def test_subcritical_printer_is_past(self):
+        classification = classify_termination(printer_nonaffine(Fraction(3, 5)))
+        assert classification.verdict is TerminationClass.PAST_VERIFIED
+
+    def test_supercritical_printer_is_unknown(self):
+        classification = classify_termination(printer_nonaffine(Fraction(1, 4)))
+        assert classification.verdict is TerminationClass.UNKNOWN
+
+    def test_running_example_is_ast_with_past_unknown(self):
+        classification = classify_termination(running_example(Fraction(3, 5)))
+        assert classification.verdict is TerminationClass.AST_PAST_UNKNOWN

@@ -1,0 +1,106 @@
+"""Tests for the primitive-function registry and its interval extensions."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.spcf.primitives import Primitive, PrimitiveRegistry, default_registry
+
+
+REGISTRY = default_registry()
+
+
+class TestNumericBehaviour:
+    def test_exact_arithmetic_on_fractions(self):
+        assert REGISTRY["add"](Fraction(1, 3), Fraction(1, 6)) == Fraction(1, 2)
+        assert REGISTRY["sub"](Fraction(1, 2), Fraction(1, 3)) == Fraction(1, 6)
+        assert REGISTRY["mul"](Fraction(2, 3), Fraction(3, 4)) == Fraction(1, 2)
+        assert REGISTRY["neg"](Fraction(1, 2)) == Fraction(-1, 2)
+        assert REGISTRY["abs"](Fraction(-3, 4)) == Fraction(3, 4)
+        assert REGISTRY["min"](1, Fraction(1, 2)) == Fraction(1, 2)
+        assert REGISTRY["max"](1, Fraction(1, 2)) == 1
+
+    def test_sigmoid_properties(self):
+        sig = REGISTRY["sig"]
+        assert sig(0) == pytest.approx(0.5)
+        assert sig(50) == pytest.approx(1.0, abs=1e-9)
+        assert sig(-50) == pytest.approx(0.0, abs=1e-9)
+        assert sig(2) + sig(-2) == pytest.approx(1.0)
+
+    def test_log_rejects_nonpositive_arguments(self):
+        with pytest.raises(ValueError):
+            REGISTRY["log"](0)
+
+    def test_arity_is_enforced(self):
+        with pytest.raises(TypeError):
+            REGISTRY["add"](1)
+        with pytest.raises(TypeError):
+            REGISTRY["neg"](1, 2)
+
+    def test_unknown_primitive_raises(self):
+        with pytest.raises(KeyError):
+            REGISTRY["pow"]
+
+
+class TestRegistry:
+    def test_duplicate_registration_is_rejected(self):
+        registry = PrimitiveRegistry()
+        primitive = Primitive("id", 1, lambda x: x, lambda b: b)
+        registry.register(primitive)
+        with pytest.raises(ValueError):
+            registry.register(primitive)
+
+    def test_default_registry_is_interval_separable(self):
+        assert REGISTRY.all_interval_separable()
+        assert set(REGISTRY.names()) >= {"add", "sub", "mul", "neg", "abs", "sig"}
+
+    def test_interval_extension_validates_input(self):
+        with pytest.raises(ValueError):
+            REGISTRY["add"].on_box((1, 0), (0, 1))
+        with pytest.raises(TypeError):
+            REGISTRY["add"].on_box((0, 1))
+
+
+# -- soundness of the interval extensions -------------------------------------
+
+_UNARY = ["neg", "abs", "exp", "sig"]
+_BINARY = ["add", "sub", "mul", "min", "max"]
+
+_points = st.floats(min_value=-4, max_value=4, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def _interval_and_point(draw):
+    lo = draw(_points)
+    hi = draw(_points)
+    lo, hi = min(lo, hi), max(lo, hi)
+    point = draw(st.floats(min_value=0, max_value=1))
+    return (lo, hi), lo + point * (hi - lo)
+
+
+@given(st.sampled_from(_UNARY), _interval_and_point())
+def test_unary_interval_extension_contains_image(name, data):
+    bounds, point = data
+    primitive = REGISTRY[name]
+    lo, hi = primitive.on_box(bounds)
+    value = primitive(point)
+    assert lo <= value <= hi
+
+
+@given(st.sampled_from(_BINARY), _interval_and_point(), _interval_and_point())
+def test_binary_interval_extension_contains_image(name, first, second):
+    bounds_a, point_a = first
+    bounds_b, point_b = second
+    primitive = REGISTRY[name]
+    lo, hi = primitive.on_box(bounds_a, bounds_b)
+    value = primitive(point_a, point_b)
+    assert lo <= value <= hi
+
+
+@given(_interval_and_point())
+def test_interval_extension_of_point_boxes_is_tight_for_affine_ops(data):
+    bounds, _ = data
+    point = bounds[0]
+    lo, hi = REGISTRY["add"].on_box((point, point), (point, point))
+    assert lo == hi == 2 * point

@@ -1,0 +1,129 @@
+"""Tests for the benchmark program library and the arithmetic-hierarchy views."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.hierarchy import ASTFormula, PASTFormula, ast_semi_decision, lower_bound_semidecider
+from repro.lowerbound import LowerBoundEngine
+from repro.programs import (
+    bin_walk,
+    geometric,
+    golden_ratio,
+    one_dim_random_walk,
+    pedestrian,
+    printer_nonaffine,
+    running_example,
+    running_example_first_class,
+    table1_programs,
+    table2_programs,
+    three_print,
+)
+from repro.semantics import CbVMachine, estimate_termination
+from repro.spcf.syntax import Fix, free_variables
+from repro.spcf.types import ArrowType, RealType, type_of
+
+
+class TestProgramLibrary:
+    def test_all_programs_are_closed_and_typable(self):
+        for name, program in {**table1_programs(), **table2_programs()}.items():
+            assert not free_variables(program.applied), name
+            assert type_of(program.applied) == RealType(), name
+            assert isinstance(program.fix, Fix), name
+            assert type_of(program.fix) == ArrowType(RealType(), RealType()), name
+
+    def test_table_suites_cover_the_paper_rows(self):
+        assert len(table1_programs()) == 10
+        assert len(table2_programs()) == 5
+
+    def test_programs_run_on_the_cbv_machine(self):
+        machine = CbVMachine()
+        for name, program in table1_programs().items():
+            estimate = estimate_termination(
+                program.applied, runs=30, max_steps=3_000, machine=machine
+            )
+            # Every Table 1 program terminates on at least some runs.
+            assert estimate.terminated > 0, name
+
+    def test_known_probabilities_match_monte_carlo(self):
+        cases = [
+            (printer_nonaffine(Fraction(1, 4)), 1 / 3),
+            (one_dim_random_walk(Fraction(2, 5), 1), 2 / 3),
+            (geometric(Fraction(1, 5)), 1.0),
+            (bin_walk(Fraction(1, 2), 2), 1.0),
+        ]
+        # Terminating runs of these programs are short; a small step cap keeps
+        # the (mostly non-terminating) heavy runs from dominating the runtime.
+        for program, expected in cases:
+            assert program.known_probability == pytest.approx(expected, abs=1e-9)
+            estimate = estimate_termination(program.applied, runs=500, max_steps=1_500)
+            assert estimate.probability == pytest.approx(expected, abs=0.06)
+
+    def test_golden_ratio_known_probability(self):
+        import math
+
+        program = golden_ratio()
+        assert program.known_probability == pytest.approx((math.sqrt(5) - 1) / 2)
+        estimate = estimate_termination(program.applied, runs=500, max_steps=1_500)
+        assert estimate.probability == pytest.approx(program.known_probability, abs=0.06)
+
+    def test_three_print_closed_form(self):
+        # For p >= 2/3 the program is AST; below, the fixpoint is < 1.
+        assert three_print(Fraction(3, 4)).known_probability == pytest.approx(1.0, abs=1e-6)
+        assert three_print(Fraction(1, 2)).known_probability < 1
+
+    def test_parameterised_builders_reject_nothing_but_produce_distinct_terms(self):
+        assert running_example(Fraction(3, 5)).fix != running_example(Fraction(2, 3)).fix
+        assert running_example_first_class(Fraction(13, 20)).name.startswith("ex5.15")
+        assert pedestrian().strategy.name == "CBV"
+
+
+class TestHierarchy:
+    def test_semidecider_finds_a_witness_for_an_ast_program(self):
+        result = lower_bound_semidecider(
+            geometric(Fraction(1, 2)).applied, Fraction(9, 10), depth_schedule=(20, 40)
+        )
+        assert result is not None
+        assert result.probability > Fraction(9, 10)
+
+    def test_semidecider_gives_up_on_a_non_ast_program(self):
+        # Pterm = 1/3 < 0.9, so no witness exists at any depth.
+        result = lower_bound_semidecider(
+            printer_nonaffine(Fraction(1, 4)).applied,
+            Fraction(9, 10),
+            depth_schedule=(20, 40),
+        )
+        assert result is None
+
+    def test_ast_formula_collects_witnesses(self):
+        formula = ASTFormula(geometric(Fraction(1, 2)).applied)
+        witnesses = formula.check(
+            epsilons=[Fraction(1, 4), Fraction(1, 20)], depth_schedule=(20, 40, 80)
+        )
+        assert formula.all_found(witnesses)
+        assert all(w.result.probability >= 1 - w.epsilon for w in witnesses)
+
+    def test_ast_semi_decision_wrapper(self):
+        assert ast_semi_decision(
+            geometric(Fraction(1, 2)).applied, epsilon=Fraction(1, 10), depth_schedule=(40,)
+        )
+        assert not ast_semi_decision(
+            printer_nonaffine(Fraction(1, 4)).applied,
+            epsilon=Fraction(1, 10),
+            depth_schedule=(40,),
+        )
+
+    def test_past_formula_refutes_small_bounds(self):
+        formula = PASTFormula(geometric(Fraction(1, 2)).applied)
+        # The expected number of steps exceeds 1, so the bound 1 is refuted ...
+        assert formula.refutes(Fraction(1), depth_schedule=(40,)) is not None
+        # ... while a generous bound is consistent with everything explored.
+        assert formula.consistent_with(Fraction(1000), depth_schedule=(40,))
+
+    def test_formulas_share_an_engine(self):
+        engine = LowerBoundEngine()
+        formula = ASTFormula(geometric(Fraction(1, 2)).applied)
+        witnesses = formula.check(
+            epsilons=[Fraction(1, 10)], depth_schedule=(40,), engine=engine
+        )
+        assert witnesses[0].found

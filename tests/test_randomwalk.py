@@ -1,0 +1,193 @@
+"""Tests for step distributions, the Thm. 5.4 criterion and the order lemmas."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.randomwalk import (
+    CountingDistribution,
+    RandomWalkMatrix,
+    StepDistribution,
+    cumulative_dominates,
+    dirac,
+    estimate_absorption,
+    family_uniform_ast,
+    simulate_walk,
+    termination_probability,
+    uniform_ast_by_domination,
+)
+
+
+class TestStepDistribution:
+    def test_construction_and_mass(self):
+        step = StepDistribution({-1: Fraction(1, 2), 1: Fraction(1, 2)})
+        assert step.total_mass == 1
+        assert step.missing_mass == 0
+        assert step.drift == 0
+        assert step(-1) == Fraction(1, 2)
+        assert step(5) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StepDistribution({0: Fraction(3, 2)})
+        with pytest.raises(ValueError):
+            StepDistribution({0: Fraction(-1, 2)})
+
+    def test_thm_5_4_criterion(self):
+        # (a) mass deficit -> not AST.
+        assert not StepDistribution({-1: Fraction(1, 2)}).is_ast()
+        # (b) the Dirac at 0 -> not AST.
+        assert not StepDistribution({0: 1}).is_ast()
+        # (c) positive drift -> not AST.
+        assert not StepDistribution({-1: Fraction(1, 4), 1: Fraction(3, 4)}).is_ast()
+        # Zero drift (the unbiased walk) -> AST.
+        assert StepDistribution({-1: Fraction(1, 2), 1: Fraction(1, 2)}).is_ast()
+        # Negative drift -> AST.
+        assert StepDistribution({-1: Fraction(3, 4), 2: Fraction(1, 4)}).is_ast()
+
+    def test_certificate_contents(self):
+        certificate = StepDistribution({-1: Fraction(1, 2), 1: Fraction(1, 2)}).ast_certificate()
+        assert certificate["ast"] is True
+        assert certificate["drift"] == 0
+
+
+class TestCountingDistribution:
+    def test_shift(self):
+        counting = CountingDistribution({0: Fraction(1, 2), 2: Fraction(1, 2)})
+        shifted = counting.shifted()
+        assert shifted(-1) == Fraction(1, 2)
+        assert shifted(1) == Fraction(1, 2)
+        assert counting.is_ast()
+
+    def test_rank_and_expected_calls(self):
+        counting = CountingDistribution({0: Fraction(1, 4), 3: Fraction(3, 4)})
+        assert counting.rank == 3
+        assert counting.expected_calls == Fraction(9, 4)
+        assert not counting.is_ast()
+
+    def test_naturals_only(self):
+        with pytest.raises(ValueError):
+            CountingDistribution({-1: Fraction(1, 2)})
+
+    def test_dirac_and_mixing(self):
+        mixed = dirac(0).scaled(Fraction(1, 3)).mixed_with(dirac(2).scaled(Fraction(2, 3)))
+        assert mixed(0) == Fraction(1, 3)
+        assert mixed(2) == Fraction(2, 3)
+        assert mixed.total_mass == 1
+
+    def test_table2_distributions_are_ast(self):
+        # The five Papprox rows of Table 2.
+        rows = [
+            {0: Fraction(1, 2), 1: Fraction(1, 2)},
+            {0: Fraction(1, 2), 2: Fraction(1, 2)},
+            {0: Fraction(2, 3), 3: Fraction(1, 3)},
+            {0: Fraction(3, 5), 2: Fraction(1, 5), 3: Fraction(1, 5)},
+            {0: Fraction(13, 20), 2: Fraction(49, 800), 3: Fraction(231, 800)},
+        ]
+        for row in rows:
+            assert CountingDistribution(row).is_ast()
+
+
+class TestMatrixGroundTruth:
+    def test_absorption_from_zero_is_immediate(self):
+        step = StepDistribution({-1: Fraction(1, 2), 1: Fraction(1, 2)})
+        assert RandomWalkMatrix(step).absorption_lower_bound(0, 0) == 1
+
+    def test_negative_drift_walk_absorbs_quickly(self):
+        step = StepDistribution({-1: Fraction(9, 10), 1: Fraction(1, 10)})
+        assert termination_probability(step, start=1, steps=200) > Fraction(99, 100)
+
+    def test_positive_drift_walk_does_not_absorb(self):
+        step = StepDistribution({-1: Fraction(1, 4), 1: Fraction(3, 4)})
+        # The true absorption probability from 1 is 1/3.
+        bound = termination_probability(step, start=1, steps=400)
+        assert Fraction(3, 10) < bound < Fraction(1, 3) + Fraction(1, 100)
+
+    def test_monotone_in_steps(self):
+        step = StepDistribution({-1: Fraction(1, 2), 1: Fraction(1, 2)})
+        assert termination_probability(step, 1, 10) <= termination_probability(step, 1, 100)
+
+    def test_mass_deficit_leaks_to_failure(self):
+        step = StepDistribution({-1: Fraction(1, 2)})
+        assert termination_probability(step, start=1, steps=100) == Fraction(1, 2)
+
+
+class TestOrderAndUniformAST:
+    def test_cumulative_domination(self):
+        lower = CountingDistribution({0: Fraction(1, 2), 2: Fraction(1, 2)})
+        upper = CountingDistribution({0: Fraction(3, 4), 2: Fraction(1, 4)})
+        assert cumulative_dominates(lower, upper)
+        assert not cumulative_dominates(upper, lower)
+        assert cumulative_dominates(lower, lower)
+
+    def test_lemma_5_10(self):
+        witness = CountingDistribution({0: Fraction(1, 2), 2: Fraction(1, 2)})
+        family = [
+            CountingDistribution({0: Fraction(1, 2), 2: Fraction(1, 2)}),
+            CountingDistribution({0: Fraction(3, 5), 2: Fraction(2, 5)}),
+            CountingDistribution({0: Fraction(3, 4), 1: Fraction(1, 4)}),
+        ]
+        assert uniform_ast_by_domination(witness, family)
+        bad_witness = CountingDistribution({0: Fraction(1, 4), 2: Fraction(3, 4)})
+        assert not uniform_ast_by_domination(bad_witness, family)
+
+    def test_lemma_5_6(self):
+        family = [
+            CountingDistribution({0: Fraction(1, 2), 2: Fraction(1, 2)}),
+            CountingDistribution({0: Fraction(9, 10), 3: Fraction(1, 10)}),
+        ]
+        assert family_uniform_ast(family)
+        family.append(CountingDistribution({0: Fraction(1, 10), 3: Fraction(9, 10)}))
+        assert not family_uniform_ast(family)
+        assert family_uniform_ast([])
+
+
+class TestSimulation:
+    def test_simulation_matches_criterion(self):
+        ast_step = StepDistribution({-1: Fraction(3, 5), 1: Fraction(2, 5)})
+        not_ast_step = StepDistribution({-1: Fraction(1, 5), 1: Fraction(4, 5)})
+        assert estimate_absorption(ast_step, runs=400, max_steps=5_000) > 0.95
+        assert estimate_absorption(not_ast_step, runs=400, max_steps=5_000) < 0.5
+
+    def test_single_walk_outcome_fields(self):
+        import random
+
+        outcome = simulate_walk(
+            StepDistribution({-1: 1}), start=3, rng=random.Random(0)
+        )
+        assert outcome.absorbed_at_zero
+        assert outcome.steps == 3
+
+
+# -- property-based agreement between the criterion and the ground truth ------
+
+
+@st.composite
+def _random_counting_distribution(draw):
+    support = draw(st.lists(st.integers(min_value=0, max_value=4), min_size=1, max_size=3, unique=True))
+    weights = [draw(st.integers(min_value=1, max_value=5)) for _ in support]
+    total = sum(weights)
+    return CountingDistribution(
+        {point: Fraction(weight, total) for point, weight in zip(support, weights)}
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(_random_counting_distribution())
+def test_criterion_agrees_with_truncated_iteration(counting):
+    step = counting.shifted()
+    bound = termination_probability(step, start=1, steps=300)
+    if step.is_ast():
+        # Absorption probability tends to 1; with 300 steps it is already high
+        # unless the drift is exactly 0 (the null-recurrent case converges slowly).
+        if step.drift < 0:
+            assert bound > Fraction(9, 10)
+        else:
+            assert bound > Fraction(1, 2)
+    else:
+        if step.is_dirac_at(0):
+            assert bound == 0
+        elif step.drift > 0 and step.total_mass == 1:
+            # Transient walk: absorption probability is bounded away from 1.
+            assert bound < Fraction(97, 100)

@@ -1,0 +1,163 @@
+"""Tests for symbolic values, constraints, and the symbolic executors."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.intervals import Interval
+from repro.semantics import CbNMachine, Trace
+from repro.spcf import parse
+from repro.symbolic import (
+    ArgVal,
+    Constraint,
+    ConstraintSet,
+    ConstVal,
+    PrimVal,
+    Relation,
+    SampleVar,
+    StarVal,
+    SymbolicExplorer,
+)
+from repro.symbolic.execute import Strategy
+from repro.symbolic.values import simplify_prim
+
+
+class TestSymbolicValues:
+    def test_constants_and_variables(self):
+        assert ConstVal(3).value == Fraction(3)
+        assert SampleVar(2).variables() == frozenset({2})
+        assert ConstVal(1).is_concrete()
+        assert not SampleVar(0).is_concrete()
+
+    def test_evaluation(self):
+        value = PrimVal("add", (SampleVar(0), ConstVal(Fraction(1, 2))))
+        assert value.evaluate({0: Fraction(1, 4)}) == Fraction(3, 4)
+        value = PrimVal("mul", (SampleVar(0), SampleVar(1)))
+        assert value.evaluate({0: Fraction(1, 2), 1: Fraction(1, 3)}) == Fraction(1, 6)
+
+    def test_interval_evaluation_is_sound(self):
+        value = PrimVal("sub", (SampleVar(0), SampleVar(1)))
+        box = {0: Interval(0, Fraction(1, 2)), 1: Interval(Fraction(1, 4), 1)}
+        bounds = value.interval_evaluate(box)
+        for a in (Fraction(0), Fraction(1, 2)):
+            for b in (Fraction(1, 4), Fraction(1)):
+                assert bounds.contains(a - b)
+
+    def test_linear_form_extraction(self):
+        value = PrimVal(
+            "add",
+            (
+                PrimVal("mul", (ConstVal(2), SampleVar(0))),
+                PrimVal("neg", (SampleVar(1),)),
+            ),
+        )
+        form = value.linear_form()
+        assert form is not None
+        assert form.as_dict() == {0: Fraction(2), 1: Fraction(-1)}
+        assert form.constant == 0
+
+    def test_non_affine_values_have_no_linear_form(self):
+        assert PrimVal("mul", (SampleVar(0), SampleVar(1))).linear_form() is None
+        assert PrimVal("sig", (SampleVar(0),)).linear_form() is None
+
+    def test_argument_and_star_markers(self):
+        assert ArgVal().contains_argument()
+        assert StarVal().contains_star()
+        mixed = PrimVal("add", (ArgVal(), SampleVar(0)))
+        assert mixed.contains_argument()
+        assert mixed.substitute_argument(ConstVal(7)) == PrimVal(
+            "add", (ConstVal(7), SampleVar(0))
+        )
+
+    def test_simplify_prim_folds_constants(self):
+        assert simplify_prim("add", (ConstVal(1), ConstVal(2))) == ConstVal(3)
+        assert isinstance(simplify_prim("add", (ConstVal(1), SampleVar(0))), PrimVal)
+
+
+class TestConstraints:
+    def test_relations(self):
+        assert Relation.LE.holds(0) and not Relation.GT.holds(0)
+        assert Relation.GE.holds(0) and not Relation.LT.holds(0)
+        assert Relation.LE.negation() is Relation.GT
+
+    def test_satisfaction_and_box_status(self):
+        constraint = Constraint(
+            PrimVal("sub", (SampleVar(0), ConstVal(Fraction(1, 2)))), Relation.LE
+        )
+        assert constraint.satisfied_by({0: Fraction(1, 4)})
+        assert not constraint.satisfied_by({0: Fraction(3, 4)})
+        assert constraint.box_status({0: Interval(0, Fraction(1, 4))}) is True
+        assert constraint.box_status({0: Interval(Fraction(3, 4), 1)}) is False
+        assert constraint.box_status({0: Interval(0, 1)}) is None
+
+    def test_constraint_set_dimension_and_linear(self):
+        constraints = ConstraintSet(
+            [
+                Constraint(PrimVal("sub", (SampleVar(0), ConstVal(1))), Relation.LE),
+                Constraint(SampleVar(2), Relation.GT),
+            ]
+        )
+        assert constraints.dimension() == 3
+        assert constraints.all_linear()
+        with_sig = constraints.add(
+            Constraint(PrimVal("sig", (SampleVar(0),)), Relation.GE)
+        )
+        assert not with_sig.all_linear()
+
+
+GEO = parse("(mu phi x. if sample - 1/2 then x else phi (x + 1)) 1")
+TWO_SAMPLES = parse("if sample + sample - 1 then 0 else 1")
+
+
+class TestSymbolicExplorer:
+    def test_geo_paths_have_geometric_structure(self):
+        result = SymbolicExplorer().explore(GEO, max_steps_per_path=60)
+        assert result.terminated
+        # Path k uses k+1 samples: k failures then one success.
+        by_samples = sorted(path.num_variables for path in result.terminated)
+        assert by_samples[0] == 1
+        assert len(set(by_samples)) == len(by_samples)
+
+    def test_two_sample_program_has_two_paths(self):
+        result = SymbolicExplorer().explore(TWO_SAMPLES, max_steps_per_path=50)
+        assert len(result.terminated) == 2
+        assert result.complete
+        assert {path.branches for path in result.terminated} == {(True,), (False,)}
+
+    def test_unfinished_paths_are_counted(self):
+        result = SymbolicExplorer().explore(GEO, max_steps_per_path=15)
+        assert result.unfinished > 0
+        assert not result.complete
+
+    def test_score_constraints_are_collected(self):
+        term = parse("score(sample - 1/2)")
+        result = SymbolicExplorer().explore(term, max_steps_per_path=20)
+        assert len(result.terminated) == 1
+        constraints = list(result.terminated[0].constraints)
+        assert len(constraints) == 1
+        assert constraints[0].relation is Relation.GE
+
+    def test_cbv_strategy_shares_sampled_arguments(self):
+        term = parse("(lam x. x + x) sample")
+        cbn = SymbolicExplorer(Strategy.CBN).explore(term, max_steps_per_path=20)
+        cbv = SymbolicExplorer(Strategy.CBV).explore(term, max_steps_per_path=20)
+        assert cbn.terminated[0].num_variables == 2
+        assert cbv.terminated[0].num_variables == 1
+
+    # -- agreement with the concrete semantics --------------------------------
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.fractions(min_value=0, max_value=1), min_size=4, max_size=4))
+    def test_path_constraints_characterise_the_concrete_run(self, draws):
+        """A concrete trace satisfies a path's constraints iff the concrete run
+        terminates with exactly that path's sample count and step count."""
+        exploration = SymbolicExplorer().explore(GEO, max_steps_per_path=40)
+        machine = CbNMachine()
+        for path in exploration.terminated:
+            if path.num_variables > len(draws):
+                continue
+            assignment = {index: draws[index] for index in range(path.num_variables)}
+            satisfied = path.constraints.satisfied_by(assignment)
+            concrete = machine.run(GEO, Trace(draws[: path.num_variables]))
+            follows_path = concrete.terminated and concrete.steps == path.steps
+            assert satisfied == follows_path

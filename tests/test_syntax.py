@@ -1,0 +1,166 @@
+"""Tests for the SPCF abstract syntax: terms, free variables, substitution."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.spcf.syntax import (
+    App,
+    Fix,
+    If,
+    Lam,
+    Numeral,
+    Prim,
+    Sample,
+    Score,
+    Var,
+    alpha_equivalent,
+    free_variables,
+    is_closed,
+    is_value,
+    subterms,
+    substitute,
+    term_size,
+)
+
+
+def test_numeral_normalises_ints_to_fractions():
+    assert Numeral(3).value == Fraction(3)
+    assert isinstance(Numeral(3).value, Fraction)
+    assert Numeral(0.5).value == 0.5
+
+
+def test_numeral_rejects_booleans_and_non_numbers():
+    with pytest.raises(TypeError):
+        Numeral(True)
+    with pytest.raises(TypeError):
+        Numeral("1")
+
+
+def test_values_are_recognised():
+    assert is_value(Var("x"))
+    assert is_value(Numeral(1))
+    assert is_value(Lam("x", Var("x")))
+    assert is_value(Fix("phi", "x", Var("x")))
+    assert not is_value(Sample())
+    assert not is_value(App(Lam("x", Var("x")), Numeral(1)))
+
+
+def test_call_builds_left_associated_applications():
+    term = Lam("x", Var("x"))(Numeral(1), Numeral(2))
+    assert isinstance(term, App)
+    assert isinstance(term.fn, App)
+    assert term.fn.arg == Numeral(1)
+    assert term.arg == Numeral(2)
+
+
+def test_free_variables_of_abstractions():
+    term = Lam("x", App(Var("x"), Var("y")))
+    assert free_variables(term) == frozenset({"y"})
+    fix = Fix("phi", "x", App(Var("phi"), Var("x")))
+    assert free_variables(fix) == frozenset()
+    assert is_closed(fix)
+
+
+def test_free_variables_of_compound_terms():
+    term = If(Prim("add", (Var("a"), Numeral(1))), Score(Var("b")), Sample())
+    assert free_variables(term) == frozenset({"a", "b"})
+
+
+def test_subterms_and_term_size():
+    term = If(Sample(), Numeral(0), Prim("add", (Numeral(1), Numeral(2))))
+    assert term_size(term) == 6
+    assert Sample() in list(subterms(term))
+
+
+def test_substitution_replaces_free_occurrences_only():
+    term = Lam("x", App(Var("x"), Var("y")))
+    result = substitute(term, {"y": Numeral(1), "x": Numeral(2)})
+    assert result == Lam("x", App(Var("x"), Numeral(1)))
+
+
+def test_substitution_is_capture_avoiding():
+    # (lam x. y) with y := x must not capture the bound x.
+    term = Lam("x", Var("y"))
+    result = substitute(term, {"y": Var("x")})
+    assert isinstance(result, Lam)
+    assert result.var != "x"
+    assert result.body == Var("x")
+    assert free_variables(result) == frozenset({"x"})
+
+
+def test_substitution_under_fix_renames_both_binders():
+    term = Fix("phi", "x", App(Var("phi"), App(Var("x"), Var("y"))))
+    result = substitute(term, {"y": App(Var("phi"), Var("x"))})
+    assert free_variables(result) == frozenset({"phi", "x"})
+    # The bound variables must have been renamed apart from the substituted ones.
+    assert isinstance(result, Fix)
+    assert result.fvar not in ("phi",) or result.var not in ("x",)
+
+
+def test_substitution_empty_mapping_is_identity():
+    term = If(Sample(), Var("x"), Numeral(1))
+    assert substitute(term, {}) is term
+
+
+def test_alpha_equivalence_basic():
+    assert alpha_equivalent(Lam("x", Var("x")), Lam("y", Var("y")))
+    assert alpha_equivalent(
+        Fix("phi", "x", App(Var("phi"), Var("x"))),
+        Fix("f", "z", App(Var("f"), Var("z"))),
+    )
+    assert not alpha_equivalent(Lam("x", Var("x")), Lam("x", Numeral(1)))
+    assert not alpha_equivalent(Var("x"), Var("y"))
+    assert alpha_equivalent(Var("x"), Var("x"))
+
+
+def test_alpha_equivalence_distinguishes_binder_structure():
+    left = Lam("x", Lam("y", Var("x")))
+    right = Lam("x", Lam("y", Var("y")))
+    assert not alpha_equivalent(left, right)
+
+
+# -- property-based tests -----------------------------------------------------
+
+_leaf = st.one_of(
+    st.builds(Numeral, st.integers(min_value=-5, max_value=5)),
+    st.builds(Var, st.sampled_from(["x", "y", "z"])),
+    st.just(Sample()),
+)
+
+
+def _terms(depth):
+    if depth == 0:
+        return _leaf
+    smaller = _terms(depth - 1)
+    return st.one_of(
+        _leaf,
+        st.builds(Lam, st.sampled_from(["x", "y"]), smaller),
+        st.builds(App, smaller, smaller),
+        st.builds(If, smaller, smaller, smaller),
+        st.builds(lambda a, b: Prim("add", (a, b)), smaller, smaller),
+        st.builds(Score, smaller),
+        st.builds(Fix, st.just("phi"), st.sampled_from(["x", "y"]), smaller),
+    )
+
+
+@given(_terms(3))
+def test_alpha_equivalence_is_reflexive(term):
+    assert alpha_equivalent(term, term)
+
+
+@given(_terms(3))
+def test_substituting_all_free_variables_closes_the_term(term):
+    closed = substitute(term, {name: Numeral(0) for name in free_variables(term)})
+    assert is_closed(closed)
+
+
+@given(_terms(3), _terms(2))
+def test_substitution_never_introduces_new_free_variables(term, replacement):
+    target = sorted(free_variables(term))
+    if not target:
+        return
+    result = substitute(term, {target[0]: replacement})
+    allowed = (free_variables(term) - {target[0]}) | free_variables(replacement)
+    assert free_variables(result) <= allowed

@@ -1,0 +1,281 @@
+"""Tests for the intersection type system of Sec. 4."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.intervals import Interval, IntervalTrace
+from repro.intervals.terms import IntervalNumeral, embed
+from repro.programs import geometric, printer_nonaffine
+from repro.lowerbound import lower_bound
+from repro.spcf import parse
+from repro.spcf.syntax import If, Prim, Sample, Score
+from repro.typesystem import (
+    ArrowElement,
+    Derivation,
+    DerivationError,
+    IntervalElement,
+    SetType,
+    check_derivation,
+    expected_steps,
+    infer_set_type,
+    weight,
+)
+from repro.typesystem.settypes import TypedTriple
+
+
+def _point(value):
+    return Interval.point(Fraction(value))
+
+
+def _interval(lo, hi):
+    return Interval(Fraction(lo), Fraction(hi))
+
+
+def _triple(interval, trace_intervals, steps):
+    return TypedTriple(IntervalElement(interval), IntervalTrace(trace_intervals), steps)
+
+
+class TestSetTypes:
+    def test_weight_and_expected_steps(self):
+        set_type = SetType(
+            [
+                _triple(_point(0), [_interval(0, "1/2")], 2),
+                _triple(_point(1), [_interval("1/2", 1), _interval(0, "1/4")], 5),
+            ]
+        )
+        assert weight(set_type) == Fraction(1, 2) + Fraction(1, 8)
+        assert expected_steps(set_type) == Fraction(1, 2) * 2 + Fraction(1, 8) * 5
+
+    def test_shift_prepends_traces_and_adds_steps(self):
+        set_type = SetType([_triple(_point(0), [_interval(0, 1)], 1)])
+        shifted = set_type.shifted(IntervalTrace([_interval(0, "1/2")]), 3)
+        triple = shifted.triples[0]
+        assert len(triple.trace) == 2
+        assert triple.trace[0] == _interval(0, "1/2")
+        assert triple.steps == 4
+
+    def test_pairwise_compatibility_of_witnesses(self):
+        compatible = SetType(
+            [
+                _triple(_point(0), [_interval(0, "1/2")], 1),
+                _triple(_point(1), [_interval("1/2", 1)], 1),
+            ]
+        )
+        assert compatible.pairwise_compatible()
+        clashing = SetType(
+            [
+                _triple(_point(0), [_interval(0, "3/4")], 1),
+                _triple(_point(1), [_interval("1/2", 1)], 1),
+            ]
+        )
+        assert not clashing.pairwise_compatible()
+
+
+class TestDerivationChecker:
+    def test_num_rule(self):
+        term = IntervalNumeral(_point(2))
+        good = Derivation(
+            "num", term, SetType([_triple(_point(2), [], 0)])
+        )
+        assert check_derivation(good)
+        bad = Derivation("num", term, SetType([_triple(_point(2), [], 1)]))
+        with pytest.raises(DerivationError):
+            check_derivation(bad)
+
+    def test_sample_rule_requires_almost_disjoint_intervals(self):
+        term = Sample()
+        good = Derivation(
+            "sample",
+            term,
+            SetType(
+                [
+                    TypedTriple(IntervalElement(_interval(0, "1/2")), IntervalTrace([_interval(0, "1/2")]), 1),
+                    TypedTriple(IntervalElement(_interval("1/2", 1)), IntervalTrace([_interval("1/2", 1)]), 1),
+                ]
+            ),
+        )
+        assert check_derivation(good)
+        overlapping = Derivation(
+            "sample",
+            term,
+            SetType(
+                [
+                    TypedTriple(IntervalElement(_interval(0, "3/4")), IntervalTrace([_interval(0, "3/4")]), 1),
+                    TypedTriple(IntervalElement(_interval("1/2", 1)), IntervalTrace([_interval("1/2", 1)]), 1),
+                ]
+            ),
+        )
+        with pytest.raises(DerivationError):
+            check_derivation(overlapping)
+
+    def test_score_rule_drops_negative_triples_and_counts_a_step(self):
+        inner = IntervalNumeral(_interval("-1", "-1/2"))
+        premise = Derivation(
+            "num", inner, SetType([_triple(_interval("-1", "-1/2"), [], 0)])
+        )
+        conclusion = Derivation("score", Score(inner), SetType([]), premises=(premise,))
+        assert check_derivation(conclusion)
+        wrong = Derivation(
+            "score",
+            Score(inner),
+            SetType([_triple(_interval("-1", "-1/2"), [], 1)]),
+            premises=(premise,),
+        )
+        with pytest.raises(DerivationError):
+            check_derivation(wrong)
+
+    def test_if_rule_builds_the_shifted_union(self):
+        # if(sample - 1/2, [0,0], [1,1]) typed on the two halves of the unit interval.
+        guard_term = Prim("sub", (Sample(), IntervalNumeral(_point("1/2"))))
+        term = If(guard_term, IntervalNumeral(_point(0)), IntervalNumeral(_point(1)))
+        guard = Derivation(
+            "prim",
+            guard_term,
+            SetType(
+                [
+                    TypedTriple(
+                        IntervalElement(_interval("-1/2", 0)),
+                        IntervalTrace([_interval(0, "1/2")]),
+                        2,
+                    ),
+                    TypedTriple(
+                        IntervalElement(_interval(0, "1/2")),
+                        IntervalTrace([_interval("1/2", 1)]),
+                        2,
+                    ),
+                ]
+            ),
+            premises=(
+                Derivation(
+                    "sample",
+                    Sample(),
+                    SetType(
+                        [
+                            TypedTriple(
+                                IntervalElement(_interval(0, "1/2")),
+                                IntervalTrace([_interval(0, "1/2")]),
+                                1,
+                            ),
+                            TypedTriple(
+                                IntervalElement(_interval("1/2", 1)),
+                                IntervalTrace([_interval("1/2", 1)]),
+                                1,
+                            ),
+                        ]
+                    ),
+                ),
+                Derivation(
+                    "num",
+                    IntervalNumeral(_point("1/2")),
+                    SetType([_triple(_point("1/2"), [], 0)]),
+                ),
+                Derivation(
+                    "num",
+                    IntervalNumeral(_point("1/2")),
+                    SetType([_triple(_point("1/2"), [], 0)]),
+                ),
+            ),
+        )
+        # Guard interval [-1/2, 0] decides the then-branch; (0, 1/2] would not
+        # be decided, so we only include the first; but the second guard triple
+        # has lo = 0 which does not satisfy a > 0, hence it must be omitted
+        # from a valid derivation.  Use a strictly positive lower bound instead.
+        then_branch = Derivation(
+            "num", IntervalNumeral(_point(0)), SetType([_triple(_point(0), [], 0)])
+        )
+        conclusion = SetType(
+            [
+                TypedTriple(
+                    IntervalElement(_point(0)), IntervalTrace([_interval(0, "1/2")]), 3
+                )
+            ]
+        )
+        derivation = Derivation(
+            "if",
+            term,
+            conclusion,
+            premises=(
+                Derivation(
+                    "prim",
+                    guard_term,
+                    SetType(
+                        [
+                            TypedTriple(
+                                IntervalElement(_interval("-1/2", 0)),
+                                IntervalTrace([_interval(0, "1/2")]),
+                                2,
+                            )
+                        ]
+                    ),
+                    premises=(
+                        Derivation(
+                            "sample",
+                            Sample(),
+                            SetType(
+                                [
+                                    TypedTriple(
+                                        IntervalElement(_interval(0, "1/2")),
+                                        IntervalTrace([_interval(0, "1/2")]),
+                                        1,
+                                    )
+                                ]
+                            ),
+                        ),
+                        Derivation(
+                            "num",
+                            IntervalNumeral(_point("1/2")),
+                            SetType([_triple(_point("1/2"), [], 0)]),
+                        ),
+                    ),
+                ),
+                then_branch,
+            ),
+        )
+        assert check_derivation(derivation)
+        # The weight of the conclusion is a lower bound on Pterm (here 1/2).
+        assert weight(conclusion) == Fraction(1, 2)
+        # Check that the prim premise alone is also valid.
+        assert check_derivation(guard)
+
+    def test_unknown_rule_is_rejected(self):
+        with pytest.raises(DerivationError):
+            check_derivation(Derivation("fancy", Sample(), SetType([])))
+
+
+class TestInference:
+    def test_inferred_weight_lower_bounds_pterm(self):
+        program = geometric(Fraction(1, 2))
+        result = infer_set_type(program.applied, max_steps=60, sweep_depth=8)
+        assert 0 < result.weight <= 1
+        assert result.weight <= 1  # Pterm = 1
+        engine_bound = lower_bound(program.applied, max_steps=60)
+        assert result.weight <= engine_bound.probability
+
+    def test_inferred_weight_converges_with_depth(self):
+        program = geometric(Fraction(1, 2))
+        shallow = infer_set_type(program.applied, max_steps=20, sweep_depth=6)
+        deep = infer_set_type(program.applied, max_steps=60, sweep_depth=10)
+        assert deep.weight >= shallow.weight
+
+    def test_inferred_traces_are_pairwise_compatible(self):
+        program = printer_nonaffine(Fraction(1, 2))
+        result = infer_set_type(program.applied, max_steps=40, sweep_depth=6)
+        assert result.set_type.pairwise_compatible()
+
+    def test_expected_steps_is_a_lower_bound_on_eterm(self):
+        # For geo(1/2) the expected number of steps is finite; the inferred
+        # E value must stay below the engine's (also sound) deeper bound.
+        program = geometric(Fraction(1, 2))
+        result = infer_set_type(program.applied, max_steps=40, sweep_depth=8)
+        deep = lower_bound(program.applied, max_steps=120)
+        assert result.expected_steps <= deep.expected_steps * Fraction(101, 100)
+
+    def test_non_numeric_results_are_typed_with_arrow_elements(self):
+        result = infer_set_type(parse("lam x. x"), max_steps=10)
+        assert len(result.set_type) == 1
+        assert isinstance(result.set_type.triples[0].element, ArrowElement)
+
+    def test_open_terms_are_rejected(self):
+        with pytest.raises(ValueError):
+            infer_set_type(parse("x + 1"))
