@@ -1,0 +1,142 @@
+"""Perf benchmark for the single-pass Papprox + shared memoizing measure engine.
+
+The seed implementation evaluated ``min_sigma P(sigma, n)`` with one full
+tree walk per budget ``n``, re-measuring every leaf's path constraint set up
+to ``rank + 1`` times, and every analysis (the AST verifier, the PAST
+verifier, the refutation) re-measured the same sets from scratch.  This
+benchmark pits that baseline -- the per-budget reference evaluator
+:func:`min_probability_at_most` with the cache disabled, run once for the AST
+verification and once for the PAST verification, exactly the work the seed
+performed for the Table-2 + classification pipeline -- against the new
+single-pass traversal with one :class:`MeasureEngine` shared by both
+analyses.
+
+Asserted (deterministically, so it can run in CI):
+
+* cumulative vectors and ``Papprox`` distributions are bit-identical with the
+  cache enabled, with it disabled, and per-budget (``exact`` flag included),
+* on every program of recursive rank >= 3 the ``measure_constraints``
+  invocation counter drops by at least 5x.
+
+Wall-clock timings are recorded alongside the counters in
+``BENCH_papprox.json`` at the repository root (run with ``-s`` to see the
+table).
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.astcheck import (
+    build_execution_tree,
+    min_probability_at_most,
+    papprox_distribution,
+    verify_ast,
+)
+from repro.geometry import MeasureEngine
+from repro.pastcheck import verify_past
+from repro.programs import extra_programs, table2_programs
+
+_RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_papprox.json"
+_SPEEDUP_FLOOR = 5.0
+
+
+def _library():
+    programs = dict(table2_programs())
+    for name, program in extra_programs().items():
+        programs.setdefault(name, program)
+    return programs
+
+
+def _analysable(programs):
+    """The library programs whose bodies admit a finite execution tree."""
+    usable = {}
+    for name, program in programs.items():
+        try:
+            tree = build_execution_tree(program.fix)
+        except Exception:
+            continue
+        if tree.has_star_guards:
+            continue
+        usable[name] = (program, tree)
+    return usable
+
+
+def test_shared_cache_is_bit_identical_and_cuts_measure_calls():
+    rows = {}
+    for name, (program, tree) in _analysable(_library()).items():
+        rank = tree.max_recursive_calls
+
+        # Baseline: the seed's per-budget evaluation, uncached, once for the
+        # AST verification and once for the PAST verification.
+        baseline_engine = MeasureEngine(cache_enabled=False)
+        start = time.perf_counter()
+        baseline_vector = None
+        for _ in range(2):
+            baseline_vector = [
+                min_probability_at_most(tree, budget, engine=baseline_engine)
+                for budget in range(rank + 1)
+            ]
+        baseline_elapsed = time.perf_counter() - start
+
+        # Cache off, single pass: bit-identity of the new traversal alone.
+        uncached = papprox_distribution(tree, engine=MeasureEngine(cache_enabled=False))
+
+        # Cache on, shared across the AST verifier and the PAST verifier.
+        shared = MeasureEngine()
+        start = time.perf_counter()
+        ast_result = verify_ast(program, engine=shared)
+        past_result = verify_past(program, engine=shared)
+        cached_elapsed = time.perf_counter() - start
+        cached = papprox_distribution(tree, engine=shared)
+
+        assert list(cached.cumulative) == list(uncached.cumulative) == baseline_vector, name
+        assert cached.exact == uncached.exact, name
+        assert cached.distribution.as_dict() == uncached.distribution.as_dict(), name
+        if ast_result.papprox is not None and past_result.ast_result.papprox is not None:
+            assert (
+                ast_result.papprox.as_dict()
+                == past_result.ast_result.papprox.as_dict()
+                == cached.distribution.as_dict()
+            ), name
+
+        baseline_calls = baseline_engine.stats.measure_calls
+        cached_calls = shared.stats.measure_calls
+        speedup = baseline_calls / cached_calls if cached_calls else float("inf")
+        if rank >= 3:
+            assert speedup >= _SPEEDUP_FLOOR, (
+                f"{name}: measure calls only dropped {speedup:.2f}x "
+                f"({baseline_calls} -> {cached_calls}), expected >= {_SPEEDUP_FLOOR}x"
+            )
+
+        rows[name] = {
+            "rank": rank,
+            "leaves": tree.leaf_count,
+            "baseline_measure_calls": baseline_calls,
+            "cached_measure_calls": cached_calls,
+            "measure_call_speedup": round(speedup, 2),
+            "cache_hits": shared.stats.cache_hits,
+            "complement_derivations": shared.stats.complement_derivations,
+            "baseline_ms": round(baseline_elapsed * 1000, 3),
+            "cached_ms": round(cached_elapsed * 1000, 3),
+            "exact": cached.exact,
+            "papprox": {
+                str(calls): str(mass)
+                for calls, mass in sorted(cached.distribution.as_dict().items())
+            },
+        }
+        print(
+            f"{name:22s} rank={rank} calls {baseline_calls:4d} -> {cached_calls:2d} "
+            f"({speedup:5.1f}x)  {baseline_elapsed * 1000:7.1f}ms -> {cached_elapsed * 1000:6.1f}ms"
+        )
+
+    high_rank = {name: row for name, row in rows.items() if row["rank"] >= 3}
+    assert high_rank, "the library should contain rank >= 3 programs"
+    payload = {
+        "benchmark": "papprox single-pass + shared measure cache",
+        "workload": "verify_ast + verify_past per program, one shared MeasureEngine",
+        "baseline": "per-budget min_probability_at_most, cache disabled, per analysis",
+        "speedup_floor_rank_ge_3": _SPEEDUP_FLOOR,
+        "programs": rows,
+    }
+    _RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")

@@ -27,7 +27,11 @@ from repro.astcheck.exectree import (
     build_execution_tree,
 )
 from repro.astcheck.strategy import count_strategies, enumerate_strategies, resolve_tree
-from repro.astcheck.papprox import min_probability_at_most, papprox_distribution
+from repro.astcheck.papprox import (
+    cumulative_vector,
+    min_probability_at_most,
+    papprox_distribution,
+)
 from repro.astcheck.verifier import ASTVerificationResult, verify_ast
 
 __all__ = [
@@ -41,6 +45,7 @@ __all__ = [
     "ExecutionTree",
     "build_execution_tree",
     "count_strategies",
+    "cumulative_vector",
     "enumerate_strategies",
     "min_probability_at_most",
     "papprox_distribution",

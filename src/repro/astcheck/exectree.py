@@ -100,8 +100,28 @@ class ExecStuck(ExecNode):
 
 
 @dataclass(frozen=True)
+class _TreeStats:
+    """Derived statistics of an execution tree, collected in one traversal."""
+
+    node_count: int
+    leaf_count: int
+    nondet_node_count: int
+    prob_node_count: int
+    stuck_count: int
+    max_recursive_calls: int
+    has_star_guards: bool
+
+
+@dataclass(frozen=True)
 class ExecutionTree:
-    """A symbolic execution tree together with summary statistics."""
+    """A symbolic execution tree together with summary statistics.
+
+    The statistics are derived from the (immutable) tree in a single
+    iterative walk the first time any of them is requested, then cached on
+    the instance: the verifier consults several of them per run, and the
+    walk is explicit-stack so arbitrarily deep trees cannot overflow
+    Python's recursion limit.
+    """
 
     root: ExecNode
     sample_variables: int
@@ -111,52 +131,107 @@ class ExecutionTree:
         yield from _iter_nodes(self.root)
 
     @property
+    def _stats(self) -> _TreeStats:
+        try:
+            return self._cached_stats
+        except AttributeError:
+            stats = _compute_tree_stats(self.root)
+            object.__setattr__(self, "_cached_stats", stats)
+            return stats
+
+    @property
     def max_recursive_calls(self) -> int:
         """The maximal number of ``mu`` nodes on any root-to-leaf path."""
-        return _max_mu(self.root)
+        return self._stats.max_recursive_calls
+
+    @property
+    def node_count(self) -> int:
+        return self._stats.node_count
 
     @property
     def nondet_node_count(self) -> int:
-        return sum(1 for node in self.nodes() if isinstance(node, ExecNondetBranch))
+        return self._stats.nondet_node_count
 
     @property
     def prob_node_count(self) -> int:
-        return sum(1 for node in self.nodes() if isinstance(node, ExecProbBranch))
+        return self._stats.prob_node_count
 
     @property
     def leaf_count(self) -> int:
-        return sum(1 for node in self.nodes() if isinstance(node, ExecLeaf))
+        return self._stats.leaf_count
 
     @property
     def has_stuck_paths(self) -> bool:
-        return any(isinstance(node, ExecStuck) for node in self.nodes())
+        return self._stats.stuck_count > 0
 
     @property
     def has_star_guards(self) -> bool:
         """True if some Environment branch depends on a recursive outcome."""
-        return any(
-            isinstance(node, ExecNondetBranch) and node.depends_on_star
-            for node in self.nodes()
-        )
+        return self._stats.has_star_guards
 
 
 def _iter_nodes(node: ExecNode) -> Iterator[ExecNode]:
-    yield node
-    if isinstance(node, (ExecMu, ExecScore)):
-        yield from _iter_nodes(node.child)
-    elif isinstance(node, (ExecProbBranch, ExecNondetBranch)):
-        yield from _iter_nodes(node.then_child)
-        yield from _iter_nodes(node.else_child)
+    """Pre-order traversal with an explicit stack (deep trees stay safe)."""
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        if isinstance(current, (ExecMu, ExecScore)):
+            stack.append(current.child)
+        elif isinstance(current, (ExecProbBranch, ExecNondetBranch)):
+            stack.append(current.else_child)
+            stack.append(current.then_child)
+
+
+def _compute_tree_stats(root: ExecNode) -> _TreeStats:
+    """All summary statistics in one explicit-stack walk.
+
+    ``max_recursive_calls`` is tracked by carrying the number of ``mu`` nodes
+    on the path to each node; every root-to-leaf path ends in a leaf or a
+    stuck node, where the running count is folded into the maximum.
+    """
+    node_count = leaves = nondet = prob = stuck = 0
+    max_mu = 0
+    star_guards = False
+    stack = [(root, 0)]
+    while stack:
+        node, mu_on_path = stack.pop()
+        node_count += 1
+        if isinstance(node, ExecLeaf):
+            leaves += 1
+            max_mu = max(max_mu, mu_on_path)
+        elif isinstance(node, ExecStuck):
+            stuck += 1
+            max_mu = max(max_mu, mu_on_path)
+        elif isinstance(node, ExecMu):
+            stack.append((node.child, mu_on_path + 1))
+        elif isinstance(node, ExecScore):
+            stack.append((node.child, mu_on_path))
+        elif isinstance(node, ExecProbBranch):
+            prob += 1
+            stack.append((node.then_child, mu_on_path))
+            stack.append((node.else_child, mu_on_path))
+        elif isinstance(node, ExecNondetBranch):
+            nondet += 1
+            star_guards = star_guards or node.depends_on_star
+            stack.append((node.then_child, mu_on_path))
+            stack.append((node.else_child, mu_on_path))
+        else:
+            raise TypeError(f"unknown node {node!r}")
+    return _TreeStats(
+        node_count=node_count,
+        leaf_count=leaves,
+        nondet_node_count=nondet,
+        prob_node_count=prob,
+        stuck_count=stuck,
+        max_recursive_calls=max_mu,
+        has_star_guards=star_guards,
+    )
 
 
 def _max_mu(node: ExecNode) -> int:
-    if isinstance(node, ExecMu):
-        return 1 + _max_mu(node.child)
-    if isinstance(node, ExecScore):
-        return _max_mu(node.child)
-    if isinstance(node, (ExecProbBranch, ExecNondetBranch)):
-        return max(_max_mu(node.then_child), _max_mu(node.else_child))
-    return 0
+    """The maximal number of ``mu`` nodes on any path below ``node``."""
+    return _compute_tree_stats(node).max_recursive_calls
 
 
 class ExecutionTreeError(Exception):

@@ -5,16 +5,27 @@
 ``P(sigma, n)`` is the probability (over the sample variables) of following a
 path of the resolved tree that traverses at most ``n`` recursive-call nodes.
 
-``min_sigma P(sigma, n)`` is computed by a single tree recursion that carries
-the constraint prefix of the current path:
+The full cumulative vector ``[min_sigma P(sigma, n) for n in 0..rank]`` is
+computed in a **single bottom-up traversal** of the execution tree, with the
+constraint prefix of the current path carried top-down:
 
-* a leaf contributes the measure of the accumulated constraints,
-* a ``mu`` node consumes one unit of budget (contributing 0 when exhausted),
-* a score node adds the constraint ``value >= 0``,
-* a probabilistic branch splits the measure between its two children (the two
+* a leaf measures its accumulated constraints *once* and broadcasts the value
+  across every budget (the measure does not depend on the budget),
+* a ``mu`` node shifts the child's vector by one (a unit of budget is
+  consumed; budget 0 contributes 0),
+* a score node extends the constraint prefix with ``value >= 0``,
+* a probabilistic branch adds the children's vectors element-wise (the two
   guard constraints are disjoint events, so the minimum distributes over the
   sum -- strategies resolve disjoint subtrees independently),
-* a nondeterministic branch takes the minimum of its children.
+* a nondeterministic branch takes the element-wise minimum.
+
+This visits every node exactly once instead of once per budget, and all
+measuring goes through a shared :class:`~repro.geometry.engine.MeasureEngine`
+so identical path constraint sets -- across budgets, shared prefixes, and the
+verifier / lower-bound / pastcheck callers -- are measured a single time.
+The per-budget evaluator :func:`min_probability_at_most` is kept as the
+reference implementation (it is the paper's definition read off directly) and
+is what the perf benchmark uses as its baseline.
 
 Theorem 6.2 guarantees ``Papprox`` is below every member of the counting
 pattern in the cumulative order, so (with Lem. 5.10 and Thm. 5.9) AST of the
@@ -37,7 +48,8 @@ from repro.astcheck.exectree import (
     ExecStuck,
     ExecutionTree,
 )
-from repro.geometry.measure import MeasureOptions, measure_constraints
+from repro.geometry.engine import MeasureEngine
+from repro.geometry.measure import MeasureOptions
 from repro.randomwalk.step_distribution import CountingDistribution
 from repro.spcf.primitives import PrimitiveRegistry, default_registry
 from repro.symbolic.constraints import Constraint, ConstraintSet, Relation
@@ -50,34 +62,25 @@ def min_probability_at_most(
     budget: int,
     measure_options: Optional[MeasureOptions] = None,
     registry: Optional[PrimitiveRegistry] = None,
+    engine: Optional[MeasureEngine] = None,
 ) -> Number:
-    """``min_sigma P(sigma, budget)``: worst-case probability of <= budget calls."""
-    registry = registry or default_registry()
-    measure_options = measure_options or MeasureOptions()
-    return _go(tree.root, ConstraintSet(), budget, measure_options, registry)
+    """``min_sigma P(sigma, budget)``: worst-case probability of <= budget calls.
 
-
-def _measure(
-    constraints: ConstraintSet,
-    measure_options: MeasureOptions,
-    registry: PrimitiveRegistry,
-) -> Number:
-    dimension = constraints.dimension()
-    result = measure_constraints(
-        constraints, dimension, options=measure_options, registry=registry
-    )
-    return result.value
+    This is the reference per-budget evaluator (one full tree walk per call);
+    :func:`papprox_distribution` computes every budget in one walk instead.
+    """
+    engine = engine or MeasureEngine(measure_options, registry)
+    return _go(tree.root, ConstraintSet(), budget, engine)
 
 
 def _go(
     node: ExecNode,
     constraints: ConstraintSet,
     budget: int,
-    measure_options: MeasureOptions,
-    registry: PrimitiveRegistry,
+    engine: MeasureEngine,
 ) -> Number:
     if isinstance(node, ExecLeaf):
-        return _measure(constraints, measure_options, registry)
+        return engine.measure(constraints).value
     if isinstance(node, ExecStuck):
         # A stuck path never reaches a value, so it contributes nothing to the
         # probability of completing with at most ``budget`` calls.
@@ -85,31 +88,94 @@ def _go(
     if isinstance(node, ExecMu):
         if budget == 0:
             return Fraction(0)
-        return _go(node.child, constraints, budget - 1, measure_options, registry)
+        return _go(node.child, constraints, budget - 1, engine)
     if isinstance(node, ExecScore):
         extended = constraints.add(Constraint(node.value, Relation.GE))
-        return _go(node.child, extended, budget, measure_options, registry)
+        return _go(node.child, extended, budget, engine)
     if isinstance(node, ExecProbBranch):
         left = _go(
             node.then_child,
             constraints.add(Constraint(node.guard, Relation.LE)),
             budget,
-            measure_options,
-            registry,
+            engine,
         )
         right = _go(
             node.else_child,
             constraints.add(Constraint(node.guard, Relation.GT)),
             budget,
-            measure_options,
-            registry,
+            engine,
         )
         return left + right
     if isinstance(node, ExecNondetBranch):
-        left = _go(node.then_child, constraints, budget, measure_options, registry)
-        right = _go(node.else_child, constraints, budget, measure_options, registry)
+        left = _go(node.then_child, constraints, budget, engine)
+        right = _go(node.else_child, constraints, budget, engine)
         return min(left, right)
     raise TypeError(f"unknown node {node!r}")
+
+
+# Explicit-stack actions of the single-pass evaluation: expand a node, or
+# combine the vectors its children left on the result stack.
+_EXPAND, _SHIFT, _ADD, _MIN = 0, 1, 2, 3
+
+
+def cumulative_vector(
+    tree: ExecutionTree, rank: int, engine: MeasureEngine
+) -> List[Number]:
+    """``[min_sigma P(sigma, n) for n in 0..rank]`` in one tree traversal.
+
+    The traversal is post-order with an explicit stack (deep trees cannot
+    overflow the recursion limit); constraints accumulate top-down, budget
+    vectors combine bottom-up.  Element ``n`` is bit-for-bit the value the
+    per-budget evaluator :func:`min_probability_at_most` computes for budget
+    ``n``: the combination at every node applies the same operations to the
+    same operands in the same order, just across all budgets at once.
+    """
+    width = rank + 1
+    results: List[List[Number]] = []
+    stack = [(_EXPAND, tree.root, ConstraintSet())]
+    while stack:
+        action, node, constraints = stack.pop()
+        if action is not _EXPAND:
+            if action == _SHIFT:
+                child = results.pop()
+                results.append([Fraction(0)] + child[: width - 1])
+            elif action == _ADD:
+                right = results.pop()
+                left = results.pop()
+                results.append([l + r for l, r in zip(left, right)])
+            else:  # _MIN
+                right = results.pop()
+                left = results.pop()
+                results.append([min(l, r) for l, r in zip(left, right)])
+            continue
+        # Chase score chains: they only extend the constraint prefix.
+        while isinstance(node, ExecScore):
+            constraints = constraints.add(Constraint(node.value, Relation.GE))
+            node = node.child
+        if isinstance(node, ExecLeaf):
+            value = engine.measure(constraints).value
+            results.append([value] * width)
+        elif isinstance(node, ExecStuck):
+            results.append([Fraction(0)] * width)
+        elif isinstance(node, ExecMu):
+            stack.append((_SHIFT, None, None))
+            stack.append((_EXPAND, node.child, constraints))
+        elif isinstance(node, ExecProbBranch):
+            stack.append((_ADD, None, None))
+            stack.append(
+                (_EXPAND, node.else_child, constraints.add(Constraint(node.guard, Relation.GT)))
+            )
+            stack.append(
+                (_EXPAND, node.then_child, constraints.add(Constraint(node.guard, Relation.LE)))
+            )
+        elif isinstance(node, ExecNondetBranch):
+            stack.append((_MIN, None, None))
+            stack.append((_EXPAND, node.else_child, constraints))
+            stack.append((_EXPAND, node.then_child, constraints))
+        else:
+            raise TypeError(f"unknown node {node!r}")
+    (vector,) = results
+    return vector
 
 
 @dataclass(frozen=True)
@@ -128,16 +194,17 @@ def papprox_distribution(
     tree: ExecutionTree,
     measure_options: Optional[MeasureOptions] = None,
     registry: Optional[PrimitiveRegistry] = None,
+    engine: Optional[MeasureEngine] = None,
 ) -> PapproxResult:
-    """Compute ``Papprox`` for an execution tree (Sec. 6.2)."""
-    registry = registry or default_registry()
-    measure_options = measure_options or MeasureOptions()
+    """Compute ``Papprox`` for an execution tree (Sec. 6.2).
+
+    Pass a shared :class:`MeasureEngine` to reuse measure results across
+    analyses; when ``engine`` is given, ``measure_options`` and ``registry``
+    are taken from it and the parameters here are ignored.
+    """
+    engine = engine or MeasureEngine(measure_options, registry)
     rank = tree.max_recursive_calls
-    cumulative: List[Number] = []
-    for budget in range(rank + 1):
-        cumulative.append(
-            min_probability_at_most(tree, budget, measure_options, registry)
-        )
+    cumulative = cumulative_vector(tree, rank, engine)
     masses: Dict[int, Number] = {}
     previous: Number = Fraction(0)
     for calls, value in enumerate(cumulative):

@@ -26,6 +26,7 @@ from repro.astcheck.exectree import ExecutionTree, ExecutionTreeError, build_exe
 from repro.astcheck.papprox import PapproxResult, papprox_distribution
 from repro.counting.progress import ProgressCheckResult, guards_independent_of_recursion
 from repro.counting.rank import recursive_rank_bound
+from repro.geometry.engine import MeasureEngine
 from repro.geometry.measure import MeasureOptions
 from repro.randomwalk.step_distribution import CountingDistribution
 from repro.spcf.primitives import PrimitiveRegistry, default_registry
@@ -90,14 +91,22 @@ def verify_ast(
     max_steps: int = 5_000,
     measure_options: Optional[MeasureOptions] = None,
     registry: Optional[PrimitiveRegistry] = None,
+    engine: Optional[MeasureEngine] = None,
 ) -> ASTVerificationResult:
     """Verify AST of a first-order recursive program on every argument.
 
     ``program`` may be a ``Fix`` term or any object with a ``fix`` attribute
     (such as :class:`repro.programs.library.Program`).
+
+    ``engine`` is the shared memoizing measure engine; pass the same instance
+    to other analyses (``verify_past``, ``LowerBoundEngine``, ...) to share
+    one measure cache across them.  When given, it supersedes both
+    ``measure_options`` and ``registry`` (the engine carries its own), so
+    tree construction and measuring always agree on primitive semantics.
     """
-    registry = registry or default_registry()
-    measure_options = measure_options or MeasureOptions()
+    engine = engine or MeasureEngine(measure_options, registry)
+    registry = engine.registry
+    measure_options = engine.options
     fix = program if isinstance(program, Fix) else getattr(program, "fix", None)
     if not isinstance(fix, Fix):
         raise TypeError("verify_ast expects a Fix term or a Program with a .fix")
@@ -147,9 +156,7 @@ def verify_ast(
             exact=True,
         )
 
-    result: PapproxResult = papprox_distribution(
-        tree, measure_options=measure_options, registry=registry
-    )
+    result: PapproxResult = papprox_distribution(tree, engine=engine)
     verified, criterion_reasons = _counting_distribution_is_ast(
         result.distribution, result.exact
     )

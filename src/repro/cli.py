@@ -13,6 +13,13 @@ Monte-Carlo estimator, over programs written in the surface syntax of
 
 Program arguments may be either a source string or the name of a benchmark
 program (as listed by ``list-programs``).
+
+The measuring commands build one shared
+:class:`~repro.geometry.engine.MeasureEngine` per invocation, so every
+analysis a command runs draws from a single memoized measure cache; pass
+``--no-measure-cache`` to disable memoization (results are bit-identical,
+only slower) and ``--stats`` to print the engine's
+:class:`~repro.geometry.stats.PerfStats` counters after the run.
 """
 
 from __future__ import annotations
@@ -25,6 +32,7 @@ from typing import Optional, Sequence
 
 from repro.astcheck import verify_ast
 from repro.astcheck.exectree import build_execution_tree, render_tree
+from repro.geometry.engine import MeasureEngine
 from repro.lowerbound import LowerBoundEngine
 from repro.pastcheck import classify_termination
 from repro.programs import extra_programs, table1_programs, table2_programs
@@ -70,10 +78,23 @@ def _find_fix(term: Term) -> Optional[Fix]:
     return None
 
 
+def _measure_engine(arguments: argparse.Namespace) -> MeasureEngine:
+    """The per-command shared measure engine, honouring ``--no-measure-cache``."""
+    return MeasureEngine(cache_enabled=not getattr(arguments, "no_measure_cache", False))
+
+
+def _print_stats(arguments: argparse.Namespace, engine: MeasureEngine) -> None:
+    if getattr(arguments, "stats", False):
+        print("measure engine statistics:")
+        for line in engine.stats.summary().splitlines():
+            print(f"  {line}")
+
+
 def _command_lower_bound(arguments: argparse.Namespace) -> int:
     program = _resolve_program(arguments.program)
     strategy = Strategy.CBV if arguments.cbv else program.strategy
-    engine = LowerBoundEngine(strategy=strategy)
+    measure_engine = _measure_engine(arguments)
+    engine = LowerBoundEngine(strategy=strategy, measure_engine=measure_engine)
     start = time.perf_counter()
     result = engine.lower_bound(program.applied, max_steps=arguments.depth)
     elapsed = time.perf_counter() - start
@@ -86,13 +107,15 @@ def _command_lower_bound(arguments: argparse.Namespace) -> int:
     print(f"paths        : {result.path_count} (exhaustive: {result.exhaustive})")
     print(f"depth        : {arguments.depth}")
     print(f"time         : {elapsed * 1000:.1f} ms")
+    _print_stats(arguments, measure_engine)
     return 0
 
 
 def _command_verify(arguments: argparse.Namespace) -> int:
     program = _resolve_program(arguments.program)
+    engine = _measure_engine(arguments)
     start = time.perf_counter()
-    result = verify_ast(program)
+    result = verify_ast(program, engine=engine)
     elapsed = time.perf_counter() - start
     print(f"program      : {pretty(program.fix, unicode_symbols=False)}")
     print(f"verdict      : {'AST verified' if result.verified else 'not verified'}")
@@ -105,6 +128,7 @@ def _command_verify(arguments: argparse.Namespace) -> int:
     if arguments.tree and result.tree is not None:
         print("execution tree:")
         print(render_tree(result.tree))
+    _print_stats(arguments, engine)
     return 0 if result.verified else 1
 
 
@@ -123,9 +147,10 @@ def _command_estimate(arguments: argparse.Namespace) -> int:
 
 
 def _command_table1(arguments: argparse.Namespace) -> int:
+    measure_engine = _measure_engine(arguments)
     print(f"{'term':16s} {'LB':>14s} {'paths':>7s} {'depth':>6s} {'time':>9s}")
     for name, program in table1_programs().items():
-        engine = LowerBoundEngine(strategy=program.strategy)
+        engine = LowerBoundEngine(strategy=program.strategy, measure_engine=measure_engine)
         start = time.perf_counter()
         result = engine.lower_bound(program.applied, max_steps=arguments.depth)
         elapsed = time.perf_counter() - start
@@ -133,19 +158,22 @@ def _command_table1(arguments: argparse.Namespace) -> int:
             f"{name:16s} {float(result.probability):14.10f} {result.path_count:7d} "
             f"{arguments.depth:6d} {elapsed * 1000:8.0f}ms"
         )
+    _print_stats(arguments, measure_engine)
     return 0
 
 
 def _command_table2(arguments: argparse.Namespace) -> int:
+    engine = _measure_engine(arguments)
     print(f"{'term':18s} {'verified':>9s}  Papprox")
     for name, program in table2_programs().items():
         start = time.perf_counter()
-        result = verify_ast(program)
+        result = verify_ast(program, engine=engine)
         elapsed = time.perf_counter() - start
         print(
             f"{name:18s} {'yes' if result.verified else 'no':>9s}  {result.papprox}"
             f"   ({elapsed * 1000:.0f} ms)"
         )
+    _print_stats(arguments, engine)
     return 0
 
 
@@ -157,8 +185,9 @@ def _command_list_programs(arguments: argparse.Namespace) -> int:
 
 def _command_classify(arguments: argparse.Namespace) -> int:
     program = _resolve_program(arguments.program)
+    engine = _measure_engine(arguments)
     start = time.perf_counter()
-    classification = classify_termination(program)
+    classification = classify_termination(program, engine=engine)
     elapsed = time.perf_counter() - start
     print(f"program      : {pretty(program.fix, unicode_symbols=False)}")
     print(f"verdict      : {classification.summary()}")
@@ -167,12 +196,29 @@ def _command_classify(arguments: argparse.Namespace) -> int:
     if classification.past.expected_total_calls is not None:
         print(f"E[calls]     : {classification.past.expected_total_calls}")
     print(f"time         : {elapsed * 1000:.1f} ms")
+    _print_stats(arguments, engine)
     return 0
 
 
 def _command_report(arguments: argparse.Namespace) -> int:
-    print(full_report(depth=arguments.depth))
+    engine = _measure_engine(arguments)
+    print(full_report(depth=arguments.depth, measure_engine=engine))
+    _print_stats(arguments, engine)
     return 0
+
+
+def _add_measure_flags(subparser: argparse.ArgumentParser) -> None:
+    """Flags shared by every command that measures constraint sets."""
+    subparser.add_argument(
+        "--no-measure-cache",
+        action="store_true",
+        help="disable the shared memoizing measure engine (bit-identical, slower)",
+    )
+    subparser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the measure engine's performance counters after the run",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -189,11 +235,13 @@ def build_parser() -> argparse.ArgumentParser:
     lower.add_argument("program", help="surface-syntax program or library program name")
     lower.add_argument("--depth", type=int, default=80, help="per-path step budget")
     lower.add_argument("--cbv", action="store_true", help="use call-by-value evaluation")
+    _add_measure_flags(lower)
     lower.set_defaults(handler=_command_lower_bound)
 
     verify = subparsers.add_parser("verify", help="automatic AST verification")
     verify.add_argument("program", help="a recursive function (mu-term) or library name")
     verify.add_argument("--tree", action="store_true", help="print the execution tree")
+    _add_measure_flags(verify)
     verify.set_defaults(handler=_command_verify)
 
     estimate = subparsers.add_parser("estimate", help="Monte-Carlo estimate of Pterm")
@@ -204,9 +252,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     table1 = subparsers.add_parser("table1", help="regenerate Table 1 (lower bounds)")
     table1.add_argument("--depth", type=int, default=50)
+    _add_measure_flags(table1)
     table1.set_defaults(handler=_command_table1)
 
     table2 = subparsers.add_parser("table2", help="regenerate Table 2 (AST verification)")
+    _add_measure_flags(table2)
     table2.set_defaults(handler=_command_table2)
 
     list_programs = subparsers.add_parser("list-programs", help="list the built-in programs")
@@ -216,12 +266,14 @@ def build_parser() -> argparse.ArgumentParser:
         "classify", help="combined AST / PAST classification of a recursive program"
     )
     classify.add_argument("program", help="a recursive function (mu-term) or library name")
+    _add_measure_flags(classify)
     classify.set_defaults(handler=_command_classify)
 
     report = subparsers.add_parser(
         "report", help="regenerate all evaluation tables as markdown"
     )
     report.add_argument("--depth", type=int, default=50)
+    _add_measure_flags(report)
     report.set_defaults(handler=_command_report)
 
     return parser

@@ -16,7 +16,8 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Dict, List, Optional, Tuple, Union
 
-from repro.geometry.measure import MeasureOptions, measure_constraints
+from repro.geometry.engine import MeasureEngine
+from repro.geometry.measure import MeasureOptions
 from repro.randomwalk.step_distribution import CountingDistribution
 from repro.semantics.traces import Trace
 from repro.spcf.primitives import PrimitiveRegistry, default_registry
@@ -148,22 +149,26 @@ def counting_pattern_exact(
     max_paths: int = 50_000,
     registry: Optional[PrimitiveRegistry] = None,
     measure_options: Optional[MeasureOptions] = None,
+    engine: Optional[MeasureEngine] = None,
 ) -> CountingPatternResult:
-    """The counting pattern ``[| mu phi x. M | argument |]`` by exact path measuring."""
-    registry = registry or default_registry()
-    measure_options = measure_options or MeasureOptions()
+    """The counting pattern ``[| mu phi x. M | argument |]`` by exact path measuring.
+
+    A shared :class:`MeasureEngine` may be supplied; patterns of programs
+    whose guards do not mention the argument produce the same constraint sets
+    for every ``argument``, so the PAST refutation (which samples several
+    arguments) then measures each set only once.  A given engine supersedes
+    ``measure_options`` and ``registry`` so enumeration and measuring agree
+    on primitive semantics.
+    """
+    engine = engine or MeasureEngine(measure_options, registry)
+    registry = engine.registry
     paths, stuck, unfinished = enumerate_counting_paths(
         fix, argument, max_steps=max_steps, max_paths=max_paths, registry=registry
     )
     masses: Dict[int, Union[Fraction, float]] = {}
     exact = True
     for path in paths:
-        measure = measure_constraints(
-            path.constraints,
-            path.num_variables,
-            options=measure_options,
-            registry=registry,
-        )
+        measure = engine.measure(path.constraints, path.num_variables)
         exact = exact and measure.exact
         if measure.value == 0:
             continue

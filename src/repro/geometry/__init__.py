@@ -13,18 +13,26 @@ unit cube ``[0, 1]^m``:
   a vertex-enumeration + convex-hull path built on scipy, a certified
   interval-subdivision sweep and a Monte-Carlo cross check).
 
-The single entry point is :func:`repro.geometry.measure.measure_constraints`.
+The single entry point is :func:`repro.geometry.measure.measure_constraints`;
+analyses should go through a shared :class:`repro.geometry.engine.MeasureEngine`,
+which canonicalizes and memoizes measure results (and records
+:class:`repro.geometry.stats.PerfStats` counters) so identical constraint sets
+are measured once across the verifier, lower-bound and pastcheck callers.
 """
 
+from repro.geometry.engine import MeasureEngine
 from repro.geometry.linear import halfspaces_from_constraints, independent_blocks
 from repro.geometry.polytope import polytope_volume
+from repro.geometry.stats import PerfStats
 from repro.geometry.sweep import SweepResult, sweep_measure
 from repro.geometry.montecarlo import monte_carlo_measure
 from repro.geometry.measure import MeasureOptions, MeasureResult, measure_constraints
 
 __all__ = [
+    "MeasureEngine",
     "MeasureOptions",
     "MeasureResult",
+    "PerfStats",
     "SweepResult",
     "halfspaces_from_constraints",
     "independent_blocks",

@@ -1,0 +1,227 @@
+"""The shared memoizing measure engine.
+
+The verifier (:mod:`repro.astcheck`), the lower-bound engine
+(:mod:`repro.lowerbound`), the counting-pattern analysis
+(:mod:`repro.counting.pattern`) and the PAST checker
+(:mod:`repro.pastcheck`) all reduce probabilities to measures of constraint
+sets inside the unit cube.  The same sets come back again and again: every
+budget of the old per-budget ``Papprox`` recursion re-measured every leaf,
+the PAST verifier re-runs the AST verifier on the same execution tree, and
+the refutation measures one pattern per sample argument.  A
+:class:`MeasureEngine` makes that reuse explicit:
+
+* constraint sets are *canonicalized* (duplicates dropped, constraints put in
+  a deterministic order) so syntactically different prefixes of the same
+  conjunction share one cache entry,
+* results are memoized keyed by ``(canonical set, dimension, options,
+  argument)``; the first caller pays, everyone else hits,
+* complementary probabilistic branches are resolved algebraically: for a
+  guard ``g`` the solution sets of ``C + (g <= 0)`` and ``C + (g > 0)``
+  partition the solution set of ``C``, so once two of the three measures are
+  cached the third is a subtraction -- applied only in the regime where the
+  direct computation is guaranteed exact (all constraints univariate affine),
+  so cached and uncached runs are bit-for-bit identical,
+* a :class:`~repro.geometry.stats.PerfStats` instance counts requests,
+  hits, sweep boxes and polytope invocations for benchmarks and ``--stats``.
+
+Disabling the cache (``cache_enabled=False``, the CLI's
+``--no-measure-cache``) turns the engine into a counted pass-through with the
+same canonicalization, which is how the perf benchmark checks bit-identity.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Optional, Tuple
+
+from repro.geometry.linear import halfspace_from_constraint
+from repro.geometry.measure import MeasureOptions, MeasureResult, measure_constraints
+from repro.geometry.stats import PerfStats
+from repro.intervals.interval import Interval
+from repro.spcf.primitives import PrimitiveRegistry, default_registry
+from repro.symbolic.constraints import Constraint, ConstraintSet
+
+_CacheKey = Tuple[Tuple[Constraint, ...], int, MeasureOptions, Optional[Interval]]
+
+
+class MeasureEngine:
+    """Memoizing, counting front end to :func:`measure_constraints`.
+
+    One engine instance is meant to be shared by every analysis of a session
+    (the CLI builds one per command); all callers then draw from one cache.
+    """
+
+    def __init__(
+        self,
+        options: Optional[MeasureOptions] = None,
+        registry: Optional[PrimitiveRegistry] = None,
+        cache_enabled: bool = True,
+        stats: Optional[PerfStats] = None,
+    ) -> None:
+        self.options = options or MeasureOptions()
+        self.registry = registry or default_registry()
+        self.cache_enabled = cache_enabled
+        self.stats = stats if stats is not None else PerfStats()
+        self._cache: Dict[_CacheKey, MeasureResult] = {}
+
+    # -- canonicalization ----------------------------------------------------
+
+    def canonicalize(self, constraints: ConstraintSet) -> ConstraintSet:
+        """Dedupe and deterministically order a constraint set.
+
+        The solution set of a conjunction is invariant under dropping
+        duplicates and reordering, so canonical sets measure identically while
+        maximizing cache sharing across call sites that accumulate the same
+        constraints in different orders.  The canonical form is cached on the
+        input instance (and the per-constraint sort keys on the constraints,
+        which are shared across sets through common path prefixes), so
+        repeated probes do not re-render symbolic values.
+        """
+        try:
+            return constraints._canonical_form
+        except AttributeError:
+            pass
+        unique = []
+        seen = set()
+        for constraint in constraints:
+            if constraint not in seen:
+                seen.add(constraint)
+                unique.append(constraint)
+        unique.sort(key=Constraint.sort_key)
+        canonical = ConstraintSet(unique)
+        object.__setattr__(constraints, "_canonical_form", canonical)
+        return canonical
+
+    # -- measuring -----------------------------------------------------------
+
+    def measure(
+        self,
+        constraints: ConstraintSet,
+        dimension: Optional[int] = None,
+        argument: Optional[Interval] = None,
+    ) -> MeasureResult:
+        """Measure ``constraints`` inside ``[0, 1]^dimension`` through the cache.
+
+        ``dimension`` defaults to ``constraints.dimension()`` (1 + the largest
+        sample-variable index), matching the direct use in the AST verifier;
+        the lower-bound engine passes the number of variables sampled along
+        the path explicitly.
+        """
+        self.stats.measure_requests += 1
+        canonical = self.canonicalize(constraints)
+        if dimension is None:
+            dimension = canonical.dimension()
+        if not self.cache_enabled:
+            return self._invoke(canonical, dimension, argument)
+        key = (canonical.constraints, dimension, self.options, argument)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.stats.cache_hits += 1
+            return cached
+        result = None
+        if argument is None:
+            result = self._derive_complement(canonical, dimension)
+        if result is None:
+            result = self._invoke(canonical, dimension, argument)
+        self._cache[key] = result
+        return result
+
+    def _invoke(
+        self, canonical: ConstraintSet, dimension: int, argument: Optional[Interval]
+    ) -> MeasureResult:
+        self.stats.measure_calls += 1
+        return measure_constraints(
+            canonical,
+            dimension,
+            options=self.options,
+            registry=self.registry,
+            argument=argument,
+            stats=self.stats,
+        )
+
+    # -- the complement rule ---------------------------------------------------
+
+    def _derive_complement(
+        self, canonical: ConstraintSet, dimension: int
+    ) -> Optional[MeasureResult]:
+        """Try to answer ``canonical`` as ``measure(prefix) - measure(partner)``.
+
+        For any constraint ``c`` of the set, ``prefix = set - {c}`` is
+        partitioned by ``c`` and its negation, so
+        ``measure(set) = measure(prefix) - measure(prefix + not c)`` whenever
+        both right-hand measures are known.  The rule is restricted to sets
+        whose constraints are all affine in a single variable each: there the
+        direct computation is the exact product of interval lengths, so the
+        derived value provably equals what :func:`measure_constraints` would
+        return and bit-identity between cached and uncached runs is preserved.
+        """
+        if not self._univariate_affine(canonical):
+            return None
+        for position, constraint in enumerate(canonical.constraints):
+            partner = Constraint(constraint.value, constraint.relation.negation())
+            rest = (
+                canonical.constraints[:position] + canonical.constraints[position + 1 :]
+            )
+            partner_result = self._lookup_exact(rest + (partner,), dimension)
+            if partner_result is None:
+                continue
+            prefix_result = self._lookup_exact(rest, dimension)
+            if prefix_result is None:
+                continue
+            value = prefix_result.value - partner_result.value
+            if value < 0:  # exact measures cannot go negative; be safe anyway
+                value = Fraction(0)
+            self.stats.complement_derivations += 1
+            return MeasureResult(value, exact=True, lower_bound=False, method="complement")
+        return None
+
+    def _lookup_exact(
+        self, constraints: Tuple[Constraint, ...], dimension: int
+    ) -> Optional[MeasureResult]:
+        """A cached exact rational measure for a constraint tuple, or ``None``.
+
+        The empty conjunction needs no cache entry: its solution set is the
+        whole cube, of measure exactly 1.
+        """
+        if not constraints:
+            return MeasureResult(Fraction(1), exact=True, lower_bound=False, method="trivial")
+        canonical = self.canonicalize(ConstraintSet(constraints))
+        # In the univariate-affine regime the measure does not depend on the
+        # ambient dimension (unconstrained variables contribute exactly 1), so
+        # an entry cached under the set's own dimension is equally good.
+        for candidate_dimension in (dimension, canonical.dimension()):
+            cached = self._cache.get(
+                (canonical.constraints, candidate_dimension, self.options, None)
+            )
+            if (
+                cached is not None
+                and cached.exact
+                and not cached.lower_bound
+                and isinstance(cached.value, Fraction)
+            ):
+                return cached
+        return None
+
+    def _univariate_affine(self, constraints: ConstraintSet) -> bool:
+        """True iff every constraint is affine and mentions at most one variable.
+
+        Such sets decompose into univariate blocks that the measure facade
+        resolves with the always-exact interval method, which is what makes
+        the complement rule's derived values bit-identical to direct ones.
+        """
+        for constraint in constraints:
+            if len(constraint.variables()) > 1:
+                return False
+            if halfspace_from_constraint(constraint, self.registry) is None:
+                return False
+        return True
+
+    # -- maintenance -----------------------------------------------------------
+
+    def clear(self) -> None:
+        """Drop all memoized results (counters are kept)."""
+        self._cache.clear()
+
+    @property
+    def cache_size(self) -> int:
+        return len(self._cache)

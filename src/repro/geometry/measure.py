@@ -30,6 +30,7 @@ from repro.geometry.linear import (
     univariate_interval,
 )
 from repro.geometry.polytope import polytope_volume
+from repro.geometry.stats import PerfStats
 from repro.geometry.sweep import sweep_measure
 from repro.spcf.primitives import PrimitiveRegistry, default_registry
 from repro.symbolic.constraints import Constraint, ConstraintSet
@@ -70,8 +71,14 @@ def measure_constraints(
     options: Optional[MeasureOptions] = None,
     registry: Optional[PrimitiveRegistry] = None,
     argument: Optional[Interval] = None,
+    stats: Optional[PerfStats] = None,
 ) -> MeasureResult:
-    """Measure the solution set of ``constraints`` inside ``[0, 1]^dimension``."""
+    """Measure the solution set of ``constraints`` inside ``[0, 1]^dimension``.
+
+    ``stats``, when provided (the :class:`repro.geometry.engine.MeasureEngine`
+    always does), accumulates sweep-box and polytope-invocation counters; it
+    never affects the computed value.
+    """
     options = options or MeasureOptions()
     registry = registry or default_registry()
 
@@ -96,6 +103,7 @@ def measure_constraints(
             max_depth=options.sweep_depth,
             registry=registry,
             argument=argument,
+            stats=stats,
         )
         exact = sweep.undecided == 0
         return MeasureResult(
@@ -107,7 +115,7 @@ def measure_constraints(
     methods = set()
     for variables, block_halfspaces in independent_blocks(dimension, halfspaces):
         block_value, block_exact, method = _measure_block(
-            variables, block_halfspaces, constraints, options, registry
+            variables, block_halfspaces, constraints, options, registry, stats
         )
         methods.add(method)
         total = total * block_value
@@ -118,7 +126,7 @@ def measure_constraints(
     return MeasureResult(total, exact=exact, lower_bound=not exact, method=method)
 
 
-def _measure_block(variables, halfspaces, constraints, options, registry):
+def _measure_block(variables, halfspaces, constraints, options, registry, stats=None):
     """Measure one independent block; returns (value, exact, method)."""
     if not variables:
         # Only constant half spaces: 1 if all hold, 0 otherwise.
@@ -149,6 +157,8 @@ def _measure_block(variables, halfspaces, constraints, options, registry):
             area = polygon_area_exact(remapped)
             if area is not None:
                 return area, True, "polygon"
+        if stats is not None:
+            stats.polytope_calls += 1
         value = polytope_volume(len(variables), remapped)
         return value, False, "polytope"
     # Large multivariate block: certified sweep restricted to the block's
@@ -160,7 +170,11 @@ def _measure_block(variables, halfspaces, constraints, options, registry):
     )
     remapped_constraints, block_dimension = _remap_constraints(block_constraints, variables)
     sweep = sweep_measure(
-        remapped_constraints, block_dimension, max_depth=options.sweep_depth, registry=registry
+        remapped_constraints,
+        block_dimension,
+        max_depth=options.sweep_depth,
+        registry=registry,
+        stats=stats,
     )
     exact = sweep.undecided == 0
     return sweep.lower, exact, "sweep"

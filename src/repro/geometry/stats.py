@@ -1,0 +1,72 @@
+"""Performance counters for the measuring subsystem.
+
+Every probability in the reproduction bottoms out in a call to
+:func:`repro.geometry.measure.measure_constraints`, so a handful of counters
+around that entry point gives a faithful, machine-independent picture of how
+much geometric work an analysis performed.  The counters are deliberately
+deterministic (no wall-clock): the perf benchmark in
+``benchmarks/test_perf_measure_cache.py`` asserts on them instead of timings,
+so it can run in CI without flakiness.
+
+A single :class:`PerfStats` instance is owned by a
+:class:`repro.geometry.engine.MeasureEngine` and threaded through the sweep
+and polytope oracles; the CLI's ``--stats`` flag prints :meth:`PerfStats.summary`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class PerfStats:
+    """Counters describing the geometric work done by a measure engine."""
+
+    measure_requests: int = 0
+    """Requests made to :meth:`MeasureEngine.measure` (hits included)."""
+
+    measure_calls: int = 0
+    """Actual invocations of :func:`measure_constraints` (cache misses)."""
+
+    cache_hits: int = 0
+    """Requests answered from the memo table."""
+
+    complement_derivations: int = 0
+    """Requests answered exactly via the complement rule (no measuring)."""
+
+    sweep_boxes_examined: int = 0
+    """Boxes popped by the certified subdivision sweep."""
+
+    sweep_evaluations_saved: int = 0
+    """Per-constraint ``box_status`` evaluations skipped by sweep pruning."""
+
+    polytope_calls: int = 0
+    """Invocations of the floating-point polytope volume oracle."""
+
+    def merge(self, other: "PerfStats") -> None:
+        """Add another instance's counters into this one."""
+        for field in fields(self):
+            setattr(self, field.name, getattr(self, field.name) + getattr(other, field.name))
+
+    def reset(self) -> None:
+        for field in fields(self):
+            setattr(self, field.name, 0)
+
+    def as_dict(self) -> dict:
+        return {field.name: getattr(self, field.name) for field in fields(self)}
+
+    def summary(self) -> str:
+        """A short human-readable report (printed by the CLI's ``--stats``)."""
+        requests = self.measure_requests
+        hit_rate = (self.cache_hits / requests * 100) if requests else 0.0
+        return "\n".join(
+            [
+                f"measure requests      : {self.measure_requests}",
+                f"measure calls         : {self.measure_calls}",
+                f"cache hits            : {self.cache_hits} ({hit_rate:.1f}%)",
+                f"complement derivations: {self.complement_derivations}",
+                f"sweep boxes examined  : {self.sweep_boxes_examined}",
+                f"sweep evals saved     : {self.sweep_evaluations_saved}",
+                f"polytope invocations  : {self.polytope_calls}",
+            ]
+        )

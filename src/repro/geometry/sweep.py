@@ -13,18 +13,27 @@ is reached.  The result is a pair of certified bounds
 valid for any constraint set built from interval-preserving primitives,
 including the non-linear ones (``sig``, ``exp``) for which the polytope oracle
 does not apply.
+
+The subdivision is branch-and-bound pruned: a constraint proven ``True`` on a
+box stays true on every sub-box (interval evaluation is inclusion-monotone),
+so children only re-evaluate the constraints their parent could not decide.
+The pruning changes no verdicts -- a box's status over the remaining
+constraints equals its status over the full set -- it only skips redundant
+``box_status`` evaluations, which are reported through
+:class:`~repro.geometry.stats.PerfStats` and on :class:`SweepResult`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, Optional, Union
+from typing import Dict, Optional, Tuple, Union
 
+from repro.geometry.stats import PerfStats
 from repro.intervals.box import Box, unit_box
 from repro.intervals.interval import Interval
 from repro.spcf.primitives import PrimitiveRegistry, default_registry
-from repro.symbolic.constraints import ConstraintSet
+from repro.symbolic.constraints import Constraint, ConstraintSet
 
 Number = Union[Fraction, float]
 
@@ -36,11 +45,34 @@ class SweepResult:
     lower: Number
     undecided: Number
     boxes_examined: int
+    evaluations_saved: int = 0
+    """Per-constraint box evaluations skipped by branch-and-bound pruning."""
 
     @property
     def upper(self) -> Number:
         """A certified upper bound on the measure."""
         return self.lower + self.undecided
+
+
+def _undecided_constraints(
+    active: Tuple[Constraint, ...],
+    mapping: Dict[int, Interval],
+    registry: PrimitiveRegistry,
+    argument: Optional[Interval],
+) -> Optional[Tuple[Constraint, ...]]:
+    """Evaluate the active constraints on a box.
+
+    Returns ``None`` when some constraint provably fails, and otherwise the
+    tuple of constraints the box could not decide (empty means all proven).
+    """
+    undecided = []
+    for constraint in active:
+        status = constraint.box_status(mapping, registry, argument)
+        if status is False:
+            return None
+        if status is None:
+            undecided.append(constraint)
+    return tuple(undecided)
 
 
 def sweep_accepted_boxes(
@@ -63,21 +95,23 @@ def sweep_accepted_boxes(
         if constraints.satisfied_by({}, registry):
             accepted.append(unit_box(0))
         return accepted
-    stack = [(unit_box(dimension), 0)]
+    stack = [(unit_box(dimension), 0, constraints.constraints)]
     while stack:
-        box, depth = stack.pop()
+        box, depth, active = stack.pop()
         mapping: Dict[int, Interval] = {
             index: interval for index, interval in enumerate(box.intervals)
         }
-        status = constraints.box_status(mapping, registry, argument)
-        if status is True:
+        remaining = _undecided_constraints(active, mapping, registry, argument)
+        if remaining is None:
+            continue
+        if not remaining:
             accepted.append(box)
             continue
-        if status is False or depth >= max_depth:
+        if depth >= max_depth:
             continue
         left, right = box.split()
-        stack.append((left, depth + 1))
-        stack.append((right, depth + 1))
+        stack.append((left, depth + 1, remaining))
+        stack.append((right, depth + 1, remaining))
     return accepted
 
 
@@ -87,6 +121,7 @@ def sweep_measure(
     max_depth: int = 12,
     registry: Optional[PrimitiveRegistry] = None,
     argument: Optional[Interval] = None,
+    stats: Optional[PerfStats] = None,
 ) -> SweepResult:
     """Certified lower/upper bounds on the measure of ``constraints`` in ``[0,1]^dim``.
 
@@ -99,29 +134,37 @@ def sweep_measure(
     if dimension == 0:
         satisfied = constraints.satisfied_by({}, registry)
         value = Fraction(1) if satisfied else Fraction(0)
+        if stats is not None:
+            stats.sweep_boxes_examined += 1
         return SweepResult(value, Fraction(0), 1)
 
     lower: Number = Fraction(0)
     undecided: Number = Fraction(0)
     examined = 0
+    saved = 0
+    total_constraints = len(constraints)
 
-    stack = [(unit_box(dimension), 0)]
+    stack = [(unit_box(dimension), 0, constraints.constraints)]
     while stack:
-        box, depth = stack.pop()
+        box, depth, active = stack.pop()
         examined += 1
+        saved += total_constraints - len(active)
         mapping: Dict[int, Interval] = {
             index: interval for index, interval in enumerate(box.intervals)
         }
-        status = constraints.box_status(mapping, registry, argument)
-        if status is True:
-            lower = lower + box.volume
+        remaining = _undecided_constraints(active, mapping, registry, argument)
+        if remaining is None:
             continue
-        if status is False:
+        if not remaining:
+            lower = lower + box.volume
             continue
         if depth >= max_depth:
             undecided = undecided + box.volume
             continue
         left, right = box.split()
-        stack.append((left, depth + 1))
-        stack.append((right, depth + 1))
-    return SweepResult(lower, undecided, examined)
+        stack.append((left, depth + 1, remaining))
+        stack.append((right, depth + 1, remaining))
+    if stats is not None:
+        stats.sweep_boxes_examined += examined
+        stats.sweep_evaluations_saved += saved
+    return SweepResult(lower, undecided, examined, saved)

@@ -15,7 +15,8 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Optional, Union
 
-from repro.geometry.measure import MeasureOptions, measure_constraints
+from repro.geometry.engine import MeasureEngine
+from repro.geometry.measure import MeasureOptions
 from repro.lowerbound.result import LowerBoundResult, PathMeasure
 from repro.spcf.primitives import PrimitiveRegistry, default_registry
 from repro.spcf.syntax import Term, free_variables
@@ -32,10 +33,19 @@ class LowerBoundEngine:
         strategy: Strategy = Strategy.CBN,
         registry: Optional[PrimitiveRegistry] = None,
         measure_options: Optional[MeasureOptions] = None,
+        measure_engine: Optional[MeasureEngine] = None,
     ) -> None:
-        self.registry = registry or default_registry()
         self.strategy = strategy
-        self.measure_options = measure_options or MeasureOptions()
+        # A shared memoizing engine may be supplied so repeated or nested
+        # analyses (e.g. the PAST classification) measure each distinct path
+        # constraint set only once; by default every LowerBoundEngine owns a
+        # private cache.  A given engine supersedes ``registry`` so that
+        # exploration and measuring agree on primitive semantics.
+        self.measure_engine = measure_engine or MeasureEngine(
+            measure_options, registry or default_registry()
+        )
+        self.registry = self.measure_engine.registry
+        self.measure_options = self.measure_engine.options
         self._explorer = SymbolicExplorer(strategy, self.registry)
 
     def lower_bound(
@@ -60,12 +70,7 @@ class LowerBoundEngine:
         expected_steps: Number = Fraction(0)
         exact = True
         for path in exploration.terminated:
-            measure = measure_constraints(
-                path.constraints,
-                path.num_variables,
-                options=self.measure_options,
-                registry=self.registry,
-            )
+            measure = self.measure_engine.measure(path.constraints, path.num_variables)
             if measure.value == 0:
                 continue
             measured.append(PathMeasure(path, measure))
@@ -89,7 +94,8 @@ def lower_bound(
     strategy: Strategy = Strategy.CBN,
     registry: Optional[PrimitiveRegistry] = None,
     measure_options: Optional[MeasureOptions] = None,
+    measure_engine: Optional[MeasureEngine] = None,
 ) -> LowerBoundResult:
     """Convenience wrapper around :class:`LowerBoundEngine`."""
-    engine = LowerBoundEngine(strategy, registry, measure_options)
+    engine = LowerBoundEngine(strategy, registry, measure_options, measure_engine)
     return engine.lower_bound(term, max_steps=max_steps, max_paths=max_paths)

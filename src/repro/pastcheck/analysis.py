@@ -30,6 +30,7 @@ from repro.astcheck.exectree import ExecutionTree
 from repro.astcheck.verifier import ASTVerificationResult, verify_ast
 from repro.counting.pattern import CountingPatternResult, counting_pattern_exact
 from repro.counting.progress import guards_independent_of_recursion
+from repro.geometry.engine import MeasureEngine
 from repro.geometry.measure import MeasureOptions
 from repro.lowerbound.engine import LowerBoundEngine
 from repro.randomwalk.step_distribution import CountingDistribution
@@ -109,6 +110,7 @@ def verify_past(
     max_steps: int = 2_000,
     measure_options: Optional[MeasureOptions] = None,
     registry: Optional[PrimitiveRegistry] = None,
+    engine: Optional[MeasureEngine] = None,
 ) -> PASTVerificationResult:
     """Verify PAST (on every argument) via a sub-critical worst-case counting
     distribution.
@@ -118,13 +120,14 @@ def verify_past(
     member is at most the mean of ``Papprox`` plus the missing mass times the
     rank; requiring total mass 1 and mean strictly below 1 therefore makes
     every recursion tree a sub-critical branching process.
+
+    ``engine`` is the shared memoizing measure engine; when the AST verifier
+    already ran with the same engine, the embedded ``verify_ast`` call here
+    answers every measure from the cache.
     """
     fix = _as_fix(program)
-    registry = registry or default_registry()
-    measure_options = measure_options or MeasureOptions()
-    ast_result = verify_ast(
-        fix, max_steps=max_steps, measure_options=measure_options, registry=registry
-    )
+    engine = engine or MeasureEngine(measure_options, registry)
+    ast_result = verify_ast(fix, max_steps=max_steps, engine=engine)
     reasons = list(ast_result.reasons)
     if not ast_result.verified or ast_result.papprox is None:
         reasons.insert(0, "AST verification did not succeed")
@@ -170,7 +173,7 @@ def _tree_depth(tree: Optional[ExecutionTree]) -> Optional[int]:
         return None
     # A coarse per-call work bound: the number of nodes of the body's
     # execution tree (every path of one body evaluation visits fewer nodes).
-    return sum(1 for _ in tree.nodes())
+    return tree.node_count
 
 
 # ---------------------------------------------------------------------------
@@ -203,6 +206,7 @@ def refute_past(
     arguments: Sequence[Union[Fraction, float, int]] = (0, 1, 2, 5, 10),
     max_steps: int = 2_000,
     registry: Optional[PrimitiveRegistry] = None,
+    engine: Optional[MeasureEngine] = None,
 ) -> PASTRefutationResult:
     """Refute PAST via a critical or super-critical exact counting pattern.
 
@@ -212,7 +216,8 @@ def refute_past(
     to conclude anything when they differ or when any run got stuck.
     """
     fix = _as_fix(program)
-    registry = registry or default_registry()
+    engine = engine or MeasureEngine(registry=registry)
+    registry = engine.registry
     reasons = []
     progress = guards_independent_of_recursion(fix)
     if not progress.ok:
@@ -225,7 +230,9 @@ def refute_past(
             reasons=(f"progress check failed: {progress.reason}",),
         )
     patterns = tuple(
-        counting_pattern_exact(fix, argument, max_steps=max_steps, registry=registry)
+        counting_pattern_exact(
+            fix, argument, max_steps=max_steps, registry=registry, engine=engine
+        )
         for argument in arguments
     )
     if not patterns:
@@ -295,15 +302,21 @@ def eterm_lower_bounds(
     strategy: Strategy = Strategy.CBN,
     registry: Optional[PrimitiveRegistry] = None,
     measure_options: Optional[MeasureOptions] = None,
+    measure_engine: Optional[MeasureEngine] = None,
 ) -> Tuple[EtermLowerBoundPoint, ...]:
     """Certified lower bounds on ``Pterm`` and ``Eterm`` at increasing depths.
 
     Each point is sound by Thm. 3.4; for programs that are AST but not PAST
     the expected-steps column keeps growing with the depth instead of
-    saturating.
+    saturating.  A deeper exploration revisits every shallower path, so with
+    the (default) shared memoizing measure engine each path constraint set is
+    measured once across all depths.
     """
     engine = LowerBoundEngine(
-        strategy=strategy, registry=registry, measure_options=measure_options
+        strategy=strategy,
+        registry=registry,
+        measure_options=measure_options,
+        measure_engine=measure_engine,
     )
     points = []
     for depth in depths:
@@ -351,16 +364,19 @@ def classify_termination(
     max_steps: int = 2_000,
     measure_options: Optional[MeasureOptions] = None,
     registry: Optional[PrimitiveRegistry] = None,
+    engine: Optional[MeasureEngine] = None,
 ) -> TerminationClassification:
-    """Combine the Sec. 6 AST verifier with the PAST analyses of this module."""
-    past = verify_past(
-        program,
-        max_steps=max_steps,
-        measure_options=measure_options,
-        registry=registry,
-    )
+    """Combine the Sec. 6 AST verifier with the PAST analyses of this module.
+
+    One :class:`MeasureEngine` (created here unless supplied) backs both the
+    verification and the refutation, so constraint sets shared between the
+    execution tree's paths and the per-argument counting patterns are
+    measured a single time.
+    """
+    engine = engine or MeasureEngine(measure_options, registry)
+    past = verify_past(program, max_steps=max_steps, engine=engine)
     refutation = refute_past(
-        program, arguments=arguments, max_steps=max_steps, registry=registry
+        program, arguments=arguments, max_steps=max_steps, engine=engine
     )
     ast = past.ast_result
     if past.verified:

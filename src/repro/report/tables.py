@@ -7,6 +7,10 @@ and exploration depth for Table 1, the computed ``Papprox`` and verdict for
 Table 2, and the combined AST/PAST classification for the extension table.
 Timings are wall-clock milliseconds on the current machine and are reported
 for orientation only.
+
+Each report accepts a shared :class:`~repro.geometry.engine.MeasureEngine`
+(``full_report`` builds one for all sections), so constraint sets recurring
+across Table 2 and the classification are measured once.
 """
 
 from __future__ import annotations
@@ -15,6 +19,7 @@ import time
 from typing import Dict, Mapping, Optional, Sequence
 
 from repro.astcheck import verify_ast
+from repro.geometry.engine import MeasureEngine
 from repro.lowerbound.engine import LowerBoundEngine
 from repro.pastcheck import classify_termination
 from repro.programs import table1_programs, table2_programs
@@ -51,12 +56,14 @@ def table1_report(
     depth: int = 50,
     programs: Optional[Mapping[str, Program]] = None,
     max_paths: int = 100_000,
+    measure_engine: Optional[MeasureEngine] = None,
 ) -> str:
     """Regenerate Table 1 (lower bounds on the probability of termination)."""
     programs = dict(programs) if programs is not None else table1_programs()
+    measure_engine = measure_engine or MeasureEngine()
     rows = []
     for name, program in programs.items():
-        engine = LowerBoundEngine(strategy=program.strategy)
+        engine = LowerBoundEngine(strategy=program.strategy, measure_engine=measure_engine)
         started = time.perf_counter()
         result = engine.lower_bound(program.applied, max_steps=depth, max_paths=max_paths)
         elapsed_ms = (time.perf_counter() - started) * 1000
@@ -81,13 +88,17 @@ def table1_report(
     return "## Table 1 — lower bounds on the probability of termination\n\n" + table
 
 
-def table2_report(programs: Optional[Mapping[str, Program]] = None) -> str:
+def table2_report(
+    programs: Optional[Mapping[str, Program]] = None,
+    measure_engine: Optional[MeasureEngine] = None,
+) -> str:
     """Regenerate Table 2 (automatic AST verification with ``Papprox``)."""
     programs = dict(programs) if programs is not None else table2_programs()
+    measure_engine = measure_engine or MeasureEngine()
     rows = []
     for name, program in programs.items():
         started = time.perf_counter()
-        result = verify_ast(program)
+        result = verify_ast(program, engine=measure_engine)
         elapsed_ms = (time.perf_counter() - started) * 1000
         rows.append(
             [
@@ -103,6 +114,7 @@ def table2_report(programs: Optional[Mapping[str, Program]] = None) -> str:
 
 def classification_report(
     programs: Optional[Mapping[str, Program]] = None,
+    measure_engine: Optional[MeasureEngine] = None,
 ) -> str:
     """The combined AST/PAST classification of the benchmark programs.
 
@@ -111,9 +123,10 @@ def classification_report(
     counting analysis does not apply are reported as not verified.
     """
     programs = dict(programs) if programs is not None else table2_programs()
+    measure_engine = measure_engine or MeasureEngine()
     rows: list = []
     for name, program in programs.items():
-        classification = classify_termination(program)
+        classification = classify_termination(program, engine=measure_engine)
         expected_calls = classification.past.expected_calls_per_body
         rows.append(
             [
@@ -128,11 +141,17 @@ def classification_report(
     return "## AST / PAST classification\n\n" + table
 
 
-def full_report(depth: int = 50) -> str:
-    """Every report section, concatenated (used by ``python -m repro report``)."""
+def full_report(depth: int = 50, measure_engine: Optional[MeasureEngine] = None) -> str:
+    """Every report section, concatenated (used by ``python -m repro report``).
+
+    One shared measure engine backs all sections: Table 2 and the
+    classification verify the same programs, so the second pass is answered
+    from the cache.
+    """
+    measure_engine = measure_engine or MeasureEngine()
     sections: Dict[str, str] = {
-        "table1": table1_report(depth=depth),
-        "table2": table2_report(),
-        "classification": classification_report(),
+        "table1": table1_report(depth=depth, measure_engine=measure_engine),
+        "table2": table2_report(measure_engine=measure_engine),
+        "classification": classification_report(measure_engine=measure_engine),
     }
     return "\n\n".join(sections.values())

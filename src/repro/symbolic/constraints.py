@@ -12,6 +12,7 @@ computed.
 from __future__ import annotations
 
 import enum
+import functools
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import FrozenSet, Iterable, Iterator, Mapping, Optional, Sequence, Tuple, Union
@@ -22,6 +23,27 @@ from repro.spcf.primitives import PrimitiveRegistry, default_registry
 from repro.symbolic.values import LinearForm, SymVal
 
 Number = Union[Fraction, float, int]
+
+
+def _cached_on_instance(method):
+    """Memoize a zero-argument method on a frozen dataclass instance.
+
+    The measure engine hashes and canonicalizes constraint sets on every
+    cache probe, so the derived views below are computed once per (immutable)
+    instance and stored via ``object.__setattr__``.
+    """
+    attribute = "_" + method.__name__.strip("_")
+
+    @functools.wraps(method)
+    def wrapper(self):
+        try:
+            return getattr(self, attribute)
+        except AttributeError:
+            value = method(self)
+            object.__setattr__(self, attribute, value)
+            return value
+
+    return wrapper
 
 
 class Relation(enum.Enum):
@@ -52,13 +74,29 @@ class Relation(enum.Enum):
 
 @dataclass(frozen=True)
 class Constraint:
-    """A symbolic inequality ``value  relation  0``."""
+    """A symbolic inequality ``value  relation  0``.
+
+    Instances are immutable, so the derived structure (variable set, hash) is
+    computed once and cached on the instance: the measure engine hashes
+    constraints on every cache probe and the sweep asks for their variables
+    per box, which made recomputation a hot spot.
+    """
 
     value: SymVal
     relation: Relation
 
+    @_cached_on_instance
     def variables(self) -> FrozenSet[int]:
         return self.value.variables()
+
+    @_cached_on_instance
+    def __hash__(self) -> int:
+        return hash((self.value, self.relation))
+
+    @_cached_on_instance
+    def sort_key(self) -> str:
+        """A deterministic ordering key (cached: ``repr`` walks the value tree)."""
+        return repr(self)
 
     def satisfied_by(
         self,
@@ -115,7 +153,14 @@ class Constraint:
 
 @dataclass(frozen=True)
 class ConstraintSet:
-    """A finite conjunction of symbolic inequalities."""
+    """A finite conjunction of symbolic inequalities.
+
+    Conjunctions are immutable, so the derived views that canonicalization
+    and the subdivision sweep keep asking for -- the variable set, the
+    dimension, whether an unknown occurs, the hash -- are computed once per
+    instance and cached (``variables`` used to rebuild a frozenset union per
+    constraint, which was quadratic in the set size).
+    """
 
     constraints: Tuple[Constraint, ...]
 
@@ -128,26 +173,34 @@ class ConstraintSet:
     def __len__(self) -> int:
         return len(self.constraints)
 
+    @_cached_on_instance
+    def __hash__(self) -> int:
+        return hash(self.constraints)
+
     def add(self, constraint: Constraint) -> "ConstraintSet":
         return ConstraintSet(self.constraints + (constraint,))
 
     def extend(self, constraints: Iterable[Constraint]) -> "ConstraintSet":
         return ConstraintSet(self.constraints + tuple(constraints))
 
+    @_cached_on_instance
     def variables(self) -> FrozenSet[int]:
-        result: FrozenSet[int] = frozenset()
+        collected = set()
         for constraint in self.constraints:
-            result = result | constraint.variables()
-        return result
+            collected.update(constraint.variables())
+        return frozenset(collected)
 
+    @_cached_on_instance
     def dimension(self) -> int:
         """1 + the largest sample-variable index mentioned (0 when none are)."""
         variables = self.variables()
         return (max(variables) + 1) if variables else 0
 
+    @_cached_on_instance
     def contains_argument(self) -> bool:
         return any(c.value.contains_argument() for c in self.constraints)
 
+    @_cached_on_instance
     def contains_star(self) -> bool:
         return any(c.value.contains_star() for c in self.constraints)
 

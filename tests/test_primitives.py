@@ -76,7 +76,10 @@ def _interval_and_point(draw):
     hi = draw(_points)
     lo, hi = min(lo, hi), max(lo, hi)
     point = draw(st.floats(min_value=0, max_value=1))
-    return (lo, hi), lo + point * (hi - lo)
+    # Float rounding of lo + point * (hi - lo) can land just outside [lo, hi]
+    # (e.g. lo = -1.0, hi = 1e-09, point = 1.0); clamp so the generated point
+    # actually lies in the interval the tests assert against.
+    return (lo, hi), min(max(lo + point * (hi - lo), lo), hi)
 
 
 @given(st.sampled_from(_UNARY), _interval_and_point())
