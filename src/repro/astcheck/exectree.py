@@ -261,73 +261,113 @@ def _build(
     budget: int,
     max_variables: List[int],
 ) -> ExecNode:
-    steps = 0
-    while True:
-        if steps > budget:
-            raise ExecutionTreeError(
-                "the recursion body did not reach a value within the step budget; "
-                "it may diverge without making recursive calls"
-            )
-        outcome = stepper.step(term, next_variable)
-        if isinstance(outcome, StepValue):
-            max_variables[0] = max(max_variables[0], next_variable)
-            return ExecLeaf(term)
-        if isinstance(outcome, StepTerm):
-            term = outcome.term
-            if outcome.consumed_sample:
-                next_variable += 1
-            steps += 1
+    """Symbolically execute ``term`` into an execution tree.
+
+    Runs on an explicit work stack: recursion bodies that are themselves deep
+    towers of calls and branches (e.g. the ``nested`` program at large rank)
+    produce trees far deeper than Python's recursion limit, so the tree is
+    assembled bottom-up from two kinds of work item -- *expand* (step a term
+    to its next branching point) and *assemble* (pop finished children and
+    wrap them in their parent node).  Each expand item carries its own
+    remaining step budget, matching the budget split of the old recursive
+    builder exactly.
+    """
+    work: List[Tuple] = [("expand", term, next_variable, budget)]
+    finished: List[ExecNode] = []
+    while work:
+        item = work.pop()
+        if item[0] == "assemble":
+            _, assemble = item
+            finished.append(assemble(finished))
             continue
-        if isinstance(outcome, StepScore):
-            child = _build(
-                stepper, outcome.term, next_variable, budget - steps, max_variables
-            )
-            return ExecScore(outcome.value, child)
-        if isinstance(outcome, StepRecCall):
-            child = _build(
-                stepper, outcome.term, next_variable, budget - steps, max_variables
-            )
-            return ExecMu(outcome.argument, child)
-        if isinstance(outcome, StepBranch):
-            then_child = _build(
-                stepper, outcome.then_term, next_variable, budget - steps, max_variables
-            )
-            else_child = _build(
-                stepper, outcome.else_term, next_variable, budget - steps, max_variables
-            )
-            if outcome.guard.contains_argument() or outcome.guard.contains_star():
-                return ExecNondetBranch(outcome.guard, then_child, else_child)
-            return ExecProbBranch(outcome.guard, then_child, else_child)
-        if isinstance(outcome, StepStuck):
-            return ExecStuck(outcome.reason)
-        raise TypeError(f"unexpected step outcome {outcome!r}")
+        _, term, next_variable, budget = item
+        steps = 0
+        while True:
+            if steps > budget:
+                raise ExecutionTreeError(
+                    "the recursion body did not reach a value within the step "
+                    "budget; it may diverge without making recursive calls"
+                )
+            outcome = stepper.step(term, next_variable)
+            if isinstance(outcome, StepValue):
+                max_variables[0] = max(max_variables[0], next_variable)
+                finished.append(ExecLeaf(term))
+                break
+            if isinstance(outcome, StepTerm):
+                term = outcome.term
+                if outcome.consumed_sample:
+                    next_variable += 1
+                steps += 1
+                continue
+            if isinstance(outcome, StepScore):
+                value = outcome.value
+                work.append(
+                    ("assemble", lambda done, value=value: ExecScore(value, done.pop()))
+                )
+                work.append(("expand", outcome.term, next_variable, budget - steps))
+                break
+            if isinstance(outcome, StepRecCall):
+                argument = outcome.argument
+                work.append(
+                    (
+                        "assemble",
+                        lambda done, argument=argument: ExecMu(argument, done.pop()),
+                    )
+                )
+                work.append(("expand", outcome.term, next_variable, budget - steps))
+                break
+            if isinstance(outcome, StepBranch):
+                guard = outcome.guard
+                nondet = guard.contains_argument() or guard.contains_star()
+                kind = ExecNondetBranch if nondet else ExecProbBranch
+
+                def assemble_branch(done, guard=guard, kind=kind):
+                    else_child = done.pop()
+                    then_child = done.pop()
+                    return kind(guard, then_child, else_child)
+
+                work.append(("assemble", assemble_branch))
+                # Popped in LIFO order: the then-branch expands first, so its
+                # result sits below the else-branch on the finished stack.
+                work.append(("expand", outcome.else_term, next_variable, budget - steps))
+                work.append(("expand", outcome.then_term, next_variable, budget - steps))
+                break
+            if isinstance(outcome, StepStuck):
+                finished.append(ExecStuck(outcome.reason))
+                break
+            raise TypeError(f"unexpected step outcome {outcome!r}")
+    (root,) = finished
+    return root
 
 
 def render_tree(tree: ExecutionTree) -> str:
-    """A small ASCII rendering of the execution tree (compare Fig. 6a)."""
+    """A small ASCII rendering of the execution tree (compare Fig. 6a).
+
+    Pre-order with an explicit stack, like every other tree walk here: a
+    rendering must not overflow on trees the builder can produce.
+    """
     lines: List[str] = []
-    _render(tree.root, "", lines)
+    stack: List[Tuple[ExecNode, str]] = [(tree.root, "")]
+    while stack:
+        node, indent = stack.pop()
+        if isinstance(node, ExecLeaf):
+            lines.append(f"{indent}leaf")
+        elif isinstance(node, ExecMu):
+            lines.append(f"{indent}mu")
+            stack.append((node.child, indent + "  "))
+        elif isinstance(node, ExecScore):
+            lines.append(f"{indent}score({node.value!r})")
+            stack.append((node.child, indent + "  "))
+        elif isinstance(node, ExecProbBranch):
+            lines.append(f"{indent}branch[{node.guard!r}]")
+            stack.append((node.else_child, indent + "  "))
+            stack.append((node.then_child, indent + "  "))
+        elif isinstance(node, ExecNondetBranch):
+            lines.append(f"{indent}branch*[{node.guard!r}]   (Environment)")
+            stack.append((node.else_child, indent + "  "))
+            stack.append((node.then_child, indent + "  "))
+        elif isinstance(node, ExecStuck):
+            lines.append(f"{indent}stuck: {node.reason}")
+        else:
+            raise TypeError(f"unknown node {node!r}")
     return "\n".join(lines)
-
-
-def _render(node: ExecNode, indent: str, lines: List[str]) -> None:
-    if isinstance(node, ExecLeaf):
-        lines.append(f"{indent}leaf")
-    elif isinstance(node, ExecMu):
-        lines.append(f"{indent}mu")
-        _render(node.child, indent + "  ", lines)
-    elif isinstance(node, ExecScore):
-        lines.append(f"{indent}score({node.value!r})")
-        _render(node.child, indent + "  ", lines)
-    elif isinstance(node, ExecProbBranch):
-        lines.append(f"{indent}branch[{node.guard!r}]")
-        _render(node.then_child, indent + "  ", lines)
-        _render(node.else_child, indent + "  ", lines)
-    elif isinstance(node, ExecNondetBranch):
-        lines.append(f"{indent}branch*[{node.guard!r}]   (Environment)")
-        _render(node.then_child, indent + "  ", lines)
-        _render(node.else_child, indent + "  ", lines)
-    elif isinstance(node, ExecStuck):
-        lines.append(f"{indent}stuck: {node.reason}")
-    else:
-        raise TypeError(f"unknown node {node!r}")

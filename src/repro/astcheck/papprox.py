@@ -51,7 +51,7 @@ from repro.astcheck.exectree import (
 from repro.geometry.engine import MeasureEngine
 from repro.geometry.measure import MeasureOptions
 from repro.randomwalk.step_distribution import CountingDistribution
-from repro.spcf.primitives import PrimitiveRegistry, default_registry
+from repro.spcf.primitives import PrimitiveRegistry
 from repro.symbolic.constraints import Constraint, ConstraintSet, Relation
 
 Number = Union[Fraction, float]

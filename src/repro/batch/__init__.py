@@ -1,0 +1,52 @@
+"""Parallel analysis batches with a persistent cross-process cache.
+
+The paper's evaluation is a batch of (program x analysis x parameters) runs;
+this subsystem makes that batch a first-class object:
+
+* :mod:`repro.batch.jobs`   -- ``JobSpec`` / ``JobResult`` with deterministic
+  content-hash keys and JSON-safe payloads,
+* :mod:`repro.batch.runner` -- the scheduler (``--jobs N`` worker processes,
+  per-job failure tolerance, submission-order JSONL output),
+* :mod:`repro.batch.cache`  -- the versioned on-disk store of finished job
+  results and measure-engine entries shared across processes and sessions,
+* :mod:`repro.batch.suites` -- named suites mirroring Table 1 / Table 2 /
+  the classification extension, and job-file loading.
+
+The CLI surface is ``python -m repro batch`` (see :mod:`repro.cli`);
+``table1``/``table2``/``report`` delegate to the same runner.
+"""
+
+from repro.batch.cache import BatchCache
+from repro.batch.jobs import ANALYSES, JobResult, JobSpec, run_job
+from repro.batch.runner import (
+    BatchReport,
+    read_result_keys,
+    run_batch,
+    write_results_jsonl,
+)
+from repro.batch.suites import (
+    SUITE_NAMES,
+    classify_suite,
+    load_job_file,
+    suite,
+    table1_suite,
+    table2_suite,
+)
+
+__all__ = [
+    "ANALYSES",
+    "BatchCache",
+    "BatchReport",
+    "JobResult",
+    "JobSpec",
+    "SUITE_NAMES",
+    "classify_suite",
+    "load_job_file",
+    "read_result_keys",
+    "run_batch",
+    "run_job",
+    "suite",
+    "table1_suite",
+    "table2_suite",
+    "write_results_jsonl",
+]

@@ -1,0 +1,170 @@
+"""The persistent cross-process cache behind ``python -m repro batch``.
+
+Layout (everything lives under one ``--cache-dir``)::
+
+    <cache-dir>/
+      jobs/<sha256-key>.json   one finished JobResult per file
+      measures.json            serialized MeasureEngine cache entries
+
+Both kinds of file are versioned JSON.  Reads are *strictly best-effort*: a
+missing, corrupted, truncated, or version-mismatched file is treated as a
+cache miss and silently discarded -- a damaged cache must never take an
+analysis down, it can only cost recomputation.  Writes go through a
+temp-file + :func:`os.replace` so a killed run never leaves a torn file
+behind, and job results live in one file per key so concurrent batches
+sharing a directory do not contend on a single growing file.
+
+Measure entries are keyed by the deterministic canonical constraint-set key
+of :meth:`repro.geometry.engine.MeasureEngine.persistent_key` and tagged with
+the engine's registry fingerprint: a cache written under different primitive
+semantics is ignored wholesale.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Union
+
+from repro.batch.jobs import JobResult
+from repro.geometry.engine import MeasureEngine
+
+CACHE_VERSION = 1
+
+__all__ = ["BatchCache", "CACHE_VERSION"]
+
+
+def _atomic_write_json(path: Path, document: dict) -> None:
+    """Write ``document`` to ``path`` without ever exposing a torn file."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    handle, temp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(handle, "w") as stream:
+            json.dump(document, stream, sort_keys=True, separators=(",", ":"))
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+
+
+def _read_versioned_json(path: Path) -> Optional[dict]:
+    """Read a versioned JSON document; anything suspect reads as ``None``."""
+    try:
+        with open(path, "r") as stream:
+            document = json.load(stream)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(document, dict) or document.get("version") != CACHE_VERSION:
+        return None
+    return document
+
+
+class BatchCache:
+    """A persistent store of job results and measure-engine entries."""
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.jobs_directory = self.directory / "jobs"
+        self.measures_path = self.directory / "measures.json"
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    # -- job results ---------------------------------------------------------
+
+    def _job_path(self, key: str) -> Path:
+        return self.jobs_directory / f"{key}.json"
+
+    def load_job(self, key: str) -> Optional[JobResult]:
+        """The cached result for ``key``, or ``None`` (incl. damaged files)."""
+        document = _read_versioned_json(self._job_path(key))
+        if document is None:
+            return None
+        record = document.get("result")
+        try:
+            result = JobResult.from_cache_dict(record)
+        except (TypeError, KeyError, ValueError):
+            return None
+        if result.key != key or not result.ok:
+            return None
+        return result
+
+    def store_job(self, result: JobResult) -> None:
+        """Persist a finished job.  Error results are not cached: they are
+        recomputed on the next run in case the failure was environmental."""
+        if not result.ok:
+            return
+        _atomic_write_json(
+            self._job_path(result.key),
+            {"version": CACHE_VERSION, "result": result.to_cache_dict()},
+        )
+
+    def job_count(self) -> int:
+        if not self.jobs_directory.is_dir():
+            return 0
+        return sum(1 for entry in self.jobs_directory.glob("*.json"))
+
+    # -- measure-engine entries ----------------------------------------------
+
+    def load_measures(self, engine: MeasureEngine) -> Dict[str, List]:
+        """The stored measure entries compatible with ``engine``.
+
+        Entries recorded under a different primitive-registry fingerprint are
+        ignored: they were computed under different semantics.
+        """
+        document = _read_versioned_json(self.measures_path)
+        if document is None:
+            return {}
+        if document.get("fingerprint") != engine.registry_fingerprint():
+            return {}
+        entries = document.get("entries")
+        return entries if isinstance(entries, dict) else {}
+
+    def merge_measures(
+        self, engine: MeasureEngine, new_entries: Mapping[str, List]
+    ) -> int:
+        """Fold ``new_entries`` into the on-disk store; returns its new size.
+
+        The read-modify-write cycle runs under an exclusive advisory lock
+        (where :mod:`fcntl` exists), so two batches merging into one shared
+        cache directory cannot silently drop each other's entries; the write
+        itself stays atomic either way.
+        """
+        if not new_entries:
+            document = _read_versioned_json(self.measures_path)
+            entries = (document or {}).get("entries")
+            return len(entries) if isinstance(entries, dict) else 0
+        with self._measures_lock():
+            entries = self.load_measures(engine)
+            entries.update(new_entries)
+            _atomic_write_json(
+                self.measures_path,
+                {
+                    "version": CACHE_VERSION,
+                    "fingerprint": engine.registry_fingerprint(),
+                    "entries": entries,
+                },
+            )
+        return len(entries)
+
+    @contextmanager
+    def _measures_lock(self):
+        """Exclusive inter-process lock guarding the measures merge."""
+        try:
+            import fcntl
+        except ImportError:  # non-POSIX: fall back to the atomic write alone
+            yield
+            return
+        lock_path = self.directory / "measures.lock"
+        with open(lock_path, "w") as lock_file:
+            fcntl.flock(lock_file.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(lock_file.fileno(), fcntl.LOCK_UN)

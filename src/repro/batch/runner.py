@@ -1,0 +1,301 @@
+"""The batch scheduler: fan jobs out across cores, through the cache.
+
+``run_batch`` executes a list of :class:`~repro.batch.jobs.JobSpec` and
+returns every :class:`~repro.batch.jobs.JobResult` *in submission order*
+(scheduling is free to reorder work -- longest-expected jobs first -- but the
+output never depends on completion order, which is what keeps batch JSONL
+files byte-identical across runs and across ``--jobs`` settings).
+
+Execution modes:
+
+* ``jobs <= 1`` -- inline in this process, one shared
+  :class:`~repro.geometry.engine.MeasureEngine` across all jobs (the same
+  semantics as the serial CLI commands);
+* ``jobs > 1`` -- a ``ProcessPoolExecutor`` of worker processes, each owning
+  one engine for the jobs it runs.  Workers are seeded with the persistent
+  measure entries at startup, so sibling workers skip work the cache already
+  knows.  A job that raises returns a structured error result; a worker
+  process that dies outright surfaces as error results for its jobs, never as
+  a batch crash.
+
+With a :class:`~repro.batch.cache.BatchCache`, finished results are
+persisted as they complete and already-cached jobs are never re-run, so an
+unchanged batch re-runs near-instantly.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Union
+
+from repro.batch.cache import BatchCache
+from repro.batch.jobs import JobResult, JobSpec, run_job
+from repro.geometry.engine import MeasureEngine
+from repro.geometry.stats import PerfStats
+
+__all__ = [
+    "BatchReport",
+    "read_result_keys",
+    "run_batch",
+    "write_results_jsonl",
+]
+
+ProgressCallback = Callable[[JobResult, int, int], None]
+
+
+@dataclass
+class BatchReport:
+    """Everything a batch run produced, plus scheduling bookkeeping."""
+
+    results: List[JobResult]
+    elapsed_seconds: float
+    cache_hits: int
+    cache_misses: int
+    stats: PerfStats = field(default_factory=PerfStats)
+    """Merged measure-engine counters over the jobs that actually ran."""
+
+    cache_enabled: bool = True
+    """Whether a persistent cache was consulted at all."""
+
+    @property
+    def error_count(self) -> int:
+        return sum(1 for result in self.results if not result.ok)
+
+    @property
+    def ok_count(self) -> int:
+        return len(self.results) - self.error_count
+
+    def summary(self) -> str:
+        """The human-readable footer printed by ``python -m repro batch``."""
+        if self.cache_enabled:
+            cache_line = f"job cache        : {self.cache_hits} hits, {self.cache_misses} misses"
+        else:
+            cache_line = "job cache        : disabled (no cache directory)"
+        return "\n".join(
+            [
+                f"jobs             : {len(self.results)} total, "
+                f"{self.ok_count} ok, {self.error_count} errors",
+                cache_line,
+                f"measure requests : {self.stats.measure_requests} "
+                f"({self.stats.cache_hits} memo hits, "
+                f"{self.stats.persistent_hits} persistent hits)",
+                f"wall time        : {self.elapsed_seconds:.2f} s",
+            ]
+        )
+
+
+def _safe_key(spec: JobSpec) -> Optional[str]:
+    try:
+        return spec.key()
+    except Exception:
+        return None
+
+
+def _merge_stats(total: PerfStats, delta: Optional[Dict[str, int]]) -> None:
+    if not delta:
+        return
+    addition = PerfStats()
+    for name, value in delta.items():
+        if hasattr(addition, name) and isinstance(value, int):
+            setattr(addition, name, value)
+    total.merge(addition)
+
+
+# -- worker-process plumbing --------------------------------------------------
+
+_WORKER_ENGINE: Optional[MeasureEngine] = None
+
+
+def _worker_init(measure_entries: Dict[str, list]) -> None:
+    """Build this worker's engine, pre-seeded from the persistent cache."""
+    global _WORKER_ENGINE
+    _WORKER_ENGINE = MeasureEngine()
+    if measure_entries:
+        _WORKER_ENGINE.import_cache_entries(measure_entries)
+
+
+def _worker_run(indexed_spec):
+    """Run one job in a worker; also ship back the new measure entries."""
+    index, spec = indexed_spec
+    engine = _WORKER_ENGINE or MeasureEngine()
+    result = run_job(spec, engine)
+    return index, result, engine.export_cache_entries()
+
+
+# -- the scheduler -------------------------------------------------------------
+
+
+def run_batch(
+    specs: Sequence[JobSpec],
+    jobs: int = 1,
+    cache: Optional[BatchCache] = None,
+    engine: Optional[MeasureEngine] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> BatchReport:
+    """Execute ``specs`` and return their results in submission order."""
+    started = time.perf_counter()
+    specs = list(specs)
+    total = len(specs)
+    results: List[Optional[JobResult]] = [None] * total
+    completed = 0
+    hits = 0
+
+    def note(result: JobResult) -> None:
+        nonlocal completed
+        completed += 1
+        if progress is not None:
+            progress(result, completed, total)
+
+    # Answer whatever the cache already knows, in order.
+    pending: List[int] = []
+    for index, spec in enumerate(specs):
+        cached = None
+        if cache is not None:
+            key = _safe_key(spec)
+            cached = cache.load_job(key) if key else None
+        if cached is not None:
+            results[index] = cached
+            hits += 1
+            note(cached)
+        else:
+            pending.append(index)
+
+    merged_stats = PerfStats()
+    if pending:
+        if jobs <= 1 or len(pending) == 1:
+            _run_inline(specs, pending, cache, engine, results, note)
+        else:
+            _run_pool(specs, pending, jobs, cache, results, note)
+    for result in results:
+        if result is not None and not result.cached:
+            _merge_stats(merged_stats, result.stats)
+
+    elapsed = time.perf_counter() - started
+    return BatchReport(
+        results=[result for result in results if result is not None],
+        elapsed_seconds=elapsed,
+        cache_hits=hits,
+        cache_misses=len(pending),
+        stats=merged_stats,
+        cache_enabled=cache is not None,
+    )
+
+
+def _run_inline(
+    specs: Sequence[JobSpec],
+    pending: Sequence[int],
+    cache: Optional[BatchCache],
+    engine: Optional[MeasureEngine],
+    results: List[Optional[JobResult]],
+    note: Callable[[JobResult], None],
+) -> None:
+    engine = engine or MeasureEngine()
+    if cache is not None:
+        engine.import_cache_entries(cache.load_measures(engine))
+    for index in pending:
+        result = run_job(specs[index], engine)
+        results[index] = result
+        if cache is not None:
+            cache.store_job(result)
+        note(result)
+    if cache is not None:
+        cache.merge_measures(engine, engine.export_cache_entries())
+
+
+def _schedule_order(specs: Sequence[JobSpec], pending: Sequence[int]) -> List[int]:
+    """Longest-expected-first: big jobs must not start last on a full pool."""
+    return sorted(pending, key=lambda index: -specs[index].cost_hint)
+
+
+def _run_pool(
+    specs: Sequence[JobSpec],
+    pending: Sequence[int],
+    jobs: int,
+    cache: Optional[BatchCache],
+    results: List[Optional[JobResult]],
+    note: Callable[[JobResult], None],
+) -> None:
+    probe = MeasureEngine()
+    measure_entries = cache.load_measures(probe) if cache is not None else {}
+    collected: Dict[str, list] = {}
+    context = None
+    if "fork" in multiprocessing.get_all_start_methods():
+        context = multiprocessing.get_context("fork")
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(pending)),
+        mp_context=context,
+        initializer=_worker_init,
+        initargs=(measure_entries,),
+    ) as pool:
+        futures = {
+            pool.submit(_worker_run, (index, specs[index])): index
+            for index in _schedule_order(specs, pending)
+        }
+        for future in as_completed(futures):
+            index = futures[future]
+            try:
+                index, result, new_entries = future.result()
+                collected.update(new_entries)
+            except Exception as exc:  # worker process died (BrokenProcessPool, ...)
+                result = JobResult(
+                    spec=specs[index],
+                    key=_safe_key(specs[index]) or f"unkeyed-{index}",
+                    status="error",
+                    payload=None,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            results[index] = result
+            if cache is not None:
+                cache.store_job(result)
+            note(result)
+    if cache is not None:
+        cache.merge_measures(probe, collected)
+
+
+# -- JSONL output --------------------------------------------------------------
+
+
+def write_results_jsonl(
+    path: Union[str, Path], results: Iterable[JobResult], append: bool = False
+) -> None:
+    """Write the deterministic result lines (same batch => same bytes)."""
+    path = Path(path)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a" if append else "w") as stream:
+        for result in results:
+            stream.write(result.to_json_line() + "\n")
+
+
+def read_result_keys(path: Union[str, Path]) -> Set[str]:
+    """The keys of *successful* jobs in a results file.
+
+    Error records are deliberately not collected: resuming a batch must retry
+    failed jobs (their failure may have been environmental -- the same policy
+    as :meth:`BatchCache.store_job`), so only ``"ok"`` lines count as done.
+    Corrupt lines are skipped.
+    """
+    keys: Set[str] = set()
+    try:
+        with open(path, "r") as stream:
+            for line in stream:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue
+                if not isinstance(record, dict) or record.get("status") != "ok":
+                    continue
+                key = record.get("key")
+                if isinstance(key, str):
+                    keys.add(key)
+    except OSError:
+        return keys
+    return keys

@@ -1,0 +1,112 @@
+"""Named job suites mirroring the paper's evaluation, plus job-file loading.
+
+A *suite* is the batch rendering of one evaluation section:
+
+* ``table1``  -- lower bounds for every Table 1 program,
+* ``table2``  -- AST verification for every Table 2 program,
+* ``classify`` -- combined AST/PAST classification of the Table 2 programs,
+* ``all``     -- the three above, concatenated.
+
+Cost hints are derived from the term size (scaled by the exploration depth
+for lower bounds): they only inform the scheduler's longest-first ordering,
+never the results.
+
+A *job file* is a JSON list of ``{"program": ..., "analysis": ...,
+"params": {...}}`` objects, the on-disk counterpart of a suite.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Mapping, Optional, Union
+
+from repro.batch.jobs import JobSpec
+from repro.programs import table1_programs, table2_programs
+from repro.programs.library import Program
+from repro.spcf.syntax import term_size
+
+SUITE_NAMES = ("table1", "table2", "classify", "all")
+
+__all__ = ["SUITE_NAMES", "classify_suite", "load_job_file", "suite", "table1_suite", "table2_suite"]
+
+
+def table1_suite(
+    depth: int = 50,
+    max_paths: int = 100_000,
+    programs: Optional[Mapping[str, Program]] = None,
+) -> List[JobSpec]:
+    """One ``lower-bound`` job per Table 1 program."""
+    programs = dict(programs) if programs is not None else table1_programs()
+    return [
+        JobSpec(
+            program=name,
+            analysis="lower-bound",
+            params={"depth": depth, "max_paths": max_paths},
+            cost_hint=float(term_size(program.applied) * depth),
+        )
+        for name, program in programs.items()
+    ]
+
+
+def table2_suite(
+    max_steps: int = 5_000, programs: Optional[Mapping[str, Program]] = None
+) -> List[JobSpec]:
+    """One ``verify`` job per Table 2 program."""
+    programs = dict(programs) if programs is not None else table2_programs()
+    return [
+        JobSpec(
+            program=name,
+            analysis="verify",
+            params={"max_steps": max_steps},
+            cost_hint=float(term_size(program.fix)),
+        )
+        for name, program in programs.items()
+    ]
+
+
+def classify_suite(
+    max_steps: int = 2_000, programs: Optional[Mapping[str, Program]] = None
+) -> List[JobSpec]:
+    """One ``classify`` job per Table 2 program (the extension table)."""
+    programs = dict(programs) if programs is not None else table2_programs()
+    return [
+        JobSpec(
+            program=name,
+            analysis="classify",
+            params={"max_steps": max_steps},
+            # Classification runs verification, refutation and per-argument
+            # counting; weigh it above a plain verify of the same term.
+            cost_hint=float(term_size(program.fix) * 6),
+        )
+        for name, program in programs.items()
+    ]
+
+
+def suite(name: str, depth: int = 50) -> List[JobSpec]:
+    """Resolve a ``--suite`` name to its job list."""
+    if name == "table1":
+        return table1_suite(depth=depth)
+    if name == "table2":
+        return table2_suite()
+    if name == "classify":
+        return classify_suite()
+    if name == "all":
+        return table1_suite(depth=depth) + table2_suite() + classify_suite()
+    raise ValueError(f"unknown suite {name!r}; expected one of {SUITE_NAMES}")
+
+
+def load_job_file(path: Union[str, Path]) -> List[JobSpec]:
+    """Load a JSON job file into specs (strictly validated, unlike caches)."""
+    with open(path, "r") as stream:
+        document = json.load(stream)
+    if not isinstance(document, list):
+        raise ValueError("a job file must be a JSON list of job objects")
+    specs = []
+    for position, entry in enumerate(document):
+        if not isinstance(entry, dict) or "program" not in entry or "analysis" not in entry:
+            raise ValueError(
+                f"job #{position} must be an object with 'program' and 'analysis'"
+            )
+        specs.append(JobSpec.from_dict(entry))
+    return specs

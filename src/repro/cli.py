@@ -6,9 +6,10 @@ Monte-Carlo estimator, over programs written in the surface syntax of
 
     python -m repro lower-bound "(mu phi x. if sample - 1/2 then x else phi (x+1)) 1" --depth 80
     python -m repro verify "mu phi x. if sample - 1/2 then x else phi (phi (x+1))"
-    python -m repro estimate --program "ex1.1(1/4)" --runs 5000
-    python -m repro table1 --depth 50
+    python -m repro estimate --program "ex1.1(1/4)" --runs 5000 --seed 7
+    python -m repro table1 --depth 50 --jobs 4 --cache-dir .repro-cache
     python -m repro table2
+    python -m repro batch --suite all --jobs 4 --cache-dir .repro-cache --output results.jsonl
     python -m repro list-programs
 
 Program arguments may be either a source string or the name of a benchmark
@@ -20,11 +21,18 @@ analysis a command runs draws from a single memoized measure cache; pass
 ``--no-measure-cache`` to disable memoization (results are bit-identical,
 only slower) and ``--stats`` to print the engine's
 :class:`~repro.geometry.stats.PerfStats` counters after the run.
+
+The evaluation commands (``table1``, ``table2``, ``report``) and the generic
+``batch`` command run through :mod:`repro.batch`: ``--jobs N`` fans the
+analyses out across worker processes and ``--cache-dir`` persists both
+finished job results and measure-engine entries across runs, so re-running
+an unchanged batch is near-instant and bit-identical.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from fractions import Fraction
@@ -32,50 +40,25 @@ from typing import Optional, Sequence
 
 from repro.astcheck import verify_ast
 from repro.astcheck.exectree import build_execution_tree, render_tree
+from repro.batch import (
+    BatchCache,
+    JobResult,
+    load_job_file,
+    read_result_keys,
+    run_batch,
+    suite,
+    write_results_jsonl,
+)
+from repro.batch.suites import SUITE_NAMES
 from repro.geometry.engine import MeasureEngine
 from repro.lowerbound import LowerBoundEngine
 from repro.pastcheck import classify_termination
-from repro.programs import extra_programs, table1_programs, table2_programs
-from repro.programs.library import Program
+from repro.programs import all_programs as _all_programs
+from repro.programs import resolve_program as _resolve_program
 from repro.report import full_report
 from repro.semantics import estimate_termination
-from repro.spcf import parse, pretty, typecheck
-from repro.spcf.syntax import Fix, Term
+from repro.spcf import pretty, typecheck
 from repro.symbolic.execute import Strategy
-
-
-def _all_programs():
-    programs = {}
-    programs.update(table1_programs())
-    for name, program in table2_programs().items():
-        programs.setdefault(name, program)
-    for name, program in extra_programs().items():
-        programs.setdefault(name, program)
-    return programs
-
-
-def _resolve_program(source: str) -> Program:
-    """Resolve a CLI program argument: a library name or surface syntax."""
-    programs = _all_programs()
-    if source in programs:
-        return programs[source]
-    term = parse(source)
-    fix = term if isinstance(term, Fix) else _find_fix(term)
-    return Program(
-        name="<command line>",
-        fix=fix if isinstance(fix, Fix) else Fix("phi", "x", term),
-        applied=term,
-        description="program supplied on the command line",
-    )
-
-
-def _find_fix(term: Term) -> Optional[Fix]:
-    from repro.spcf.syntax import subterms
-
-    for sub in subterms(term):
-        if isinstance(sub, Fix):
-            return sub
-    return None
 
 
 def _measure_engine(arguments: argparse.Namespace) -> MeasureEngine:
@@ -83,11 +66,15 @@ def _measure_engine(arguments: argparse.Namespace) -> MeasureEngine:
     return MeasureEngine(cache_enabled=not getattr(arguments, "no_measure_cache", False))
 
 
-def _print_stats(arguments: argparse.Namespace, engine: MeasureEngine) -> None:
+def _print_perf_stats(arguments: argparse.Namespace, stats) -> None:
     if getattr(arguments, "stats", False):
         print("measure engine statistics:")
-        for line in engine.stats.summary().splitlines():
+        for line in stats.summary().splitlines():
             print(f"  {line}")
+
+
+def _print_stats(arguments: argparse.Namespace, engine: MeasureEngine) -> None:
+    _print_perf_stats(arguments, engine.stats)
 
 
 def _command_lower_bound(arguments: argparse.Namespace) -> int:
@@ -135,7 +122,10 @@ def _command_verify(arguments: argparse.Namespace) -> int:
 def _command_estimate(arguments: argparse.Namespace) -> int:
     program = _resolve_program(arguments.program)
     estimate = estimate_termination(
-        program.applied, runs=arguments.runs, max_steps=arguments.max_steps
+        program.applied,
+        runs=arguments.runs,
+        max_steps=arguments.max_steps,
+        seed=arguments.seed,
     )
     low, high = estimate.confidence_interval()
     print(f"program      : {pretty(program.applied, unicode_symbols=False)}")
@@ -146,35 +136,78 @@ def _command_estimate(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _batch_cache(arguments: argparse.Namespace) -> Optional[BatchCache]:
+    cache_dir = getattr(arguments, "cache_dir", None)
+    return BatchCache(cache_dir) if cache_dir else None
+
+
+def _batch_jobs(arguments: argparse.Namespace, default: int = 1) -> int:
+    """The worker count; ``--no-measure-cache`` forces inline execution
+    (worker processes build their own engines, which would ignore the flag)."""
+    jobs = getattr(arguments, "jobs", None)
+    jobs = default if jobs is None else jobs
+    if getattr(arguments, "no_measure_cache", False):
+        return 1
+    return max(1, jobs)
+
+
+def _print_batch_stats(
+    arguments: argparse.Namespace, report, engine: Optional[MeasureEngine]
+) -> None:
+    """``--stats`` for batched commands: the shared engine inline, the merged
+    per-job counters when the work ran in worker processes."""
+    _print_perf_stats(arguments, engine.stats if engine is not None else report.stats)
+
+
 def _command_table1(arguments: argparse.Namespace) -> int:
-    measure_engine = _measure_engine(arguments)
+    from repro.batch.jobs import decode_number
+    from repro.batch.suites import table1_suite
+
+    jobs = _batch_jobs(arguments)
+    engine = _measure_engine(arguments) if jobs <= 1 else None
+    report = run_batch(
+        table1_suite(depth=arguments.depth),
+        jobs=jobs,
+        cache=_batch_cache(arguments),
+        engine=engine,
+    )
     print(f"{'term':16s} {'LB':>14s} {'paths':>7s} {'depth':>6s} {'time':>9s}")
-    for name, program in table1_programs().items():
-        engine = LowerBoundEngine(strategy=program.strategy, measure_engine=measure_engine)
-        start = time.perf_counter()
-        result = engine.lower_bound(program.applied, max_steps=arguments.depth)
-        elapsed = time.perf_counter() - start
+    for result in report.results:
+        if not result.ok:
+            print(f"{result.spec.program:16s} ERROR: {result.error}")
+            continue
+        payload = result.payload or {}
+        probability = float(decode_number(payload["probability"]))
         print(
-            f"{name:16s} {float(result.probability):14.10f} {result.path_count:7d} "
-            f"{arguments.depth:6d} {elapsed * 1000:8.0f}ms"
+            f"{result.spec.program:16s} {probability:14.10f} "
+            f"{payload['path_count']:7d} {arguments.depth:6d} "
+            f"{result.elapsed_ms:8.0f}ms"
         )
-    _print_stats(arguments, measure_engine)
-    return 0
+    _print_batch_stats(arguments, report, engine)
+    return 0 if report.error_count == 0 else 1
 
 
 def _command_table2(arguments: argparse.Namespace) -> int:
-    engine = _measure_engine(arguments)
+    from repro.batch.suites import table2_suite
+
+    jobs = _batch_jobs(arguments)
+    engine = _measure_engine(arguments) if jobs <= 1 else None
+    report = run_batch(
+        table2_suite(), jobs=jobs, cache=_batch_cache(arguments), engine=engine
+    )
     print(f"{'term':18s} {'verified':>9s}  Papprox")
-    for name, program in table2_programs().items():
-        start = time.perf_counter()
-        result = verify_ast(program, engine=engine)
-        elapsed = time.perf_counter() - start
+    for result in report.results:
+        if not result.ok:
+            print(f"{result.spec.program:18s} ERROR: {result.error}")
+            continue
+        payload = result.payload or {}
         print(
-            f"{name:18s} {'yes' if result.verified else 'no':>9s}  {result.papprox}"
-            f"   ({elapsed * 1000:.0f} ms)"
+            f"{result.spec.program:18s} "
+            f"{'yes' if payload.get('verified') else 'no':>9s}  "
+            f"{payload.get('papprox') or '-'}   ({result.elapsed_ms:.0f} ms)"
         )
-    _print_stats(arguments, engine)
-    return 0
+    _print_batch_stats(arguments, report, engine)
+    return 0 if report.error_count == 0 else 1
 
 
 def _command_list_programs(arguments: argparse.Namespace) -> int:
@@ -201,10 +234,97 @@ def _command_classify(arguments: argparse.Namespace) -> int:
 
 
 def _command_report(arguments: argparse.Namespace) -> int:
-    engine = _measure_engine(arguments)
-    print(full_report(depth=arguments.depth, measure_engine=engine))
-    _print_stats(arguments, engine)
+    from repro.geometry.stats import PerfStats
+
+    jobs = _batch_jobs(arguments)
+    engine = _measure_engine(arguments) if jobs <= 1 else None
+    sink = PerfStats() if engine is None else None
+    print(
+        full_report(
+            depth=arguments.depth,
+            measure_engine=engine,
+            jobs=jobs,
+            cache=_batch_cache(arguments),
+            stats_sink=sink,
+        )
+    )
+    _print_perf_stats(arguments, engine.stats if engine is not None else sink)
     return 0
+
+
+def _command_batch(arguments: argparse.Namespace) -> int:
+    if arguments.job_file:
+        specs = load_job_file(arguments.job_file)
+    elif arguments.suite:
+        specs = suite(arguments.suite, depth=arguments.depth)
+    else:
+        print("batch: provide a job file or --suite", file=sys.stderr)
+        return 2
+
+    append = False
+    if arguments.resume:
+        if not arguments.output:
+            print("batch: --resume requires --output", file=sys.stderr)
+            return 2
+        done_keys = read_result_keys(arguments.output)
+        if done_keys:
+            append = True
+
+            def not_done(spec) -> bool:
+                try:
+                    return spec.key() not in done_keys
+                except Exception:
+                    return True
+
+            specs = [spec for spec in specs if not_done(spec)]
+
+    jobs = _batch_jobs(arguments, default=os.cpu_count() or 1)
+    engine = _measure_engine(arguments) if jobs <= 1 else None
+    emit_jsonl_to_stdout = arguments.output is None
+    status_stream = sys.stderr if emit_jsonl_to_stdout else sys.stdout
+
+    def progress(result: JobResult, done: int, total: int) -> None:
+        if result.ok:
+            outcome = "cached" if result.cached else f"{result.elapsed_ms:.0f} ms"
+        else:
+            outcome = f"ERROR ({result.error})"
+        print(
+            f"[{done}/{total}] {result.spec.analysis:12s} "
+            f"{result.spec.program:18s} {outcome}",
+            file=sys.stderr,
+        )
+
+    report = run_batch(
+        specs,
+        jobs=jobs,
+        cache=_batch_cache(arguments),
+        engine=engine,
+        progress=progress,
+    )
+    if arguments.output:
+        write_results_jsonl(arguments.output, report.results, append=append)
+        print(f"results          : {arguments.output}", file=status_stream)
+    else:
+        for result in report.results:
+            print(result.to_json_line())
+    print(report.summary(), file=status_stream)
+    _print_batch_stats(arguments, report, engine)
+    return 0 if report.error_count == 0 else 1
+
+
+def _add_batch_flags(subparser: argparse.ArgumentParser) -> None:
+    """Flags shared by every command that delegates to the batch runner."""
+    subparser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes to fan the analyses out over (default: 1)",
+    )
+    subparser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persist job results and measure entries here, across runs",
+    )
 
 
 def _add_measure_flags(subparser: argparse.ArgumentParser) -> None:
@@ -248,16 +368,69 @@ def build_parser() -> argparse.ArgumentParser:
     estimate.add_argument("--program", required=True)
     estimate.add_argument("--runs", type=int, default=2000)
     estimate.add_argument("--max-steps", type=int, default=20_000)
+    estimate.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="PRNG seed for the sampler (estimates are reproducible per seed)",
+    )
     estimate.set_defaults(handler=_command_estimate)
 
     table1 = subparsers.add_parser("table1", help="regenerate Table 1 (lower bounds)")
     table1.add_argument("--depth", type=int, default=50)
     _add_measure_flags(table1)
+    _add_batch_flags(table1)
     table1.set_defaults(handler=_command_table1)
 
     table2 = subparsers.add_parser("table2", help="regenerate Table 2 (AST verification)")
     _add_measure_flags(table2)
+    _add_batch_flags(table2)
     table2.set_defaults(handler=_command_table2)
+
+    batch = subparsers.add_parser(
+        "batch",
+        help="run a batch of analysis jobs in parallel with a persistent cache",
+    )
+    batch.add_argument(
+        "job_file",
+        nargs="?",
+        default=None,
+        help="JSON job file (a list of {program, analysis, params} objects); "
+        "omit to use --suite",
+    )
+    batch.add_argument(
+        "--suite",
+        choices=SUITE_NAMES,
+        default=None,
+        help="run a named evaluation suite instead of a job file",
+    )
+    batch.add_argument(
+        "--depth", type=int, default=50, help="depth for the suite's lower-bound jobs"
+    )
+    batch.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (default: one per CPU core)",
+    )
+    batch.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persist job results and measure entries here, across runs",
+    )
+    batch.add_argument(
+        "--output",
+        default=None,
+        help="write deterministic results JSONL here (default: stdout)",
+    )
+    batch.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip jobs recorded as successful in --output; failed and "
+        "missing jobs are (re)run and their results appended",
+    )
+    _add_measure_flags(batch)
+    batch.set_defaults(handler=_command_batch)
 
     list_programs = subparsers.add_parser("list-programs", help="list the built-in programs")
     list_programs.set_defaults(handler=_command_list_programs)
@@ -274,6 +447,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("--depth", type=int, default=50)
     _add_measure_flags(report)
+    _add_batch_flags(report)
     report.set_defaults(handler=_command_report)
 
     return parser

@@ -32,7 +32,7 @@ same canonicalization, which is how the perf benchmark checks bit-identity.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.geometry.linear import halfspace_from_constraint
 from repro.geometry.measure import MeasureOptions, MeasureResult, measure_constraints
@@ -42,6 +42,27 @@ from repro.spcf.primitives import PrimitiveRegistry, default_registry
 from repro.symbolic.constraints import Constraint, ConstraintSet
 
 _CacheKey = Tuple[Tuple[Constraint, ...], int, MeasureOptions, Optional[Interval]]
+
+
+def _encode_number(value) -> Optional[List]:
+    """Encode a measure value for exact JSON round-tripping."""
+    if isinstance(value, Fraction):
+        return ["F", str(value)]
+    if isinstance(value, float):
+        return ["f", value.hex()]
+    if isinstance(value, int):
+        return ["F", str(Fraction(value))]
+    return None
+
+
+def _decode_number(encoded):
+    """Invert :func:`_encode_number`; raises on malformed input."""
+    kind, payload = encoded
+    if kind == "F":
+        return Fraction(payload)
+    if kind == "f":
+        return float.fromhex(payload)
+    raise ValueError(f"unknown number encoding {kind!r}")
 
 
 class MeasureEngine:
@@ -63,6 +84,9 @@ class MeasureEngine:
         self.cache_enabled = cache_enabled
         self.stats = stats if stats is not None else PerfStats()
         self._cache: Dict[_CacheKey, MeasureResult] = {}
+        self._imported: Dict[str, MeasureResult] = {}
+        self._export_skip: set = set()
+        self._unexported: list = []
 
     # -- canonicalization ----------------------------------------------------
 
@@ -119,11 +143,16 @@ class MeasureEngine:
             self.stats.cache_hits += 1
             return cached
         result = None
-        if argument is None:
+        if self._imported:
+            result = self._imported.get(self.persistent_key(canonical, dimension, argument))
+            if result is not None:
+                self.stats.persistent_hits += 1
+        if result is None and argument is None:
             result = self._derive_complement(canonical, dimension)
         if result is None:
             result = self._invoke(canonical, dimension, argument)
         self._cache[key] = result
+        self._unexported.append(key)
         return result
 
     def _invoke(
@@ -216,11 +245,95 @@ class MeasureEngine:
                 return False
         return True
 
+    # -- persistence -----------------------------------------------------------
+    #
+    # The batch subsystem (:mod:`repro.batch`) persists measure results across
+    # processes.  Entries are keyed by a *string* rendering of the canonical
+    # cache key: every constraint renders deterministically (the cached
+    # ``Constraint.sort_key`` reprs are built from fractions, strings and
+    # tuples only), so equal constraint sets produce equal keys in every
+    # process, while the persistent store never needs to re-materialise a
+    # :class:`~repro.symbolic.constraints.ConstraintSet` from disk -- lookups
+    # always start from a live set whose key is recomputed.  Values round-trip
+    # exactly: fractions as ``"p/q"`` strings, floats as ``float.hex()``.
+
+    def registry_fingerprint(self) -> str:
+        """A stable identifier of the primitive semantics behind the cache."""
+        return ",".join(sorted(self.registry.names()))
+
+    def persistent_key(
+        self,
+        canonical: ConstraintSet,
+        dimension: int,
+        argument: Optional[Interval] = None,
+    ) -> str:
+        """The deterministic cross-process cache key of one measure request."""
+        options = self.options
+        return "|".join(
+            [
+                ";".join(c.sort_key() for c in canonical.constraints),
+                f"d{dimension}",
+                f"o{options.max_hull_dimension}.{options.sweep_depth}.{int(options.prefer_sweep)}",
+                f"a{argument!r}",
+            ]
+        )
+
+    def export_cache_entries(self) -> Dict[str, List]:
+        """Serialize memoized results added since the last import/export.
+
+        Only entries cached since the previous export are visited (workers
+        export after every job, so rescanning the whole memo table would be
+        quadratic over a batch), and entries that were themselves imported
+        are skipped: the caller merges the export into the store they came
+        from, so re-serializing them would only waste work.
+        """
+        exported: Dict[str, List] = {}
+        for constraints, dimension, _options, argument in self._unexported:
+            key = self.persistent_key(ConstraintSet(constraints), dimension, argument)
+            if key in self._export_skip:
+                continue
+            result = self._cache.get((constraints, dimension, _options, argument))
+            if result is None:
+                continue
+            encoded = _encode_number(result.value)
+            if encoded is None:
+                continue
+            exported[key] = [encoded, result.exact, result.lower_bound, result.method]
+        self._unexported.clear()
+        self._export_skip.update(exported)
+        return exported
+
+    def import_cache_entries(self, entries: Mapping[str, Iterable]) -> int:
+        """Load serialized entries; malformed ones are skipped, not fatal.
+
+        Imported results are consulted on in-memory cache misses (and counted
+        as :attr:`PerfStats.persistent_hits`); they are byte-for-byte the
+        results a cold engine would compute, so warm and cold runs stay
+        bit-identical.
+        """
+        imported = 0
+        for key, entry in entries.items():
+            try:
+                encoded_value, exact, lower_bound, method = entry
+                value = _decode_number(encoded_value)
+                if not isinstance(key, str) or not isinstance(method, str):
+                    continue
+                result = MeasureResult(
+                    value, exact=bool(exact), lower_bound=bool(lower_bound), method=method
+                )
+            except (TypeError, ValueError, KeyError):
+                continue
+            self._imported[key] = result
+            self._export_skip.add(key)
+            imported += 1
+        return imported
+
     # -- maintenance -----------------------------------------------------------
 
     def clear(self) -> None:
         """Drop all memoized results (counters are kept)."""
         self._cache.clear()
+        self._unexported.clear()
 
     @property
     def cache_size(self) -> int:

@@ -31,6 +31,9 @@ class PerfStats:
     cache_hits: int = 0
     """Requests answered from the memo table."""
 
+    persistent_hits: int = 0
+    """Requests answered from an imported (cross-process) persistent cache."""
+
     complement_derivations: int = 0
     """Requests answered exactly via the complement rule (no measuring)."""
 
@@ -64,6 +67,7 @@ class PerfStats:
                 f"measure requests      : {self.measure_requests}",
                 f"measure calls         : {self.measure_calls}",
                 f"cache hits            : {self.cache_hits} ({hit_rate:.1f}%)",
+                f"persistent cache hits : {self.persistent_hits}",
                 f"complement derivations: {self.complement_derivations}",
                 f"sweep boxes examined  : {self.sweep_boxes_examined}",
                 f"sweep evals saved     : {self.sweep_evaluations_saved}",

@@ -33,8 +33,56 @@ from repro.programs.extra import (
     von_neumann_coin,
 )
 
+import functools
+
+
+@functools.lru_cache(maxsize=1)
+def _library():
+    programs = {}
+    programs.update(table1_programs())
+    for name, program in table2_programs().items():
+        programs.setdefault(name, program)
+    for name, program in extra_programs().items():
+        programs.setdefault(name, program)
+    return programs
+
+
+def all_programs():
+    """Every library program, keyed by name (Table 1 entries win on clashes)."""
+    return dict(_library())
+
+
+@functools.lru_cache(maxsize=256)
+def resolve_program(source: str) -> Program:
+    """Resolve a program reference: a library name or surface syntax.
+
+    This is the single resolution rule shared by the CLI and the batch
+    runner, so a job file and a command line mean the same thing by the
+    same string.  Cached: programs are immutable, and batch key hashing
+    resolves the same reference repeatedly.
+    """
+    from repro.spcf.parser import parse
+    from repro.spcf.syntax import Fix, subterms
+
+    programs = _library()
+    if source in programs:
+        return programs[source]
+    term = parse(source)
+    fix = term if isinstance(term, Fix) else next(
+        (sub for sub in subterms(term) if isinstance(sub, Fix)), None
+    )
+    return Program(
+        name="<command line>",
+        fix=fix if isinstance(fix, Fix) else Fix("phi", "x", term),
+        applied=term,
+        description="program supplied on the command line",
+    )
+
+
 __all__ = [
     "Program",
+    "all_programs",
+    "resolve_program",
     "bin_walk",
     "conditional_single_sample",
     "exponential_step_walk",

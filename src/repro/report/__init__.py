@@ -8,16 +8,22 @@ and the benchmark suite uses when writing ``EXPERIMENTS.md`` style records.
 
 from repro.report.tables import (
     classification_report,
+    classification_rows_from_results,
     full_report,
     markdown_table,
     table1_report,
+    table1_rows_from_results,
     table2_report,
+    table2_rows_from_results,
 )
 
 __all__ = [
     "classification_report",
+    "classification_rows_from_results",
     "full_report",
     "markdown_table",
     "table1_report",
+    "table1_rows_from_results",
     "table2_report",
+    "table2_rows_from_results",
 ]

@@ -8,28 +8,41 @@ Table 2, and the combined AST/PAST classification for the extension table.
 Timings are wall-clock milliseconds on the current machine and are reported
 for orientation only.
 
-Each report accepts a shared :class:`~repro.geometry.engine.MeasureEngine`
-(``full_report`` builds one for all sections), so constraint sets recurring
-across Table 2 and the classification are measured once.
+For the default program sets the analyses run as a batch through
+:func:`repro.batch.run_batch`, so reports can fan out across cores
+(``jobs``) and reuse a persistent :class:`~repro.batch.BatchCache`; the
+tables themselves are rendered from the deterministic
+:class:`~repro.batch.JobResult` payloads by the ``*_rows_from_results``
+functions.  Custom program mappings (whose terms may not resolve through the
+program library) take the direct in-process path with a shared
+:class:`~repro.geometry.engine.MeasureEngine`.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.astcheck import verify_ast
+from repro.batch.cache import BatchCache
+from repro.batch.jobs import JobResult, decode_number
+from repro.batch.runner import run_batch
+from repro.batch.suites import classify_suite, table1_suite, table2_suite
 from repro.geometry.engine import MeasureEngine
+from repro.geometry.stats import PerfStats
 from repro.lowerbound.engine import LowerBoundEngine
 from repro.pastcheck import classify_termination
-from repro.programs import table1_programs, table2_programs
+from repro.programs import table1_programs
 from repro.programs.library import Program
 
 __all__ = [
     "classification_report",
+    "classification_rows_from_results",
     "markdown_table",
     "table1_report",
+    "table1_rows_from_results",
     "table2_report",
+    "table2_rows_from_results",
 ]
 
 
@@ -52,69 +65,169 @@ def markdown_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str
     return "\n".join(lines)
 
 
+def _known_probability(program: Optional[Program]) -> str:
+    if program is not None and program.known_probability is not None:
+        return f"{program.known_probability:.4f}"
+    return "?"
+
+
+def table1_rows_from_results(
+    results: Sequence[JobResult],
+    programs: Optional[Mapping[str, Program]] = None,
+) -> List[List[str]]:
+    """Table 1 rows from ``lower-bound`` job results (errors become rows too)."""
+    programs = dict(programs) if programs is not None else table1_programs()
+    rows = []
+    for result in results:
+        name = result.spec.program
+        if not result.ok:
+            rows.append([name, "?", f"error: {result.error}", "-", "-", "-"])
+            continue
+        payload = result.payload or {}
+        probability = decode_number(payload.get("probability", 0))
+        rows.append(
+            [
+                name,
+                _known_probability(programs.get(name)),
+                f"{float(probability):.10f}",
+                str(result.spec.canonical_params()["depth"]),
+                str(payload.get("path_count", "?")),
+                f"{result.elapsed_ms:.0f}",
+            ]
+        )
+    return rows
+
+
 def table1_report(
     depth: int = 50,
     programs: Optional[Mapping[str, Program]] = None,
     max_paths: int = 100_000,
     measure_engine: Optional[MeasureEngine] = None,
+    jobs: int = 1,
+    cache: Optional[BatchCache] = None,
+    stats_sink: Optional[PerfStats] = None,
 ) -> str:
     """Regenerate Table 1 (lower bounds on the probability of termination)."""
-    programs = dict(programs) if programs is not None else table1_programs()
-    measure_engine = measure_engine or MeasureEngine()
-    rows = []
-    for name, program in programs.items():
-        engine = LowerBoundEngine(strategy=program.strategy, measure_engine=measure_engine)
-        started = time.perf_counter()
-        result = engine.lower_bound(program.applied, max_steps=depth, max_paths=max_paths)
-        elapsed_ms = (time.perf_counter() - started) * 1000
-        known = (
-            f"{program.known_probability:.4f}"
-            if program.known_probability is not None
-            else "?"
+    if programs is None:
+        report = run_batch(
+            table1_suite(depth=depth, max_paths=max_paths),
+            jobs=jobs,
+            cache=cache,
+            engine=measure_engine,
         )
-        rows.append(
-            [
-                name,
-                known,
-                f"{float(result.probability):.10f}",
-                str(depth),
-                str(result.path_count),
-                f"{elapsed_ms:.0f}",
-            ]
-        )
+        if stats_sink is not None:
+            stats_sink.merge(report.stats)
+        rows = table1_rows_from_results(report.results)
+    else:
+        programs = dict(programs)
+        measure_engine = measure_engine or MeasureEngine()
+        rows = []
+        for name, program in programs.items():
+            engine = LowerBoundEngine(
+                strategy=program.strategy, measure_engine=measure_engine
+            )
+            started = time.perf_counter()
+            result = engine.lower_bound(
+                program.applied, max_steps=depth, max_paths=max_paths
+            )
+            elapsed_ms = (time.perf_counter() - started) * 1000
+            rows.append(
+                [
+                    name,
+                    _known_probability(program),
+                    f"{float(result.probability):.10f}",
+                    str(depth),
+                    str(result.path_count),
+                    f"{elapsed_ms:.0f}",
+                ]
+            )
     table = markdown_table(
         ["term", "Pterm", "lower bound", "depth", "paths", "t (ms)"], rows
     )
     return "## Table 1 — lower bounds on the probability of termination\n\n" + table
 
 
-def table2_report(
-    programs: Optional[Mapping[str, Program]] = None,
-    measure_engine: Optional[MeasureEngine] = None,
-) -> str:
-    """Regenerate Table 2 (automatic AST verification with ``Papprox``)."""
-    programs = dict(programs) if programs is not None else table2_programs()
-    measure_engine = measure_engine or MeasureEngine()
+def table2_rows_from_results(results: Sequence[JobResult]) -> List[List[str]]:
+    """Table 2 rows from ``verify`` job results."""
     rows = []
-    for name, program in programs.items():
-        started = time.perf_counter()
-        result = verify_ast(program, engine=measure_engine)
-        elapsed_ms = (time.perf_counter() - started) * 1000
+    for result in results:
+        name = result.spec.program
+        if not result.ok:
+            rows.append([name, "no", f"error: {result.error}", "-"])
+            continue
+        payload = result.payload or {}
         rows.append(
             [
                 name,
-                "yes" if result.verified else "no",
-                repr(result.papprox) if result.papprox is not None else "-",
-                f"{elapsed_ms:.0f}",
+                "yes" if payload.get("verified") else "no",
+                payload.get("papprox") or "-",
+                f"{result.elapsed_ms:.0f}",
             ]
         )
+    return rows
+
+
+def table2_report(
+    programs: Optional[Mapping[str, Program]] = None,
+    measure_engine: Optional[MeasureEngine] = None,
+    jobs: int = 1,
+    cache: Optional[BatchCache] = None,
+    stats_sink: Optional[PerfStats] = None,
+) -> str:
+    """Regenerate Table 2 (automatic AST verification with ``Papprox``)."""
+    if programs is None:
+        report = run_batch(
+            table2_suite(), jobs=jobs, cache=cache, engine=measure_engine
+        )
+        if stats_sink is not None:
+            stats_sink.merge(report.stats)
+        rows = table2_rows_from_results(report.results)
+    else:
+        programs = dict(programs)
+        measure_engine = measure_engine or MeasureEngine()
+        rows = []
+        for name, program in programs.items():
+            started = time.perf_counter()
+            result = verify_ast(program, engine=measure_engine)
+            elapsed_ms = (time.perf_counter() - started) * 1000
+            rows.append(
+                [
+                    name,
+                    "yes" if result.verified else "no",
+                    repr(result.papprox) if result.papprox is not None else "-",
+                    f"{elapsed_ms:.0f}",
+                ]
+            )
     table = markdown_table(["term", "AST verified", "Papprox", "t (ms)"], rows)
     return "## Table 2 — automatic AST verification\n\n" + table
+
+
+def classification_rows_from_results(results: Sequence[JobResult]) -> List[List[str]]:
+    """Classification rows from ``classify`` job results."""
+    rows = []
+    for result in results:
+        name = result.spec.program
+        if not result.ok:
+            rows.append([name, f"error: {result.error}", "-"])
+            continue
+        payload = result.payload or {}
+        expected_calls = decode_number(payload.get("expected_calls_per_body"))
+        rows.append(
+            [
+                name,
+                payload.get("summary", "?"),
+                "-" if expected_calls is None else f"{float(expected_calls):.4f}",
+            ]
+        )
+    return rows
 
 
 def classification_report(
     programs: Optional[Mapping[str, Program]] = None,
     measure_engine: Optional[MeasureEngine] = None,
+    jobs: int = 1,
+    cache: Optional[BatchCache] = None,
+    stats_sink: Optional[PerfStats] = None,
 ) -> str:
     """The combined AST/PAST classification of the benchmark programs.
 
@@ -122,36 +235,62 @@ def classification_report(
     :mod:`repro.pastcheck`; nested or higher-order programs on which the
     counting analysis does not apply are reported as not verified.
     """
-    programs = dict(programs) if programs is not None else table2_programs()
-    measure_engine = measure_engine or MeasureEngine()
-    rows: list = []
-    for name, program in programs.items():
-        classification = classify_termination(program, engine=measure_engine)
-        expected_calls = classification.past.expected_calls_per_body
-        rows.append(
-            [
-                name,
-                classification.verdict.value,
-                "-" if expected_calls is None else f"{float(expected_calls):.4f}",
-            ]
+    if programs is None:
+        report = run_batch(
+            classify_suite(), jobs=jobs, cache=cache, engine=measure_engine
         )
+        if stats_sink is not None:
+            stats_sink.merge(report.stats)
+        rows = classification_rows_from_results(report.results)
+    else:
+        programs = dict(programs)
+        measure_engine = measure_engine or MeasureEngine()
+        rows = []
+        for name, program in programs.items():
+            classification = classify_termination(program, engine=measure_engine)
+            expected_calls = classification.past.expected_calls_per_body
+            rows.append(
+                [
+                    name,
+                    classification.verdict.value,
+                    "-" if expected_calls is None else f"{float(expected_calls):.4f}",
+                ]
+            )
     table = markdown_table(
         ["term", "verdict", "worst-case E[calls per body]"], rows
     )
     return "## AST / PAST classification\n\n" + table
 
 
-def full_report(depth: int = 50, measure_engine: Optional[MeasureEngine] = None) -> str:
+def full_report(
+    depth: int = 50,
+    measure_engine: Optional[MeasureEngine] = None,
+    jobs: int = 1,
+    cache: Optional[BatchCache] = None,
+    stats_sink: Optional[PerfStats] = None,
+) -> str:
     """Every report section, concatenated (used by ``python -m repro report``).
 
-    One shared measure engine backs all sections: Table 2 and the
-    classification verify the same programs, so the second pass is answered
-    from the cache.
+    One shared measure engine backs all sections when the batch runs inline
+    (``jobs <= 1``): Table 2 and the classification verify the same programs,
+    so the second pass is answered from the cache.  With ``jobs > 1`` the
+    sections fan out across worker processes, and with a ``cache`` the reuse
+    persists across runs instead.
     """
     measure_engine = measure_engine or MeasureEngine()
     sections: Dict[str, str] = {
-        "table1": table1_report(depth=depth, measure_engine=measure_engine),
-        "table2": table2_report(measure_engine=measure_engine),
-        "classification": classification_report(measure_engine=measure_engine),
+        "table1": table1_report(
+            depth=depth,
+            measure_engine=measure_engine,
+            jobs=jobs,
+            cache=cache,
+            stats_sink=stats_sink,
+        ),
+        "table2": table2_report(
+            measure_engine=measure_engine, jobs=jobs, cache=cache, stats_sink=stats_sink
+        ),
+        "classification": classification_report(
+            measure_engine=measure_engine, jobs=jobs, cache=cache, stats_sink=stats_sink
+        ),
     }
     return "\n\n".join(sections.values())

@@ -19,7 +19,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Dict, FrozenSet, Iterator, Mapping, Tuple, Union
+from typing import Dict, FrozenSet, Iterator, List, Mapping, Optional, Tuple, Union
 
 Number = Union[Fraction, float, int]
 
@@ -193,31 +193,40 @@ def term_size(term: Term) -> int:
 
 
 def free_variables(term: Term) -> FrozenSet[str]:
-    """The set of free variables of ``term``."""
-    if isinstance(term, Var):
-        return frozenset({term.name})
-    if isinstance(term, (Numeral, Sample)) or is_extension_leaf(term):
-        return frozenset()
-    if isinstance(term, Lam):
-        return free_variables(term.body) - {term.var}
-    if isinstance(term, Fix):
-        return free_variables(term.body) - {term.fvar, term.var}
-    if isinstance(term, App):
-        return free_variables(term.fn) | free_variables(term.arg)
-    if isinstance(term, If):
-        return (
-            free_variables(term.cond)
-            | free_variables(term.then)
-            | free_variables(term.orelse)
-        )
-    if isinstance(term, Prim):
-        result: FrozenSet[str] = frozenset()
-        for arg in term.args:
-            result = result | free_variables(arg)
-        return result
-    if isinstance(term, Score):
-        return free_variables(term.arg)
-    raise TypeError(f"unknown term: {term!r}")
+    """The set of free variables of ``term``.
+
+    Walks with an explicit stack of (subterm, bound-variables) pairs: deep
+    recursion bodies (e.g. the ``nested`` program at large rank) are far
+    deeper than Python's recursion limit allows a recursive walk to be.
+    """
+    collected = set()
+    stack = [(term, frozenset())]
+    while stack:
+        term, bound = stack.pop()
+        if isinstance(term, Var):
+            if term.name not in bound:
+                collected.add(term.name)
+        elif isinstance(term, (Numeral, Sample)) or is_extension_leaf(term):
+            pass
+        elif isinstance(term, Lam):
+            stack.append((term.body, bound | {term.var}))
+        elif isinstance(term, Fix):
+            stack.append((term.body, bound | {term.fvar, term.var}))
+        elif isinstance(term, App):
+            stack.append((term.fn, bound))
+            stack.append((term.arg, bound))
+        elif isinstance(term, If):
+            stack.append((term.cond, bound))
+            stack.append((term.then, bound))
+            stack.append((term.orelse, bound))
+        elif isinstance(term, Prim):
+            for arg in term.args:
+                stack.append((arg, bound))
+        elif isinstance(term, Score):
+            stack.append((term.arg, bound))
+        else:
+            raise TypeError(f"unknown term: {term!r}")
+    return frozenset(collected)
 
 
 def is_closed(term: Term) -> bool:
@@ -253,49 +262,26 @@ def substitute(term: Term, replacements: Mapping[str, Term]) -> Term:
     return _substitute(term, dict(replacements), free_of_replacements)
 
 
-def _substitute(
-    term: Term, replacements: Dict[str, Term], avoid: FrozenSet[str]
-) -> Term:
-    if isinstance(term, Var):
-        return replacements.get(term.name, term)
-    if isinstance(term, (Numeral, Sample)) or is_extension_leaf(term):
-        return term
-    if isinstance(term, Lam):
-        body, var = _substitute_under_binders(term.body, (term.var,), replacements, avoid)
-        return Lam(var[0], body)
-    if isinstance(term, Fix):
-        body, bound = _substitute_under_binders(
-            term.body, (term.fvar, term.var), replacements, avoid
-        )
-        return Fix(bound[0], bound[1], body)
-    if isinstance(term, App):
-        return App(
-            _substitute(term.fn, replacements, avoid),
-            _substitute(term.arg, replacements, avoid),
-        )
-    if isinstance(term, If):
-        return If(
-            _substitute(term.cond, replacements, avoid),
-            _substitute(term.then, replacements, avoid),
-            _substitute(term.orelse, replacements, avoid),
-        )
-    if isinstance(term, Prim):
-        return Prim(term.op, tuple(_substitute(a, replacements, avoid) for a in term.args))
-    if isinstance(term, Score):
-        return Score(_substitute(term.arg, replacements, avoid))
-    raise TypeError(f"unknown term: {term!r}")
-
-
-def _substitute_under_binders(
+def _enter_binders(
     body: Term,
     binders: Tuple[str, ...],
     replacements: Dict[str, Term],
     avoid: FrozenSet[str],
-) -> Tuple[Term, Tuple[str, ...]]:
-    """Substitute inside a binder scope, renaming binders to avoid capture."""
+) -> Optional[Tuple[Tuple[str, ...], Dict[str, Term], FrozenSet[str]]]:
+    """Prepare the substitution that continues below a binder scope.
+
+    Returns ``None`` when every replacement is shadowed (the scope is left
+    untouched); otherwise the renamed binders, the combined replacement
+    mapping, and the extended avoid set.  Binder renaming and the narrowed
+    substitution are *one* simultaneous mapping: simultaneous substitution
+    never re-traverses an inserted term, renamed binders insert only the
+    fresh variable (which no replacement key matches), and occurrences of the
+    old binder name free in replacement values stay free -- exactly the
+    composition the capture-avoiding two-pass scheme computes.
+    """
     narrowed = {name: value for name, value in replacements.items() if name not in binders}
     if not narrowed:
-        return body, binders
+        return None
     new_binders = []
     renaming: Dict[str, Term] = {}
     taken = avoid | free_variables(body) | set(binders)
@@ -307,9 +293,94 @@ def _substitute_under_binders(
             new_binders.append(new_name)
         else:
             new_binders.append(binder)
-    if renaming:
-        body = _substitute(body, renaming, frozenset(renaming))
-    return _substitute(body, narrowed, avoid), tuple(new_binders)
+    combined = dict(narrowed)
+    combined.update(renaming)
+    combined_avoid = avoid | frozenset(
+        variable.name for variable in renaming.values()
+    )
+    return tuple(new_binders), combined, combined_avoid
+
+
+def _substitute(
+    term: Term, replacements: Dict[str, Term], avoid: FrozenSet[str]
+) -> Term:
+    """Iterative capture-avoiding substitution.
+
+    A visit/assemble work stack replaces structural recursion so that very
+    deep terms (the ``nested`` program at large rank produces bodies tens of
+    thousands of nodes deep) cannot overflow the interpreter stack.  Visit
+    items rebuild leaves directly; inner nodes push an assemble closure that
+    pops its finished children (children are visited in LIFO order, so the
+    *last* child pushed finishes first).
+    """
+    results: List[Term] = []
+    work: List[Tuple] = [("visit", term, replacements, avoid)]
+    while work:
+        item = work.pop()
+        if item[0] == "assemble":
+            results.append(item[1](results))
+            continue
+        _, term, replacements, avoid = item
+        if isinstance(term, Var):
+            results.append(replacements.get(term.name, term))
+        elif isinstance(term, (Numeral, Sample)) or is_extension_leaf(term):
+            results.append(term)
+        elif isinstance(term, Lam):
+            entered = _enter_binders(term.body, (term.var,), replacements, avoid)
+            if entered is None:
+                results.append(term)
+                continue
+            (var,), combined, deeper_avoid = entered
+            work.append(("assemble", lambda done, var=var: Lam(var, done.pop())))
+            work.append(("visit", term.body, combined, deeper_avoid))
+        elif isinstance(term, Fix):
+            entered = _enter_binders(
+                term.body, (term.fvar, term.var), replacements, avoid
+            )
+            if entered is None:
+                results.append(term)
+                continue
+            (fvar, var), combined, deeper_avoid = entered
+            work.append(
+                ("assemble", lambda done, fvar=fvar, var=var: Fix(fvar, var, done.pop()))
+            )
+            work.append(("visit", term.body, combined, deeper_avoid))
+        elif isinstance(term, App):
+            def assemble_app(done):
+                fn = done.pop()
+                arg = done.pop()
+                return App(fn, arg)
+
+            work.append(("assemble", assemble_app))
+            work.append(("visit", term.fn, replacements, avoid))
+            work.append(("visit", term.arg, replacements, avoid))
+        elif isinstance(term, If):
+            def assemble_if(done):
+                cond = done.pop()
+                then = done.pop()
+                orelse = done.pop()
+                return If(cond, then, orelse)
+
+            work.append(("assemble", assemble_if))
+            work.append(("visit", term.cond, replacements, avoid))
+            work.append(("visit", term.then, replacements, avoid))
+            work.append(("visit", term.orelse, replacements, avoid))
+        elif isinstance(term, Prim):
+            def assemble_prim(done, op=term.op, count=len(term.args)):
+                args = [done.pop() for _ in range(count)]  # newest-first
+                args.reverse()
+                return Prim(op, tuple(args))
+
+            work.append(("assemble", assemble_prim))
+            for arg in reversed(term.args):
+                work.append(("visit", arg, replacements, avoid))
+        elif isinstance(term, Score):
+            work.append(("assemble", lambda done: Score(done.pop())))
+            work.append(("visit", term.arg, replacements, avoid))
+        else:
+            raise TypeError(f"unknown term: {term!r}")
+    (substituted,) = results
+    return substituted
 
 
 def alpha_equivalent(left: Term, right: Term) -> bool:

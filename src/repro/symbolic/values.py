@@ -278,17 +278,30 @@ class PrimVal(SymVal):
         object.__setattr__(self, "op", op)
         object.__setattr__(self, "args", tuple(args))
 
+    # The structural queries below walk the value tree with explicit stacks:
+    # symbolic execution of deeply recursive bodies (e.g. unrolling a nested
+    # fixpoint up to the step budget) builds values thousands of nodes deep,
+    # and a recursive walk would overflow the interpreter stack before the
+    # execution-tree builder can report its clean out-of-budget error.
+
+    def _walk(self):
+        stack: list = [self]
+        while stack:
+            value = stack.pop()
+            yield value
+            if isinstance(value, PrimVal):
+                stack.extend(value.args)
+
     def variables(self) -> FrozenSet[int]:
-        result: FrozenSet[int] = frozenset()
-        for arg in self.args:
-            result = result | arg.variables()
-        return result
+        return frozenset(
+            value.index for value in self._walk() if isinstance(value, SampleVar)
+        )
 
     def contains_argument(self) -> bool:
-        return any(arg.contains_argument() for arg in self.args)
+        return any(isinstance(value, ArgVal) for value in self._walk())
 
     def contains_star(self) -> bool:
-        return any(arg.contains_star() for arg in self.args)
+        return any(isinstance(value, StarVal) for value in self._walk())
 
     def evaluate(self, assignment, registry=None, argument=None):
         registry = registry or default_registry()
@@ -329,10 +342,41 @@ class PrimVal(SymVal):
         return None
 
     def substitute_argument(self, value: SymVal) -> SymVal:
-        return PrimVal(self.op, tuple(arg.substitute_argument(value) for arg in self.args))
+        results: list = []
+        work: list = [("visit", self)]
+        while work:
+            tag, item = work.pop()
+            if tag == "assemble":
+                count = len(item.args)
+                arguments = [results.pop() for _ in range(count)]  # newest-first
+                arguments.reverse()
+                results.append(PrimVal(item.op, tuple(arguments)))
+            elif isinstance(item, PrimVal):
+                work.append(("assemble", item))
+                for arg in reversed(item.args):
+                    work.append(("visit", arg))
+            else:
+                results.append(item.substitute_argument(value))
+        (substituted,) = results
+        return substituted
 
     def __repr__(self) -> str:
-        return f"{self.op}({', '.join(map(repr, self.args))})"
+        pieces: list = []
+        stack: list = [self]
+        while stack:
+            item = stack.pop()
+            if isinstance(item, str):
+                pieces.append(item)
+            elif isinstance(item, PrimVal):
+                pieces.append(f"{item.op}(")
+                stack.append(")")
+                for position, arg in enumerate(reversed(item.args)):
+                    stack.append(arg)
+                    if position < len(item.args) - 1:
+                        stack.append(", ")
+            else:
+                pieces.append(repr(item))
+        return "".join(pieces)
 
 
 def const(value: Number) -> ConstVal:

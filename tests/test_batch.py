@@ -1,0 +1,317 @@
+"""Tests for the batch subsystem: jobs, runner, persistent cache, CLI."""
+
+import json
+import os
+
+import pytest
+
+from repro.batch import (
+    BatchCache,
+    JobSpec,
+    read_result_keys,
+    run_batch,
+    run_job,
+    suite,
+    table1_suite,
+    table2_suite,
+    write_results_jsonl,
+)
+from repro.batch.cache import CACHE_VERSION
+from repro.batch.jobs import decode_number, encode_number
+from repro.cli import main
+from repro.geometry.engine import MeasureEngine
+from repro.lowerbound.engine import LowerBoundEngine
+from repro.programs import resolve_program
+
+
+def small_suite():
+    """A fast batch covering two analysis kinds."""
+    return table1_suite(depth=15) + table2_suite()
+
+
+def jsonl_lines(results):
+    return [result.to_json_line() for result in results]
+
+
+class TestJobSpec:
+    def test_key_is_stable_and_parameter_sensitive(self):
+        spec = JobSpec(program="geo(1/2)", analysis="lower-bound", params={"depth": 10})
+        assert spec.key() == spec.key()
+        deeper = JobSpec(program="geo(1/2)", analysis="lower-bound", params={"depth": 11})
+        assert spec.key() != deeper.key()
+
+    def test_key_depends_on_the_resolved_program_not_the_reference(self):
+        by_name = JobSpec(program="geo(1/2)", analysis="verify")
+        other = JobSpec(program="geo(1/5)", analysis="verify")
+        assert by_name.key() != other.key()
+
+    def test_cost_hint_does_not_change_the_key(self):
+        cheap = JobSpec(program="geo(1/2)", analysis="verify", cost_hint=1.0)
+        dear = JobSpec(program="geo(1/2)", analysis="verify", cost_hint=99.0)
+        assert cheap.key() == dear.key()
+
+    def test_unknown_analysis_rejected(self):
+        with pytest.raises(ValueError):
+            JobSpec(program="geo(1/2)", analysis="frobnicate")
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ValueError):
+            JobSpec(program="geo(1/2)", analysis="verify", params={"depth": 3})
+
+    def test_seed_is_part_of_the_estimate_key(self):
+        base = JobSpec(program="geo(1/2)", analysis="estimate", params={"seed": 0})
+        reseeded = JobSpec(program="geo(1/2)", analysis="estimate", params={"seed": 1})
+        assert base.key() != reseeded.key()
+
+    def test_number_codec_round_trips_exactly(self):
+        from fractions import Fraction
+
+        for value in (Fraction(3, 7), Fraction(-1, 2), 0.1, 1e-300, Fraction(5)):
+            assert decode_number(encode_number(value)) == value
+        assert encode_number(None) is None and decode_number(None) is None
+
+
+class TestRunJob:
+    def test_lower_bound_payload_matches_direct_engine(self):
+        program = resolve_program("geo(1/2)")
+        direct = LowerBoundEngine(strategy=program.strategy).lower_bound(
+            program.applied, max_steps=15, max_paths=100_000
+        )
+        result = run_job(
+            JobSpec(program="geo(1/2)", analysis="lower-bound", params={"depth": 15})
+        )
+        assert result.ok
+        assert decode_number(result.payload["probability"]) == direct.probability
+        assert result.payload["path_count"] == direct.path_count
+
+    def test_crashing_job_yields_structured_error(self):
+        result = run_job(JobSpec(program="mu phi x. (((", analysis="verify"))
+        assert result.status == "error"
+        assert result.error
+        assert result.payload is None
+
+
+class TestRunBatch:
+    def test_same_batch_twice_is_bit_identical_with_high_hit_rate(self, tmp_path):
+        cache = BatchCache(tmp_path / "cache")
+        specs = small_suite()
+        first = run_batch(specs, jobs=1, cache=cache)
+        second = run_batch(specs, jobs=1, cache=cache)
+        assert jsonl_lines(first.results) == jsonl_lines(second.results)
+        assert all(result.ok for result in second.results)
+        assert second.cache_hits / len(specs) >= 0.9
+        out_a, out_b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        write_results_jsonl(out_a, first.results)
+        write_results_jsonl(out_b, second.results)
+        assert out_a.read_bytes() == out_b.read_bytes()
+
+    def test_parallel_results_equal_serial_results(self, tmp_path):
+        specs = table2_suite()
+        serial = run_batch(specs, jobs=1)
+        parallel = run_batch(specs, jobs=2)
+        assert jsonl_lines(serial.results) == jsonl_lines(parallel.results)
+
+    def test_results_preserve_submission_order(self):
+        specs = list(reversed(table2_suite()))
+        report = run_batch(specs, jobs=1)
+        assert [r.spec.program for r in report.results] == [s.program for s in specs]
+
+    def test_error_jobs_do_not_kill_the_batch_and_are_not_cached(self, tmp_path):
+        cache = BatchCache(tmp_path)
+        specs = [
+            JobSpec(program="geo(1/2)", analysis="verify"),
+            JobSpec(program="this is ((( not a program", analysis="verify"),
+        ]
+        first = run_batch(specs, jobs=1, cache=cache)
+        assert first.results[0].ok
+        assert first.results[1].status == "error"
+        second = run_batch(specs, jobs=1, cache=cache)
+        assert second.cache_hits == 1  # the error was recomputed, not replayed
+        assert jsonl_lines(first.results) == jsonl_lines(second.results)
+
+    def test_sibling_workers_reuse_the_persistent_measure_cache(self, tmp_path):
+        cache = BatchCache(tmp_path)
+        run_batch(table2_suite(), jobs=1, cache=cache)
+        from repro.batch.suites import classify_suite
+
+        report = run_batch(classify_suite(), jobs=1, cache=cache)
+        assert report.stats.persistent_hits > 0
+
+    def test_resume_helpers_round_trip(self, tmp_path):
+        specs = table2_suite()
+        report = run_batch(specs, jobs=1)
+        path = tmp_path / "results.jsonl"
+        write_results_jsonl(path, report.results)
+        assert read_result_keys(path) == {result.key for result in report.results}
+
+    def test_resume_retries_recorded_failures(self, tmp_path):
+        specs = [
+            JobSpec(program="geo(1/2)", analysis="verify"),
+            JobSpec(program="((( broken", analysis="verify"),
+        ]
+        report = run_batch(specs, jobs=1)
+        path = tmp_path / "results.jsonl"
+        write_results_jsonl(path, report.results)
+        # only the successful job counts as done; the error must be retried
+        assert read_result_keys(path) == {report.results[0].key}
+
+    def test_concurrent_measure_merges_do_not_lose_entries(self, tmp_path):
+        cache = BatchCache(tmp_path)
+        engine = MeasureEngine()
+        cache.merge_measures(engine, {"key-a": [["F", "1/2"], True, False, "interval"]})
+        cache.merge_measures(engine, {"key-b": [["F", "1/3"], True, False, "interval"]})
+        entries = cache.load_measures(engine)
+        assert set(entries) == {"key-a", "key-b"}
+
+
+class TestBatchCacheRobustness:
+    def test_corrupted_job_file_is_discarded_gracefully(self, tmp_path):
+        cache = BatchCache(tmp_path)
+        spec = JobSpec(program="geo(1/2)", analysis="verify")
+        first = run_batch([spec], jobs=1, cache=cache)
+        key = first.results[0].key
+        (cache.jobs_directory / f"{key}.json").write_text("{ truncated garbage")
+        assert cache.load_job(key) is None
+        second = run_batch([spec], jobs=1, cache=cache)
+        assert second.results[0].ok
+        assert jsonl_lines(first.results) == jsonl_lines(second.results)
+
+    def test_version_mismatched_job_file_is_discarded(self, tmp_path):
+        cache = BatchCache(tmp_path)
+        spec = JobSpec(program="geo(1/2)", analysis="verify")
+        result = run_batch([spec], jobs=1, cache=cache).results[0]
+        path = cache.jobs_directory / f"{result.key}.json"
+        document = json.loads(path.read_text())
+        document["version"] = CACHE_VERSION + 1
+        path.write_text(json.dumps(document))
+        assert cache.load_job(result.key) is None
+
+    def test_corrupted_measures_file_reads_as_empty(self, tmp_path):
+        cache = BatchCache(tmp_path)
+        run_batch([JobSpec(program="geo(1/2)", analysis="verify")], jobs=1, cache=cache)
+        cache.measures_path.write_text("\x00\x01 not json")
+        assert cache.load_measures(MeasureEngine()) == {}
+        # and a batch over the damaged cache still succeeds
+        report = run_batch(
+            [JobSpec(program="geo(1/5)", analysis="verify")], jobs=1, cache=cache
+        )
+        assert report.results[0].ok
+
+    def test_fingerprint_mismatched_measures_are_ignored(self, tmp_path):
+        cache = BatchCache(tmp_path)
+        engine = MeasureEngine()
+        run_batch([JobSpec(program="geo(1/2)", analysis="verify")], jobs=1, cache=cache)
+        document = json.loads(cache.measures_path.read_text())
+        document["fingerprint"] = "someone-else's-primitives"
+        cache.measures_path.write_text(json.dumps(document))
+        assert cache.load_measures(engine) == {}
+
+
+class TestMeasureEnginePersistence:
+    def test_export_import_round_trip_hits_and_is_bit_identical(self):
+        from repro.astcheck import verify_ast
+
+        program = resolve_program("ex1.1-(2)(1/2)")
+        cold = MeasureEngine()
+        cold_result = verify_ast(program, engine=cold)
+        entries = cold.export_cache_entries()
+        assert entries
+
+        warm = MeasureEngine()
+        assert warm.import_cache_entries(entries) == len(entries)
+        warm_result = verify_ast(program, engine=warm)
+        assert warm.stats.persistent_hits > 0
+        assert warm.stats.measure_calls < cold.stats.measure_calls
+        assert repr(warm_result.papprox) == repr(cold_result.papprox)
+        assert warm_result.verified == cold_result.verified
+
+    def test_malformed_entries_are_skipped_on_import(self):
+        engine = MeasureEngine()
+        count = engine.import_cache_entries(
+            {"good-looking-key": ["not", "a", "valid", "entry", "shape"], "short": [1]}
+        )
+        assert count == 0
+
+
+class TestBatchCLI:
+    def test_batch_suite_writes_deterministic_jsonl(self, tmp_path, capsys):
+        out_one = tmp_path / "one.jsonl"
+        out_two = tmp_path / "two.jsonl"
+        cache_dir = str(tmp_path / "cache")
+        code = main(
+            ["batch", "--suite", "table2", "--jobs", "1",
+             "--cache-dir", cache_dir, "--output", str(out_one)]
+        )
+        assert code == 0
+        first_summary = capsys.readouterr().out
+        assert "job cache        : 0 hits, 5 misses" in first_summary
+        code = main(
+            ["batch", "--suite", "table2", "--jobs", "1",
+             "--cache-dir", cache_dir, "--output", str(out_two)]
+        )
+        assert code == 0
+        second_summary = capsys.readouterr().out
+        assert "job cache        : 5 hits, 0 misses" in second_summary
+        assert out_one.read_bytes() == out_two.read_bytes()
+
+    def test_batch_without_suite_or_job_file_errors(self, capsys):
+        assert main(["batch"]) == 2
+
+    def test_batch_job_file(self, tmp_path, capsys):
+        job_file = tmp_path / "jobs.json"
+        job_file.write_text(
+            json.dumps(
+                [
+                    {"program": "geo(1/2)", "analysis": "verify"},
+                    {"program": "geo(1/2)", "analysis": "estimate",
+                     "params": {"runs": 50, "seed": 3}},
+                ]
+            )
+        )
+        code = main(["batch", str(job_file), "--jobs", "1"])
+        assert code == 0
+        lines = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines()
+            if line.startswith("{")
+        ]
+        assert len(lines) == 2
+        assert lines[0]["result"]["verified"] is True
+        assert lines[1]["result"]["runs"] == 50
+
+    def test_batch_resume_skips_recorded_jobs(self, tmp_path, capsys):
+        output = tmp_path / "results.jsonl"
+        code = main(
+            ["batch", "--suite", "table2", "--jobs", "1", "--output", str(output),
+             "--resume"]
+        )
+        assert code == 0
+        baseline = output.read_bytes()
+        capsys.readouterr()
+        code = main(
+            ["batch", "--suite", "table2", "--jobs", "1", "--output", str(output),
+             "--resume"]
+        )
+        assert code == 0
+        summary = capsys.readouterr().out
+        assert "jobs             : 0 total" in summary
+        assert output.read_bytes() == baseline
+
+    def test_table1_cli_accepts_jobs_and_cache_dir(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["table1", "--depth", "10", "--cache-dir", cache_dir]) == 0
+        first = capsys.readouterr().out
+        assert main(["table1", "--depth", "10", "--cache-dir", cache_dir]) == 0
+        second = capsys.readouterr().out
+        # identical rows except the timing column
+        strip = lambda text: [line.rsplit(None, 1)[0] for line in text.splitlines()]
+        assert strip(first) == strip(second)
+
+    def test_estimate_seed_is_reproducible(self, capsys):
+        assert main(["estimate", "--program", "geo(1/2)", "--runs", "100",
+                     "--seed", "11"]) == 0
+        first = capsys.readouterr().out
+        assert main(["estimate", "--program", "geo(1/2)", "--runs", "100",
+                     "--seed", "11"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
