@@ -1,0 +1,314 @@
+"""Diff freshly emitted ``BENCH_*.json`` files against committed baselines.
+
+The perf benchmarks (``benchmarks/test_perf_measure_cache.py`` and
+``benchmarks/test_perf_batch.py``) write ``BENCH_papprox.json`` and
+``BENCH_batch.json`` at the repository root.  This script compares them with
+the baselines committed under ``benchmarks/baselines/`` and fails (exit 1)
+on a perf-trajectory regression, so CI tracks the trajectory instead of
+merely uploading artifacts.
+
+Gated metrics come in two kinds:
+
+* **counter** -- deterministic work counters (measure calls, base block
+  computations, cache hits) and the speedup ratios derived from them.  Any
+  worsening at all fails: these are machine-independent, so there is no
+  noise to tolerate.
+* **ratio** -- *within-run* timing ratios (e.g. warm/cold wall-clock of the
+  batch suite, cached/baseline milliseconds of the papprox workload).  Both
+  sides of such a ratio come from the same process on the same machine, so
+  they transfer across runners; a slowdown beyond the tolerance
+  (default 25%) fails.
+
+Absolute wall-clock seconds are reported as **info** rows by default --
+comparing them across different runner hardware would gate on noise.  Pass
+``--gate-wallclock`` (useful when baseline and current run on the same
+machine) to gate them at the same tolerance.
+
+Usage::
+
+    python benchmarks/compare_bench.py              # compare, exit 1 on fail
+    python benchmarks/compare_bench.py --update     # bless current numbers
+    python benchmarks/compare_bench.py --gate-wallclock --tolerance 0.25
+
+The markdown trajectory table goes to stdout and, when the
+``GITHUB_STEP_SUMMARY`` environment variable is set (as it is in GitHub
+Actions), is appended to the job summary as well.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional
+
+BENCH_FILES = ("BENCH_papprox.json", "BENCH_batch.json")
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE_DIR = Path(__file__).resolve().parent / "baselines"
+
+LOWER = "lower-is-better"
+HIGHER = "higher-is-better"
+
+COUNTER = "counter"
+RATIO = "ratio"
+WALLCLOCK = "wallclock"
+INFO = "info"
+
+
+@dataclass
+class Metric:
+    """One gated (or informational) scalar extracted from a bench file."""
+
+    name: str
+    baseline: Optional[float]
+    current: Optional[float]
+    direction: str
+    kind: str
+
+    def verdict(self, tolerance: float, gate_wallclock: bool) -> str:
+        """``ok`` / ``FAIL`` / ``info`` / ``missing`` for this metric."""
+        if self.baseline is None or self.current is None:
+            return "missing"
+        kind = self.kind
+        if kind == WALLCLOCK:
+            kind = RATIO if gate_wallclock else INFO
+        if kind == INFO:
+            return "info"
+        allowance = 0.0 if kind == COUNTER else tolerance
+        if self.direction == LOWER:
+            limit = self.baseline * (1.0 + allowance)
+            return "ok" if self.current <= limit + 1e-12 else "FAIL"
+        limit = self.baseline * (1.0 - allowance)
+        return "ok" if self.current >= limit - 1e-12 else "FAIL"
+
+    def delta(self) -> str:
+        if self.baseline is None or self.current is None:
+            return "-"
+        if self.baseline == 0:
+            return "n/a" if self.current else "+0%"
+        change = (self.current - self.baseline) / abs(self.baseline) * 100.0
+        return f"{change:+.1f}%"
+
+
+def _number(value) -> Optional[float]:
+    return float(value) if isinstance(value, (int, float)) else None
+
+
+def _load(path: Path) -> Optional[dict]:
+    try:
+        document = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    return document if isinstance(document, dict) else None
+
+
+def _papprox_metrics(baseline: dict, current: dict) -> List[Metric]:
+    metrics = [
+        Metric(
+            "papprox: aggregate block speedup",
+            _number(baseline.get("aggregate_block_speedup")),
+            _number(current.get("aggregate_block_speedup")),
+            HIGHER,
+            COUNTER,
+        ),
+        Metric(
+            "papprox: base block computations (total)",
+            _number(baseline.get("block_computations_total")),
+            _number(current.get("block_computations_total")),
+            LOWER,
+            COUNTER,
+        ),
+    ]
+    baseline_programs = baseline.get("programs") or {}
+    current_programs = current.get("programs") or {}
+    for name in sorted(baseline_programs):
+        old_row = baseline_programs.get(name) or {}
+        new_row = current_programs.get(name)
+        if new_row is None:
+            # A program dropping out of the benchmark is a coverage
+            # regression, surfaced through a missing-counter failure.
+            metrics.append(
+                Metric(f"papprox[{name}]: cached measure calls",
+                       _number(old_row.get("cached_measure_calls")), None,
+                       LOWER, COUNTER)
+            )
+            continue
+        for field, direction in (
+            ("cached_measure_calls", LOWER),
+            ("block_computations", LOWER),
+            ("measure_call_speedup", HIGHER),
+        ):
+            metrics.append(
+                Metric(
+                    f"papprox[{name}]: {field.replace('_', ' ')}",
+                    _number(old_row.get(field)),
+                    _number(new_row.get(field)),
+                    direction,
+                    COUNTER,
+                )
+            )
+    # Within-run timing ratio: cached vs baseline milliseconds, totalled over
+    # the common programs (per-program timings are sub-millisecond noise).
+    common = [name for name in baseline_programs if name in current_programs]
+
+    def _totals(programs, names):
+        baseline_ms = sum(_number(programs[n].get("baseline_ms")) or 0.0 for n in names)
+        cached_ms = sum(_number(programs[n].get("cached_ms")) or 0.0 for n in names)
+        return (cached_ms / baseline_ms) if baseline_ms else None
+
+    metrics.append(
+        Metric(
+            "papprox: cached/baseline wall-clock ratio",
+            _totals(baseline_programs, common),
+            _totals(current_programs, common),
+            LOWER,
+            RATIO,
+        )
+    )
+    return metrics
+
+
+def _batch_metrics(baseline: dict, current: dict) -> List[Metric]:
+    return [
+        Metric("batch: jobs in suite", _number(baseline.get("job_count")),
+               _number(current.get("job_count")), HIGHER, COUNTER),
+        Metric("batch: warm job-cache hits", _number(baseline.get("warm_job_cache_hits")),
+               _number(current.get("warm_job_cache_hits")), HIGHER, COUNTER),
+        Metric("batch: warm/cold wall-clock ratio", _number(baseline.get("warm_ratio")),
+               _number(current.get("warm_ratio")), LOWER, RATIO),
+        Metric("batch: cold seconds", _number(baseline.get("cold_seconds")),
+               _number(current.get("cold_seconds")), LOWER, WALLCLOCK),
+        Metric("batch: serial seconds", _number(baseline.get("serial_seconds")),
+               _number(current.get("serial_seconds")), LOWER, WALLCLOCK),
+        Metric("batch: parallel speedup", _number(baseline.get("parallel_speedup")),
+               _number(current.get("parallel_speedup")), HIGHER, INFO),
+    ]
+
+
+METRIC_BUILDERS = {
+    "BENCH_papprox.json": _papprox_metrics,
+    "BENCH_batch.json": _batch_metrics,
+}
+
+
+def collect_metrics(baseline_dir: Path, current_dir: Path) -> List[Metric]:
+    metrics: List[Metric] = []
+    for filename in BENCH_FILES:
+        baseline = _load(baseline_dir / filename)
+        current = _load(current_dir / filename)
+        if baseline is None or current is None:
+            side = "baseline" if baseline is None else "current"
+            metrics.append(Metric(f"{filename} ({side} file)", None, None, LOWER, COUNTER))
+            continue
+        metrics.extend(METRIC_BUILDERS[filename](baseline, current))
+    return metrics
+
+
+def _format(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value == int(value) and abs(value) < 1e9:
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def render_table(metrics: List[Metric], tolerance: float, gate_wallclock: bool) -> str:
+    lines = [
+        "## Perf trajectory",
+        "",
+        "| metric | baseline | current | delta | status |",
+        "| --- | ---: | ---: | ---: | :---: |",
+    ]
+    for metric in metrics:
+        status = metric.verdict(tolerance, gate_wallclock)
+        marker = {"ok": "✅ ok", "FAIL": "❌ FAIL", "info": "ℹ️ info",
+                  "missing": "❌ missing"}[status]
+        lines.append(
+            f"| {metric.name} | {_format(metric.baseline)} | "
+            f"{_format(metric.current)} | {metric.delta()} | {marker} |"
+        )
+    return "\n".join(lines)
+
+
+def update_baselines(baseline_dir: Path, current_dir: Path) -> int:
+    baseline_dir.mkdir(parents=True, exist_ok=True)
+    missing = []
+    for filename in BENCH_FILES:
+        source = current_dir / filename
+        if not source.is_file():
+            missing.append(filename)
+            continue
+        shutil.copyfile(source, baseline_dir / filename)
+        print(f"blessed {source} -> {baseline_dir / filename}")
+    if missing:
+        print(
+            "missing current bench files (run the perf benchmarks first): "
+            + ", ".join(missing),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline-dir", type=Path, default=DEFAULT_BASELINE_DIR,
+        help="directory of committed baseline BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--current-dir", type=Path, default=REPO_ROOT,
+        help="directory of freshly emitted BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed fractional worsening of ratio metrics (default 0.25)",
+    )
+    parser.add_argument(
+        "--gate-wallclock", action="store_true",
+        help="also gate absolute wall-clock seconds (same-machine baselines only)",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="copy the current BENCH_*.json files over the baselines and exit",
+    )
+    arguments = parser.parse_args(argv)
+
+    if arguments.update:
+        return update_baselines(arguments.baseline_dir, arguments.current_dir)
+
+    metrics = collect_metrics(arguments.baseline_dir, arguments.current_dir)
+    table = render_table(metrics, arguments.tolerance, arguments.gate_wallclock)
+    print(table)
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        try:
+            with open(summary_path, "a") as stream:
+                stream.write(table + "\n")
+        except OSError as error:
+            print(f"could not append to GITHUB_STEP_SUMMARY: {error}", file=sys.stderr)
+
+    failures = [
+        metric.name
+        for metric in metrics
+        if metric.verdict(arguments.tolerance, arguments.gate_wallclock)
+        in ("FAIL", "missing")
+    ]
+    if failures:
+        print(
+            f"\nperf trajectory REGRESSED on {len(failures)} metric(s): "
+            + "; ".join(failures),
+            file=sys.stderr,
+        )
+        return 1
+    print("\nperf trajectory OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

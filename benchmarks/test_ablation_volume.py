@@ -7,7 +7,6 @@ reproduction on the same multivariate constraint set (the simplex
 reports accuracy against the closed form alongside the timings.
 """
 
-from fractions import Fraction
 
 import pytest
 

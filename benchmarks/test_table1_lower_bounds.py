@@ -8,7 +8,6 @@ paper's); the qualitative shape -- which programs reach high bounds at a given
 depth and which saturate below 1 -- is what EXPERIMENTS.md compares.
 """
 
-from fractions import Fraction
 
 import pytest
 

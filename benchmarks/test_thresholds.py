@@ -12,7 +12,6 @@ checks that the verdict flips exactly where the paper says it does.
 import math
 from fractions import Fraction
 
-import pytest
 
 from repro.astcheck import verify_ast
 from repro.counting import verify_ast_by_corollary

@@ -21,12 +21,10 @@ so it terminates whenever one evaluation of the body terminates.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from fractions import Fraction
-from typing import Iterator, List, Optional, Tuple, Union
+from typing import Iterator, List, Optional, Tuple
 
 from repro.spcf.primitives import PrimitiveRegistry, default_registry
 from repro.spcf.syntax import Fix, Term, substitute
-from repro.symbolic.constraints import Constraint, ConstraintSet, Relation
 from repro.symbolic.execute import (
     RecMarker,
     StepBranch,

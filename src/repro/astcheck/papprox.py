@@ -142,11 +142,11 @@ def cumulative_vector(
             elif action == _ADD:
                 right = results.pop()
                 left = results.pop()
-                results.append([l + r for l, r in zip(left, right)])
+                results.append([x + y for x, y in zip(left, right)])
             else:  # _MIN
                 right = results.pop()
                 left = results.pop()
-                results.append([min(l, r) for l, r in zip(left, right)])
+                results.append([min(x, y) for x, y in zip(left, right)])
             continue
         # Chase score chains: they only extend the constraint prefix.
         while isinstance(node, ExecScore):

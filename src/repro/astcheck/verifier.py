@@ -29,7 +29,7 @@ from repro.counting.rank import recursive_rank_bound
 from repro.geometry.engine import MeasureEngine
 from repro.geometry.measure import MeasureOptions
 from repro.randomwalk.step_distribution import CountingDistribution
-from repro.spcf.primitives import PrimitiveRegistry, default_registry
+from repro.spcf.primitives import PrimitiveRegistry
 from repro.spcf.syntax import Fix
 
 Number = Union[Fraction, float]

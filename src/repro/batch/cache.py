@@ -3,8 +3,9 @@
 Layout (everything lives under one ``--cache-dir``)::
 
     <cache-dir>/
-      jobs/<sha256-key>.json   one finished JobResult per file
-      measures.json            serialized MeasureEngine cache entries
+      jobs/<sha256-key>.json    one finished JobResult per file
+      measures-<prefix>.json    one shard of serialized MeasureEngine entries
+      measures.json             legacy single-file store (read, then migrated)
 
 Both kinds of file are versioned JSON.  Reads are *strictly best-effort*: a
 missing, corrupted, truncated, or version-mismatched file is treated as a
@@ -15,13 +16,22 @@ behind, and job results live in one file per key so concurrent batches
 sharing a directory do not contend on a single growing file.
 
 Measure entries are keyed by the deterministic canonical constraint-set key
-of :meth:`repro.geometry.engine.MeasureEngine.persistent_key` and tagged with
-the engine's registry fingerprint: a cache written under different primitive
-semantics is ignored wholesale.
+of :meth:`repro.geometry.engine.MeasureEngine.persistent_key` (since the
+block decomposition these are mostly per-*block* keys, shared across
+programs) and tagged with the engine's registry fingerprint: a cache written
+under different primitive semantics is ignored wholesale.  Entries are
+sharded across ``measures-<prefix>.json`` files by the first two hex digits
+of the SHA-256 of their key, so two batches merging different blocks rewrite
+different small files instead of contending on (and re-serializing) one
+growing ``measures.json``.  Merging takes a shared directory-wide lock plus
+an exclusive per-shard lock; a legacy single-file ``measures.json`` written
+by an older version is still read transparently and is folded into the
+shards (then removed) on the first merge that writes.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
@@ -34,7 +44,15 @@ from repro.geometry.engine import MeasureEngine
 
 CACHE_VERSION = 1
 
-__all__ = ["BatchCache", "CACHE_VERSION"]
+_SHARD_PREFIX_LENGTH = 2
+"""Hex digits of the key hash used as the shard name (256 shards)."""
+
+__all__ = ["BatchCache", "CACHE_VERSION", "shard_prefix"]
+
+
+def shard_prefix(key: str) -> str:
+    """The shard a measure entry key belongs to (first hash hex digits)."""
+    return hashlib.sha256(key.encode("utf-8")).hexdigest()[:_SHARD_PREFIX_LENGTH]
 
 
 def _atomic_write_json(path: Path, document: dict) -> None:
@@ -65,6 +83,14 @@ def _read_versioned_json(path: Path) -> Optional[dict]:
     if not isinstance(document, dict) or document.get("version") != CACHE_VERSION:
         return None
     return document
+
+
+def _document_entries(document: Optional[dict], fingerprint: str) -> Dict[str, List]:
+    """The measure entries of one store document matching ``fingerprint``."""
+    if document is None or document.get("fingerprint") != fingerprint:
+        return {}
+    entries = document.get("entries")
+    return entries if isinstance(entries, dict) else {}
 
 
 class BatchCache:
@@ -112,59 +138,133 @@ class BatchCache:
 
     # -- measure-engine entries ----------------------------------------------
 
+    def shard_path(self, prefix: str) -> Path:
+        return self.directory / f"measures-{prefix}.json"
+
+    def _shard_paths(self) -> List[Path]:
+        return sorted(self.directory.glob("measures-*.json"))
+
     def load_measures(self, engine: MeasureEngine) -> Dict[str, List]:
         """The stored measure entries compatible with ``engine``.
 
-        Entries recorded under a different primitive-registry fingerprint are
-        ignored: they were computed under different semantics.
+        All shard files are merged with the legacy single-file store (if one
+        still exists).  Entries recorded under a different primitive-registry
+        fingerprint -- and corrupt or version-mismatched shards -- read as
+        misses, never as errors.
         """
-        document = _read_versioned_json(self.measures_path)
-        if document is None:
-            return {}
-        if document.get("fingerprint") != engine.registry_fingerprint():
-            return {}
-        entries = document.get("entries")
-        return entries if isinstance(entries, dict) else {}
+        fingerprint = engine.registry_fingerprint()
+        entries: Dict[str, List] = dict(
+            _document_entries(_read_versioned_json(self.measures_path), fingerprint)
+        )
+        for path in self._shard_paths():
+            entries.update(_document_entries(_read_versioned_json(path), fingerprint))
+        return entries
+
+    def measure_entry_count(self, engine: MeasureEngine) -> int:
+        """How many compatible measure entries the store currently holds."""
+        return len(self.load_measures(engine))
 
     def merge_measures(
         self, engine: MeasureEngine, new_entries: Mapping[str, List]
     ) -> int:
         """Fold ``new_entries`` into the on-disk store; returns its new size.
 
-        The read-modify-write cycle runs under an exclusive advisory lock
-        (where :mod:`fcntl` exists), so two batches merging into one shared
-        cache directory cannot silently drop each other's entries; the write
-        itself stays atomic either way.
+        Entries land in their key's shard file.  The merge holds the
+        directory lock *shared* (so a migration cannot run mid-merge) and
+        each affected shard's lock *exclusive* during its read-modify-write
+        cycle -- two batches merging disjoint shards into one cache directory
+        proceed in parallel, and merges into the same shard cannot silently
+        drop each other's entries.  A legacy ``measures.json`` is migrated
+        into the shards (under the exclusive directory lock) the first time a
+        merge writes.
+
+        Returns the number of entries written by this merge (new entries plus
+        any migrated legacy entries) -- deliberately *not* the total store
+        size, which would cost a full read of every shard for a number no
+        caller needs.
         """
         if not new_entries:
-            document = _read_versioned_json(self.measures_path)
-            entries = (document or {}).get("entries")
-            return len(entries) if isinstance(entries, dict) else 0
-        with self._measures_lock():
-            entries = self.load_measures(engine)
-            entries.update(new_entries)
+            return 0
+        fingerprint = engine.registry_fingerprint()
+        by_shard: Dict[str, Dict[str, List]] = {}
+        for key, entry in new_entries.items():
+            by_shard.setdefault(shard_prefix(key), {})[key] = entry
+        migrated = 0
+        if self.measures_path.exists():
+            migrated = self._migrate_legacy_measures(fingerprint)
+        with self._directory_lock(exclusive=False):
+            for prefix, shard_entries in sorted(by_shard.items()):
+                self._merge_shard(prefix, fingerprint, shard_entries)
+        return len(new_entries) + migrated
+
+    def _merge_shard(
+        self, prefix: str, fingerprint: str, shard_entries: Dict[str, List]
+    ) -> None:
+        path = self.shard_path(prefix)
+        with self._lock(path.with_suffix(".lock")):
+            entries = _document_entries(_read_versioned_json(path), fingerprint)
+            entries.update(shard_entries)
             _atomic_write_json(
-                self.measures_path,
+                path,
                 {
                     "version": CACHE_VERSION,
-                    "fingerprint": engine.registry_fingerprint(),
+                    "fingerprint": fingerprint,
                     "entries": entries,
                 },
             )
-        return len(entries)
+
+    def _migrate_legacy_measures(self, fingerprint: str) -> int:
+        """Fold a pre-shard ``measures.json`` into the shard files.
+
+        Runs under the *exclusive* directory lock, which no concurrent merge
+        can hold even partially, so the legacy file cannot vanish while
+        another process is still counting on reading it.  The legacy entries
+        are written to their shards *before* the legacy file is unlinked: a
+        crash mid-migration at worst leaves both representations behind
+        (harmless -- shard entries win on load and the next merge retries the
+        unlink), never neither.  Entries recorded under a different
+        fingerprint would be unusable and are dropped, the same policy
+        ``merge_measures`` has always applied to the single file.  Returns
+        the number of migrated entries.
+        """
+        with self._directory_lock(exclusive=True):
+            if not self.measures_path.exists():
+                return 0  # someone else migrated in the meantime
+            legacy = _document_entries(
+                _read_versioned_json(self.measures_path), fingerprint
+            )
+            by_shard: Dict[str, Dict[str, List]] = {}
+            for key, entry in legacy.items():
+                by_shard.setdefault(shard_prefix(key), {})[key] = entry
+            for prefix, shard_entries in sorted(by_shard.items()):
+                self._merge_shard(prefix, fingerprint, shard_entries)
+            try:
+                self.measures_path.unlink()
+            except OSError:
+                pass
+            return len(legacy)
+
+    # -- locking ---------------------------------------------------------------
 
     @contextmanager
-    def _measures_lock(self):
-        """Exclusive inter-process lock guarding the measures merge."""
+    def _lock(self, path: Path, exclusive: bool = True):
+        """An advisory :mod:`fcntl` file lock (no-op where fcntl is missing:
+        the atomic per-file writes still prevent torn reads on their own)."""
         try:
             import fcntl
-        except ImportError:  # non-POSIX: fall back to the atomic write alone
+        except ImportError:  # non-POSIX: fall back to the atomic writes alone
             yield
             return
-        lock_path = self.directory / "measures.lock"
-        with open(lock_path, "w") as lock_file:
-            fcntl.flock(lock_file.fileno(), fcntl.LOCK_EX)
+        with open(path, "w") as lock_file:
+            fcntl.flock(
+                lock_file.fileno(), fcntl.LOCK_EX if exclusive else fcntl.LOCK_SH
+            )
             try:
                 yield
             finally:
                 fcntl.flock(lock_file.fileno(), fcntl.LOCK_UN)
+
+    def _directory_lock(self, exclusive: bool):
+        """The store-wide lock: shared for shard merges, exclusive for the
+        legacy-file migration."""
+        return self._lock(self.directory / "measures.lock", exclusive=exclusive)

@@ -19,7 +19,8 @@ The measuring commands build one shared
 :class:`~repro.geometry.engine.MeasureEngine` per invocation, so every
 analysis a command runs draws from a single memoized measure cache; pass
 ``--no-measure-cache`` to disable memoization (results are bit-identical,
-only slower) and ``--stats`` to print the engine's
+only slower), ``--no-block-memo`` to memoize whole sets without the
+block decomposition, and ``--stats`` to print the engine's
 :class:`~repro.geometry.stats.PerfStats` counters after the run.
 
 The evaluation commands (``table1``, ``table2``, ``report``) and the generic
@@ -35,11 +36,10 @@ import argparse
 import os
 import sys
 import time
-from fractions import Fraction
 from typing import Optional, Sequence
 
 from repro.astcheck import verify_ast
-from repro.astcheck.exectree import build_execution_tree, render_tree
+from repro.astcheck.exectree import render_tree
 from repro.batch import (
     BatchCache,
     JobResult,
@@ -62,8 +62,12 @@ from repro.symbolic.execute import Strategy
 
 
 def _measure_engine(arguments: argparse.Namespace) -> MeasureEngine:
-    """The per-command shared measure engine, honouring ``--no-measure-cache``."""
-    return MeasureEngine(cache_enabled=not getattr(arguments, "no_measure_cache", False))
+    """The per-command shared measure engine, honouring ``--no-measure-cache``
+    and ``--no-block-memo``."""
+    return MeasureEngine(
+        cache_enabled=not getattr(arguments, "no_measure_cache", False),
+        block_decomposition=not getattr(arguments, "no_block_memo", False),
+    )
 
 
 def _print_perf_stats(arguments: argparse.Namespace, stats) -> None:
@@ -333,6 +337,12 @@ def _add_measure_flags(subparser: argparse.ArgumentParser) -> None:
         "--no-measure-cache",
         action="store_true",
         help="disable the shared memoizing measure engine (bit-identical, slower)",
+    )
+    subparser.add_argument(
+        "--no-block-memo",
+        action="store_true",
+        help="memoize whole constraint sets only, without the block "
+        "decomposition (bit-identical on the rational backend, slower)",
     )
     subparser.add_argument(
         "--stats",

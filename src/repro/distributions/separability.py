@@ -32,7 +32,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 from repro.lowerbound.engine import LowerBoundEngine
 from repro.distributions.registry import extended_registry
 from repro.geometry.measure import MeasureOptions
-from repro.spcf.primitives import Primitive, PrimitiveRegistry, default_registry
+from repro.spcf.primitives import Primitive, default_registry
 from repro.spcf.syntax import If, Numeral, Prim, Sample, Term
 from repro.symbolic.execute import Strategy
 

@@ -13,20 +13,34 @@ the refutation measures one pattern per sample argument.  A
 * constraint sets are *canonicalized* (duplicates dropped, constraints put in
   a deterministic order) so syntactically different prefixes of the same
   conjunction share one cache entry,
+* canonical sets are *block-decomposed*: the constraints are partitioned into
+  connected components ("blocks") over shared sample variables
+  (:meth:`~repro.symbolic.constraints.ConstraintSet.support_blocks`), each
+  block is renumbered to variables ``0..k-1``, measured and memoized under
+  its own canonical block key, and the full-set measure is the product of the
+  block measures.  Two sets sharing a block -- even at different sample
+  positions -- measure it once.  Decomposition is restricted to the regime
+  where the product provably equals the monolithic computation (every
+  constraint affine, no free argument, no unresolved recursion marker, sweep
+  not forced); everything else takes the monolithic path unchanged,
 * results are memoized keyed by ``(canonical set, dimension, options,
-  argument)``; the first caller pays, everyone else hits,
-* complementary probabilistic branches are resolved algebraically: for a
-  guard ``g`` the solution sets of ``C + (g <= 0)`` and ``C + (g > 0)``
-  partition the solution set of ``C``, so once two of the three measures are
-  cached the third is a subtraction -- applied only in the regime where the
-  direct computation is guaranteed exact (all constraints univariate affine),
-  so cached and uncached runs are bit-for-bit identical,
-* a :class:`~repro.geometry.stats.PerfStats` instance counts requests,
-  hits, sweep boxes and polytope invocations for benchmarks and ``--stats``.
+  argument)`` -- block keys and full-set product keys live in the same memo
+  table; the first caller pays, everyone else hits,
+* complementary probabilistic branches are resolved algebraically *per
+  block*: for a guard ``g`` the solution sets of ``C + (g <= 0)`` and
+  ``C + (g > 0)`` partition the solution set of ``C``, so once two of the
+  three measures are cached the third is a subtraction -- applied only in the
+  regime where the direct computation is guaranteed exact (all constraints
+  univariate affine), so cached and uncached runs are bit-for-bit identical,
+* a :class:`~repro.geometry.stats.PerfStats` instance counts requests, hits,
+  block lookups, sweep boxes and polytope invocations for benchmarks and
+  ``--stats``.
 
 Disabling the cache (``cache_enabled=False``, the CLI's
 ``--no-measure-cache``) turns the engine into a counted pass-through with the
-same canonicalization, which is how the perf benchmark checks bit-identity.
+same canonicalization *and the same block decomposition*, which is how the
+perf benchmark checks bit-identity; ``block_decomposition=False`` (the CLI's
+``--no-block-memo``) restores the whole-set-only memoization for ablations.
 """
 
 from __future__ import annotations
@@ -39,9 +53,12 @@ from repro.geometry.measure import MeasureOptions, MeasureResult, measure_constr
 from repro.geometry.stats import PerfStats
 from repro.intervals.interval import Interval
 from repro.spcf.primitives import PrimitiveRegistry, default_registry
-from repro.symbolic.constraints import Constraint, ConstraintSet
+from repro.symbolic.constraints import Constraint, ConstraintSet, remap_constraints
 
 _CacheKey = Tuple[Tuple[Constraint, ...], int, MeasureOptions, Optional[Interval]]
+
+_Block = Tuple[ConstraintSet, int]
+"""A renumbered canonical block and its dimension (= its variable count)."""
 
 
 def _encode_number(value) -> Optional[List]:
@@ -78,15 +95,24 @@ class MeasureEngine:
         registry: Optional[PrimitiveRegistry] = None,
         cache_enabled: bool = True,
         stats: Optional[PerfStats] = None,
+        block_decomposition: bool = True,
     ) -> None:
         self.options = options or MeasureOptions()
         self.registry = registry or default_registry()
         self.cache_enabled = cache_enabled
+        self.block_decomposition = block_decomposition
         self.stats = stats if stats is not None else PerfStats()
         self._cache: Dict[_CacheKey, MeasureResult] = {}
         self._imported: Dict[str, MeasureResult] = {}
         self._export_skip: set = set()
         self._unexported: list = []
+        # Derived structure, memoized per canonical constraint tuple so hot
+        # requests pay one dict probe: the block decomposition (or None when
+        # the set must take the monolithic path) and the renumbered canonical
+        # form of each block.
+        self._decompositions: Dict[Tuple[Constraint, ...], Optional[Tuple[_Block, ...]]] = {}
+        self._block_views: Dict[Tuple[Constraint, ...], _Block] = {}
+        self._affine: Dict[Constraint, bool] = {}
 
     # -- canonicalization ----------------------------------------------------
 
@@ -135,19 +161,34 @@ class MeasureEngine:
         canonical = self.canonicalize(constraints)
         if dimension is None:
             dimension = canonical.dimension()
-        if not self.cache_enabled:
-            return self._invoke(canonical, dimension, argument)
         key = (canonical.constraints, dimension, self.options, argument)
-        cached = self._cache.get(key)
-        if cached is not None:
-            self.stats.cache_hits += 1
-            return cached
+        if self.cache_enabled:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self.stats.cache_hits += 1
+                return cached
         result = None
-        if self._imported:
+        if self.cache_enabled and self._imported:
+            # Full-set entries cover both monolithic results and the legacy
+            # (pre-block) persistent cache format.
             result = self._imported.get(self.persistent_key(canonical, dimension, argument))
             if result is not None:
                 self.stats.persistent_hits += 1
-        if result is None and argument is None:
+                self._cache[key] = result
+                return result
+        blocks = self._decompose(canonical, argument) if self.block_decomposition else None
+        if blocks is not None:
+            result = self._measure_blocks(blocks)
+            if self.cache_enabled:
+                # The product is memoized under the full-set key so repeated
+                # identical requests stay one probe, but it is *not* queued
+                # for export: persistence stores the block entries, which are
+                # what other processes (and other sets) can actually reuse.
+                self._cache[key] = result
+            return result
+        if not self.cache_enabled:
+            return self._invoke(canonical, dimension, argument)
+        if argument is None:
             result = self._derive_complement(canonical, dimension)
         if result is None:
             result = self._invoke(canonical, dimension, argument)
@@ -167,6 +208,120 @@ class MeasureEngine:
             argument=argument,
             stats=self.stats,
         )
+
+    # -- block decomposition ---------------------------------------------------
+
+    def _decompose(
+        self, canonical: ConstraintSet, argument: Optional[Interval]
+    ) -> Optional[Tuple[_Block, ...]]:
+        """The canonical set's measurable blocks, or ``None`` for monolithic.
+
+        Decomposition is sound for any constraint set (disjoint variable
+        groups are independent under the product measure), but it is only
+        *bit-reproducible* against the monolithic facade when every block is
+        resolved by the exact affine machinery -- a joint subdivision sweep
+        of two independent blocks is coarser than the product of their
+        per-block sweeps.  So the decomposed path is taken exactly when:
+
+        * no free argument is involved (engine-level or inside a constraint),
+        * no constraint carries an unresolved recursion marker (``star``),
+        * the sweep is not forced (``prefer_sweep``),
+        * every constraint has an affine half-space form, and
+        * every constraint mentions at least one sample variable (constant
+          constraints are rare and keep their historic monolithic handling).
+        """
+        if (
+            argument is not None
+            or not canonical.constraints
+            or self.options.prefer_sweep
+        ):
+            return None
+        blocks = self._decompositions.get(canonical.constraints)
+        if blocks is None and canonical.constraints not in self._decompositions:
+            blocks = self._compute_decomposition(canonical)
+            self._decompositions[canonical.constraints] = blocks
+        return blocks
+
+    def _compute_decomposition(
+        self, canonical: ConstraintSet
+    ) -> Optional[Tuple[_Block, ...]]:
+        if canonical.contains_argument() or canonical.contains_star():
+            return None
+        for constraint in canonical:
+            if not constraint.variables():
+                return None
+            affine = self._affine.get(constraint)
+            if affine is None:
+                affine = halfspace_from_constraint(constraint, self.registry) is not None
+                self._affine[constraint] = affine
+            if not affine:
+                return None
+        return tuple(
+            self._block_view(variables, constraints)
+            for variables, constraints in canonical.support_blocks()
+        )
+
+    def _block_view(
+        self, variables: Tuple[int, ...], constraints: Tuple[Constraint, ...]
+    ) -> _Block:
+        """The renumbered canonical form of one block (memoized per block).
+
+        Renumbering the block's variables to ``0..k-1`` makes the block key
+        position-independent: the same one-sample constraint shape produced at
+        sample index 0 and at sample index 7 lands on one cache entry.
+        """
+        view = self._block_views.get(constraints)
+        if view is None:
+            if variables == tuple(range(len(variables))):
+                remapped = ConstraintSet(constraints)  # already in base position
+            else:
+                remapped = remap_constraints(constraints, variables)
+            view = (self.canonicalize(remapped), len(variables))
+            self._block_views[constraints] = view
+        return view
+
+    def _measure_blocks(self, blocks: Tuple[_Block, ...]) -> MeasureResult:
+        """The product of the block measures (the decomposed full-set answer)."""
+        if len(blocks) == 1:
+            # Preserve the single-block result verbatim (value, flags and
+            # provenance) -- the whole set *is* one block in base position.
+            return self._measure_block(*blocks[0])
+        self.stats.multi_block_sets += 1
+        total = Fraction(1)
+        exact = True
+        methods = set()
+        for block, block_dimension in blocks:
+            result = self._measure_block(block, block_dimension)
+            methods.add(result.method)
+            total = total * result.value
+            exact = exact and result.exact
+            if total == 0:
+                break
+        method = "+".join(sorted(methods)) if methods else "trivial"
+        return MeasureResult(total, exact=exact, lower_bound=not exact, method=method)
+
+    def _measure_block(self, block: ConstraintSet, dimension: int) -> MeasureResult:
+        """Measure one renumbered block through the block-level memo table."""
+        self.stats.block_requests += 1
+        if not self.cache_enabled:
+            return self._invoke(block, dimension, None)
+        key = (block.constraints, dimension, self.options, None)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.stats.block_cache_hits += 1
+            return cached
+        result = None
+        if self._imported:
+            result = self._imported.get(self.persistent_key(block, dimension, None))
+            if result is not None:
+                self.stats.persistent_hits += 1
+        if result is None:
+            result = self._derive_complement(block, dimension)
+        if result is None:
+            result = self._invoke(block, dimension, None)
+        self._cache[key] = result
+        self._unexported.append(key)
+        return result
 
     # -- the complement rule ---------------------------------------------------
 

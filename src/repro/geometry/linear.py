@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.spcf.primitives import PrimitiveRegistry, default_registry
 from repro.symbolic.constraints import Constraint, ConstraintSet, Relation

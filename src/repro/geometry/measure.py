@@ -33,7 +33,7 @@ from repro.geometry.polytope import polytope_volume
 from repro.geometry.stats import PerfStats
 from repro.geometry.sweep import sweep_measure
 from repro.spcf.primitives import PrimitiveRegistry, default_registry
-from repro.symbolic.constraints import Constraint, ConstraintSet
+from repro.symbolic.constraints import ConstraintSet, remap_constraints
 
 Number = Union[Fraction, float]
 
@@ -97,6 +97,8 @@ def measure_constraints(
         halfspaces = halfspaces_from_constraints(constraints, registry)
 
     if halfspaces is None:
+        if stats is not None:
+            stats.block_computations += 1
         sweep = sweep_measure(
             constraints,
             dimension,
@@ -114,6 +116,8 @@ def measure_constraints(
     exact = True
     methods = set()
     for variables, block_halfspaces in independent_blocks(dimension, halfspaces):
+        if stats is not None and block_halfspaces:
+            stats.block_computations += 1
         block_value, block_exact, method = _measure_block(
             variables, block_halfspaces, constraints, options, registry, stats
         )
@@ -182,19 +186,4 @@ def _measure_block(variables, halfspaces, constraints, options, registry, stats=
 
 def _remap_constraints(constraints: ConstraintSet, variables):
     """Renumber the variables of a block to ``0..len(variables)-1``."""
-    from repro.symbolic.values import ConstVal, PrimVal, SampleVar, SymVal
-
-    remapping = {variable: position for position, variable in enumerate(variables)}
-
-    def remap_value(value: SymVal) -> SymVal:
-        if isinstance(value, SampleVar):
-            return SampleVar(remapping.get(value.index, value.index))
-        if isinstance(value, PrimVal):
-            return PrimVal(value.op, tuple(remap_value(argument) for argument in value.args))
-        return value
-
-    remapped = ConstraintSet(
-        Constraint(remap_value(constraint.value), constraint.relation)
-        for constraint in constraints
-    )
-    return remapped, len(variables)
+    return remap_constraints(constraints, variables), len(variables)

@@ -12,7 +12,6 @@ import random
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.intervals.interval import Interval
 from repro.spcf.primitives import PrimitiveRegistry, default_registry
 from repro.symbolic.constraints import ConstraintSet
 

@@ -18,11 +18,14 @@ subdivision sweep, which certify bounds when exactness matters.
 
 from __future__ import annotations
 
+from fractions import Fraction
 from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.geometry.linear import HalfSpace
+
+__all__ = ["box_clip_volume", "polygon_area_exact", "polytope_volume"]
 
 _FEASIBILITY_TOLERANCE = 1e-9
 
@@ -127,8 +130,6 @@ def polygon_area_exact(halfspaces: Sequence[HalfSpace]):
     convex hull is computed by the shoelace formula -- all in ``Fraction``
     arithmetic.  Returns ``None`` when a half space has non-rational data.
     """
-    from fractions import Fraction
-
     lines = []  # each line: (a0, a1, b) meaning a0*x0 + a1*x1 <= b
     for halfspace in halfspaces:
         coefficients = halfspace.as_dict()
@@ -146,6 +147,11 @@ def polygon_area_exact(halfspaces: Sequence[HalfSpace]):
     lines.append((Fraction(1), Fraction(0), Fraction(1)))
     lines.append((Fraction(0), Fraction(-1), Fraction(0)))
     lines.append((Fraction(0), Fraction(1), Fraction(1)))
+    # Coincident bounding lines contribute the same intersections and the
+    # same feasibility cuts; dropping exact duplicates keeps the pairwise
+    # intersection loop (quadratic in the line count) small without touching
+    # the computed area.
+    lines = list(dict.fromkeys(lines))
 
     def feasible(point) -> bool:
         x0, x1 = point

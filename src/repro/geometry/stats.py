@@ -37,6 +37,24 @@ class PerfStats:
     complement_derivations: int = 0
     """Requests answered exactly via the complement rule (no measuring)."""
 
+    block_requests: int = 0
+    """Per-block measure lookups made by the decomposed path (hits included)."""
+
+    block_cache_hits: int = 0
+    """Block lookups answered from the block-level memo table."""
+
+    block_computations: int = 0
+    """Base (innermost) block measure computations actually performed.
+
+    Incremented by :func:`repro.geometry.measure.measure_constraints` once per
+    independent block that carries constraints (and once per whole-set sweep
+    fallback), in the monolithic and the decomposed regime alike -- so the
+    counter compares like for like across engine configurations.
+    """
+
+    multi_block_sets: int = 0
+    """Decomposed full-set computations that split into >= 2 blocks."""
+
     sweep_boxes_examined: int = 0
     """Boxes popped by the certified subdivision sweep."""
 
@@ -69,6 +87,10 @@ class PerfStats:
                 f"cache hits            : {self.cache_hits} ({hit_rate:.1f}%)",
                 f"persistent cache hits : {self.persistent_hits}",
                 f"complement derivations: {self.complement_derivations}",
+                f"block requests        : {self.block_requests}",
+                f"block cache hits      : {self.block_cache_hits}",
+                f"block computations    : {self.block_computations}",
+                f"multi-block sets      : {self.multi_block_sets}",
                 f"sweep boxes examined  : {self.sweep_boxes_examined}",
                 f"sweep evals saved     : {self.sweep_evaluations_saved}",
                 f"polytope invocations  : {self.polytope_calls}",

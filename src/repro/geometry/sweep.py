@@ -30,7 +30,7 @@ from fractions import Fraction
 from typing import Dict, Optional, Tuple, Union
 
 from repro.geometry.stats import PerfStats
-from repro.intervals.box import Box, unit_box
+from repro.intervals.box import unit_box
 from repro.intervals.interval import Interval
 from repro.spcf.primitives import PrimitiveRegistry, default_registry
 from repro.symbolic.constraints import Constraint, ConstraintSet

@@ -34,7 +34,7 @@ from repro.geometry.engine import MeasureEngine
 from repro.geometry.measure import MeasureOptions
 from repro.lowerbound.engine import LowerBoundEngine
 from repro.randomwalk.step_distribution import CountingDistribution
-from repro.spcf.primitives import PrimitiveRegistry, default_registry
+from repro.spcf.primitives import PrimitiveRegistry
 from repro.spcf.syntax import Fix, Term
 from repro.symbolic.execute import Strategy
 

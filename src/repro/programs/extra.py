@@ -18,7 +18,7 @@ from typing import Dict, Union
 from repro.distributions.transforms import exponential
 from repro.programs.library import Program
 from repro.spcf.sugar import add, choice, let, sub
-from repro.spcf.syntax import App, Fix, If, Numeral, Sample, Score, Term, Var
+from repro.spcf.syntax import App, Fix, If, Numeral, Sample, Score, Var
 from repro.symbolic.execute import Strategy
 
 Number = Union[Fraction, float, int]

@@ -13,7 +13,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Callable, Dict, Optional, Union
+from typing import Dict, Optional, Union
 
 from repro.spcf.sugar import add, choice, let, mul, sub
 from repro.spcf.syntax import App, Fix, If, Numeral, Prim, Sample, Term, Var

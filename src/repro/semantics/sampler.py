@@ -24,7 +24,7 @@ from typing import Optional, Union
 from repro.spcf.syntax import Term, is_value
 from repro.semantics.cbn import CbNMachine
 from repro.semantics.cbv import CbVMachine
-from repro.semantics.machine import RunResult, RunStatus, StuckSignal
+from repro.semantics.machine import RunStatus, StuckSignal
 from repro.semantics.traces import Trace
 
 Machine = Union[CbNMachine, CbVMachine]

@@ -17,7 +17,7 @@ provided as module-level functions.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from fractions import Fraction
 from typing import Dict, FrozenSet, Iterator, List, Mapping, Optional, Tuple, Union
 

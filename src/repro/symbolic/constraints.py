@@ -19,7 +19,7 @@ from typing import FrozenSet, Iterable, Iterator, Mapping, Optional, Sequence, T
 
 from repro.intervals.box import Box
 from repro.intervals.interval import Interval
-from repro.spcf.primitives import PrimitiveRegistry, default_registry
+from repro.spcf.primitives import PrimitiveRegistry
 from repro.symbolic.values import LinearForm, SymVal
 
 Number = Union[Fraction, float, int]
@@ -235,8 +235,93 @@ class ConstraintSet:
         """True iff every constraint has an exact affine form."""
         return all(c.linear_form(registry) is not None for c in self.constraints)
 
+    @_cached_on_instance
+    def support_blocks(
+        self,
+    ) -> Tuple[Tuple[Tuple[int, ...], Tuple[Constraint, ...]], ...]:
+        """Partition the constraints into connected components over variables.
+
+        Two constraints belong to the same *block* when they (transitively)
+        share a sample variable; the solution set of the conjunction is then
+        the Cartesian product of the blocks' solution sets, so its measure is
+        the product of the block measures.  Each returned block is a pair of
+        the block's variables (sorted) and its constraints (in set order);
+        blocks are ordered by their smallest variable.  Constraints that
+        mention no sample variable at all are collected into a single leading
+        block with an empty variable tuple.
+
+        The partition only looks at variable *support*
+        (:meth:`Constraint.variables`), not at linearity -- deciding whether a
+        per-block measurement is exact is the measure engine's job.
+        """
+        parent: dict = {}
+
+        def find(variable: int) -> int:
+            root = variable
+            while parent[root] != root:
+                root = parent[root]
+            while parent[variable] != root:  # path compression
+                parent[variable], variable = root, parent[variable]
+            return root
+
+        for constraint in self.constraints:
+            variables = sorted(constraint.variables())
+            for variable in variables:
+                parent.setdefault(variable, variable)
+            for first, second in zip(variables, variables[1:]):
+                parent[find(first)] = find(second)
+
+        members: dict = {}
+        for variable in parent:
+            members.setdefault(find(variable), []).append(variable)
+        constraints_by_root: dict = {root: [] for root in members}
+        constants = []
+        for constraint in self.constraints:
+            variables = constraint.variables()
+            if not variables:
+                constants.append(constraint)
+                continue
+            constraints_by_root[find(min(variables))].append(constraint)
+
+        blocks = []
+        if constants:
+            blocks.append(((), tuple(constants)))
+        for root in sorted(members, key=lambda root: min(members[root])):
+            blocks.append(
+                (tuple(sorted(members[root])), tuple(constraints_by_root[root]))
+            )
+        return tuple(blocks)
+
     def __repr__(self) -> str:
         return "ConstraintSet(" + ", ".join(map(repr, self.constraints)) + ")"
+
+
+def remap_constraints(
+    constraints: Iterable[Constraint], variables: Sequence[int]
+) -> ConstraintSet:
+    """Renumber the sample variables of ``constraints`` to ``0..len(variables)-1``.
+
+    ``variables`` lists the old indices in the order they should be assigned
+    new positions.  Renumbering is a measure-preserving bijection of the unit
+    cube, so a block measures identically wherever its variables originally
+    sat -- which is what lets the measure engine share one cache entry between
+    same-shaped blocks drawn from different sample positions.
+    """
+    from repro.symbolic.values import PrimVal, SampleVar, SymVal
+
+    remapping = {variable: position for position, variable in enumerate(variables)}
+
+    def remap_value(value: SymVal) -> SymVal:
+        if isinstance(value, SampleVar):
+            return SampleVar(remapping.get(value.index, value.index))
+        if isinstance(value, PrimVal):
+            return PrimVal(value.op, tuple(remap_value(argument) for argument in value.args))
+        return value
+
+    return ConstraintSet(
+        Constraint(remap_value(constraint.value), constraint.relation)
+        for constraint in constraints
+    )
 
 
 def box_from_sequence(intervals: Sequence[Interval]) -> Mapping[int, Interval]:

@@ -25,9 +25,8 @@ from __future__ import annotations
 
 import enum
 from collections import deque
-from dataclasses import dataclass, field
-from fractions import Fraction
-from typing import Deque, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Tuple, Union
 
 from repro.spcf.primitives import PrimitiveRegistry, default_registry
 from repro.spcf.syntax import (

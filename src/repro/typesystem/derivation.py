@@ -26,7 +26,6 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from fractions import Fraction
 from typing import Dict, Mapping, Optional, Tuple
 
 from repro.intervals.interval import Interval

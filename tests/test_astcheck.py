@@ -14,7 +14,6 @@ from repro.astcheck import (
     verify_ast,
 )
 from repro.astcheck.exectree import (
-    ExecMu,
     ExecNondetBranch,
     ExecProbBranch,
     ExecutionTreeError,

@@ -1,7 +1,6 @@
 """Tests for the batch subsystem: jobs, runner, persistent cache, CLI."""
 
 import json
-import os
 
 import pytest
 
@@ -11,12 +10,11 @@ from repro.batch import (
     read_result_keys,
     run_batch,
     run_job,
-    suite,
     table1_suite,
     table2_suite,
     write_results_jsonl,
 )
-from repro.batch.cache import CACHE_VERSION
+from repro.batch.cache import CACHE_VERSION, shard_prefix
 from repro.batch.jobs import decode_number, encode_number
 from repro.cli import main
 from repro.geometry.engine import MeasureEngine
@@ -186,10 +184,13 @@ class TestBatchCacheRobustness:
         path.write_text(json.dumps(document))
         assert cache.load_job(result.key) is None
 
-    def test_corrupted_measures_file_reads_as_empty(self, tmp_path):
+    def test_corrupted_shards_read_as_misses(self, tmp_path):
         cache = BatchCache(tmp_path)
         run_batch([JobSpec(program="geo(1/2)", analysis="verify")], jobs=1, cache=cache)
-        cache.measures_path.write_text("\x00\x01 not json")
+        shards = sorted(tmp_path.glob("measures-*.json"))
+        assert shards, "a batch with a cache directory must persist measure shards"
+        for shard in shards:
+            shard.write_text("\x00\x01 not json")
         assert cache.load_measures(MeasureEngine()) == {}
         # and a batch over the damaged cache still succeeds
         report = run_batch(
@@ -197,14 +198,154 @@ class TestBatchCacheRobustness:
         )
         assert report.results[0].ok
 
+    def test_one_corrupt_shard_does_not_hide_the_others(self, tmp_path):
+        cache = BatchCache(tmp_path)
+        engine = MeasureEngine()
+        entries = {
+            "key-a": [["F", "1/2"], True, False, "interval"],
+            "key-b": [["F", "1/3"], True, False, "interval"],
+        }
+        cache.merge_measures(engine, entries)
+        assert shard_prefix("key-a") != shard_prefix("key-b")
+        cache.shard_path(shard_prefix("key-a")).write_text("{ truncated garbage")
+        survivors = cache.load_measures(engine)
+        assert set(survivors) == {"key-b"}
+
     def test_fingerprint_mismatched_measures_are_ignored(self, tmp_path):
         cache = BatchCache(tmp_path)
         engine = MeasureEngine()
         run_batch([JobSpec(program="geo(1/2)", analysis="verify")], jobs=1, cache=cache)
-        document = json.loads(cache.measures_path.read_text())
-        document["fingerprint"] = "someone-else's-primitives"
-        cache.measures_path.write_text(json.dumps(document))
+        for shard in tmp_path.glob("measures-*.json"):
+            document = json.loads(shard.read_text())
+            document["fingerprint"] = "someone-else's-primitives"
+            shard.write_text(json.dumps(document))
         assert cache.load_measures(engine) == {}
+
+
+class TestMeasureShards:
+    """The sharded persistent measure store and its legacy migration."""
+
+    @staticmethod
+    def _entry(value="1/2"):
+        return [["F", value], True, False, "interval"]
+
+    def test_entries_land_in_their_key_shard(self, tmp_path):
+        cache = BatchCache(tmp_path)
+        engine = MeasureEngine()
+        cache.merge_measures(engine, {"some-key": self._entry()})
+        shard = cache.shard_path(shard_prefix("some-key"))
+        assert shard.exists()
+        document = json.loads(shard.read_text())
+        assert document["version"] == CACHE_VERSION
+        assert set(document["entries"]) == {"some-key"}
+        assert not cache.measures_path.exists()
+
+    def test_concurrent_merges_into_distinct_shards(self, tmp_path):
+        import threading
+
+        cache = BatchCache(tmp_path)
+        engine = MeasureEngine()
+        # 32 distinct keys, merged from 8 threads through 8 independent
+        # BatchCache instances over one directory: nothing may be lost.
+        batches = [
+            {f"key-{worker}-{index}": self._entry(f"1/{worker + index + 2}")
+             for index in range(4)}
+            for worker in range(8)
+        ]
+        errors = []
+
+        def merge(batch):
+            try:
+                BatchCache(tmp_path).merge_measures(MeasureEngine(), batch)
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        threads = [threading.Thread(target=merge, args=(batch,)) for batch in batches]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        merged = cache.load_measures(engine)
+        expected = {key for batch in batches for key in batch}
+        assert set(merged) == expected
+        assert len(list(tmp_path.glob("measures-*.json"))) >= 2
+
+    def test_legacy_single_file_is_read_transparently(self, tmp_path):
+        cache = BatchCache(tmp_path)
+        engine = MeasureEngine()
+        legacy = {"legacy-key": self._entry("2/3")}
+        cache.measures_path.write_text(
+            json.dumps(
+                {
+                    "version": CACHE_VERSION,
+                    "fingerprint": engine.registry_fingerprint(),
+                    "entries": legacy,
+                }
+            )
+        )
+        assert cache.load_measures(engine) == legacy
+
+    def test_legacy_file_is_migrated_into_shards_on_first_merge(self, tmp_path):
+        cache = BatchCache(tmp_path)
+        engine = MeasureEngine()
+        cache.measures_path.write_text(
+            json.dumps(
+                {
+                    "version": CACHE_VERSION,
+                    "fingerprint": engine.registry_fingerprint(),
+                    "entries": {"legacy-key": self._entry("2/3")},
+                }
+            )
+        )
+        count = cache.merge_measures(engine, {"fresh-key": self._entry("1/5")})
+        assert count == 2
+        assert not cache.measures_path.exists()
+        merged = cache.load_measures(engine)
+        assert set(merged) == {"legacy-key", "fresh-key"}
+        legacy_shard = json.loads(
+            cache.shard_path(shard_prefix("legacy-key")).read_text()
+        )
+        assert "legacy-key" in legacy_shard["entries"]
+
+    def test_fresh_entry_wins_over_equal_legacy_key(self, tmp_path):
+        cache = BatchCache(tmp_path)
+        engine = MeasureEngine()
+        cache.measures_path.write_text(
+            json.dumps(
+                {
+                    "version": CACHE_VERSION,
+                    "fingerprint": engine.registry_fingerprint(),
+                    "entries": {"shared-key": self._entry("2/3")},
+                }
+            )
+        )
+        cache.merge_measures(engine, {"shared-key": self._entry("1/5")})
+        assert cache.load_measures(engine)["shared-key"] == self._entry("1/5")
+
+    def test_pr2_format_cache_directory_still_warms_an_engine(self, tmp_path):
+        """A directory written by the PR 2 layout (jobs/ + measures.json)."""
+        from repro.astcheck import verify_ast
+
+        program = resolve_program("ex1.1-(2)(1/2)")
+        cold = MeasureEngine()
+        verify_ast(program, engine=cold)
+        cache = BatchCache(tmp_path)
+        # Simulate the old layout: all entries in one measures.json.
+        cache.measures_path.write_text(
+            json.dumps(
+                {
+                    "version": CACHE_VERSION,
+                    "fingerprint": cold.registry_fingerprint(),
+                    "entries": cold.export_cache_entries(),
+                }
+            )
+        )
+        warm = MeasureEngine()
+        warm.import_cache_entries(cache.load_measures(warm))
+        verify_ast(program, engine=warm)
+        assert warm.stats.persistent_hits > 0
+        assert warm.stats.measure_calls < cold.stats.measure_calls
 
 
 class TestMeasureEnginePersistence:
@@ -304,7 +445,9 @@ class TestBatchCLI:
         assert main(["table1", "--depth", "10", "--cache-dir", cache_dir]) == 0
         second = capsys.readouterr().out
         # identical rows except the timing column
-        strip = lambda text: [line.rsplit(None, 1)[0] for line in text.splitlines()]
+        def strip(text):
+            return [line.rsplit(None, 1)[0] for line in text.splitlines()]
+
         assert strip(first) == strip(second)
 
     def test_estimate_seed_is_reproducible(self, capsys):

@@ -1,0 +1,147 @@
+"""Tests for the perf-trajectory gate (``benchmarks/compare_bench.py``).
+
+The CI ``perf-trajectory`` job relies on the comparator failing loudly on a
+regression; these tests inject regressions into copies of the committed
+baselines and assert the exit codes, so the gate itself is gated.
+"""
+
+import importlib.util
+import json
+import shutil
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_DIR = REPO_ROOT / "benchmarks" / "baselines"
+
+
+def _load_compare_bench():
+    spec = importlib.util.spec_from_file_location(
+        "compare_bench", REPO_ROOT / "benchmarks" / "compare_bench.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    # dataclass processing resolves the defining module through sys.modules,
+    # so the module must be registered before it is executed.
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+compare_bench = _load_compare_bench()
+
+
+@pytest.fixture
+def current_dir(tmp_path, monkeypatch):
+    """A 'current results' directory seeded with the committed baselines."""
+    monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)
+    directory = tmp_path / "current"
+    directory.mkdir()
+    for filename in compare_bench.BENCH_FILES:
+        shutil.copyfile(BASELINE_DIR / filename, directory / filename)
+    return directory
+
+
+def _edit(path: Path, mutate):
+    document = json.loads(path.read_text())
+    mutate(document)
+    path.write_text(json.dumps(document))
+
+
+def _run(current_dir, *extra):
+    return compare_bench.main(
+        ["--baseline-dir", str(BASELINE_DIR), "--current-dir", str(current_dir), *extra]
+    )
+
+
+def test_identical_results_pass(current_dir, capsys):
+    assert _run(current_dir) == 0
+    out = capsys.readouterr().out
+    assert "| metric |" in out
+    assert "FAIL" not in out
+
+
+def test_injected_counter_regression_fails(current_dir, capsys):
+    def regress(document):
+        for row in document["programs"].values():
+            row["cached_measure_calls"] = row["cached_measure_calls"] * 3
+
+    _edit(current_dir / "BENCH_papprox.json", regress)
+    assert _run(current_dir) == 1
+    assert "FAIL" in capsys.readouterr().out
+
+
+def test_counter_gates_have_zero_tolerance(current_dir, capsys):
+    def regress(document):
+        document["aggregate_block_speedup"] = (
+            document["aggregate_block_speedup"] * 0.9
+        )
+
+    _edit(current_dir / "BENCH_papprox.json", regress)
+    assert _run(current_dir) == 1
+
+
+def test_injected_timing_regression_fails(current_dir):
+    def regress(document):
+        document["warm_ratio"] = document["warm_ratio"] * 2 + 0.5
+
+    _edit(current_dir / "BENCH_batch.json", regress)
+    assert _run(current_dir) == 1
+
+
+def test_ratio_worsening_within_tolerance_passes(current_dir):
+    def drift(document):
+        document["warm_ratio"] = document["warm_ratio"] * 1.2
+
+    _edit(current_dir / "BENCH_batch.json", drift)
+    assert _run(current_dir) == 0
+
+
+def test_wallclock_is_informational_unless_gated(current_dir):
+    def slower(document):
+        document["cold_seconds"] = document["cold_seconds"] * 10
+
+    _edit(current_dir / "BENCH_batch.json", slower)
+    assert _run(current_dir) == 0
+    assert _run(current_dir, "--gate-wallclock") == 1
+
+
+def test_dropped_program_fails(current_dir):
+    def drop(document):
+        document["programs"].pop(sorted(document["programs"])[0])
+
+    _edit(current_dir / "BENCH_papprox.json", drop)
+    assert _run(current_dir) == 1
+
+
+def test_missing_current_file_fails(current_dir):
+    (current_dir / "BENCH_batch.json").unlink()
+    assert _run(current_dir) == 1
+
+
+def test_update_blesses_current_numbers(current_dir, tmp_path):
+    def regress(document):
+        document["warm_ratio"] = 0.49
+
+    _edit(current_dir / "BENCH_batch.json", regress)
+    blessed = tmp_path / "blessed"
+    assert (
+        compare_bench.main(
+            ["--baseline-dir", str(blessed), "--current-dir", str(current_dir),
+             "--update"]
+        )
+        == 0
+    )
+    document = json.loads((blessed / "BENCH_batch.json").read_text())
+    assert document["warm_ratio"] == 0.49
+    assert compare_bench.main(
+        ["--baseline-dir", str(blessed), "--current-dir", str(current_dir)]
+    ) == 0
+
+
+def test_step_summary_is_appended(current_dir, tmp_path, monkeypatch):
+    summary = tmp_path / "summary.md"
+    monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary))
+    assert _run(current_dir) == 0
+    assert "## Perf trajectory" in summary.read_text()

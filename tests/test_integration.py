@@ -8,7 +8,6 @@ sugar/parser round trip into the analyses.
 
 from fractions import Fraction
 
-import pytest
 
 from repro import (
     estimate_termination,

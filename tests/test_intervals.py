@@ -21,7 +21,6 @@ from repro.intervals.terms import IntervalNumeral
 from repro.intervals.trace import pairwise_compatible
 from repro.semantics import CbNMachine, Trace
 from repro.spcf import parse
-from repro.spcf.syntax import Numeral
 
 
 class TestInterval:

@@ -78,7 +78,12 @@ class TestMeasureEngine:
         assert first == second
         assert engine.stats.measure_requests == 2
         assert engine.stats.cache_hits == 1
-        assert engine.stats.measure_calls == 1
+        # The set decomposes into two independent univariate blocks, each
+        # measured (and memoized) once; the permuted re-request is answered
+        # from the full-set product entry.
+        assert engine.stats.measure_calls == 2
+        assert engine.stats.block_requests == 2
+        assert engine.stats.multi_block_sets == 1
 
     def test_engine_matches_direct_measure(self):
         a = _le(_affine(0, Fraction(1, 3)))
@@ -89,8 +94,11 @@ class TestMeasureEngine:
         assert engine.measure(constraints, 2).value == direct.value
         disabled = MeasureEngine(cache_enabled=False)
         assert disabled.measure(constraints, 2).value == direct.value
-        assert disabled.stats.measure_calls == 1
+        assert disabled.stats.measure_calls == 2  # one per independent block
         assert disabled.cache_size == 0
+        monolithic = MeasureEngine(cache_enabled=False, block_decomposition=False)
+        assert monolithic.measure(constraints, 2).value == direct.value
+        assert monolithic.stats.measure_calls == 1
 
     def test_complement_rule_is_exact_and_counted(self):
         engine = MeasureEngine()

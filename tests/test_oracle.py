@@ -26,8 +26,8 @@ from repro.semantics.oracle import (
     record_branching,
 )
 from repro.semantics.machine import RunStatus
-from repro.spcf.sugar import add, choice, sub
-from repro.spcf.syntax import App, Fix, If, Lam, Numeral, Prim, Sample, Var
+from repro.spcf.sugar import add, sub
+from repro.spcf.syntax import App, Fix, If, Lam, Numeral, Sample, Var
 from repro.programs.library import geometric, printer_nonaffine
 from repro.symbolic.execute import Strategy
 

@@ -5,7 +5,7 @@ from fractions import Fraction
 import pytest
 
 from repro.intervals import Interval, IntervalTrace
-from repro.intervals.terms import IntervalNumeral, embed
+from repro.intervals.terms import IntervalNumeral
 from repro.programs import geometric, printer_nonaffine
 from repro.lowerbound import lower_bound
 from repro.spcf import parse
