@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import os
 import shutil
 import sys
@@ -46,7 +47,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import List, Optional
 
-BENCH_FILES = ("BENCH_papprox.json", "BENCH_batch.json")
+BENCH_FILES = ("BENCH_papprox.json", "BENCH_batch.json", "BENCH_sweep.json")
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_BASELINE_DIR = Path(__file__).resolve().parent / "baselines"
@@ -143,11 +144,17 @@ def _papprox_metrics(baseline: dict, current: dict) -> List[Metric]:
             ("block_computations", LOWER),
             ("measure_call_speedup", HIGHER),
         ):
+            old_value = _number(old_row.get(field))
+            new_value = _number(new_row.get(field))
+            if old_value is None and new_value is None:
+                # Deliberately absent on both sides (e.g. the call-speedup of
+                # programs that never invoke measure_constraints): no gate.
+                continue
             metrics.append(
                 Metric(
                     f"papprox[{name}]: {field.replace('_', ' ')}",
-                    _number(old_row.get(field)),
-                    _number(new_row.get(field)),
+                    old_value,
+                    new_value,
                     direction,
                     COUNTER,
                 )
@@ -173,8 +180,14 @@ def _papprox_metrics(baseline: dict, current: dict) -> List[Metric]:
     return metrics
 
 
+def _multicore(document: dict) -> bool:
+    """Whether a bench document was produced on a machine that can fan out."""
+    cores = document.get("cpu_count")
+    return isinstance(cores, (int, float)) and cores >= 2
+
+
 def _batch_metrics(baseline: dict, current: dict) -> List[Metric]:
-    return [
+    metrics = [
         Metric("batch: jobs in suite", _number(baseline.get("job_count")),
                _number(current.get("job_count")), HIGHER, COUNTER),
         Metric("batch: warm job-cache hits", _number(baseline.get("warm_job_cache_hits")),
@@ -185,14 +198,100 @@ def _batch_metrics(baseline: dict, current: dict) -> List[Metric]:
                _number(current.get("cold_seconds")), LOWER, WALLCLOCK),
         Metric("batch: serial seconds", _number(baseline.get("serial_seconds")),
                _number(current.get("serial_seconds")), LOWER, WALLCLOCK),
-        Metric("batch: parallel speedup", _number(baseline.get("parallel_speedup")),
-               _number(current.get("parallel_speedup")), HIGHER, INFO),
     ]
+    # The parallel-speedup ratio only means something when both sides had
+    # >= 2 cores to fan out over *and* both recorded the field (a 1-core
+    # emitter skips the parallel run entirely): comparing a single-core
+    # "speedup" would gate on pure scheduling noise, so it is skipped, not
+    # reported as missing.
+    baseline_speedup = _number(baseline.get("parallel_speedup"))
+    current_speedup = _number(current.get("parallel_speedup"))
+    if (
+        _multicore(baseline)
+        and _multicore(current)
+        and baseline_speedup is not None
+        and current_speedup is not None
+    ):
+        metrics.append(
+            Metric("batch: parallel speedup", baseline_speedup, current_speedup,
+                   HIGHER, RATIO)
+        )
+    return metrics
+
+
+def _sweep_metrics(baseline: dict, current: dict) -> List[Metric]:
+    metrics = [
+        Metric(
+            "sweep: aggregate box reduction (multi-block)",
+            _number(baseline.get("aggregate_box_reduction")),
+            _number(current.get("aggregate_box_reduction")),
+            HIGHER,
+            COUNTER,
+        ),
+        Metric(
+            "sweep: block boxes examined (multi-block total)",
+            _number(baseline.get("multi_block_block_boxes")),
+            _number(current.get("multi_block_block_boxes")),
+            LOWER,
+            COUNTER,
+        ),
+        Metric(
+            "sweep: warm base sweep computations",
+            _number(baseline.get("warm_sweep_blocks")),
+            _number(current.get("warm_sweep_blocks")),
+            LOWER,
+            COUNTER,
+        ),
+    ]
+    baseline_programs = baseline.get("programs") or {}
+    current_programs = current.get("programs") or {}
+    for name in sorted(baseline_programs):
+        old_row = baseline_programs.get(name) or {}
+        new_row = current_programs.get(name)
+        if new_row is None:
+            metrics.append(
+                Metric(f"sweep[{name}]: block boxes",
+                       _number(old_row.get("block_boxes")), None, LOWER, COUNTER)
+            )
+            continue
+        for field, direction in (
+            ("block_boxes", LOWER),
+            ("block_bound", HIGHER),
+        ):
+            metrics.append(
+                Metric(
+                    f"sweep[{name}]: {field.replace('_', ' ')}",
+                    _number(old_row.get(field)),
+                    _number(new_row.get(field)),
+                    direction,
+                    COUNTER,
+                )
+            )
+    # Within-run timing ratio: block vs joint wall-clock, totalled over the
+    # common programs (both sides run in the same process).
+    common = [name for name in baseline_programs if name in current_programs]
+
+    def _totals(programs, names):
+        joint_ms = sum(_number(programs[n].get("joint_ms")) or 0.0 for n in names)
+        block_ms = sum(_number(programs[n].get("block_ms")) or 0.0 for n in names)
+        return (block_ms / joint_ms) if joint_ms else None
+
+    metrics.append(
+        Metric(
+            "sweep: block/joint wall-clock ratio",
+            _totals(baseline_programs, common),
+            _totals(current_programs, common),
+            LOWER,
+            RATIO,
+        )
+    )
+    return metrics
 
 
 METRIC_BUILDERS = {
     "BENCH_papprox.json": _papprox_metrics,
     "BENCH_batch.json": _batch_metrics,
+    "BENCH_sweep.json": _sweep_metrics,
 }
 
 
@@ -212,6 +311,8 @@ def collect_metrics(baseline_dir: Path, current_dir: Path) -> List[Metric]:
 def _format(value: Optional[float]) -> str:
     if value is None:
         return "-"
+    if not math.isfinite(value):
+        return str(value)
     if value == int(value) and abs(value) < 1e9:
         return str(int(value))
     return f"{value:.4g}"

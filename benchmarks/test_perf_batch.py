@@ -5,8 +5,9 @@ Two gates, both over the table1 + table2 suite:
 * **parallel speedup** -- the same cold suite at ``jobs=1`` (inline, one
   shared engine) vs ``jobs=min(4, cores)`` worker processes.  On machines
   with >= 2 cores the parallel run must be at least 1.5x faster; on a single
-  core the ratio is recorded but not asserted (there is nothing to fan out
-  over).
+  core the parallel run is skipped outright and no speedup is recorded
+  (``benchmarks/compare_bench.py`` likewise skips the ratio), because a
+  1-core "speedup" would only measure scheduling noise.
 * **warm cache** -- the suite against an empty cache directory (cold) and
   again over the same directory (warm).  The warm run must replay every job
   from the cache, take at most half the cold wall-clock, and produce
@@ -62,13 +63,17 @@ def test_parallel_speedup_and_warm_cache():
     depth = 50
     specs = _suite(depth)
     cores = os.cpu_count() or 1
-    parallel_jobs = min(4, cores) if cores >= 2 else 4
+    parallel_jobs = min(4, cores)
 
     # -- cold serial vs cold parallel (both uncached, best of 2) -------------
     serial_seconds, serial_report = _timed_run(specs, jobs=1, repeats=2)
-    parallel_seconds, parallel_report = _timed_run(specs, jobs=parallel_jobs, repeats=2)
-    assert _lines(serial_report) == _lines(parallel_report)
-    speedup = serial_seconds / parallel_seconds if parallel_seconds else float("inf")
+    parallel_seconds = speedup = None
+    if cores >= 2:
+        parallel_seconds, parallel_report = _timed_run(
+            specs, jobs=parallel_jobs, repeats=2
+        )
+        assert _lines(serial_report) == _lines(parallel_report)
+        speedup = serial_seconds / parallel_seconds if parallel_seconds else float("inf")
 
     # -- cold vs warm over one persistent cache directory --------------------
     cache_dir = Path(tempfile.mkdtemp(prefix="repro-batch-bench-"))
@@ -88,8 +93,6 @@ def test_parallel_speedup_and_warm_cache():
         "cpu_count": cores,
         "parallel_jobs": parallel_jobs,
         "serial_seconds": round(serial_seconds, 4),
-        "parallel_seconds": round(parallel_seconds, 4),
-        "parallel_speedup": round(speedup, 3),
         "parallel_speedup_floor": _PARALLEL_SPEEDUP_FLOOR,
         "parallel_gate_enforced": cores >= 2,
         "cold_seconds": round(cold_seconds, 4),
@@ -98,12 +101,18 @@ def test_parallel_speedup_and_warm_cache():
         "warm_ratio_ceiling": _WARM_RATIO_CEILING,
         "warm_job_cache_hits": warm_report.cache_hits,
     }
+    if speedup is not None:
+        payload["parallel_seconds"] = round(parallel_seconds, 4)
+        payload["parallel_speedup"] = round(speedup, 3)
     _RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     print()
     print(f"batch suite        : {len(specs)} jobs (depth {depth}, {cores} cores)")
     print(f"serial   (jobs=1)  : {serial_seconds:8.2f} s")
-    print(f"parallel (jobs={parallel_jobs})  : {parallel_seconds:8.2f} s   "
-          f"speedup {speedup:4.2f}x")
+    if speedup is not None:
+        print(f"parallel (jobs={parallel_jobs})  : {parallel_seconds:8.2f} s   "
+              f"speedup {speedup:4.2f}x")
+    else:
+        print(f"parallel           : skipped ({cores} core, nothing to fan out over)")
     print(f"cold cache         : {cold_seconds:8.2f} s")
     print(f"warm cache         : {warm_seconds:8.2f} s   ratio {warm_ratio:4.2f}")
 
@@ -111,7 +120,7 @@ def test_parallel_speedup_and_warm_cache():
         f"warm cache run took {warm_ratio:.2f}x of the cold run "
         f"(ceiling {_WARM_RATIO_CEILING})"
     )
-    if cores >= 2:
+    if speedup is not None:
         assert speedup >= _PARALLEL_SPEEDUP_FLOOR, (
             f"parallel speedup {speedup:.2f}x below the "
             f"{_PARALLEL_SPEEDUP_FLOOR}x floor on {cores} cores"

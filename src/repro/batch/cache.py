@@ -5,9 +5,11 @@ Layout (everything lives under one ``--cache-dir``)::
     <cache-dir>/
       jobs/<sha256-key>.json    one finished JobResult per file
       measures-<prefix>.json    one shard of serialized MeasureEngine entries
+      sweeps-<prefix>.json      one shard of serialized per-block SweepResults
+      meta.json                 the monotone run counter driving the GC
       measures.json             legacy single-file store (read, then migrated)
 
-Both kinds of file are versioned JSON.  Reads are *strictly best-effort*: a
+Every kind of file is versioned JSON.  Reads are *strictly best-effort*: a
 missing, corrupted, truncated, or version-mismatched file is treated as a
 cache miss and silently discarded -- a damaged cache must never take an
 analysis down, it can only cost recomputation.  Writes go through a
@@ -18,15 +20,24 @@ sharing a directory do not contend on a single growing file.
 Measure entries are keyed by the deterministic canonical constraint-set key
 of :meth:`repro.geometry.engine.MeasureEngine.persistent_key` (since the
 block decomposition these are mostly per-*block* keys, shared across
-programs) and tagged with the engine's registry fingerprint: a cache written
-under different primitive semantics is ignored wholesale.  Entries are
-sharded across ``measures-<prefix>.json`` files by the first two hex digits
-of the SHA-256 of their key, so two batches merging different blocks rewrite
-different small files instead of contending on (and re-serializing) one
-growing ``measures.json``.  Merging takes a shared directory-wide lock plus
-an exclusive per-shard lock; a legacy single-file ``measures.json`` written
-by an older version is still read transparently and is folded into the
-shards (then removed) on the first merge that writes.
+programs); sweep entries by
+:meth:`~repro.geometry.engine.MeasureEngine.persistent_sweep_key`, which
+carries the sweep budget.  Both are tagged with the engine's registry
+fingerprint: a cache written under different primitive semantics is ignored
+wholesale.  Entries are sharded across ``<kind>-<prefix>.json`` files by the
+first two hex digits of the SHA-256 of their key, so two batches merging
+different blocks rewrite different small files instead of contending on (and
+re-serializing) one growing file.  Merging takes a shared directory-wide
+lock plus an exclusive per-shard lock; a legacy single-file ``measures.json``
+written by an older version is still read transparently and is folded into
+the shards (then removed) on the first merge that writes.
+
+The store would otherwise only ever grow, so every shard document also
+records per-entry *touch stamps*: the value of the monotone run counter
+(``meta.json``, bumped once per batch run that performs work) when the entry
+was last written *or* last served as a persistent hit.  :meth:`BatchCache.prune`
+drops entries whose stamp is at least ``min_age_runs`` runs old -- the CLI's
+``python -m repro batch prune --cache-dir ... --keep-runs N``.
 """
 
 from __future__ import annotations
@@ -36,8 +47,9 @@ import json
 import os
 import tempfile
 from contextlib import contextmanager
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Mapping, Optional, Union
+from typing import Dict, Iterable, List, Mapping, Optional, Union
 
 from repro.batch.jobs import JobResult
 from repro.geometry.engine import MeasureEngine
@@ -47,11 +59,14 @@ CACHE_VERSION = 1
 _SHARD_PREFIX_LENGTH = 2
 """Hex digits of the key hash used as the shard name (256 shards)."""
 
-__all__ = ["BatchCache", "CACHE_VERSION", "shard_prefix"]
+_SHARD_KINDS = ("measures", "sweeps")
+"""The sharded entry stores (measure results and per-block sweep results)."""
+
+__all__ = ["BatchCache", "CACHE_VERSION", "PruneReport", "shard_prefix"]
 
 
 def shard_prefix(key: str) -> str:
-    """The shard a measure entry key belongs to (first hash hex digits)."""
+    """The shard a store entry key belongs to (first hash hex digits)."""
     return hashlib.sha256(key.encode("utf-8")).hexdigest()[:_SHARD_PREFIX_LENGTH]
 
 
@@ -86,20 +101,67 @@ def _read_versioned_json(path: Path) -> Optional[dict]:
 
 
 def _document_entries(document: Optional[dict], fingerprint: str) -> Dict[str, List]:
-    """The measure entries of one store document matching ``fingerprint``."""
+    """The store entries of one shard document matching ``fingerprint``."""
     if document is None or document.get("fingerprint") != fingerprint:
         return {}
     entries = document.get("entries")
     return entries if isinstance(entries, dict) else {}
 
 
+def _document_touched(document: Optional[dict]) -> Dict[str, int]:
+    """The touch stamps of one shard document (missing/malformed = empty)."""
+    if document is None:
+        return {}
+    touched = document.get("touched")
+    if not isinstance(touched, dict):
+        return {}
+    return {
+        key: stamp
+        for key, stamp in touched.items()
+        if isinstance(key, str) and isinstance(stamp, int)
+    }
+
+
+@dataclass
+class PruneReport:
+    """What one :meth:`BatchCache.prune` pass removed (and kept)."""
+
+    run_counter: int
+    min_age_runs: int
+    pruned: Dict[str, int] = field(default_factory=dict)
+    kept: Dict[str, int] = field(default_factory=dict)
+    removed_files: int = 0
+
+    @property
+    def pruned_total(self) -> int:
+        return sum(self.pruned.values())
+
+    @property
+    def kept_total(self) -> int:
+        return sum(self.kept.values())
+
+    def summary(self) -> str:
+        lines = [
+            f"run counter      : {self.run_counter}",
+            f"stale after      : {self.min_age_runs} runs untouched",
+        ]
+        for kind in _SHARD_KINDS:
+            lines.append(
+                f"{kind:<17s}: pruned {self.pruned.get(kind, 0)}, "
+                f"kept {self.kept.get(kind, 0)}"
+            )
+        lines.append(f"shards removed   : {self.removed_files}")
+        return "\n".join(lines)
+
+
 class BatchCache:
-    """A persistent store of job results and measure-engine entries."""
+    """A persistent store of job results, measure entries and sweep entries."""
 
     def __init__(self, directory: Union[str, Path]) -> None:
         self.directory = Path(directory)
         self.jobs_directory = self.directory / "jobs"
         self.measures_path = self.directory / "measures.json"
+        self.meta_path = self.directory / "meta.json"
         self.directory.mkdir(parents=True, exist_ok=True)
 
     # -- job results ---------------------------------------------------------
@@ -136,13 +198,37 @@ class BatchCache:
             return 0
         return sum(1 for entry in self.jobs_directory.glob("*.json"))
 
-    # -- measure-engine entries ----------------------------------------------
+    # -- the run counter -------------------------------------------------------
 
-    def shard_path(self, prefix: str) -> Path:
-        return self.directory / f"measures-{prefix}.json"
+    def run_counter(self) -> int:
+        """The number of batch runs that have written to this store."""
+        document = _read_versioned_json(self.meta_path)
+        if document is None:
+            return 0
+        counter = document.get("run_counter")
+        return counter if isinstance(counter, int) and counter >= 0 else 0
 
-    def _shard_paths(self) -> List[Path]:
-        return sorted(self.directory.glob("measures-*.json"))
+    def begin_run(self) -> int:
+        """Bump and return the run counter (one tick per working batch run).
+
+        The counter is the GC clock: entries written or hit during run ``N``
+        are stamped ``N`` and survive a later ``prune(min_age_runs=K)`` as
+        long as the counter has not advanced past ``N + K - 1``.
+        """
+        with self._lock(self.directory / "meta.lock"):
+            counter = self.run_counter() + 1
+            _atomic_write_json(
+                self.meta_path, {"version": CACHE_VERSION, "run_counter": counter}
+            )
+            return counter
+
+    # -- measure- and sweep-engine entries -------------------------------------
+
+    def shard_path(self, prefix: str, kind: str = "measures") -> Path:
+        return self.directory / f"{kind}-{prefix}.json"
+
+    def _shard_paths(self, kind: str = "measures") -> List[Path]:
+        return sorted(self.directory.glob(f"{kind}-*.json"))
 
     def load_measures(self, engine: MeasureEngine) -> Dict[str, List]:
         """The stored measure entries compatible with ``engine``.
@@ -156,7 +242,15 @@ class BatchCache:
         entries: Dict[str, List] = dict(
             _document_entries(_read_versioned_json(self.measures_path), fingerprint)
         )
-        for path in self._shard_paths():
+        for path in self._shard_paths("measures"):
+            entries.update(_document_entries(_read_versioned_json(path), fingerprint))
+        return entries
+
+    def load_sweeps(self, engine: MeasureEngine) -> Dict[str, List]:
+        """The stored per-block sweep entries compatible with ``engine``."""
+        fingerprint = engine.registry_fingerprint()
+        entries: Dict[str, List] = {}
+        for path in self._shard_paths("sweeps"):
             entries.update(_document_entries(_read_versioned_json(path), fingerprint))
         return entries
 
@@ -164,10 +258,18 @@ class BatchCache:
         """How many compatible measure entries the store currently holds."""
         return len(self.load_measures(engine))
 
+    def sweep_entry_count(self, engine: MeasureEngine) -> int:
+        """How many compatible sweep entries the store currently holds."""
+        return len(self.load_sweeps(engine))
+
     def merge_measures(
-        self, engine: MeasureEngine, new_entries: Mapping[str, List]
+        self,
+        engine: MeasureEngine,
+        new_entries: Mapping[str, List],
+        run: Optional[int] = None,
+        touched_keys: Iterable[str] = (),
     ) -> int:
-        """Fold ``new_entries`` into the on-disk store; returns its new size.
+        """Fold ``new_entries`` into the on-disk measure store.
 
         Entries land in their key's shard file.  The merge holds the
         directory lock *shared* (so a migration cannot run mid-merge) and
@@ -178,38 +280,101 @@ class BatchCache:
         into the shards (under the exclusive directory lock) the first time a
         merge writes.
 
-        Returns the number of entries written by this merge (new entries plus
-        any migrated legacy entries) -- deliberately *not* the total store
-        size, which would cost a full read of every shard for a number no
-        caller needs.
+        ``run`` (default: the current run counter) stamps the written
+        entries for the GC; ``touched_keys`` are existing entries this run
+        answered from the store, whose stamps are refreshed in place.
+
+        Returns the number of entries written by this merge (new entries
+        plus any migrated legacy entries) -- deliberately *not* the total
+        store size, which would cost a full read of every shard for a number
+        no caller needs.
         """
-        if not new_entries:
+        migrated = 0
+        if new_entries and self.measures_path.exists():
+            migrated = self._migrate_legacy_measures(engine.registry_fingerprint())
+        written = self._merge_kind("measures", engine, new_entries, run, touched_keys)
+        return written + migrated
+
+    def merge_sweeps(
+        self,
+        engine: MeasureEngine,
+        new_entries: Mapping[str, List],
+        run: Optional[int] = None,
+        touched_keys: Iterable[str] = (),
+    ) -> int:
+        """Fold per-block sweep entries into the on-disk sweep store.
+
+        Same sharding, locking and touch-stamp semantics as
+        :meth:`merge_measures` (there is no legacy single-file sweep store).
+        """
+        return self._merge_kind("sweeps", engine, new_entries, run, touched_keys)
+
+    def _merge_kind(
+        self,
+        kind: str,
+        engine: MeasureEngine,
+        new_entries: Mapping[str, List],
+        run: Optional[int],
+        touched_keys: Iterable[str],
+    ) -> int:
+        touched_keys = set(touched_keys)
+        if not new_entries and not touched_keys:
             return 0
         fingerprint = engine.registry_fingerprint()
+        if run is None:
+            run = self.run_counter()
         by_shard: Dict[str, Dict[str, List]] = {}
         for key, entry in new_entries.items():
             by_shard.setdefault(shard_prefix(key), {})[key] = entry
-        migrated = 0
-        if self.measures_path.exists():
-            migrated = self._migrate_legacy_measures(fingerprint)
+        touched_by_shard: Dict[str, set] = {}
+        for key in touched_keys:
+            touched_by_shard.setdefault(shard_prefix(key), set()).add(key)
         with self._directory_lock(exclusive=False):
-            for prefix, shard_entries in sorted(by_shard.items()):
-                self._merge_shard(prefix, fingerprint, shard_entries)
-        return len(new_entries) + migrated
+            for prefix in sorted(set(by_shard) | set(touched_by_shard)):
+                self._merge_shard(
+                    kind,
+                    prefix,
+                    fingerprint,
+                    by_shard.get(prefix, {}),
+                    run,
+                    touched_by_shard.get(prefix, set()),
+                )
+        return len(new_entries)
 
     def _merge_shard(
-        self, prefix: str, fingerprint: str, shard_entries: Dict[str, List]
+        self,
+        kind: str,
+        prefix: str,
+        fingerprint: str,
+        shard_entries: Dict[str, List],
+        run: int,
+        touched_keys: set,
     ) -> None:
-        path = self.shard_path(prefix)
+        path = self.shard_path(prefix, kind)
         with self._lock(path.with_suffix(".lock")):
-            entries = _document_entries(_read_versioned_json(path), fingerprint)
+            document = _read_versioned_json(path)
+            entries = _document_entries(document, fingerprint)
+            touched = _document_touched(document)
             entries.update(shard_entries)
+            for key in shard_entries:
+                touched[key] = run
+            for key in touched_keys:
+                if key in entries:
+                    touched[key] = run
+            # Stamps for keys no longer present carry no information.
+            touched = {key: stamp for key, stamp in touched.items() if key in entries}
+            if not entries:
+                # A pure-touch merge with nothing to stamp (the shard never
+                # existed, or holds another fingerprint's entries): writing
+                # would only create -- or clobber -- an empty document.
+                return
             _atomic_write_json(
                 path,
                 {
                     "version": CACHE_VERSION,
                     "fingerprint": fingerprint,
                     "entries": entries,
+                    "touched": touched,
                 },
             )
 
@@ -233,16 +398,76 @@ class BatchCache:
             legacy = _document_entries(
                 _read_versioned_json(self.measures_path), fingerprint
             )
+            run = self.run_counter()
             by_shard: Dict[str, Dict[str, List]] = {}
             for key, entry in legacy.items():
                 by_shard.setdefault(shard_prefix(key), {})[key] = entry
             for prefix, shard_entries in sorted(by_shard.items()):
-                self._merge_shard(prefix, fingerprint, shard_entries)
+                self._merge_shard("measures", prefix, fingerprint, shard_entries, run, set())
             try:
                 self.measures_path.unlink()
             except OSError:
                 pass
             return len(legacy)
+
+    # -- garbage collection ----------------------------------------------------
+
+    def prune(self, min_age_runs: int) -> PruneReport:
+        """Drop measure/sweep entries untouched for ``min_age_runs`` runs.
+
+        An entry is stale when the run counter has advanced by at least
+        ``min_age_runs`` since the entry was last written or last served as
+        a persistent hit (entries with no stamp -- e.g. migrated legacy
+        ones -- count as stamped at run 0).  Shards left empty are removed
+        outright.  Job results are content-addressed by program text and
+        parameters and are not aged here.
+
+        The whole pass holds the exclusive directory lock: a prune never
+        races a merge into losing freshly written entries.
+        """
+        if min_age_runs < 1:
+            raise ValueError("min_age_runs must be at least 1")
+        counter = self.run_counter()
+        cutoff = counter - min_age_runs
+        report = PruneReport(run_counter=counter, min_age_runs=min_age_runs)
+        with self._directory_lock(exclusive=True):
+            for kind in _SHARD_KINDS:
+                pruned = kept = 0
+                for path in self._shard_paths(kind):
+                    with self._lock(path.with_suffix(".lock")):
+                        document = _read_versioned_json(path)
+                        if document is None:
+                            continue  # corrupt shards are misses, not errors
+                        entries = document.get("entries")
+                        if not isinstance(entries, dict):
+                            continue
+                        touched = _document_touched(document)
+                        survivors = {
+                            key: entry
+                            for key, entry in entries.items()
+                            if touched.get(key, 0) > cutoff
+                        }
+                        pruned += len(entries) - len(survivors)
+                        kept += len(survivors)
+                        if not survivors:
+                            try:
+                                path.unlink()
+                                path.with_suffix(".lock").unlink()
+                            except OSError:
+                                pass
+                            report.removed_files += 1
+                            continue
+                        if len(survivors) != len(entries):
+                            document["entries"] = survivors
+                            document["touched"] = {
+                                key: stamp
+                                for key, stamp in touched.items()
+                                if key in survivors
+                            }
+                            _atomic_write_json(path, document)
+                report.pruned[kind] = pruned
+                report.kept[kind] = kept
+        return report
 
     # -- locking ---------------------------------------------------------------
 
@@ -266,5 +491,5 @@ class BatchCache:
 
     def _directory_lock(self, exclusive: bool):
         """The store-wide lock: shared for shard merges, exclusive for the
-        legacy-file migration."""
+        legacy-file migration and the GC."""
         return self._lock(self.directory / "measures.lock", exclusive=exclusive)

@@ -32,7 +32,10 @@ from repro.programs import resolve_program
 from repro.programs.library import Program
 from repro.spcf.printer import pretty
 
-JOB_FORMAT_VERSION = 1
+# Version 2: the block-decomposed sweep (PR 4) tightened emitted non-affine
+# lower bounds and added ``measure_gap`` to lower-bound payloads, so results
+# cached under version 1 must not be replayed.
+JOB_FORMAT_VERSION = 2
 
 ANALYSES: Tuple[str, ...] = ("lower-bound", "verify", "classify", "estimate", "papprox")
 
@@ -280,6 +283,7 @@ def _execute(spec: JobSpec, engine: MeasureEngine) -> Dict[str, Any]:
         return {
             "probability": encode_number(result.probability),
             "expected_steps": encode_number(result.expected_steps),
+            "measure_gap": encode_number(result.measure_gap),
             "path_count": result.path_count,
             "exhaustive": result.exhaustive,
             "exact_measures": result.exact_measures,

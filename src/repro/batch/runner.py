@@ -36,6 +36,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Unio
 from repro.batch.cache import BatchCache
 from repro.batch.jobs import JobResult, JobSpec, run_job
 from repro.geometry.engine import MeasureEngine
+from repro.geometry.measure import MeasureOptions
 from repro.geometry.stats import PerfStats
 
 __all__ = [
@@ -111,20 +112,31 @@ def _merge_stats(total: PerfStats, delta: Optional[Dict[str, int]]) -> None:
 _WORKER_ENGINE: Optional[MeasureEngine] = None
 
 
-def _worker_init(measure_entries: Dict[str, list]) -> None:
+def _worker_init(
+    measure_entries: Dict[str, list], sweep_entries: Dict[str, list]
+) -> None:
     """Build this worker's engine, pre-seeded from the persistent cache."""
     global _WORKER_ENGINE
     _WORKER_ENGINE = MeasureEngine()
     if measure_entries:
         _WORKER_ENGINE.import_cache_entries(measure_entries)
+    if sweep_entries:
+        _WORKER_ENGINE.import_sweep_entries(sweep_entries)
 
 
 def _worker_run(indexed_spec):
-    """Run one job in a worker; also ship back the new measure entries."""
+    """Run one job in a worker; ship back the new measure and sweep entries
+    plus the persistent keys the job was answered from (GC touch stamps)."""
     index, spec = indexed_spec
     engine = _WORKER_ENGINE or MeasureEngine()
     result = run_job(spec, engine)
-    return index, result, engine.export_cache_entries()
+    return (
+        index,
+        result,
+        engine.export_cache_entries(),
+        engine.export_sweep_entries(),
+        engine.drain_persistent_hit_keys(),
+    )
 
 
 # -- the scheduler -------------------------------------------------------------
@@ -151,13 +163,24 @@ def run_batch(
         if progress is not None:
             progress(result, completed, total)
 
-    # Answer whatever the cache already knows, in order.
+    # Cached job results were computed under the default engine options, so
+    # an explicitly configured engine (``--no-block-sweep``, a sweep budget,
+    # ...) must not replay them -- its own answers can differ -- and must
+    # run inline: pool workers build default engines and would silently
+    # compute default-option results.  The measure/sweep stores stay shared
+    # either way; their persistent keys carry the options.
+    job_cache = cache
+    if engine is not None and engine.options != MeasureOptions():
+        job_cache = None
+        jobs = 1
+
+    # Answer whatever the job cache already knows, in order.
     pending: List[int] = []
     for index, spec in enumerate(specs):
         cached = None
-        if cache is not None:
+        if job_cache is not None:
             key = _safe_key(spec)
-            cached = cache.load_job(key) if key else None
+            cached = job_cache.load_job(key) if key else None
         if cached is not None:
             results[index] = cached
             hits += 1
@@ -168,9 +191,9 @@ def run_batch(
     merged_stats = PerfStats()
     if pending:
         if jobs <= 1 or len(pending) == 1:
-            _run_inline(specs, pending, cache, engine, results, note)
+            _run_inline(specs, pending, cache, job_cache, engine, results, note)
         else:
-            _run_pool(specs, pending, jobs, cache, results, note)
+            _run_pool(specs, pending, jobs, cache, job_cache, results, note)
     for result in results:
         if result is not None and not result.cached:
             _merge_stats(merged_stats, result.stats)
@@ -190,6 +213,7 @@ def _run_inline(
     specs: Sequence[JobSpec],
     pending: Sequence[int],
     cache: Optional[BatchCache],
+    job_cache: Optional[BatchCache],
     engine: Optional[MeasureEngine],
     results: List[Optional[JobResult]],
     note: Callable[[JobResult], None],
@@ -197,14 +221,22 @@ def _run_inline(
     engine = engine or MeasureEngine()
     if cache is not None:
         engine.import_cache_entries(cache.load_measures(engine))
+        engine.import_sweep_entries(cache.load_sweeps(engine))
     for index in pending:
         result = run_job(specs[index], engine)
         results[index] = result
-        if cache is not None:
-            cache.store_job(result)
+        if job_cache is not None:
+            job_cache.store_job(result)
         note(result)
     if cache is not None:
-        cache.merge_measures(engine, engine.export_cache_entries())
+        run = cache.begin_run()
+        touched_measures, touched_sweeps = engine.drain_persistent_hit_keys()
+        cache.merge_measures(
+            engine, engine.export_cache_entries(), run=run, touched_keys=touched_measures
+        )
+        cache.merge_sweeps(
+            engine, engine.export_sweep_entries(), run=run, touched_keys=touched_sweeps
+        )
 
 
 def _schedule_order(specs: Sequence[JobSpec], pending: Sequence[int]) -> List[int]:
@@ -217,12 +249,17 @@ def _run_pool(
     pending: Sequence[int],
     jobs: int,
     cache: Optional[BatchCache],
+    job_cache: Optional[BatchCache],
     results: List[Optional[JobResult]],
     note: Callable[[JobResult], None],
 ) -> None:
     probe = MeasureEngine()
     measure_entries = cache.load_measures(probe) if cache is not None else {}
+    sweep_entries = cache.load_sweeps(probe) if cache is not None else {}
     collected: Dict[str, list] = {}
+    collected_sweeps: Dict[str, list] = {}
+    touched_measures: set = set()
+    touched_sweeps: set = set()
     context = None
     if "fork" in multiprocessing.get_all_start_methods():
         context = multiprocessing.get_context("fork")
@@ -230,7 +267,7 @@ def _run_pool(
         max_workers=min(jobs, len(pending)),
         mp_context=context,
         initializer=_worker_init,
-        initargs=(measure_entries,),
+        initargs=(measure_entries, sweep_entries),
     ) as pool:
         futures = {
             pool.submit(_worker_run, (index, specs[index])): index
@@ -239,8 +276,11 @@ def _run_pool(
         for future in as_completed(futures):
             index = futures[future]
             try:
-                index, result, new_entries = future.result()
+                index, result, new_entries, new_sweeps, hit_keys = future.result()
                 collected.update(new_entries)
+                collected_sweeps.update(new_sweeps)
+                touched_measures.update(hit_keys[0])
+                touched_sweeps.update(hit_keys[1])
             except Exception as exc:  # worker process died (BrokenProcessPool, ...)
                 result = JobResult(
                     spec=specs[index],
@@ -250,11 +290,13 @@ def _run_pool(
                     error=f"{type(exc).__name__}: {exc}",
                 )
             results[index] = result
-            if cache is not None:
-                cache.store_job(result)
+            if job_cache is not None:
+                job_cache.store_job(result)
             note(result)
     if cache is not None:
-        cache.merge_measures(probe, collected)
+        run = cache.begin_run()
+        cache.merge_measures(probe, collected, run=run, touched_keys=touched_measures)
+        cache.merge_sweeps(probe, collected_sweeps, run=run, touched_keys=touched_sweeps)
 
 
 # -- JSONL output --------------------------------------------------------------

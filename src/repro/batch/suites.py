@@ -5,7 +5,10 @@ A *suite* is the batch rendering of one evaluation section:
 * ``table1``  -- lower bounds for every Table 1 program,
 * ``table2``  -- AST verification for every Table 2 program,
 * ``classify`` -- combined AST/PAST classification of the Table 2 programs,
-* ``all``     -- the three above, concatenated.
+* ``sweep``   -- lower bounds for the non-affine retry loops, the
+  sweep-heavy workload exercising the block-decomposed subdivision sweep
+  and its persistent ``sweeps-<prefix>.json`` store,
+* ``all``     -- table1, table2 and classify, concatenated.
 
 Cost hints are derived from the term size (scaled by the exploration depth
 for lower bounds): they only inform the scheduler's longest-first ordering,
@@ -23,12 +26,21 @@ from typing import List, Mapping, Optional, Union
 
 from repro.batch.jobs import JobSpec
 from repro.programs import table1_programs, table2_programs
+from repro.programs.extra import nonaffine_programs
 from repro.programs.library import Program
 from repro.spcf.syntax import term_size
 
-SUITE_NAMES = ("table1", "table2", "classify", "all")
+SUITE_NAMES = ("table1", "table2", "classify", "sweep", "all")
 
-__all__ = ["SUITE_NAMES", "classify_suite", "load_job_file", "suite", "table1_suite", "table2_suite"]
+__all__ = [
+    "SUITE_NAMES",
+    "classify_suite",
+    "load_job_file",
+    "suite",
+    "sweep_suite",
+    "table1_suite",
+    "table2_suite",
+]
 
 
 def table1_suite(
@@ -83,6 +95,29 @@ def classify_suite(
     ]
 
 
+def sweep_suite(
+    depth: int = 35,
+    max_paths: int = 100_000,
+    programs: Optional[Mapping[str, Program]] = None,
+) -> List[JobSpec]:
+    """One ``lower-bound`` job per non-affine retry program.
+
+    Every path constraint set of these programs needs the subdivision sweep
+    (no affine form exists), so the suite is the canonical workload for the
+    block-sweep memoization and its persistent store.
+    """
+    programs = dict(programs) if programs is not None else nonaffine_programs()
+    return [
+        JobSpec(
+            program=name,
+            analysis="lower-bound",
+            params={"depth": depth, "max_paths": max_paths},
+            cost_hint=float(term_size(program.applied) * depth),
+        )
+        for name, program in programs.items()
+    ]
+
+
 def suite(name: str, depth: int = 50) -> List[JobSpec]:
     """Resolve a ``--suite`` name to its job list."""
     if name == "table1":
@@ -91,6 +126,8 @@ def suite(name: str, depth: int = 50) -> List[JobSpec]:
         return table2_suite()
     if name == "classify":
         return classify_suite()
+    if name == "sweep":
+        return sweep_suite(depth=depth)
     if name == "all":
         return table1_suite(depth=depth) + table2_suite() + classify_suite()
     raise ValueError(f"unknown suite {name!r}; expected one of {SUITE_NAMES}")

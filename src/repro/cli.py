@@ -22,6 +22,12 @@ analysis a command runs draws from a single memoized measure cache; pass
 only slower), ``--no-block-memo`` to memoize whole sets without the
 block decomposition, and ``--stats`` to print the engine's
 :class:`~repro.geometry.stats.PerfStats` counters after the run.
+Non-affine constraint sets are swept block by block by default, which
+tightens emitted lower bounds; ``--no-block-sweep`` restores the joint
+full-dimensional sweep, and ``--sweep-depth``, ``--sweep-gap`` and
+``--sweep-max-boxes`` tune the adaptive refinement budget.
+``python -m repro batch prune --cache-dir ... --keep-runs N`` garbage-
+collects persistent measure/sweep entries untouched for N runs.
 
 The evaluation commands (``table1``, ``table2``, ``report``) and the generic
 ``batch`` command run through :mod:`repro.batch`: ``--jobs N`` fans the
@@ -36,6 +42,7 @@ import argparse
 import os
 import sys
 import time
+from fractions import Fraction
 from typing import Optional, Sequence
 
 from repro.astcheck import verify_ast
@@ -51,6 +58,7 @@ from repro.batch import (
 )
 from repro.batch.suites import SUITE_NAMES
 from repro.geometry.engine import MeasureEngine
+from repro.geometry.measure import MeasureOptions
 from repro.lowerbound import LowerBoundEngine
 from repro.pastcheck import classify_termination
 from repro.programs import all_programs as _all_programs
@@ -61,10 +69,24 @@ from repro.spcf import pretty, typecheck
 from repro.symbolic.execute import Strategy
 
 
+def _measure_options(arguments: argparse.Namespace) -> MeasureOptions:
+    """The measure options a command selected (defaults when flagless)."""
+    defaults = MeasureOptions()
+    sweep_depth = getattr(arguments, "sweep_depth", None)
+    sweep_gap = getattr(arguments, "sweep_gap", None)
+    return MeasureOptions(
+        sweep_depth=defaults.sweep_depth if sweep_depth is None else sweep_depth,
+        block_sweep=not getattr(arguments, "no_block_sweep", False),
+        sweep_target_gap=defaults.sweep_target_gap if sweep_gap is None else sweep_gap,
+        sweep_max_boxes=getattr(arguments, "sweep_max_boxes", None),
+    )
+
+
 def _measure_engine(arguments: argparse.Namespace) -> MeasureEngine:
-    """The per-command shared measure engine, honouring ``--no-measure-cache``
-    and ``--no-block-memo``."""
+    """The per-command shared measure engine, honouring ``--no-measure-cache``,
+    ``--no-block-memo``, ``--no-block-sweep`` and the sweep budget flags."""
     return MeasureEngine(
+        options=_measure_options(arguments),
         cache_enabled=not getattr(arguments, "no_measure_cache", False),
         block_decomposition=not getattr(arguments, "no_block_memo", False),
     )
@@ -94,6 +116,8 @@ def _command_lower_bound(arguments: argparse.Namespace) -> int:
     print(f"lower bound  : {float(result.probability):.10f}")
     if result.exact_measures:
         print(f"  exactly    : {result.probability}")
+    else:
+        print(f"measure gap  : {float(result.measure_gap):.3e}")
     print(f"E[steps] >=  : {float(result.expected_steps):.4f}")
     print(f"paths        : {result.path_count} (exhaustive: {result.exhaustive})")
     print(f"depth        : {arguments.depth}")
@@ -145,12 +169,24 @@ def _batch_cache(arguments: argparse.Namespace) -> Optional[BatchCache]:
     return BatchCache(cache_dir) if cache_dir else None
 
 
+def _nondefault_engine_flags(arguments: argparse.Namespace) -> bool:
+    """Whether any flag selecting a non-default engine configuration is set."""
+    return bool(
+        getattr(arguments, "no_measure_cache", False)
+        or getattr(arguments, "no_block_memo", False)
+        or getattr(arguments, "no_block_sweep", False)
+        or getattr(arguments, "sweep_depth", None) is not None
+        or getattr(arguments, "sweep_gap", None) is not None
+        or getattr(arguments, "sweep_max_boxes", None) is not None
+    )
+
+
 def _batch_jobs(arguments: argparse.Namespace, default: int = 1) -> int:
-    """The worker count; ``--no-measure-cache`` forces inline execution
-    (worker processes build their own engines, which would ignore the flag)."""
+    """The worker count; any non-default engine flag forces inline execution
+    (worker processes build default engines, which would ignore the flags)."""
     jobs = getattr(arguments, "jobs", None)
     jobs = default if jobs is None else jobs
-    if getattr(arguments, "no_measure_cache", False):
+    if _nondefault_engine_flags(arguments):
         return 1
     return max(1, jobs)
 
@@ -256,7 +292,25 @@ def _command_report(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _command_batch_prune(arguments: argparse.Namespace) -> int:
+    """``python -m repro batch prune --cache-dir ... [--keep-runs N]``."""
+    cache = _batch_cache(arguments)
+    if cache is None:
+        print("batch prune: --cache-dir is required", file=sys.stderr)
+        return 2
+    if arguments.keep_runs < 1:
+        print("batch prune: --keep-runs must be at least 1", file=sys.stderr)
+        return 2
+    report = cache.prune(min_age_runs=arguments.keep_runs)
+    print("pruned the persistent store:")
+    for line in report.summary().splitlines():
+        print(f"  {line}")
+    return 0
+
+
 def _command_batch(arguments: argparse.Namespace) -> int:
+    if arguments.job_file == "prune":
+        return _command_batch_prune(arguments)
     if arguments.job_file:
         specs = load_job_file(arguments.job_file)
     elif arguments.suite:
@@ -345,6 +399,33 @@ def _add_measure_flags(subparser: argparse.ArgumentParser) -> None:
         "decomposition (bit-identical on the rational backend, slower)",
     )
     subparser.add_argument(
+        "--no-block-sweep",
+        action="store_true",
+        help="sweep non-affine constraint sets jointly instead of block by "
+        "block (restores the pre-block-sweep bounds: sound but looser)",
+    )
+    subparser.add_argument(
+        "--sweep-depth",
+        type=int,
+        default=None,
+        help="bisection depth budget of the certified subdivision sweep "
+        "(default: 14)",
+    )
+    subparser.add_argument(
+        "--sweep-gap",
+        type=Fraction,
+        default=None,
+        metavar="FRACTION",
+        help="stop refining a sweep once its undecided volume is at most "
+        "this (e.g. 1/1024; default: refine to the full depth budget)",
+    )
+    subparser.add_argument(
+        "--sweep-max-boxes",
+        type=int,
+        default=None,
+        help="cap on boxes examined per sweep (default: unlimited)",
+    )
+    subparser.add_argument(
         "--stats",
         action="store_true",
         help="print the measure engine's performance counters after the run",
@@ -406,7 +487,8 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="?",
         default=None,
         help="JSON job file (a list of {program, analysis, params} objects); "
-        "omit to use --suite",
+        "omit to use --suite, or pass the literal word 'prune' to garbage-"
+        "collect stale measure/sweep entries from --cache-dir",
     )
     batch.add_argument(
         "--suite",
@@ -438,6 +520,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip jobs recorded as successful in --output; failed and "
         "missing jobs are (re)run and their results appended",
+    )
+    batch.add_argument(
+        "--keep-runs",
+        type=int,
+        default=20,
+        help="for 'batch prune': drop measure/sweep entries untouched for "
+        "this many runs (default: 20)",
     )
     _add_measure_flags(batch)
     batch.set_defaults(handler=_command_batch)

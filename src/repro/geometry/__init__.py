@@ -24,7 +24,7 @@ from repro.geometry.engine import MeasureEngine
 from repro.geometry.linear import halfspaces_from_constraints, independent_blocks
 from repro.geometry.polytope import polytope_volume
 from repro.geometry.stats import PerfStats
-from repro.geometry.sweep import SweepResult, sweep_measure
+from repro.geometry.sweep import SweepResult, sweep_accepted_boxes, sweep_measure
 from repro.geometry.montecarlo import monte_carlo_measure
 from repro.geometry.measure import MeasureOptions, MeasureResult, measure_constraints
 
@@ -39,5 +39,6 @@ __all__ = [
     "measure_constraints",
     "monte_carlo_measure",
     "polytope_volume",
+    "sweep_accepted_boxes",
     "sweep_measure",
 ]

@@ -23,6 +23,18 @@ the refutation measures one pattern per sample argument.  A
   where the product provably equals the monolithic computation (every
   constraint affine, no free argument, no unresolved recursion marker, sweep
   not forced); everything else takes the monolithic path unchanged,
+* *non-affine* sets (``sig``/``exp`` constraints) are block-decomposed too,
+  but into *swept* blocks: each block runs its own certified subdivision
+  sweep in ``[0,1]^{d_i}`` and the per-block ``[lower, upper]`` intervals
+  combine as products, which provably tightens the lower bound against the
+  joint full-dimensional sweep at equal budget.  Because emitted (inexact)
+  bounds improve, this path is gated by
+  :attr:`~repro.geometry.measure.MeasureOptions.block_sweep` (default on;
+  the CLI's ``--no-block-sweep`` restores the joint sweep).  Per-block
+  :class:`~repro.geometry.sweep.SweepResult`\\ s are memoized under the
+  position-independent canonical block key *plus the sweep budget* and
+  persisted through the batch cache's ``sweeps-<prefix>.json`` shards, so a
+  fleet sweeps each distinct block once, not once per process,
 * results are memoized keyed by ``(canonical set, dimension, options,
   argument)`` -- block keys and full-set product keys live in the same memo
   table; the first caller pays, everyone else hits,
@@ -46,16 +58,21 @@ perf benchmark checks bit-identity; ``block_decomposition=False`` (the CLI's
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 from repro.geometry.linear import halfspace_from_constraint
 from repro.geometry.measure import MeasureOptions, MeasureResult, measure_constraints
 from repro.geometry.stats import PerfStats
+from repro.geometry.sweep import SweepResult, sweep_measure
 from repro.intervals.interval import Interval
 from repro.spcf.primitives import PrimitiveRegistry, default_registry
 from repro.symbolic.constraints import Constraint, ConstraintSet, remap_constraints
 
+Number = Union[Fraction, float]
+
 _CacheKey = Tuple[Tuple[Constraint, ...], int, MeasureOptions, Optional[Interval]]
+
+_SweepKey = Tuple[Tuple[Constraint, ...], int, MeasureOptions]
 
 _Block = Tuple[ConstraintSet, int]
 """A renumbered canonical block and its dimension (= its variable count)."""
@@ -106,11 +123,27 @@ class MeasureEngine:
         self._imported: Dict[str, MeasureResult] = {}
         self._export_skip: set = set()
         self._unexported: list = []
+        # The sweep memo: per-block SweepResults keyed by the renumbered
+        # canonical block plus the budget-bearing options, mirrored by a
+        # persistent import/export side identical in shape to the measure
+        # entries above.
+        self._sweep_cache: Dict[_SweepKey, SweepResult] = {}
+        self._sweep_imported: Dict[str, SweepResult] = {}
+        self._sweep_export_skip: set = set()
+        self._sweep_unexported: list = []
+        # Persistent-store keys answered from an import since the last drain
+        # (tracked per store kind); the batch cache uses them to refresh GC
+        # touch stamps without probing the other kind's shards.
+        self._persistent_keys_used: set = set()
+        self._sweep_keys_used: set = set()
         # Derived structure, memoized per canonical constraint tuple so hot
         # requests pay one dict probe: the block decomposition (or None when
         # the set must take the monolithic path) and the renumbered canonical
         # form of each block.
         self._decompositions: Dict[Tuple[Constraint, ...], Optional[Tuple[_Block, ...]]] = {}
+        self._sweep_decompositions: Dict[
+            Tuple[Constraint, ...], Optional[Tuple[_Block, ...]]
+        ] = {}
         self._block_views: Dict[Tuple[Constraint, ...], _Block] = {}
         self._affine: Dict[Constraint, bool] = {}
 
@@ -171,9 +204,11 @@ class MeasureEngine:
         if self.cache_enabled and self._imported:
             # Full-set entries cover both monolithic results and the legacy
             # (pre-block) persistent cache format.
-            result = self._imported.get(self.persistent_key(canonical, dimension, argument))
+            persistent = self.persistent_key(canonical, dimension, argument)
+            result = self._imported.get(persistent)
             if result is not None:
                 self.stats.persistent_hits += 1
+                self._persistent_keys_used.add(persistent)
                 self._cache[key] = result
                 return result
         blocks = self._decompose(canonical, argument) if self.block_decomposition else None
@@ -184,6 +219,14 @@ class MeasureEngine:
                 # identical requests stay one probe, but it is *not* queued
                 # for export: persistence stores the block entries, which are
                 # what other processes (and other sets) can actually reuse.
+                self._cache[key] = result
+            return result
+        sweep_blocks = self._sweep_decompose(canonical, argument)
+        if sweep_blocks is not None:
+            result = self._measure_sweep_blocks(sweep_blocks)
+            if self.cache_enabled:
+                # Like the affine product above: memoized under the full-set
+                # key, persisted only as per-block sweep entries.
                 self._cache[key] = result
             return result
         if not self.cache_enabled:
@@ -250,11 +293,7 @@ class MeasureEngine:
         for constraint in canonical:
             if not constraint.variables():
                 return None
-            affine = self._affine.get(constraint)
-            if affine is None:
-                affine = halfspace_from_constraint(constraint, self.registry) is not None
-                self._affine[constraint] = affine
-            if not affine:
+            if not self._constraint_affine(constraint):
                 return None
         return tuple(
             self._block_view(variables, constraints)
@@ -312,9 +351,11 @@ class MeasureEngine:
             return cached
         result = None
         if self._imported:
-            result = self._imported.get(self.persistent_key(block, dimension, None))
+            persistent = self.persistent_key(block, dimension, None)
+            result = self._imported.get(persistent)
             if result is not None:
                 self.stats.persistent_hits += 1
+                self._persistent_keys_used.add(persistent)
         if result is None:
             result = self._derive_complement(block, dimension)
         if result is None:
@@ -322,6 +363,150 @@ class MeasureEngine:
         self._cache[key] = result
         self._unexported.append(key)
         return result
+
+    # -- block-swept non-affine sets -------------------------------------------
+
+    def _sweep_decompose(
+        self, canonical: ConstraintSet, argument: Optional[Interval]
+    ) -> Optional[Tuple[_Block, ...]]:
+        """The swept blocks of a non-affine canonical set, or ``None``.
+
+        The block-sweep path is taken exactly when the set could not go
+        through the exact affine decomposition *because of non-affinity*: at
+        least one constraint has no half-space form, no free argument or
+        unresolved recursion marker is involved (those keep their historic
+        monolithic handling), the joint sweep is not forced
+        (``prefer_sweep``, the ablation knob), and ``block_sweep`` is on.
+        Fully affine sets never land here -- their machinery is exact and
+        must stay bit-identical.
+        """
+        if (
+            argument is not None
+            or not canonical.constraints
+            or not self.options.block_sweep
+            or self.options.prefer_sweep
+        ):
+            return None
+        key = canonical.constraints
+        if key in self._sweep_decompositions:
+            return self._sweep_decompositions[key]
+        blocks = self._compute_sweep_decomposition(canonical)
+        self._sweep_decompositions[key] = blocks
+        return blocks
+
+    def _compute_sweep_decomposition(
+        self, canonical: ConstraintSet
+    ) -> Optional[Tuple[_Block, ...]]:
+        if canonical.contains_argument() or canonical.contains_star():
+            return None
+        any_nonaffine = False
+        for constraint in canonical:
+            if not self._constraint_affine(constraint):
+                any_nonaffine = True
+        if not any_nonaffine:
+            return None
+        return tuple(
+            self._block_view(variables, constraints)
+            for variables, constraints in canonical.support_blocks()
+        )
+
+    def _constraint_affine(self, constraint: Constraint) -> bool:
+        affine = self._affine.get(constraint)
+        if affine is None:
+            affine = halfspace_from_constraint(constraint, self.registry) is not None
+            self._affine[constraint] = affine
+        return affine
+
+    def _measure_sweep_blocks(self, blocks: Tuple[_Block, ...]) -> MeasureResult:
+        """Interval product of the per-block bounds (the block-sweep answer).
+
+        Disjoint variable blocks are independent under the product measure,
+        so ``measure = prod measure_i``; with each block bracketed by a
+        certified ``[lower_i, upper_i]`` the product interval
+        ``[prod lower_i, prod upper_i]`` brackets the full-set measure.
+        """
+        if len(blocks) > 1:
+            self.stats.multi_block_sets += 1
+        lower: Number = Fraction(1)
+        upper: Number = Fraction(1)
+        methods = set()
+        for block, block_dimension in blocks:
+            block_lower, block_upper, method = self._sweep_block_bounds(
+                block, block_dimension
+            )
+            methods.add(method)
+            lower = lower * block_lower
+            upper = upper * block_upper
+            if upper == 0:
+                # A provably empty block empties the whole product, exactly.
+                lower = upper
+                break
+        exact = lower == upper
+        method = "+".join(sorted(methods)) if methods else "trivial"
+        return MeasureResult(
+            lower,
+            exact=exact,
+            lower_bound=not exact,
+            method=method,
+            upper=None if exact else upper,
+        )
+
+    def _sweep_block_bounds(
+        self, block: ConstraintSet, dimension: int
+    ) -> Tuple[Number, Number, str]:
+        """Certified ``(lower, upper, method)`` bounds for one block.
+
+        Affine blocks of a mixed set go through the exact (memoized) affine
+        machinery when it can answer exactly -- only univariate and polygon
+        blocks can, so larger affine blocks skip the attempt.  Every other
+        block is swept: the float polytope approximation carries no
+        directional guarantee and must never become the lower endpoint of a
+        product that claims to be a certified bound.
+        """
+        if dimension <= 2 and all(
+            self._constraint_affine(constraint) for constraint in block
+        ):
+            result = self._measure_block(block, dimension)
+            if result.exact and not result.lower_bound:
+                return result.value, result.value, result.method
+        sweep = self._sweep_block(block, dimension)
+        return sweep.lower, sweep.upper, "sweep"
+
+    def _sweep_block(self, block: ConstraintSet, dimension: int) -> SweepResult:
+        """Sweep one renumbered block through the sweep memo table."""
+        self.stats.block_requests += 1
+        if not self.cache_enabled:
+            return self._run_block_sweep(block, dimension)
+        key = (block.constraints, dimension, self.options)
+        cached = self._sweep_cache.get(key)
+        if cached is not None:
+            self.stats.block_cache_hits += 1
+            return cached
+        result = None
+        if self._sweep_imported:
+            persistent = self.persistent_sweep_key(block, dimension)
+            result = self._sweep_imported.get(persistent)
+            if result is not None:
+                self.stats.persistent_hits += 1
+                self._sweep_keys_used.add(persistent)
+        if result is None:
+            result = self._run_block_sweep(block, dimension)
+        self._sweep_cache[key] = result
+        self._sweep_unexported.append((key, block, dimension))
+        return result
+
+    def _run_block_sweep(self, block: ConstraintSet, dimension: int) -> SweepResult:
+        self.stats.sweep_blocks += 1
+        options = self.options
+        return sweep_measure(
+            block,
+            dimension,
+            max_depth=options.sweep_depth,
+            registry=self.registry,
+            stats=self.stats,
+            target_gap=options.sweep_target_gap,
+            max_boxes=options.sweep_max_boxes,
+        )
 
     # -- the complement rule ---------------------------------------------------
 
@@ -422,14 +607,39 @@ class MeasureEngine:
         dimension: int,
         argument: Optional[Interval] = None,
     ) -> str:
-        """The deterministic cross-process cache key of one measure request."""
+        """The deterministic cross-process cache key of one measure request.
+
+        Every option that can change a computed value is rendered into the
+        key -- including the sweep budgets and ``block_sweep``, which change
+        emitted non-affine bounds -- so runs under different configurations
+        can share one store without ever serving each other's numbers.
+        """
         options = self.options
         return "|".join(
             [
                 ";".join(c.sort_key() for c in canonical.constraints),
                 f"d{dimension}",
-                f"o{options.max_hull_dimension}.{options.sweep_depth}.{int(options.prefer_sweep)}",
+                f"o{options.max_hull_dimension}.{options.sweep_depth}.{int(options.prefer_sweep)}"
+                f".{int(options.block_sweep)}.{options.sweep_target_gap}"
+                f".{options.sweep_max_boxes}",
                 f"a{argument!r}",
+            ]
+        )
+
+    def persistent_sweep_key(self, block: ConstraintSet, dimension: int) -> str:
+        """The cross-process key of one per-block sweep.
+
+        Only the budget-bearing options participate: a sweep's outcome does
+        not depend on ``max_hull_dimension``, ``prefer_sweep`` or
+        ``block_sweep``, so entries stay shared across those configurations.
+        """
+        options = self.options
+        return "|".join(
+            [
+                ";".join(c.sort_key() for c in block.constraints),
+                f"d{dimension}",
+                f"s{options.sweep_depth}.{options.sweep_target_gap}"
+                f".{options.sweep_max_boxes}",
             ]
         )
 
@@ -453,7 +663,12 @@ class MeasureEngine:
             encoded = _encode_number(result.value)
             if encoded is None:
                 continue
-            exported[key] = [encoded, result.exact, result.lower_bound, result.method]
+            entry = [encoded, result.exact, result.lower_bound, result.method]
+            if result.upper is not None:
+                encoded_upper = _encode_number(result.upper)
+                if encoded_upper is not None:
+                    entry.append(encoded_upper)
+            exported[key] = entry
         self._unexported.clear()
         self._export_skip.update(exported)
         return exported
@@ -469,19 +684,98 @@ class MeasureEngine:
         imported = 0
         for key, entry in entries.items():
             try:
-                encoded_value, exact, lower_bound, method = entry
+                encoded_value, exact, lower_bound, method = entry[:4]
                 value = _decode_number(encoded_value)
+                upper = _decode_number(entry[4]) if len(entry) > 4 else None
                 if not isinstance(key, str) or not isinstance(method, str):
                     continue
                 result = MeasureResult(
-                    value, exact=bool(exact), lower_bound=bool(lower_bound), method=method
+                    value,
+                    exact=bool(exact),
+                    lower_bound=bool(lower_bound),
+                    method=method,
+                    upper=upper,
                 )
-            except (TypeError, ValueError, KeyError):
+            except (TypeError, ValueError, KeyError, IndexError):
                 continue
             self._imported[key] = result
             self._export_skip.add(key)
             imported += 1
         return imported
+
+    def export_sweep_entries(self) -> Dict[str, List]:
+        """Serialize per-block sweep results added since the last export.
+
+        Mirrors :meth:`export_cache_entries`: only entries memoized since the
+        previous import/export are visited, and entries that arrived through
+        an import are skipped.
+        """
+        exported: Dict[str, List] = {}
+        for key, block, dimension in self._sweep_unexported:
+            persistent = self.persistent_sweep_key(block, dimension)
+            if persistent in self._sweep_export_skip:
+                continue
+            result = self._sweep_cache.get(key)
+            if result is None:
+                continue
+            lower = _encode_number(result.lower)
+            undecided = _encode_number(result.undecided)
+            if lower is None or undecided is None:
+                continue
+            exported[persistent] = [
+                lower,
+                undecided,
+                result.boxes_examined,
+                result.evaluations_saved,
+                result.early_exit,
+                result.heap_peak,
+            ]
+        self._sweep_unexported.clear()
+        self._sweep_export_skip.update(exported)
+        return exported
+
+    def import_sweep_entries(self, entries: Mapping[str, Iterable]) -> int:
+        """Load serialized sweep results; malformed ones are skipped.
+
+        Every field round-trips exactly (the bounds through the tagged
+        number codec), so a warm engine's :class:`SweepResult`\\ s -- and
+        everything derived from them -- are byte-for-byte what a cold engine
+        would compute under the same budget.
+        """
+        imported = 0
+        for key, entry in entries.items():
+            try:
+                lower_enc, undecided_enc, boxes, saved, early, peak = entry
+                if not isinstance(key, str):
+                    continue
+                result = SweepResult(
+                    _decode_number(lower_enc),
+                    _decode_number(undecided_enc),
+                    int(boxes),
+                    int(saved),
+                    bool(early),
+                    int(peak),
+                )
+            except (TypeError, ValueError, KeyError):
+                continue
+            self._sweep_imported[key] = result
+            self._sweep_export_skip.add(key)
+            imported += 1
+        return imported
+
+    def drain_persistent_hit_keys(self) -> Tuple[set, set]:
+        """The ``(measure, sweep)`` keys answered from an import since the
+        last drain.
+
+        The batch cache refreshes the GC touch stamp of these entries when a
+        run merges, so entries a fleet still *reads* (but never rewrites)
+        do not age out of the store.  The two kinds are kept apart so each
+        merge only visits (and locks) its own shards.
+        """
+        measures, sweeps = self._persistent_keys_used, self._sweep_keys_used
+        self._persistent_keys_used = set()
+        self._sweep_keys_used = set()
+        return measures, sweeps
 
     # -- maintenance -----------------------------------------------------------
 
@@ -489,7 +783,13 @@ class MeasureEngine:
         """Drop all memoized results (counters are kept)."""
         self._cache.clear()
         self._unexported.clear()
+        self._sweep_cache.clear()
+        self._sweep_unexported.clear()
 
     @property
     def cache_size(self) -> int:
         return len(self._cache)
+
+    @property
+    def sweep_cache_size(self) -> int:
+        return len(self._sweep_cache)

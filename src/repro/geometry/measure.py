@@ -40,7 +40,12 @@ Number = Union[Fraction, float]
 
 @dataclass(frozen=True)
 class MeasureOptions:
-    """Tuning knobs for the measuring facade."""
+    """Tuning knobs for the measuring facade.
+
+    Instances are frozen and hashable: the measure engine keys its memo
+    tables (and, stringified, the persistent cross-process stores) on them,
+    so every field that can change a computed value must live here.
+    """
 
     max_hull_dimension: int = 8
     """Largest block dimension handled by the polytope (convex hull) oracle."""
@@ -50,6 +55,22 @@ class MeasureOptions:
 
     prefer_sweep: bool = False
     """Force the sweep even for affine constraint sets (used by ablations)."""
+
+    block_sweep: bool = True
+    """Sweep non-affine sets block by block instead of jointly.
+
+    Each connected variable block is swept in its own ``[0,1]^{d_i}`` box and
+    the bounds combine as interval products, which provably tightens lower
+    bounds at equal depth budget -- emitted (inexact) bounds therefore
+    *change* when toggling this, unlike every other cache knob.  The CLI's
+    ``--no-block-sweep`` restores the joint sweep.
+    """
+
+    sweep_target_gap: Number = Fraction(0)
+    """Stop refining once the undecided volume is at most this (0 = never)."""
+
+    sweep_max_boxes: Optional[int] = None
+    """Cap on boxes examined per sweep (``None`` = depth budget only)."""
 
 
 @dataclass(frozen=True)
@@ -61,8 +82,24 @@ class MeasureResult:
     lower_bound: bool
     method: str
 
+    upper: Optional[Number] = None
+    """A certified upper bound accompanying an inexact lower bound, when one
+    is known (sweep-derived results carry ``lower + undecided``)."""
+
     def as_float(self) -> float:
         return float(self.value)
+
+    def certified_upper(self) -> Number:
+        """The tightest certified upper bound this result can vouch for.
+
+        Exact results are their own upper bound; inexact ones fall back to
+        the recorded sweep upper, or to 1 (the whole cube) when none exists.
+        """
+        if self.exact and not self.lower_bound:
+            return self.value
+        if self.upper is not None:
+            return self.upper
+        return Fraction(1)
 
 
 def measure_constraints(
@@ -106,10 +143,16 @@ def measure_constraints(
             registry=registry,
             argument=argument,
             stats=stats,
+            target_gap=options.sweep_target_gap,
+            max_boxes=options.sweep_max_boxes,
         )
         exact = sweep.undecided == 0
         return MeasureResult(
-            sweep.lower, exact=exact, lower_bound=not exact, method="sweep"
+            sweep.lower,
+            exact=exact,
+            lower_bound=not exact,
+            method="sweep",
+            upper=None if exact else sweep.upper,
         )
 
     total: Number = Fraction(1)
@@ -179,6 +222,8 @@ def _measure_block(variables, halfspaces, constraints, options, registry, stats=
         max_depth=options.sweep_depth,
         registry=registry,
         stats=stats,
+        target_gap=options.sweep_target_gap,
+        max_boxes=options.sweep_max_boxes,
     )
     exact = sweep.undecided == 0
     return sweep.lower, exact, "sweep"

@@ -61,13 +61,40 @@ class PerfStats:
     sweep_evaluations_saved: int = 0
     """Per-constraint ``box_status`` evaluations skipped by sweep pruning."""
 
+    sweep_blocks: int = 0
+    """Base per-block subdivision sweeps actually performed.
+
+    The block-sweep path of the measure engine sweeps each renumbered
+    non-affine block at most once per distinct (block, budget); memo, sweep
+    and persistent hits answer the rest without touching this counter -- so
+    a warm rerun of a sweep-heavy suite reports 0 here.
+    """
+
+    sweep_early_exits: int = 0
+    """Sweeps stopped early by the ``target_gap`` / ``max_boxes`` budget."""
+
+    sweep_heap_peak: int = 0
+    """Largest refinement frontier held by any single adaptive sweep.
+
+    Unlike every other counter this is a high-water mark, not a total:
+    :meth:`merge` takes the maximum instead of the sum.
+    """
+
     polytope_calls: int = 0
     """Invocations of the floating-point polytope volume oracle."""
 
     def merge(self, other: "PerfStats") -> None:
-        """Add another instance's counters into this one."""
+        """Add another instance's counters into this one.
+
+        ``sweep_heap_peak`` is a high-water mark and merges by maximum; every
+        other field is a running total and merges by addition.
+        """
         for field in fields(self):
-            setattr(self, field.name, getattr(self, field.name) + getattr(other, field.name))
+            ours, theirs = getattr(self, field.name), getattr(other, field.name)
+            if field.name == "sweep_heap_peak":
+                setattr(self, field.name, max(ours, theirs))
+            else:
+                setattr(self, field.name, ours + theirs)
 
     def reset(self) -> None:
         for field in fields(self):
@@ -93,6 +120,9 @@ class PerfStats:
                 f"multi-block sets      : {self.multi_block_sets}",
                 f"sweep boxes examined  : {self.sweep_boxes_examined}",
                 f"sweep evals saved     : {self.sweep_evaluations_saved}",
+                f"sweep blocks          : {self.sweep_blocks}",
+                f"sweep early exits     : {self.sweep_early_exits}",
+                f"sweep heap peak       : {self.sweep_heap_peak}",
                 f"polytope invocations  : {self.polytope_calls}",
             ]
         )

@@ -1,36 +1,59 @@
-"""Certified measures by interval subdivision (the paper's sweep algorithm).
+"""Certified measures by adaptive interval subdivision (the paper's sweep).
 
 Section 7.1 describes the lower-bound prototype as "a simple sweep algorithm
 to search for terminating interval traces by splitting the unit box".  This
-module implements that sweep over an arbitrary constraint set: the unit box is
-recursively bisected; boxes on which interval evaluation *proves* all
-constraints are added to the lower bound, boxes that provably violate some
-constraint are discarded, and undecided boxes are split until a depth budget
-is reached.  The result is a pair of certified bounds
+module implements that sweep over an arbitrary constraint set: the unit box
+is bisected, boxes on which interval evaluation *proves* all constraints are
+added to the lower bound, boxes that provably violate some constraint are
+discarded, and undecided boxes are refined until a budget is exhausted.  The
+result is a pair of certified bounds
 
     lower  <=  Lebesgue measure of the solution set  <=  lower + undecided
 
 valid for any constraint set built from interval-preserving primitives,
-including the non-linear ones (``sig``, ``exp``) for which the polytope oracle
-does not apply.
+including the non-linear ones (``sig``, ``exp``) for which the polytope
+oracle does not apply.
 
-The subdivision is branch-and-bound pruned: a constraint proven ``True`` on a
-box stays true on every sub-box (interval evaluation is inclusion-monotone),
-so children only re-evaluate the constraints their parent could not decide.
-The pruning changes no verdicts -- a box's status over the remaining
-constraints equals its status over the full set -- it only skips redundant
-``box_status`` evaluations, which are reported through
+Refinement is *prioritized*: undecided boxes live on a max-heap ordered by
+volume, so the split that can shrink the undecided gap the most always
+happens first (each bisection is along the box's widest dimension, exactly
+the split the old fixed-depth recursion performed).  The completeness
+argument of Thm. 3.8 only needs the undecided volume to shrink -- it does
+not mandate uniform-depth round-robin splitting -- which frees the budget
+knobs:
+
+* ``max_depth`` bounds the number of bisections along any branch (the
+  classic knob; with only this set, the adaptive sweep examines exactly the
+  boxes of the old depth-first sweep and returns bit-identical bounds --
+  exact rational sums are order-independent),
+* ``target_gap`` stops refining as soon as the total undecided volume drops
+  to the target, so easy sets stop after a handful of boxes instead of
+  exhausting the depth budget,
+* ``max_boxes`` caps the number of boxes examined outright.
+
+The subdivision is also branch-and-bound pruned: a constraint proven
+``True`` on a box stays true on every sub-box (interval evaluation is
+inclusion-monotone), so children only re-evaluate the constraints their
+parent could not decide.  The pruning changes no verdicts -- a box's status
+over the remaining constraints equals its status over the full set -- it
+only skips redundant ``box_status`` evaluations, which are reported through
 :class:`~repro.geometry.stats.PerfStats` and on :class:`SweepResult`.
+
+:func:`sweep_measure` and :func:`sweep_accepted_boxes` share one traversal
+core (:func:`_sweep`), so the accepted boxes witnessing a lower bound (the
+raw material of the intersection type system's inference oracle, Sec. 4)
+can never drift from the bound itself.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.geometry.stats import PerfStats
-from repro.intervals.box import unit_box
+from repro.intervals.box import Box, unit_box
 from repro.intervals.interval import Interval
 from repro.spcf.primitives import PrimitiveRegistry, default_registry
 from repro.symbolic.constraints import Constraint, ConstraintSet
@@ -47,6 +70,12 @@ class SweepResult:
     boxes_examined: int
     evaluations_saved: int = 0
     """Per-constraint box evaluations skipped by branch-and-bound pruning."""
+
+    early_exit: bool = False
+    """Whether a ``target_gap`` / ``max_boxes`` budget stopped the sweep."""
+
+    heap_peak: int = 0
+    """Largest refinement frontier held during the sweep."""
 
     @property
     def upper(self) -> Number:
@@ -75,64 +104,29 @@ def _undecided_constraints(
     return tuple(undecided)
 
 
-def sweep_accepted_boxes(
+def _sweep(
     constraints: ConstraintSet,
     dimension: int,
-    max_depth: int = 12,
-    registry: Optional[PrimitiveRegistry] = None,
-    argument: Optional[Interval] = None,
-):
-    """The sweep's accepted boxes: pairwise almost-disjoint sub-boxes of the unit
-    cube on which every constraint provably holds.
-
-    The boxes witness the lower bound of :func:`sweep_measure` (their volumes
-    sum to it) and are the raw material of the interval traces used by the
-    intersection type system's inference oracle (Sec. 4).
-    """
-    registry = registry or default_registry()
-    accepted = []
-    if dimension == 0:
-        if constraints.satisfied_by({}, registry):
-            accepted.append(unit_box(0))
-        return accepted
-    stack = [(unit_box(dimension), 0, constraints.constraints)]
-    while stack:
-        box, depth, active = stack.pop()
-        mapping: Dict[int, Interval] = {
-            index: interval for index, interval in enumerate(box.intervals)
-        }
-        remaining = _undecided_constraints(active, mapping, registry, argument)
-        if remaining is None:
-            continue
-        if not remaining:
-            accepted.append(box)
-            continue
-        if depth >= max_depth:
-            continue
-        left, right = box.split()
-        stack.append((left, depth + 1, remaining))
-        stack.append((right, depth + 1, remaining))
-    return accepted
-
-
-def sweep_measure(
-    constraints: ConstraintSet,
-    dimension: int,
-    max_depth: int = 12,
-    registry: Optional[PrimitiveRegistry] = None,
-    argument: Optional[Interval] = None,
-    stats: Optional[PerfStats] = None,
+    max_depth: int,
+    registry: Optional[PrimitiveRegistry],
+    argument: Optional[Interval],
+    stats: Optional[PerfStats],
+    target_gap: Number,
+    max_boxes: Optional[int],
+    accepted: Optional[List[Box]],
 ) -> SweepResult:
-    """Certified lower/upper bounds on the measure of ``constraints`` in ``[0,1]^dim``.
+    """The shared traversal behind :func:`sweep_measure` and
+    :func:`sweep_accepted_boxes`.
 
-    ``max_depth`` bounds the number of bisections along any branch of the
-    subdivision tree; the undecided volume shrinks (for interval-separable
-    constraints) as the depth grows, mirroring the completeness argument of
-    Thm. 3.8.
+    When ``accepted`` is a list, every box on which all constraints provably
+    hold is appended to it; the accepted volumes always sum to the returned
+    lower bound, whatever budget stopped the sweep.
     """
     registry = registry or default_registry()
     if dimension == 0:
         satisfied = constraints.satisfied_by({}, registry)
+        if satisfied and accepted is not None:
+            accepted.append(unit_box(0))
         value = Fraction(1) if satisfied else Fraction(0)
         if stats is not None:
             stats.sweep_boxes_examined += 1
@@ -144,9 +138,27 @@ def sweep_measure(
     saved = 0
     total_constraints = len(constraints)
 
-    stack = [(unit_box(dimension), 0, constraints.constraints)]
-    while stack:
-        box, depth, active = stack.pop()
+    # Max-heap on box volume (heapq is a min-heap, so volumes are negated);
+    # the push counter breaks volume ties deterministically in insertion
+    # order.  ``pending`` tracks the total volume still on the frontier, so
+    # the gap test below is O(1).
+    heap = [(Fraction(-1), 0, unit_box(dimension), 0, constraints.constraints)]
+    pending: Number = Fraction(1)
+    pushes = 1
+    heap_peak = 1
+    early_exit = False
+    while heap:
+        if (max_boxes is not None and examined >= max_boxes) or (
+            target_gap > 0 and undecided + pending <= target_gap
+        ):
+            # Budget reached: everything still on the frontier is undecided.
+            early_exit = True
+            for negated_volume, _, _, _, _ in heap:
+                undecided = undecided - negated_volume
+            break
+        negated_volume, _, box, depth, active = heapq.heappop(heap)
+        volume = -negated_volume
+        pending = pending - volume
         examined += 1
         saved += total_constraints - len(active)
         mapping: Dict[int, Interval] = {
@@ -156,15 +168,86 @@ def sweep_measure(
         if remaining is None:
             continue
         if not remaining:
-            lower = lower + box.volume
+            lower = lower + volume
+            if accepted is not None:
+                accepted.append(box)
             continue
         if depth >= max_depth:
-            undecided = undecided + box.volume
+            undecided = undecided + volume
             continue
-        left, right = box.split()
-        stack.append((left, depth + 1, remaining))
-        stack.append((right, depth + 1, remaining))
+        for child in box.split():
+            heapq.heappush(heap, (-child.volume, pushes, child, depth + 1, remaining))
+            pushes += 1
+        pending = pending + volume
+        if len(heap) > heap_peak:
+            heap_peak = len(heap)
     if stats is not None:
         stats.sweep_boxes_examined += examined
         stats.sweep_evaluations_saved += saved
-    return SweepResult(lower, undecided, examined, saved)
+        if early_exit:
+            stats.sweep_early_exits += 1
+        if heap_peak > stats.sweep_heap_peak:
+            stats.sweep_heap_peak = heap_peak
+    return SweepResult(lower, undecided, examined, saved, early_exit, heap_peak)
+
+
+def sweep_accepted_boxes(
+    constraints: ConstraintSet,
+    dimension: int,
+    max_depth: int = 12,
+    registry: Optional[PrimitiveRegistry] = None,
+    argument: Optional[Interval] = None,
+) -> List[Box]:
+    """The sweep's accepted boxes: pairwise almost-disjoint sub-boxes of the
+    unit cube on which every constraint provably holds.
+
+    The boxes witness the lower bound of :func:`sweep_measure` (their volumes
+    sum to it) and are the raw material of the interval traces used by the
+    intersection type system's inference oracle (Sec. 4).
+    """
+    accepted: List[Box] = []
+    _sweep(
+        constraints,
+        dimension,
+        max_depth,
+        registry,
+        argument,
+        stats=None,
+        target_gap=Fraction(0),
+        max_boxes=None,
+        accepted=accepted,
+    )
+    return accepted
+
+
+def sweep_measure(
+    constraints: ConstraintSet,
+    dimension: int,
+    max_depth: int = 12,
+    registry: Optional[PrimitiveRegistry] = None,
+    argument: Optional[Interval] = None,
+    stats: Optional[PerfStats] = None,
+    target_gap: Number = Fraction(0),
+    max_boxes: Optional[int] = None,
+) -> SweepResult:
+    """Certified lower/upper bounds on the measure of ``constraints`` in
+    ``[0,1]^dim``.
+
+    ``max_depth`` bounds the number of bisections along any branch of the
+    subdivision tree; the undecided volume shrinks (for interval-separable
+    constraints) as the depth grows, mirroring the completeness argument of
+    Thm. 3.8.  ``target_gap`` and ``max_boxes`` are optional early-exit
+    budgets (see the module docstring); with both unset the result is
+    bit-identical to the historical fixed-depth depth-first sweep.
+    """
+    return _sweep(
+        constraints,
+        dimension,
+        max_depth,
+        registry,
+        argument,
+        stats,
+        target_gap,
+        max_boxes,
+        accepted=None,
+    )

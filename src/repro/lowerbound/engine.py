@@ -68,9 +68,16 @@ class LowerBoundEngine:
         measured = []
         probability: Number = Fraction(0)
         expected_steps: Number = Fraction(0)
+        measure_gap: Number = Fraction(0)
         exact = True
         for path in exploration.terminated:
             measure = self.measure_engine.measure(path.constraints, path.num_variables)
+            if measure.upper is not None:
+                # The sweep's undecided volume for this path: certified mass
+                # the budget could not decide.  Measures without a recorded
+                # bracket (e.g. float polytope approximations) contribute
+                # nothing -- their slack is float-level, not budget-level.
+                measure_gap = measure_gap + (measure.upper - measure.value)
             if measure.value == 0:
                 continue
             measured.append(PathMeasure(path, measure))
@@ -84,6 +91,7 @@ class LowerBoundEngine:
             max_steps=max_steps,
             exhaustive=exploration.complete,
             exact_measures=exact,
+            measure_gap=measure_gap,
         )
 
 

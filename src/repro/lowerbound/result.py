@@ -47,6 +47,18 @@ class LowerBoundResult:
     exhaustive: bool
     exact_measures: bool
 
+    measure_gap: Number = Fraction(0)
+    """Certified slack attributable to the sweep budgets.
+
+    The sum of ``upper - lower`` over the paths whose measures carry a
+    certified sweep bracket: the undecided volume the subdivision budget
+    left on the table at this exploration depth.  0 when every swept path
+    resolved exactly; under the per-block sweep the gap shrinks dramatically
+    against the joint sweep at equal budget, which is what the sweep
+    benchmark tracks.  (Float polytope approximations carry no bracket and
+    contribute nothing -- ``exact_measures`` still records their presence.)
+    """
+
     @property
     def path_count(self) -> int:
         return len(self.paths)

@@ -28,7 +28,11 @@ from repro.programs.extra import (
     exponential_step_walk,
     extra_programs,
     nested_recursion,
+    nonaffine_programs,
     score_gated_printer,
+    sigmoid_retry,
+    sigmoid_sum_retry,
+    square_retry,
     two_sample_sum,
     von_neumann_coin,
 )
@@ -90,6 +94,7 @@ __all__ = [
     "geometric",
     "golden_ratio",
     "nested_recursion",
+    "nonaffine_programs",
     "one_dim_random_walk",
     "pedestrian",
     "printer_affine",
@@ -97,6 +102,9 @@ __all__ = [
     "running_example",
     "running_example_first_class",
     "score_gated_printer",
+    "sigmoid_retry",
+    "sigmoid_sum_retry",
+    "square_retry",
     "table1_programs",
     "table2_programs",
     "three_print",

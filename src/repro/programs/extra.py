@@ -6,8 +6,11 @@ text rather than in the evaluation tables: the two-sample guard of Ex. 3.5
 single-conditional term of Ex. B.4, von Neumann's fair coin (an affine
 recursion whose termination probability is 1 for every bias), a random walk
 whose step length is a continuous first-class sample, a program that uses
-``score`` and can fail, and a nested recursion that the counting-based
-verifier must refuse.
+``score`` and can fail, a nested recursion that the counting-based verifier
+must refuse, and three retry loops whose guards are genuinely *non-affine in
+the sample* (``sig(s)``, ``s*s``, ``s1 + sig(s2)``) -- the workload of the
+block-decomposed subdivision sweep, since no polytope oracle applies to
+their path constraint sets.
 """
 
 from __future__ import annotations
@@ -18,7 +21,7 @@ from typing import Dict, Union
 from repro.distributions.transforms import exponential
 from repro.programs.library import Program
 from repro.spcf.sugar import add, choice, let, sub
-from repro.spcf.syntax import App, Fix, If, Numeral, Sample, Score, Var
+from repro.spcf.syntax import App, Fix, If, Numeral, Prim, Sample, Score, Var
 from repro.symbolic.execute import Strategy
 
 Number = Union[Fraction, float, int]
@@ -28,7 +31,11 @@ __all__ = [
     "exponential_step_walk",
     "extra_programs",
     "nested_recursion",
+    "nonaffine_programs",
     "score_gated_printer",
+    "sigmoid_retry",
+    "sigmoid_sum_retry",
+    "square_retry",
     "two_sample_sum",
     "von_neumann_coin",
 ]
@@ -178,6 +185,81 @@ def nested_recursion(p: Number = Fraction(1, 2)) -> Program:
     )
 
 
+def sigmoid_retry(threshold: Number = Fraction(7, 10)) -> Program:
+    """A retry loop gated on the sigmoid of a fresh sample.
+
+    ``mu phi x. if sig(sample) - t then x else phi (x+1)``: each round
+    terminates when ``sig(s) <= t``, which happens with probability
+    ``ln((t)/(1-t)) `` for ``t`` inside ``sig([0,1]) = [1/2, sig(1)]``.  The
+    guard has no affine form, so every path constraint set is measured by
+    the certified subdivision sweep -- and because each round draws a fresh
+    sample, a ``k``-round path splits into ``k`` independent one-dimensional
+    blocks of only two distinct shapes, the block-sweep showcase.
+    """
+    guard = sub(Prim("sig", (Sample(),)), threshold)
+    body = If(guard, Var("x"), App(Var("phi"), add(Var("x"), 1)))
+    fix = Fix("phi", "x", body)
+    return Program(
+        name=f"sig-retry({threshold})",
+        fix=fix,
+        applied=App(fix, Numeral(1)),
+        description="retry until the sigmoid of a fresh sample drops below a threshold",
+        known_probability=1.0,
+    )
+
+
+def square_retry(threshold: Number = Fraction(1, 2)) -> Program:
+    """A retry loop gated on the *square* of a fresh sample.
+
+    ``mu phi x. let s = sample in if s*s - t then x else phi (x+1)`` under
+    call-by-value (so the bound sample is drawn once and squared).  Each
+    round succeeds with probability ``sqrt(t)``; the guard ``s*s - t`` is
+    quadratic, so only the subdivision sweep can certify its measure.
+    """
+    square = Prim("mul", (Var("s"), Var("s")))
+    round_body = If(sub(square, threshold), Var("x"), App(Var("phi"), add(Var("x"), 1)))
+    fix = Fix("phi", "x", let("s", Sample(), round_body))
+    return Program(
+        name=f"square-retry({threshold})",
+        fix=fix,
+        applied=App(fix, Numeral(1)),
+        description="retry until the square of a fresh sample drops below a threshold",
+        strategy=Strategy.CBV,
+        known_probability=1.0,
+    )
+
+
+def sigmoid_sum_retry(bound: Number = 1) -> Program:
+    """A retry loop whose guard couples *two* fresh samples non-affinely.
+
+    ``mu phi x. if (sample + sig(sample)) - b then x else phi (x+1)``: the
+    two draws of one round form a single connected two-dimensional block
+    (they share the guard), while draws of different rounds stay
+    independent -- so a ``k``-round path is a product of ``k``
+    two-dimensional non-affine blocks.
+    """
+    guard = sub(add(Sample(), Prim("sig", (Sample(),))), bound)
+    body = If(guard, Var("x"), App(Var("phi"), add(Var("x"), 1)))
+    fix = Fix("phi", "x", body)
+    return Program(
+        name=f"sig-sum-retry({bound})",
+        fix=fix,
+        applied=App(fix, Numeral(1)),
+        description="retry until a sample plus the sigmoid of a second stays below a bound",
+        known_probability=1.0,
+    )
+
+
+def nonaffine_programs() -> Dict[str, Program]:
+    """The retry loops with non-affine guards (the sweep-heavy workload)."""
+    programs = (
+        sigmoid_retry(Fraction(7, 10)),
+        square_retry(Fraction(1, 2)),
+        sigmoid_sum_retry(1),
+    )
+    return {program.name: program for program in programs}
+
+
 def extra_programs() -> Dict[str, Program]:
     """The additional example programs, keyed by name."""
     programs = (
@@ -188,4 +270,6 @@ def extra_programs() -> Dict[str, Program]:
         score_gated_printer(Fraction(1, 2)),
         nested_recursion(Fraction(1, 2)),
     )
-    return {program.name: program for program in programs}
+    named = {program.name: program for program in programs}
+    named.update(nonaffine_programs())
+    return named

@@ -306,17 +306,35 @@ def remap_constraints(
     cube, so a block measures identically wherever its variables originally
     sat -- which is what lets the measure engine share one cache entry between
     same-shaped blocks drawn from different sample positions.
+
+    The value trees are walked with an explicit stack: renumbering sits on
+    the measure engine's per-block hot path, and the sweep workloads build
+    arbitrarily deep primitive chains (one per reduction step), which must
+    not be bounded by the interpreter's recursion limit.
     """
     from repro.symbolic.values import PrimVal, SampleVar, SymVal
 
     remapping = {variable: position for position, variable in enumerate(variables)}
 
     def remap_value(value: SymVal) -> SymVal:
-        if isinstance(value, SampleVar):
-            return SampleVar(remapping.get(value.index, value.index))
-        if isinstance(value, PrimVal):
-            return PrimVal(value.op, tuple(remap_value(argument) for argument in value.args))
-        return value
+        results: list = []
+        work: list = [("visit", value)]
+        while work:
+            tag, item = work.pop()
+            if tag == "assemble":
+                count = len(item.args)
+                arguments = [results.pop() for _ in range(count)]  # newest-first
+                arguments.reverse()
+                results.append(PrimVal(item.op, tuple(arguments)))
+            elif isinstance(item, PrimVal):
+                work.append(("assemble", item))
+                for argument in reversed(item.args):
+                    work.append(("visit", argument))
+            elif isinstance(item, SampleVar):
+                results.append(SampleVar(remapping.get(item.index, item.index)))
+            else:
+                results.append(item)
+        return results[0]
 
     return ConstraintSet(
         Constraint(remap_value(constraint.value), constraint.relation)

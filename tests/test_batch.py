@@ -458,3 +458,120 @@ class TestBatchCLI:
                      "--seed", "11"]) == 0
         second = capsys.readouterr().out
         assert first == second
+
+
+class TestSweepStoreAndPrune:
+    """The persistent sweep shards, the run counter, and the GC."""
+
+    @staticmethod
+    def _measure_entry(value="1/2"):
+        return [["F", value], True, False, "interval"]
+
+    @staticmethod
+    def _sweep_entry(lower="3/4", undecided="1/8"):
+        return [["F", lower], ["F", undecided], 11, 2, False, 3]
+
+    def test_sweep_entries_persist_and_seed_warm_engines(self, tmp_path):
+        from repro.batch.suites import sweep_suite
+
+        cache = BatchCache(tmp_path)
+        report = run_batch(sweep_suite(depth=20), jobs=1, cache=cache)
+        assert all(result.ok for result in report.results)
+        assert sorted(tmp_path.glob("sweeps-*.json")), "sweep shards must persist"
+        engine = MeasureEngine()
+        entries = cache.load_sweeps(engine)
+        assert entries
+        assert engine.import_sweep_entries(entries) == len(entries)
+        # A warm engine answers every block sweep from the store.
+        warm = run_batch(sweep_suite(depth=20), jobs=1, cache=None, engine=engine)
+        assert jsonl_lines(warm.results) == jsonl_lines(report.results)
+        assert engine.stats.sweep_blocks == 0
+        assert engine.stats.persistent_hits > 0
+
+    def test_run_counter_ticks_only_when_work_happens(self, tmp_path):
+        cache = BatchCache(tmp_path)
+        assert cache.run_counter() == 0
+        spec = JobSpec(program="geo(1/2)", analysis="verify")
+        run_batch([spec], jobs=1, cache=cache)
+        assert cache.run_counter() == 1
+        # A fully warm rerun does no work and must not age the store.
+        run_batch([spec], jobs=1, cache=cache)
+        assert cache.run_counter() == 1
+
+    def test_prune_drops_stale_entries_and_keeps_fresh_ones(self, tmp_path):
+        cache = BatchCache(tmp_path)
+        engine = MeasureEngine()
+        first_run = cache.begin_run()
+        cache.merge_measures(engine, {"stale-measure": self._measure_entry()}, run=first_run)
+        cache.merge_sweeps(engine, {"stale-sweep": self._sweep_entry()}, run=first_run)
+        for _ in range(3):
+            cache.begin_run()
+        current = cache.run_counter()
+        cache.merge_measures(engine, {"fresh-measure": self._measure_entry("1/3")}, run=current)
+        cache.merge_sweeps(engine, {"fresh-sweep": self._sweep_entry("1/2")}, run=current)
+
+        report = cache.prune(min_age_runs=2)
+        assert report.pruned == {"measures": 1, "sweeps": 1}
+        assert report.kept == {"measures": 1, "sweeps": 1}
+        assert report.pruned_total == 2
+        assert set(cache.load_measures(engine)) == {"fresh-measure"}
+        assert set(cache.load_sweeps(engine)) == {"fresh-sweep"}
+        # Shards emptied by the prune are removed from disk outright.
+        assert report.removed_files >= 1
+        assert not cache.shard_path(shard_prefix("stale-measure")).exists()
+
+    def test_persistent_hits_refresh_touch_stamps(self, tmp_path):
+        from repro.batch.suites import sweep_suite
+
+        cache = BatchCache(tmp_path)
+        cold = run_batch(sweep_suite(depth=20), jobs=1, cache=cache)
+        assert all(result.ok for result in cold.results)
+        # Age the store, then force the jobs to recompute: the reruns answer
+        # from the persistent store, which must re-stamp the entries they hit.
+        for _ in range(5):
+            cache.begin_run()
+        import shutil
+
+        shutil.rmtree(cache.jobs_directory)
+        warm = run_batch(sweep_suite(depth=20), jobs=1, cache=cache)
+        assert jsonl_lines(warm.results) == jsonl_lines(cold.results)
+        before = len(cache.load_sweeps(MeasureEngine()))
+        report = cache.prune(min_age_runs=3)
+        assert report.pruned.get("sweeps", 0) == 0
+        assert len(cache.load_sweeps(MeasureEngine())) == before
+
+    def test_prune_rejects_non_positive_age(self, tmp_path):
+        with pytest.raises(ValueError):
+            BatchCache(tmp_path).prune(min_age_runs=0)
+
+    def test_prune_cli_reports_counts(self, tmp_path, capsys):
+        cache = BatchCache(tmp_path)
+        engine = MeasureEngine()
+        run = cache.begin_run()
+        cache.merge_measures(engine, {"old-key": self._measure_entry()}, run=run)
+        for _ in range(4):
+            cache.begin_run()
+        assert main(["batch", "prune", "--cache-dir", str(tmp_path),
+                     "--keep-runs", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "pruned 1" in output
+        assert main(["batch", "prune"]) == 2  # --cache-dir is required
+
+    def test_non_default_engine_options_bypass_the_job_cache(self, tmp_path):
+        from repro.batch.suites import sweep_suite
+        from repro.geometry.measure import MeasureOptions
+
+        cache = BatchCache(tmp_path)
+        specs = sweep_suite(depth=20)
+        default_report = run_batch(specs, jobs=1, cache=cache)
+        # The joint-sweep engine computes different (looser) bounds, so it
+        # must not replay job results cached under the default options.
+        joint = MeasureEngine(MeasureOptions(block_sweep=False))
+        joint_report = run_batch(specs, jobs=1, cache=cache, engine=joint)
+        assert joint_report.cache_hits == 0
+        assert not any(result.cached for result in joint_report.results)
+        assert jsonl_lines(joint_report.results) != jsonl_lines(default_report.results)
+        # The default configuration still replays its own cached results.
+        warm = run_batch(specs, jobs=1, cache=cache)
+        assert warm.cache_hits == len(specs)
+        assert jsonl_lines(warm.results) == jsonl_lines(default_report.results)

@@ -145,3 +145,94 @@ def test_step_summary_is_appended(current_dir, tmp_path, monkeypatch):
     monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary))
     assert _run(current_dir) == 0
     assert "## Perf trajectory" in summary.read_text()
+
+
+def _batch_doc(cpu_count, speedup):
+    document = {
+        "job_count": 15,
+        "cpu_count": cpu_count,
+        "warm_job_cache_hits": 15,
+        "warm_ratio": 0.1,
+        "cold_seconds": 2.0,
+        "serial_seconds": 2.0,
+    }
+    if speedup is not None:
+        document["parallel_speedup"] = speedup
+    return document
+
+
+def _write_batch_docs(baseline_dir, current_dir, baseline_doc, current_doc):
+    (baseline_dir / "BENCH_batch.json").write_text(json.dumps(baseline_doc))
+    (current_dir / "BENCH_batch.json").write_text(json.dumps(current_doc))
+
+
+class TestParallelSpeedupGating:
+    """The parallel-timing ratio is only compared on machines that can fan
+    out: single-core runs (and runs that never recorded the field) skip it
+    instead of gating on scheduling noise."""
+
+    def _verdicts(self, baseline_doc, current_doc):
+        metrics = compare_bench._batch_metrics(baseline_doc, current_doc)
+        return {metric.name: metric for metric in metrics}
+
+    def test_multicore_regression_is_gated(self):
+        metrics = self._verdicts(_batch_doc(4, 2.5), _batch_doc(4, 1.0))
+        speedup = metrics["batch: parallel speedup"]
+        assert speedup.kind == compare_bench.RATIO
+        assert speedup.verdict(0.25, False) == "FAIL"
+
+    def test_multicore_within_tolerance_passes(self):
+        metrics = self._verdicts(_batch_doc(4, 2.5), _batch_doc(4, 2.2))
+        assert metrics["batch: parallel speedup"].verdict(0.25, False) == "ok"
+
+    def test_single_core_skips_the_ratio(self):
+        for baseline_cores, current_cores in ((1, 4), (4, 1), (1, 1)):
+            metrics = self._verdicts(
+                _batch_doc(baseline_cores, 2.5), _batch_doc(current_cores, 0.5)
+            )
+            assert "batch: parallel speedup" not in metrics
+
+    def test_absent_speedup_field_skips_the_ratio(self):
+        metrics = self._verdicts(_batch_doc(4, None), _batch_doc(4, 2.0))
+        assert "batch: parallel speedup" not in metrics
+        metrics = self._verdicts(_batch_doc(4, 2.0), _batch_doc(4, None))
+        assert "batch: parallel speedup" not in metrics
+
+    def test_end_to_end_single_core_regression_passes(self, current_dir):
+        _edit(
+            current_dir / "BENCH_batch.json",
+            lambda document: document.update(cpu_count=1, parallel_speedup=0.5),
+        )
+        assert _run(current_dir) == 0
+
+
+class TestSweepTrajectory:
+    def test_sweep_box_count_regression_fails(self, current_dir):
+        def regress(document):
+            document["multi_block_block_boxes"] *= 3
+            document["aggregate_box_reduction"] /= 3
+
+        _edit(current_dir / "BENCH_sweep.json", regress)
+        assert _run(current_dir) == 1
+
+    def test_sweep_bound_loosening_fails(self, current_dir):
+        def regress(document):
+            for row in document["programs"].values():
+                row["block_bound"] *= 0.9
+
+        _edit(current_dir / "BENCH_sweep.json", regress)
+        assert _run(current_dir) == 1
+
+    def test_warm_sweep_recomputation_fails(self, current_dir):
+        _edit(
+            current_dir / "BENCH_sweep.json",
+            lambda document: document.update(warm_sweep_blocks=6),
+        )
+        assert _run(current_dir) == 1
+
+    def test_dropped_sweep_program_fails(self, current_dir):
+        def drop(document):
+            document["programs"].pop(sorted(document["programs"])[0])
+
+        _edit(current_dir / "BENCH_sweep.json", drop)
+        assert _run(current_dir) == 1

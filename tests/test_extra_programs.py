@@ -21,7 +21,11 @@ from repro.programs import (
     exponential_step_walk,
     extra_programs,
     nested_recursion,
+    nonaffine_programs,
     score_gated_printer,
+    sigmoid_retry,
+    sigmoid_sum_retry,
+    square_retry,
     two_sample_sum,
     von_neumann_coin,
 )
@@ -42,9 +46,67 @@ class TestExtraProgramLibrary:
 
     def test_library_names_are_unique_and_described(self):
         programs = extra_programs()
-        assert len(programs) == 6
+        assert len(programs) == 9
         for program in programs.values():
             assert program.description
+
+    def test_nonaffine_library_is_consistent(self):
+        programs = nonaffine_programs()
+        assert set(programs) == {
+            "sig-retry(7/10)",
+            "square-retry(1/2)",
+            "sig-sum-retry(1)",
+        }
+        for name, program in programs.items():
+            assert extra_programs()[name] is not None
+            assert typecheck(program.applied) == RealType(), name
+
+    def test_sigmoid_retry_first_round_probability(self):
+        # P(sig(s) <= 7/10) = ln((7/10)/(3/10)) = ln(7/3); the sweep can only
+        # certify a lower bound, bracketing the truth.
+        import math
+
+        truth = math.log(Fraction(7, 10) / Fraction(3, 10))
+        result = lower_bound(sigmoid_retry(Fraction(7, 10)).applied, 6)
+        assert result.path_count == 1  # one round fits in 6 steps
+        assert float(result.probability) <= truth + 1e-9
+        assert float(result.probability) >= truth - 1e-3
+        assert float(result.measure_gap) < 1e-2
+
+    def test_square_retry_first_round_probability(self):
+        # Under the program's own call-by-value strategy the bound sample is
+        # drawn once and squared: P(s*s <= 1/2) = sqrt(1/2).
+        from repro.symbolic.execute import Strategy
+
+        truth = 0.5 ** 0.5
+        program = square_retry(Fraction(1, 2))
+        result = lower_bound(program.applied, 8, strategy=program.strategy)
+        assert result.path_count == 1
+        assert float(result.probability) <= truth + 1e-9
+        assert float(result.probability) >= truth - 1e-3
+        # Under call-by-name the let beta-duplicates the sample, giving the
+        # product distribution P(s1*s2 <= 1/2) = 1/2 + ln(2)/2 instead.
+        duplicated = lower_bound(program.applied, 8, strategy=Strategy.CBN)
+        product_truth = 0.5 + 0.5 * 0.6931471805599453
+        assert float(duplicated.probability) <= product_truth + 1e-9
+        assert float(duplicated.probability) >= product_truth - 1e-2
+
+    def test_nonaffine_bounds_tighten_with_depth_and_stay_sound(self):
+        for program in nonaffine_programs().values():
+            shallow = lower_bound(program.applied, 12, strategy=program.strategy)
+            deep = lower_bound(program.applied, 30, strategy=program.strategy)
+            assert float(shallow.probability) <= float(deep.probability) + 1e-12
+            assert float(deep.probability) <= program.known_probability + 1e-9
+            assert not deep.exact_measures
+            assert deep.measure_gap >= 0
+
+    def test_sigmoid_sum_retry_matches_monte_carlo(self):
+        program = sigmoid_sum_retry(1)
+        bound = lower_bound(program.applied, 25)
+        estimate = estimate_termination(program.applied, runs=1500, seed=5)
+        # The certified lower bound must sit below the MC estimate (plus
+        # sampling noise).
+        assert float(bound.probability) <= estimate.probability + 0.05
 
     def test_two_sample_sum_lower_bound_approaches_one(self):
         program = two_sample_sum()
