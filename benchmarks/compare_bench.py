@@ -47,7 +47,12 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import List, Optional
 
-BENCH_FILES = ("BENCH_papprox.json", "BENCH_batch.json", "BENCH_sweep.json")
+BENCH_FILES = (
+    "BENCH_papprox.json",
+    "BENCH_batch.json",
+    "BENCH_sweep.json",
+    "BENCH_anytime.json",
+)
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_BASELINE_DIR = Path(__file__).resolve().parent / "baselines"
@@ -288,10 +293,112 @@ def _sweep_metrics(baseline: dict, current: dict) -> List[Metric]:
     return metrics
 
 
+def _anytime_metrics(baseline: dict, current: dict) -> List[Metric]:
+    metrics = [
+        Metric(
+            "anytime: aggregate step reduction",
+            _number(baseline.get("aggregate_step_reduction")),
+            _number(current.get("aggregate_step_reduction")),
+            HIGHER,
+            COUNTER,
+        ),
+        Metric(
+            "anytime: incremental symbolic steps (total)",
+            _number(baseline.get("incremental_steps_total")),
+            _number(current.get("incremental_steps_total")),
+            LOWER,
+            COUNTER,
+        ),
+        Metric(
+            "anytime: aggregate sweep-box reduction",
+            _number(baseline.get("aggregate_box_reduction")),
+            _number(current.get("aggregate_box_reduction")),
+            HIGHER,
+            COUNTER,
+        ),
+        Metric(
+            "anytime: incremental sweep boxes (total)",
+            _number(baseline.get("incremental_sweep_boxes_total")),
+            _number(current.get("incremental_sweep_boxes_total")),
+            LOWER,
+            COUNTER,
+        ),
+    ]
+    baseline_warm = baseline.get("warm_start") or {}
+    current_warm = current.get("warm_start") or {}
+    metrics.append(
+        Metric(
+            "anytime: warm-started sweeps",
+            _number(baseline_warm.get("warm_starts")),
+            _number(current_warm.get("warm_starts")),
+            HIGHER,
+            COUNTER,
+        )
+    )
+    metrics.append(
+        Metric(
+            "anytime: warm-resumed sweep boxes",
+            _number(baseline_warm.get("warm_boxes")),
+            _number(current_warm.get("warm_boxes")),
+            LOWER,
+            COUNTER,
+        )
+    )
+    baseline_programs = baseline.get("programs") or {}
+    current_programs = current.get("programs") or {}
+    for name in sorted(baseline_programs):
+        old_row = baseline_programs.get(name) or {}
+        new_row = current_programs.get(name)
+        if new_row is None:
+            metrics.append(
+                Metric(f"anytime[{name}]: incremental steps",
+                       _number(old_row.get("incremental_steps")), None,
+                       LOWER, COUNTER)
+            )
+            continue
+        for field, direction in (
+            ("incremental_steps", LOWER),
+            ("step_reduction", HIGHER),
+            ("incremental_sweep_boxes", LOWER),
+            ("final_bound", HIGHER),
+        ):
+            metrics.append(
+                Metric(
+                    f"anytime[{name}]: {field.replace('_', ' ')}",
+                    _number(old_row.get(field)),
+                    _number(new_row.get(field)),
+                    direction,
+                    COUNTER,
+                )
+            )
+    # Within-run timing ratio: incremental vs from-scratch wall-clock,
+    # totalled over the common programs (both run in the same process).
+    common = [name for name in baseline_programs if name in current_programs]
+
+    def _totals(programs, names):
+        scratch_ms = sum(_number(programs[n].get("scratch_ms")) or 0.0 for n in names)
+        incremental_ms = sum(
+            _number(programs[n].get("incremental_ms")) or 0.0 for n in names
+        )
+        return (incremental_ms / scratch_ms) if scratch_ms else None
+
+    metrics.append(
+        Metric(
+            "anytime: incremental/scratch wall-clock ratio",
+            _totals(baseline_programs, common),
+            _totals(current_programs, common),
+            LOWER,
+            RATIO,
+        )
+    )
+    return metrics
+
+
 METRIC_BUILDERS = {
     "BENCH_papprox.json": _papprox_metrics,
     "BENCH_batch.json": _batch_metrics,
     "BENCH_sweep.json": _sweep_metrics,
+    "BENCH_anytime.json": _anytime_metrics,
 }
 
 

@@ -37,10 +37,27 @@ from repro.spcf.printer import pretty
 # cached under version 1 must not be replayed.
 JOB_FORMAT_VERSION = 2
 
-ANALYSES: Tuple[str, ...] = ("lower-bound", "verify", "classify", "estimate", "papprox")
+ANALYSES: Tuple[str, ...] = (
+    "lower-bound",
+    "lower-bound-schedule",
+    "verify",
+    "classify",
+    "estimate",
+    "papprox",
+)
 
 _DEFAULT_PARAMS: Dict[str, Dict[str, Any]] = {
     "lower-bound": {"depth": 50, "max_paths": 100_000, "strategy": None},
+    # One *incremental* job per program: the whole depth schedule runs over a
+    # single resumable session, recording the full anytime trajectory.  The
+    # optional ``target_gap`` ("p/q" string) stops the schedule early once
+    # the certified anytime gap drops below it.
+    "lower-bound-schedule": {
+        "schedule": (10, 25, 50),
+        "max_paths": 100_000,
+        "strategy": None,
+        "target_gap": None,
+    },
     "verify": {"max_steps": 5_000},
     "classify": {"max_steps": 2_000},
     "estimate": {"runs": 2_000, "max_steps": 20_000, "seed": 0},
@@ -287,6 +304,57 @@ def _execute(spec: JobSpec, engine: MeasureEngine) -> Dict[str, Any]:
             "path_count": result.path_count,
             "exhaustive": result.exhaustive,
             "exact_measures": result.exact_measures,
+        }
+    if spec.analysis == "lower-bound-schedule":
+        from repro.lowerbound.engine import LowerBoundEngine
+        from repro.symbolic.execute import Strategy
+
+        strategy = program.strategy
+        if params["strategy"] is not None:
+            strategy = Strategy[params["strategy"]]
+        schedule = [int(depth) for depth in params["schedule"]]
+        if (
+            not schedule
+            or schedule[0] <= 0
+            or any(second < first for first, second in zip(schedule, schedule[1:]))
+        ):
+            raise ValueError(
+                "schedule must be a non-empty, non-decreasing list of "
+                f"positive depths, got {schedule!r}"
+            )
+        bound_engine = LowerBoundEngine(strategy=strategy, measure_engine=engine)
+        trajectory = []
+        for result in bound_engine.lower_bound_schedule(
+            program.applied,
+            schedule,
+            max_paths=params["max_paths"],
+            target_gap=decode_number(params["target_gap"]),
+        ):
+            trajectory.append(
+                {
+                    "depth": result.max_steps,
+                    "probability": encode_number(result.probability),
+                    "expected_steps": encode_number(result.expected_steps),
+                    "measure_gap": encode_number(result.measure_gap),
+                    "anytime_gap": encode_number(result.anytime_gap()),
+                    "path_count": result.path_count,
+                    "exhaustive": result.exhaustive,
+                    "exact_measures": result.exact_measures,
+                }
+            )
+        final = trajectory[-1]
+        # The final depth's fields are duplicated at the top level so the
+        # payload is a drop-in superset of a plain lower-bound payload.
+        return {
+            "schedule": schedule,
+            "depths_run": len(trajectory),
+            "trajectory": trajectory,
+            "probability": final["probability"],
+            "expected_steps": final["expected_steps"],
+            "measure_gap": final["measure_gap"],
+            "path_count": final["path_count"],
+            "exhaustive": final["exhaustive"],
+            "exact_measures": final["exact_measures"],
         }
     if spec.analysis == "verify":
         from repro.astcheck import verify_ast

@@ -10,6 +10,13 @@ A *suite* is the batch rendering of one evaluation section:
   and its persistent ``sweeps-<prefix>.json`` store,
 * ``all``     -- table1, table2 and classify, concatenated.
 
+The lower-bound suites (``table1``, ``sweep``) also come in an *anytime*
+form: given a depth ``schedule``, each program becomes one incremental
+``lower-bound-schedule`` job whose resumable session streams a bound per
+scheduled depth -- instead of ``len(schedule)`` independent jobs that each
+re-explore from the root.  The recorded payload carries the whole anytime
+trajectory, so a depth column in Table 1 costs one job.
+
 Cost hints are derived from the term size (scaled by the exploration depth
 for lower bounds): they only inform the scheduler's longest-first ordering,
 never the results.
@@ -21,10 +28,11 @@ A *job file* is a JSON list of ``{"program": ..., "analysis": ...,
 from __future__ import annotations
 
 import json
+from fractions import Fraction
 from pathlib import Path
-from typing import List, Mapping, Optional, Union
+from typing import List, Mapping, Optional, Sequence, Union
 
-from repro.batch.jobs import JobSpec
+from repro.batch.jobs import JobSpec, encode_number
 from repro.programs import table1_programs, table2_programs
 from repro.programs.extra import nonaffine_programs
 from repro.programs.library import Program
@@ -36,6 +44,7 @@ __all__ = [
     "SUITE_NAMES",
     "classify_suite",
     "load_job_file",
+    "schedule_suite",
     "suite",
     "sweep_suite",
     "table1_suite",
@@ -118,8 +127,61 @@ def sweep_suite(
     ]
 
 
-def suite(name: str, depth: int = 50) -> List[JobSpec]:
-    """Resolve a ``--suite`` name to its job list."""
+def schedule_suite(
+    schedule: Sequence[int],
+    max_paths: int = 100_000,
+    programs: Optional[Mapping[str, Program]] = None,
+    target_gap: Optional[Fraction] = None,
+) -> List[JobSpec]:
+    """One incremental ``lower-bound-schedule`` job per program.
+
+    The anytime rendering of a lower-bound suite: every program's whole
+    depth schedule is a single resumable job (suspended paths resume, each
+    terminated path is measured once), and its payload records a bound per
+    scheduled depth.  Defaults to the Table 1 program set.
+    """
+    schedule = [int(depth) for depth in schedule]
+    programs = dict(programs) if programs is not None else table1_programs()
+    return [
+        JobSpec(
+            program=name,
+            analysis="lower-bound-schedule",
+            params={
+                "schedule": schedule,
+                "max_paths": max_paths,
+                "target_gap": encode_number(target_gap),
+            },
+            # An incremental schedule costs about as much as one from-scratch
+            # run at its deepest point.
+            cost_hint=float(term_size(program.applied) * max(schedule)),
+        )
+        for name, program in programs.items()
+    ]
+
+
+def suite(
+    name: str,
+    depth: int = 50,
+    schedule: Optional[Sequence[int]] = None,
+    target_gap: Optional[Fraction] = None,
+) -> List[JobSpec]:
+    """Resolve a ``--suite`` name to its job list.
+
+    A ``schedule`` turns the lower-bound suites (``table1``, ``sweep``) into
+    their anytime form -- one incremental job per program streaming a bound
+    per scheduled depth; the other suites have no depth axis and reject it.
+    """
+    if schedule is not None:
+        if name == "table1":
+            return schedule_suite(schedule, target_gap=target_gap)
+        if name == "sweep":
+            return schedule_suite(
+                schedule, programs=nonaffine_programs(), target_gap=target_gap
+            )
+        raise ValueError(
+            f"suite {name!r} has no depth axis; --schedule applies to "
+            "'table1' and 'sweep'"
+        )
     if name == "table1":
         return table1_suite(depth=depth)
     if name == "table2":

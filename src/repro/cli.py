@@ -5,12 +5,23 @@ Monte-Carlo estimator, over programs written in the surface syntax of
 :mod:`repro.spcf.parser` or taken from the built-in benchmark library::
 
     python -m repro lower-bound "(mu phi x. if sample - 1/2 then x else phi (x+1)) 1" --depth 80
+    python -m repro lower-bound "geo(1/2)" --schedule 20,40,80 --target-gap 1/1000
     python -m repro verify "mu phi x. if sample - 1/2 then x else phi (phi (x+1))"
     python -m repro estimate --program "ex1.1(1/4)" --runs 5000 --seed 7
     python -m repro table1 --depth 50 --jobs 4 --cache-dir .repro-cache
+    python -m repro table1 --schedule 20,35,50
     python -m repro table2
     python -m repro batch --suite all --jobs 4 --cache-dir .repro-cache --output results.jsonl
     python -m repro list-programs
+
+Anytime mode: ``--schedule d1,d2,...`` runs the lower-bound analyses as one
+*incremental* computation per program -- the symbolic frontier suspended at
+one depth resumes at the next, every terminated path is measured exactly
+once, and an intermediate bound is streamed per scheduled depth (each one
+bit-identical to a from-scratch run at that depth).  ``--target-gap`` stops
+a schedule early once the certified anytime gap drops to the target, and
+``--stats-json PATH`` dumps the engine's performance counters (including
+``frontier_peak`` / ``paths_resumed`` / ``sweep_warm_starts``) as JSON.
 
 Program arguments may be either a source string or the name of a benchmark
 program (as listed by ``list-programs``).
@@ -39,11 +50,12 @@ an unchanged batch is near-instant and bit-identical.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
 from fractions import Fraction
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Tuple
 
 from repro.astcheck import verify_ast
 from repro.astcheck.exectree import render_tree
@@ -92,11 +104,56 @@ def _measure_engine(arguments: argparse.Namespace) -> MeasureEngine:
     )
 
 
+def _schedule_argument(text: str) -> Tuple[int, ...]:
+    """Parse ``--schedule d1,d2,...`` into a validated depth tuple."""
+    try:
+        schedule = tuple(int(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"schedule must be comma-separated integers, got {text!r}"
+        )
+    if not schedule or schedule[0] <= 0 or any(
+        second < first for first, second in zip(schedule, schedule[1:])
+    ):
+        raise argparse.ArgumentTypeError(
+            f"schedule must be non-empty, positive and non-decreasing, got {text!r}"
+        )
+    return schedule
+
+
+def _target_gap_without_schedule(arguments: argparse.Namespace) -> bool:
+    """``--target-gap`` only means something for a schedule: reject it loudly
+    rather than silently running the fixed-depth analysis without a stop
+    rule (job files carry their own per-job ``target_gap`` params)."""
+    if getattr(arguments, "target_gap", None) is None:
+        return False
+    if getattr(arguments, "schedule", None):
+        return False
+    if getattr(arguments, "job_file", None):
+        return False
+    print(
+        f"{arguments.command}: --target-gap requires --schedule", file=sys.stderr
+    )
+    return True
+
+
+def _write_stats_json(arguments: argparse.Namespace, stats) -> None:
+    """``--stats-json PATH``: dump the engine counters machine-readably."""
+    path = getattr(arguments, "stats_json", None)
+    if not path:
+        return
+    document = {"version": 1, "counters": stats.as_dict()}
+    with open(path, "w") as stream:
+        json.dump(document, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+
+
 def _print_perf_stats(arguments: argparse.Namespace, stats) -> None:
     if getattr(arguments, "stats", False):
         print("measure engine statistics:")
         for line in stats.summary().splitlines():
             print(f"  {line}")
+    _write_stats_json(arguments, stats)
 
 
 def _print_stats(arguments: argparse.Namespace, engine: MeasureEngine) -> None:
@@ -104,15 +161,36 @@ def _print_stats(arguments: argparse.Namespace, engine: MeasureEngine) -> None:
 
 
 def _command_lower_bound(arguments: argparse.Namespace) -> int:
+    if _target_gap_without_schedule(arguments):
+        return 2
     program = _resolve_program(arguments.program)
     strategy = Strategy.CBV if arguments.cbv else program.strategy
     measure_engine = _measure_engine(arguments)
     engine = LowerBoundEngine(strategy=strategy, measure_engine=measure_engine)
-    start = time.perf_counter()
-    result = engine.lower_bound(program.applied, max_steps=arguments.depth)
-    elapsed = time.perf_counter() - start
     print(f"program      : {pretty(program.applied, unicode_symbols=False)}")
     print(f"type         : {typecheck(program.applied)!r}")
+    start = time.perf_counter()
+    if arguments.schedule:
+        # Anytime mode: one resumable session streams a bound per scheduled
+        # depth; each line is bit-identical to a from-scratch run there.
+        session = engine.session(program.applied)
+        result = None
+        for result in session.run_schedule(
+            arguments.schedule, target_gap=arguments.target_gap
+        ):
+            elapsed = time.perf_counter() - start
+            print(
+                f"depth {result.max_steps:>6d} : "
+                f"LB = {float(result.probability):.10f}  "
+                f"paths = {result.path_count:<6d} "
+                f"gap <= {float(result.anytime_gap()):.3e}  "
+                f"({elapsed * 1000:.1f} ms)"
+            )
+        depth = result.max_steps
+    else:
+        result = engine.lower_bound(program.applied, max_steps=arguments.depth)
+        depth = arguments.depth
+    elapsed = time.perf_counter() - start
     print(f"lower bound  : {float(result.probability):.10f}")
     if result.exact_measures:
         print(f"  exactly    : {result.probability}")
@@ -120,7 +198,7 @@ def _command_lower_bound(arguments: argparse.Namespace) -> int:
         print(f"measure gap  : {float(result.measure_gap):.3e}")
     print(f"E[steps] >=  : {float(result.expected_steps):.4f}")
     print(f"paths        : {result.path_count} (exhaustive: {result.exhaustive})")
-    print(f"depth        : {arguments.depth}")
+    print(f"depth        : {depth}")
     print(f"time         : {elapsed * 1000:.1f} ms")
     _print_stats(arguments, measure_engine)
     return 0
@@ -161,6 +239,23 @@ def _command_estimate(arguments: argparse.Namespace) -> int:
     if estimate.mean_steps is not None:
         print(f"mean steps   : {estimate.mean_steps:.1f}")
         print(f"mean samples : {estimate.mean_samples:.1f}")
+    if arguments.stats_json:
+        # The MC estimator never measures constraint sets, so its dump is
+        # the sampler's own statistics rather than PerfStats counters.
+        document = {
+            "version": 1,
+            "analysis": "estimate",
+            "probability": estimate.probability,
+            "terminated": estimate.terminated,
+            "runs": estimate.runs,
+            "mean_steps": estimate.mean_steps,
+            "mean_samples": estimate.mean_samples,
+            "stderr": estimate.stderr,
+            "seed": arguments.seed,
+        }
+        with open(arguments.stats_json, "w") as stream:
+            json.dump(document, stream, indent=2, sort_keys=True)
+            stream.write("\n")
     return 0
 
 
@@ -200,16 +295,20 @@ def _print_batch_stats(
 
 
 def _command_table1(arguments: argparse.Namespace) -> int:
+    if _target_gap_without_schedule(arguments):
+        return 2
     from repro.batch.jobs import decode_number
-    from repro.batch.suites import table1_suite
+    from repro.batch.suites import schedule_suite, table1_suite
 
     jobs = _batch_jobs(arguments)
     engine = _measure_engine(arguments) if jobs <= 1 else None
+    schedule = getattr(arguments, "schedule", None)
+    if schedule:
+        specs = schedule_suite(schedule, target_gap=arguments.target_gap)
+    else:
+        specs = table1_suite(depth=arguments.depth)
     report = run_batch(
-        table1_suite(depth=arguments.depth),
-        jobs=jobs,
-        cache=_batch_cache(arguments),
-        engine=engine,
+        specs, jobs=jobs, cache=_batch_cache(arguments), engine=engine
     )
     print(f"{'term':16s} {'LB':>14s} {'paths':>7s} {'depth':>6s} {'time':>9s}")
     for result in report.results:
@@ -217,6 +316,25 @@ def _command_table1(arguments: argparse.Namespace) -> int:
             print(f"{result.spec.program:16s} ERROR: {result.error}")
             continue
         payload = result.payload or {}
+        if schedule:
+            # One row per scheduled depth, from the job's anytime trajectory
+            # (the whole column costs one incremental job per program).  The
+            # job's elapsed time covers the whole schedule, so it is printed
+            # once, on the deepest row.
+            trajectory = payload.get("trajectory", [])
+            for position, point in enumerate(trajectory):
+                probability = float(decode_number(point["probability"]))
+                elapsed = (
+                    f"{result.elapsed_ms:8.0f}ms"
+                    if position == len(trajectory) - 1
+                    else f"{'':10s}"
+                )
+                print(
+                    f"{result.spec.program:16s} {probability:14.10f} "
+                    f"{point['path_count']:7d} {point['depth']:6d} "
+                    f"{elapsed}"
+                )
+            continue
         probability = float(decode_number(payload["probability"]))
         print(
             f"{result.spec.program:16s} {probability:14.10f} "
@@ -274,6 +392,8 @@ def _command_classify(arguments: argparse.Namespace) -> int:
 
 
 def _command_report(arguments: argparse.Namespace) -> int:
+    if _target_gap_without_schedule(arguments):
+        return 2
     from repro.geometry.stats import PerfStats
 
     jobs = _batch_jobs(arguments)
@@ -286,6 +406,8 @@ def _command_report(arguments: argparse.Namespace) -> int:
             jobs=jobs,
             cache=_batch_cache(arguments),
             stats_sink=sink,
+            schedule=getattr(arguments, "schedule", None),
+            target_gap=getattr(arguments, "target_gap", None),
         )
     )
     _print_perf_stats(arguments, engine.stats if engine is not None else sink)
@@ -311,10 +433,21 @@ def _command_batch_prune(arguments: argparse.Namespace) -> int:
 def _command_batch(arguments: argparse.Namespace) -> int:
     if arguments.job_file == "prune":
         return _command_batch_prune(arguments)
+    if _target_gap_without_schedule(arguments):
+        return 2
     if arguments.job_file:
         specs = load_job_file(arguments.job_file)
     elif arguments.suite:
-        specs = suite(arguments.suite, depth=arguments.depth)
+        try:
+            specs = suite(
+                arguments.suite,
+                depth=arguments.depth,
+                schedule=getattr(arguments, "schedule", None),
+                target_gap=getattr(arguments, "target_gap", None),
+            )
+        except ValueError as error:  # e.g. --schedule on a suite without depths
+            print(f"batch: {error}", file=sys.stderr)
+            return 2
     else:
         print("batch: provide a job file or --suite", file=sys.stderr)
         return 2
@@ -430,6 +563,35 @@ def _add_measure_flags(subparser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="print the measure engine's performance counters after the run",
     )
+    subparser.add_argument(
+        "--stats-json",
+        default=None,
+        metavar="PATH",
+        help="write the measure engine's performance counters to PATH as "
+        "JSON (machine-readable companion of --stats)",
+    )
+
+
+def _add_schedule_flags(subparser: argparse.ArgumentParser) -> None:
+    """Flags shared by the commands with an anytime (depth-schedule) mode."""
+    subparser.add_argument(
+        "--schedule",
+        type=_schedule_argument,
+        default=None,
+        metavar="D1,D2,...",
+        help="anytime mode: run one incremental computation over this "
+        "non-decreasing depth schedule, streaming a bound per depth "
+        "(bit-identical to from-scratch runs at the same depths)",
+    )
+    subparser.add_argument(
+        "--target-gap",
+        type=Fraction,
+        default=None,
+        metavar="FRACTION",
+        help="stop a --schedule early once the certified anytime gap "
+        "(unexplored mass, or the sweep bracket once exhaustive) drops "
+        "to this (e.g. 1/1000)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -447,6 +609,7 @@ def build_parser() -> argparse.ArgumentParser:
     lower.add_argument("--depth", type=int, default=80, help="per-path step budget")
     lower.add_argument("--cbv", action="store_true", help="use call-by-value evaluation")
     _add_measure_flags(lower)
+    _add_schedule_flags(lower)
     lower.set_defaults(handler=_command_lower_bound)
 
     verify = subparsers.add_parser("verify", help="automatic AST verification")
@@ -465,12 +628,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="PRNG seed for the sampler (estimates are reproducible per seed)",
     )
+    estimate.add_argument(
+        "--stats-json",
+        default=None,
+        metavar="PATH",
+        help="write the sampler statistics to PATH as JSON",
+    )
     estimate.set_defaults(handler=_command_estimate)
 
     table1 = subparsers.add_parser("table1", help="regenerate Table 1 (lower bounds)")
     table1.add_argument("--depth", type=int, default=50)
     _add_measure_flags(table1)
     _add_batch_flags(table1)
+    _add_schedule_flags(table1)
     table1.set_defaults(handler=_command_table1)
 
     table2 = subparsers.add_parser("table2", help="regenerate Table 2 (AST verification)")
@@ -529,6 +699,7 @@ def build_parser() -> argparse.ArgumentParser:
         "this many runs (default: 20)",
     )
     _add_measure_flags(batch)
+    _add_schedule_flags(batch)
     batch.set_defaults(handler=_command_batch)
 
     list_programs = subparsers.add_parser("list-programs", help="list the built-in programs")
@@ -547,6 +718,7 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--depth", type=int, default=50)
     _add_measure_flags(report)
     _add_batch_flags(report)
+    _add_schedule_flags(report)
     report.set_defaults(handler=_command_report)
 
     return parser

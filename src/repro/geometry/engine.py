@@ -63,7 +63,13 @@ from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
 from repro.geometry.linear import halfspace_from_constraint
 from repro.geometry.measure import MeasureOptions, MeasureResult, measure_constraints
 from repro.geometry.stats import PerfStats
-from repro.geometry.sweep import SweepResult, sweep_measure
+from repro.geometry.sweep import (
+    SweepFrontier,
+    SweepResult,
+    decode_frontier,
+    encode_frontier,
+    sweep_measure,
+)
 from repro.intervals.interval import Interval
 from repro.spcf.primitives import PrimitiveRegistry, default_registry
 from repro.symbolic.constraints import Constraint, ConstraintSet, remap_constraints
@@ -76,6 +82,11 @@ _SweepKey = Tuple[Tuple[Constraint, ...], int, MeasureOptions]
 
 _Block = Tuple[ConstraintSet, int]
 """A renumbered canonical block and its dimension (= its variable count)."""
+
+_MAX_PERSISTED_FRONTIER_BOXES = 2048
+"""Frontiers larger than this are memoized but not persisted: the shard files
+must stay small enough that a merge's read-modify-write cycle is cheap, and a
+frontier that large means the block is near-degenerate anyway."""
 
 
 def _encode_number(value) -> Optional[List]:
@@ -131,6 +142,10 @@ class MeasureEngine:
         self._sweep_imported: Dict[str, SweepResult] = {}
         self._sweep_export_skip: set = set()
         self._sweep_unexported: list = []
+        # Imported frontier blobs, decoded lazily: a warm-start probe knows
+        # the block it is sweeping, so the (position-independent) constraint
+        # indices can be validated and materialized only when actually used.
+        self._sweep_frontier_blobs: Dict[str, list] = {}
         # Persistent-store keys answered from an import since the last drain
         # (tracked per store kind); the batch cache uses them to refresh GC
         # touch stamps without probing the other kind's shards.
@@ -473,7 +488,14 @@ class MeasureEngine:
         return sweep.lower, sweep.upper, "sweep"
 
     def _sweep_block(self, block: ConstraintSet, dimension: int) -> SweepResult:
-        """Sweep one renumbered block through the sweep memo table."""
+        """Sweep one renumbered block through the sweep memo table.
+
+        On a full miss, the base sweep warm-starts from the deepest persisted
+        frontier of the *same block at a shallower depth budget* when the
+        store holds one: the resumed bounds are bit-identical to a
+        from-scratch sweep at this engine's budget, so warm-started and cold
+        entries are interchangeable everywhere.
+        """
         self.stats.block_requests += 1
         if not self.cache_enabled:
             return self._run_block_sweep(block, dimension)
@@ -490,14 +512,60 @@ class MeasureEngine:
                 self.stats.persistent_hits += 1
                 self._sweep_keys_used.add(persistent)
         if result is None:
-            result = self._run_block_sweep(block, dimension)
+            resume = self._find_sweep_resume(block, dimension)
+            if resume is not None:
+                self.stats.sweep_warm_starts += 1
+            result = self._run_block_sweep(block, dimension, resume=resume)
         self._sweep_cache[key] = result
         self._sweep_unexported.append((key, block, dimension))
         return result
 
-    def _run_block_sweep(self, block: ConstraintSet, dimension: int) -> SweepResult:
+    def _find_sweep_resume(
+        self, block: ConstraintSet, dimension: int
+    ) -> Optional[SweepFrontier]:
+        """The deepest usable persisted frontier of ``block``, or ``None``.
+
+        Frontiers only determine the deeper sweep under pure depth budgets,
+        so any early-exit knob disables warm-starting outright.  Candidate
+        budgets are probed deepest-first by rendering their persistent key
+        directly -- the sweep store needs no secondary index.
+        """
+        options = self.options
+        if (
+            not self._sweep_frontier_blobs
+            or options.sweep_target_gap != 0
+            or options.sweep_max_boxes is not None
+        ):
+            return None
+        prefix = self._sweep_key_prefix(block, dimension)
+        for depth in range(options.sweep_depth - 1, 0, -1):
+            blob = self._sweep_frontier_blobs.get(
+                prefix + self._sweep_key_suffix(sweep_depth=depth)
+            )
+            if blob is None:
+                continue
+            frontier = decode_frontier(blob, len(block.constraints))
+            if frontier is not None and frontier.max_depth == depth:
+                return frontier
+        return None
+
+    def _run_block_sweep(
+        self,
+        block: ConstraintSet,
+        dimension: int,
+        resume: Optional[SweepFrontier] = None,
+    ) -> SweepResult:
         self.stats.sweep_blocks += 1
         options = self.options
+        # Pure depth budgets collect the frontier so the store can hand it
+        # to deeper budgets; early-exit budgets cannot produce a usable one,
+        # and with the cache disabled nothing would ever memoize or persist
+        # it, so the collection work is skipped outright.
+        depth_budget_only = (
+            self.cache_enabled
+            and options.sweep_target_gap == 0
+            and options.sweep_max_boxes is None
+        )
         return sweep_measure(
             block,
             dimension,
@@ -506,6 +574,8 @@ class MeasureEngine:
             stats=self.stats,
             target_gap=options.sweep_target_gap,
             max_boxes=options.sweep_max_boxes,
+            resume=resume,
+            collect_frontier=depth_budget_only,
         )
 
     # -- the complement rule ---------------------------------------------------
@@ -626,21 +696,33 @@ class MeasureEngine:
             ]
         )
 
-    def persistent_sweep_key(self, block: ConstraintSet, dimension: int) -> str:
+    def persistent_sweep_key(
+        self, block: ConstraintSet, dimension: int, sweep_depth: Optional[int] = None
+    ) -> str:
         """The cross-process key of one per-block sweep.
 
         Only the budget-bearing options participate: a sweep's outcome does
         not depend on ``max_hull_dimension``, ``prefer_sweep`` or
         ``block_sweep``, so entries stay shared across those configurations.
+        ``sweep_depth`` overrides the engine's own depth budget -- the
+        warm-start probe renders the keys shallower budgets would have
+        written under, without needing an engine per budget.
         """
+        return self._sweep_key_prefix(block, dimension) + self._sweep_key_suffix(
+            sweep_depth
+        )
+
+    def _sweep_key_prefix(self, block: ConstraintSet, dimension: int) -> str:
+        """The budget-independent part of a sweep key (constraints + dim)."""
+        return ";".join(c.sort_key() for c in block.constraints) + f"|d{dimension}"
+
+    def _sweep_key_suffix(self, sweep_depth: Optional[int] = None) -> str:
+        """The budget-bearing tail of a sweep key."""
         options = self.options
-        return "|".join(
-            [
-                ";".join(c.sort_key() for c in block.constraints),
-                f"d{dimension}",
-                f"s{options.sweep_depth}.{options.sweep_target_gap}"
-                f".{options.sweep_max_boxes}",
-            ]
+        if sweep_depth is None:
+            sweep_depth = options.sweep_depth
+        return (
+            f"|s{sweep_depth}.{options.sweep_target_gap}.{options.sweep_max_boxes}"
         )
 
     def export_cache_entries(self) -> Dict[str, List]:
@@ -722,7 +804,7 @@ class MeasureEngine:
             undecided = _encode_number(result.undecided)
             if lower is None or undecided is None:
                 continue
-            exported[persistent] = [
+            entry = [
                 lower,
                 undecided,
                 result.boxes_examined,
@@ -730,6 +812,17 @@ class MeasureEngine:
                 result.early_exit,
                 result.heap_peak,
             ]
+            # The undecided-box frontier rides along (bounded in size) so a
+            # deeper budget in another process can resume instead of
+            # re-sweeping from the unit box.
+            if (
+                result.frontier is not None
+                and len(result.frontier.boxes) <= _MAX_PERSISTED_FRONTIER_BOXES
+            ):
+                encoded_frontier = encode_frontier(result.frontier)
+                if encoded_frontier is not None:
+                    entry.append(encoded_frontier)
+            exported[persistent] = entry
         self._sweep_unexported.clear()
         self._sweep_export_skip.update(exported)
         return exported
@@ -745,7 +838,7 @@ class MeasureEngine:
         imported = 0
         for key, entry in entries.items():
             try:
-                lower_enc, undecided_enc, boxes, saved, early, peak = entry
+                lower_enc, undecided_enc, boxes, saved, early, peak = entry[:6]
                 if not isinstance(key, str):
                     continue
                 result = SweepResult(
@@ -756,10 +849,14 @@ class MeasureEngine:
                     bool(early),
                     int(peak),
                 )
-            except (TypeError, ValueError, KeyError):
+            except (TypeError, ValueError, KeyError, IndexError):
                 continue
             self._sweep_imported[key] = result
             self._sweep_export_skip.add(key)
+            # Frontier blobs (entry 7, optional) are kept raw and decoded
+            # only if a deeper budget actually warm-starts from them.
+            if len(entry) > 6 and isinstance(entry[6], list):
+                self._sweep_frontier_blobs[key] = entry[6]
             imported += 1
         return imported
 

@@ -80,18 +80,56 @@ class PerfStats:
     :meth:`merge` takes the maximum instead of the sum.
     """
 
+    sweep_warm_starts: int = 0
+    """Base block sweeps resumed from a shallower budget's persisted frontier.
+
+    A warm-started sweep refines only the undecided boxes the shallower
+    budget left behind instead of re-bisecting the whole unit box; its
+    bounds are bit-identical to a from-scratch sweep at the deeper budget.
+    """
+
+    symbolic_steps: int = 0
+    """Symbolic reduction steps executed by path exploration.
+
+    Each step of :class:`repro.symbolic.execute.SymbolicStepper` performed
+    while enumerating paths counts once -- including the step into each
+    branch of a conditional fork.  A resumable exploration session never
+    re-executes a step across budgets, which is what the anytime benchmark
+    gates against from-scratch re-exploration.
+    """
+
+    paths_resumed: int = 0
+    """Suspended exploration configurations resumed by a deeper budget.
+
+    Counts the configurations an :class:`~repro.symbolic.execute.ExplorationSession`
+    picked up mid-path on ``extend`` instead of re-deriving them from the
+    root (each one represents a whole re-execution avoided).
+    """
+
+    frontier_peak: int = 0
+    """Largest exploration frontier held by any session (high-water mark).
+
+    The number of *live* configurations -- suspended paths a deeper budget
+    could still advance, the set ``ExplorationSession.frontier_size``
+    reports between extends -- at its peak; like :attr:`sweep_heap_peak` it
+    merges by maximum, not by sum.
+    """
+
     polytope_calls: int = 0
     """Invocations of the floating-point polytope volume oracle."""
+
+    _HIGH_WATER_MARKS = ("sweep_heap_peak", "frontier_peak")
 
     def merge(self, other: "PerfStats") -> None:
         """Add another instance's counters into this one.
 
-        ``sweep_heap_peak`` is a high-water mark and merges by maximum; every
-        other field is a running total and merges by addition.
+        ``sweep_heap_peak`` and ``frontier_peak`` are high-water marks and
+        merge by maximum; every other field is a running total and merges by
+        addition.
         """
         for field in fields(self):
             ours, theirs = getattr(self, field.name), getattr(other, field.name)
-            if field.name == "sweep_heap_peak":
+            if field.name in self._HIGH_WATER_MARKS:
                 setattr(self, field.name, max(ours, theirs))
             else:
                 setattr(self, field.name, ours + theirs)
@@ -123,6 +161,10 @@ class PerfStats:
                 f"sweep blocks          : {self.sweep_blocks}",
                 f"sweep early exits     : {self.sweep_early_exits}",
                 f"sweep heap peak       : {self.sweep_heap_peak}",
+                f"sweep warm starts     : {self.sweep_warm_starts}",
+                f"symbolic steps        : {self.symbolic_steps}",
+                f"paths resumed         : {self.paths_resumed}",
+                f"frontier peak         : {self.frontier_peak}",
                 f"polytope invocations  : {self.polytope_calls}",
             ]
         )

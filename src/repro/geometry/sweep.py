@@ -43,6 +43,23 @@ only skips redundant ``box_status`` evaluations, which are reported through
 core (:func:`_sweep`), so the accepted boxes witnessing a lower bound (the
 raw material of the intersection type system's inference oracle, Sec. 4)
 can never drift from the bound itself.
+
+Depth-budgeted sweeps are *resumable*: with ``collect_frontier=True`` the
+result carries a :class:`SweepFrontier` -- the undecided boxes the depth
+budget stranded, each with its depth and the indices of the constraints it
+could not decide -- and a deeper sweep can ``resume`` from that frontier
+instead of re-bisecting everything the shallower budget already decided.
+Because a box's verdict depends only on the box and its constraints, the
+resumed sweep's bounds and work counters (``boxes_examined``,
+``evaluations_saved``) are bit-identical to a from-scratch sweep at the
+deeper budget; only ``heap_peak``, a diagnostic high-water mark of a
+traversal order the resumed sweep never performs, is reported as the
+maximum of the two runs' peaks.  Frontiers are only collected (and only
+usable) for pure depth budgets -- an early-exited sweep's frontier would
+not determine the deeper result.  :func:`encode_frontier` /
+:func:`decode_frontier` give frontiers an exact JSON form so the batch
+cache can persist them next to the sweep bounds, letting warm reruns
+resume across processes.
 """
 
 from __future__ import annotations
@@ -62,6 +79,33 @@ Number = Union[Fraction, float]
 
 
 @dataclass(frozen=True)
+class SweepFrontier:
+    """The resumable state of a depth-budgeted sweep.
+
+    Everything a deeper sweep needs to continue where a shallower budget
+    stopped: the boxes the budget left undecided (each with its subdivision
+    depth and the *indices* -- into the swept set's canonical constraint
+    tuple -- of the constraints it could not decide), plus the accepted mass
+    and work counters accumulated so far, so the resumed result reports
+    cumulative numbers identical to a from-scratch run.  Constraint indices
+    rather than constraints keep the frontier position-independent and
+    JSON-serializable (:func:`encode_frontier`).
+    """
+
+    max_depth: int
+    """The depth budget this frontier was stranded at."""
+
+    lower: Number
+    """Accepted mass up to ``max_depth`` (the shallow sweep's lower bound)."""
+
+    boxes_examined: int
+    evaluations_saved: int
+    heap_peak: int
+    boxes: Tuple[Tuple[Box, int, Tuple[int, ...]], ...]
+    """``(box, depth, undecided-constraint indices)`` per stranded box."""
+
+
+@dataclass(frozen=True)
 class SweepResult:
     """Certified bounds produced by the subdivision sweep."""
 
@@ -76,6 +120,9 @@ class SweepResult:
 
     heap_peak: int = 0
     """Largest refinement frontier held during the sweep."""
+
+    frontier: Optional[SweepFrontier] = None
+    """The undecided-box frontier, when collected (pure depth budgets only)."""
 
     @property
     def upper(self) -> Number:
@@ -114,6 +161,8 @@ def _sweep(
     target_gap: Number,
     max_boxes: Optional[int],
     accepted: Optional[List[Box]],
+    resume: Optional[SweepFrontier] = None,
+    collect_frontier: bool = False,
 ) -> SweepResult:
     """The shared traversal behind :func:`sweep_measure` and
     :func:`sweep_accepted_boxes`.
@@ -121,6 +170,13 @@ def _sweep(
     When ``accepted`` is a list, every box on which all constraints provably
     hold is appended to it; the accepted volumes always sum to the returned
     lower bound, whatever budget stopped the sweep.
+
+    With ``resume``, the refinement starts from the children of a shallower
+    budget's stranded boxes instead of the unit box; the returned bounds and
+    work counters fold the shallow run's in, so they equal a from-scratch
+    sweep at ``max_depth`` (see the module docstring for the ``heap_peak``
+    caveat).  Resuming assumes pure depth budgets on both sides and is
+    incompatible with ``accepted`` (the shallow run's witnesses are gone).
     """
     registry = registry or default_registry()
     if dimension == 0:
@@ -131,21 +187,59 @@ def _sweep(
         if stats is not None:
             stats.sweep_boxes_examined += 1
         return SweepResult(value, Fraction(0), 1)
+    if resume is not None and (
+        accepted is not None or target_gap > 0 or max_boxes is not None
+    ):
+        raise ValueError(
+            "a sweep can only resume a frontier under a pure depth budget, "
+            "without collecting accepted boxes"
+        )
 
     lower: Number = Fraction(0)
     undecided: Number = Fraction(0)
     examined = 0
     saved = 0
     total_constraints = len(constraints)
+    frontier_boxes: Optional[List[Tuple[Box, int, Tuple[int, ...]]]] = (
+        [] if collect_frontier else None
+    )
+    index_of: Dict[Constraint, int] = (
+        {constraint: index for index, constraint in enumerate(constraints.constraints)}
+        if collect_frontier
+        else {}
+    )
 
     # Max-heap on box volume (heapq is a min-heap, so volumes are negated);
     # the push counter breaks volume ties deterministically in insertion
     # order.  ``pending`` tracks the total volume still on the frontier, so
     # the gap test below is O(1).
-    heap = [(Fraction(-1), 0, unit_box(dimension), 0, constraints.constraints)]
-    pending: Number = Fraction(1)
-    pushes = 1
-    heap_peak = 1
+    if resume is None:
+        heap = [(Fraction(-1), 0, unit_box(dimension), 0, constraints.constraints)]
+        pending: Number = Fraction(1)
+        pushes = 1
+        base_lower: Number = Fraction(0)
+        base_examined = 0
+        base_saved = 0
+        base_peak = 0
+    else:
+        # Seed with the *children* of the stranded boxes: the shallow run
+        # already popped and evaluated the boxes themselves (that pop is in
+        # its counters), and a from-scratch deeper sweep would hand exactly
+        # the stored undecided constraints down to these children.
+        heap = []
+        pending = Fraction(0)
+        pushes = 0
+        for box, depth, active_indices in resume.boxes:
+            active = tuple(constraints.constraints[index] for index in active_indices)
+            for child in box.split():
+                heapq.heappush(heap, (-child.volume, pushes, child, depth + 1, active))
+                pushes += 1
+                pending = pending + child.volume
+        base_lower = resume.lower
+        base_examined = resume.boxes_examined
+        base_saved = resume.evaluations_saved
+        base_peak = resume.heap_peak
+    heap_peak = len(heap)
     early_exit = False
     while heap:
         if (max_boxes is not None and examined >= max_boxes) or (
@@ -174,6 +268,10 @@ def _sweep(
             continue
         if depth >= max_depth:
             undecided = undecided + volume
+            if frontier_boxes is not None:
+                frontier_boxes.append(
+                    (box, depth, tuple(index_of[constraint] for constraint in remaining))
+                )
             continue
         for child in box.split():
             heapq.heappush(heap, (-child.volume, pushes, child, depth + 1, remaining))
@@ -182,13 +280,34 @@ def _sweep(
         if len(heap) > heap_peak:
             heap_peak = len(heap)
     if stats is not None:
+        # Work counters reflect the work *this* traversal performed: a
+        # resumed sweep reports only its refinement here, while the result
+        # below folds the shallow run's counters in for bit-identity.
         stats.sweep_boxes_examined += examined
         stats.sweep_evaluations_saved += saved
         if early_exit:
             stats.sweep_early_exits += 1
         if heap_peak > stats.sweep_heap_peak:
             stats.sweep_heap_peak = heap_peak
-    return SweepResult(lower, undecided, examined, saved, early_exit, heap_peak)
+    frontier = None
+    if frontier_boxes is not None and not early_exit:
+        frontier = SweepFrontier(
+            max_depth,
+            base_lower + lower,
+            base_examined + examined,
+            base_saved + saved,
+            max(base_peak, heap_peak),
+            tuple(frontier_boxes),
+        )
+    return SweepResult(
+        base_lower + lower,
+        undecided,
+        base_examined + examined,
+        base_saved + saved,
+        early_exit,
+        max(base_peak, heap_peak),
+        frontier,
+    )
 
 
 def sweep_accepted_boxes(
@@ -229,6 +348,8 @@ def sweep_measure(
     stats: Optional[PerfStats] = None,
     target_gap: Number = Fraction(0),
     max_boxes: Optional[int] = None,
+    resume: Optional[SweepFrontier] = None,
+    collect_frontier: bool = False,
 ) -> SweepResult:
     """Certified lower/upper bounds on the measure of ``constraints`` in
     ``[0,1]^dim``.
@@ -239,7 +360,19 @@ def sweep_measure(
     Thm. 3.8.  ``target_gap`` and ``max_boxes`` are optional early-exit
     budgets (see the module docstring); with both unset the result is
     bit-identical to the historical fixed-depth depth-first sweep.
+
+    ``collect_frontier`` attaches the undecided-box frontier to the result
+    (pure depth budgets only), and ``resume`` warm-starts the sweep from a
+    shallower budget's frontier of the *same* constraint set: bounds and
+    work counters come out bit-identical to a from-scratch run at
+    ``max_depth``, at the cost of refining only what the shallower budget
+    left undecided.
     """
+    if resume is not None and resume.max_depth >= max_depth:
+        raise ValueError(
+            f"can only resume a shallower frontier: depth {resume.max_depth} "
+            f"is not below the requested {max_depth}"
+        )
     return _sweep(
         constraints,
         dimension,
@@ -250,4 +383,72 @@ def sweep_measure(
         target_gap,
         max_boxes,
         accepted=None,
+        resume=resume,
+        collect_frontier=collect_frontier,
     )
+
+
+# ---------------------------------------------------------------------------
+# Frontier persistence: an exact JSON form for the sharded sweep store.
+# ---------------------------------------------------------------------------
+
+
+def encode_frontier(frontier: SweepFrontier) -> Optional[list]:
+    """A JSON-safe rendering of a frontier, or ``None`` if one is impossible.
+
+    Box endpoints and the accepted mass round-trip exactly as ``"p/q"``
+    fraction strings (bisection of the unit box only ever produces
+    fractions; anything else refuses to encode rather than lose precision).
+    """
+    if not isinstance(frontier.lower, Fraction):
+        return None
+    boxes = []
+    for box, depth, active in frontier.boxes:
+        intervals = []
+        for interval in box.intervals:
+            if not isinstance(interval.lo, Fraction) or not isinstance(
+                interval.hi, Fraction
+            ):
+                return None
+            intervals.append([str(interval.lo), str(interval.hi)])
+        boxes.append([intervals, depth, list(active)])
+    return [
+        frontier.max_depth,
+        str(frontier.lower),
+        frontier.boxes_examined,
+        frontier.evaluations_saved,
+        frontier.heap_peak,
+        boxes,
+    ]
+
+
+def decode_frontier(encoded, constraint_count: int) -> Optional[SweepFrontier]:
+    """Invert :func:`encode_frontier`; anything malformed reads as ``None``.
+
+    ``constraint_count`` bounds the stored constraint indices -- an entry
+    whose indices do not fit the set it is resumed against is unusable and
+    must read as a miss, never mis-resolve.
+    """
+    try:
+        max_depth, lower, boxes_examined, evaluations_saved, heap_peak, boxes = encoded
+        decoded = []
+        for intervals, depth, active in boxes:
+            if not all(
+                isinstance(index, int) and 0 <= index < constraint_count
+                for index in active
+            ):
+                return None
+            box = Box(
+                Interval(Fraction(lo), Fraction(hi)) for lo, hi in intervals
+            )
+            decoded.append((box, int(depth), tuple(active)))
+        return SweepFrontier(
+            int(max_depth),
+            Fraction(lower),
+            int(boxes_examined),
+            int(evaluations_saved),
+            int(heap_peak),
+            tuple(decoded),
+        )
+    except (TypeError, ValueError, ZeroDivisionError):
+        return None

@@ -8,7 +8,13 @@ bound on ``Pterm`` (Thm. 3.4); the measure-weighted sum of step counts is a
 sound lower bound on ``Eterm``.
 """
 
-from repro.lowerbound.engine import LowerBoundEngine, lower_bound
+from repro.lowerbound.engine import LowerBoundEngine, LowerBoundSession, lower_bound
 from repro.lowerbound.result import LowerBoundResult, PathMeasure
 
-__all__ = ["LowerBoundEngine", "LowerBoundResult", "PathMeasure", "lower_bound"]
+__all__ = [
+    "LowerBoundEngine",
+    "LowerBoundResult",
+    "LowerBoundSession",
+    "PathMeasure",
+    "lower_bound",
+]

@@ -8,12 +8,24 @@ sound (this is the executable counterpart of summing the weights of pairwise
 compatible interval traces in Thm. 3.4).  Completeness (Thm. 3.8) shows up
 operationally: as ``max_steps`` grows the bound converges to ``Pterm`` for
 programs over interval-separable primitives.
+
+That convergence is inherently *anytime*, and the engine exposes it as such:
+:meth:`LowerBoundEngine.session` opens a :class:`LowerBoundSession` whose
+:meth:`~LowerBoundSession.extend` deepens the exploration incrementally -- the
+suspended symbolic frontier is resumed instead of re-derived, and each
+distinct terminated path is measured exactly once across the whole schedule.
+Every intermediate :class:`~repro.lowerbound.result.LowerBoundResult` is
+bit-identical to what a from-scratch ``lower_bound`` at the same depth would
+return (the plain entry point is itself a one-extend session), so an anytime
+schedule is purely a performance feature, never a numerical one.
+:meth:`~LowerBoundSession.run_schedule` streams the monotone results of a
+depth schedule with a ``target_gap``-driven early stop.
 """
 
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Optional, Union
+from typing import Iterable, Iterator, Optional, Union
 
 from repro.geometry.engine import MeasureEngine
 from repro.geometry.measure import MeasureOptions
@@ -23,6 +35,98 @@ from repro.spcf.syntax import Term, free_variables
 from repro.symbolic.execute import Strategy, SymbolicExplorer
 
 Number = Union[Fraction, float]
+
+
+class LowerBoundSession:
+    """A resumable anytime lower-bound computation for one closed term.
+
+    The session pairs an :class:`~repro.symbolic.execute.ExplorationSession`
+    (the suspended-path frontier) with a per-path measure memo: a terminated
+    path discovered at one depth is never re-measured when deeper extends
+    report it again, and never re-executed either.  ``extend(d)`` returns the
+    same :class:`~repro.lowerbound.result.LowerBoundResult` -- bit for bit,
+    path order included -- as a fresh ``lower_bound(term, max_steps=d)``.
+    """
+
+    def __init__(
+        self, engine: "LowerBoundEngine", term: Term, max_paths: int = 200_000
+    ) -> None:
+        if free_variables(term):
+            raise ValueError("lower bounds are only defined for closed terms")
+        self._engine = engine
+        self._session = engine._explorer.session(
+            term, max_paths=max_paths, stats=engine.measure_engine.stats
+        )
+        # Measures memoized per terminated path *object*: the exploration
+        # session owns and retains every terminated path, so identity is a
+        # sound (and allocation-free) key across extends.
+        self._measured = {}
+
+    @property
+    def max_steps(self) -> int:
+        """The deepest step budget reached so far."""
+        return self._session.max_steps
+
+    def extend(self, max_steps: int) -> LowerBoundResult:
+        """Deepen to ``max_steps`` and return the bound at that depth.
+
+        Budgets are non-decreasing across extends.  The result equals a
+        from-scratch :meth:`LowerBoundEngine.lower_bound` at the same depth;
+        only the work differs (suspended paths resume, known paths replay
+        their memoized measure).
+        """
+        exploration = self._session.extend(max_steps)
+        measure_engine = self._engine.measure_engine
+        measured = []
+        probability: Number = Fraction(0)
+        expected_steps: Number = Fraction(0)
+        measure_gap: Number = Fraction(0)
+        exact = True
+        for path in exploration.terminated:
+            measure = self._measured.get(id(path))
+            if measure is None:
+                measure = measure_engine.measure(path.constraints, path.num_variables)
+                self._measured[id(path)] = measure
+            if measure.upper is not None:
+                # The sweep's undecided volume for this path: certified mass
+                # the budget could not decide.  Measures without a recorded
+                # bracket (e.g. float polytope approximations) contribute
+                # nothing -- their slack is float-level, not budget-level.
+                measure_gap = measure_gap + (measure.upper - measure.value)
+            if measure.value == 0:
+                continue
+            measured.append(PathMeasure(path, measure))
+            probability = probability + measure.value
+            expected_steps = expected_steps + measure.value * path.steps
+            exact = exact and measure.exact
+        return LowerBoundResult(
+            probability=probability,
+            expected_steps=expected_steps,
+            paths=tuple(measured),
+            max_steps=max_steps,
+            exhaustive=exploration.complete,
+            exact_measures=exact,
+            measure_gap=measure_gap,
+        )
+
+    def run_schedule(
+        self,
+        schedule: Iterable[int],
+        target_gap: Optional[Number] = None,
+    ) -> Iterator[LowerBoundResult]:
+        """Stream the bounds of a non-decreasing depth schedule.
+
+        One :class:`LowerBoundResult` is yielded per scheduled depth; the
+        bounds are monotone in the schedule (deeper budgets only add path
+        mass).  With a ``target_gap``, the schedule stops early as soon as
+        :meth:`LowerBoundResult.anytime_gap` -- the certified slack deeper
+        budgets could still close -- drops to the target.
+        """
+        for depth in schedule:
+            result = self.extend(depth)
+            yield result
+            if target_gap is not None and result.anytime_gap() <= target_gap:
+                return
 
 
 class LowerBoundEngine:
@@ -46,7 +150,19 @@ class LowerBoundEngine:
         )
         self.registry = self.measure_engine.registry
         self.measure_options = self.measure_engine.options
-        self._explorer = SymbolicExplorer(strategy, self.registry)
+        self._explorer = SymbolicExplorer(
+            strategy, self.registry, stats=self.measure_engine.stats
+        )
+
+    def session(self, term: Term, max_paths: int = 200_000) -> LowerBoundSession:
+        """Open a resumable anytime computation (see :class:`LowerBoundSession`).
+
+        ``max_paths`` is fixed for the session's lifetime: the safety valve
+        must mean the same thing at every depth of a schedule, and a capped
+        session keeps (never drops) the paths beyond the cap, so every
+        subsequent extend keeps reporting ``exhaustive=False``.
+        """
+        return LowerBoundSession(self, term, max_paths=max_paths)
 
     def lower_bound(
         self,
@@ -60,39 +176,24 @@ class LowerBoundEngine:
         of Table 1); ``max_paths`` caps the total number of explored paths as
         a safety valve for very wide programs.
         """
-        if free_variables(term):
-            raise ValueError("lower bounds are only defined for closed terms")
-        exploration = self._explorer.explore(
-            term, max_steps_per_path=max_steps, max_paths=max_paths
-        )
-        measured = []
-        probability: Number = Fraction(0)
-        expected_steps: Number = Fraction(0)
-        measure_gap: Number = Fraction(0)
-        exact = True
-        for path in exploration.terminated:
-            measure = self.measure_engine.measure(path.constraints, path.num_variables)
-            if measure.upper is not None:
-                # The sweep's undecided volume for this path: certified mass
-                # the budget could not decide.  Measures without a recorded
-                # bracket (e.g. float polytope approximations) contribute
-                # nothing -- their slack is float-level, not budget-level.
-                measure_gap = measure_gap + (measure.upper - measure.value)
-            if measure.value == 0:
-                continue
-            measured.append(PathMeasure(path, measure))
-            probability = probability + measure.value
-            expected_steps = expected_steps + measure.value * path.steps
-            exact = exact and measure.exact
-        return LowerBoundResult(
-            probability=probability,
-            expected_steps=expected_steps,
-            paths=tuple(measured),
-            max_steps=max_steps,
-            exhaustive=exploration.complete,
-            exact_measures=exact,
-            measure_gap=measure_gap,
-        )
+        return self.session(term, max_paths=max_paths).extend(max_steps)
+
+    def lower_bound_schedule(
+        self,
+        term: Term,
+        schedule: Iterable[int],
+        max_paths: int = 200_000,
+        target_gap: Optional[Number] = None,
+    ) -> Iterator[LowerBoundResult]:
+        """Stream anytime bounds over a depth schedule (one incremental job).
+
+        Convenience for :meth:`session` + :meth:`LowerBoundSession.run_schedule`;
+        the per-depth results are bit-identical to independent
+        :meth:`lower_bound` calls at the same depths, computed in a fraction
+        of the exploration steps.
+        """
+        session = self.session(term, max_paths=max_paths)
+        return session.run_schedule(schedule, target_gap=target_gap)
 
 
 def lower_bound(

@@ -63,6 +63,21 @@ class LowerBoundResult:
     def path_count(self) -> int:
         return len(self.paths)
 
+    def anytime_gap(self) -> Number:
+        """The certified slack an anytime schedule can still close.
+
+        For an exhaustive exploration the only budget-attributable slack is
+        the sweep bracket (:attr:`measure_gap`); while paths remain
+        unexplored, ``1 - probability`` is the sound (if pessimistic) bound
+        on what deeper budgets could still add, since ``Pterm <= 1``.  The
+        incremental engine's schedule runner stops once this drops to the
+        requested ``target_gap``.  (Float polytope approximations carry no
+        bracket and are excluded, exactly as in :attr:`measure_gap`.)
+        """
+        if self.exhaustive:
+            return self.measure_gap
+        return Fraction(1) - self.probability
+
     def as_floats(self) -> Tuple[float, float]:
         return float(self.probability), float(self.expected_steps)
 

@@ -24,12 +24,14 @@ from repro.programs.library import (
     three_print,
 )
 from repro.programs.extra import (
+    anytime_programs,
     conditional_single_sample,
     exponential_step_walk,
     extra_programs,
     nested_recursion,
     nonaffine_programs,
     score_gated_printer,
+    sigmoid_branching,
     sigmoid_retry,
     sigmoid_sum_retry,
     square_retry,
@@ -47,6 +49,10 @@ def _library():
     for name, program in table2_programs().items():
         programs.setdefault(name, program)
     for name, program in extra_programs().items():
+        programs.setdefault(name, program)
+    # The anytime workload is resolvable by name but deliberately outside
+    # the registries that define the committed BENCH_* baselines.
+    for name, program in anytime_programs().items():
         programs.setdefault(name, program)
     return programs
 
@@ -87,6 +93,7 @@ __all__ = [
     "Program",
     "all_programs",
     "resolve_program",
+    "anytime_programs",
     "bin_walk",
     "conditional_single_sample",
     "exponential_step_walk",
@@ -102,6 +109,7 @@ __all__ = [
     "running_example",
     "running_example_first_class",
     "score_gated_printer",
+    "sigmoid_branching",
     "sigmoid_retry",
     "sigmoid_sum_retry",
     "square_retry",

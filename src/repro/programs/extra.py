@@ -15,6 +15,7 @@ their path constraint sets.
 
 from __future__ import annotations
 
+import math
 from fractions import Fraction
 from typing import Dict, Union
 
@@ -27,12 +28,14 @@ from repro.symbolic.execute import Strategy
 Number = Union[Fraction, float, int]
 
 __all__ = [
+    "anytime_programs",
     "conditional_single_sample",
     "exponential_step_walk",
     "extra_programs",
     "nested_recursion",
     "nonaffine_programs",
     "score_gated_printer",
+    "sigmoid_branching",
     "sigmoid_retry",
     "sigmoid_sum_retry",
     "square_retry",
@@ -250,6 +253,35 @@ def sigmoid_sum_retry(bound: Number = 1) -> Program:
     )
 
 
+def sigmoid_branching(threshold: Number = Fraction(3, 5)) -> Program:
+    """A *branching* recursion gated on the sigmoid of a fresh sample.
+
+    ``mu phi x. if sig(sample) - t then x else phi (phi (x+1))``: the
+    golden-ratio shape (recursive rank 2, so the path tree branches and
+    deepening budgets keep uncovering whole new path generations) with the
+    non-affine round guard of :func:`sigmoid_retry`.  Each round terminates
+    with probability ``p = ln(t/(1-t))`` for ``t`` inside ``sig([0,1])``, so
+    ``Pterm`` is the least fixpoint of ``q = p + (1-p) q**2``, i.e.
+    ``p/(1-p)`` for ``p < 1/2``.  This is the canonical anytime-schedule
+    workload: rank >= 2 *and* every path constraint set needs the
+    subdivision sweep.
+    """
+    # P(sig(s) <= t) for s ~ U[0,1] is sig^{-1}(t) clamped into [0, 1]:
+    # thresholds below sig(0) = 1/2 never terminate a round, thresholds
+    # above sig(1) always do.
+    p = min(1.0, max(0.0, math.log(float(threshold) / (1 - float(threshold)))))
+    guard = sub(Prim("sig", (Sample(),)), threshold)
+    body = If(guard, Var("x"), App(Var("phi"), App(Var("phi"), add(Var("x"), 1))))
+    fix = Fix("phi", "x", body)
+    return Program(
+        name=f"sig-branch({threshold})",
+        fix=fix,
+        applied=App(fix, Numeral(1)),
+        description="rank-2 branching recursion gated on the sigmoid of a fresh sample",
+        known_probability=min(1.0, p / (1 - p)) if p < 1 else 1.0,
+    )
+
+
 def nonaffine_programs() -> Dict[str, Program]:
     """The retry loops with non-affine guards (the sweep-heavy workload)."""
     programs = (
@@ -257,6 +289,19 @@ def nonaffine_programs() -> Dict[str, Program]:
         square_retry(Fraction(1, 2)),
         sigmoid_sum_retry(1),
     )
+    return {program.name: program for program in programs}
+
+
+def anytime_programs() -> Dict[str, Program]:
+    """The anytime-schedule workload: rank >= 2 library programs.
+
+    Kept out of :func:`extra_programs` / :func:`nonaffine_programs` on
+    purpose -- those registries define the committed ``BENCH_papprox`` /
+    ``BENCH_sweep`` baselines, whose aggregate counters must not move when a
+    new workload is added.  ``benchmarks/test_perf_anytime.py`` (and the
+    CLI, through the main library) reach these by name.
+    """
+    programs = (sigmoid_branching(Fraction(3, 5)),)
     return {program.name: program for program in programs}
 
 

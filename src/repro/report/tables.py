@@ -27,7 +27,12 @@ from repro.astcheck import verify_ast
 from repro.batch.cache import BatchCache
 from repro.batch.jobs import JobResult, decode_number
 from repro.batch.runner import run_batch
-from repro.batch.suites import classify_suite, table1_suite, table2_suite
+from repro.batch.suites import (
+    classify_suite,
+    schedule_suite,
+    table1_suite,
+    table2_suite,
+)
 from repro.geometry.engine import MeasureEngine
 from repro.geometry.stats import PerfStats
 from repro.lowerbound.engine import LowerBoundEngine
@@ -41,6 +46,8 @@ __all__ = [
     "markdown_table",
     "table1_report",
     "table1_rows_from_results",
+    "table1_schedule_report",
+    "table1_schedule_rows_from_results",
     "table2_report",
     "table2_rows_from_results",
 ]
@@ -145,6 +152,76 @@ def table1_report(
         ["term", "Pterm", "lower bound", "depth", "paths", "t (ms)"], rows
     )
     return "## Table 1 — lower bounds on the probability of termination\n\n" + table
+
+
+def table1_schedule_rows_from_results(
+    results: Sequence[JobResult],
+    programs: Optional[Mapping[str, Program]] = None,
+) -> List[List[str]]:
+    """Depth-column rows from ``lower-bound-schedule`` job results.
+
+    One row per (program, scheduled depth), read off the job's recorded
+    anytime trajectory -- the whole column is one incremental job, so the
+    per-job timing is reported once, on the deepest row.
+    """
+    programs = dict(programs) if programs is not None else table1_programs()
+    rows = []
+    for result in results:
+        name = result.spec.program
+        if not result.ok:
+            rows.append([name, "?", f"error: {result.error}", "-", "-", "-", "-"])
+            continue
+        payload = result.payload or {}
+        trajectory = payload.get("trajectory", [])
+        for position, point in enumerate(trajectory):
+            final = position == len(trajectory) - 1
+            probability = decode_number(point.get("probability", 0))
+            gap = decode_number(point.get("anytime_gap", 0))
+            rows.append(
+                [
+                    name if position == 0 else "",
+                    _known_probability(programs.get(name)) if position == 0 else "",
+                    f"{float(probability):.10f}",
+                    str(point.get("depth", "?")),
+                    str(point.get("path_count", "?")),
+                    f"{float(gap):.3e}",
+                    f"{result.elapsed_ms:.0f}" if final else "",
+                ]
+            )
+    return rows
+
+
+def table1_schedule_report(
+    schedule: Sequence[int],
+    max_paths: int = 100_000,
+    target_gap=None,
+    measure_engine: Optional[MeasureEngine] = None,
+    jobs: int = 1,
+    cache: Optional[BatchCache] = None,
+    stats_sink: Optional[PerfStats] = None,
+) -> str:
+    """Table 1 with a depth column: one *incremental* job per program.
+
+    Each program's schedule runs over a single resumable exploration
+    session (suspended paths resume across depths, every terminated path is
+    measured once), and the rendered bounds at each depth are bit-identical
+    to from-scratch runs there.
+    """
+    report = run_batch(
+        schedule_suite(schedule, max_paths=max_paths, target_gap=target_gap),
+        jobs=jobs,
+        cache=cache,
+        engine=measure_engine,
+    )
+    if stats_sink is not None:
+        stats_sink.merge(report.stats)
+    table = markdown_table(
+        ["term", "Pterm", "lower bound", "depth", "paths", "gap <=", "t (ms)"],
+        table1_schedule_rows_from_results(report.results),
+    )
+    return (
+        "## Table 1 — anytime lower bounds over a depth schedule\n\n" + table
+    )
 
 
 def table2_rows_from_results(results: Sequence[JobResult]) -> List[List[str]]:
@@ -268,6 +345,8 @@ def full_report(
     jobs: int = 1,
     cache: Optional[BatchCache] = None,
     stats_sink: Optional[PerfStats] = None,
+    schedule: Optional[Sequence[int]] = None,
+    target_gap=None,
 ) -> str:
     """Every report section, concatenated (used by ``python -m repro report``).
 
@@ -275,11 +354,22 @@ def full_report(
     (``jobs <= 1``): Table 2 and the classification verify the same programs,
     so the second pass is answered from the cache.  With ``jobs > 1`` the
     sections fan out across worker processes, and with a ``cache`` the reuse
-    persists across runs instead.
+    persists across runs instead.  A ``schedule`` renders Table 1 in its
+    anytime form (one incremental job per program, a depth column in the
+    table) instead of the single-depth run.
     """
     measure_engine = measure_engine or MeasureEngine()
     sections: Dict[str, str] = {
-        "table1": table1_report(
+        "table1": table1_schedule_report(
+            schedule,
+            target_gap=target_gap,
+            measure_engine=measure_engine,
+            jobs=jobs,
+            cache=cache,
+            stats_sink=stats_sink,
+        )
+        if schedule
+        else table1_report(
             depth=depth,
             measure_engine=measure_engine,
             jobs=jobs,

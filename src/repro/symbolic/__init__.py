@@ -22,6 +22,7 @@ from repro.symbolic.values import (
 )
 from repro.symbolic.constraints import Constraint, ConstraintSet, Relation
 from repro.symbolic.execute import (
+    ExplorationSession,
     SymbolicExplorer,
     SymbolicPath,
     ExplorationResult,
@@ -33,6 +34,7 @@ __all__ = [
     "ConstraintSet",
     "ConstVal",
     "ExplorationResult",
+    "ExplorationSession",
     "PrimVal",
     "Relation",
     "SampleVar",

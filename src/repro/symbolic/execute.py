@@ -16,6 +16,17 @@ optional bound on the number of explored paths); the measures of their
 constraint sets sum to a lower bound on ``Pterm`` (Thm. 3.4 + Prop. B.8),
 which is what :mod:`repro.lowerbound` computes.
 
+Exploration is *resumable*: an :class:`ExplorationSession` keeps every
+configuration ever created -- terminated, stuck, branched, or suspended on
+the step budget -- ordered by its position in the breadth-first traversal,
+so :meth:`ExplorationSession.extend` deepens the exploration by resuming the
+suspended frontier instead of re-deriving every shallow path from the root.
+The completeness result (Thm. 3.8) is inherently anytime -- the bound only
+improves with the budget -- and the session makes that operational: each
+``extend`` returns an :class:`ExplorationResult` *bit-identical* to a fresh
+:meth:`SymbolicExplorer.explore` at the same budget, while executing each
+reduction step at most once across the whole schedule.
+
 The same stepping machinery supports a call-by-value mode and a distinguished
 *recursion marker*; the AST verifier (Sec. 6) uses those to build symbolic
 execution trees of recursion bodies.
@@ -24,9 +35,9 @@ execution trees of recursion bodies.
 from __future__ import annotations
 
 import enum
-from collections import deque
+import heapq
 from dataclasses import dataclass
-from typing import Deque, List, Optional, Tuple, Union
+from typing import List, Optional, Tuple, Union
 
 from repro.spcf.primitives import PrimitiveRegistry, default_registry
 from repro.spcf.syntax import (
@@ -321,6 +332,218 @@ class _Configuration:
     branches: Tuple[bool, ...]
 
 
+# Session-node states: a node is the lifetime record of one configuration of
+# the breadth-first traversal.  SUSPENDED nodes carry a live configuration
+# that a deeper budget can resume; the other states are final.
+_SUSPENDED = 0
+_TERMINATED = 1
+_STUCK = 2
+_BRANCHED = 3
+
+_NodeKey = Tuple[int, Tuple[int, ...]]
+
+
+class _SessionNode:
+    """One configuration of the branching tree, across every budget.
+
+    ``key`` is the node's position in the breadth-first pop order: level
+    first, then the branch string (with the then-branch before the
+    else-branch, matching the push order of the historical deque traversal).
+    The key is budget-independent, which is what lets a resumed session
+    interleave newly discovered children into exactly the positions a fresh
+    exploration would pop them at.
+    """
+
+    __slots__ = ("key", "state", "configuration", "path", "reason", "started")
+
+    def __init__(self, key: _NodeKey, configuration: _Configuration) -> None:
+        self.key = key
+        self.state = _SUSPENDED
+        self.configuration: Optional[_Configuration] = configuration
+        self.path: Optional[SymbolicPath] = None
+        self.reason: Optional[str] = None
+        self.started = False  # whether any extend has stepped this node yet
+
+
+def _node_key(branches: Tuple[bool, ...]) -> _NodeKey:
+    return (len(branches), tuple(0 if branch else 1 for branch in branches))
+
+
+class ExplorationSession:
+    """A resumable, anytime exploration of one closed term's branching tree.
+
+    The session owns every node of the traversal.  :meth:`extend` replays the
+    breadth-first pop order under a (non-decreasing) per-path step budget:
+    already-resolved nodes replay their recorded outcome in O(1), suspended
+    nodes resume stepping from exactly where the previous budget stopped, and
+    nodes that fork enqueue their children at the breadth-first position a
+    fresh exploration would give them.  Consequently
+
+    * ``session.extend(d)`` returns an :class:`ExplorationResult` equal --
+      terminated tuple, order, counts, budget flag -- to
+      ``SymbolicExplorer.explore(term, d, max_paths)`` on a fresh explorer,
+    * no reduction step is ever executed twice across a schedule of extends,
+    * a ``max_paths`` cap is stable under resumption: nodes beyond the cap
+      stay queued (never silently dropped) and every subsequent result keeps
+      reporting ``exhausted_path_budget=True`` until the budget admits them.
+    """
+
+    def __init__(
+        self,
+        explorer: "SymbolicExplorer",
+        term: Term,
+        max_paths: int = 100_000,
+        stats=None,
+    ) -> None:
+        self._explorer = explorer
+        self.max_paths = max_paths
+        self.stats = stats if stats is not None else explorer.stats
+        root = _SessionNode(_node_key(()), _Configuration(term, ConstraintSet(), 0, 0, ()))
+        self._nodes: List[Tuple[_NodeKey, _SessionNode]] = [(root.key, root)]
+        self._max_steps = 0
+        self._last_result: Optional[ExplorationResult] = None
+
+    @property
+    def max_steps(self) -> int:
+        """The deepest per-path step budget any extend has reached."""
+        return self._max_steps
+
+    @property
+    def result(self) -> Optional[ExplorationResult]:
+        """The most recent :class:`ExplorationResult` (``None`` before any extend)."""
+        return self._last_result
+
+    @property
+    def frontier_size(self) -> int:
+        """Configurations a deeper budget could still advance (suspended or queued)."""
+        return sum(1 for _, node in self._nodes if node.state == _SUSPENDED)
+
+    def extend(self, max_steps: int) -> ExplorationResult:
+        """Deepen the exploration to a per-path budget of ``max_steps``.
+
+        Budgets must be non-decreasing across extends (resolved outcomes
+        cannot be un-resolved); re-extending to the current budget replays
+        the recorded result without stepping.
+        """
+        if max_steps < self._max_steps:
+            raise ValueError(
+                f"exploration budgets are non-decreasing: asked for {max_steps} "
+                f"after {self._max_steps}"
+            )
+        self._max_steps = max_steps
+        stats = self.stats
+        heap = self._nodes
+        heapq.heapify(heap)  # kept sorted between extends; heapify is then O(n)
+        processed: List[Tuple[_NodeKey, _SessionNode]] = []
+        terminated: List[SymbolicPath] = []
+        unfinished = 0
+        stuck = 0
+        explored = 0
+        exhausted = False
+        # The live frontier: configurations a deeper budget could still
+        # advance (suspended nodes, processed or queued) -- the same set
+        # :attr:`frontier_size` reports between extends.
+        live = sum(1 for _, node in heap if node.state == _SUSPENDED)
+        peak = live
+        while heap:
+            if explored >= self.max_paths:
+                exhausted = True
+                break
+            key, node = heapq.heappop(heap)
+            processed.append((key, node))
+            explored += 1
+            state = node.state
+            if state == _TERMINATED:
+                terminated.append(node.path)
+                continue
+            if state == _STUCK:
+                stuck += 1
+                continue
+            if state == _BRANCHED:
+                continue
+            # Suspended: resume (or start) stepping under the new budget.
+            # Only resumes with actual headroom count -- each one stands for
+            # a re-execution from the root the session avoided.
+            if (
+                node.started
+                and node.configuration.steps < max_steps
+                and stats is not None
+            ):
+                stats.paths_resumed += 1
+            node.started = True
+            kind, payload = self._explorer._run_to_event(
+                node.configuration, max_steps, stats=stats
+            )
+            if kind == "terminated":
+                node.state = _TERMINATED
+                node.path = payload
+                node.configuration = None
+                terminated.append(payload)
+                live -= 1
+            elif kind == "stuck":
+                node.state = _STUCK
+                node.reason = payload
+                node.configuration = None
+                stuck += 1
+                live -= 1
+            elif kind == "branch":
+                node.state = _BRANCHED
+                node.configuration = None
+                for configuration in payload:
+                    child = _SessionNode(
+                        _node_key(configuration.branches), configuration
+                    )
+                    heapq.heappush(heap, (child.key, child))
+                live += 1  # the node resolved, its two children are live
+                if live > peak:
+                    peak = live
+            else:  # unfinished: the budget ran out mid-path; stays suspended
+                unfinished += 1
+        # Nodes beyond the path cap stay queued for the next extend; their
+        # keys all exceed every processed key, so the node list stays sorted.
+        self._nodes = processed + sorted(heap)
+        if stats is not None and peak > stats.frontier_peak:
+            stats.frontier_peak = peak
+        result = ExplorationResult(tuple(terminated), unfinished, stuck, exhausted)
+        self._last_result = result
+        return result
+
+    def extend_until(
+        self,
+        gap=None,
+        target_gap=0,
+        max_paths: Optional[int] = None,
+        step_increment: int = 50,
+        max_steps: int = 10_000,
+    ) -> ExplorationResult:
+        """Deepen in ``step_increment`` strides until a stop rule fires.
+
+        Stops as soon as the exploration is complete, ``gap(result)`` (an
+        arbitrary caller-supplied metric -- the lower-bound engine passes its
+        certified measure slack) drops to ``target_gap``, at least
+        ``max_paths`` terminated paths have been found, or the per-path
+        budget reaches ``max_steps``.  Returns the last result.
+        """
+        if step_increment < 1:
+            raise ValueError("step_increment must be at least 1")
+        budget = self._max_steps
+        if budget >= max_steps:
+            # Already past the ceiling: replay the current budget's result
+            # (budgets are non-decreasing, so it cannot shrink back).
+            return self.extend(budget)
+        while True:
+            budget = min(budget + step_increment, max_steps)
+            result = self.extend(budget)
+            if result.complete:
+                return result
+            if gap is not None and gap(result) <= target_gap:
+                return result
+            if max_paths is not None and len(result.terminated) >= max_paths:
+                return result
+            if budget >= max_steps:
+                return result
+
+
 class SymbolicExplorer:
     """Enumerates terminating symbolic paths of a closed SPCF term."""
 
@@ -328,9 +551,23 @@ class SymbolicExplorer:
         self,
         strategy: Strategy = Strategy.CBN,
         registry: Optional[PrimitiveRegistry] = None,
+        stats=None,
     ) -> None:
         self.registry = registry or default_registry()
         self.stepper = SymbolicStepper(strategy, self.registry)
+        # Optional counter sink: any object with ``symbolic_steps`` /
+        # ``paths_resumed`` / ``frontier_peak`` attributes (in practice the
+        # measure engine's PerfStats; kept duck-typed to avoid a geometry
+        # import from the symbolic layer).
+        self.stats = stats
+
+    def session(
+        self, term: Term, max_paths: int = 100_000, stats=None
+    ) -> ExplorationSession:
+        """A resumable exploration of ``term`` (see :class:`ExplorationSession`)."""
+        return ExplorationSession(
+            self, term, max_paths=max_paths, stats=stats if stats is not None else self.stats
+        )
 
     def explore(
         self,
@@ -347,78 +584,74 @@ class SymbolicExplorer:
         Paths still running when their step budget is exhausted are counted in
         ``unfinished`` so that callers know whether the returned set of paths
         is exhaustive up to that depth.
+
+        A one-shot convenience around :class:`ExplorationSession`: callers
+        that deepen repeatedly should hold a session instead and ``extend``
+        it -- the results are bit-identical either way.
         """
-        terminated: List[SymbolicPath] = []
-        unfinished = 0
-        stuck = 0
-        exhausted = False
-        pending: Deque[_Configuration] = deque(
-            [_Configuration(term, ConstraintSet(), 0, 0, ())]
-        )
-        explored = 0
-        while pending:
-            if explored >= max_paths:
-                exhausted = True
-                break
-            configuration = pending.popleft()
-            explored += 1
-            outcome = self._run_to_event(configuration, max_steps_per_path)
-            kind, payload = outcome
-            if kind == "terminated":
-                terminated.append(payload)
-            elif kind == "unfinished":
-                unfinished += 1
-            elif kind == "stuck":
-                stuck += 1
-            else:  # branch
-                pending.extend(payload)
-        return ExplorationResult(tuple(terminated), unfinished, stuck, exhausted)
+        return self.session(term, max_paths=max_paths).extend(max_steps_per_path)
 
     def _run_to_event(
-        self, configuration: _Configuration, max_steps: int
+        self, configuration: _Configuration, max_steps: int, stats=None
     ) -> Tuple[str, object]:
         term = configuration.term
         constraints = configuration.constraints
         next_variable = configuration.next_variable
         steps = configuration.steps
         branches = configuration.branches
-        while steps < max_steps:
-            outcome = self.stepper.step(term, next_variable)
-            if isinstance(outcome, StepValue):
-                return (
-                    "terminated",
-                    SymbolicPath(constraints, next_variable, steps, term, branches),
-                )
-            if isinstance(outcome, StepTerm):
-                term = outcome.term
-                if outcome.consumed_sample:
-                    next_variable += 1
-                steps += 1
-                continue
-            if isinstance(outcome, StepScore):
-                constraints = constraints.add(Constraint(outcome.value, Relation.GE))
-                term = outcome.term
-                steps += 1
-                continue
-            if isinstance(outcome, StepBranch):
-                left = _Configuration(
-                    outcome.then_term,
-                    constraints.add(Constraint(outcome.guard, Relation.LE)),
-                    next_variable,
-                    steps + 1,
-                    branches + (True,),
-                )
-                right = _Configuration(
-                    outcome.else_term,
-                    constraints.add(Constraint(outcome.guard, Relation.GT)),
-                    next_variable,
-                    steps + 1,
-                    branches + (False,),
-                )
-                return ("branch", [left, right])
-            if isinstance(outcome, StepRecCall):
-                return ("stuck", "unexpected recursion marker during exploration")
-            if isinstance(outcome, StepStuck):
-                return ("stuck", outcome.reason)
-            raise TypeError(f"unexpected step outcome {outcome!r}")
-        return ("unfinished", None)
+        executed = 0
+        try:
+            while steps < max_steps:
+                outcome = self.stepper.step(term, next_variable)
+                if isinstance(outcome, StepValue):
+                    return (
+                        "terminated",
+                        SymbolicPath(constraints, next_variable, steps, term, branches),
+                    )
+                if isinstance(outcome, StepTerm):
+                    term = outcome.term
+                    if outcome.consumed_sample:
+                        next_variable += 1
+                    steps += 1
+                    executed += 1
+                    continue
+                if isinstance(outcome, StepScore):
+                    constraints = constraints.add(Constraint(outcome.value, Relation.GE))
+                    term = outcome.term
+                    steps += 1
+                    executed += 1
+                    continue
+                if isinstance(outcome, StepBranch):
+                    executed += 1  # the step into the branches
+                    left = _Configuration(
+                        outcome.then_term,
+                        constraints.add(Constraint(outcome.guard, Relation.LE)),
+                        next_variable,
+                        steps + 1,
+                        branches + (True,),
+                    )
+                    right = _Configuration(
+                        outcome.else_term,
+                        constraints.add(Constraint(outcome.guard, Relation.GT)),
+                        next_variable,
+                        steps + 1,
+                        branches + (False,),
+                    )
+                    return ("branch", [left, right])
+                if isinstance(outcome, StepRecCall):
+                    return ("stuck", "unexpected recursion marker during exploration")
+                if isinstance(outcome, StepStuck):
+                    return ("stuck", outcome.reason)
+                raise TypeError(f"unexpected step outcome {outcome!r}")
+            # Budget exhausted mid-path: record the progress in place so a
+            # deeper budget resumes here instead of re-deriving the prefix.
+            configuration.term = term
+            configuration.constraints = constraints
+            configuration.next_variable = next_variable
+            configuration.steps = steps
+            return ("unfinished", None)
+        finally:
+            if stats is None:
+                stats = self.stats
+            if stats is not None:
+                stats.symbolic_steps += executed

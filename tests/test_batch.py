@@ -374,6 +374,178 @@ class TestMeasureEnginePersistence:
         assert count == 0
 
 
+class TestScheduleJobs:
+    """The incremental ``lower-bound-schedule`` analysis and its suites."""
+
+    def test_trajectory_matches_independent_lower_bound_jobs(self):
+        schedule = [15, 25, 35]
+        engine = MeasureEngine()
+        result = run_job(
+            JobSpec(
+                program="geo(1/2)",
+                analysis="lower-bound-schedule",
+                params={"schedule": schedule},
+            ),
+            engine,
+        )
+        assert result.ok
+        trajectory = result.payload["trajectory"]
+        assert [point["depth"] for point in trajectory] == schedule
+        for depth, point in zip(schedule, trajectory):
+            reference = run_job(
+                JobSpec(
+                    program="geo(1/2)",
+                    analysis="lower-bound",
+                    params={"depth": depth},
+                ),
+                MeasureEngine(),
+            )
+            assert point["probability"] == reference.payload["probability"]
+            assert point["expected_steps"] == reference.payload["expected_steps"]
+            assert point["measure_gap"] == reference.payload["measure_gap"]
+            assert point["path_count"] == reference.payload["path_count"]
+        # The top-level fields mirror the deepest point.
+        assert result.payload["probability"] == trajectory[-1]["probability"]
+        assert result.payload["depths_run"] == len(schedule)
+
+    def test_target_gap_stops_the_schedule_early(self):
+        result = run_job(
+            JobSpec(
+                program="geo(1/2)",
+                analysis="lower-bound-schedule",
+                params={"schedule": [20, 40, 60, 80], "target_gap": "1/100"},
+            ),
+            MeasureEngine(),
+        )
+        assert result.ok
+        assert result.payload["depths_run"] < 4
+        assert decode_number(
+            result.payload["trajectory"][-1]["anytime_gap"]
+        ) <= decode_number("1/100")
+
+    def test_decreasing_schedule_is_a_structured_error(self):
+        result = run_job(
+            JobSpec(
+                program="geo(1/2)",
+                analysis="lower-bound-schedule",
+                params={"schedule": [30, 10]},
+            ),
+            MeasureEngine(),
+        )
+        assert not result.ok
+        assert "non-decreasing" in result.error
+
+    def test_schedule_is_part_of_the_job_key(self):
+        first = JobSpec(
+            program="geo(1/2)",
+            analysis="lower-bound-schedule",
+            params={"schedule": [10, 20]},
+        )
+        second = JobSpec(
+            program="geo(1/2)",
+            analysis="lower-bound-schedule",
+            params={"schedule": [10, 30]},
+        )
+        assert first.key() != second.key()
+        # Lists and tuples hash identically (JSON canonicalization).
+        assert (
+            JobSpec(
+                program="geo(1/2)",
+                analysis="lower-bound-schedule",
+                params={"schedule": (10, 20)},
+            ).key()
+            == first.key()
+        )
+
+    def test_schedule_suites(self):
+        from repro.batch.suites import schedule_suite, suite
+
+        specs = schedule_suite([10, 20], target_gap=None)
+        assert specs and all(
+            spec.analysis == "lower-bound-schedule" for spec in specs
+        )
+        sweep_specs = suite("sweep", schedule=[10, 20])
+        assert {spec.program for spec in sweep_specs} == {
+            "sig-retry(7/10)",
+            "square-retry(1/2)",
+            "sig-sum-retry(1)",
+        }
+        with pytest.raises(ValueError):
+            suite("classify", schedule=[10, 20])
+
+    def test_schedule_jobs_run_through_the_batch_cache(self, tmp_path):
+        from repro.batch.suites import schedule_suite
+
+        specs = schedule_suite([12, 18])
+        cold = run_batch(specs, jobs=1, cache=BatchCache(tmp_path))
+        assert all(result.ok for result in cold.results)
+        warm = run_batch(specs, jobs=1, cache=BatchCache(tmp_path))
+        assert warm.cache_hits == len(specs)
+        assert jsonl_lines(warm.results) == jsonl_lines(cold.results)
+
+
+class TestSweepFrontierPersistence:
+    """Persisted undecided-box frontiers warm-start deeper sweep budgets."""
+
+    def _bound(self, engine):
+        program = resolve_program("sig-sum-retry(1)")
+        return LowerBoundEngine(
+            strategy=program.strategy, measure_engine=engine
+        ).lower_bound(program.applied, max_steps=25)
+
+    def test_deeper_budget_resumes_the_persisted_frontier(self, tmp_path):
+        from repro.geometry.measure import MeasureOptions
+
+        cache = BatchCache(tmp_path)
+        shallow = MeasureEngine(MeasureOptions(sweep_depth=10))
+        self._bound(shallow)
+        cache.merge_sweeps(shallow, shallow.export_sweep_entries())
+        # Entries carry the frontier blob (entry position 7).
+        entries = cache.load_sweeps(MeasureEngine(MeasureOptions(sweep_depth=10)))
+        assert any(len(entry) > 6 for entry in entries.values())
+
+        warm = MeasureEngine(MeasureOptions(sweep_depth=13))
+        warm.import_sweep_entries(cache.load_sweeps(warm))
+        warm_result = self._bound(warm)
+        fresh = MeasureEngine(MeasureOptions(sweep_depth=13))
+        fresh_result = self._bound(fresh)
+        assert warm_result == fresh_result
+        assert warm.stats.sweep_warm_starts > 0
+        assert warm.stats.sweep_boxes_examined < fresh.stats.sweep_boxes_examined
+
+    def test_malformed_frontier_blobs_read_as_cold_misses(self, tmp_path):
+        from repro.geometry.measure import MeasureOptions
+
+        cache = BatchCache(tmp_path)
+        shallow = MeasureEngine(MeasureOptions(sweep_depth=10))
+        self._bound(shallow)
+        exported = shallow.export_sweep_entries()
+        for key in exported:
+            if len(exported[key]) > 6:
+                exported[key][6] = ["garbage"]
+        cache.merge_sweeps(shallow, exported)
+        warm = MeasureEngine(MeasureOptions(sweep_depth=13))
+        warm.import_sweep_entries(cache.load_sweeps(warm))
+        warm_result = self._bound(warm)
+        fresh_result = self._bound(MeasureEngine(MeasureOptions(sweep_depth=13)))
+        assert warm_result == fresh_result
+        assert warm.stats.sweep_warm_starts == 0
+
+    def test_early_exit_budgets_never_warm_start(self, tmp_path):
+        from repro.geometry.measure import MeasureOptions
+
+        cache = BatchCache(tmp_path)
+        shallow = MeasureEngine(MeasureOptions(sweep_depth=10))
+        self._bound(shallow)
+        cache.merge_sweeps(shallow, shallow.export_sweep_entries())
+        capped = MeasureEngine(
+            MeasureOptions(sweep_depth=13, sweep_max_boxes=100_000)
+        )
+        capped.import_sweep_entries(cache.load_sweeps(capped))
+        self._bound(capped)
+        assert capped.stats.sweep_warm_starts == 0
+
+
 class TestBatchCLI:
     def test_batch_suite_writes_deterministic_jsonl(self, tmp_path, capsys):
         out_one = tmp_path / "one.jsonl"

@@ -95,3 +95,99 @@ def test_list_programs_includes_extra_library(capsys):
     assert exit_code == 0
     assert "two-sample-sum" in output
     assert "von-neumann(1/3)" in output
+    assert "sig-branch(3/5)" in output
+
+
+def test_lower_bound_schedule_streams_anytime_bounds(capsys):
+    exit_code = main(["lower-bound", "geo(1/2)", "--schedule", "20,40"])
+    output = capsys.readouterr().out
+    assert exit_code == 0
+    assert "depth     20 :" in output
+    assert "depth     40 :" in output
+    assert "gap <=" in output
+    # The final summary reports the deepest scheduled bound.
+    assert "depth        : 40" in output
+
+
+def test_lower_bound_schedule_stops_at_the_target_gap(capsys):
+    exit_code = main(
+        ["lower-bound", "geo(1/2)", "--schedule", "20,40,60,80", "--target-gap", "1/100"]
+    )
+    output = capsys.readouterr().out
+    assert exit_code == 0
+    assert "depth     40 :" in output
+    assert "depth     60 :" not in output
+
+
+def test_lower_bound_rejects_a_decreasing_schedule(capsys):
+    with pytest.raises(SystemExit):
+        main(["lower-bound", "geo(1/2)", "--schedule", "40,20"])
+
+
+def test_batch_schedule_on_a_depthless_suite_is_a_clean_error(capsys):
+    assert main(["batch", "--suite", "table2", "--schedule", "10,20"]) == 2
+    assert "no depth axis" in capsys.readouterr().err
+
+
+def test_sigmoid_branching_known_probability_is_clamped():
+    from repro.programs import sigmoid_branching
+    from fractions import Fraction
+
+    # Thresholds below sig(0) = 1/2 never terminate a round: Pterm = 0,
+    # never a negative number.
+    assert sigmoid_branching(Fraction(2, 5)).known_probability == 0.0
+    assert sigmoid_branching(Fraction(9, 10)).known_probability == 1.0
+
+
+def test_target_gap_without_schedule_is_rejected(capsys):
+    for command in (
+        ["lower-bound", "geo(1/2)", "--target-gap", "1/100"],
+        ["table1", "--target-gap", "1/100"],
+        ["batch", "--suite", "table1", "--target-gap", "1/100"],
+    ):
+        assert main(command) == 2
+        assert "--target-gap requires --schedule" in capsys.readouterr().err
+
+
+def test_table1_schedule_renders_a_depth_column(capsys):
+    exit_code = main(["table1", "--schedule", "10,15"])
+    output = capsys.readouterr().out
+    assert exit_code == 0
+    # Two rows per program, one per scheduled depth.
+    assert output.count("geo(1/2)") == 2
+    assert "    10" in output and "    15" in output
+
+
+def test_stats_json_dumps_the_new_counters(tmp_path, capsys):
+    path = tmp_path / "stats.json"
+    exit_code = main(
+        ["lower-bound", "geo(1/2)", "--schedule", "20,40", "--stats-json", str(path)]
+    )
+    assert exit_code == 0
+    import json
+
+    counters = json.loads(path.read_text())["counters"]
+    for name in ("symbolic_steps", "paths_resumed", "frontier_peak", "sweep_warm_starts"):
+        assert name in counters
+    assert counters["paths_resumed"] > 0
+
+
+def test_estimate_stats_json(tmp_path, capsys):
+    path = tmp_path / "estimate.json"
+    exit_code = main(
+        ["estimate", "--program", "geo(1/2)", "--runs", "100", "--stats-json", str(path)]
+    )
+    assert exit_code == 0
+    import json
+
+    document = json.loads(path.read_text())
+    assert document["analysis"] == "estimate"
+    assert document["runs"] == 100
+
+
+def test_report_schedule_renders_the_anytime_table(capsys):
+    exit_code = main(["report", "--schedule", "10,14"])
+    output = capsys.readouterr().out
+    assert exit_code == 0
+    assert "anytime lower bounds over a depth schedule" in output
+    assert "## Table 2" in output

@@ -1,0 +1,167 @@
+"""Property tests for the resumable exploration session (the anytime core).
+
+The tentpole invariants of the incremental refactor:
+
+* for any non-decreasing schedule, ``session.extend(d1); ...; extend(dn)``
+  returns at every depth an :class:`ExplorationResult` *equal* -- terminated
+  tuple, order, counts, budget flag -- to a fresh ``explore`` at that depth,
+* no reduction step is ever executed twice across a schedule (the session's
+  total equals one fresh exploration at the deepest budget),
+* a ``max_paths`` cap is stable under resumption: every post-cap extend
+  keeps reporting ``exhausted_path_budget=True``, suspended paths beyond the
+  cap are retained (never silently dropped), and the per-depth results still
+  match fresh capped explorations bit for bit.
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.stats import PerfStats
+from repro.programs import geometric, golden_ratio, sigmoid_branching, two_sample_sum
+from repro.spcf import parse
+from repro.symbolic import SymbolicExplorer
+
+_PROGRAMS = {
+    "geo": geometric(Fraction(1, 2)).applied,
+    "gr": golden_ratio().applied,
+    "sig-branch": sigmoid_branching().applied,
+    "two-sample": two_sample_sum().applied,
+    "score": parse("score(sample - 1/2)"),
+}
+
+_schedules = st.lists(
+    st.integers(min_value=1, max_value=60), min_size=1, max_size=5
+).map(lambda depths: tuple(sorted(depths)))
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.sampled_from(sorted(_PROGRAMS)), _schedules)
+def test_extend_matches_fresh_exploration_at_every_depth(name, schedule):
+    term = _PROGRAMS[name]
+    session = SymbolicExplorer().session(term)
+    fresh = SymbolicExplorer()
+    for depth in schedule:
+        incremental = session.extend(depth)
+        reference = fresh.explore(term, max_steps_per_path=depth)
+        assert incremental == reference
+
+
+@settings(max_examples=25, deadline=None)
+@given(_schedules, st.integers(min_value=1, max_value=12))
+def test_extend_matches_fresh_exploration_under_a_path_cap(schedule, max_paths):
+    term = _PROGRAMS["gr"]
+    session = SymbolicExplorer().session(term, max_paths=max_paths)
+    for depth in schedule:
+        incremental = session.extend(depth)
+        reference = SymbolicExplorer().explore(
+            term, max_steps_per_path=depth, max_paths=max_paths
+        )
+        assert incremental == reference
+
+
+def test_steps_are_never_re_executed_across_a_schedule():
+    term = _PROGRAMS["gr"]
+    schedule = (10, 20, 30, 40)
+    incremental_stats = PerfStats()
+    session = SymbolicExplorer(stats=incremental_stats).session(term)
+    for depth in schedule:
+        session.extend(depth)
+    single_stats = PerfStats()
+    SymbolicExplorer(stats=single_stats).explore(term, max_steps_per_path=schedule[-1])
+    assert incremental_stats.symbolic_steps == single_stats.symbolic_steps
+    assert incremental_stats.paths_resumed > 0
+    # The peak tracks the live frontier (suspended paths a deeper budget can
+    # still advance), so it is at least the frontier the session ended with.
+    assert incremental_stats.frontier_peak >= session.frontier_size > 0
+
+
+def test_replaying_the_same_budget_counts_no_resumes():
+    term = _PROGRAMS["gr"]
+    stats = PerfStats()
+    session = SymbolicExplorer(stats=stats).session(term)
+    session.extend(30)
+    resumed = stats.paths_resumed
+    session.extend(30)  # no headroom: nothing is actually resumed
+    assert stats.paths_resumed == resumed
+
+
+def test_budgets_are_non_decreasing():
+    session = SymbolicExplorer().session(_PROGRAMS["geo"])
+    session.extend(20)
+    with pytest.raises(ValueError):
+        session.extend(10)
+    # Re-extending to the same budget replays the recorded result.
+    assert session.extend(20) == session.result
+
+
+class TestMaxPathsSafetyValve:
+    """Hitting the cap must stay visible and lossless on every later extend."""
+
+    def test_exhausted_stays_reported_and_paths_are_kept(self):
+        term = _PROGRAMS["gr"]
+        cap = 6
+        session = SymbolicExplorer().session(term, max_paths=cap)
+        results = [session.extend(depth) for depth in (25, 40, 60, 80)]
+        capped = [result for result in results if result.exhausted_path_budget]
+        assert capped, "the cap should engage on this branching program"
+        first_capped = results.index(capped[0])
+        # Once the cap engages, every subsequent extend keeps reporting it
+        # (deeper budgets cannot un-exhaust a capped breadth-first pass).
+        for result in results[first_capped:]:
+            assert result.exhausted_path_budget
+            assert not result.complete
+        # Suspended paths beyond the cap are retained, not dropped: an
+        # uncapped session at the same depth finds strictly more paths.
+        uncapped = SymbolicExplorer().explore(term, max_steps_per_path=80)
+        assert len(uncapped.terminated) > len(results[-1].terminated)
+        assert session.frontier_size > 0
+
+    def test_capped_results_match_fresh_capped_runs_after_resumption(self):
+        term = _PROGRAMS["gr"]
+        session = SymbolicExplorer().session(term, max_paths=5)
+        for depth in (30, 50, 70):
+            assert session.extend(depth) == SymbolicExplorer().explore(
+                term, max_steps_per_path=depth, max_paths=5
+            )
+
+
+class TestExtendUntil:
+    def test_stops_when_complete(self):
+        term = parse("if sample + sample - 1 then 0 else 1")
+        session = SymbolicExplorer().session(term)
+        result = session.extend_until(step_increment=10)
+        assert result.complete
+
+    def test_stops_on_the_gap_callback(self):
+        term = _PROGRAMS["geo"]
+        session = SymbolicExplorer().session(term)
+        result = session.extend_until(
+            gap=lambda result: result.unfinished, target_gap=1, step_increment=5
+        )
+        assert result.unfinished <= 1
+
+    def test_stops_at_the_path_target(self):
+        term = _PROGRAMS["geo"]
+        session = SymbolicExplorer().session(term)
+        result = session.extend_until(max_paths=3, step_increment=5, max_steps=500)
+        assert len(result.terminated) >= 3
+
+    def test_stops_at_the_step_ceiling(self):
+        term = parse("(mu phi x. phi x) 0")  # diverges deterministically
+        session = SymbolicExplorer().session(term)
+        result = session.extend_until(step_increment=7, max_steps=20)
+        assert session.max_steps == 20
+        assert not result.complete
+
+    def test_ceiling_below_the_current_budget_replays_instead_of_raising(self):
+        session = SymbolicExplorer().session(_PROGRAMS["geo"])
+        deep = session.extend(100)
+        assert session.extend_until(max_steps=50) == deep
+        assert session.max_steps == 100
+
+    def test_non_positive_increments_are_rejected(self):
+        session = SymbolicExplorer().session(_PROGRAMS["geo"])
+        with pytest.raises(ValueError):
+            session.extend_until(step_increment=0)

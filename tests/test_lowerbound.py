@@ -88,6 +88,78 @@ class TestAgainstKnownProbabilities:
         assert any("polytope" in method or "polygon" in method for method in methods)
 
 
+class TestAnytimeSessions:
+    def test_schedule_results_are_bit_identical_to_from_scratch_runs(self):
+        for program in (
+            geometric(Fraction(1, 2)),
+            golden_ratio(),
+            printer_nonaffine(Fraction(1, 2)),
+        ):
+            engine = LowerBoundEngine(strategy=program.strategy)
+            session = engine.session(program.applied)
+            for depth in (15, 25, 40):
+                incremental = session.extend(depth)
+                reference = lower_bound(
+                    program.applied, max_steps=depth, strategy=program.strategy
+                )
+                assert incremental == reference, (program.name, depth)
+
+    def test_each_path_is_measured_exactly_once_across_the_schedule(self):
+        engine = LowerBoundEngine()
+        session = engine.session(geometric(Fraction(1, 2)).applied)
+        session.extend(40)
+        requests = engine.measure_engine.stats.measure_requests
+        result = session.extend(40)
+        # Replaying the same depth re-reports every path without a single
+        # new measure request.
+        assert engine.measure_engine.stats.measure_requests == requests
+        assert result.path_count > 0
+
+    def test_bounds_are_monotone_over_a_schedule(self):
+        engine = LowerBoundEngine()
+        results = list(
+            engine.lower_bound_schedule(
+                geometric(Fraction(1, 2)).applied, (10, 20, 30, 40)
+            )
+        )
+        assert len(results) == 4
+        probabilities = [result.probability for result in results]
+        assert probabilities == sorted(probabilities)
+
+    def test_target_gap_stops_the_schedule_early(self):
+        engine = LowerBoundEngine()
+        results = list(
+            engine.lower_bound_schedule(
+                geometric(Fraction(1, 2)).applied,
+                (20, 40, 60, 80),
+                target_gap=Fraction(1, 100),
+            )
+        )
+        assert len(results) < 4
+        assert results[-1].anytime_gap() <= Fraction(1, 100)
+
+    def test_anytime_gap_is_the_sweep_bracket_once_exhaustive(self):
+        from repro.spcf import parse
+
+        exhaustive = lower_bound(parse("(lam x. x + 1) 2"), max_steps=10)
+        assert exhaustive.exhaustive
+        assert exhaustive.anytime_gap() == exhaustive.measure_gap == 0
+        partial = lower_bound(geometric(Fraction(1, 2)).applied, max_steps=20)
+        assert not partial.exhaustive
+        assert partial.anytime_gap() == 1 - partial.probability
+
+    def test_capped_session_keeps_reporting_non_exhaustive(self):
+        engine = LowerBoundEngine()
+        session = engine.session(golden_ratio().applied, max_paths=5)
+        results = [session.extend(depth) for depth in (40, 60, 80)]
+        assert not any(result.exhaustive for result in results)
+        for result, reference_depth in zip(results, (40, 60, 80)):
+            reference = LowerBoundEngine().lower_bound(
+                golden_ratio().applied, max_steps=reference_depth, max_paths=5
+            )
+            assert result == reference
+
+
 class TestEngineBehaviour:
     def test_open_terms_are_rejected(self):
         with pytest.raises(ValueError):

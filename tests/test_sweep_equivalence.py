@@ -26,7 +26,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.geometry import MeasureEngine, MeasureOptions
-from repro.geometry.sweep import sweep_accepted_boxes, sweep_measure
+from repro.geometry.sweep import (
+    decode_frontier,
+    encode_frontier,
+    sweep_accepted_boxes,
+    sweep_measure,
+)
 from repro.intervals.box import unit_box
 from repro.spcf.primitives import default_registry
 from repro.symbolic.constraints import Constraint, ConstraintSet, Relation
@@ -197,6 +202,64 @@ def test_block_sweep_product_brackets_a_monte_carlo_estimate(constraints, rng):
     slack = 0.07
     assert float(result.value) <= estimate + slack
     assert float(upper) >= estimate - slack
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    _constraint_sets,
+    st.integers(min_value=2, max_value=5),
+    st.integers(min_value=1, max_value=4),
+)
+def test_warm_started_sweep_matches_the_from_scratch_deep_sweep(
+    constraints, shallow_depth, extra_depth
+):
+    """Resuming a shallower budget's frontier is bit-identical to sweeping
+    from scratch at the deeper budget: bounds, boxes examined, evaluations
+    saved, and the frontier the deeper budget leaves behind."""
+    dimension = _dimension(constraints)
+    deep_depth = shallow_depth + extra_depth
+    shallow = sweep_measure(
+        constraints, dimension, max_depth=shallow_depth, collect_frontier=True
+    )
+    assert shallow.frontier is not None
+    assert shallow.frontier.lower == shallow.lower
+    fresh = sweep_measure(
+        constraints, dimension, max_depth=deep_depth, collect_frontier=True
+    )
+    warm = sweep_measure(
+        constraints,
+        dimension,
+        max_depth=deep_depth,
+        resume=shallow.frontier,
+        collect_frontier=True,
+    )
+    assert warm.lower == fresh.lower
+    assert warm.undecided == fresh.undecided
+    assert warm.boxes_examined == fresh.boxes_examined
+    assert warm.evaluations_saved == fresh.evaluations_saved
+    assert not warm.early_exit
+    # The stranded boxes agree as sets (heap pop order may differ).
+    assert set(warm.frontier.boxes) == set(fresh.frontier.boxes)
+    assert warm.frontier.lower == fresh.frontier.lower
+
+
+@settings(max_examples=50, deadline=None)
+@given(_constraint_sets, st.integers(min_value=2, max_value=5))
+def test_frontier_codec_round_trips_exactly(constraints, depth):
+    dimension = _dimension(constraints)
+    result = sweep_measure(
+        constraints, dimension, max_depth=depth, collect_frontier=True
+    )
+    encoded = encode_frontier(result.frontier)
+    assert encoded is not None
+    import json
+
+    json.loads(json.dumps(encoded))  # JSON-safe
+    decoded = decode_frontier(encoded, len(constraints.constraints))
+    assert decoded == result.frontier
+    # Out-of-range constraint indices must read as a miss, never mis-resolve.
+    if any(active for _, _, active in result.frontier.boxes):
+        assert decode_frontier(encoded, 0) is None
 
 
 def test_mixed_affine_nonaffine_products_stay_certified():
