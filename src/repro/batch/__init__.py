@@ -7,8 +7,14 @@ this subsystem makes that batch a first-class object:
   content-hash keys and JSON-safe payloads,
 * :mod:`repro.batch.runner` -- the scheduler (``--jobs N`` worker processes,
   per-job failure tolerance, submission-order JSONL output),
-* :mod:`repro.batch.cache`  -- the versioned on-disk store of finished job
-  results and measure-engine entries shared across processes and sessions,
+* :mod:`repro.batch.cache`  -- the versioned, checksummed on-disk store of
+  finished job results and measure-engine entries shared across processes
+  and sessions (damaged files are quarantined, multi-shard merges are
+  journalled),
+* :mod:`repro.batch.faults` -- deterministic fault injection (worker kills,
+  hangs, torn writes, bit flips) driving the fault-tolerance test suite,
+* :mod:`repro.batch.doctor` -- the read-only store health checks behind
+  ``python -m repro doctor``,
 * :mod:`repro.batch.suites` -- named suites mirroring Table 1 / Table 2 /
   the classification extension, and job-file loading.
 
@@ -16,12 +22,17 @@ The CLI surface is ``python -m repro batch`` (see :mod:`repro.cli`);
 ``table1``/``table2``/``report`` delegate to the same runner.
 """
 
-from repro.batch.cache import BatchCache
+from repro.batch.cache import BatchCache, verify_document
+from repro.batch.doctor import DoctorReport, Finding, diagnose
+from repro.batch.faults import Fault, FaultPlan
 from repro.batch.jobs import ANALYSES, JobResult, JobSpec, run_job
 from repro.batch.runner import (
     BatchReport,
+    ResultScan,
+    RetryPolicy,
     read_result_keys,
     run_batch,
+    scan_results_jsonl,
     write_results_jsonl,
 )
 from repro.batch.suites import (
@@ -37,16 +48,25 @@ __all__ = [
     "ANALYSES",
     "BatchCache",
     "BatchReport",
+    "DoctorReport",
+    "Fault",
+    "FaultPlan",
+    "Finding",
     "JobResult",
     "JobSpec",
+    "ResultScan",
+    "RetryPolicy",
     "SUITE_NAMES",
     "classify_suite",
+    "diagnose",
     "load_job_file",
     "read_result_keys",
     "run_batch",
     "run_job",
+    "scan_results_jsonl",
     "suite",
     "table1_suite",
     "table2_suite",
+    "verify_document",
     "write_results_jsonl",
 ]

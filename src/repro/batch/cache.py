@@ -7,15 +7,33 @@ Layout (everything lives under one ``--cache-dir``)::
       measures-<prefix>.json    one shard of serialized MeasureEngine entries
       sweeps-<prefix>.json      one shard of serialized per-block SweepResults
       meta.json                 the monotone run counter driving the GC
+      intent-<kind>-*.json      write-ahead intents of in-flight merges
+      quarantine/               damaged files set aside for inspection
       measures.json             legacy single-file store (read, then migrated)
 
-Every kind of file is versioned JSON.  Reads are *strictly best-effort*: a
-missing, corrupted, truncated, or version-mismatched file is treated as a
-cache miss and silently discarded -- a damaged cache must never take an
-analysis down, it can only cost recomputation.  Writes go through a
-temp-file + :func:`os.replace` so a killed run never leaves a torn file
-behind, and job results live in one file per key so concurrent batches
-sharing a directory do not contend on a single growing file.
+Every kind of file is a versioned JSON *envelope*: the document carries a
+format version plus a ``sha256`` checksum over its canonical payload, so a
+bit-flipped or crash-torn file is *detected*, not misread.  Reads are still
+non-fatal -- a damaged cache must never take an analysis down, it can only
+cost recomputation -- but damage is never silent either: a file that fails
+to parse or to verify is moved into ``<cache-dir>/quarantine/`` (with a
+``.reason`` sidecar naming what was wrong), counted, and reported by
+``python -m repro doctor``.  Documents written by the pre-checksum layout
+(version 1) are still read transparently and are re-sealed under the
+current envelope the next time their file is written.
+
+Writes go through a temp-file + :func:`os.replace` so a killed run never
+leaves a torn file behind, and job results live in one file per key so
+concurrent batches sharing a directory do not contend on a single growing
+file.  Multi-shard merges (:meth:`BatchCache.merge_measures` /
+:meth:`BatchCache.merge_sweeps`) additionally write a *write-ahead intent
+file* first: the full set of entries about to be folded in, flushed to disk
+and held under an exclusive :mod:`fcntl` lock for the duration of the
+merge.  A process killed mid-merge therefore loses nothing -- the next
+merge (or prune) finds the orphaned intent, detects that its writer is dead
+because the lock is free, and replays the remaining entries into their
+shards before proceeding.  Shard writes themselves stay atomic, so every
+individual file is consistent at every instant.
 
 Measure entries are keyed by the deterministic canonical constraint-set key
 of :meth:`repro.geometry.engine.MeasureEngine.persistent_key` (since the
@@ -43,18 +61,25 @@ drops entries whose stamp is at least ``min_age_runs`` runs old -- the CLI's
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
+import logging
 import os
 import tempfile
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Mapping, Optional, Union
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
+from repro.batch.faults import active_plan
 from repro.batch.jobs import JobResult
 from repro.geometry.engine import MeasureEngine
 
-CACHE_VERSION = 1
+CACHE_VERSION = 2
+"""The checksummed-envelope store format (PR 6)."""
+
+_LEGACY_CACHE_VERSION = 1
+"""The pre-checksum format (PRs 2-5): still readable, re-sealed on write."""
 
 _SHARD_PREFIX_LENGTH = 2
 """Hex digits of the key hash used as the shard name (256 shards)."""
@@ -62,12 +87,83 @@ _SHARD_PREFIX_LENGTH = 2
 _SHARD_KINDS = ("measures", "sweeps")
 """The sharded entry stores (measure results and per-block sweep results)."""
 
-__all__ = ["BatchCache", "CACHE_VERSION", "PruneReport", "shard_prefix"]
+_LOGGER = logging.getLogger("repro.batch")
+
+_INTENT_SEQUENCE = itertools.count(1)
+"""Process-wide intent-file sequence: with the pid it makes names unique
+across every cache instance and thread of one process."""
+
+__all__ = [
+    "BatchCache",
+    "CACHE_VERSION",
+    "PruneReport",
+    "shard_prefix",
+    "verify_document",
+]
 
 
 def shard_prefix(key: str) -> str:
     """The shard a store entry key belongs to (first hash hex digits)."""
     return hashlib.sha256(key.encode("utf-8")).hexdigest()[:_SHARD_PREFIX_LENGTH]
+
+
+def _canonical_json(document: dict) -> str:
+    return json.dumps(document, sort_keys=True, separators=(",", ":"))
+
+
+def _document_checksum(document: dict) -> str:
+    """SHA-256 over the canonical JSON of everything except ``sha256``."""
+    payload = {key: value for key, value in document.items() if key != "sha256"}
+    return hashlib.sha256(_canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def _seal_document(document: dict) -> dict:
+    """Stamp ``document`` with the current version and its payload checksum."""
+    sealed = dict(document)
+    sealed["version"] = CACHE_VERSION
+    sealed.pop("sha256", None)
+    sealed["sha256"] = _document_checksum(sealed)
+    return sealed
+
+
+def verify_document(path: Path) -> Tuple[str, Optional[dict]]:
+    """Read and verify one store envelope, without side effects.
+
+    Returns ``(status, document)`` where ``status`` is one of ``"ok"``
+    (current version, checksum verified), ``"legacy"`` (version-1 document,
+    no checksum to verify), ``"missing"`` (no file), ``"unknown-version"``
+    (left in place: a newer tool may own it), or one of the *damaged*
+    statuses ``"corrupt-json"``, ``"not-object"``, ``"missing-checksum"``
+    and ``"checksum-mismatch"``; the document is ``None`` unless readable.
+    The ``doctor`` command reports on these statuses; the cache's own read
+    path quarantines the damaged ones.
+    """
+    try:
+        raw = path.read_text()
+    except OSError:
+        return "missing", None
+    try:
+        document = json.loads(raw)
+    except ValueError:
+        return "corrupt-json", None
+    if not isinstance(document, dict):
+        return "not-object", None
+    version = document.get("version")
+    if version == _LEGACY_CACHE_VERSION:
+        return "legacy", document
+    if version != CACHE_VERSION:
+        return "unknown-version", None
+    recorded = document.get("sha256")
+    if not isinstance(recorded, str):
+        return "missing-checksum", None
+    if recorded != _document_checksum(document):
+        return "checksum-mismatch", None
+    return "ok", document
+
+
+_DAMAGED_STATUSES = frozenset(
+    {"corrupt-json", "not-object", "missing-checksum", "checksum-mismatch"}
+)
 
 
 def _atomic_write_json(path: Path, document: dict) -> None:
@@ -86,18 +182,9 @@ def _atomic_write_json(path: Path, document: dict) -> None:
         except OSError:
             pass
         raise
-
-
-def _read_versioned_json(path: Path) -> Optional[dict]:
-    """Read a versioned JSON document; anything suspect reads as ``None``."""
-    try:
-        with open(path, "r") as stream:
-            document = json.load(stream)
-    except (OSError, ValueError):
-        return None
-    if not isinstance(document, dict) or document.get("version") != CACHE_VERSION:
-        return None
-    return document
+    plan = active_plan()
+    if plan is not None:  # fault injection: tear or bit-flip the fresh file
+        plan.on_store_write(path)
 
 
 def _document_entries(document: Optional[dict], fingerprint: str) -> Dict[str, List]:
@@ -162,7 +249,59 @@ class BatchCache:
         self.jobs_directory = self.directory / "jobs"
         self.measures_path = self.directory / "measures.json"
         self.meta_path = self.directory / "meta.json"
+        self.quarantine_directory = self.directory / "quarantine"
+        self.quarantined: List[Tuple[Path, str]] = []
+        """``(quarantined path, reason)`` for every file this instance moved."""
+
         self.directory.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def quarantine_count(self) -> int:
+        """How many damaged files this instance has quarantined."""
+        return len(self.quarantined)
+
+    # -- damage handling -------------------------------------------------------
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a damaged store file aside -- never delete, never skip silently.
+
+        The file lands in ``quarantine/`` under its own name (a numeric
+        suffix on collision) next to a ``.reason`` sidecar, so an operator
+        -- or ``repro doctor`` -- can see what was refused and why.  A store
+        that cannot be written (read-only mount) still reads as a miss.
+        """
+        try:
+            self.quarantine_directory.mkdir(parents=True, exist_ok=True)
+            destination = self.quarantine_directory / path.name
+            suffix = 0
+            while destination.exists():
+                suffix += 1
+                destination = self.quarantine_directory / f"{path.name}.{suffix}"
+            os.replace(path, destination)
+            destination.with_name(destination.name + ".reason").write_text(
+                reason + "\n"
+            )
+        except OSError:
+            return
+        self.quarantined.append((destination, reason))
+        _LOGGER.warning(
+            "quarantined damaged store file %s (%s)", path.name, reason
+        )
+
+    def _read_document(self, path: Path) -> Optional[dict]:
+        """Read one store envelope; damaged files are quarantined.
+
+        Missing files and unknown (future) versions read as plain misses;
+        legacy version-1 documents are readable as-is.  Anything damaged --
+        torn JSON, a missing or mismatched checksum -- is moved to
+        ``quarantine/`` so it is visible to operators instead of silently
+        costing recomputation forever.
+        """
+        status, document = verify_document(path)
+        if status in _DAMAGED_STATUSES:
+            self._quarantine(path, status)
+            return None
+        return document
 
     # -- job results ---------------------------------------------------------
 
@@ -171,7 +310,7 @@ class BatchCache:
 
     def load_job(self, key: str) -> Optional[JobResult]:
         """The cached result for ``key``, or ``None`` (incl. damaged files)."""
-        document = _read_versioned_json(self._job_path(key))
+        document = self._read_document(self._job_path(key))
         if document is None:
             return None
         record = document.get("result")
@@ -190,7 +329,7 @@ class BatchCache:
             return
         _atomic_write_json(
             self._job_path(result.key),
-            {"version": CACHE_VERSION, "result": result.to_cache_dict()},
+            _seal_document({"result": result.to_cache_dict()}),
         )
 
     def job_count(self) -> int:
@@ -202,7 +341,7 @@ class BatchCache:
 
     def run_counter(self) -> int:
         """The number of batch runs that have written to this store."""
-        document = _read_versioned_json(self.meta_path)
+        document = self._read_document(self.meta_path)
         if document is None:
             return 0
         counter = document.get("run_counter")
@@ -218,7 +357,7 @@ class BatchCache:
         with self._lock(self.directory / "meta.lock"):
             counter = self.run_counter() + 1
             _atomic_write_json(
-                self.meta_path, {"version": CACHE_VERSION, "run_counter": counter}
+                self.meta_path, _seal_document({"run_counter": counter})
             )
             return counter
 
@@ -235,15 +374,15 @@ class BatchCache:
 
         All shard files are merged with the legacy single-file store (if one
         still exists).  Entries recorded under a different primitive-registry
-        fingerprint -- and corrupt or version-mismatched shards -- read as
-        misses, never as errors.
+        fingerprint -- and unknown-version files -- read as misses; damaged
+        files are quarantined and read as misses, never as errors.
         """
         fingerprint = engine.registry_fingerprint()
         entries: Dict[str, List] = dict(
-            _document_entries(_read_versioned_json(self.measures_path), fingerprint)
+            _document_entries(self._read_document(self.measures_path), fingerprint)
         )
         for path in self._shard_paths("measures"):
-            entries.update(_document_entries(_read_versioned_json(path), fingerprint))
+            entries.update(_document_entries(self._read_document(path), fingerprint))
         return entries
 
     def load_sweeps(self, engine: MeasureEngine) -> Dict[str, List]:
@@ -251,7 +390,7 @@ class BatchCache:
         fingerprint = engine.registry_fingerprint()
         entries: Dict[str, List] = {}
         for path in self._shard_paths("sweeps"):
-            entries.update(_document_entries(_read_versioned_json(path), fingerprint))
+            entries.update(_document_entries(self._read_document(path), fingerprint))
         return entries
 
     def measure_entry_count(self, engine: MeasureEngine) -> int:
@@ -276,7 +415,10 @@ class BatchCache:
         each affected shard's lock *exclusive* during its read-modify-write
         cycle -- two batches merging disjoint shards into one cache directory
         proceed in parallel, and merges into the same shard cannot silently
-        drop each other's entries.  A legacy ``measures.json`` is migrated
+        drop each other's entries.  Before the first shard is written the
+        whole merge is journalled in an intent file, so a process killed
+        mid-merge loses none of the entries it was carrying: the next merge
+        replays the orphaned intent.  A legacy ``measures.json`` is migrated
         into the shards (under the exclusive directory lock) the first time a
         merge writes.
 
@@ -304,7 +446,7 @@ class BatchCache:
     ) -> int:
         """Fold per-block sweep entries into the on-disk sweep store.
 
-        Same sharding, locking and touch-stamp semantics as
+        Same sharding, locking, intent-journal and touch-stamp semantics as
         :meth:`merge_measures` (there is no legacy single-file sweep store).
         """
         return self._merge_kind("sweeps", engine, new_entries, run, touched_keys)
@@ -330,15 +472,17 @@ class BatchCache:
         for key in touched_keys:
             touched_by_shard.setdefault(shard_prefix(key), set()).add(key)
         with self._directory_lock(exclusive=False):
-            for prefix in sorted(set(by_shard) | set(touched_by_shard)):
-                self._merge_shard(
-                    kind,
-                    prefix,
-                    fingerprint,
-                    by_shard.get(prefix, {}),
-                    run,
-                    touched_by_shard.get(prefix, set()),
-                )
+            self._replay_orphaned_intents()
+            with self._intent(kind, fingerprint, run, new_entries, touched_keys):
+                for prefix in sorted(set(by_shard) | set(touched_by_shard)):
+                    self._merge_shard(
+                        kind,
+                        prefix,
+                        fingerprint,
+                        by_shard.get(prefix, {}),
+                        run,
+                        touched_by_shard.get(prefix, set()),
+                    )
         return len(new_entries)
 
     def _merge_shard(
@@ -352,7 +496,7 @@ class BatchCache:
     ) -> None:
         path = self.shard_path(prefix, kind)
         with self._lock(path.with_suffix(".lock")):
-            document = _read_versioned_json(path)
+            document = self._read_document(path)
             entries = _document_entries(document, fingerprint)
             touched = _document_touched(document)
             entries.update(shard_entries)
@@ -370,13 +514,142 @@ class BatchCache:
                 return
             _atomic_write_json(
                 path,
-                {
-                    "version": CACHE_VERSION,
-                    "fingerprint": fingerprint,
-                    "entries": entries,
-                    "touched": touched,
-                },
+                _seal_document(
+                    {
+                        "fingerprint": fingerprint,
+                        "entries": entries,
+                        "touched": touched,
+                    }
+                ),
             )
+
+    # -- write-ahead merge intents ---------------------------------------------
+
+    @contextmanager
+    def _intent(self, kind: str, fingerprint: str, run: int, new_entries, touched_keys):
+        """Journal a multi-shard merge before its first shard write.
+
+        The intent file carries everything needed to redo the merge and is
+        held under an exclusive :mod:`fcntl` lock for the merge's duration:
+        a free lock on an intent file therefore *proves* its writer is dead,
+        which is how :meth:`_replay_orphaned_intents` distinguishes a crashed
+        merge (replay it) from a live one (leave it alone).  The file is
+        created empty-and-locked first and filled in place -- so a racing
+        replayer can never observe a complete-looking intent that is still
+        being merged -- and unlinked once every shard write has landed.
+        """
+        while True:
+            name = f"intent-{kind}-{os.getpid()}-{next(_INTENT_SEQUENCE)}.json"
+            path = self.directory / name
+            try:
+                # Exclusive creation: colliding with an existing file (e.g. a
+                # dead run's orphan under a recycled pid) must never truncate
+                # it -- pick the next sequence number instead.
+                handle = open(path, "x")
+                break
+            except FileExistsError:
+                continue
+        with handle:
+            try:
+                with self._flocked(handle):
+                    json.dump(
+                        _seal_document(
+                            {
+                                "kind": kind,
+                                "fingerprint": fingerprint,
+                                "run": run,
+                                "entries": dict(new_entries),
+                                "touched": sorted(touched_keys),
+                            }
+                        ),
+                        handle,
+                        sort_keys=True,
+                        separators=(",", ":"),
+                    )
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                    yield
+                    try:
+                        os.unlink(path)
+                    except OSError:
+                        pass
+            except BaseException:
+                # The merge itself failed: keep the intent for replay, but
+                # release the lock so a successor can pick it up.
+                raise
+
+    def _replay_orphaned_intents(self) -> None:
+        """Redo merges whose writer died mid-way (their intent lock is free).
+
+        Replaying is idempotent -- entries overwrite themselves -- so two
+        processes racing on the same orphan at worst do the same writes
+        twice.  An intent that no longer parses means its writer died before
+        the journal was complete, i.e. before any shard was touched: there
+        is nothing to recover and the file is removed.
+        """
+        for path in sorted(self.directory.glob("intent-*.json")):
+            try:
+                handle = open(path, "r")
+            except OSError:
+                continue
+            with handle:
+                if not self._try_exclusive(handle):
+                    continue  # a live merge still owns this intent
+                status, document = verify_document(path)
+                if status in ("ok", "legacy") and document.get("kind") in _SHARD_KINDS:
+                    self._replay_intent(document)
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+
+    def _replay_intent(self, document: dict) -> None:
+        kind = document["kind"]
+        fingerprint = document.get("fingerprint")
+        run = document.get("run")
+        entries = document.get("entries")
+        touched = document.get("touched")
+        if not isinstance(fingerprint, str) or not isinstance(run, int):
+            return
+        entries = entries if isinstance(entries, dict) else {}
+        touched = set(touched) if isinstance(touched, list) else set()
+        by_shard: Dict[str, Dict[str, List]] = {}
+        for key, entry in entries.items():
+            by_shard.setdefault(shard_prefix(key), {})[key] = entry
+        touched_by_shard: Dict[str, set] = {}
+        for key in touched:
+            if isinstance(key, str):
+                touched_by_shard.setdefault(shard_prefix(key), set()).add(key)
+        for prefix in sorted(set(by_shard) | set(touched_by_shard)):
+            self._merge_shard(
+                kind,
+                prefix,
+                fingerprint,
+                by_shard.get(prefix, {}),
+                run,
+                touched_by_shard.get(prefix, set()),
+            )
+        _LOGGER.warning(
+            "replayed an interrupted %s merge (%d entries) from its intent file",
+            kind,
+            len(entries),
+        )
+
+    def pending_intents(self) -> List[Tuple[Path, bool]]:
+        """Every intent file present, with whether its writer is still alive.
+
+        ``(path, live)`` pairs: ``live`` means the exclusive lock is held,
+        i.e. a merge is in flight right now.  Used by ``repro doctor``.
+        """
+        report = []
+        for path in sorted(self.directory.glob("intent-*.json")):
+            try:
+                with open(path, "r") as handle:
+                    live = not self._try_exclusive(handle)
+            except OSError:
+                continue
+            report.append((path, live))
+        return report
 
     def _migrate_legacy_measures(self, fingerprint: str) -> int:
         """Fold a pre-shard ``measures.json`` into the shard files.
@@ -396,7 +669,7 @@ class BatchCache:
             if not self.measures_path.exists():
                 return 0  # someone else migrated in the meantime
             legacy = _document_entries(
-                _read_versioned_json(self.measures_path), fingerprint
+                self._read_document(self.measures_path), fingerprint
             )
             run = self.run_counter()
             by_shard: Dict[str, Dict[str, List]] = {}
@@ -423,7 +696,9 @@ class BatchCache:
         parameters and are not aged here.
 
         The whole pass holds the exclusive directory lock: a prune never
-        races a merge into losing freshly written entries.
+        races a merge into losing freshly written entries.  Orphaned merge
+        intents are replayed first, so entries a crashed run was still
+        carrying get their stamps before the age check.
         """
         if min_age_runs < 1:
             raise ValueError("min_age_runs must be at least 1")
@@ -431,13 +706,14 @@ class BatchCache:
         cutoff = counter - min_age_runs
         report = PruneReport(run_counter=counter, min_age_runs=min_age_runs)
         with self._directory_lock(exclusive=True):
+            self._replay_orphaned_intents()
             for kind in _SHARD_KINDS:
                 pruned = kept = 0
                 for path in self._shard_paths(kind):
                     with self._lock(path.with_suffix(".lock")):
-                        document = _read_versioned_json(path)
+                        document = self._read_document(path)
                         if document is None:
-                            continue  # corrupt shards are misses, not errors
+                            continue  # damaged shards are quarantined, not errors
                         entries = document.get("entries")
                         if not isinstance(entries, dict):
                             continue
@@ -464,7 +740,7 @@ class BatchCache:
                                 for key, stamp in touched.items()
                                 if key in survivors
                             }
-                            _atomic_write_json(path, document)
+                            _atomic_write_json(path, _seal_document(document))
                 report.pruned[kind] = pruned
                 report.kept[kind] = kept
         return report
@@ -488,6 +764,44 @@ class BatchCache:
                 yield
             finally:
                 fcntl.flock(lock_file.fileno(), fcntl.LOCK_UN)
+
+    @contextmanager
+    def _flocked(self, handle):
+        """Hold an exclusive lock on an already-open file for a whole block."""
+        try:
+            import fcntl
+        except ImportError:
+            yield
+            return
+        fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            try:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+            except OSError:
+                pass
+
+    @staticmethod
+    def _try_exclusive(handle) -> bool:
+        """Probe an open file's exclusive lock without blocking.
+
+        ``True`` means the lock was free (its holder, if any, is dead) and is
+        now briefly ours; ``False`` means a live process holds it.  Where
+        :mod:`fcntl` is unavailable liveness cannot be probed and the caller
+        proceeds as if the writer were dead -- safe, because intent replays
+        are idempotent.
+        """
+        try:
+            import fcntl
+        except ImportError:
+            return True
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            return False
+        fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+        return True
 
     def _directory_lock(self, exclusive: bool):
         """The store-wide lock: shared for shard merges, exclusive for the

@@ -1,0 +1,359 @@
+"""``python -m repro doctor``: explain the health of a batch cache directory.
+
+The doctor is the operator-facing half of the fault-tolerance layer: the
+store detects damage (checksums, quarantine, orphaned merge intents) at read
+time, and the doctor reports all of it *without waiting for a read* -- plus
+the slow-burn conditions no single read would notice: stale entries the GC
+should collect, sweep frontiers bumping against the persistence cap, locks
+held by live processes, a legacy store awaiting migration.
+
+Everything here is strictly read-only.  The doctor never quarantines,
+never replays an intent, never migrates -- it only *names* what the next
+writing run would do (or what the operator should look at), so running it
+concurrently with live batches is always safe.  That is why it reads
+envelopes through :func:`repro.batch.cache.verify_document` (pure) rather
+than through the cache's quarantining read path.
+
+Exit-code contract (the CI ``fault-smoke`` job relies on it):
+
+* ``0`` -- healthy: every envelope verifies, no quarantined files;
+* ``1`` -- at least one *error*-level finding: a damaged file, a
+  checksum mismatch, or a non-empty quarantine.
+
+Warnings (orphaned intents, stale entries, a legacy store) do not fail the
+exit code: they describe states the store repairs or tolerates on its own.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.batch.cache import (
+    _SHARD_KINDS,
+    BatchCache,
+    CACHE_VERSION,
+    verify_document,
+)
+from repro.geometry import engine as _engine_module
+from repro.geometry.engine import MeasureEngine
+
+__all__ = ["DoctorReport", "Finding", "diagnose"]
+
+_LEVELS = ("info", "warning", "error")
+
+_FRONTIER_CAP = _engine_module._MAX_PERSISTED_FRONTIER_BOXES
+_FRONTIER_INDEX = 6  # a sweep entry's optional persisted-frontier blob
+_FRONTIER_BOXES_INDEX = 5  # the box list inside that blob
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One observation about the store: a fact, a smell, or damage."""
+
+    level: str  # "info" | "warning" | "error"
+    code: str  # stable machine-readable slug, e.g. "checksum-mismatch"
+    message: str
+    path: Optional[str] = None
+
+    def as_dict(self) -> dict:
+        return {
+            "level": self.level,
+            "code": self.code,
+            "message": self.message,
+            "path": self.path,
+        }
+
+
+@dataclass
+class DoctorReport:
+    """Everything one diagnostic pass learned about a cache directory."""
+
+    directory: str
+    findings: List[Finding] = field(default_factory=list)
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    def add(self, level: str, code: str, message: str, path: Optional[Path] = None) -> None:
+        assert level in _LEVELS
+        self.findings.append(
+            Finding(level, code, message, str(path) if path is not None else None)
+        )
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [finding for finding in self.findings if finding.level == "error"]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [finding for finding in self.findings if finding.level == "warning"]
+
+    @property
+    def healthy(self) -> bool:
+        return not self.errors
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.healthy else 1
+
+    def as_dict(self) -> dict:
+        return {
+            "directory": self.directory,
+            "healthy": self.healthy,
+            "counts": dict(self.counts),
+            "findings": [finding.as_dict() for finding in self.findings],
+        }
+
+    def summary(self) -> str:
+        """The human-readable report printed by ``python -m repro doctor``."""
+        lines = [f"cache directory  : {self.directory}"]
+        for label, key in (
+            ("run counter", "run_counter"),
+            ("job results", "job_files"),
+            ("measure shards", "measures_shards"),
+            ("measure entries", "measures_entries"),
+            ("sweep shards", "sweeps_shards"),
+            ("sweep entries", "sweeps_entries"),
+            ("stale entries", "stale_entries"),
+            ("legacy envelopes", "legacy_documents"),
+            ("persisted frontiers", "frontiers"),
+            ("frontier boxes", "frontier_boxes"),
+            ("frontiers at cap", "frontiers_at_cap"),
+            ("merge intents", "intents"),
+            ("quarantined files", "quarantined"),
+        ):
+            if key in self.counts:
+                lines.append(f"{label:<17s}: {self.counts[key]}")
+        for finding in self.findings:
+            if finding.level == "info":
+                continue
+            location = f" [{finding.path}]" if finding.path else ""
+            lines.append(f"{finding.level.upper():<7s} {finding.code}: {finding.message}{location}")
+        lines.append("status           : " + ("healthy" if self.healthy else "PROBLEMS FOUND"))
+        return "\n".join(lines)
+
+
+def _check_envelope(report: DoctorReport, path: Path, expect_kind: str) -> Optional[dict]:
+    """Verify one store file; record damage as an error finding."""
+    status, document = verify_document(path)
+    if status == "ok":
+        return document
+    if status == "legacy":
+        report.counts["legacy_documents"] = report.counts.get("legacy_documents", 0) + 1
+        report.add(
+            "info",
+            "legacy-envelope",
+            f"{expect_kind} file predates the checksummed envelope "
+            f"(version 1 < {CACHE_VERSION}); it will be re-sealed on next write",
+            path,
+        )
+        return document
+    if status == "unknown-version":
+        report.add(
+            "warning",
+            "unknown-version",
+            f"{expect_kind} file has an unknown format version "
+            f"(newer tool?); it reads as a miss",
+            path,
+        )
+        return None
+    report.add(
+        "error",
+        status,
+        f"{expect_kind} file is damaged ({status}); the next cache read "
+        "will quarantine it",
+        path,
+    )
+    return None
+
+
+def _shard_entries(document: Optional[dict]) -> Dict[str, list]:
+    if document is None:
+        return None  # type: ignore[return-value]
+    entries = document.get("entries")
+    return entries if isinstance(entries, dict) else {}
+
+
+def diagnose(
+    directory: Union[str, Path],
+    stale_runs: int = 20,
+    engine: Optional[MeasureEngine] = None,
+) -> DoctorReport:
+    """Run every read-only health check over one cache directory."""
+    directory = Path(directory)
+    report = DoctorReport(directory=str(directory))
+    if not directory.is_dir():
+        report.add("error", "missing-directory", "cache directory does not exist")
+        return report
+    cache = BatchCache(directory)
+    engine = engine or MeasureEngine()
+    fingerprint = engine.registry_fingerprint()
+
+    # The run counter (meta.json) -- the GC clock everything is aged against.
+    run_counter = 0
+    meta_document = None
+    if cache.meta_path.exists():
+        meta_document = _check_envelope(report, cache.meta_path, "meta")
+    if meta_document is not None:
+        counter = meta_document.get("run_counter")
+        if isinstance(counter, int) and counter >= 0:
+            run_counter = counter
+        else:
+            report.add(
+                "error",
+                "bad-run-counter",
+                f"meta.json holds an invalid run counter ({counter!r})",
+                cache.meta_path,
+            )
+    report.counts["run_counter"] = run_counter
+
+    # Job result files.
+    job_files = 0
+    if cache.jobs_directory.is_dir():
+        for path in sorted(cache.jobs_directory.glob("*.json")):
+            job_files += 1
+            document = _check_envelope(report, path, "job result")
+            if document is None:
+                continue
+            record = document.get("result")
+            if not isinstance(record, dict) or record.get("key") != path.stem:
+                report.add(
+                    "error",
+                    "key-mismatch",
+                    "job result file does not match the key it is stored under",
+                    path,
+                )
+    report.counts["job_files"] = job_files
+
+    # Measure and sweep shards: envelopes, fingerprints, staleness, frontiers.
+    stale_total = 0
+    for kind in _SHARD_KINDS:
+        shard_count = 0
+        entry_count = 0
+        foreign_shards = 0
+        for path in sorted(directory.glob(f"{kind}-*.json")):
+            shard_count += 1
+            document = _check_envelope(report, path, f"{kind} shard")
+            if document is None:
+                continue
+            entries = _shard_entries(document)
+            entry_count += len(entries)
+            if document.get("fingerprint") != fingerprint:
+                foreign_shards += 1
+            touched = document.get("touched")
+            touched = touched if isinstance(touched, dict) else {}
+            stale = sum(
+                1
+                for key in entries
+                if run_counter - touched.get(key, 0) >= stale_runs
+            )
+            stale_total += stale
+            if kind == "sweeps":
+                for entry in entries.values():
+                    if not isinstance(entry, list) or len(entry) <= _FRONTIER_INDEX:
+                        continue
+                    blob = entry[_FRONTIER_INDEX]
+                    if not isinstance(blob, list) or len(blob) <= _FRONTIER_BOXES_INDEX:
+                        continue
+                    boxes = blob[_FRONTIER_BOXES_INDEX]
+                    if not isinstance(boxes, list):
+                        continue
+                    report.counts["frontiers"] = report.counts.get("frontiers", 0) + 1
+                    report.counts["frontier_boxes"] = (
+                        report.counts.get("frontier_boxes", 0) + len(boxes)
+                    )
+                    if len(boxes) >= _FRONTIER_CAP:
+                        report.counts["frontiers_at_cap"] = (
+                            report.counts.get("frontiers_at_cap", 0) + 1
+                        )
+        report.counts[f"{kind}_shards"] = shard_count
+        report.counts[f"{kind}_entries"] = entry_count
+        if foreign_shards:
+            report.add(
+                "warning",
+                "foreign-fingerprint",
+                f"{foreign_shards} {kind} shard(s) were written under a "
+                "different primitive-registry fingerprint; their entries "
+                "read as misses here",
+            )
+    report.counts["stale_entries"] = stale_total
+    if stale_total:
+        report.add(
+            "info",
+            "stale-entries",
+            f"{stale_total} entries untouched for >= {stale_runs} runs; "
+            f"`repro batch prune --keep-runs {stale_runs}` would drop them",
+        )
+    if report.counts.get("frontiers_at_cap"):
+        report.add(
+            "info",
+            "frontier-cap",
+            f"{report.counts['frontiers_at_cap']} persisted sweep frontier(s) "
+            f"at the {_FRONTIER_CAP}-box persistence cap; deeper budgets "
+            "re-sweep those blocks from scratch",
+        )
+
+    # The legacy single-file store, if one is still awaiting migration.
+    if cache.measures_path.exists():
+        document = _check_envelope(report, cache.measures_path, "legacy measures")
+        if document is not None:
+            entries = _shard_entries(document)
+            report.add(
+                "warning",
+                "legacy-store",
+                f"pre-shard measures.json holds {len(entries)} entries; the "
+                "next writing merge migrates them into the shards",
+                cache.measures_path,
+            )
+
+    # In-flight and orphaned merge intents (lock liveness probes).
+    intents = cache.pending_intents()
+    report.counts["intents"] = len(intents)
+    for path, live in intents:
+        if live:
+            report.add(
+                "info",
+                "live-merge",
+                "a merge currently holds this intent (another process is writing)",
+                path,
+            )
+        else:
+            report.add(
+                "warning",
+                "orphaned-intent",
+                "a merge died mid-way; the next merge or prune replays this "
+                "intent automatically",
+                path,
+            )
+
+    # Quarantine: damage already caught.  Non-empty is an error by design --
+    # an operator should look at (and then delete) what was set aside.
+    quarantined = 0
+    if cache.quarantine_directory.is_dir():
+        for path in sorted(cache.quarantine_directory.iterdir()):
+            if path.name.endswith(".reason"):
+                continue
+            quarantined += 1
+            reason_path = path.with_name(path.name + ".reason")
+            reason = "unknown"
+            if reason_path.exists():
+                try:
+                    reason = reason_path.read_text().strip() or "unknown"
+                except OSError:
+                    pass
+            report.add(
+                "error",
+                "quarantined",
+                f"damaged store file was quarantined ({reason}); inspect and "
+                "delete it to clear this error",
+                path,
+            )
+    report.counts["quarantined"] = quarantined
+
+    return report
+
+
+def write_report_json(report: DoctorReport, path: Union[str, Path]) -> None:
+    """Write the machine-readable report (``--json``)."""
+    Path(path).write_text(json.dumps(report.as_dict(), indent=2, sort_keys=True) + "\n")

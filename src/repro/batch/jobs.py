@@ -194,6 +194,16 @@ class JobResult:
     error: Optional[str]
     """``"ExceptionType: message"`` for failed jobs."""
 
+    error_kind: Optional[str] = None
+    """How a failed job failed -- the retry policy's decision input.
+
+    ``"job-exception"`` means the job itself raised deterministically (the
+    same inputs will raise again, so retrying is pointless); ``"worker-died"``,
+    ``"timeout"`` and ``"os-error"`` are environmental failures the
+    supervised runner treats as transient and retries with backoff.
+    ``None`` for successful jobs.
+    """
+
     elapsed_ms: float = 0.0
     cached: bool = False
     stats: Optional[Dict[str, int]] = None
@@ -211,6 +221,7 @@ class JobResult:
             "status": self.status,
             "result": self.payload,
             "error": self.error,
+            "error_kind": self.error_kind,
         }
 
     def to_json_line(self) -> str:
@@ -231,6 +242,7 @@ class JobResult:
             status=data["status"],
             payload=data["result"],
             error=data["error"],
+            error_kind=data.get("error_kind"),
             elapsed_ms=float(data.get("elapsed_ms", 0.0)),
             cached=True,
             stats=data.get("stats"),
@@ -260,14 +272,17 @@ def run_job(spec: JobSpec, engine: Optional[MeasureEngine] = None) -> JobResult:
             status="error",
             payload=None,
             error=f"{type(exc).__name__}: {exc}",
+            error_kind="job-exception",
         )
     before = engine.stats.as_dict()
     started = time.perf_counter()
+    error_kind = None
     try:
         payload = _execute(spec, engine)
         status, error = "ok", None
     except Exception as exc:
         payload, status, error = None, "error", f"{type(exc).__name__}: {exc}"
+        error_kind = "job-exception"
     elapsed_ms = (time.perf_counter() - started) * 1000
     after = engine.stats.as_dict()
     delta = {name: after[name] - before.get(name, 0) for name in after}
@@ -277,6 +292,7 @@ def run_job(spec: JobSpec, engine: Optional[MeasureEngine] = None) -> JobResult:
         status=status,
         payload=payload,
         error=error,
+        error_kind=error_kind,
         elapsed_ms=elapsed_ms,
         cached=False,
         stats=delta,

@@ -12,6 +12,7 @@ Monte-Carlo estimator, over programs written in the surface syntax of
     python -m repro table1 --schedule 20,35,50
     python -m repro table2
     python -m repro batch --suite all --jobs 4 --cache-dir .repro-cache --output results.jsonl
+    python -m repro doctor --cache-dir .repro-cache
     python -m repro list-programs
 
 Anytime mode: ``--schedule d1,d2,...`` runs the lower-bound analyses as one
@@ -45,6 +46,13 @@ The evaluation commands (``table1``, ``table2``, ``report``) and the generic
 analyses out across worker processes and ``--cache-dir`` persists both
 finished job results and measure-engine entries across runs, so re-running
 an unchanged batch is near-instant and bit-identical.
+
+Worker pools are supervised: ``--job-timeout`` bounds each job's wall
+clock, transient failures (a dead worker, a timeout) are retried with
+exponential backoff (``--max-retries`` / ``--retry-backoff``), and the
+persistent store checksums every file, quarantining damage instead of
+silently missing.  ``python -m repro doctor --cache-dir ...`` reports store
+health and exits non-zero on damage.
 """
 
 from __future__ import annotations
@@ -62,9 +70,10 @@ from repro.astcheck.exectree import render_tree
 from repro.batch import (
     BatchCache,
     JobResult,
+    RetryPolicy,
     load_job_file,
-    read_result_keys,
     run_batch,
+    scan_results_jsonl,
     suite,
     write_results_jsonl,
 )
@@ -294,6 +303,40 @@ def _print_batch_stats(
     _print_perf_stats(arguments, engine.stats if engine is not None else report.stats)
 
 
+def _job_timeout(arguments: argparse.Namespace) -> Optional[float]:
+    return getattr(arguments, "job_timeout", None)
+
+
+def _batch_engine(
+    arguments: argparse.Namespace, jobs: int
+) -> Optional[MeasureEngine]:
+    """The shared inline engine, or ``None`` when a supervised pool will run.
+
+    A ``--job-timeout`` forces pool execution even for ``--jobs 1`` (an
+    inline job cannot be interrupted), in which case the CLI must report the
+    batch's *merged* counters rather than an engine that never ran anything.
+    Non-default engine flags always run inline and need their engine.
+    """
+    if _nondefault_engine_flags(arguments):
+        return _measure_engine(arguments)
+    if jobs <= 1 and _job_timeout(arguments) is None:
+        return _measure_engine(arguments)
+    return None
+
+
+def _retry_policy(arguments: argparse.Namespace) -> Optional[RetryPolicy]:
+    """The retry policy the fault-tolerance flags select (None = defaults)."""
+    max_retries = getattr(arguments, "max_retries", None)
+    backoff = getattr(arguments, "retry_backoff", None)
+    if max_retries is None and backoff is None:
+        return None
+    defaults = RetryPolicy()
+    return RetryPolicy(
+        max_retries=defaults.max_retries if max_retries is None else max_retries,
+        backoff_seconds=defaults.backoff_seconds if backoff is None else backoff,
+    )
+
+
 def _command_table1(arguments: argparse.Namespace) -> int:
     if _target_gap_without_schedule(arguments):
         return 2
@@ -301,14 +344,19 @@ def _command_table1(arguments: argparse.Namespace) -> int:
     from repro.batch.suites import schedule_suite, table1_suite
 
     jobs = _batch_jobs(arguments)
-    engine = _measure_engine(arguments) if jobs <= 1 else None
+    engine = _batch_engine(arguments, jobs)
     schedule = getattr(arguments, "schedule", None)
     if schedule:
         specs = schedule_suite(schedule, target_gap=arguments.target_gap)
     else:
         specs = table1_suite(depth=arguments.depth)
     report = run_batch(
-        specs, jobs=jobs, cache=_batch_cache(arguments), engine=engine
+        specs,
+        jobs=jobs,
+        cache=_batch_cache(arguments),
+        engine=engine,
+        job_timeout=_job_timeout(arguments),
+        retry_policy=_retry_policy(arguments),
     )
     print(f"{'term':16s} {'LB':>14s} {'paths':>7s} {'depth':>6s} {'time':>9s}")
     for result in report.results:
@@ -349,9 +397,14 @@ def _command_table2(arguments: argparse.Namespace) -> int:
     from repro.batch.suites import table2_suite
 
     jobs = _batch_jobs(arguments)
-    engine = _measure_engine(arguments) if jobs <= 1 else None
+    engine = _batch_engine(arguments, jobs)
     report = run_batch(
-        table2_suite(), jobs=jobs, cache=_batch_cache(arguments), engine=engine
+        table2_suite(),
+        jobs=jobs,
+        cache=_batch_cache(arguments),
+        engine=engine,
+        job_timeout=_job_timeout(arguments),
+        retry_policy=_retry_policy(arguments),
     )
     print(f"{'term':18s} {'verified':>9s}  Papprox")
     for result in report.results:
@@ -397,7 +450,7 @@ def _command_report(arguments: argparse.Namespace) -> int:
     from repro.geometry.stats import PerfStats
 
     jobs = _batch_jobs(arguments)
-    engine = _measure_engine(arguments) if jobs <= 1 else None
+    engine = _batch_engine(arguments, jobs)
     sink = PerfStats() if engine is None else None
     print(
         full_report(
@@ -430,6 +483,20 @@ def _command_batch_prune(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _command_doctor(arguments: argparse.Namespace) -> int:
+    """``python -m repro doctor --cache-dir ...``: store health checks."""
+    from repro.batch.doctor import diagnose, write_report_json
+
+    if arguments.stale_runs < 1:
+        print("doctor: --stale-runs must be at least 1", file=sys.stderr)
+        return 2
+    report = diagnose(arguments.cache_dir, stale_runs=arguments.stale_runs)
+    print(report.summary())
+    if arguments.json:
+        write_report_json(report, arguments.json)
+    return report.exit_code
+
+
 def _command_batch(arguments: argparse.Namespace) -> int:
     if arguments.job_file == "prune":
         return _command_batch_prune(arguments)
@@ -457,7 +524,15 @@ def _command_batch(arguments: argparse.Namespace) -> int:
         if not arguments.output:
             print("batch: --resume requires --output", file=sys.stderr)
             return 2
-        done_keys = read_result_keys(arguments.output)
+        scan = scan_results_jsonl(arguments.output)
+        if scan.corrupt_lines:
+            print(
+                f"batch: --resume skipped {scan.corrupt_lines} corrupt "
+                f"line(s) out of {scan.total_lines} in {arguments.output}; "
+                "their jobs will re-run",
+                file=sys.stderr,
+            )
+        done_keys = scan.ok_keys
         if done_keys:
             append = True
 
@@ -470,7 +545,7 @@ def _command_batch(arguments: argparse.Namespace) -> int:
             specs = [spec for spec in specs if not_done(spec)]
 
     jobs = _batch_jobs(arguments, default=os.cpu_count() or 1)
-    engine = _measure_engine(arguments) if jobs <= 1 else None
+    engine = _batch_engine(arguments, jobs)
     emit_jsonl_to_stdout = arguments.output is None
     status_stream = sys.stderr if emit_jsonl_to_stdout else sys.stdout
 
@@ -491,6 +566,8 @@ def _command_batch(arguments: argparse.Namespace) -> int:
         cache=_batch_cache(arguments),
         engine=engine,
         progress=progress,
+        job_timeout=_job_timeout(arguments),
+        retry_policy=_retry_policy(arguments),
     )
     if arguments.output:
         write_results_jsonl(arguments.output, report.results, append=append)
@@ -515,6 +592,33 @@ def _add_batch_flags(subparser: argparse.ArgumentParser) -> None:
         "--cache-dir",
         default=None,
         help="persist job results and measure entries here, across runs",
+    )
+
+
+def _add_fault_flags(subparser: argparse.ArgumentParser) -> None:
+    """Fault-tolerance flags of the supervised pool (batch/table1/table2)."""
+    subparser.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per job; an overdue job's worker is killed "
+        "and the job retried (forces pool execution even with --jobs 1)",
+    )
+    subparser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        help="re-submissions per job after transient failures -- worker "
+        "death, timeout, OS error (default: 2; deterministic job "
+        "exceptions are never retried)",
+    )
+    subparser.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="base of the exponential retry backoff (default: 0.05)",
     )
 
 
@@ -640,12 +744,14 @@ def build_parser() -> argparse.ArgumentParser:
     table1.add_argument("--depth", type=int, default=50)
     _add_measure_flags(table1)
     _add_batch_flags(table1)
+    _add_fault_flags(table1)
     _add_schedule_flags(table1)
     table1.set_defaults(handler=_command_table1)
 
     table2 = subparsers.add_parser("table2", help="regenerate Table 2 (AST verification)")
     _add_measure_flags(table2)
     _add_batch_flags(table2)
+    _add_fault_flags(table2)
     table2.set_defaults(handler=_command_table2)
 
     batch = subparsers.add_parser(
@@ -699,8 +805,34 @@ def build_parser() -> argparse.ArgumentParser:
         "this many runs (default: 20)",
     )
     _add_measure_flags(batch)
+    _add_fault_flags(batch)
     _add_schedule_flags(batch)
     batch.set_defaults(handler=_command_batch)
+
+    doctor = subparsers.add_parser(
+        "doctor",
+        help="read-only health checks over a batch cache directory "
+        "(exit 1 on damage or a non-empty quarantine)",
+    )
+    doctor.add_argument(
+        "--cache-dir",
+        required=True,
+        help="the batch cache directory to diagnose",
+    )
+    doctor.add_argument(
+        "--stale-runs",
+        type=int,
+        default=20,
+        help="report entries untouched for this many runs as stale "
+        "(default: 20, matching 'batch prune')",
+    )
+    doctor.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="additionally write the machine-readable report to PATH",
+    )
+    doctor.set_defaults(handler=_command_doctor)
 
     list_programs = subparsers.add_parser("list-programs", help="list the built-in programs")
     list_programs.set_defaults(handler=_command_list_programs)

@@ -118,6 +118,24 @@ class PerfStats:
     polytope_calls: int = 0
     """Invocations of the floating-point polytope volume oracle."""
 
+    retries: int = 0
+    """Transient job failures (worker death, timeout, OSError) the supervised
+    batch runner re-submitted instead of surfacing as final errors."""
+
+    timeouts: int = 0
+    """Jobs that exceeded the per-job wall-clock budget (``--job-timeout``)."""
+
+    worker_restarts: int = 0
+    """Worker-pool resurrections after a worker death or a hung job."""
+
+    quarantined_shards: int = 0
+    """Damaged store files moved to ``<cache-dir>/quarantine/``.
+
+    Counts every file the persistent store refused to read -- torn JSON,
+    checksum mismatches -- and set aside for inspection instead of silently
+    treating as a cache miss.
+    """
+
     _HIGH_WATER_MARKS = ("sweep_heap_peak", "frontier_peak")
 
     def merge(self, other: "PerfStats") -> None:
@@ -166,5 +184,9 @@ class PerfStats:
                 f"paths resumed         : {self.paths_resumed}",
                 f"frontier peak         : {self.frontier_peak}",
                 f"polytope invocations  : {self.polytope_calls}",
+                f"job retries           : {self.retries}",
+                f"job timeouts          : {self.timeouts}",
+                f"worker restarts       : {self.worker_restarts}",
+                f"quarantined files     : {self.quarantined_shards}",
             ]
         )

@@ -278,7 +278,7 @@ class TestMeasureShards:
         cache.measures_path.write_text(
             json.dumps(
                 {
-                    "version": CACHE_VERSION,
+                    "version": 1,  # the pre-checksum legacy envelope
                     "fingerprint": engine.registry_fingerprint(),
                     "entries": legacy,
                 }
@@ -292,7 +292,7 @@ class TestMeasureShards:
         cache.measures_path.write_text(
             json.dumps(
                 {
-                    "version": CACHE_VERSION,
+                    "version": 1,  # the pre-checksum legacy envelope
                     "fingerprint": engine.registry_fingerprint(),
                     "entries": {"legacy-key": self._entry("2/3")},
                 }
@@ -314,7 +314,7 @@ class TestMeasureShards:
         cache.measures_path.write_text(
             json.dumps(
                 {
-                    "version": CACHE_VERSION,
+                    "version": 1,  # the pre-checksum legacy envelope
                     "fingerprint": engine.registry_fingerprint(),
                     "entries": {"shared-key": self._entry("2/3")},
                 }
@@ -335,7 +335,7 @@ class TestMeasureShards:
         cache.measures_path.write_text(
             json.dumps(
                 {
-                    "version": CACHE_VERSION,
+                    "version": 1,  # the pre-checksum legacy envelope
                     "fingerprint": cold.registry_fingerprint(),
                     "entries": cold.export_cache_entries(),
                 }
