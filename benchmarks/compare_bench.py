@@ -29,6 +29,12 @@ Usage::
     python benchmarks/compare_bench.py              # compare, exit 1 on fail
     python benchmarks/compare_bench.py --update     # bless current numbers
     python benchmarks/compare_bench.py --gate-wallclock --tolerance 0.25
+    python benchmarks/compare_bench.py --history    # trajectory across commits
+
+``--history`` walks the git history of the committed baselines and renders
+one row per blessing commit with the headline metric of every bench file,
+so the *trajectory* (did the speedups keep improving release over release?)
+is visible at a glance, not just the latest two points.
 
 The markdown trajectory table goes to stdout and, when the
 ``GITHUB_STEP_SUMMARY`` environment variable is set (as it is in GitHub
@@ -42,6 +48,7 @@ import json
 import math
 import os
 import shutil
+import subprocess
 import sys
 from dataclasses import dataclass
 from pathlib import Path
@@ -463,6 +470,100 @@ def update_baselines(baseline_dir: Path, current_dir: Path) -> int:
     return 0
 
 
+# One headline scalar per bench file for the --history trajectory table.
+HISTORY_METRICS = (
+    ("BENCH_papprox.json", "aggregate_block_speedup", "papprox block speedup"),
+    ("BENCH_batch.json", "warm_ratio", "batch warm/cold ratio"),
+    ("BENCH_sweep.json", "aggregate_box_reduction", "sweep box reduction"),
+    ("BENCH_anytime.json", "aggregate_step_reduction", "anytime step reduction"),
+)
+
+
+def _git(*args: str) -> Optional[str]:
+    try:
+        completed = subprocess.run(
+            ["git", *args],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=30,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    return completed.stdout if completed.returncode == 0 else None
+
+
+def baseline_history(baseline_dir: Path, limit: int) -> List[dict]:
+    """One row per commit that touched the baselines, oldest first.
+
+    Each row is ``{"commit", "date", "subject", <metric label>: value...}``;
+    a metric a revision did not record simply stays absent from its row.
+    """
+    try:
+        relative = baseline_dir.resolve().relative_to(REPO_ROOT)
+    except ValueError:
+        return []
+    listing = _git(
+        "log", f"-{limit}", "--format=%h%x09%cs%x09%s", "--", str(relative)
+    )
+    if not listing:
+        return []
+    rows = []
+    for line in listing.splitlines():
+        commit, _, rest = line.partition("\t")
+        date, _, subject = rest.partition("\t")
+        row = {"commit": commit, "date": date, "subject": subject}
+        for filename, key, label in HISTORY_METRICS:
+            blob = _git("show", f"{commit}:{relative}/{filename}")
+            if blob is None:
+                continue
+            try:
+                document = json.loads(blob)
+            except ValueError:
+                continue
+            value = _number(document.get(key)) if isinstance(document, dict) else None
+            if value is not None:
+                row[label] = value
+        rows.append(row)
+    rows.reverse()  # git log is newest-first; a trajectory reads oldest-first
+    return rows
+
+
+def render_history(rows: List[dict]) -> str:
+    labels = [label for _, _, label in HISTORY_METRICS]
+    lines = [
+        "## Perf trajectory history",
+        "",
+        "| commit | date | " + " | ".join(labels) + " |",
+        "| --- | --- | " + " | ".join("---:" for _ in labels) + " |",
+    ]
+    for row in rows:
+        cells = [_format(row.get(label)) for label in labels]
+        lines.append(f"| {row['commit']} | {row['date']} | " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def history_main(baseline_dir: Path, limit: int) -> int:
+    rows = baseline_history(baseline_dir, limit)
+    if not rows:
+        print(
+            "no baseline history found (not a git checkout, or the baselines "
+            "are outside the repository)",
+            file=sys.stderr,
+        )
+        return 1
+    table = render_history(rows)
+    print(table)
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        try:
+            with open(summary_path, "a") as stream:
+                stream.write(table + "\n")
+        except OSError as error:
+            print(f"could not append to GITHUB_STEP_SUMMARY: {error}", file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -485,10 +586,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--update", action="store_true",
         help="copy the current BENCH_*.json files over the baselines and exit",
     )
+    parser.add_argument(
+        "--history", action="store_true",
+        help="render the committed baselines' trajectory across git history "
+        "instead of comparing fresh results",
+    )
+    parser.add_argument(
+        "--history-limit", type=int, default=20,
+        help="how many baseline-touching commits --history walks (default 20)",
+    )
     arguments = parser.parse_args(argv)
 
     if arguments.update:
         return update_baselines(arguments.baseline_dir, arguments.current_dir)
+    if arguments.history:
+        return history_main(arguments.baseline_dir, arguments.history_limit)
 
     metrics = collect_metrics(arguments.baseline_dir, arguments.current_dir)
     table = render_table(metrics, arguments.tolerance, arguments.gate_wallclock)

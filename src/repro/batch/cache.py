@@ -71,6 +71,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
+import repro.telemetry as telemetry
 from repro.batch.faults import active_plan
 from repro.batch.jobs import JobResult
 from repro.geometry.engine import MeasureEngine
@@ -284,6 +285,7 @@ class BatchCache:
         except OSError:
             return
         self.quarantined.append((destination, reason))
+        telemetry.emit("quarantine", path=destination.name, reason=reason)
         _LOGGER.warning(
             "quarantined damaged store file %s (%s)", path.name, reason
         )
@@ -483,6 +485,12 @@ class BatchCache:
                         run,
                         touched_by_shard.get(prefix, set()),
                     )
+        telemetry.emit(
+            "store-merge",
+            kind=kind,
+            written=len(new_entries),
+            touched=len(touched_keys),
+        )
         return len(new_entries)
 
     def _merge_shard(

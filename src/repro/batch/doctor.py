@@ -40,7 +40,7 @@ from repro.batch.cache import (
 from repro.geometry import engine as _engine_module
 from repro.geometry.engine import MeasureEngine
 
-__all__ = ["DoctorReport", "Finding", "diagnose"]
+__all__ = ["DoctorReport", "Finding", "check_trace", "diagnose"]
 
 _LEVELS = ("info", "warning", "error")
 
@@ -122,6 +122,8 @@ class DoctorReport:
             ("frontiers at cap", "frontiers_at_cap"),
             ("merge intents", "intents"),
             ("quarantined files", "quarantined"),
+            ("trace events", "trace_events"),
+            ("trace open spans", "trace_open_spans"),
         ):
             if key in self.counts:
                 lines.append(f"{label:<17s}: {self.counts[key]}")
@@ -352,6 +354,83 @@ def diagnose(
     report.counts["quarantined"] = quarantined
 
     return report
+
+
+def check_trace(report: DoctorReport, path: Union[str, Path]) -> None:
+    """Read-only health checks over one telemetry trace file (``--trace``).
+
+    Severity follows the writer's durability contract: a *torn final line*
+    is exactly what a killed process legitimately leaves behind, so it is a
+    warning (reported, never failed), as are unbalanced spans (a worker kill
+    interrupts whatever span was open).  Corrupt lines anywhere *else*, an
+    unknown schema version, or schema-invalid events mean the file was
+    damaged after writing -- errors.
+    """
+    from repro.telemetry.analyze import read_trace
+    from repro.telemetry.events import SCHEMA_VERSION
+
+    path = Path(path)
+    try:
+        accumulator = read_trace(path)
+    except OSError:
+        report.add("error", "missing-trace", "trace file cannot be read", path)
+        return
+    report.counts["trace_events"] = accumulator.events
+    report.counts["trace_open_spans"] = len(accumulator.open_spans)
+    unknown = sorted(
+        version
+        for version in accumulator.schema_versions
+        if version != SCHEMA_VERSION
+    )
+    if unknown:
+        report.add(
+            "error",
+            "unknown-trace-schema",
+            f"trace holds schema version(s) {unknown}; this reader knows "
+            f"only version {SCHEMA_VERSION}",
+            path,
+        )
+    if accumulator.invalid_events:
+        report.add(
+            "error",
+            "invalid-trace-event",
+            f"{len(accumulator.invalid_events)} schema-invalid event(s); "
+            f"first: {accumulator.invalid_events[0]}",
+            path,
+        )
+    if accumulator.corrupt_lines:
+        report.add(
+            "error",
+            "corrupt-trace-line",
+            f"{accumulator.corrupt_lines} unparseable non-final line(s); "
+            "the file was damaged after writing",
+            path,
+        )
+    if accumulator.torn_tail:
+        report.add(
+            "warning",
+            "torn-trace-tail",
+            "the final line is torn (a process died mid-write); every "
+            "trace reader tolerates this by design",
+            path,
+        )
+    if accumulator.open_spans or accumulator.unmatched_span_ends:
+        report.add(
+            "warning",
+            "unbalanced-spans",
+            f"{len(accumulator.open_spans)} span(s) never closed, "
+            f"{accumulator.unmatched_span_ends} span-end(s) without a start "
+            "(expected after worker kills)",
+            path,
+        )
+    if not accumulator.ended:
+        report.add(
+            "warning",
+            "no-trace-end",
+            "no orderly trace-end from the root process (the run is still "
+            "going, or it died)",
+            path,
+        )
 
 
 def write_report_json(report: DoctorReport, path: Union[str, Path]) -> None:

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
+import repro.telemetry as telemetry
 from repro.geometry.engine import MeasureEngine
 from repro.programs import resolve_program
 from repro.programs.library import Program
@@ -277,15 +278,34 @@ def run_job(spec: JobSpec, engine: Optional[MeasureEngine] = None) -> JobResult:
     before = engine.stats.as_dict()
     started = time.perf_counter()
     error_kind = None
+    writer = telemetry.active()
+    if writer is not None:
+        # Sticky context: every span/event the analysis emits while this job
+        # runs carries the program it belongs to.
+        writer.set_context(program=spec.program, analysis=spec.analysis)
     try:
-        payload = _execute(spec, engine)
-        status, error = "ok", None
-    except Exception as exc:
-        payload, status, error = None, "error", f"{type(exc).__name__}: {exc}"
-        error_kind = "job-exception"
+        try:
+            payload = _execute(spec, engine)
+            status, error = "ok", None
+        except Exception as exc:
+            payload, status, error = None, "error", f"{type(exc).__name__}: {exc}"
+            error_kind = "job-exception"
+    finally:
+        if writer is not None:
+            writer.set_context(program=None, analysis=None)
     elapsed_ms = (time.perf_counter() - started) * 1000
     after = engine.stats.as_dict()
-    delta = {name: after[name] - before.get(name, 0) for name in after}
+    # High-water marks report the engine's absolute peak, not a per-job
+    # difference: a worker engine shared across jobs telescopes differences
+    # into nonsense, whereas absolute peaks merge exactly (by max) no matter
+    # how the scheduler spread the jobs over workers.
+    high_water = engine.stats.high_water_marks()
+    delta = {
+        name: after[name]
+        if name in high_water
+        else after[name] - before.get(name, 0)
+        for name in after
+    }
     return JobResult(
         spec=spec,
         key=key,

@@ -69,6 +69,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Union
 
+import repro.telemetry as telemetry
 from repro.batch.cache import BatchCache
 from repro.batch.faults import active_plan
 from repro.batch.jobs import JobResult, JobSpec, run_job
@@ -148,6 +149,13 @@ class BatchReport:
     quarantined_shards: int = 0
     """Damaged store files quarantined while this batch ran."""
 
+    corrupt_result_lines: int = 0
+    """Unparseable lines found in the output file's pre-run scan.
+
+    Filled by the CLI whenever the results file is scanned (not just under
+    ``--resume``), so a torn results file is always visible in the footer.
+    """
+
     @property
     def error_count(self) -> int:
         return sum(1 for result in self.results if not result.ok)
@@ -178,6 +186,11 @@ class BatchReport:
             )
         if self.quarantined_shards:
             lines.append(f"quarantined files: {self.quarantined_shards}")
+        if self.corrupt_result_lines:
+            lines.append(
+                f"corrupt results  : {self.corrupt_result_lines} unparseable "
+                "line(s) in the existing output file"
+            )
         lines.append(f"wall time        : {self.elapsed_seconds:.2f} s")
         return "\n".join(lines)
 
@@ -220,6 +233,7 @@ def _worker_init(
 ) -> None:
     """Build this worker's engine, pre-seeded from the persistent cache."""
     global _WORKER_ENGINE
+    telemetry.init_worker_from_env()
     _WORKER_ENGINE = MeasureEngine()
     if measure_entries:
         _WORKER_ENGINE.import_cache_entries(measure_entries)
@@ -231,6 +245,9 @@ def _worker_run(indexed_spec):
     """Run one job in a worker; ship back the new measure and sweep entries
     plus the persistent keys the job was answered from (GC touch stamps)."""
     index, spec = indexed_spec
+    telemetry.emit(
+        "job-started", job=index, program=spec.program, analysis=spec.analysis
+    )
     plan = active_plan()
     if plan is not None:  # fault injection: die or hang before the job runs
         plan.on_job_start(index)
@@ -277,6 +294,14 @@ def run_batch(
     def note(result: JobResult) -> None:
         nonlocal completed
         completed += 1
+        telemetry.emit(
+            "job-completed",
+            program=result.spec.program,
+            analysis=result.spec.analysis,
+            status=result.status,
+            cached=result.cached,
+            elapsed_ms=round(result.elapsed_ms, 3),
+        )
         if progress is not None:
             progress(result, completed, total)
 
@@ -304,6 +329,12 @@ def run_batch(
             hits += 1
             note(cached)
         else:
+            telemetry.emit(
+                "job-scheduled",
+                job=index,
+                program=spec.program,
+                analysis=spec.analysis,
+            )
             pending.append(index)
 
     merged_stats = PerfStats()
@@ -461,6 +492,16 @@ def _run_pool(
         context = multiprocessing.get_context("fork")
     max_workers = min(jobs, len(pending)) or 1
 
+    # Arm tracing for the pool: workers find the supervisor's trace path in
+    # the environment (survives fork and spawn alike) and write their own
+    # ``<path>.worker-<pid>`` side files, folded back in deterministically
+    # once the pool is done.
+    trace_writer = telemetry.active()
+    trace_base = str(trace_writer.path) if trace_writer is not None else None
+    previous_trace_env = os.environ.get(telemetry.ENV_VAR)
+    if trace_base is not None:
+        os.environ[telemetry.ENV_VAR] = trace_base
+
     def make_pool() -> ProcessPoolExecutor:
         # Rebuilt pools are seeded with everything collected so far, so work
         # finished before a crash is never recomputed by its replacement.
@@ -503,7 +544,15 @@ def _run_pool(
         attempts += 1
         if kind in _TRANSIENT_KINDS and attempts <= policy.max_retries:
             counters.retries += 1
-            ready = time.monotonic() + policy.delay(attempts, rng)
+            delay = policy.delay(attempts, rng)
+            telemetry.emit(
+                "job-retried",
+                job=index,
+                attempts=attempts,
+                kind=kind,
+                delay=round(delay, 4),
+            )
+            ready = time.monotonic() + delay
             heapq.heappush(retry_heap, (ready, index, attempts))
         else:
             finalize_error(index, kind, message)
@@ -567,6 +616,7 @@ def _run_pool(
                             f"{type(exc).__name__}: {exc}",
                         )
                 counters.worker_restarts += 1
+                telemetry.emit("worker-restart", reason="worker-died")
                 pool.shutdown(wait=False, cancel_futures=True)
                 pool = make_pool()
                 continue
@@ -586,7 +636,12 @@ def _run_pool(
             # its innocent neighbours become orphans and are resubmitted
             # without one.
             counters.timeouts += len(timed_out)
+            for future in timed_out:
+                telemetry.emit(
+                    "job-timeout", job=in_flight[future][0], budget=job_timeout
+                )
             counters.worker_restarts += 1
+            telemetry.emit("worker-restart", reason="hung-job")
             _terminate_pool(pool)
             for future, (index, attempts, _deadline) in list(in_flight.items()):
                 del in_flight[future]
@@ -617,6 +672,12 @@ def _run_pool(
             pool = make_pool()
     finally:
         pool.shutdown(wait=False, cancel_futures=True)
+        if trace_base is not None:
+            if previous_trace_env is None:
+                os.environ.pop(telemetry.ENV_VAR, None)
+            else:
+                os.environ[telemetry.ENV_VAR] = previous_trace_env
+            telemetry.merge_worker_traces(trace_base)
 
     if counters.retries or counters.worker_restarts:
         _LOGGER.warning(
@@ -715,6 +776,13 @@ def scan_results_jsonl(path: Union[str, Path]) -> ResultScan:
                     scan.error_keys.add(key)
     except OSError:
         return scan
+    if scan.corrupt_lines:
+        telemetry.emit(
+            "warning",
+            code="corrupt-results-line",
+            count=scan.corrupt_lines,
+            path=str(path),
+        )
     return scan
 
 

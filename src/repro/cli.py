@@ -53,6 +53,14 @@ exponential backoff (``--max-retries`` / ``--retry-backoff``), and the
 persistent store checksums every file, quarantining damage instead of
 silently missing.  ``python -m repro doctor --cache-dir ...`` reports store
 health and exits non-zero on damage.
+
+Telemetry: every measuring command accepts ``--trace PATH``, streaming a
+versioned JSONL event log (spans, anytime bounds, job lifecycle, recovery
+events) to PATH while the run computes *exactly* the same results --
+tracing never perturbs outputs.  ``python -m repro trace summarize PATH``
+renders a finished trace (``--check-stats-json`` cross-checks its recovery
+events against a ``--stats-json`` dump); ``python -m repro trace watch
+PATH`` follows a live one.  ``doctor --trace PATH`` validates the file.
 """
 
 from __future__ import annotations
@@ -65,6 +73,7 @@ import time
 from fractions import Fraction
 from typing import Optional, Sequence, Tuple
 
+import repro.telemetry as telemetry
 from repro.astcheck import verify_ast
 from repro.astcheck.exectree import render_tree
 from repro.batch import (
@@ -158,6 +167,9 @@ def _write_stats_json(arguments: argparse.Namespace, stats) -> None:
 
 
 def _print_perf_stats(arguments: argparse.Namespace, stats) -> None:
+    # Every measuring command ends here, so an armed trace always closes
+    # with one final counters snapshot (the summarizer's hit-rate source).
+    telemetry.emit_counters(stats)
     if getattr(arguments, "stats", False):
         print("measure engine statistics:")
         for line in stats.summary().splitlines():
@@ -173,6 +185,7 @@ def _command_lower_bound(arguments: argparse.Namespace) -> int:
     if _target_gap_without_schedule(arguments):
         return 2
     program = _resolve_program(arguments.program)
+    telemetry.set_context(program=arguments.program)
     strategy = Strategy.CBV if arguments.cbv else program.strategy
     measure_engine = _measure_engine(arguments)
     engine = LowerBoundEngine(strategy=strategy, measure_engine=measure_engine)
@@ -215,6 +228,7 @@ def _command_lower_bound(arguments: argparse.Namespace) -> int:
 
 def _command_verify(arguments: argparse.Namespace) -> int:
     program = _resolve_program(arguments.program)
+    telemetry.set_context(program=arguments.program)
     engine = _measure_engine(arguments)
     start = time.perf_counter()
     result = verify_ast(program, engine=engine)
@@ -429,6 +443,7 @@ def _command_list_programs(arguments: argparse.Namespace) -> int:
 
 def _command_classify(arguments: argparse.Namespace) -> int:
     program = _resolve_program(arguments.program)
+    telemetry.set_context(program=arguments.program)
     engine = _measure_engine(arguments)
     start = time.perf_counter()
     classification = classify_termination(program, engine=engine)
@@ -484,17 +499,71 @@ def _command_batch_prune(arguments: argparse.Namespace) -> int:
 
 
 def _command_doctor(arguments: argparse.Namespace) -> int:
-    """``python -m repro doctor --cache-dir ...``: store health checks."""
-    from repro.batch.doctor import diagnose, write_report_json
+    """``python -m repro doctor``: store and/or trace health checks."""
+    from repro.batch.doctor import DoctorReport, check_trace, diagnose, write_report_json
 
     if arguments.stale_runs < 1:
         print("doctor: --stale-runs must be at least 1", file=sys.stderr)
         return 2
-    report = diagnose(arguments.cache_dir, stale_runs=arguments.stale_runs)
+    if not arguments.cache_dir and not arguments.trace:
+        print("doctor: provide --cache-dir and/or --trace", file=sys.stderr)
+        return 2
+    if arguments.cache_dir:
+        report = diagnose(arguments.cache_dir, stale_runs=arguments.stale_runs)
+    else:
+        report = DoctorReport(directory="(none)")
+    if arguments.trace:
+        check_trace(report, arguments.trace)
     print(report.summary())
     if arguments.json:
         write_report_json(report, arguments.json)
     return report.exit_code
+
+
+def _command_trace_summarize(arguments: argparse.Namespace) -> int:
+    """``python -m repro trace summarize PATH [--check-stats-json STATS]``."""
+    from repro.telemetry.analyze import read_trace, render_summary
+
+    try:
+        accumulator = read_trace(arguments.trace_path)
+    except OSError as error:
+        print(
+            f"trace summarize: cannot read {arguments.trace_path}: {error}",
+            file=sys.stderr,
+        )
+        return 2
+    stats_counters = None
+    if arguments.check_stats_json:
+        try:
+            with open(arguments.check_stats_json) as stream:
+                stats_counters = json.load(stream).get("counters", {})
+        except (OSError, ValueError) as error:
+            print(
+                f"trace summarize: cannot read --check-stats-json "
+                f"{arguments.check_stats_json}: {error}",
+                file=sys.stderr,
+            )
+            return 2
+    text, exit_code = render_summary(
+        accumulator, arguments.trace_path, stats_counters
+    )
+    print(text)
+    return exit_code
+
+
+def _command_trace_watch(arguments: argparse.Namespace) -> int:
+    """``python -m repro trace watch PATH``: follow a live trace."""
+    from repro.telemetry.watch import watch
+
+    if arguments.interval <= 0:
+        print("trace watch: --interval must be positive", file=sys.stderr)
+        return 2
+    return watch(
+        arguments.trace_path,
+        interval=arguments.interval,
+        once=arguments.once,
+        max_idle=arguments.max_idle,
+    )
 
 
 def _command_batch(arguments: argparse.Namespace) -> int:
@@ -520,19 +589,24 @@ def _command_batch(arguments: argparse.Namespace) -> int:
         return 2
 
     append = False
-    if arguments.resume:
-        if not arguments.output:
-            print("batch: --resume requires --output", file=sys.stderr)
-            return 2
+    if arguments.resume and not arguments.output:
+        print("batch: --resume requires --output", file=sys.stderr)
+        return 2
+    # The existing output file is scanned whether or not this is a resume:
+    # a torn results file should be loudly visible, not only when the
+    # operator happens to pass --resume.
+    scan = None
+    if arguments.output and os.path.exists(arguments.output):
         scan = scan_results_jsonl(arguments.output)
         if scan.corrupt_lines:
             print(
-                f"batch: --resume skipped {scan.corrupt_lines} corrupt "
-                f"line(s) out of {scan.total_lines} in {arguments.output}; "
-                "their jobs will re-run",
+                f"batch: found {scan.corrupt_lines} corrupt line(s) out of "
+                f"{scan.total_lines} in {arguments.output}"
+                + ("; their jobs will re-run" if arguments.resume else ""),
                 file=sys.stderr,
             )
-        done_keys = scan.ok_keys
+    if arguments.resume:
+        done_keys = scan.ok_keys if scan is not None else set()
         if done_keys:
             append = True
 
@@ -569,6 +643,8 @@ def _command_batch(arguments: argparse.Namespace) -> int:
         job_timeout=_job_timeout(arguments),
         retry_policy=_retry_policy(arguments),
     )
+    if scan is not None:
+        report.corrupt_result_lines = scan.corrupt_lines
     if arguments.output:
         write_results_jsonl(arguments.output, report.results, append=append)
         print(f"results          : {arguments.output}", file=status_stream)
@@ -674,6 +750,16 @@ def _add_measure_flags(subparser: argparse.ArgumentParser) -> None:
         help="write the measure engine's performance counters to PATH as "
         "JSON (machine-readable companion of --stats)",
     )
+    subparser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="stream a structured telemetry trace (JSONL events: spans, "
+        "anytime bounds, job lifecycle, recovery) to PATH; results are "
+        "byte-identical with or without it -- see 'repro trace'",
+    )
+    # Only measuring commands *write* a trace; doctor's --trace reads one.
+    subparser.set_defaults(_trace_arms_telemetry=True)
 
 
 def _add_schedule_flags(subparser: argparse.ArgumentParser) -> None:
@@ -816,8 +902,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     doctor.add_argument(
         "--cache-dir",
-        required=True,
+        default=None,
         help="the batch cache directory to diagnose",
+    )
+    doctor.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="additionally validate a telemetry trace file: schema version, "
+        "corrupt lines, span balance (a torn final line is reported, "
+        "not failed)",
     )
     doctor.add_argument(
         "--stale-runs",
@@ -833,6 +927,55 @@ def build_parser() -> argparse.ArgumentParser:
         help="additionally write the machine-readable report to PATH",
     )
     doctor.set_defaults(handler=_command_doctor)
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="inspect or follow a telemetry trace written by --trace",
+    )
+    trace_commands = trace.add_subparsers(dest="trace_command", required=True)
+    summarize = trace_commands.add_parser(
+        "summarize",
+        help="render a finished trace: per-phase wall time, hit rates, "
+        "hottest programs, anytime bounds, recovery-event totals "
+        "(exit 1 on schema damage or a --check-stats-json mismatch)",
+    )
+    summarize.add_argument("trace_path", help="the trace JSONL file to read")
+    summarize.add_argument(
+        "--check-stats-json",
+        default=None,
+        metavar="PATH",
+        help="cross-check the trace's recovery events (retries, timeouts, "
+        "worker restarts, quarantines) against this --stats-json dump; "
+        "any mismatch fails the summary",
+    )
+    summarize.set_defaults(handler=_command_trace_summarize)
+    watch = trace_commands.add_parser(
+        "watch",
+        help="tail a live trace: anytime bounds converging per program, "
+        "job progress, recovery events",
+    )
+    watch.add_argument("trace_path", help="the trace JSONL file to follow")
+    watch.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="seconds between refreshes (default: 1.0)",
+    )
+    watch.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single snapshot of the current trace state and exit",
+    )
+    watch.add_argument(
+        "--max-idle",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="give up after this many seconds without new events "
+        "(default: follow until the trace ends)",
+    )
+    watch.set_defaults(handler=_command_trace_watch)
 
     list_programs = subparsers.add_parser("list-programs", help="list the built-in programs")
     list_programs.set_defaults(handler=_command_list_programs)
@@ -859,7 +1002,19 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     arguments = parser.parse_args(argv)
-    return arguments.handler(arguments)
+    trace_path = (
+        getattr(arguments, "trace", None)
+        if getattr(arguments, "_trace_arms_telemetry", False)
+        else None
+    )
+    if trace_path:
+        command = " ".join(sys.argv[1:] if argv is None else list(argv))
+        telemetry.start(trace_path, command=command)
+    try:
+        return arguments.handler(arguments)
+    finally:
+        if trace_path:
+            telemetry.stop()
 
 
 if __name__ == "__main__":

@@ -60,6 +60,7 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
+import repro.telemetry as telemetry
 from repro.geometry.linear import halfspace_from_constraint
 from repro.geometry.measure import MeasureOptions, MeasureResult, measure_constraints
 from repro.geometry.stats import PerfStats
@@ -238,7 +239,8 @@ class MeasureEngine:
             return result
         sweep_blocks = self._sweep_decompose(canonical, argument)
         if sweep_blocks is not None:
-            result = self._measure_sweep_blocks(sweep_blocks)
+            with telemetry.span("block", blocks=len(sweep_blocks), dim=dimension):
+                result = self._measure_sweep_blocks(sweep_blocks)
             if self.cache_enabled:
                 # Like the affine product above: memoized under the full-set
                 # key, persisted only as per-block sweep entries.
@@ -258,14 +260,26 @@ class MeasureEngine:
         self, canonical: ConstraintSet, dimension: int, argument: Optional[Interval]
     ) -> MeasureResult:
         self.stats.measure_calls += 1
-        return measure_constraints(
-            canonical,
-            dimension,
-            options=self.options,
-            registry=self.registry,
-            argument=argument,
-            stats=self.stats,
+        writer = telemetry.active()
+        token = (
+            writer.begin(
+                "measure", constraints=len(canonical.constraints), dim=dimension
+            )
+            if writer is not None
+            else None
         )
+        try:
+            return measure_constraints(
+                canonical,
+                dimension,
+                options=self.options,
+                registry=self.registry,
+                argument=argument,
+                stats=self.stats,
+            )
+        finally:
+            if token is not None:
+                writer.end(token)
 
     # -- block decomposition ---------------------------------------------------
 
@@ -515,6 +529,7 @@ class MeasureEngine:
             resume = self._find_sweep_resume(block, dimension)
             if resume is not None:
                 self.stats.sweep_warm_starts += 1
+                telemetry.emit("sweep-warm-start", resumed_depth=resume.max_depth)
             result = self._run_block_sweep(block, dimension, resume=resume)
         self._sweep_cache[key] = result
         self._sweep_unexported.append((key, block, dimension))
@@ -566,17 +581,36 @@ class MeasureEngine:
             and options.sweep_target_gap == 0
             and options.sweep_max_boxes is None
         )
-        return sweep_measure(
-            block,
-            dimension,
-            max_depth=options.sweep_depth,
-            registry=self.registry,
-            stats=self.stats,
-            target_gap=options.sweep_target_gap,
-            max_boxes=options.sweep_max_boxes,
-            resume=resume,
-            collect_frontier=depth_budget_only,
+        writer = telemetry.active()
+        token = (
+            writer.begin(
+                "sweep",
+                constraints=len(block.constraints),
+                dim=dimension,
+                depth=options.sweep_depth,
+                resumed=resume is not None,
+            )
+            if writer is not None
+            else None
         )
+        boxes_before = self.stats.sweep_boxes_examined
+        try:
+            return sweep_measure(
+                block,
+                dimension,
+                max_depth=options.sweep_depth,
+                registry=self.registry,
+                stats=self.stats,
+                target_gap=options.sweep_target_gap,
+                max_boxes=options.sweep_max_boxes,
+                resume=resume,
+                collect_frontier=depth_budget_only,
+            )
+        finally:
+            if token is not None:
+                writer.end(
+                    token, boxes=self.stats.sweep_boxes_examined - boxes_before
+                )
 
     # -- the complement rule ---------------------------------------------------
 

@@ -11,39 +11,58 @@ so it can run in CI without flakiness.
 A single :class:`PerfStats` instance is owned by a
 :class:`repro.geometry.engine.MeasureEngine` and threaded through the sweep
 and polytope oracles; the CLI's ``--stats`` flag prints :meth:`PerfStats.summary`.
+
+Each field carries its presentation and merge semantics as dataclass field
+metadata:
+
+* ``label``   -- the human name used by :meth:`summary` and by the telemetry
+  counter reports (``repro trace summarize``), so the printed table and the
+  event stream can never drift from the field list;
+* ``merge``   -- ``"sum"`` for running totals (the default), ``"max"`` for
+  high-water marks, which :meth:`merge` combines by maximum across workers;
+* ``rate_of`` -- optional: render this counter with a percentage of the
+  named sibling field (the cache hit rate).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
+from dataclasses import dataclass, field, fields
+from typing import Dict, Tuple
+
+
+def _counter(label: str, merge: str = "sum", rate_of: str = None) -> int:
+    metadata = {"label": label, "merge": merge}
+    if rate_of is not None:
+        metadata["rate_of"] = rate_of
+    return field(default=0, metadata=metadata)
 
 
 @dataclass
 class PerfStats:
     """Counters describing the geometric work done by a measure engine."""
 
-    measure_requests: int = 0
+    measure_requests: int = _counter("measure requests")
     """Requests made to :meth:`MeasureEngine.measure` (hits included)."""
 
-    measure_calls: int = 0
+    measure_calls: int = _counter("measure calls")
     """Actual invocations of :func:`measure_constraints` (cache misses)."""
 
-    cache_hits: int = 0
+    cache_hits: int = _counter("cache hits", rate_of="measure_requests")
     """Requests answered from the memo table."""
 
-    persistent_hits: int = 0
+    persistent_hits: int = _counter("persistent cache hits")
     """Requests answered from an imported (cross-process) persistent cache."""
 
-    complement_derivations: int = 0
+    complement_derivations: int = _counter("complement derivations")
     """Requests answered exactly via the complement rule (no measuring)."""
 
-    block_requests: int = 0
+    block_requests: int = _counter("block requests")
     """Per-block measure lookups made by the decomposed path (hits included)."""
 
-    block_cache_hits: int = 0
+    block_cache_hits: int = _counter("block cache hits")
     """Block lookups answered from the block-level memo table."""
 
-    block_computations: int = 0
+    block_computations: int = _counter("block computations")
     """Base (innermost) block measure computations actually performed.
 
     Incremented by :func:`repro.geometry.measure.measure_constraints` once per
@@ -52,16 +71,16 @@ class PerfStats:
     counter compares like for like across engine configurations.
     """
 
-    multi_block_sets: int = 0
+    multi_block_sets: int = _counter("multi-block sets")
     """Decomposed full-set computations that split into >= 2 blocks."""
 
-    sweep_boxes_examined: int = 0
+    sweep_boxes_examined: int = _counter("sweep boxes examined")
     """Boxes popped by the certified subdivision sweep."""
 
-    sweep_evaluations_saved: int = 0
+    sweep_evaluations_saved: int = _counter("sweep evals saved")
     """Per-constraint ``box_status`` evaluations skipped by sweep pruning."""
 
-    sweep_blocks: int = 0
+    sweep_blocks: int = _counter("sweep blocks")
     """Base per-block subdivision sweeps actually performed.
 
     The block-sweep path of the measure engine sweeps each renumbered
@@ -70,17 +89,17 @@ class PerfStats:
     a warm rerun of a sweep-heavy suite reports 0 here.
     """
 
-    sweep_early_exits: int = 0
+    sweep_early_exits: int = _counter("sweep early exits")
     """Sweeps stopped early by the ``target_gap`` / ``max_boxes`` budget."""
 
-    sweep_heap_peak: int = 0
+    sweep_heap_peak: int = _counter("sweep heap peak", merge="max")
     """Largest refinement frontier held by any single adaptive sweep.
 
     Unlike every other counter this is a high-water mark, not a total:
     :meth:`merge` takes the maximum instead of the sum.
     """
 
-    sweep_warm_starts: int = 0
+    sweep_warm_starts: int = _counter("sweep warm starts")
     """Base block sweeps resumed from a shallower budget's persisted frontier.
 
     A warm-started sweep refines only the undecided boxes the shallower
@@ -88,7 +107,7 @@ class PerfStats:
     bounds are bit-identical to a from-scratch sweep at the deeper budget.
     """
 
-    symbolic_steps: int = 0
+    symbolic_steps: int = _counter("symbolic steps")
     """Symbolic reduction steps executed by path exploration.
 
     Each step of :class:`repro.symbolic.execute.SymbolicStepper` performed
@@ -98,7 +117,7 @@ class PerfStats:
     gates against from-scratch re-exploration.
     """
 
-    paths_resumed: int = 0
+    paths_resumed: int = _counter("paths resumed")
     """Suspended exploration configurations resumed by a deeper budget.
 
     Counts the configurations an :class:`~repro.symbolic.execute.ExplorationSession`
@@ -106,7 +125,7 @@ class PerfStats:
     root (each one represents a whole re-execution avoided).
     """
 
-    frontier_peak: int = 0
+    frontier_peak: int = _counter("frontier peak", merge="max")
     """Largest exploration frontier held by any session (high-water mark).
 
     The number of *live* configurations -- suspended paths a deeper budget
@@ -115,20 +134,20 @@ class PerfStats:
     merges by maximum, not by sum.
     """
 
-    polytope_calls: int = 0
+    polytope_calls: int = _counter("polytope invocations")
     """Invocations of the floating-point polytope volume oracle."""
 
-    retries: int = 0
+    retries: int = _counter("job retries")
     """Transient job failures (worker death, timeout, OSError) the supervised
     batch runner re-submitted instead of surfacing as final errors."""
 
-    timeouts: int = 0
+    timeouts: int = _counter("job timeouts")
     """Jobs that exceeded the per-job wall-clock budget (``--job-timeout``)."""
 
-    worker_restarts: int = 0
+    worker_restarts: int = _counter("worker restarts")
     """Worker-pool resurrections after a worker death or a hung job."""
 
-    quarantined_shards: int = 0
+    quarantined_shards: int = _counter("quarantined files")
     """Damaged store files moved to ``<cache-dir>/quarantine/``.
 
     Counts every file the persistent store refused to read -- torn JSON,
@@ -136,57 +155,59 @@ class PerfStats:
     treating as a cache miss.
     """
 
-    _HIGH_WATER_MARKS = ("sweep_heap_peak", "frontier_peak")
+    @classmethod
+    def field_labels(cls) -> Dict[str, str]:
+        """Field name -> human label, straight from the field metadata."""
+        return {f.name: f.metadata["label"] for f in fields(cls)}
+
+    @classmethod
+    def high_water_marks(cls) -> Tuple[str, ...]:
+        """The fields that merge by maximum instead of summing."""
+        return tuple(f.name for f in fields(cls) if f.metadata["merge"] == "max")
+
+    # Kept as a property for backward compatibility with callers that read
+    # the old class attribute; the field metadata is the source of truth.
+    @property
+    def _HIGH_WATER_MARKS(self) -> Tuple[str, ...]:  # noqa: N802
+        return self.high_water_marks()
 
     def merge(self, other: "PerfStats") -> None:
         """Add another instance's counters into this one.
 
-        ``sweep_heap_peak`` and ``frontier_peak`` are high-water marks and
-        merge by maximum; every other field is a running total and merges by
-        addition.
+        Fields whose metadata says ``merge: "max"`` (the high-water marks
+        ``sweep_heap_peak`` and ``frontier_peak``) combine by maximum; every
+        other field is a running total and merges by addition.
         """
-        for field in fields(self):
-            ours, theirs = getattr(self, field.name), getattr(other, field.name)
-            if field.name in self._HIGH_WATER_MARKS:
-                setattr(self, field.name, max(ours, theirs))
+        for spec in fields(self):
+            ours, theirs = getattr(self, spec.name), getattr(other, spec.name)
+            if spec.metadata["merge"] == "max":
+                setattr(self, spec.name, max(ours, theirs))
             else:
-                setattr(self, field.name, ours + theirs)
+                setattr(self, spec.name, ours + theirs)
 
     def reset(self) -> None:
-        for field in fields(self):
-            setattr(self, field.name, 0)
+        for spec in fields(self):
+            setattr(self, spec.name, 0)
 
     def as_dict(self) -> dict:
-        return {field.name: getattr(self, field.name) for field in fields(self)}
+        return {spec.name: getattr(self, spec.name) for spec in fields(self)}
 
     def summary(self) -> str:
-        """A short human-readable report (printed by the CLI's ``--stats``)."""
-        requests = self.measure_requests
-        hit_rate = (self.cache_hits / requests * 100) if requests else 0.0
-        return "\n".join(
-            [
-                f"measure requests      : {self.measure_requests}",
-                f"measure calls         : {self.measure_calls}",
-                f"cache hits            : {self.cache_hits} ({hit_rate:.1f}%)",
-                f"persistent cache hits : {self.persistent_hits}",
-                f"complement derivations: {self.complement_derivations}",
-                f"block requests        : {self.block_requests}",
-                f"block cache hits      : {self.block_cache_hits}",
-                f"block computations    : {self.block_computations}",
-                f"multi-block sets      : {self.multi_block_sets}",
-                f"sweep boxes examined  : {self.sweep_boxes_examined}",
-                f"sweep evals saved     : {self.sweep_evaluations_saved}",
-                f"sweep blocks          : {self.sweep_blocks}",
-                f"sweep early exits     : {self.sweep_early_exits}",
-                f"sweep heap peak       : {self.sweep_heap_peak}",
-                f"sweep warm starts     : {self.sweep_warm_starts}",
-                f"symbolic steps        : {self.symbolic_steps}",
-                f"paths resumed         : {self.paths_resumed}",
-                f"frontier peak         : {self.frontier_peak}",
-                f"polytope invocations  : {self.polytope_calls}",
-                f"job retries           : {self.retries}",
-                f"job timeouts          : {self.timeouts}",
-                f"worker restarts       : {self.worker_restarts}",
-                f"quarantined files     : {self.quarantined_shards}",
-            ]
-        )
+        """A short human-readable report (printed by the CLI's ``--stats``).
+
+        Rendered entirely from the field metadata, so a new counter shows up
+        here (and in ``repro trace summarize``) the moment it is declared.
+        """
+        specs = fields(self)
+        pad = max(len(spec.metadata["label"]) for spec in specs)
+        lines = []
+        for spec in specs:
+            value = getattr(self, spec.name)
+            rendered = f"{spec.metadata['label']:<{pad}}: {value}"
+            rate_of = spec.metadata.get("rate_of")
+            if rate_of is not None:
+                denominator = getattr(self, rate_of)
+                rate = (value / denominator * 100) if denominator else 0.0
+                rendered += f" ({rate:.1f}%)"
+            lines.append(rendered)
+        return "\n".join(lines)

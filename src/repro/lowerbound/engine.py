@@ -27,6 +27,7 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Iterable, Iterator, Optional, Union
 
+import repro.telemetry as telemetry
 from repro.geometry.engine import MeasureEngine
 from repro.geometry.measure import MeasureOptions
 from repro.lowerbound.result import LowerBoundResult, PathMeasure
@@ -99,7 +100,7 @@ class LowerBoundSession:
             probability = probability + measure.value
             expected_steps = expected_steps + measure.value * path.steps
             exact = exact and measure.exact
-        return LowerBoundResult(
+        result = LowerBoundResult(
             probability=probability,
             expected_steps=expected_steps,
             paths=tuple(measured),
@@ -108,6 +109,18 @@ class LowerBoundSession:
             exact_measures=exact,
             measure_gap=measure_gap,
         )
+        if telemetry.enabled():
+            # One event per scheduled depth makes the anytime convergence
+            # replayable: [lower, gap] as of this budget, per program.
+            telemetry.emit(
+                "anytime-bound",
+                depth=max_steps,
+                lower=float(probability),
+                gap=float(result.anytime_gap()),
+                paths=len(measured),
+                exhaustive=exploration.complete,
+            )
+        return result
 
     def run_schedule(
         self,

@@ -39,6 +39,7 @@ import heapq
 from dataclasses import dataclass
 from typing import List, Optional, Tuple, Union
 
+import repro.telemetry as telemetry
 from repro.spcf.primitives import PrimitiveRegistry, default_registry
 from repro.spcf.syntax import (
     App,
@@ -431,6 +432,10 @@ class ExplorationSession:
                 f"after {self._max_steps}"
             )
         self._max_steps = max_steps
+        writer = telemetry.active()
+        token = (
+            writer.begin("explore", budget=max_steps) if writer is not None else None
+        )
         stats = self.stats
         heap = self._nodes
         heapq.heapify(heap)  # kept sorted between extends; heapify is then O(n)
@@ -506,6 +511,8 @@ class ExplorationSession:
             stats.frontier_peak = peak
         result = ExplorationResult(tuple(terminated), unfinished, stuck, exhausted)
         self._last_result = result
+        if token is not None:
+            writer.end(token, terminated=len(terminated), frontier=live)
         return result
 
     def extend_until(

@@ -1,0 +1,55 @@
+"""Structured telemetry: a versioned, append-only JSONL event stream.
+
+Instrumentation sites import this package and call the module-level helpers
+(:func:`emit`, :func:`span`, :func:`active`, ...); all of them reduce to a
+single ``None`` check when no trace is armed, so telemetry is zero-cost when
+off and can never perturb analysis results.
+
+The reader side (``repro.telemetry.analyze``, ``repro.telemetry.watch``) is
+imported lazily by the CLI -- this package root stays import-light because
+every analysis module pulls it in.
+"""
+
+from repro.telemetry.events import (
+    ENV_VAR,
+    EVENT_KINDS,
+    RECOVERY_EVENTS,
+    SCHEMA_VERSION,
+    WORKER_SUFFIX,
+    validate_event,
+)
+from repro.telemetry.writer import (
+    TelemetryWriter,
+    active,
+    emit,
+    emit_counters,
+    enabled,
+    init_worker_from_env,
+    merge_worker_traces,
+    set_context,
+    span,
+    start,
+    stop,
+    worker_trace_path,
+)
+
+__all__ = [
+    "ENV_VAR",
+    "EVENT_KINDS",
+    "RECOVERY_EVENTS",
+    "SCHEMA_VERSION",
+    "WORKER_SUFFIX",
+    "TelemetryWriter",
+    "active",
+    "emit",
+    "emit_counters",
+    "enabled",
+    "init_worker_from_env",
+    "merge_worker_traces",
+    "set_context",
+    "span",
+    "start",
+    "stop",
+    "validate_event",
+    "worker_trace_path",
+]

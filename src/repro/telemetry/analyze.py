@@ -1,0 +1,323 @@
+"""Reading traces back: validation, accumulation, summaries, reconciliation.
+
+The reader side of the telemetry stream is a single-pass accumulator
+(:class:`TraceAccumulator`) shared by three consumers:
+
+* ``python -m repro trace summarize`` -- per-phase wall time, hit rates,
+  hottest programs, recovery-event totals (optionally cross-checked against
+  a ``--stats-json`` dump);
+* ``python -m repro trace watch`` -- feeds the same accumulator
+  incrementally as a live trace grows;
+* ``python -m repro doctor --trace`` -- schema validation, torn-line and
+  span-balance findings.
+
+Every reader tolerates a torn final line (the crash-safety contract of the
+writer) by *counting* it; corrupt lines elsewhere in the file are real
+damage and reported as such.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.telemetry.events import RECOVERY_EVENTS, SCHEMA_VERSION, validate_event
+
+__all__ = [
+    "TraceAccumulator",
+    "read_trace",
+    "reconcile_counters",
+    "render_summary",
+]
+
+
+@dataclass
+class _SpanTotal:
+    count: int = 0
+    total_seconds: float = 0.0
+
+
+@dataclass
+class TraceAccumulator:
+    """Everything one pass (or a growing tail) of a trace has established."""
+
+    events: int = 0
+    corrupt_lines: int = 0
+    torn_tail: bool = False
+    invalid_events: List[str] = field(default_factory=list)
+    schema_versions: set = field(default_factory=set)
+    event_counts: Dict[str, int] = field(default_factory=dict)
+    command: Optional[str] = None
+    root_pid: Optional[int] = None
+    wall_seconds: float = 0.0
+    """Largest ``t`` seen from the root (first-writing) process."""
+
+    ended: bool = False
+    """Whether the root process wrote its orderly ``trace-end``."""
+
+    span_totals: Dict[str, _SpanTotal] = field(default_factory=dict)
+    open_spans: Dict[Tuple[int, int], str] = field(default_factory=dict)
+    unmatched_span_ends: int = 0
+    counters: Optional[Dict[str, int]] = None
+    """The most recent ``counters`` snapshot (the final one after a full read)."""
+
+    program_ms: Dict[str, float] = field(default_factory=dict)
+    anytime: Dict[str, List[dict]] = field(default_factory=dict)
+    """Per program: the sequence of anytime-bound events, in arrival order."""
+
+    jobs_scheduled: int = 0
+    jobs_started: int = 0
+    jobs_completed: int = 0
+    jobs_cached: int = 0
+    jobs_errored: int = 0
+    recovery: Dict[str, int] = field(
+        default_factory=lambda: {kind: 0 for kind in RECOVERY_EVENTS}
+    )
+    warnings: List[dict] = field(default_factory=list)
+
+    def feed_line(self, line: str, is_final: bool, complete: bool) -> None:
+        """Account one raw line; ``complete`` means it ended with a newline."""
+        line = line.strip()
+        if not line:
+            return
+        try:
+            record = json.loads(line)
+        except ValueError:
+            record = None
+        if not isinstance(record, dict):
+            if is_final and not complete:
+                self.torn_tail = True
+            else:
+                self.corrupt_lines += 1
+            return
+        problem = validate_event(record)
+        if problem is not None:
+            if isinstance(record.get("v"), int):
+                self.schema_versions.add(record["v"])
+            self.invalid_events.append(problem)
+            return
+        self.feed_event(record)
+
+    def feed_event(self, record: dict) -> None:
+        self.events += 1
+        self.schema_versions.add(record["v"])
+        kind = record["ev"]
+        self.event_counts[kind] = self.event_counts.get(kind, 0) + 1
+        pid = record["pid"]
+        if self.root_pid is None:
+            self.root_pid = pid
+            if kind == "trace-start":
+                self.command = record.get("command")
+        if pid == self.root_pid:
+            self.wall_seconds = max(self.wall_seconds, float(record["t"]))
+            if kind == "trace-end":
+                self.ended = True
+        if kind == "span-start":
+            self.open_spans[(pid, record["sid"])] = record["span"]
+        elif kind == "span-end":
+            if self.open_spans.pop((pid, record["sid"]), None) is None:
+                self.unmatched_span_ends += 1
+            total = self.span_totals.setdefault(record["span"], _SpanTotal())
+            total.count += 1
+            total.total_seconds += float(record["dur"])
+        elif kind == "counters":
+            counters = record.get("counters")
+            if isinstance(counters, dict):
+                self.counters = counters
+        elif kind == "anytime-bound":
+            program = record.get("program", "?")
+            self.anytime.setdefault(program, []).append(record)
+        elif kind == "job-scheduled":
+            self.jobs_scheduled += 1
+        elif kind == "job-started":
+            self.jobs_started += 1
+        elif kind == "job-completed":
+            self.jobs_completed += 1
+            if record.get("cached"):
+                self.jobs_cached += 1
+            if record.get("status") != "ok":
+                self.jobs_errored += 1
+            program = record.get("program")
+            elapsed = record.get("elapsed_ms")
+            if isinstance(program, str) and isinstance(elapsed, (int, float)):
+                self.program_ms[program] = self.program_ms.get(program, 0.0) + elapsed
+        elif kind == "warning":
+            self.warnings.append(record)
+        if kind in self.recovery:
+            self.recovery[kind] += 1
+
+
+def read_trace(path: Union[str, Path]) -> TraceAccumulator:
+    """One full pass over a trace file (missing file => ``OSError``)."""
+    accumulator = TraceAccumulator()
+    text = Path(path).read_text()
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+        trailing_newline = True
+    else:
+        trailing_newline = False
+    for position, line in enumerate(lines):
+        is_final = position == len(lines) - 1
+        accumulator.feed_line(line, is_final, complete=not is_final or trailing_newline)
+    return accumulator
+
+
+def reconcile_counters(
+    accumulator: TraceAccumulator, counters: Dict[str, int]
+) -> List[str]:
+    """Mismatches between recovery-event totals and ``--stats-json`` counters.
+
+    An empty list is the acceptance condition: every retry, timeout, worker
+    restart and quarantine the supervisor counted must appear in the stream
+    exactly as many times, and vice versa.
+    """
+    mismatches = []
+    for event_kind, counter_name in RECOVERY_EVENTS.items():
+        from_trace = accumulator.recovery.get(event_kind, 0)
+        from_stats = counters.get(counter_name, 0)
+        if from_trace != from_stats:
+            mismatches.append(
+                f"{event_kind} events: {from_trace} in the trace, but "
+                f"counters[{counter_name!r}] = {from_stats}"
+            )
+    return mismatches
+
+
+def _counter_labels() -> Dict[str, str]:
+    # Deferred: analyze is imported by doctor, which lives below geometry.
+    from repro.geometry.stats import PerfStats
+
+    return PerfStats.field_labels()
+
+
+def render_summary(
+    accumulator: TraceAccumulator,
+    path: Union[str, Path],
+    stats_counters: Optional[Dict[str, int]] = None,
+) -> Tuple[str, int]:
+    """The ``trace summarize`` report and its exit code.
+
+    Exit 1 on structural damage (corrupt non-final lines, unknown schema
+    versions, invalid events) or a recovery-counter mismatch; a torn final
+    line is reported but does not fail.
+    """
+    lines = [f"trace            : {path}"]
+    problems = []
+    versions = sorted(accumulator.schema_versions) or [SCHEMA_VERSION]
+    lines.append(
+        "schema           : "
+        + ", ".join(str(version) for version in versions)
+    )
+    status_bits = [f"{accumulator.events} events"]
+    if accumulator.corrupt_lines:
+        status_bits.append(f"{accumulator.corrupt_lines} corrupt line(s)")
+        problems.append(f"{accumulator.corrupt_lines} corrupt non-final line(s)")
+    if accumulator.torn_tail:
+        status_bits.append("torn final line")
+    if accumulator.invalid_events:
+        status_bits.append(f"{len(accumulator.invalid_events)} invalid event(s)")
+        problems.append(
+            f"{len(accumulator.invalid_events)} schema-invalid event(s): "
+            + accumulator.invalid_events[0]
+        )
+    unknown = [v for v in accumulator.schema_versions if v != SCHEMA_VERSION]
+    if unknown:
+        problems.append(f"unknown schema version(s) {unknown}")
+    lines.append("events           : " + ", ".join(status_bits))
+    if accumulator.command:
+        lines.append(f"command          : {accumulator.command}")
+    lines.append(
+        f"wall time        : {accumulator.wall_seconds:.3f} s "
+        + ("(complete)" if accumulator.ended else "(no trace-end: still running, or died)")
+    )
+
+    if accumulator.span_totals:
+        lines.append("phases:")
+        for name in sorted(
+            accumulator.span_totals,
+            key=lambda n: -accumulator.span_totals[n].total_seconds,
+        ):
+            total = accumulator.span_totals[name]
+            lines.append(
+                f"  {name:<14s} : {total.count:6d} spans, "
+                f"{total.total_seconds:8.3f} s total"
+            )
+        if accumulator.open_spans or accumulator.unmatched_span_ends:
+            lines.append(
+                f"  span balance   : {len(accumulator.open_spans)} never closed, "
+                f"{accumulator.unmatched_span_ends} unmatched end(s)"
+            )
+
+    counters = accumulator.counters
+    if counters:
+        labels = _counter_labels()
+        requests = counters.get("measure_requests", 0)
+        hits = counters.get("cache_hits", 0)
+        rate = (hits / requests * 100) if requests else 0.0
+        lines.append("counters (final snapshot):")
+        lines.append(
+            f"  {labels.get('measure_requests', 'measure requests')} : {requests}"
+        )
+        lines.append(
+            f"  {labels.get('cache_hits', 'cache hits')} : {hits} ({rate:.1f}%)"
+        )
+        for name in ("persistent_hits", "sweep_blocks", "sweep_warm_starts", "symbolic_steps"):
+            if name in counters:
+                lines.append(f"  {labels.get(name, name)} : {counters[name]}")
+
+    if accumulator.jobs_scheduled or accumulator.jobs_completed:
+        lines.append(
+            f"jobs             : {accumulator.jobs_completed} completed "
+            f"({accumulator.jobs_cached} cached, {accumulator.jobs_errored} errors), "
+            f"{accumulator.jobs_scheduled} scheduled, "
+            f"{accumulator.jobs_started} started in workers"
+        )
+
+    if accumulator.program_ms:
+        lines.append("hottest programs :")
+        hottest = sorted(accumulator.program_ms.items(), key=lambda item: -item[1])
+        for program, elapsed in hottest[:5]:
+            lines.append(f"  {program:<20s} {elapsed:9.1f} ms")
+
+    if accumulator.anytime:
+        lines.append("anytime bounds   :")
+        for program in sorted(accumulator.anytime):
+            trajectory = accumulator.anytime[program]
+            last = trajectory[-1]
+            lines.append(
+                f"  {program:<20s} depth {last.get('depth', '?'):>5} : "
+                f"LB {last.get('lower', 0.0):.10f}  "
+                f"gap <= {last.get('gap', 0.0):.3e}  "
+                f"({len(trajectory)} depth(s))"
+            )
+
+    recovery_bits = [
+        f"{count} {kind}" for kind, count in accumulator.recovery.items() if count
+    ]
+    lines.append(
+        "recovery events  : " + (", ".join(recovery_bits) if recovery_bits else "none")
+    )
+    if stats_counters is not None:
+        mismatches = reconcile_counters(accumulator, stats_counters)
+        if mismatches:
+            for mismatch in mismatches:
+                lines.append(f"MISMATCH         : {mismatch}")
+            problems.append(f"{len(mismatches)} recovery counter mismatch(es)")
+        else:
+            lines.append("stats-json check : recovery events reconcile exactly")
+    for warning in accumulator.warnings:
+        code = warning.get("code", "warning")
+        message = warning.get("message", "")
+        lines.append(f"WARNING          : {code} {message}".rstrip())
+    if accumulator.torn_tail:
+        lines.append(
+            "NOTE             : torn final line (a process died mid-write); "
+            "tolerated by design"
+        )
+    lines.append("status           : " + ("PROBLEMS FOUND" if problems else "ok"))
+    for problem in problems:
+        lines.append(f"  problem        : {problem}")
+    return "\n".join(lines), (1 if problems else 0)

@@ -1,0 +1,138 @@
+"""``repro trace watch``: tail a live trace and render convergence.
+
+The watcher keeps one :class:`~repro.telemetry.analyze.TraceAccumulator`
+fed from an incremental tail of the trace file.  Each refresh redraws a
+compact dashboard: per-program anytime bounds (latest ``[lower, gap]`` per
+depth, so you can see the bound converging while the run is still going)
+plus batch job progress and recovery-event totals.
+
+Partial final lines are the normal case on a live file -- the reader holds
+the unterminated fragment back until its newline arrives, so a line is only
+ever parsed (or counted as torn) once it is complete or the file is done
+growing.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.telemetry.analyze import TraceAccumulator
+
+__all__ = ["TraceTail", "render_watch", "watch"]
+
+
+class TraceTail:
+    """An incremental reader that survives a file that is still being written."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.accumulator = TraceAccumulator()
+        self._offset = 0
+        self._fragment = ""
+
+    def poll(self) -> int:
+        """Feed every newly completed line to the accumulator; count them."""
+        try:
+            with open(self.path, "r") as stream:
+                stream.seek(self._offset)
+                chunk = stream.read()
+                self._offset = stream.tell()
+        except OSError:
+            return 0
+        if not chunk:
+            return 0
+        text = self._fragment + chunk
+        lines = text.split("\n")
+        self._fragment = lines.pop()  # "" when the chunk ended on a newline
+        fed = 0
+        for line in lines:
+            self.accumulator.feed_line(line, is_final=False, complete=True)
+            fed += 1
+        return fed
+
+    def flush_fragment(self) -> None:
+        """Account a trailing unterminated fragment (end of a dead trace)."""
+        if self._fragment:
+            self.accumulator.feed_line(self._fragment, is_final=True, complete=False)
+            self._fragment = ""
+
+
+def render_watch(accumulator: TraceAccumulator, path: Union[str, Path]) -> str:
+    status = "finished" if accumulator.ended else "live"
+    lines = [
+        f"watching {path} [{status}] -- "
+        f"{accumulator.events} events, t={accumulator.wall_seconds:.1f}s"
+    ]
+    if accumulator.anytime:
+        lines.append("anytime bounds:")
+        for program in sorted(accumulator.anytime):
+            trajectory = accumulator.anytime[program]
+            last = trajectory[-1]
+            marker = "exhaustive" if last.get("exhaustive") else "converging"
+            lines.append(
+                f"  {program:<20s} depth {last.get('depth', '?'):>5}  "
+                f"LB {last.get('lower', 0.0):.10f}  "
+                f"gap <= {last.get('gap', 0.0):.3e}  [{marker}]"
+            )
+    total = accumulator.jobs_scheduled + accumulator.jobs_cached
+    if total or accumulator.jobs_completed:
+        done = accumulator.jobs_completed
+        denominator = max(total, done, 1)
+        width = 24
+        filled = int(width * min(done, denominator) / denominator)
+        bar = "#" * filled + "-" * (width - filled)
+        lines.append(
+            f"jobs: [{bar}] {done}/{denominator} "
+            f"({accumulator.jobs_cached} cached, {accumulator.jobs_errored} errors)"
+        )
+    recovery_bits = [
+        f"{count} {kind}" for kind, count in accumulator.recovery.items() if count
+    ]
+    if recovery_bits:
+        lines.append("recovery: " + ", ".join(recovery_bits))
+    if accumulator.corrupt_lines or accumulator.torn_tail:
+        lines.append(
+            f"damage: {accumulator.corrupt_lines} corrupt line(s)"
+            + (", torn tail" if accumulator.torn_tail else "")
+        )
+    return "\n".join(lines)
+
+
+def watch(
+    path: Union[str, Path],
+    interval: float = 1.0,
+    once: bool = False,
+    stream=None,
+    max_idle: Optional[float] = None,
+) -> int:
+    """Tail ``path`` until its trace ends (or forever); 0 on a clean exit.
+
+    ``once`` renders a single snapshot of the current file state -- that is
+    also what the tests drive.  ``max_idle`` stops after that many seconds
+    without new events (safety valve for abandoned traces).
+    """
+    stream = stream if stream is not None else sys.stdout
+    tail = TraceTail(path)
+    if not tail.path.exists():
+        print(f"trace watch: no such file: {path}", file=sys.stderr)
+        return 1
+    idle_since = time.monotonic()
+    while True:
+        fed = tail.poll()
+        if fed:
+            idle_since = time.monotonic()
+        if once or tail.accumulator.ended:
+            tail.flush_fragment()
+            print(render_watch(tail.accumulator, path), file=stream)
+            return 0
+        print(render_watch(tail.accumulator, path), file=stream)
+        if max_idle is not None and time.monotonic() - idle_since > max_idle:
+            print(f"trace watch: idle for {max_idle:.0f}s, giving up", file=stream)
+            return 0
+        try:
+            time.sleep(interval)
+        except KeyboardInterrupt:
+            return 0

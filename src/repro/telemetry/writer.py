@@ -1,0 +1,317 @@
+"""The process-wide telemetry writer and its zero-cost-when-off front door.
+
+One :class:`TelemetryWriter` per process owns one trace file.  The module
+keeps the *current* writer in a single global; every instrumentation site in
+the codebase goes through the module-level helpers (:func:`emit`,
+:func:`active`, :func:`span`), which reduce to one ``None`` check when
+tracing is off -- telemetry must never perturb results, so the off path
+carries no locks, no clocks and no allocation.
+
+Durability model: every event is serialized to one complete line and written
+with an immediate flush, so a crashed (or SIGKILLed) process leaves at worst
+one torn final line -- which every reader tolerates.  Nothing is ever
+rewritten: the stream is append-only.
+
+Worker processes do not share the supervisor's file (interleaved writes from
+many processes could tear each other's lines).  Each worker opens its own
+``<trace-path>.worker-<pid>`` side file -- pointed at by the
+:data:`~repro.telemetry.events.ENV_VAR` environment variable -- and the
+batch runner folds the side files into the main trace *deterministically*
+(sorted by filename, line order preserved) once the pool is done, counting
+any torn line instead of propagating it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+from repro.telemetry.events import ENV_VAR, SCHEMA_VERSION, WORKER_SUFFIX
+
+__all__ = [
+    "TelemetryWriter",
+    "active",
+    "emit",
+    "emit_counters",
+    "enabled",
+    "init_worker_from_env",
+    "merge_worker_traces",
+    "set_context",
+    "span",
+    "start",
+    "stop",
+]
+
+
+class TelemetryWriter:
+    """An append-only, crash-safe JSONL event writer for one process."""
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        command: Optional[str] = None,
+        append: bool = False,
+    ) -> None:
+        self.path = Path(path)
+        if self.path.parent != Path(""):
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._stream = open(self.path, "a" if append else "w")
+        self._origin = time.monotonic()
+        self._seq = 0
+        self._next_span = 0
+        self._open_spans = 0
+        self._pid = os.getpid()
+        self._context = {}
+        self._closed = False
+        self.emit("trace-start", schema=SCHEMA_VERSION, command=command)
+
+    # -- the line pump ---------------------------------------------------------
+
+    def emit(self, event: str, **fields) -> None:
+        """Write one event line (reserved fields first, context merged in)."""
+        if self._closed:
+            return
+        record = {
+            "v": SCHEMA_VERSION,
+            "ev": event,
+            "t": round(time.monotonic() - self._origin, 6),
+            "seq": self._seq,
+            "pid": self._pid,
+        }
+        if self._context:
+            record.update(self._context)
+        for name, value in fields.items():
+            if value is not None:
+                record[name] = value
+        self._seq += 1
+        try:
+            self._stream.write(json.dumps(record, sort_keys=False) + "\n")
+            self._stream.flush()
+        except (OSError, ValueError):
+            # A full disk (or a closed stream on interpreter teardown) must
+            # never take the analysis down: tracing degrades, results don't.
+            self._closed = True
+
+    def append_raw(self, line: str) -> None:
+        """Append an already-serialized event line (worker-file merges)."""
+        if self._closed:
+            return
+        try:
+            self._stream.write(line.rstrip("\n") + "\n")
+            self._stream.flush()
+        except (OSError, ValueError):
+            self._closed = True
+
+    # -- spans -----------------------------------------------------------------
+
+    def begin(self, span: str, **fields) -> Tuple[str, int, float]:
+        """Open a span: emits ``span-start`` and returns the token for :meth:`end`."""
+        sid = self._next_span
+        self._next_span += 1
+        self._open_spans += 1
+        self.emit("span-start", span=span, sid=sid, **fields)
+        return (span, sid, time.monotonic())
+
+    def end(self, token: Tuple[str, int, float], **fields) -> None:
+        """Close a span with its monotonic duration plus result attributes."""
+        span, sid, started = token
+        self._open_spans -= 1
+        self.emit(
+            "span-end",
+            span=span,
+            sid=sid,
+            dur=round(time.monotonic() - started, 6),
+            **fields,
+        )
+
+    @contextmanager
+    def span(self, name: str, **fields):
+        token = self.begin(name, **fields)
+        try:
+            yield
+        finally:
+            self.end(token)
+
+    # -- context ---------------------------------------------------------------
+
+    def set_context(self, **fields) -> None:
+        """Merge ``fields`` into every subsequent event (``None`` removes)."""
+        for name, value in fields.items():
+            if value is None:
+                self._context.pop(name, None)
+            else:
+                self._context[name] = value
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self.emit("trace-end", open_spans=self._open_spans)
+        self._closed = True
+        try:
+            self._stream.close()
+        except OSError:
+            pass
+
+
+# -- the process-wide front door ------------------------------------------------
+
+_WRITER: Optional[TelemetryWriter] = None
+
+
+def active() -> Optional[TelemetryWriter]:
+    """The process's current writer, or ``None`` -- the one-check fast path.
+
+    Hot code holds the returned writer in a local: one :func:`active` call
+    per operation, zero everything when tracing is off.
+    """
+    return _WRITER
+
+
+def enabled() -> bool:
+    return _WRITER is not None
+
+
+def start(
+    path: Union[str, Path], command: Optional[str] = None, append: bool = False
+) -> TelemetryWriter:
+    """Open ``path`` as this process's trace (replacing any current writer)."""
+    global _WRITER
+    if _WRITER is not None:
+        _WRITER.close()
+    _WRITER = TelemetryWriter(path, command=command, append=append)
+    return _WRITER
+
+
+def stop() -> None:
+    """Close and detach the current writer (idempotent)."""
+    global _WRITER
+    if _WRITER is not None:
+        _WRITER.close()
+        _WRITER = None
+
+
+def emit(event: str, **fields) -> None:
+    """Emit one event through the current writer; a no-op when tracing is off."""
+    writer = _WRITER
+    if writer is not None:
+        writer.emit(event, **fields)
+
+
+def emit_counters(stats) -> None:
+    """Snapshot a :class:`~repro.geometry.stats.PerfStats` into the stream."""
+    writer = _WRITER
+    if writer is not None:
+        writer.emit("counters", counters=stats.as_dict())
+
+
+def set_context(**fields) -> None:
+    """Set (or, with ``None``, clear) sticky event fields; no-op when off."""
+    writer = _WRITER
+    if writer is not None:
+        writer.set_context(**fields)
+
+
+@contextmanager
+def span(name: str, **fields):
+    """A span context manager that collapses to nothing when tracing is off."""
+    writer = _WRITER
+    if writer is None:
+        yield
+        return
+    with writer.span(name, **fields):
+        yield
+
+
+# -- worker plumbing -------------------------------------------------------------
+
+
+def worker_trace_path(base: Union[str, Path], pid: Optional[int] = None) -> Path:
+    base = Path(base)
+    pid = os.getpid() if pid is None else pid
+    return base.with_name(base.name + f"{WORKER_SUFFIX}{pid}")
+
+
+def init_worker_from_env() -> Optional[TelemetryWriter]:
+    """Open this worker's side trace if the supervisor armed ``REPRO_TRACE``.
+
+    Called from the pool initializer.  Append mode: a pool rebuilt after a
+    crash can (rarely) hand a recycled pid a fresh worker, which must extend
+    -- not clobber -- the earlier side file.
+    """
+    base = os.environ.get(ENV_VAR)
+    if not base:
+        return None
+    try:
+        return start(worker_trace_path(base), command="worker", append=True)
+    except OSError:
+        return None
+
+
+def merge_worker_traces(base: Union[str, Path]) -> Tuple[int, int]:
+    """Fold every ``<base>.worker-*`` side file into the main trace.
+
+    Side files are consumed in sorted filename order with line order
+    preserved, so the merged trace is deterministic for a given set of
+    worker writes.  Only complete, parseable lines are copied; torn or
+    corrupt lines are counted and surfaced as a ``warning`` event.  Each
+    consumed file is recorded as a ``trace-merged`` event and removed.
+
+    Returns ``(events merged, torn lines dropped)``.
+    """
+    base = Path(base)
+    writer = _WRITER if _WRITER is not None and _WRITER.path == base else None
+    merged_total = 0
+    torn_total = 0
+    sink = None
+    try:
+        for side in sorted(base.parent.glob(base.name + WORKER_SUFFIX + "*")):
+            merged = 0
+            torn = 0
+            try:
+                text = side.read_text()
+            except OSError:
+                continue
+            for line in text.splitlines():
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    torn += 1
+                    continue
+                if not isinstance(record, dict):
+                    torn += 1
+                    continue
+                if writer is not None:
+                    writer.append_raw(line)
+                else:
+                    if sink is None:
+                        sink = open(base, "a")
+                    sink.write(line + "\n")
+                merged += 1
+            merged_total += merged
+            torn_total += torn
+            if writer is not None:
+                writer.emit("trace-merged", source=side.name, events=merged, torn=torn)
+            try:
+                side.unlink()
+            except OSError:
+                pass
+    finally:
+        if sink is not None:
+            sink.close()
+    if torn_total and writer is not None:
+        writer.emit(
+            "warning",
+            code="torn-worker-lines",
+            count=torn_total,
+            message="dropped torn lines while merging worker trace files",
+        )
+    return merged_total, torn_total

@@ -236,3 +236,35 @@ class TestSweepTrajectory:
 
         _edit(current_dir / "BENCH_sweep.json", drop)
         assert _run(current_dir) == 1
+
+
+class TestHistory:
+    def test_history_renders_one_row_per_blessing_commit(self, capsys, monkeypatch):
+        monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)
+        exit_code = compare_bench.main(
+            ["--history", "--baseline-dir", str(BASELINE_DIR)]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Perf trajectory history" in out
+        assert "papprox block speedup" in out
+        # At least the committed baselines' own blessing commit must appear.
+        assert len([line for line in out.splitlines() if line.startswith("| ")]) >= 3
+
+    def test_history_rows_read_oldest_first(self):
+        rows = compare_bench.baseline_history(BASELINE_DIR, limit=20)
+        assert rows, "the committed baselines must have git history"
+        dates = [row["date"] for row in rows]
+        assert dates == sorted(dates)
+
+    def test_history_outside_a_checkout_fails_loudly(self, tmp_path, capsys):
+        exit_code = compare_bench.main(
+            ["--history", "--baseline-dir", str(tmp_path)]
+        )
+        err = capsys.readouterr().err
+        assert exit_code == 1
+        assert "no baseline history" in err
+
+    def test_history_limit_caps_the_walk(self):
+        rows = compare_bench.baseline_history(BASELINE_DIR, limit=1)
+        assert len(rows) == 1

@@ -1,0 +1,470 @@
+"""Tests for the telemetry event stream: writer, readers, CLI, aggregation."""
+
+import io
+import json
+
+from repro.batch import JobSpec, run_job
+from repro.cli import main
+from repro.geometry.engine import MeasureEngine
+from repro.geometry.stats import PerfStats
+from repro.telemetry import (
+    SCHEMA_VERSION,
+    TelemetryWriter,
+    merge_worker_traces,
+    validate_event,
+    worker_trace_path,
+)
+from repro.telemetry.analyze import read_trace, reconcile_counters, render_summary
+from repro.telemetry.watch import TraceTail, watch
+
+
+def read_events(path):
+    return [json.loads(line) for line in path.read_text().splitlines() if line]
+
+
+class TestWriter:
+    def test_stream_brackets_with_trace_start_and_end(self, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        writer = TelemetryWriter(trace, command="unit test")
+        writer.emit("warning", code="demo")
+        writer.close()
+        events = read_events(trace)
+        assert [event["ev"] for event in events] == ["trace-start", "warning", "trace-end"]
+        assert events[0]["schema"] == SCHEMA_VERSION
+        assert events[0]["command"] == "unit test"
+        assert events[-1]["open_spans"] == 0
+        assert [event["seq"] for event in events] == [0, 1, 2]
+
+    def test_every_event_is_schema_valid(self, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        writer = TelemetryWriter(trace)
+        with writer.span("measure", dim=2):
+            writer.emit("counters", counters=PerfStats().as_dict())
+        writer.close()
+        for event in read_events(trace):
+            assert validate_event(event) is None
+
+    def test_span_pairs_share_a_sid_and_the_end_carries_a_duration(self, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        writer = TelemetryWriter(trace)
+        token = writer.begin("sweep", depth=10)
+        writer.end(token, boxes=5)
+        writer.close()
+        start, end = [e for e in read_events(trace) if e["ev"].startswith("span-")]
+        assert start["sid"] == end["sid"]
+        assert start["depth"] == 10
+        assert end["boxes"] == 5
+        assert end["dur"] >= 0
+
+    def test_context_is_sticky_until_cleared_with_none(self, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        writer = TelemetryWriter(trace)
+        writer.set_context(program="geo(1/2)")
+        writer.emit("warning", code="inside")
+        writer.set_context(program=None)
+        writer.emit("warning", code="outside")
+        writer.close()
+        inside, outside = [e for e in read_events(trace) if e["ev"] == "warning"]
+        assert inside["program"] == "geo(1/2)"
+        assert "program" not in outside
+
+    def test_none_valued_fields_are_dropped(self, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        writer = TelemetryWriter(trace)
+        writer.emit("warning", code="demo", path=None)
+        writer.close()
+        (warning,) = [e for e in read_events(trace) if e["ev"] == "warning"]
+        assert "path" not in warning
+
+
+class TestValidateEvent:
+    def base(self, **overrides):
+        record = {"v": SCHEMA_VERSION, "ev": "warning", "t": 0.0, "seq": 0, "pid": 1}
+        record.update(overrides)
+        return record
+
+    def test_valid_event_with_extra_fields(self):
+        assert validate_event(self.base(code="x", whatever=[1, 2])) is None
+
+    def test_non_object_rejected(self):
+        assert validate_event([1, 2]) is not None
+
+    def test_unknown_schema_version_rejected(self):
+        assert "schema version" in validate_event(self.base(v=99))
+
+    def test_unknown_event_kind_rejected(self):
+        assert "unknown event kind" in validate_event(self.base(ev="frobnicate"))
+
+    def test_span_end_requires_a_duration(self):
+        record = self.base(ev="span-end", span="measure", sid=0)
+        assert "dur" in validate_event(record)
+
+    def test_span_events_require_a_sid(self):
+        record = self.base(ev="span-start", span="measure")
+        assert "sid" in validate_event(record)
+
+
+class TestReadTrace:
+    def write_healthy(self, trace):
+        writer = TelemetryWriter(trace, command="demo")
+        with writer.span("measure"):
+            pass
+        writer.close()
+
+    def test_torn_final_line_is_tolerated_not_counted_as_corrupt(self, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        self.write_healthy(trace)
+        with open(trace, "a") as stream:
+            stream.write('{"v": 1, "ev": "warn')  # no newline: a torn write
+        accumulator = read_trace(trace)
+        assert accumulator.torn_tail
+        assert accumulator.corrupt_lines == 0
+        text, exit_code = render_summary(accumulator, trace)
+        assert exit_code == 0
+        assert "torn final line" in text
+
+    def test_corrupt_middle_line_is_real_damage(self, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        self.write_healthy(trace)
+        lines = trace.read_text().splitlines()
+        lines.insert(1, "not json at all")
+        trace.write_text("\n".join(lines) + "\n")
+        accumulator = read_trace(trace)
+        assert accumulator.corrupt_lines == 1
+        assert not accumulator.torn_tail
+        _, exit_code = render_summary(accumulator, trace)
+        assert exit_code == 1
+
+    def test_span_totals_and_balance(self, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        writer = TelemetryWriter(trace)
+        with writer.span("measure"):
+            pass
+        writer.begin("sweep")  # never ended: e.g. the process was killed
+        writer.close()
+        accumulator = read_trace(trace)
+        assert accumulator.span_totals["measure"].count == 1
+        assert len(accumulator.open_spans) == 1
+        assert accumulator.ended
+
+    def test_unknown_schema_version_fails_the_summary(self, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        event = {"v": 99, "ev": "warning", "t": 0.0, "seq": 0, "pid": 1}
+        trace.write_text(json.dumps(event) + "\n")
+        accumulator = read_trace(trace)
+        assert accumulator.invalid_events
+        _, exit_code = render_summary(accumulator, trace)
+        assert exit_code == 1
+
+    def test_reconcile_reports_each_mismatched_counter(self, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        writer = TelemetryWriter(trace)
+        writer.emit("job-retried", job=0, attempts=1, kind="worker-died")
+        writer.close()
+        accumulator = read_trace(trace)
+        assert reconcile_counters(accumulator, {"retries": 1}) == []
+        mismatches = reconcile_counters(accumulator, {"retries": 3, "timeouts": 2})
+        assert len(mismatches) == 2
+
+
+class TestWorkerMerge:
+    def test_merge_is_deterministic_and_consumes_side_files(self, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        writer = TelemetryWriter(trace)
+        writer.close()
+        for pid in (200, 100):  # created out of order; merged in sorted order
+            side = worker_trace_path(trace, pid)
+            worker = TelemetryWriter(side, command="worker")
+            worker.emit("job-started", job=pid)
+            worker.close()
+        with open(worker_trace_path(trace, 200), "a") as stream:
+            stream.write('{"torn')  # a killed worker's half-written line
+        merged, torn = merge_worker_traces(trace)
+        assert merged == 6  # two side files x (trace-start, job-started, trace-end)
+        assert torn == 1
+        assert not list(tmp_path.glob("t.jsonl.worker-*"))
+        jobs = [e["job"] for e in read_events(trace) if e["ev"] == "job-started"]
+        assert jobs == [100, 200]
+
+    def test_merged_trace_has_no_torn_lines(self, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        TelemetryWriter(trace).close()
+        side = worker_trace_path(trace, 4242)
+        side.write_text('{"v": 1, "ev": "job-started", "t": 0, "seq": 0, "pid": 4242}\n{"half')
+        merge_worker_traces(trace)
+        accumulator = read_trace(trace)
+        assert accumulator.corrupt_lines == 0
+        assert not accumulator.torn_tail
+
+
+class TestCliTrace:
+    def test_lower_bound_trace_round_trip(self, tmp_path, capsys):
+        trace = tmp_path / "lb.jsonl"
+        stats_json = tmp_path / "stats.json"
+        exit_code = main(
+            [
+                "lower-bound",
+                "geo(1/2)",
+                "--schedule",
+                "10,20,40",
+                "--trace",
+                str(trace),
+                "--stats-json",
+                str(stats_json),
+            ]
+        )
+        assert exit_code == 0
+        events = read_events(trace)
+        for event in events:
+            assert validate_event(event) is None
+        bounds = [e for e in events if e["ev"] == "anytime-bound"]
+        assert [b["depth"] for b in bounds] == [10, 20, 40]
+        for bound in bounds:
+            assert bound["program"] == "geo(1/2)"
+            assert bound["gap"] >= 0
+        assert events[-1]["ev"] == "trace-end"
+        capsys.readouterr()
+
+        exit_code = main(
+            ["trace", "summarize", str(trace), "--check-stats-json", str(stats_json)]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "recovery events reconcile exactly" in output
+        assert "geo(1/2)" in output
+
+    def test_summarize_fails_on_a_stats_mismatch(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        writer = TelemetryWriter(trace)
+        writer.emit("job-timeout", job=0, budget=1.0)
+        writer.close()
+        stats_json = tmp_path / "stats.json"
+        stats_json.write_text(json.dumps({"version": 1, "counters": {"timeouts": 0}}))
+        exit_code = main(
+            ["trace", "summarize", str(trace), "--check-stats-json", str(stats_json)]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 1
+        assert "MISMATCH" in output
+
+    def test_summarize_missing_trace_is_a_usage_error(self, tmp_path, capsys):
+        exit_code = main(["trace", "summarize", str(tmp_path / "absent.jsonl")])
+        capsys.readouterr()
+        assert exit_code == 2
+
+    def test_batch_results_are_byte_identical_with_and_without_trace(self, tmp_path):
+        traced = tmp_path / "traced.jsonl"
+        plain = tmp_path / "plain.jsonl"
+        assert (
+            main(
+                [
+                    "batch",
+                    "--suite",
+                    "table2",
+                    "--jobs",
+                    "1",
+                    "--output",
+                    str(traced),
+                    "--trace",
+                    str(tmp_path / "trace.jsonl"),
+                ]
+            )
+            == 0
+        )
+        assert (
+            main(["batch", "--suite", "table2", "--jobs", "1", "--output", str(plain)])
+            == 0
+        )
+        assert traced.read_bytes() == plain.read_bytes()
+
+    def test_batch_trace_carries_job_lifecycle_and_merged_counters(self, tmp_path):
+        trace = tmp_path / "batch.jsonl"
+        assert (
+            main(
+                [
+                    "batch",
+                    "--suite",
+                    "table2",
+                    "--jobs",
+                    "2",
+                    "--output",
+                    str(tmp_path / "out.jsonl"),
+                    "--trace",
+                    str(trace),
+                ]
+            )
+            == 0
+        )
+        accumulator = read_trace(trace)
+        assert not accumulator.invalid_events
+        assert accumulator.jobs_scheduled == 5
+        assert accumulator.jobs_completed == 5
+        assert accumulator.jobs_started == 5  # every job ran in a pool worker
+        assert accumulator.counters is not None  # the final PerfStats snapshot
+        assert accumulator.counters["measure_requests"] > 0
+        assert not list(tmp_path.glob("batch.jsonl.worker-*"))
+
+
+class TestDoctorTrace:
+    def healthy_trace(self, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        writer = TelemetryWriter(trace)
+        with writer.span("measure"):
+            pass
+        writer.close()
+        return trace
+
+    def test_healthy_trace_exits_zero(self, tmp_path, capsys):
+        trace = self.healthy_trace(tmp_path)
+        exit_code = main(["doctor", "--trace", str(trace)])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "trace events" in output
+        assert "healthy" in output
+
+    def test_doctor_trace_does_not_clobber_the_trace(self, tmp_path, capsys):
+        trace = self.healthy_trace(tmp_path)
+        before = trace.read_bytes()
+        main(["doctor", "--trace", str(trace)])
+        capsys.readouterr()
+        assert trace.read_bytes() == before
+
+    def test_corrupt_middle_line_is_an_error(self, tmp_path, capsys):
+        trace = self.healthy_trace(tmp_path)
+        lines = trace.read_text().splitlines()
+        lines.insert(1, "garbage")
+        trace.write_text("\n".join(lines) + "\n")
+        exit_code = main(["doctor", "--trace", str(trace)])
+        output = capsys.readouterr().out
+        assert exit_code == 1
+        assert "corrupt-trace-line" in output
+
+    def test_torn_tail_and_open_spans_are_warnings_only(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        writer = TelemetryWriter(trace)
+        writer.begin("sweep")  # killed mid-span: never closed
+        writer.close()
+        with open(trace, "a") as stream:
+            stream.write('{"half')
+        exit_code = main(["doctor", "--trace", str(trace)])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "torn-trace-tail" in output
+        assert "unbalanced-spans" in output
+
+    def test_missing_trace_is_an_error(self, tmp_path, capsys):
+        exit_code = main(["doctor", "--trace", str(tmp_path / "absent.jsonl")])
+        capsys.readouterr()
+        assert exit_code == 1
+
+    def test_doctor_without_any_target_is_a_usage_error(self, capsys):
+        exit_code = main(["doctor"])
+        capsys.readouterr()
+        assert exit_code == 2
+
+
+class TestWatch:
+    def test_once_renders_bounds_and_progress(self, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        writer = TelemetryWriter(trace)
+        writer.emit("job-scheduled", job=0, program="geo(1/2)", analysis="lower-bound")
+        writer.emit(
+            "anytime-bound",
+            program="geo(1/2)",
+            depth=20,
+            lower=0.75,
+            gap=0.25,
+            exhaustive=False,
+        )
+        writer.emit(
+            "job-completed",
+            program="geo(1/2)",
+            analysis="lower-bound",
+            status="ok",
+            cached=False,
+            elapsed_ms=1.0,
+        )
+        writer.close()
+        stream = io.StringIO()
+        assert watch(trace, once=True, stream=stream) == 0
+        output = stream.getvalue()
+        assert "[finished]" in output
+        assert "geo(1/2)" in output
+        assert "converging" in output
+        assert "1/1" in output
+
+    def test_missing_file_exits_one(self, tmp_path):
+        assert watch(tmp_path / "absent.jsonl", once=True, stream=io.StringIO()) == 1
+
+    def test_tail_holds_back_an_unterminated_fragment(self, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        writer = TelemetryWriter(trace)
+        writer.emit("warning", code="first")
+        tail = TraceTail(trace)
+        tail.poll()
+        assert tail.accumulator.events == 2  # trace-start + warning
+        with open(trace, "a") as stream:
+            stream.write('{"v": 1, "ev": "warning", "t": 0.1, "seq"')
+        tail.poll()
+        assert tail.accumulator.events == 2  # the fragment is not parsed yet
+        with open(trace, "a") as stream:
+            stream.write(': 2, "pid": %d, "code": "second"}\n' % writer._pid)
+        tail.poll()
+        assert tail.accumulator.events == 3
+        assert tail.accumulator.corrupt_lines == 0
+        writer.close()
+
+
+class TestCrossWorkerStats:
+    """PerfStats aggregation across workers: HWMs merge by max, totals sum."""
+
+    SPECS = [
+        {"program": "sig-retry(7/10)", "analysis": "lower-bound", "params": {"depth": 25}},
+        {"program": "square-retry(1/2)", "analysis": "lower-bound", "params": {"depth": 60}},
+        {"program": "ex5.15(0.65)", "analysis": "lower-bound", "params": {"depth": 40}},
+        {"program": "3print(2/3)", "analysis": "lower-bound", "params": {"depth": 40}},
+    ]
+
+    def reference_stats(self):
+        """Each job on its own fresh engine: the per-job ground truth."""
+        references = []
+        for entry in self.SPECS:
+            engine = MeasureEngine()
+            result = run_job(JobSpec(**entry), engine)
+            assert result.status == "ok"
+            references.append(engine.stats.as_dict())
+        return references
+
+    def test_two_worker_batch_merges_hwms_by_max_and_totals_by_sum(self, tmp_path):
+        references = self.reference_stats()
+        job_file = tmp_path / "jobs.json"
+        job_file.write_text(json.dumps(self.SPECS))
+        stats_json = tmp_path / "stats.json"
+        exit_code = main(
+            [
+                "batch",
+                str(job_file),
+                "--jobs",
+                "2",
+                "--output",
+                str(tmp_path / "out.jsonl"),
+                "--stats-json",
+                str(stats_json),
+            ]
+        )
+        assert exit_code == 0
+        counters = json.loads(stats_json.read_text())["counters"]
+
+        hwm_fields = set(PerfStats.high_water_marks())
+        assert {"sweep_heap_peak", "frontier_peak"} <= hwm_fields
+        for name in ("sweep_heap_peak", "frontier_peak"):
+            expected = max(reference[name] for reference in references)
+            assert counters[name] == expected, name
+        # The probe programs make max and sum distinguishable: were a HWM
+        # summed across workers (the bug this guards against), these fail.
+        assert sum(r["sweep_heap_peak"] for r in references) > counters["sweep_heap_peak"]
+        assert sum(r["frontier_peak"] for r in references) > counters["frontier_peak"]
+
+        for name in ("symbolic_steps", "sweep_boxes_examined", "sweep_blocks"):
+            expected = sum(reference[name] for reference in references)
+            assert counters[name] == expected, name
