@@ -11,6 +11,10 @@ this subsystem makes that batch a first-class object:
   finished job results and measure-engine entries shared across processes
   and sessions (damaged files are quarantined, multi-shard merges are
   journalled),
+* :mod:`repro.batch.store_sqlite` -- the same store protocol over one WAL
+  SQLite database (concurrent readers, transactional merges, indexed GC);
+  :func:`~repro.batch.store_sqlite.open_store` picks the backend and
+  :func:`~repro.batch.store_sqlite.migrate_store` converts a directory,
 * :mod:`repro.batch.faults` -- deterministic fault injection (worker kills,
   hangs, torn writes, bit flips) driving the fault-tolerance test suite,
 * :mod:`repro.batch.doctor` -- the read-only store health checks behind
@@ -26,6 +30,12 @@ from repro.batch.cache import BatchCache, verify_document
 from repro.batch.doctor import DoctorReport, Finding, diagnose
 from repro.batch.faults import Fault, FaultPlan
 from repro.batch.jobs import ANALYSES, JobResult, JobSpec, run_job
+from repro.batch.store_sqlite import (
+    MigrationReport,
+    SqliteStore,
+    migrate_store,
+    open_store,
+)
 from repro.batch.runner import (
     BatchReport,
     ResultScan,
@@ -54,12 +64,16 @@ __all__ = [
     "Finding",
     "JobResult",
     "JobSpec",
+    "MigrationReport",
     "ResultScan",
     "RetryPolicy",
     "SUITE_NAMES",
+    "SqliteStore",
     "classify_suite",
     "diagnose",
     "load_job_file",
+    "migrate_store",
+    "open_store",
     "read_result_keys",
     "run_batch",
     "run_job",

@@ -98,8 +98,10 @@ __all__ = [
     "BatchCache",
     "CACHE_VERSION",
     "PruneReport",
+    "seal_document",
     "shard_prefix",
     "verify_document",
+    "verify_payload",
 ]
 
 
@@ -127,6 +129,40 @@ def _seal_document(document: dict) -> dict:
     return sealed
 
 
+def seal_document(document: dict) -> dict:
+    """Public alias of the envelope sealer, shared with the SQLite backend.
+
+    Both store backends persist the *same* checksummed envelope -- a version
+    field plus a SHA-256 over the canonical payload -- whether the envelope
+    lives in a file (:class:`BatchCache`) or in a table row
+    (:class:`repro.batch.store_sqlite.SqliteStore`), which is what makes
+    ``repro store migrate`` a carry-over rather than a re-encode.
+    """
+    return _seal_document(document)
+
+
+def verify_payload(document) -> Tuple[str, Optional[dict]]:
+    """Verify one already-parsed store envelope, without side effects.
+
+    The object-level half of :func:`verify_document`: the same statuses,
+    minus the file-system ones (``"missing"``/``"corrupt-json"`` become the
+    caller's concern).  The SQLite backend verifies its rows through this.
+    """
+    if not isinstance(document, dict):
+        return "not-object", None
+    version = document.get("version")
+    if version == _LEGACY_CACHE_VERSION:
+        return "legacy", document
+    if version != CACHE_VERSION:
+        return "unknown-version", None
+    recorded = document.get("sha256")
+    if not isinstance(recorded, str):
+        return "missing-checksum", None
+    if recorded != _document_checksum(document):
+        return "checksum-mismatch", None
+    return "ok", document
+
+
 def verify_document(path: Path) -> Tuple[str, Optional[dict]]:
     """Read and verify one store envelope, without side effects.
 
@@ -147,19 +183,7 @@ def verify_document(path: Path) -> Tuple[str, Optional[dict]]:
         document = json.loads(raw)
     except ValueError:
         return "corrupt-json", None
-    if not isinstance(document, dict):
-        return "not-object", None
-    version = document.get("version")
-    if version == _LEGACY_CACHE_VERSION:
-        return "legacy", document
-    if version != CACHE_VERSION:
-        return "unknown-version", None
-    recorded = document.get("sha256")
-    if not isinstance(recorded, str):
-        return "missing-checksum", None
-    if recorded != _document_checksum(document):
-        return "checksum-mismatch", None
-    return "ok", document
+    return verify_payload(document)
 
 
 _DAMAGED_STATUSES = frozenset(
@@ -394,6 +418,29 @@ class BatchCache:
         for path in self._shard_paths("sweeps"):
             entries.update(_document_entries(self._read_document(path), fingerprint))
         return entries
+
+    def export_entry_documents(self, kind: str):
+        """Yield ``(fingerprint, entries, touched)`` per readable shard.
+
+        The migration feed of ``repro store migrate``: unlike
+        :meth:`load_measures` this keeps every fingerprint's entries (the
+        SQLite store keys rows by fingerprint, so foreign entries survive a
+        migration instead of being clobbered) and carries the GC touch
+        stamps across.  Damaged shards are quarantined as usual; the legacy
+        single-file ``measures.json`` is included for ``kind="measures"``.
+        """
+        paths = list(self._shard_paths(kind))
+        if kind == "measures" and self.measures_path.exists():
+            paths.insert(0, self.measures_path)
+        for path in paths:
+            document = self._read_document(path)
+            if document is None:
+                continue
+            fingerprint = document.get("fingerprint")
+            entries = document.get("entries")
+            if not isinstance(fingerprint, str) or not isinstance(entries, dict):
+                continue
+            yield fingerprint, entries, _document_touched(document)
 
     def measure_entry_count(self, engine: MeasureEngine) -> int:
         """How many compatible measure entries the store currently holds."""

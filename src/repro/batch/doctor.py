@@ -182,12 +182,39 @@ def diagnose(
     stale_runs: int = 20,
     engine: Optional[MeasureEngine] = None,
 ) -> DoctorReport:
-    """Run every read-only health check over one cache directory."""
+    """Run every read-only health check over one cache directory.
+
+    Both store backends are discovered: a directory holding a
+    ``store.sqlite3`` is diagnosed through the database (page integrity,
+    per-row envelope verification, staleness, quarantine table); JSON
+    artifacts are diagnosed whenever any are present -- so a migrated
+    directory reports cleanly, and one migrated with ``--keep-json``
+    reports on both halves.
+    """
+    from repro.batch.store_sqlite import sqlite_store_path
+
     directory = Path(directory)
     report = DoctorReport(directory=str(directory))
     if not directory.is_dir():
         report.add("error", "missing-directory", "cache directory does not exist")
         return report
+    sqlite_path = sqlite_store_path(directory)
+    if sqlite_path.exists():
+        _diagnose_sqlite(report, directory, stale_runs)
+        json_leftovers = (
+            any(directory.glob("measures-*.json"))
+            or any(directory.glob("sweeps-*.json"))
+            or (directory / "jobs").is_dir()
+            or (directory / "meta.json").exists()
+        )
+        if not json_leftovers:
+            return report
+        report.add(
+            "info",
+            "dual-backend",
+            "JSON store files coexist with store.sqlite3 (a --keep-json "
+            "migration?); both are diagnosed, but only the database is read",
+        )
     cache = BatchCache(directory)
     engine = engine or MeasureEngine()
     fingerprint = engine.registry_fingerprint()
@@ -354,6 +381,93 @@ def diagnose(
     report.counts["quarantined"] = quarantined
 
     return report
+
+
+def _diagnose_sqlite(
+    report: DoctorReport, directory: Path, stale_runs: int
+) -> None:
+    """The database half of :func:`diagnose`: read-only, never quarantines."""
+    import sqlite3
+
+    from repro.batch.store_sqlite import STORE_SCHEMA_VERSION, SqliteStore
+
+    db_path = directory / "store.sqlite3"
+    try:
+        store = SqliteStore(directory)
+    except sqlite3.Error as error:
+        report.add(
+            "error",
+            "unreadable-database",
+            f"store.sqlite3 cannot be opened ({error})",
+            db_path,
+        )
+        return
+    verdict = store.integrity_check()
+    if verdict is not None:
+        report.add(
+            "error",
+            "integrity-check-failed",
+            f"SQLite page integrity check failed: {verdict}",
+            db_path,
+        )
+    version = store.store_version()
+    if version != STORE_SCHEMA_VERSION:
+        report.add(
+            "warning",
+            "unknown-store-version",
+            f"database schema version {version!r} (this tool knows "
+            f"{STORE_SCHEMA_VERSION})",
+            db_path,
+        )
+    scan = store.scan_rows(stale_runs)
+    report.counts["run_counter"] = scan.run_counter
+    report.counts["job_files"] = scan.job_rows
+    for kind in _SHARD_KINDS:
+        report.counts[f"{kind}_entries"] = scan.entry_rows.get(kind, 0)
+    report.counts["stale_entries"] = scan.stale_entries
+    if scan.legacy_rows:
+        report.counts["legacy_documents"] = scan.legacy_rows
+        report.add(
+            "info",
+            "legacy-envelope",
+            f"{scan.legacy_rows} row(s) predate the checksummed envelope; "
+            "they will be re-sealed on next write",
+            db_path,
+        )
+    if scan.unknown_version_rows:
+        report.add(
+            "warning",
+            "unknown-version",
+            f"{scan.unknown_version_rows} row(s) have an unknown envelope "
+            "version (newer tool?); they read as misses",
+            db_path,
+        )
+    for origin, key, status in scan.damaged:
+        report.add(
+            "error",
+            status,
+            f"{origin} row {key[:16]}... is damaged ({status}); the next "
+            "store read will quarantine it",
+            db_path,
+        )
+    if scan.stale_entries:
+        report.add(
+            "info",
+            "stale-entries",
+            f"{scan.stale_entries} entries untouched for >= {stale_runs} "
+            f"runs; `repro batch prune --keep-runs {stale_runs}` would "
+            "drop them",
+        )
+    quarantined = store.quarantine_rows()
+    report.counts["quarantined"] = len(quarantined)
+    for origin, key, reason in quarantined:
+        report.add(
+            "error",
+            "quarantined",
+            f"damaged {origin} row {key[:16]}... was quarantined ({reason}); "
+            "inspect and clear the quarantine table to clear this error",
+            db_path,
+        )
 
 
 def check_trace(report: DoctorReport, path: Union[str, Path]) -> None:

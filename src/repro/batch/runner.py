@@ -42,9 +42,26 @@ Every recovery is counted (``retries``, ``timeouts``, ``worker_restarts``)
 on the :class:`BatchReport` and mirrored into its
 :class:`~repro.geometry.stats.PerfStats` for ``--stats`` / ``--stats-json``.
 
-With a :class:`~repro.batch.cache.BatchCache`, finished results are
-persisted as they complete and already-cached jobs are never re-run, so an
-unchanged batch re-runs near-instantly.
+With a persistent store (:class:`~repro.batch.cache.BatchCache` or
+:class:`~repro.batch.store_sqlite.SqliteStore` -- the runner only uses the
+shared store protocol), finished results are persisted as they complete and
+already-cached jobs are never re-run, so an unchanged batch re-runs
+near-instantly.
+
+Invariants (cited by ``docs/architecture.md``; the test suite enforces
+them):
+
+* **Bit-identity** -- the deterministic JSONL produced by a batch is
+  byte-identical across runs, across ``--jobs`` settings, across cold and
+  warm stores, and across both store backends: scheduling, caching and
+  fault recovery may change *when* a result is computed, never *what* it
+  is.
+* **Submission order** -- results are returned in submission order no
+  matter the completion order, which is what makes the previous point
+  testable at the file level.
+* **Crash-safety** -- a killed run loses at most in-flight work: completed
+  results live in the supervisor and the store (atomic writes, journalled
+  or transactional merges), and the next run resumes from them.
 """
 
 from __future__ import annotations
@@ -70,7 +87,6 @@ from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Union
 
 import repro.telemetry as telemetry
-from repro.batch.cache import BatchCache
 from repro.batch.faults import active_plan
 from repro.batch.jobs import JobResult, JobSpec, run_job
 from repro.geometry.engine import MeasureEngine
@@ -268,13 +284,24 @@ def _worker_run(indexed_spec):
 def run_batch(
     specs: Sequence[JobSpec],
     jobs: int = 1,
-    cache: Optional[BatchCache] = None,
+    cache=None,
     engine: Optional[MeasureEngine] = None,
     progress: Optional[ProgressCallback] = None,
     job_timeout: Optional[float] = None,
     retry_policy: Optional[RetryPolicy] = None,
+    config=None,
 ) -> BatchReport:
     """Execute ``specs`` and return their results in submission order.
+
+    ``cache`` is any object implementing the shared store protocol
+    (:class:`~repro.batch.cache.BatchCache` or
+    :class:`~repro.batch.store_sqlite.SqliteStore`).
+
+    ``config`` (a :class:`repro.config.ReproConfig`) is the consolidated
+    way to parameterize a batch: any of ``jobs``/``cache``/``job_timeout``/
+    ``retry_policy`` left at its default is filled from the config, so the
+    CLI and the daemon hand the runner one object instead of re-deriving
+    each knob.  Explicitly passed arguments always win.
 
     ``job_timeout`` (seconds of wall clock per job) and ``retry_policy``
     are enforced by the supervised pool; setting a timeout therefore forces
@@ -282,6 +309,15 @@ def run_batch(
     interrupted.  An explicitly configured non-default engine always runs
     inline (see below) and is outside the supervisor's reach.
     """
+    if config is not None:
+        if jobs == 1:
+            jobs = config.effective_jobs(default=1)
+        if cache is None:
+            cache = config.open_store()
+        if job_timeout is None:
+            job_timeout = config.job_timeout
+        if retry_policy is None:
+            retry_policy = config.retry_policy()
     started = time.perf_counter()
     specs = list(specs)
     total = len(specs)
@@ -393,8 +429,8 @@ def run_batch(
 def _run_inline(
     specs: Sequence[JobSpec],
     pending: Sequence[int],
-    cache: Optional[BatchCache],
-    job_cache: Optional[BatchCache],
+    cache,
+    job_cache,
     engine: Optional[MeasureEngine],
     results: List[Optional[JobResult]],
     note: Callable[[JobResult], None],
@@ -469,8 +505,8 @@ def _run_pool(
     specs: Sequence[JobSpec],
     pending: Sequence[int],
     jobs: int,
-    cache: Optional[BatchCache],
-    job_cache: Optional[BatchCache],
+    cache,
+    job_cache,
     results: List[Optional[JobResult]],
     note: Callable[[JobResult], None],
     warned_keys: Set[int],

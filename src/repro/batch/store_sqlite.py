@@ -1,0 +1,735 @@
+"""The SQLite store backend: one WAL database instead of sharded JSON.
+
+:class:`SqliteStore` is a drop-in replacement for
+:class:`repro.batch.cache.BatchCache` -- same methods, same envelope
+semantics, same quarantine policy -- backed by a single
+``<cache-dir>/store.sqlite3`` database in WAL mode:
+
+* **concurrent readers, single writer** -- WAL readers never block on the
+  writer and vice versa; writes go through short ``BEGIN IMMEDIATE``
+  transactions serialized by SQLite itself (with a busy timeout), replacing
+  the JSON store's ``fcntl`` shard locks;
+* **indexed lookups** -- job results and measure/sweep entries are fetched
+  by primary key instead of read-modify-writing a whole shard document;
+* **incremental GC** -- every entry row carries its touch stamp in an
+  indexed column, so :meth:`SqliteStore.prune` is one indexed ``DELETE``
+  instead of ``batch prune``'s full parse of every shard;
+* **no merge intents** -- a multi-entry merge is a transaction; a process
+  killed mid-merge rolls back to a consistent state, so there is nothing to
+  journal and nothing to replay (:meth:`SqliteStore.pending_intents` is
+  always empty).
+
+Every row still holds the *same checksummed envelope* the JSON store writes
+to files (:func:`repro.batch.cache.seal_document`): the database's own page
+checksums do not cover application-level corruption, and keeping one
+envelope format is what lets ``repro store migrate`` carry documents over
+verbatim and lets ``repro doctor`` verify either backend with one code
+path.  A row that fails verification is moved into the ``quarantine``
+table -- visible to the doctor, never silently dropped -- and reads as a
+miss, exactly like a quarantined shard file.
+
+Unlike the JSON store's shard documents -- where a merge under one registry
+fingerprint clobbers a shard written under another -- entry rows are keyed
+``(kind, fingerprint, key)``, so stores written under different primitive
+semantics coexist side by side.
+
+:func:`open_store` is the backend chooser shared by the CLI, the batch
+runner and the daemon: ``"auto"`` picks SQLite when ``store.sqlite3``
+exists and the JSON layout otherwise, so migrated directories keep working
+with every command unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sqlite3
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+import repro.telemetry as telemetry
+from repro.batch.cache import (
+    BatchCache,
+    PruneReport,
+    seal_document,
+    verify_document,
+    verify_payload,
+)
+from repro.batch.jobs import JobResult
+from repro.geometry.engine import MeasureEngine
+
+STORE_SCHEMA_VERSION = 1
+"""The SQLite schema generation (``meta.store_version``)."""
+
+DB_FILENAME = "store.sqlite3"
+"""The database file inside a cache directory; its presence is what makes
+``open_store(..., backend="auto")`` pick this backend."""
+
+_BUSY_TIMEOUT_MS = 30_000
+
+_ENTRY_KINDS = ("measures", "sweeps")
+
+_LOGGER = logging.getLogger("repro.batch")
+
+__all__ = [
+    "DB_FILENAME",
+    "MigrationReport",
+    "STORE_SCHEMA_VERSION",
+    "SqliteStore",
+    "migrate_store",
+    "open_store",
+    "sqlite_store_path",
+]
+
+
+def sqlite_store_path(directory: Union[str, Path]) -> Path:
+    return Path(directory) / DB_FILENAME
+
+
+def open_store(
+    directory: Union[str, Path], backend: str = "auto"
+) -> Union[BatchCache, "SqliteStore"]:
+    """Open the persistent store of ``directory`` under the right backend.
+
+    ``"json"`` and ``"sqlite"`` force a backend; ``"auto"`` (the default
+    everywhere) picks SQLite exactly when the database file already exists,
+    so a fresh directory keeps the JSON layout and a migrated one is served
+    from the database by every command without further flags.
+    """
+    if backend == "json":
+        return BatchCache(directory)
+    if backend == "sqlite":
+        return SqliteStore(directory)
+    if backend == "auto":
+        if sqlite_store_path(directory).exists():
+            return SqliteStore(directory)
+        return BatchCache(directory)
+    raise ValueError(
+        f"unknown store backend {backend!r}; expected 'auto', 'json' or 'sqlite'"
+    )
+
+
+class SqliteStore:
+    """A persistent job/measure/sweep store in one WAL SQLite database.
+
+    Method-compatible with :class:`repro.batch.cache.BatchCache`; see the
+    module docstring for what changes underneath.
+    """
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.path = sqlite_store_path(self.directory)
+        self.quarantined: List[Tuple[str, str]] = []
+        """``(origin key, reason)`` for every row this instance quarantined."""
+
+        # One connection per store instance.  The daemon touches the store
+        # from its single engine thread, the batch runner from the
+        # supervisor thread -- but ``check_same_thread=False`` plus our own
+        # write lock keeps the instance safe either way.
+        self._connection = sqlite3.connect(
+            str(self.path), timeout=_BUSY_TIMEOUT_MS / 1000, check_same_thread=False
+        )
+        self._write_lock = threading.Lock()
+        self._connection.execute("PRAGMA journal_mode=WAL")
+        self._connection.execute("PRAGMA synchronous=NORMAL")
+        self._connection.execute(f"PRAGMA busy_timeout={_BUSY_TIMEOUT_MS}")
+        self._initialize_schema()
+
+    # -- schema ---------------------------------------------------------------
+
+    def _initialize_schema(self) -> None:
+        with self._transaction() as connection:
+            connection.execute(
+                "CREATE TABLE IF NOT EXISTS meta ("
+                " key TEXT PRIMARY KEY,"
+                " value TEXT NOT NULL)"
+            )
+            connection.execute(
+                "CREATE TABLE IF NOT EXISTS jobs ("
+                " key TEXT PRIMARY KEY,"
+                " document TEXT NOT NULL)"
+            )
+            connection.execute(
+                "CREATE TABLE IF NOT EXISTS entries ("
+                " kind TEXT NOT NULL,"
+                " fingerprint TEXT NOT NULL,"
+                " key TEXT NOT NULL,"
+                " document TEXT NOT NULL,"
+                " touched INTEGER NOT NULL DEFAULT 0,"
+                " PRIMARY KEY (kind, fingerprint, key))"
+            )
+            # The GC index: prune is one range DELETE over (kind, touched).
+            connection.execute(
+                "CREATE INDEX IF NOT EXISTS entries_by_touch"
+                " ON entries (kind, touched)"
+            )
+            connection.execute(
+                "CREATE TABLE IF NOT EXISTS quarantine ("
+                " id INTEGER PRIMARY KEY AUTOINCREMENT,"
+                " origin TEXT NOT NULL,"
+                " key TEXT NOT NULL,"
+                " document TEXT NOT NULL,"
+                " reason TEXT NOT NULL)"
+            )
+            connection.execute(
+                "INSERT OR IGNORE INTO meta (key, value) VALUES (?, ?)",
+                ("store_version", str(STORE_SCHEMA_VERSION)),
+            )
+
+    def _transaction(self):
+        return _Transaction(self._connection, self._write_lock)
+
+    def close(self) -> None:
+        self._connection.close()
+
+    # -- damage handling -------------------------------------------------------
+
+    @property
+    def quarantine_count(self) -> int:
+        """How many damaged rows this instance has quarantined."""
+        return len(self.quarantined)
+
+    def _quarantine_row(
+        self, origin: str, key: str, document_text: str, reason: str
+    ) -> None:
+        """Move a damaged row into the quarantine table -- never delete
+        silently, never fail the read.  Mirrors the JSON store's policy of
+        quarantining damaged files with a ``.reason`` sidecar."""
+        try:
+            with self._transaction() as connection:
+                connection.execute(
+                    "INSERT INTO quarantine (origin, key, document, reason)"
+                    " VALUES (?, ?, ?, ?)",
+                    (origin, key, document_text, reason),
+                )
+                if origin == "jobs":
+                    connection.execute("DELETE FROM jobs WHERE key = ?", (key,))
+                else:
+                    connection.execute(
+                        "DELETE FROM entries WHERE kind = ? AND key = ?",
+                        (origin, key),
+                    )
+        except sqlite3.Error:
+            return  # a read-only database still reads damage as a miss
+        self.quarantined.append((f"{origin}/{key}", reason))
+        telemetry.emit("quarantine", path=f"{origin}/{key}", reason=reason)
+        _LOGGER.warning("quarantined damaged store row %s/%s (%s)", origin, key, reason)
+
+    def _verify_row(self, origin: str, key: str, text: str) -> Optional[dict]:
+        """Parse and verify one row's envelope; damaged rows are quarantined.
+
+        Unknown (future) versions read as misses but stay in place, exactly
+        like the file backend's policy.
+        """
+        try:
+            document = json.loads(text)
+        except ValueError:
+            self._quarantine_row(origin, key, text, "corrupt-json")
+            return None
+        status, verified = verify_payload(document)
+        if status in ("ok", "legacy"):
+            return verified
+        if status == "unknown-version":
+            return None
+        self._quarantine_row(origin, key, text, status)
+        return None
+
+    def quarantine_rows(self) -> List[Tuple[str, str, str]]:
+        """Every quarantined row: ``(origin, key, reason)`` (doctor feed)."""
+        cursor = self._connection.execute(
+            "SELECT origin, key, reason FROM quarantine ORDER BY id"
+        )
+        return [(origin, key, reason) for origin, key, reason in cursor]
+
+    def clear_quarantine(self) -> int:
+        """Drop every quarantined row (the operator looked; exit-0 again)."""
+        with self._transaction() as connection:
+            cursor = connection.execute("DELETE FROM quarantine")
+            return cursor.rowcount
+
+    # -- job results -----------------------------------------------------------
+
+    def load_job(self, key: str) -> Optional[JobResult]:
+        """The cached result for ``key``, or ``None`` (incl. damaged rows)."""
+        row = self._connection.execute(
+            "SELECT document FROM jobs WHERE key = ?", (key,)
+        ).fetchone()
+        if row is None:
+            return None
+        document = self._verify_row("jobs", key, row[0])
+        if document is None:
+            return None
+        record = document.get("result")
+        try:
+            result = JobResult.from_cache_dict(record)
+        except (TypeError, KeyError, ValueError):
+            return None
+        if result.key != key or not result.ok:
+            return None
+        return result
+
+    def store_job(self, result: JobResult) -> None:
+        """Persist a finished job (error results are recomputed, not cached)."""
+        if not result.ok:
+            return
+        document = _canonical(seal_document({"result": result.to_cache_dict()}))
+        with self._transaction() as connection:
+            connection.execute(
+                "INSERT OR REPLACE INTO jobs (key, document) VALUES (?, ?)",
+                (result.key, document),
+            )
+
+    def job_count(self) -> int:
+        return self._connection.execute("SELECT COUNT(*) FROM jobs").fetchone()[0]
+
+    # -- the run counter -------------------------------------------------------
+
+    def run_counter(self) -> int:
+        """The number of batch runs that have written to this store."""
+        row = self._connection.execute(
+            "SELECT value FROM meta WHERE key = 'run_counter'"
+        ).fetchone()
+        if row is None:
+            return 0
+        try:
+            counter = int(row[0])
+        except (TypeError, ValueError):
+            return 0
+        return counter if counter >= 0 else 0
+
+    def begin_run(self) -> int:
+        """Bump and return the run counter (the GC clock, as in the JSON
+        store) -- atomically, under the write transaction."""
+        with self._transaction() as connection:
+            counter = self.run_counter() + 1
+            connection.execute(
+                "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
+                ("run_counter", str(counter)),
+            )
+            return counter
+
+    # -- measure- and sweep-engine entries -------------------------------------
+
+    def _load_kind(self, kind: str, fingerprint: str) -> Dict[str, List]:
+        entries: Dict[str, List] = {}
+        damaged: List[Tuple[str, str]] = []
+        cursor = self._connection.execute(
+            "SELECT key, document FROM entries WHERE kind = ? AND fingerprint = ?",
+            (kind, fingerprint),
+        )
+        for key, text in cursor.fetchall():
+            document = self._verify_row_deferred(kind, key, text, damaged)
+            if document is None:
+                continue
+            entry = document.get("entry")
+            if isinstance(entry, list):
+                entries[key] = entry
+        for key, text in damaged:
+            # Quarantined after the read loop: mutating mid-cursor is unsafe.
+            self._verify_row(kind, key, text)
+        return entries
+
+    def _verify_row_deferred(
+        self, origin: str, key: str, text: str, damaged: List[Tuple[str, str]]
+    ) -> Optional[dict]:
+        try:
+            document = json.loads(text)
+        except ValueError:
+            damaged.append((key, text))
+            return None
+        status, verified = verify_payload(document)
+        if status in ("ok", "legacy"):
+            return verified
+        if status == "unknown-version":
+            return None
+        damaged.append((key, text))
+        return None
+
+    def load_measures(self, engine: MeasureEngine) -> Dict[str, List]:
+        """The stored measure entries compatible with ``engine``."""
+        return self._load_kind("measures", engine.registry_fingerprint())
+
+    def load_sweeps(self, engine: MeasureEngine) -> Dict[str, List]:
+        """The stored per-block sweep entries compatible with ``engine``."""
+        return self._load_kind("sweeps", engine.registry_fingerprint())
+
+    def measure_entry_count(self, engine: MeasureEngine) -> int:
+        return self._count_kind("measures", engine.registry_fingerprint())
+
+    def sweep_entry_count(self, engine: MeasureEngine) -> int:
+        return self._count_kind("sweeps", engine.registry_fingerprint())
+
+    def _count_kind(self, kind: str, fingerprint: str) -> int:
+        return self._connection.execute(
+            "SELECT COUNT(*) FROM entries WHERE kind = ? AND fingerprint = ?",
+            (kind, fingerprint),
+        ).fetchone()[0]
+
+    def merge_measures(
+        self,
+        engine: MeasureEngine,
+        new_entries: Mapping[str, List],
+        run: Optional[int] = None,
+        touched_keys: Iterable[str] = (),
+    ) -> int:
+        """Fold ``new_entries`` into the measure store (one transaction)."""
+        return self._merge_kind("measures", engine, new_entries, run, touched_keys)
+
+    def merge_sweeps(
+        self,
+        engine: MeasureEngine,
+        new_entries: Mapping[str, List],
+        run: Optional[int] = None,
+        touched_keys: Iterable[str] = (),
+    ) -> int:
+        """Fold per-block sweep entries into the sweep store."""
+        return self._merge_kind("sweeps", engine, new_entries, run, touched_keys)
+
+    def _merge_kind(
+        self,
+        kind: str,
+        engine: MeasureEngine,
+        new_entries: Mapping[str, List],
+        run: Optional[int],
+        touched_keys: Iterable[str],
+    ) -> int:
+        touched_keys = set(touched_keys)
+        if not new_entries and not touched_keys:
+            return 0
+        fingerprint = engine.registry_fingerprint()
+        if run is None:
+            run = self.run_counter()
+        with self._transaction() as connection:
+            connection.executemany(
+                "INSERT OR REPLACE INTO entries"
+                " (kind, fingerprint, key, document, touched)"
+                " VALUES (?, ?, ?, ?, ?)",
+                (
+                    (
+                        kind,
+                        fingerprint,
+                        key,
+                        _canonical(seal_document({"entry": list(entry)})),
+                        run,
+                    )
+                    for key, entry in sorted(new_entries.items())
+                ),
+            )
+            # Refresh the GC stamps of entries this run answered from the
+            # store -- the "touch" half of the JSON store's merge.
+            connection.executemany(
+                "UPDATE entries SET touched = ?"
+                " WHERE kind = ? AND fingerprint = ? AND key = ?",
+                ((run, kind, fingerprint, key) for key in sorted(touched_keys)),
+            )
+        telemetry.emit(
+            "store-merge",
+            kind=kind,
+            written=len(new_entries),
+            touched=len(touched_keys),
+        )
+        return len(new_entries)
+
+    def import_entries(
+        self,
+        kind: str,
+        fingerprint: str,
+        entries: Mapping[str, List],
+        touched: Mapping[str, int],
+    ) -> int:
+        """Bulk-load migrated entries, preserving their original touch
+        stamps (entries a migration resets to "fresh" would dodge the GC
+        for another full aging cycle)."""
+        if kind not in _ENTRY_KINDS:
+            raise ValueError(f"unknown entry kind {kind!r}")
+        with self._transaction() as connection:
+            connection.executemany(
+                "INSERT OR REPLACE INTO entries"
+                " (kind, fingerprint, key, document, touched)"
+                " VALUES (?, ?, ?, ?, ?)",
+                (
+                    (
+                        kind,
+                        fingerprint,
+                        key,
+                        _canonical(seal_document({"entry": list(entry)})),
+                        int(touched.get(key, 0)),
+                    )
+                    for key, entry in sorted(entries.items())
+                ),
+            )
+        return len(entries)
+
+    def import_job_document(self, key: str, document: dict) -> None:
+        """Carry one verified job envelope over from the JSON store."""
+        with self._transaction() as connection:
+            connection.execute(
+                "INSERT OR REPLACE INTO jobs (key, document) VALUES (?, ?)",
+                (key, _canonical(seal_document(dict(document)))),
+            )
+
+    def set_run_counter(self, counter: int) -> None:
+        with self._transaction() as connection:
+            connection.execute(
+                "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
+                ("run_counter", str(max(0, int(counter)))),
+            )
+
+    # -- garbage collection ----------------------------------------------------
+
+    def prune(self, min_age_runs: int) -> PruneReport:
+        """Drop entries untouched for ``min_age_runs`` runs -- incrementally.
+
+        One indexed range ``DELETE`` per kind over ``(kind, touched)``: the
+        database never parses an entry document to age it, unlike the JSON
+        backend's full scan of every shard.  Same aging semantics and the
+        same :class:`~repro.batch.cache.PruneReport` shape as
+        :meth:`BatchCache.prune` (``removed_files`` is always 0: there are
+        no shard files to unlink).
+        """
+        if min_age_runs < 1:
+            raise ValueError("min_age_runs must be at least 1")
+        counter = self.run_counter()
+        cutoff = counter - min_age_runs
+        report = PruneReport(run_counter=counter, min_age_runs=min_age_runs)
+        with self._transaction() as connection:
+            for kind in _ENTRY_KINDS:
+                cursor = connection.execute(
+                    "DELETE FROM entries WHERE kind = ? AND touched <= ?",
+                    (kind, cutoff),
+                )
+                report.pruned[kind] = cursor.rowcount
+                report.kept[kind] = connection.execute(
+                    "SELECT COUNT(*) FROM entries WHERE kind = ?", (kind,)
+                ).fetchone()[0]
+        return report
+
+    # -- parity shims ----------------------------------------------------------
+
+    def pending_intents(self) -> List[Tuple[Path, bool]]:
+        """Always empty: merges are transactions, there is nothing to replay."""
+        return []
+
+    # -- doctor feed -----------------------------------------------------------
+
+    def integrity_check(self) -> Optional[str]:
+        """SQLite's own page-level check; ``None`` when clean."""
+        try:
+            row = self._connection.execute("PRAGMA integrity_check").fetchone()
+        except sqlite3.Error as error:
+            return f"{type(error).__name__}: {error}"
+        verdict = row[0] if row else "no verdict"
+        return None if verdict == "ok" else str(verdict)
+
+    def store_version(self) -> Optional[int]:
+        row = self._connection.execute(
+            "SELECT value FROM meta WHERE key = 'store_version'"
+        ).fetchone()
+        if row is None:
+            return None
+        try:
+            return int(row[0])
+        except (TypeError, ValueError):
+            return None
+
+    def scan_rows(self, stale_runs: int) -> "SqliteScan":
+        """Read-only full verification pass for ``repro doctor``.
+
+        Unlike the cache's own reads this never quarantines -- the doctor
+        only *names* damage -- mirroring how the file backend's doctor reads
+        through :func:`verify_document` instead of the quarantining path.
+        """
+        scan = SqliteScan(run_counter=self.run_counter())
+        for key, text in self._connection.execute("SELECT key, document FROM jobs"):
+            scan.job_rows += 1
+            status = _row_status(text)
+            if status == "ok":
+                continue
+            if status == "legacy":
+                scan.legacy_rows += 1
+            elif status == "unknown-version":
+                scan.unknown_version_rows += 1
+            else:
+                scan.damaged.append(("jobs", key, status))
+        cursor = self._connection.execute(
+            "SELECT kind, key, document, touched FROM entries"
+        )
+        for kind, key, text, touched in cursor:
+            scan.entry_rows[kind] = scan.entry_rows.get(kind, 0) + 1
+            if scan.run_counter - int(touched) >= stale_runs:
+                scan.stale_entries += 1
+            status = _row_status(text)
+            if status == "ok":
+                continue
+            if status == "legacy":
+                scan.legacy_rows += 1
+            elif status == "unknown-version":
+                scan.unknown_version_rows += 1
+            else:
+                scan.damaged.append((kind, key, status))
+        return scan
+
+
+@dataclass
+class SqliteScan:
+    """What one :meth:`SqliteStore.scan_rows` doctor pass found."""
+
+    run_counter: int
+    job_rows: int = 0
+    entry_rows: Dict[str, int] = field(default_factory=dict)
+    stale_entries: int = 0
+    legacy_rows: int = 0
+    unknown_version_rows: int = 0
+    damaged: List[Tuple[str, str, str]] = field(default_factory=list)
+    """``(origin, key, status)`` for rows failing envelope verification."""
+
+
+def _row_status(text: str) -> str:
+    try:
+        document = json.loads(text)
+    except ValueError:
+        return "corrupt-json"
+    status, _document = verify_payload(document)
+    return status
+
+
+def _canonical(document: dict) -> str:
+    return json.dumps(document, sort_keys=True, separators=(",", ":"))
+
+
+class _Transaction:
+    """A short write transaction: our instance lock + ``BEGIN IMMEDIATE``.
+
+    The instance lock serializes this store object's own threads; ``BEGIN
+    IMMEDIATE`` takes the database write lock up front so a concurrent
+    *process* waits (bounded by the busy timeout) instead of failing at
+    commit time.
+    """
+
+    def __init__(self, connection: sqlite3.Connection, lock: threading.Lock) -> None:
+        self._connection = connection
+        self._lock = lock
+
+    def __enter__(self) -> sqlite3.Connection:
+        self._lock.acquire()
+        try:
+            self._connection.execute("BEGIN IMMEDIATE")
+        except BaseException:
+            self._lock.release()
+            raise
+        return self._connection
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        try:
+            if exc_type is None:
+                self._connection.commit()
+            else:
+                self._connection.rollback()
+        finally:
+            self._lock.release()
+
+
+# ---------------------------------------------------------------------------
+# Migration: JSON shards -> SQLite, one shot.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MigrationReport:
+    """What ``repro store migrate`` carried over (and what it removed)."""
+
+    directory: str
+    jobs: int = 0
+    entries: Dict[str, int] = field(default_factory=dict)
+    run_counter: int = 0
+    skipped_jobs: int = 0
+    removed_files: int = 0
+    kept_json: bool = False
+
+    def summary(self) -> str:
+        lines = [
+            f"cache directory  : {self.directory}",
+            f"backend          : sqlite ({DB_FILENAME})",
+            f"job results      : {self.jobs} migrated"
+            + (f", {self.skipped_jobs} skipped (damaged)" if self.skipped_jobs else ""),
+        ]
+        for kind in _ENTRY_KINDS:
+            lines.append(f"{kind:<17s}: {self.entries.get(kind, 0)} entries migrated")
+        lines.append(f"run counter      : {self.run_counter}")
+        if self.kept_json:
+            lines.append("json files       : kept (--keep-json); 'auto' now picks sqlite")
+        else:
+            lines.append(f"json files       : {self.removed_files} removed")
+        return "\n".join(lines)
+
+
+def migrate_store(
+    directory: Union[str, Path], keep_json: bool = False
+) -> MigrationReport:
+    """Import a JSON-shard cache directory into the SQLite backend.
+
+    Checksummed envelopes are carried over (legacy version-1 documents are
+    re-sealed, exactly as a shard write would), GC touch stamps and the run
+    counter survive, and every registry fingerprint's entries are kept.
+    Orphaned merge intents are replayed first, so entries a crashed run was
+    still carrying are migrated too.  Unless ``keep_json`` is set, the JSON
+    layout (shards, job files, meta, locks) is removed afterwards, leaving a
+    SQLite-only directory that ``open_store`` auto-detects; either way the
+    migration is idempotent -- re-running it re-imports whatever JSON files
+    remain and changes nothing else.
+    """
+    directory = Path(directory)
+    source = BatchCache(directory)
+    with source._directory_lock(exclusive=True):
+        source._replay_orphaned_intents()
+    target = SqliteStore(directory)
+    report = MigrationReport(directory=str(directory))
+
+    for kind in _ENTRY_KINDS:
+        migrated = 0
+        for fingerprint, entries, touched in source.export_entry_documents(kind):
+            migrated += target.import_entries(kind, fingerprint, entries, touched)
+        report.entries[kind] = migrated
+
+    if source.jobs_directory.is_dir():
+        for path in sorted(source.jobs_directory.glob("*.json")):
+            status, document = verify_document(path)
+            if status not in ("ok", "legacy") or not isinstance(
+                document.get("result"), dict
+            ):
+                report.skipped_jobs += 1
+                continue
+            target.import_job_document(path.stem, {"result": document["result"]})
+            report.jobs += 1
+
+    report.run_counter = max(target.run_counter(), source.run_counter())
+    target.set_run_counter(report.run_counter)
+
+    if not keep_json:
+        removed = 0
+        patterns = ["measures-*.json", "sweeps-*.json", "measures-*.lock",
+                    "sweeps-*.lock", "intent-*.json"]
+        for pattern in patterns:
+            for path in sorted(directory.glob(pattern)):
+                path.unlink(missing_ok=True)
+                removed += 1
+        for path in (source.measures_path, source.meta_path,
+                     directory / "measures.lock", directory / "meta.lock"):
+            if path.exists():
+                path.unlink(missing_ok=True)
+                removed += 1
+        if source.jobs_directory.is_dir():
+            for path in sorted(source.jobs_directory.glob("*.json")):
+                path.unlink(missing_ok=True)
+                removed += 1
+            try:
+                source.jobs_directory.rmdir()
+            except OSError:
+                pass
+        report.removed_files = removed
+    else:
+        report.kept_json = True
+    return report

@@ -77,7 +77,6 @@ import repro.telemetry as telemetry
 from repro.astcheck import verify_ast
 from repro.astcheck.exectree import render_tree
 from repro.batch import (
-    BatchCache,
     JobResult,
     RetryPolicy,
     load_job_file,
@@ -87,6 +86,7 @@ from repro.batch import (
     write_results_jsonl,
 )
 from repro.batch.suites import SUITE_NAMES
+from repro.config import ReproConfig
 from repro.geometry.engine import MeasureEngine
 from repro.geometry.measure import MeasureOptions
 from repro.lowerbound import LowerBoundEngine
@@ -99,27 +99,20 @@ from repro.spcf import pretty, typecheck
 from repro.symbolic.execute import Strategy
 
 
+def _config(arguments: argparse.Namespace) -> ReproConfig:
+    """The one shared knob object every command reads its flags through."""
+    return ReproConfig.from_args(arguments)
+
+
 def _measure_options(arguments: argparse.Namespace) -> MeasureOptions:
     """The measure options a command selected (defaults when flagless)."""
-    defaults = MeasureOptions()
-    sweep_depth = getattr(arguments, "sweep_depth", None)
-    sweep_gap = getattr(arguments, "sweep_gap", None)
-    return MeasureOptions(
-        sweep_depth=defaults.sweep_depth if sweep_depth is None else sweep_depth,
-        block_sweep=not getattr(arguments, "no_block_sweep", False),
-        sweep_target_gap=defaults.sweep_target_gap if sweep_gap is None else sweep_gap,
-        sweep_max_boxes=getattr(arguments, "sweep_max_boxes", None),
-    )
+    return _config(arguments).measure_options()
 
 
 def _measure_engine(arguments: argparse.Namespace) -> MeasureEngine:
     """The per-command shared measure engine, honouring ``--no-measure-cache``,
     ``--no-block-memo``, ``--no-block-sweep`` and the sweep budget flags."""
-    return MeasureEngine(
-        options=_measure_options(arguments),
-        cache_enabled=not getattr(arguments, "no_measure_cache", False),
-        block_decomposition=not getattr(arguments, "no_block_memo", False),
-    )
+    return _config(arguments).measure_engine()
 
 
 def _schedule_argument(text: str) -> Tuple[int, ...]:
@@ -282,31 +275,20 @@ def _command_estimate(arguments: argparse.Namespace) -> int:
     return 0
 
 
-def _batch_cache(arguments: argparse.Namespace) -> Optional[BatchCache]:
-    cache_dir = getattr(arguments, "cache_dir", None)
-    return BatchCache(cache_dir) if cache_dir else None
+def _batch_cache(arguments: argparse.Namespace):
+    """The persistent store ``--cache-dir``/``--store`` select (or ``None``)."""
+    return _config(arguments).open_store()
 
 
 def _nondefault_engine_flags(arguments: argparse.Namespace) -> bool:
     """Whether any flag selecting a non-default engine configuration is set."""
-    return bool(
-        getattr(arguments, "no_measure_cache", False)
-        or getattr(arguments, "no_block_memo", False)
-        or getattr(arguments, "no_block_sweep", False)
-        or getattr(arguments, "sweep_depth", None) is not None
-        or getattr(arguments, "sweep_gap", None) is not None
-        or getattr(arguments, "sweep_max_boxes", None) is not None
-    )
+    return _config(arguments).nondefault_engine()
 
 
 def _batch_jobs(arguments: argparse.Namespace, default: int = 1) -> int:
     """The worker count; any non-default engine flag forces inline execution
     (worker processes build default engines, which would ignore the flags)."""
-    jobs = getattr(arguments, "jobs", None)
-    jobs = default if jobs is None else jobs
-    if _nondefault_engine_flags(arguments):
-        return 1
-    return max(1, jobs)
+    return _config(arguments).effective_jobs(default=default)
 
 
 def _print_batch_stats(
@@ -340,15 +322,7 @@ def _batch_engine(
 
 def _retry_policy(arguments: argparse.Namespace) -> Optional[RetryPolicy]:
     """The retry policy the fault-tolerance flags select (None = defaults)."""
-    max_retries = getattr(arguments, "max_retries", None)
-    backoff = getattr(arguments, "retry_backoff", None)
-    if max_retries is None and backoff is None:
-        return None
-    defaults = RetryPolicy()
-    return RetryPolicy(
-        max_retries=defaults.max_retries if max_retries is None else max_retries,
-        backoff_seconds=defaults.backoff_seconds if backoff is None else backoff,
-    )
+    return _config(arguments).retry_policy()
 
 
 def _command_table1(arguments: argparse.Namespace) -> int:
@@ -495,6 +469,84 @@ def _command_batch_prune(arguments: argparse.Namespace) -> int:
     print("pruned the persistent store:")
     for line in report.summary().splitlines():
         print(f"  {line}")
+    return 0
+
+
+def _command_store_migrate(arguments: argparse.Namespace) -> int:
+    """``python -m repro store migrate --cache-dir DIR [--keep-json]``."""
+    from repro.batch.store_sqlite import migrate_store
+
+    if not arguments.cache_dir:
+        print("store migrate: --cache-dir is required", file=sys.stderr)
+        return 2
+    if not os.path.isdir(arguments.cache_dir):
+        print(
+            f"store migrate: {arguments.cache_dir} is not a directory",
+            file=sys.stderr,
+        )
+        return 2
+    report = migrate_store(arguments.cache_dir, keep_json=arguments.keep_json)
+    print("migrated the persistent store to SQLite:")
+    for line in report.summary().splitlines():
+        print(f"  {line}")
+    return 0
+
+
+def _command_serve(arguments: argparse.Namespace) -> int:
+    """``python -m repro serve --socket PATH``: run the analysis daemon."""
+    import asyncio
+
+    from repro.service.daemon import serve
+
+    config = _config(arguments)
+    print(f"serving on {arguments.socket}", file=sys.stderr)
+    if config.cache_dir:
+        print(f"store        : {config.cache_dir} ({config.store_backend})", file=sys.stderr)
+    try:
+        asyncio.run(serve(arguments.socket, config=config))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _command_call(arguments: argparse.Namespace) -> int:
+    """``python -m repro call --socket PATH METHOD [--params JSON]``.
+
+    ``--repeat N`` sends N copies of the request as one JSON-RPC batch --
+    every copy is in flight before the first completes, so identical
+    requests exercise the daemon's coalescing (the CI smoke job's probe).
+    """
+    from repro.service.client import ServiceClient, ServiceError
+
+    try:
+        params = json.loads(arguments.params) if arguments.params else {}
+    except ValueError as error:
+        print(f"call: --params is not valid JSON: {error}", file=sys.stderr)
+        return 2
+    if not isinstance(params, dict):
+        print("call: --params must be a JSON object", file=sys.stderr)
+        return 2
+    if arguments.repeat < 1:
+        print("call: --repeat must be at least 1", file=sys.stderr)
+        return 2
+    try:
+        with ServiceClient(arguments.socket, timeout=arguments.timeout) as client:
+            if arguments.repeat == 1:
+                output = client.call(arguments.method, params)
+            else:
+                output = client.call_batch(
+                    [
+                        {"method": arguments.method, "params": params}
+                        for _ in range(arguments.repeat)
+                    ]
+                )
+    except ServiceError as error:
+        print(f"call: {error}", file=sys.stderr)
+        return 1
+    except (OSError, ConnectionError) as error:
+        print(f"call: cannot reach {arguments.socket}: {error}", file=sys.stderr)
+        return 2
+    print(json.dumps(output, indent=2, sort_keys=True))
     return 0
 
 
@@ -668,6 +720,19 @@ def _add_batch_flags(subparser: argparse.ArgumentParser) -> None:
         "--cache-dir",
         default=None,
         help="persist job results and measure entries here, across runs",
+    )
+    _add_store_flag(subparser)
+
+
+def _add_store_flag(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--store",
+        choices=("auto", "json", "sqlite"),
+        default="auto",
+        help="store backend for --cache-dir: 'auto' uses SQLite iff the "
+        "directory already holds a store.sqlite3 (i.e. was migrated), "
+        "'json' forces sharded JSON, 'sqlite' forces the database "
+        "(default: auto)",
     )
 
 
@@ -872,6 +937,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="persist job results and measure entries here, across runs",
     )
+    _add_store_flag(batch)
     batch.add_argument(
         "--output",
         default=None,
@@ -894,6 +960,86 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fault_flags(batch)
     _add_schedule_flags(batch)
     batch.set_defaults(handler=_command_batch)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the analysis daemon: one hot engine, many clients, "
+        "coalesced requests over a Unix socket",
+    )
+    serve.add_argument(
+        "--socket",
+        required=True,
+        metavar="PATH",
+        help="Unix socket path to listen on (a stale file is replaced; "
+        "removed on orderly exit)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persist job results and measure entries here (hydrates the "
+        "hot engine at startup)",
+    )
+    _add_store_flag(serve)
+    _add_measure_flags(serve)
+    serve.set_defaults(handler=_command_serve)
+
+    call = subparsers.add_parser(
+        "call",
+        help="send one JSON-RPC request to a running analysis daemon",
+    )
+    call.add_argument(
+        "--socket", required=True, metavar="PATH", help="the daemon's Unix socket"
+    )
+    call.add_argument(
+        "method",
+        help="the request method: ping, stats, shutdown, measure, "
+        "lower-bound, lower-bound-schedule, verify, classify, estimate, "
+        "papprox, table1",
+    )
+    call.add_argument(
+        "--params",
+        default=None,
+        metavar="JSON",
+        help="request parameters as a JSON object, e.g. "
+        "'{\"program\": \"geo(1/2)\", \"depth\": 60}'",
+    )
+    call.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        metavar="N",
+        help="send N copies as one JSON-RPC batch (identical copies "
+        "coalesce into a single computation on the daemon)",
+    )
+    call.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        metavar="SECONDS",
+        help="socket timeout for the response (default: 300)",
+    )
+    call.set_defaults(handler=_command_call)
+
+    store = subparsers.add_parser(
+        "store",
+        help="persistent-store administration (see also 'batch prune' and 'doctor')",
+    )
+    store_commands = store.add_subparsers(dest="store_command", required=True)
+    migrate = store_commands.add_parser(
+        "migrate",
+        help="convert a sharded-JSON cache directory to the SQLite backend "
+        "(checksummed envelopes and GC stamps preserved; idempotent)",
+    )
+    migrate.add_argument(
+        "--cache-dir", required=True, help="the cache directory to migrate"
+    )
+    migrate.add_argument(
+        "--keep-json",
+        action="store_true",
+        help="leave the JSON shards in place next to the database "
+        "(default: remove them after a successful import)",
+    )
+    migrate.set_defaults(handler=_command_store_migrate)
 
     doctor = subparsers.add_parser(
         "doctor",

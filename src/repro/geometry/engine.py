@@ -53,6 +53,26 @@ Disabling the cache (``cache_enabled=False``, the CLI's
 same canonicalization *and the same block decomposition*, which is how the
 perf benchmark checks bit-identity; ``block_decomposition=False`` (the CLI's
 ``--no-block-memo``) restores the whole-set-only memoization for ablations.
+
+Invariants
+----------
+
+* **Bit-identity.**  Caching, block decomposition, persistence and telemetry
+  are performance features, never numerical ones: a measure computed through
+  any combination of memo hit, persistent-store import, complementary-branch
+  subtraction or cold recomputation is the same exact :class:`Fraction` (or
+  the same interval bracket on the swept path).  Optimizations that could
+  perturb a result -- block products outside the provable regime, algebraic
+  complements outside univariate-affine sets -- are *gated*, not risked.
+* **Exactness tracking.**  Every result states whether it is exact; inexact
+  (swept) results carry a certified ``[lower, upper]`` bracket, and derived
+  bounds only ever consume the sound side.
+* **Export/import round-trip.**  ``export_cache_entries`` /
+  ``import_cache_entries`` (and their sweep twins) losslessly round-trip
+  memo entries through JSON-safe tuples under a primitive-registry
+  fingerprint; an import under a different fingerprint is a no-op, never a
+  wrong answer.  Exports are incremental (entries new since the last
+  export), which is what makes the daemon's per-request store merges cheap.
 """
 
 from __future__ import annotations

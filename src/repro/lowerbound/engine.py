@@ -20,6 +20,25 @@ return (the plain entry point is itself a one-extend session), so an anytime
 schedule is purely a performance feature, never a numerical one.
 :meth:`~LowerBoundSession.run_schedule` streams the monotone results of a
 depth schedule with a ``target_gap``-driven early stop.
+
+Invariants
+----------
+
+* **Soundness.**  Every emitted probability is a certified lower bound on
+  ``Pterm``: path constraint sets of distinct terminating paths are
+  disjoint, and inexact (swept) measures contribute their certified lower
+  end, never an estimate.
+* **Monotone anytime bounds.**  Along any non-decreasing depth schedule the
+  reported bound is non-decreasing and the certified
+  :meth:`~repro.lowerbound.result.LowerBoundResult.anytime_gap` is
+  non-increasing; a ``target_gap`` early stop only ever stops *after* the
+  guarantee is reached.
+* **Bit-identity.**  Each intermediate result equals the from-scratch
+  ``lower_bound`` at the same depth, byte for byte once JSON-encoded --
+  sessions, shared measure engines, persistent caches and the analysis
+  daemon can therefore be mixed freely without changing a single digit.
+* **Session budgets are non-decreasing** (enforced, not assumed): a session
+  asked to shrink its budget raises instead of silently re-exploring.
 """
 
 from __future__ import annotations

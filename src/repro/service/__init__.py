@@ -1,0 +1,44 @@
+"""The analysis daemon: one hot engine, many clients, coalesced requests.
+
+``python -m repro serve --socket PATH`` turns the reproduction from a
+batch-shaped CLI into a servable system: a long-lived asyncio process owns a
+single memoizing :class:`~repro.geometry.engine.MeasureEngine` (plus named
+resumable :class:`~repro.lowerbound.engine.LowerBoundSession`\\ s) and
+serves ``measure`` / ``lower-bound`` / ``lower-bound-schedule`` / ``table1``
+/ ``papprox`` requests from many concurrent clients over newline-delimited
+JSON-RPC 2.0 on a Unix socket.
+
+* :mod:`repro.service.protocol` -- framing, request/response envelopes,
+  error codes;
+* :mod:`repro.service.daemon`   -- :class:`~repro.service.daemon.AnalysisDaemon`:
+  the event loop, the single engine thread, in-flight request coalescing,
+  sessions, persistence and telemetry;
+* :mod:`repro.service.client`   -- :class:`~repro.service.client.ServiceClient`:
+  the blocking client used by ``python -m repro call``, the tests and the
+  CI smoke job.
+
+Results are byte-identical to one-shot CLI runs: a request is executed as
+the same :class:`~repro.batch.jobs.JobSpec` -> :func:`~repro.batch.jobs.run_job`
+pipeline the batch runner uses, so the deterministic payload dictionary a
+client receives is exactly a ``repro batch`` JSONL line's.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.daemon import AnalysisDaemon, serve
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    error_response,
+    result_response,
+)
+
+__all__ = [
+    "AnalysisDaemon",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ServiceClient",
+    "ServiceError",
+    "error_response",
+    "result_response",
+    "serve",
+]

@@ -1,0 +1,155 @@
+"""``ServiceClient``: the blocking Unix-socket client of the analysis daemon.
+
+Used by ``python -m repro call``, the test suite and the CI smoke job.  One
+client holds one connection; :meth:`ServiceClient.call` sends a single
+request and blocks for its response, :meth:`ServiceClient.call_batch` sends
+a JSON-RPC batch array -- the deterministic way to put many requests in
+flight at once (the daemon registers every request of a batch in its
+coalescing map before any computation can finish).
+
+The client is intentionally synchronous and stdlib-only: the daemon does
+the multiplexing; a client that wants concurrency opens more clients (one
+per thread) or batches.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.service import protocol
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(Exception):
+    """A JSON-RPC error response, carrying the daemon's code and message."""
+
+    def __init__(self, code: int, message: str, data: Optional[dict] = None) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+        self.data = data
+
+
+class ServiceClient:
+    """A connected client; usable as a context manager.
+
+    ::
+
+        with ServiceClient(socket_path) as client:
+            bound = client.call("lower-bound", {"program": "geo(1/2)", "depth": 60})
+    """
+
+    def __init__(
+        self, socket_path: Union[str, Path], timeout: Optional[float] = 300.0
+    ) -> None:
+        self.socket_path = str(socket_path)
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.settimeout(timeout)
+        self._sock.connect(self.socket_path)
+        self._reader = self._sock.makefile("r", encoding="utf-8", newline="\n")
+        self._next_id = 0
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _send(self, payload: Any) -> None:
+        line = json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
+        self._sock.sendall(line.encode("utf-8"))
+
+    def _receive(self) -> Any:
+        line = self._reader.readline()
+        if not line:
+            raise ConnectionError("daemon closed the connection")
+        return json.loads(line)
+
+    def _request(self, method: str, params: Optional[Dict[str, Any]]) -> dict:
+        self._next_id += 1
+        return {
+            "jsonrpc": protocol.PROTOCOL_VERSION,
+            "id": self._next_id,
+            "method": method,
+            "params": params or {},
+        }
+
+    @staticmethod
+    def _unwrap(response: Any) -> Any:
+        if not isinstance(response, dict):
+            raise ServiceError(
+                protocol.PARSE_ERROR, f"malformed response: {response!r}"
+            )
+        if "error" in response:
+            error = response["error"] or {}
+            raise ServiceError(
+                error.get("code", protocol.INTERNAL_ERROR),
+                error.get("message", "unknown error"),
+                error.get("data"),
+            )
+        return response.get("result")
+
+    # -- API -------------------------------------------------------------------
+
+    def call(self, method: str, params: Optional[Dict[str, Any]] = None) -> Any:
+        """One request, one blocking wait, the unwrapped ``result``.
+
+        Raises :class:`ServiceError` on a JSON-RPC error response.
+        """
+        request = self._request(method, params)
+        self._send(request)
+        # The daemon answers this connection's single-object requests in
+        # completion order; with one request outstanding that is this one.
+        response = self._receive()
+        if isinstance(response, dict) and response.get("id") != request["id"]:
+            raise ServiceError(
+                protocol.INTERNAL_ERROR,
+                f"response id {response.get('id')!r} != request id {request['id']!r}",
+            )
+        return self._unwrap(response)
+
+    def call_batch(
+        self, calls: List[Dict[str, Any]]
+    ) -> List[Any]:
+        """Send ``[{"method": ..., "params": {...}}, ...]`` as one JSON-RPC
+        batch; returns unwrapped results in request order.
+
+        All requests of the batch are in flight on the daemon before any
+        completes, so identical entries coalesce deterministically.  A
+        failed entry raises :class:`ServiceError` (after the whole batch
+        has been received).
+        """
+        requests = [
+            self._request(entry["method"], entry.get("params")) for entry in calls
+        ]
+        self._send(requests)
+        responses = self._receive()
+        if not isinstance(responses, list):
+            return [self._unwrap(responses)]
+        by_id = {
+            response.get("id"): response
+            for response in responses
+            if isinstance(response, dict)
+        }
+        results = []
+        for request in requests:
+            response = by_id.get(request["id"])
+            if response is None:
+                raise ServiceError(
+                    protocol.INTERNAL_ERROR,
+                    f"no response for request id {request['id']}",
+                )
+            results.append(self._unwrap(response))
+        return results
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,99 @@
+"""The wire protocol of the analysis daemon: JSON-RPC 2.0 over lines.
+
+One request or response per ``\\n``-terminated line of UTF-8 JSON on a Unix
+stream socket -- the simplest framing that still lets a client pipeline
+requests and a reader debug the stream with ``nc -U`` and eyes.  The subset
+of JSON-RPC 2.0 implemented here:
+
+* request:  ``{"jsonrpc": "2.0", "id": <int|str>, "method": <str>,
+  "params": {...}}`` -- ``params`` is always an object, defaulting empty;
+* success:  ``{"jsonrpc": "2.0", "id": ..., "result": {...}}``;
+* error:    ``{"jsonrpc": "2.0", "id": ..., "error": {"code": <int>,
+  "message": <str>, "data": {...}?}}``;
+* batch:    a JSON *array* of requests answers with an array of responses
+  in the same order.  Batched identical requests are the deterministic way
+  to exercise request coalescing: every request of the array is in flight
+  before the first computation can finish.
+
+Notifications (requests without ``id``) are not supported: every analysis
+request deserves its answer.  Responses to one connection are serialized by
+a per-connection writer lock, but responses may interleave *across*
+requests in completion order -- clients correlate by ``id``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple, Union
+
+PROTOCOL_VERSION = "2.0"
+
+# JSON-RPC 2.0 error codes (plus the implementation-defined -32000 range).
+PARSE_ERROR = -32700
+INVALID_REQUEST = -32600
+METHOD_NOT_FOUND = -32601
+INVALID_PARAMS = -32602
+INTERNAL_ERROR = -32603
+ANALYSIS_ERROR = -32000
+"""The analysis itself failed (a structured ``JobResult`` error)."""
+
+SHUTTING_DOWN = -32001
+"""The daemon is draining; retry against a fresh instance."""
+
+__all__ = [
+    "ANALYSIS_ERROR",
+    "INTERNAL_ERROR",
+    "INVALID_PARAMS",
+    "INVALID_REQUEST",
+    "METHOD_NOT_FOUND",
+    "PARSE_ERROR",
+    "PROTOCOL_VERSION",
+    "SHUTTING_DOWN",
+    "ProtocolError",
+    "error_response",
+    "parse_request",
+    "result_response",
+]
+
+
+class ProtocolError(Exception):
+    """A malformed request, carrying the JSON-RPC error code to answer with."""
+
+    def __init__(self, code: int, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+def parse_request(record: Any) -> Tuple[Union[int, str], str, Dict[str, Any]]:
+    """Validate one decoded request object -> ``(id, method, params)``."""
+    if not isinstance(record, dict):
+        raise ProtocolError(INVALID_REQUEST, "request is not a JSON object")
+    if record.get("jsonrpc") != PROTOCOL_VERSION:
+        raise ProtocolError(
+            INVALID_REQUEST, f"missing or wrong 'jsonrpc' (expected {PROTOCOL_VERSION!r})"
+        )
+    request_id = record.get("id")
+    if not isinstance(request_id, (int, str)) or isinstance(request_id, bool):
+        raise ProtocolError(INVALID_REQUEST, "missing or non-int/str request 'id'")
+    method = record.get("method")
+    if not isinstance(method, str) or not method:
+        raise ProtocolError(INVALID_REQUEST, "missing request 'method'")
+    params = record.get("params", {})
+    if not isinstance(params, dict):
+        raise ProtocolError(INVALID_PARAMS, "'params' must be an object")
+    return request_id, method, params
+
+
+def result_response(request_id: Union[int, str], result: Any) -> Dict[str, Any]:
+    return {"jsonrpc": PROTOCOL_VERSION, "id": request_id, "result": result}
+
+
+def error_response(
+    request_id: Optional[Union[int, str]],
+    code: int,
+    message: str,
+    data: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    error: Dict[str, Any] = {"code": code, "message": message}
+    if data is not None:
+        error["data"] = data
+    return {"jsonrpc": PROTOCOL_VERSION, "id": request_id, "error": error}

@@ -30,6 +30,23 @@ reduction step at most once across the whole schedule.
 The same stepping machinery supports a call-by-value mode and a distinguished
 *recursion marker*; the AST verifier (Sec. 6) uses those to build symbolic
 execution trees of recursion bodies.
+
+Invariants
+----------
+
+* **Bit-identity of resumption.**  For every budget ``d`` and every schedule
+  of extends reaching it, ``session.extend(d)`` returns an
+  :class:`ExplorationResult` equal -- path list, path order, constraint
+  sets, statistics included -- to ``SymbolicExplorer.explore(term, d)`` from
+  scratch.  The frontier is ordered by breadth-first discovery index, so
+  resumption changes *when* a configuration is stepped, never *whether* or
+  *in which output position*.
+* **Monotone budgets.**  Budgets within a session are non-decreasing and
+  path sets only grow with them; every terminated path reported at depth
+  ``d`` is reported at every depth ``d' >= d``.  This is what makes the
+  anytime lower bound monotone.
+* **Each step once.**  Across a whole schedule, each small-step reduction is
+  executed at most once; deepening costs only the new frontier work.
 """
 
 from __future__ import annotations

@@ -57,6 +57,8 @@ EVENT_KINDS = (
     "quarantine",          # {path, reason}
     "trace-merged",        # {source, events, torn} (worker-file merges)
     "warning",             # {code, message?, count?, path?}
+    "coalesce-hit",        # {method, key} (daemon: request joined an
+                           # identical in-flight computation)
 )
 
 _RESERVED = ("v", "ev", "t", "seq", "pid")

@@ -1,0 +1,328 @@
+"""Tests for the SQLite store backend: parity with the JSON shards,
+quarantine semantics, GC, migration round-trips, backend discovery."""
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.batch import JobSpec, migrate_store, open_store, run_batch, run_job
+from repro.batch.cache import BatchCache
+from repro.batch.store_sqlite import SqliteStore, sqlite_store_path
+from repro.geometry.engine import MeasureEngine
+
+
+def warm_engine(depth=12):
+    engine = MeasureEngine()
+    spec = JobSpec(program="geo(1/2)", analysis="lower-bound", params={"depth": depth})
+    result = run_job(spec, engine)
+    assert result.ok
+    return engine, spec, result
+
+
+def populated_json_cache(tmp_path, depth=12):
+    cache = BatchCache(tmp_path)
+    engine, spec, result = warm_engine(depth)
+    run = cache.begin_run()
+    cache.store_job(result)
+    cache.merge_measures(engine, engine.export_cache_entries(), run=run)
+    cache.merge_sweeps(engine, engine.export_sweep_entries(), run=run)
+    return cache, spec, result
+
+
+class TestOpenStore:
+    def test_fresh_directory_defaults_to_json(self, tmp_path):
+        assert isinstance(open_store(tmp_path), BatchCache)
+
+    def test_auto_picks_sqlite_once_the_database_exists(self, tmp_path):
+        SqliteStore(tmp_path)
+        assert sqlite_store_path(tmp_path).exists()
+        assert isinstance(open_store(tmp_path), SqliteStore)
+
+    def test_explicit_backends(self, tmp_path):
+        assert isinstance(open_store(tmp_path, backend="sqlite"), SqliteStore)
+        assert isinstance(open_store(tmp_path, backend="json"), BatchCache)
+        with pytest.raises(ValueError):
+            open_store(tmp_path, backend="postgres")
+
+
+class TestSqliteStoreParity:
+    """The shard-store behaviours, mirrored on the database backend."""
+
+    def test_job_round_trip(self, tmp_path):
+        store = SqliteStore(tmp_path)
+        _engine, spec, result = warm_engine()
+        store.store_job(result)
+        loaded = store.load_job(spec.key())
+        assert loaded is not None
+        assert loaded.to_json_line() == result.to_json_line()
+        assert loaded.cached
+
+    def test_error_results_are_not_cached(self, tmp_path):
+        store = SqliteStore(tmp_path)
+        engine = MeasureEngine()
+        bad = run_job(JobSpec(program="mu phi x. (", analysis="verify"), engine)
+        assert not bad.ok
+        store.store_job(bad)
+        assert store.job_count() == 0
+
+    def test_measure_merge_and_load_round_trip(self, tmp_path):
+        store = SqliteStore(tmp_path)
+        engine, _spec, _result = warm_engine()
+        entries = engine.export_cache_entries()
+        assert entries
+        written = store.merge_measures(engine, entries, run=store.begin_run())
+        assert written == len(entries)
+        fresh = MeasureEngine()
+        assert store.load_measures(fresh) == entries
+
+    def test_fingerprint_isolation(self, tmp_path):
+        store = SqliteStore(tmp_path)
+        engine, _spec, _result = warm_engine()
+        entries = engine.export_cache_entries()
+        store.merge_measures(engine, entries, run=1)
+        store.import_entries(
+            "measures", "other-fingerprint", {"bogus-key": ["bogus"]}, touched={}
+        )
+        fresh = MeasureEngine()
+        assert len(store.load_measures(fresh)) == len(entries)
+
+    def test_damaged_row_reads_as_miss_and_is_quarantined(self, tmp_path):
+        store = SqliteStore(tmp_path)
+        _engine, spec, result = warm_engine()
+        store.store_job(result)
+        with store._connection:
+            store._connection.execute(
+                "UPDATE jobs SET document = ? WHERE key = ?",
+                ('{"version": 2, "torn', spec.key()),
+            )
+        assert store.load_job(spec.key()) is None
+        rows = store.quarantine_rows()
+        assert [(origin, reason) for origin, _key, reason in rows] == [
+            ("jobs", "corrupt-json")
+        ]
+
+    def test_one_damaged_entry_does_not_hide_the_others(self, tmp_path):
+        store = SqliteStore(tmp_path)
+        engine, _spec, _result = warm_engine()
+        entries = engine.export_cache_entries()
+        assert len(entries) >= 2
+        store.merge_measures(engine, entries, run=1)
+        victim = store._connection.execute(
+            "SELECT key FROM entries WHERE kind = 'measures' LIMIT 1"
+        ).fetchone()[0]
+        with store._connection:
+            store._connection.execute(
+                "UPDATE entries SET document = 'not json' WHERE key = ?", (victim,)
+            )
+        fresh = MeasureEngine()
+        assert len(store.load_measures(fresh)) == len(entries) - 1
+        assert store.quarantine_count == 1
+
+    def test_checksum_mismatch_is_caught(self, tmp_path):
+        store = SqliteStore(tmp_path)
+        _engine, spec, result = warm_engine()
+        store.store_job(result)
+        row = store._connection.execute(
+            "SELECT document FROM jobs WHERE key = ?", (spec.key(),)
+        ).fetchone()[0]
+        document = json.loads(row)
+        document["result"]["status"] = "tampered"
+        with store._connection:
+            store._connection.execute(
+                "UPDATE jobs SET document = ? WHERE key = ?",
+                (json.dumps(document), spec.key()),
+            )
+        assert store.load_job(spec.key()) is None
+        assert any(
+            reason == "checksum-mismatch"
+            for _o, _k, reason in store.quarantine_rows()
+        )
+
+    def test_prune_drops_only_stale_entries(self, tmp_path):
+        store = SqliteStore(tmp_path)
+        engine, _spec, _result = warm_engine()
+        entries = engine.export_cache_entries()
+        store.merge_measures(engine, entries, run=1)
+        store.set_run_counter(10)
+        report = store.prune(min_age_runs=3)
+        assert report.pruned.get("measures") == len(entries)
+        # freshly touched entries survive the same cutoff
+        store.merge_measures(engine, entries, run=store.run_counter())
+        report = store.prune(min_age_runs=3)
+        assert report.pruned.get("measures", 0) == 0
+        assert report.kept.get("measures") == len(entries)
+
+    def test_touch_refresh_protects_persistent_hits(self, tmp_path):
+        store = SqliteStore(tmp_path)
+        engine, _spec, _result = warm_engine()
+        entries = engine.export_cache_entries()
+        store.merge_measures(engine, entries, run=1)
+        touched = set(entries)
+        store.set_run_counter(9)
+        store.merge_measures(engine, {}, run=9, touched_keys=touched)
+        report = store.prune(min_age_runs=3)
+        assert report.pruned.get("measures", 0) == 0
+
+    def test_integrity_check_is_clean(self, tmp_path):
+        store = SqliteStore(tmp_path)
+        assert store.integrity_check() is None
+
+    def test_concurrent_connections_share_the_database(self, tmp_path):
+        first = SqliteStore(tmp_path)
+        second = SqliteStore(tmp_path)
+        _engine, _spec, result = warm_engine()
+        first.store_job(result)
+        assert second.load_job(result.key) is not None
+
+
+class TestMigration:
+    def test_round_trip_preserves_persistent_hits(self, tmp_path):
+        cache, spec, result = populated_json_cache(tmp_path)
+        json_entries = cache.load_measures(MeasureEngine())
+        report = migrate_store(tmp_path)
+        assert report.jobs == 1
+        assert report.entries.get("measures") == len(json_entries)
+        store = open_store(tmp_path)
+        assert isinstance(store, SqliteStore)
+        # identical job hit, byte for byte
+        migrated = store.load_job(spec.key())
+        assert migrated is not None
+        assert migrated.to_json_line() == result.to_json_line()
+        # identical measure entries
+        assert store.load_measures(MeasureEngine()) == json_entries
+
+    def test_migration_removes_json_files_by_default(self, tmp_path):
+        populated_json_cache(tmp_path)
+        migrate_store(tmp_path)
+        assert not list(tmp_path.glob("measures-*.json"))
+        assert not (tmp_path / "jobs").exists()
+        assert not (tmp_path / "meta.json").exists()
+
+    def test_keep_json_leaves_the_shards(self, tmp_path):
+        populated_json_cache(tmp_path)
+        report = migrate_store(tmp_path, keep_json=True)
+        assert report.kept_json
+        assert list(tmp_path.glob("measures-*.json"))
+        assert sqlite_store_path(tmp_path).exists()
+
+    def test_migration_is_idempotent(self, tmp_path):
+        populated_json_cache(tmp_path)
+        first = migrate_store(tmp_path)
+        second = migrate_store(tmp_path)
+        assert second.jobs == 0
+        assert first.run_counter == second.run_counter
+
+    def test_migration_preserves_run_counter_and_touch_stamps(self, tmp_path):
+        cache, _spec, _result = populated_json_cache(tmp_path)
+        for _ in range(4):
+            cache.begin_run()
+        migrate_store(tmp_path)
+        store = SqliteStore(tmp_path)
+        assert store.run_counter() == 5
+        # entries were touched at run 1, so a 3-run cutoff prunes them
+        report = store.prune(min_age_runs=3)
+        assert report.pruned.get("measures", 0) > 0
+
+    def test_damaged_job_files_are_skipped_and_counted(self, tmp_path):
+        cache, spec, _result = populated_json_cache(tmp_path)
+        (cache.jobs_directory / f"{spec.key()}.json").write_text("{torn")
+        report = migrate_store(tmp_path)
+        assert report.skipped_jobs == 1
+        assert report.jobs == 0
+
+
+class TestWarmReruns:
+    def test_migrated_store_serves_a_batch_with_zero_recomputation(self, tmp_path):
+        from repro.batch import table1_suite
+
+        specs = table1_suite(depth=12)
+        cold = run_batch(specs, cache=open_store(tmp_path))
+        migrate_store(tmp_path)
+        store = open_store(tmp_path)
+        assert isinstance(store, SqliteStore)
+        warm_engine_ = MeasureEngine()
+        warm = run_batch(specs, cache=store, engine=warm_engine_)
+        assert [r.to_json_line() for r in warm.results] == [
+            r.to_json_line() for r in cold.results
+        ]
+        assert all(result.cached for result in warm.results)
+        assert warm_engine_.stats.measure_requests == 0
+
+
+class TestDoctorAndPruneDiscovery:
+    def test_doctor_reports_cleanly_on_a_migrated_directory(self, tmp_path):
+        from repro.batch.doctor import diagnose
+
+        populated_json_cache(tmp_path)
+        migrate_store(tmp_path)
+        report = diagnose(tmp_path)
+        assert report.exit_code == 0
+        assert report.counts["job_files"] == 1
+        assert report.counts["measures_entries"] > 0
+
+    def test_doctor_flags_database_damage(self, tmp_path):
+        from repro.batch.doctor import diagnose
+
+        populated_json_cache(tmp_path)
+        migrate_store(tmp_path)
+        store = SqliteStore(tmp_path)
+        with store._connection:
+            store._connection.execute("UPDATE jobs SET document = 'garbage'")
+        store._connection.close()
+        report = diagnose(tmp_path)
+        assert report.exit_code == 1
+        assert any(f.code == "corrupt-json" for f in report.errors)
+
+    def test_doctor_flags_quarantined_rows(self, tmp_path):
+        from repro.batch.doctor import diagnose
+
+        store = SqliteStore(tmp_path)
+        _engine, spec, result = warm_engine()
+        store.store_job(result)
+        with store._connection:
+            store._connection.execute("UPDATE jobs SET document = 'garbage'")
+        assert store.load_job(spec.key()) is None  # quarantines
+        report = diagnose(tmp_path)
+        assert report.exit_code == 1
+        assert any(f.code == "quarantined" for f in report.errors)
+
+    def test_cli_prune_works_on_a_migrated_directory(self, tmp_path, capsys):
+        from repro.cli import main
+
+        populated_json_cache(tmp_path)
+        migrate_store(tmp_path)
+        exit_code = main(
+            ["batch", "prune", "--cache-dir", str(tmp_path), "--keep-runs", "5"]
+        )
+        assert exit_code == 0
+        assert "pruned the persistent store" in capsys.readouterr().out
+
+    def test_store_flag_forces_a_backend(self, tmp_path):
+        from repro.config import ReproConfig
+
+        SqliteStore(tmp_path)
+        config = ReproConfig(cache_dir=str(tmp_path), store_backend="json")
+        assert isinstance(config.open_store(), BatchCache)
+        config = ReproConfig(cache_dir=str(tmp_path), store_backend="auto")
+        assert isinstance(config.open_store(), SqliteStore)
+
+
+class TestReadOnlyTolerance:
+    def test_quarantine_tolerates_read_only_database(self, tmp_path):
+        store = SqliteStore(tmp_path)
+        _engine, spec, result = warm_engine()
+        store.store_job(result)
+        with store._connection:
+            store._connection.execute("UPDATE jobs SET document = 'garbage'")
+        store._connection.close()
+        readonly = sqlite3.connect(
+            f"file:{sqlite_store_path(tmp_path)}?mode=ro", uri=True
+        )
+        try:
+            fresh = SqliteStore(tmp_path)
+            fresh._connection.close()
+            fresh._connection = readonly
+            assert fresh.load_job(spec.key()) is None
+        finally:
+            readonly.close()
