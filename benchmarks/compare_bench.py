@@ -59,6 +59,7 @@ BENCH_FILES = (
     "BENCH_batch.json",
     "BENCH_sweep.json",
     "BENCH_anytime.json",
+    "BENCH_kernel.json",
 )
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -401,11 +402,77 @@ def _anytime_metrics(baseline: dict, current: dict) -> List[Metric]:
     return metrics
 
 
+def _kernel_metrics(baseline: dict, current: dict) -> List[Metric]:
+    metrics = [
+        # Both sides of the speedup come from the same process on the same
+        # machine (scalar vs kernel interleaved in one run), so the ratio
+        # transfers across runners like the other within-run ratios.
+        Metric(
+            "kernel: engaged boxes/sec speedup",
+            _number(baseline.get("engaged_kernel_speedup")),
+            _number(current.get("engaged_kernel_speedup")),
+            HIGHER,
+            RATIO,
+        ),
+        Metric(
+            "kernel: engaged programs",
+            _number(baseline.get("engaged_programs")),
+            _number(current.get("engaged_programs")),
+            HIGHER,
+            COUNTER,
+        ),
+        Metric(
+            "kernel: boxes classified in batches (total)",
+            _number(baseline.get("kernel_boxes_total")),
+            _number(current.get("kernel_boxes_total")),
+            HIGHER,
+            COUNTER,
+        ),
+        Metric(
+            "kernel: engaged boxes/sec (kernel)",
+            _number(baseline.get("engaged_boxes_per_sec_kernel")),
+            _number(current.get("engaged_boxes_per_sec_kernel")),
+            HIGHER,
+            WALLCLOCK,
+        ),
+    ]
+    baseline_programs = baseline.get("programs") or {}
+    current_programs = current.get("programs") or {}
+    for name in sorted(baseline_programs):
+        old_row = baseline_programs.get(name) or {}
+        new_row = current_programs.get(name)
+        if new_row is None:
+            metrics.append(
+                Metric(f"kernel[{name}]: boxes",
+                       _number(old_row.get("boxes")), None, LOWER, COUNTER)
+            )
+            continue
+        # The bound and the box count are bit-identity witnesses (zero
+        # tolerance); per-program speedups are informational -- programs
+        # inside the warmup window hover at 1x by design.
+        for field, direction, kind in (
+            ("boxes", LOWER, COUNTER),
+            ("bound", HIGHER, COUNTER),
+            ("kernel_speedup", HIGHER, WALLCLOCK),
+        ):
+            metrics.append(
+                Metric(
+                    f"kernel[{name}]: {field.replace('_', ' ')}",
+                    _number(old_row.get(field)),
+                    _number(new_row.get(field)),
+                    direction,
+                    kind,
+                )
+            )
+    return metrics
+
+
 METRIC_BUILDERS = {
     "BENCH_papprox.json": _papprox_metrics,
     "BENCH_batch.json": _batch_metrics,
     "BENCH_sweep.json": _sweep_metrics,
     "BENCH_anytime.json": _anytime_metrics,
+    "BENCH_kernel.json": _kernel_metrics,
 }
 
 
@@ -476,6 +543,7 @@ HISTORY_METRICS = (
     ("BENCH_batch.json", "warm_ratio", "batch warm/cold ratio"),
     ("BENCH_sweep.json", "aggregate_box_reduction", "sweep box reduction"),
     ("BENCH_anytime.json", "aggregate_step_reduction", "anytime step reduction"),
+    ("BENCH_kernel.json", "engaged_kernel_speedup", "kernel speedup"),
 )
 
 

@@ -1,11 +1,40 @@
-"""Legacy setup shim.
+"""Package metadata for the reproduction.
 
 The execution environment has no ``wheel`` package and no network access, so
-PEP 660 editable installs (which build a wheel) are unavailable.  This shim
-lets ``python setup.py develop`` / ``pip install -e . --no-build-isolation``
-fall back to the classic egg-link mechanism.
+PEP 660 editable installs (which build a wheel) are unavailable.  This classic
+``setup.py`` lets ``python setup.py develop`` / ``pip install -e .
+--no-build-isolation`` fall back to the egg-link mechanism while still
+declaring real metadata.
+
+``numpy`` is a hard install requirement since the vectorized sweep kernel
+(:mod:`repro.geometry.kernel`) evaluates interval extensions over chunks of
+boxes as numpy array programs.  Environments that cannot satisfy it still
+import fine -- the kernel module guards its import and the sweep falls back
+to the scalar loop -- but a source install should pull numpy in.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-spcf-lower-bounds",
+    version="0.9.0",
+    description=(
+        "Certified lower bounds on termination probability of SPCF programs "
+        "(reproduction of Beutner & Ong, PLDI 2021)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.8",
+    install_requires=[
+        "numpy",
+    ],
+    extras_require={
+        "dev": [
+            "scipy",
+            "hypothesis",
+            "pytest",
+            "pytest-benchmark",
+            "ruff",
+        ],
+    },
+)

@@ -615,6 +615,7 @@ def _command_trace_watch(arguments: argparse.Namespace) -> int:
         interval=arguments.interval,
         once=arguments.once,
         max_idle=arguments.max_idle,
+        bench=arguments.bench,
     )
 
 
@@ -804,6 +805,20 @@ def _add_measure_flags(subparser: argparse.ArgumentParser) -> None:
         help="cap on boxes examined per sweep (default: unlimited)",
     )
     subparser.add_argument(
+        "--no-sweep-kernel",
+        action="store_true",
+        help="classify sweep boxes one at a time through the scalar loop "
+        "instead of the vectorized chunk kernel (bit-identical, slower)",
+    )
+    subparser.add_argument(
+        "--contract",
+        action="store_true",
+        help="run the interval-Newton / monotonicity contractor on boxes "
+        "the sweep classifier leaves undecided (certifiably tighter "
+        "bounds at equal budget; changes emitted inexact bounds, so "
+        "results persist under distinct store keys)",
+    )
+    subparser.add_argument(
         "--stats",
         action="store_true",
         help="print the measure engine's performance counters after the run",
@@ -979,6 +994,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="persist job results and measure entries here (hydrates the "
         "hot engine at startup)",
     )
+    serve.add_argument(
+        "--session-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="evict named analysis sessions idle longer than this "
+        "(default: keep sessions until shutdown)",
+    )
+    serve.add_argument(
+        "--max-sessions",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap on live named sessions; creating one past the cap "
+        "evicts the least recently used (default: unbounded)",
+    )
     _add_store_flag(serve)
     _add_measure_flags(serve)
     serve.set_defaults(handler=_command_serve)
@@ -1120,6 +1151,16 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="give up after this many seconds without new events "
         "(default: follow until the trace ends)",
+    )
+    watch.add_argument(
+        "--bench",
+        nargs="?",
+        const="benchmarks/baselines",
+        default=None,
+        metavar="DIR",
+        help="render the committed benchmark baseline history from DIR "
+        "(BENCH_*.json files) alongside the live dashboard "
+        "(default DIR when the flag is bare: benchmarks/baselines)",
     )
     watch.set_defaults(handler=_command_trace_watch)
 

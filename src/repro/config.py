@@ -61,6 +61,14 @@ class ReproConfig:
     sweep_max_boxes: Optional[int] = None
     """``--sweep-max-boxes``: cap on boxes per sweep."""
 
+    sweep_kernel: bool = True
+    """``--no-sweep-kernel`` restores the scalar classification loop
+    (bit-identical results, slower)."""
+
+    contract: bool = False
+    """``--contract`` runs the interval-Newton contractor on undecided boxes
+    (tighter bounds at equal budget; result-changing, so off by default)."""
+
     # -- anytime schedules -----------------------------------------------------
     schedule: Optional[Tuple[int, ...]] = None
     """``--schedule d1,d2,...``: non-decreasing anytime depth schedule."""
@@ -92,6 +100,15 @@ class ReproConfig:
     trace: Optional[str] = None
     """``--trace PATH``: arm the structured telemetry stream."""
 
+    # -- daemon ----------------------------------------------------------------
+    session_ttl: Optional[float] = None
+    """``--session-ttl``: evict daemon sessions idle longer than this
+    (seconds; ``None`` = never evict on idleness)."""
+
+    max_sessions: Optional[int] = None
+    """``--max-sessions``: cap on live named daemon sessions; the least
+    recently used ones are evicted past it (``None`` = unbounded)."""
+
     # -- construction ----------------------------------------------------------
 
     @classmethod
@@ -109,6 +126,8 @@ class ReproConfig:
             sweep_depth=flag("sweep_depth"),
             sweep_gap=flag("sweep_gap"),
             sweep_max_boxes=flag("sweep_max_boxes"),
+            sweep_kernel=not flag("no_sweep_kernel", False),
+            contract=flag("contract", False) or False,
             schedule=tuple(schedule) if schedule else None,
             target_gap=flag("target_gap"),
             jobs=flag("jobs"),
@@ -118,6 +137,8 @@ class ReproConfig:
             max_retries=flag("max_retries"),
             retry_backoff=flag("retry_backoff"),
             trace=flag("trace"),
+            session_ttl=flag("session_ttl"),
+            max_sessions=flag("max_sessions"),
         )
 
     def with_overrides(self, **changes) -> "ReproConfig":
@@ -137,6 +158,8 @@ class ReproConfig:
                 defaults.sweep_target_gap if self.sweep_gap is None else self.sweep_gap
             ),
             sweep_max_boxes=self.sweep_max_boxes,
+            sweep_kernel=self.sweep_kernel,
+            contract=self.contract,
         )
 
     def measure_engine(self):
@@ -162,6 +185,8 @@ class ReproConfig:
             or self.sweep_depth is not None
             or self.sweep_gap is not None
             or self.sweep_max_boxes is not None
+            or not self.sweep_kernel
+            or self.contract
         )
 
     def effective_jobs(self, default: int = 1) -> int:

@@ -1,0 +1,375 @@
+"""Interval-Newton / monotonicity box contraction for the adaptive sweep.
+
+Plain interval evaluation decides a box only when the whole image interval
+clears the constraint boundary, so the sweep spends its budget bisecting
+towards boundaries at midpoint resolution.  This module tightens that:
+for a box the classifier left *undecided*, it
+
+* **decides** the box outright when every remaining constraint is monotone
+  over it (forward-mode interval AD yields sign-constant partial
+  derivative enclosures) and the constraint's *worst corner* -- the single
+  point where a monotone function is extremal -- can be decided by exact
+  point evaluation, and
+* **shaves** certifiably-violating slabs off the box with an
+  interval-Newton bound: if ``h`` (the constraint's violation margin) is
+  nondecreasing in ``x_j`` with derivative enclosure ``[d_lo, d_hi]``,
+  ``d_lo > 0``, and the ``x_j = lo`` face evaluates to at least
+  ``h_lo``, then every point with
+
+      ``x_j  >  lo - h_lo / d_lo``
+
+  satisfies ``h > 0`` -- a certified violation -- and the slab above a
+  dyadic cut point past that threshold is discarded.  Cut points are
+  dyadic fractions of the box width, so contracted boxes keep exact
+  ``Fraction`` endpoints and remain frontier-encodable.
+
+Everything is computed in exact rational arithmetic on top of the sound
+scalar interval extensions (float endpoints convert to ``Fraction``
+exactly), so a discarded slab or a decided box is *certified*: contraction
+can only move volume from *undecided* to *accepted* or *rejected*, never
+the other way -- bounds tighten, they never loosen.  Because accepted
+volumes and refinement order change, the feature is flag-gated
+(``MeasureOptions.contract``, default off) and contract-enabled results
+persist under distinct store keys.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.intervals.box import Box
+from repro.intervals.interval import Interval
+from repro.spcf.primitives import PrimitiveRegistry
+from repro.symbolic.constraints import Constraint, Relation
+from repro.symbolic.values import ArgVal, ConstVal, PrimVal, SampleVar, SymVal
+
+__all__ = ["contract_box"]
+
+_ROUNDS = 2
+"""Contraction passes per box; a pass that changes nothing ends the loop."""
+
+_GRID = 8
+"""Dyadic resolution of shave cuts: candidate cut points are ``lo + width
+* m/8``, keeping contracted endpoints exact and cheaply encodable."""
+
+Pair = Tuple[Fraction, Fraction]
+
+
+class _Unsupported(Exception):
+    """The constraint's value has no sound derivative enclosure here."""
+
+
+def _exact(value) -> Fraction:
+    """Exact ``Fraction`` view of an interval endpoint (floats are binary
+    rationals, so this never rounds)."""
+    return value if isinstance(value, Fraction) else Fraction(value)
+
+
+def _iadd(a: Pair, b: Pair) -> Pair:
+    return a[0] + b[0], a[1] + b[1]
+
+
+def _imul(a: Pair, b: Pair) -> Pair:
+    products = (a[0] * b[0], a[0] * b[1], a[1] * b[0], a[1] * b[1])
+    return min(products), max(products)
+
+
+def _ineg(a: Pair) -> Pair:
+    return -a[1], -a[0]
+
+
+_ZERO: Pair = (Fraction(0), Fraction(0))
+
+
+def _differentiate(
+    value: SymVal,
+    dims: Sequence[int],
+    intervals: Sequence[Interval],
+    registry: PrimitiveRegistry,
+    argument: Optional[Interval],
+) -> Optional[List[Pair]]:
+    """Sound interval enclosures of ``d value / d x_j`` for each ``j`` in
+    ``dims``, or ``None`` when no enclosure is available (non-smooth
+    primitive, ``star``, a ``log`` whose argument may be non-positive).
+
+    Forward-mode interval AD with exact rational arithmetic, walked with an
+    explicit stack (value trees grow with the step budget) and memoized on
+    node identity so shared sub-expressions differentiate once.
+    """
+    positions = {dim: position for position, dim in enumerate(dims)}
+    zeros = tuple(_ZERO for _ in dims)
+    memo: Dict[int, Tuple[Pair, Tuple[Pair, ...]]] = {}
+
+    def result_for(node: SymVal) -> Tuple[Pair, Tuple[Pair, ...]]:
+        return memo[id(node)]
+
+    try:
+        work: List[Tuple[str, SymVal]] = [("visit", value)]
+        while work:
+            tag, node = work.pop()
+            if id(node) in memo:
+                continue
+            if tag == "emit":
+                bounds = []
+                for arg in node.args:
+                    pair, _ = result_for(arg)
+                    bounds.append(pair)
+                op = node.op
+                if op in ("add", "sub", "neg"):
+                    prim = registry[op].on_box(*bounds)
+                    pair = (_exact(prim[0]), _exact(prim[1]))
+                    if op == "add":
+                        derivs = tuple(
+                            _iadd(result_for(node.args[0])[1][k], result_for(node.args[1])[1][k])
+                            for k in range(len(dims))
+                        )
+                    elif op == "sub":
+                        derivs = tuple(
+                            _iadd(
+                                result_for(node.args[0])[1][k],
+                                _ineg(result_for(node.args[1])[1][k]),
+                            )
+                            for k in range(len(dims))
+                        )
+                    else:
+                        derivs = tuple(_ineg(d) for d in result_for(node.args[0])[1])
+                elif op == "mul":
+                    (va, da), (vb, db) = result_for(node.args[0]), result_for(node.args[1])
+                    pair = _imul(va, vb)
+                    derivs = tuple(
+                        _iadd(_imul(da[k], vb), _imul(va, db[k]))
+                        for k in range(len(dims))
+                    )
+                elif op == "exp":
+                    va, da = result_for(node.args[0])
+                    prim = registry["exp"].on_box(va)
+                    pair = (_exact(prim[0]), _exact(prim[1]))
+                    derivs = tuple(_imul(pair, d) for d in da)
+                elif op == "sig":
+                    va, da = result_for(node.args[0])
+                    prim = registry["sig"].on_box(va)
+                    pair = (_exact(prim[0]), _exact(prim[1]))
+                    slope = _imul(pair, (1 - pair[1], 1 - pair[0]))
+                    derivs = tuple(_imul(slope, d) for d in da)
+                elif op == "log":
+                    va, da = result_for(node.args[0])
+                    if va[0] <= 0:
+                        raise _Unsupported("log")
+                    prim = registry["log"].on_box(va)
+                    pair = (_exact(prim[0]), _exact(prim[1]))
+                    reciprocal = (1 / va[1], 1 / va[0])
+                    derivs = tuple(_imul(reciprocal, d) for d in da)
+                else:  # min / max / abs are non-smooth; anything else unknown
+                    raise _Unsupported(op)
+                memo[id(node)] = (pair, derivs)
+                continue
+            if isinstance(node, PrimVal):
+                work.append(("emit", node))
+                for arg in reversed(node.args):
+                    work.append(("visit", arg))
+            elif isinstance(node, SampleVar):
+                if node.index < len(intervals):
+                    interval = intervals[node.index]
+                    pair = (_exact(interval.lo), _exact(interval.hi))
+                else:
+                    pair = (Fraction(0), Fraction(1))
+                position = positions.get(node.index)
+                if position is None:
+                    derivs = zeros
+                else:
+                    derivs = tuple(
+                        (Fraction(1), Fraction(1)) if k == position else _ZERO
+                        for k in range(len(dims))
+                    )
+                memo[id(node)] = (pair, derivs)
+            elif isinstance(node, ConstVal):
+                exact = _exact(node.value)
+                memo[id(node)] = ((exact, exact), zeros)
+            elif isinstance(node, ArgVal):
+                if argument is None:
+                    raise _Unsupported("argument")
+                memo[id(node)] = (
+                    (_exact(argument.lo), _exact(argument.hi)),
+                    zeros,
+                )
+            else:  # StarVal and future forms
+                raise _Unsupported(type(node).__name__)
+        return list(result_for(value)[1])
+    except (_Unsupported, ValueError, OverflowError, ZeroDivisionError):
+        return None
+
+
+def _violation_sign(relation: Relation) -> int:
+    """``s`` such that ``s * value > 0`` certifies a violated constraint.
+
+    Mirrors the branch structure of ``Constraint.box_status`` (anything
+    that is not ``GT``/``GE`` is an upper-bound relation) so the two can
+    never disagree about which corner is the worst one.
+    """
+    return -1 if relation in (Relation.GT, Relation.GE) else 1
+
+
+def _face_pair(
+    constraint: Constraint,
+    intervals: Sequence[Interval],
+    dimension: int,
+    face: Interval,
+    registry: PrimitiveRegistry,
+    argument: Optional[Interval],
+) -> Optional[Pair]:
+    """Exact rational bounds of the constraint's value over one box face."""
+    mapping = {index: interval for index, interval in enumerate(intervals)}
+    mapping[dimension] = face
+    try:
+        bounds = constraint.value.interval_evaluate(mapping, registry, argument)
+    except (ValueError, OverflowError):
+        return None
+    return _exact(bounds.lo), _exact(bounds.hi)
+
+
+def _corner_status(
+    constraint: Constraint,
+    dims: Sequence[int],
+    derivs: Sequence[Pair],
+    intervals: Sequence[Interval],
+    registry: PrimitiveRegistry,
+    argument: Optional[Interval],
+) -> Optional[bool]:
+    """Decide the constraint over the whole box via its extremal corners.
+
+    Only applicable when every dimension's derivative enclosure has
+    constant sign: the value is then extremal at two opposite corners, and
+    a certified verdict at the *worst* corner extends to the whole box.
+    """
+    signs = []
+    for d_lo, d_hi in derivs:
+        if d_lo >= 0:
+            signs.append(1)
+        elif d_hi <= 0:
+            signs.append(-1)
+        else:
+            return None
+    maximal: Dict[int, Interval] = {}
+    minimal: Dict[int, Interval] = {}
+    for dim, sign in zip(dims, signs):
+        interval = intervals[dim] if dim < len(intervals) else Interval(0, 1)
+        maximal[dim] = Interval.point(interval.hi if sign > 0 else interval.lo)
+        minimal[dim] = Interval.point(interval.lo if sign > 0 else interval.hi)
+    if _violation_sign(constraint.relation) > 0:
+        worst, best = maximal, minimal  # LE/LT: hardest where the value is largest
+    else:
+        worst, best = minimal, maximal
+    try:
+        if constraint.box_status(worst, registry, argument) is True:
+            return True
+        if constraint.box_status(best, registry, argument) is False:
+            return False
+    except (ValueError, OverflowError):
+        return None
+    return None
+
+
+def contract_box(
+    box: Box,
+    active: Tuple[Constraint, ...],
+    registry: PrimitiveRegistry,
+    argument: Optional[Interval],
+) -> Optional[Tuple[Box, Tuple[Constraint, ...]]]:
+    """Contract an undecided box against its undecided constraints.
+
+    Returns ``None`` when the box *certifiably violates* some constraint
+    (the caller rejects it), and otherwise the possibly-shrunk box together
+    with the constraints still undecided on it (in their original order;
+    empty means every constraint is now proven and the caller accepts the
+    contracted box).  The discarded volume -- shaved slabs, or the whole
+    box on rejection -- is always certified non-solution.
+    """
+    intervals = list(box.intervals)
+    remaining = list(active)
+    for _ in range(_ROUNDS):
+        changed = False
+        for constraint in tuple(remaining):
+            dims = sorted(constraint.variables())
+            if not dims:
+                continue
+            derivs = _differentiate(
+                constraint.value, dims, intervals, registry, argument
+            )
+            if derivs is None:
+                continue
+            status = _corner_status(
+                constraint, dims, derivs, intervals, registry, argument
+            )
+            if status is True:
+                remaining.remove(constraint)
+                changed = True
+                continue
+            if status is False:
+                return None
+            sign = _violation_sign(constraint.relation)
+            for dim, (d_lo, d_hi) in zip(dims, derivs):
+                if dim >= len(intervals):
+                    continue
+                interval = intervals[dim]
+                width = _exact(interval.hi) - _exact(interval.lo)
+                if width <= 0:
+                    continue
+                # Derivative of the violation margin h = sign * value.
+                h_lo = d_lo if sign > 0 else -d_hi
+                h_hi = d_hi if sign > 0 else -d_lo
+                cut = None
+                if h_lo > 0:
+                    # h nondecreasing in this dimension: violation certain
+                    # above lo - h(lo-face)_lo / h_lo; shave the high slab.
+                    face = _face_pair(
+                        constraint,
+                        intervals,
+                        dim,
+                        Interval.point(interval.lo),
+                        registry,
+                        argument,
+                    )
+                    if face is None:
+                        continue
+                    face_lo = face[0] if sign > 0 else -face[1]
+                    if face_lo > 0:
+                        return None  # even the mildest face violates
+                    threshold = _exact(interval.lo) - face_lo / h_lo
+                    if threshold < _exact(interval.hi):
+                        steps = math.ceil(
+                            (threshold - _exact(interval.lo)) / width * _GRID
+                        )
+                        if 1 <= steps <= _GRID - 1:
+                            cut = _exact(interval.lo) + width * Fraction(steps, _GRID)
+                            intervals[dim] = Interval(interval.lo, cut)
+                elif h_hi < 0:
+                    # h nonincreasing: violation certain below the mirrored
+                    # threshold; shave the low slab.
+                    face = _face_pair(
+                        constraint,
+                        intervals,
+                        dim,
+                        Interval.point(interval.hi),
+                        registry,
+                        argument,
+                    )
+                    if face is None:
+                        continue
+                    face_lo = face[0] if sign > 0 else -face[1]
+                    if face_lo > 0:
+                        return None
+                    threshold = _exact(interval.hi) + face_lo / h_hi
+                    if threshold > _exact(interval.lo):
+                        steps = math.floor(
+                            (threshold - _exact(interval.lo)) / width * _GRID
+                        )
+                        if 1 <= steps <= _GRID - 1:
+                            cut = _exact(interval.lo) + width * Fraction(steps, _GRID)
+                            intervals[dim] = Interval(cut, interval.hi)
+                if cut is not None:
+                    changed = True
+        if not changed:
+            break
+    return Box(intervals), tuple(remaining)

@@ -85,6 +85,7 @@ from repro.geometry.linear import halfspace_from_constraint
 from repro.geometry.measure import MeasureOptions, MeasureResult, measure_constraints
 from repro.geometry.stats import PerfStats
 from repro.geometry.sweep import (
+    _KERNEL_CHUNK as _SWEEP_KERNEL_CHUNK,
     SweepFrontier,
     SweepResult,
     decode_frontier,
@@ -614,6 +615,16 @@ class MeasureEngine:
             else None
         )
         boxes_before = self.stats.sweep_boxes_examined
+        batches_before = self.stats.kernel_batches
+        kernel_boxes_before = self.stats.kernel_boxes
+        # The vectorized classification gets its own nested span so traces
+        # show how much of a sweep actually went through the kernel (a set
+        # the kernel cannot compile falls back silently and reports 0).
+        kernel_token = (
+            writer.begin("sweep-kernel", chunk=_SWEEP_KERNEL_CHUNK)
+            if writer is not None and options.sweep_kernel
+            else None
+        )
         try:
             return sweep_measure(
                 block,
@@ -625,8 +636,16 @@ class MeasureEngine:
                 max_boxes=options.sweep_max_boxes,
                 resume=resume,
                 collect_frontier=depth_budget_only,
+                use_kernel=options.sweep_kernel,
+                contract=options.contract,
             )
         finally:
+            if kernel_token is not None:
+                writer.end(
+                    kernel_token,
+                    batches=self.stats.kernel_batches - batches_before,
+                    boxes=self.stats.kernel_boxes - kernel_boxes_before,
+                )
             if token is not None:
                 writer.end(
                     token, boxes=self.stats.sweep_boxes_examined - boxes_before
@@ -745,7 +764,12 @@ class MeasureEngine:
                 f"d{dimension}",
                 f"o{options.max_hull_dimension}.{options.sweep_depth}.{int(options.prefer_sweep)}"
                 f".{int(options.block_sweep)}.{options.sweep_target_gap}"
-                f".{options.sweep_max_boxes}",
+                f".{options.sweep_max_boxes}"
+                # The contractor changes emitted bounds, so it is keyed --
+                # but only when enabled, so every pre-contract store entry
+                # keeps its historic key.  ``sweep_kernel`` is deliberately
+                # absent: kernel results are bit-identical to scalar ones.
+                + (".c" if options.contract else ""),
                 f"a{argument!r}",
             ]
         )
@@ -777,6 +801,9 @@ class MeasureEngine:
             sweep_depth = options.sweep_depth
         return (
             f"|s{sweep_depth}.{options.sweep_target_gap}.{options.sweep_max_boxes}"
+            # Keyed only when enabled (see :meth:`persistent_key`); the
+            # kernel never appears here -- its results are bit-identical.
+            + (".c" if options.contract else "")
         )
 
     def export_cache_entries(self) -> Dict[str, List]:

@@ -72,6 +72,25 @@ class MeasureOptions:
     sweep_max_boxes: Optional[int] = None
     """Cap on boxes examined per sweep (``None`` = depth budget only)."""
 
+    sweep_kernel: bool = True
+    """Classify sweep boxes in chunks through the vectorized numpy kernel.
+
+    The kernel is a pure classifier whose results are bit-identical to the
+    scalar path (see :mod:`repro.geometry.sweep`), so this knob -- unlike
+    ``block_sweep`` -- never changes a computed value and is deliberately
+    *excluded* from persistent store keys.  ``--no-sweep-kernel`` restores
+    the scalar loop; sets the kernel cannot compile fall back per set.
+    """
+
+    contract: bool = False
+    """Run the interval-Newton / monotonicity contractor on undecided boxes.
+
+    Contraction certifiably tightens bounds at equal box budget, so emitted
+    (inexact) values *change* when toggled -- like ``block_sweep`` it is a
+    result-changing knob, keyed into the persistent stores (only when
+    enabled, so legacy entries stay valid) and re-blessed in benchmarks.
+    """
+
 
 @dataclass(frozen=True)
 class MeasureResult:
@@ -145,6 +164,8 @@ def measure_constraints(
             stats=stats,
             target_gap=options.sweep_target_gap,
             max_boxes=options.sweep_max_boxes,
+            use_kernel=options.sweep_kernel,
+            contract=options.contract,
         )
         exact = sweep.undecided == 0
         return MeasureResult(
@@ -224,6 +245,8 @@ def _measure_block(variables, halfspaces, constraints, options, registry, stats=
         stats=stats,
         target_gap=options.sweep_target_gap,
         max_boxes=options.sweep_max_boxes,
+        use_kernel=options.sweep_kernel,
+        contract=options.contract,
     )
     exact = sweep.undecided == 0
     return sweep.lower, exact, "sweep"

@@ -99,6 +99,26 @@ class PerfStats:
     :meth:`merge` takes the maximum instead of the sum.
     """
 
+    kernel_batches: int = _counter("kernel batches")
+    """Chunks classified by the vectorized sweep kernel.
+
+    Chunking is deterministic (a pure function of the refinement order), so
+    this is a zero-tolerance counter like the other work counts.
+    """
+
+    kernel_boxes: int = _counter("kernel boxes")
+    """Boxes classified through the vectorized kernel (subset of
+    :attr:`sweep_boxes_examined`; the remainder went through the scalar
+    path or a scalar re-check)."""
+
+    contractions: int = _counter("contractions")
+    """Boxes the interval-Newton contractor shrank, decided, or rejected."""
+
+    contracted_volume: float = _counter("contracted volume")
+    """Total volume the contractor certifiably removed from the undecided
+    gap (a float diagnostic, not a gated counter: it sums rounded
+    ``Fraction`` differences)."""
+
     sweep_warm_starts: int = _counter("sweep warm starts")
     """Base block sweeps resumed from a shallower budget's persisted frontier.
 

@@ -39,6 +39,39 @@ over the remaining constraints equals its status over the full set -- it
 only skips redundant ``box_status`` evaluations, which are reported through
 :class:`~repro.geometry.stats.PerfStats` and on :class:`SweepResult`.
 
+Without contraction every box is a pure bisection of the unit cube, so its
+volume is *exactly* ``2**-depth``: the heap keys on the integer depth
+(order-isomorphic to volume, ties broken by the same push counter) and
+accepted/undecided mass accumulates in integer numerators at scale
+``2**max_depth``, materializing the exact ``Fraction`` bounds only once at
+the end -- the same rational values the historical per-box ``Fraction``
+sums produced, bit for bit.  Contraction shaves boxes to non-power-of-two
+volumes, so that regime keys the heap on exact ``-volume`` instead.
+
+With ``use_kernel`` the traversal classifies boxes in *chunks* through the
+vectorized tape of :mod:`repro.geometry.kernel` instead of one scalar
+``box_status`` walk per box.  The chunking is a re-batching of the exact
+scalar pop order -- a chunk only extends while the heap's top holds at
+least half the first popped volume, and any child a chunk member generates
+has at most half that volume *and* a later push counter, so every chunk
+member precedes every such child in the scalar order too.  The kernel only
+*classifies* (its outward-rounded float intervals enclose the scalar ones,
+so its ``True``/``False`` verdicts imply the scalar verdicts; its
+inward-rounded inner intervals certify lanes whose scalar verdict is
+provably ``None``; every other lane is re-checked with the exact scalar
+``box_status``); all accepted mass stays on the exact ``Fraction`` path.
+Bounds, counters, frontiers and every persisted :class:`SweepResult` are
+therefore bit-identical to the scalar sweep, and a set the kernel cannot
+compile silently falls back.
+
+``contract`` independently enables the interval-Newton / monotonicity
+contractor (:mod:`repro.geometry.contract`) on boxes classification leaves
+undecided: certifiably-violating slabs are shaved off and fully-monotone
+constraints are decided at their worst corner, moving volume out of the
+undecided gap at equal box budget.  Contraction *changes* the refinement
+tree (deliberately -- bounds only tighten), so it is off by default and
+contract-enabled results persist under distinct store keys.
+
 :func:`sweep_measure` and :func:`sweep_accepted_boxes` share one traversal
 core (:func:`_sweep`), so the accepted boxes witnessing a lower bound (the
 raw material of the intersection type system's inference oracle, Sec. 4)
@@ -69,13 +102,34 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Dict, List, Optional, Tuple, Union
 
+from repro.geometry import kernel as _kernel
+from repro.geometry.contract import contract_box
 from repro.geometry.stats import PerfStats
 from repro.intervals.box import Box, unit_box
-from repro.intervals.interval import Interval
+from repro.intervals.interval import Interval, float_pair
 from repro.spcf.primitives import PrimitiveRegistry, default_registry
 from repro.symbolic.constraints import Constraint, ConstraintSet
 
 Number = Union[Fraction, float]
+
+_KERNEL_CHUNK = 256
+"""Default chunk size of the vectorized classification path.
+
+Per-box numpy dispatch overhead keeps falling as chunks grow; 256 lanes is
+where the curve flattens on the non-affine library while chunk arrays stay
+a few kilobytes.  Any chunk size yields bit-identical results (the chunk is
+always a prefix of the scalar pop order), so this is a pure speed knob.
+"""
+
+_KERNEL_WARMUP = 64
+"""Boxes classified through the scalar loop before the kernel engages.
+
+Tiny sweeps (converged blocks re-swept at a deeper budget, low-dimensional
+factors) never amortize the tape compilation and the numpy per-op overhead
+on chunks of a handful of lanes; they finish inside the warmup and never
+touch numpy at all.  Classification is identical on both paths, so the
+handoff point cannot affect results -- only speed.
+"""
 
 
 @dataclass(frozen=True)
@@ -130,6 +184,61 @@ class SweepResult:
         return self.lower + self.undecided
 
 
+def _dyadic_split(box: Box, depth: int) -> Tuple[Box, Box]:
+    """``box.split()`` specialized to the pure-bisection (dyadic) regime.
+
+    A depth-``k`` box of the round-robin bisection of the unit cube has its
+    first ``k mod d`` dimensions one level narrower than the rest, so the
+    first widest dimension -- the one :meth:`Box.widest_dimension` scans
+    for -- is exactly ``k mod d``.  Computing it arithmetically (and the
+    midpoint inline) skips the per-split width comparisons, and the halves
+    are built without re-validating endpoints (``lo < mid < hi`` holds by
+    construction and all three are already ``Fraction``): the produced
+    ``Interval``/``Box`` values are identical to ``box.split()``'s -- both
+    are plain frozen dataclasses over the same field values.
+
+    The midpoint itself is assembled from integers: the split axis has
+    been bisected ``splits = depth // d`` times, so it spans
+    ``[c / 2**splits, (c + 1) / 2**splits]`` and its midpoint is
+    ``(2c + 1) / 2**(splits + 1)`` -- an odd numerator over a power of
+    two, hence already in lowest terms.  Writing the two integers into a
+    raw ``Fraction`` skips the normalising ``gcd`` of ``(lo + hi) / 2``
+    while producing the identical (value-equal, hash-equal) rational.
+    """
+    intervals = box.intervals
+    dimension = len(intervals)
+    axis = depth % dimension
+    interval = intervals[axis]
+    lo, hi = interval.lo, interval.hi
+    splits = depth // dimension
+    # c = lo * 2**splits; lo is reduced with a power-of-two denominator.
+    shift = splits + 1 - (lo.denominator.bit_length() - 1)
+    mid = object.__new__(Fraction)
+    mid._numerator = (lo.numerator << shift) + 1
+    mid._denominator = 1 << (splits + 1)
+    left = object.__new__(Interval)
+    object.__setattr__(left, "lo", lo)
+    object.__setattr__(left, "hi", mid)
+    right = object.__new__(Interval)
+    object.__setattr__(right, "lo", mid)
+    object.__setattr__(right, "hi", hi)
+    prefix = intervals[:axis]
+    suffix = intervals[axis + 1 :]
+    low = object.__new__(Box)
+    object.__setattr__(low, "intervals", prefix + (left,) + suffix)
+    high = object.__new__(Box)
+    object.__setattr__(high, "intervals", prefix + (right,) + suffix)
+    return low, high
+
+
+def _box_float_row(box: Box) -> Tuple[List[float], List[float]]:
+    """Float endpoint rows of a box whose endpoints convert exactly."""
+    return (
+        [float(interval.lo) for interval in box.intervals],
+        [float(interval.hi) for interval in box.intervals],
+    )
+
+
 def _undecided_constraints(
     active: Tuple[Constraint, ...],
     mapping: Dict[int, Interval],
@@ -163,6 +272,10 @@ def _sweep(
     accepted: Optional[List[Box]],
     resume: Optional[SweepFrontier] = None,
     collect_frontier: bool = False,
+    use_kernel: bool = False,
+    contract: bool = False,
+    kernel_chunk: int = _KERNEL_CHUNK,
+    kernel_warmup: int = _KERNEL_WARMUP,
 ) -> SweepResult:
     """The shared traversal behind :func:`sweep_measure` and
     :func:`sweep_accepted_boxes`.
@@ -177,6 +290,11 @@ def _sweep(
     sweep at ``max_depth`` (see the module docstring for the ``heap_peak``
     caveat).  Resuming assumes pure depth budgets on both sides and is
     incompatible with ``accepted`` (the shallow run's witnesses are gone).
+
+    ``use_kernel`` routes classification through the vectorized chunk
+    kernel when the set compiles (bit-identical results, see the module
+    docstring); ``contract`` enables the interval-Newton contractor (which
+    changes -- only ever tightens -- the results).
     """
     registry = registry or default_registry()
     if dimension == 0:
@@ -195,27 +313,56 @@ def _sweep(
             "without collecting accepted boxes"
         )
 
+    # Kernel compilation is deferred past a scalar warmup
+    # (:data:`_KERNEL_WARMUP` boxes): sweeps that finish inside it never pay
+    # for the tape or numpy dispatch on near-empty chunks.
+    compiled = None
+    kernel_pending = use_kernel and _kernel.kernel_available()
+
+    # Heap entries are ``(key, counter, box, depth, active)`` in both
+    # regimes (see the module docstring): integer-depth keys and scaled
+    # integer mass without contraction, exact ``-volume`` keys and
+    # ``Fraction`` mass with it.  The push counter breaks key ties
+    # deterministically in insertion order; ``pending`` tracks the volume
+    # still on the frontier so the gap test is O(1), and is only
+    # maintained when a gap budget exists.
+    dyadic = not contract
+    unit = 1 << max_depth
+    use_gap = target_gap > 0
+    if use_gap:
+        gap = target_gap if isinstance(target_gap, Fraction) else Fraction(target_gap)
+        gap_num = gap.numerator << max_depth
+        gap_den = gap.denominator
+
     lower: Number = Fraction(0)
     undecided: Number = Fraction(0)
+    pending: Number = Fraction(0)
+    lower_scaled = 0
+    undecided_scaled = 0
+    pending_scaled = 0
     examined = 0
     saved = 0
+    kernel_batches = 0
+    kernel_boxes = 0
+    contractions = 0
+    contracted_volume = 0.0
     total_constraints = len(constraints)
     frontier_boxes: Optional[List[Tuple[Box, int, Tuple[int, ...]]]] = (
         [] if collect_frontier else None
     )
     index_of: Dict[Constraint, int] = (
         {constraint: index for index, constraint in enumerate(constraints.constraints)}
-        if collect_frontier
+        if collect_frontier or kernel_pending
         else {}
     )
 
-    # Max-heap on box volume (heapq is a min-heap, so volumes are negated);
-    # the push counter breaks volume ties deterministically in insertion
-    # order.  ``pending`` tracks the total volume still on the frontier, so
-    # the gap test below is O(1).
     if resume is None:
-        heap = [(Fraction(-1), 0, unit_box(dimension), 0, constraints.constraints)]
-        pending: Number = Fraction(1)
+        root_key = 0 if dyadic else Fraction(-1)
+        heap = [(root_key, 0, unit_box(dimension), 0, constraints.constraints)]
+        if dyadic:
+            pending_scaled = unit
+        else:
+            pending = Fraction(1)
         pushes = 1
         base_lower: Number = Fraction(0)
         base_examined = 0
@@ -227,14 +374,18 @@ def _sweep(
         # its counters), and a from-scratch deeper sweep would hand exactly
         # the stored undecided constraints down to these children.
         heap = []
-        pending = Fraction(0)
         pushes = 0
         for box, depth, active_indices in resume.boxes:
             active = tuple(constraints.constraints[index] for index in active_indices)
-            for child in box.split():
-                heapq.heappush(heap, (-child.volume, pushes, child, depth + 1, active))
+            child_depth = depth + 1
+            for child in _dyadic_split(box, depth) if dyadic else box.split():
+                key = child_depth if dyadic else -child.volume
+                heapq.heappush(heap, (key, pushes, child, child_depth, active))
                 pushes += 1
-                pending = pending + child.volume
+                if dyadic:
+                    pending_scaled += unit >> child_depth
+                else:
+                    pending = pending + child.volume
         base_lower = resume.lower
         base_examined = resume.boxes_examined
         base_saved = resume.evaluations_saved
@@ -242,17 +393,44 @@ def _sweep(
     heap_peak = len(heap)
     early_exit = False
     while heap:
+        if kernel_pending and examined >= kernel_warmup:
+            # Warmup done: compile the set and hand the heap over to
+            # the chunked kernel loop below, which re-checks budgets
+            # before touching a box.
+            kernel_pending = False
+            compiled = _kernel.compile_constraint_set(constraints)
+            if compiled is not None and compiled.uses_argument and argument is None:
+                # The scalar path raises ``_UnknownEvaluation`` on the
+                # first argument-dependent constraint; fall back so it
+                # raises identically instead of the kernel reading
+                # garbage.
+                compiled = None
+            if compiled is not None:
+                break
         if (max_boxes is not None and examined >= max_boxes) or (
-            target_gap > 0 and undecided + pending <= target_gap
+            use_gap
+            and (
+                (undecided_scaled + pending_scaled) * gap_den <= gap_num
+                if dyadic
+                else undecided + pending <= gap
+            )
         ):
             # Budget reached: everything still on the frontier is undecided.
             early_exit = True
-            for negated_volume, _, _, _, _ in heap:
-                undecided = undecided - negated_volume
+            if dyadic:
+                for entry in heap:
+                    undecided_scaled += unit >> entry[0]
+            else:
+                for entry in heap:
+                    undecided = undecided - entry[0]
             break
-        negated_volume, _, box, depth, active = heapq.heappop(heap)
-        volume = -negated_volume
-        pending = pending - volume
+        key, _, box, depth, active = heapq.heappop(heap)
+        if dyadic:
+            scaled = unit >> depth
+            pending_scaled -= scaled
+        else:
+            volume = -key
+            pending = pending - volume
         examined += 1
         saved += total_constraints - len(active)
         mapping: Dict[int, Interval] = {
@@ -262,23 +440,267 @@ def _sweep(
         if remaining is None:
             continue
         if not remaining:
-            lower = lower + volume
+            if dyadic:
+                lower_scaled += scaled
+            else:
+                lower = lower + volume
             if accepted is not None:
                 accepted.append(box)
             continue
+        if contract:
+            outcome = contract_box(box, remaining, registry, argument)
+            if outcome is None:
+                # The whole box certifiably violates a constraint.
+                contractions += 1
+                contracted_volume += float(volume)
+                continue
+            new_box, new_remaining = outcome
+            new_volume = new_box.volume
+            if new_volume != volume or len(new_remaining) != len(remaining):
+                contractions += 1
+                contracted_volume += float(volume - new_volume)
+                box, volume, remaining = new_box, new_volume, new_remaining
+                if not remaining:
+                    lower = lower + volume
+                    if accepted is not None:
+                        accepted.append(box)
+                    continue
         if depth >= max_depth:
-            undecided = undecided + volume
+            if dyadic:
+                undecided_scaled += scaled
+            else:
+                undecided = undecided + volume
             if frontier_boxes is not None:
                 frontier_boxes.append(
                     (box, depth, tuple(index_of[constraint] for constraint in remaining))
                 )
             continue
-        for child in box.split():
-            heapq.heappush(heap, (-child.volume, pushes, child, depth + 1, remaining))
+        child_depth = depth + 1
+        child_key = child_depth if dyadic else -(volume / 2)
+        for child in _dyadic_split(box, depth) if dyadic else box.split():
+            heapq.heappush(heap, (child_key, pushes, child, child_depth, remaining))
             pushes += 1
-        pending = pending + volume
+        if dyadic:
+            pending_scaled += scaled
+        else:
+            pending = pending + volume
         if len(heap) > heap_peak:
             heap_peak = len(heap)
+    if compiled is not None and not early_exit:
+        argument_pairs = None
+        if argument is not None:
+            lo_below, lo_above = float_pair(argument.lo)
+            hi_below, hi_above = float_pair(argument.hi)
+            argument_pairs = ((lo_below, hi_above), (lo_above, hi_below))
+        kernel_true = _kernel.KERNEL_TRUE
+        kernel_false = _kernel.KERNEL_FALSE
+        kernel_sure = _kernel.KERNEL_UNDECIDED_SURE
+        # Pure-bisection endpoints up to depth 52 are dyadic rationals that
+        # convert to float exactly: endpoint conversion needs no rounding
+        # analysis, and outer and inner banks coincide.  In that regime the
+        # loop also carries one (lo_row, hi_row) pair of float lists per
+        # heap entry (keyed by its push counter) and derives children's
+        # rows from the parent's by float arithmetic -- the midpoint
+        # ``(lo + hi) / 2`` of exact dyadic floats is again exact -- so
+        # chunk arrays never convert a ``Fraction`` at all.  Entries pushed
+        # before the handoff (warmup, resume seeds) have no row yet and
+        # convert lazily on first pop.
+        exact_floats = dyadic and max_depth <= 52
+        float_rows: Dict[int, Tuple[List[float], List[float]]] = {}
+        while heap:
+            if (max_boxes is not None and examined >= max_boxes) or (
+                use_gap
+                and (
+                    (undecided_scaled + pending_scaled) * gap_den <= gap_num
+                    if dyadic
+                    else undecided + pending <= gap
+                )
+            ):
+                early_exit = True
+                if dyadic:
+                    for entry in heap:
+                        undecided_scaled += unit >> entry[0]
+                else:
+                    for entry in heap:
+                        undecided = undecided - entry[0]
+                break
+            # Pop a prefix of the scalar pop order: a chunk only extends
+            # while the heap's top holds at least *half* the first popped
+            # volume (one extra depth level).  Any child a chunk member
+            # generates has at most half that volume and a strictly later
+            # push counter, so the scalar sweep pops every chunk member
+            # before any such child -- the chunk is the scalar order,
+            # re-batched.
+            chunk = [heapq.heappop(heap)]
+            first_key = chunk[0][0]
+            limit = first_key + 1 if dyadic else first_key / 2
+            while len(chunk) < kernel_chunk and heap and heap[0][0] <= limit:
+                chunk.append(heapq.heappop(heap))
+            if exact_floats:
+                chunk_rows = [
+                    float_rows.pop(entry[1], None) or _box_float_row(entry[2])
+                    for entry in chunk
+                ]
+                arrays = _kernel.rows_to_arrays(
+                    [row[0] for row in chunk_rows],
+                    [row[1] for row in chunk_rows],
+                )
+            else:
+                arrays = _kernel.boxes_to_arrays([entry[2] for entry in chunk])
+            verdicts = [
+                vector.tolist()  # plain ints: lane reads skip numpy scalars
+                for vector in compiled.classify(*arrays, argument_pairs)
+            ]
+            kernel_batches += 1
+            kernel_boxes += len(chunk)
+            interrupted = False
+            for position, entry in enumerate(chunk):
+                if (max_boxes is not None and examined >= max_boxes) or (
+                    use_gap
+                    and (
+                        (undecided_scaled + pending_scaled) * gap_den <= gap_num
+                        if dyadic
+                        else undecided + pending <= gap
+                    )
+                ):
+                    # Budget reached mid-chunk: the unprocessed suffix goes
+                    # back on the heap with its original tuples, restoring
+                    # exactly the frontier the scalar sweep holds here.
+                    early_exit = True
+                    interrupted = True
+                    for unprocessed in chunk[position:]:
+                        heapq.heappush(heap, unprocessed)
+                    if dyadic:
+                        for entry in heap:
+                            undecided_scaled += unit >> entry[0]
+                    else:
+                        for entry in heap:
+                            undecided = undecided - entry[0]
+                    break
+                key, _, box, depth, active = entry
+                if dyadic:
+                    scaled = unit >> depth
+                    pending_scaled -= scaled
+                else:
+                    volume = -key
+                    pending = pending - volume
+                examined += 1
+                saved += total_constraints - len(active)
+                box_mapping: Optional[Dict[int, Interval]] = None
+                rejected = False
+                undecided_here: List[Constraint] = []
+                for constraint in active:
+                    code = verdicts[index_of[constraint]][position]
+                    if code == kernel_true:
+                        continue
+                    if code == kernel_false:
+                        rejected = True
+                        break
+                    if code == kernel_sure:
+                        # The inner enclosure certifies the scalar verdict
+                        # is ``None``; no scalar evaluation needed.
+                        undecided_here.append(constraint)
+                        continue
+                    # Plain kernel-undecided lane: exact scalar re-check,
+                    # which also reproduces the scalar path's domain errors.
+                    if box_mapping is None:
+                        box_mapping = {
+                            index: interval
+                            for index, interval in enumerate(box.intervals)
+                        }
+                    status = constraint.box_status(box_mapping, registry, argument)
+                    if status is False:
+                        rejected = True
+                        break
+                    if status is None:
+                        undecided_here.append(constraint)
+                if rejected:
+                    continue
+                remaining = tuple(undecided_here)
+                if not remaining:
+                    if dyadic:
+                        lower_scaled += scaled
+                    else:
+                        lower = lower + volume
+                    if accepted is not None:
+                        accepted.append(box)
+                    continue
+                if contract:
+                    outcome = contract_box(box, remaining, registry, argument)
+                    if outcome is None:
+                        contractions += 1
+                        contracted_volume += float(volume)
+                        continue
+                    new_box, new_remaining = outcome
+                    new_volume = new_box.volume
+                    if new_volume != volume or len(new_remaining) != len(remaining):
+                        contractions += 1
+                        contracted_volume += float(volume - new_volume)
+                        box, volume, remaining = new_box, new_volume, new_remaining
+                        if not remaining:
+                            lower = lower + volume
+                            if accepted is not None:
+                                accepted.append(box)
+                            continue
+                if depth >= max_depth:
+                    if dyadic:
+                        undecided_scaled += scaled
+                    else:
+                        undecided = undecided + volume
+                    if frontier_boxes is not None:
+                        frontier_boxes.append(
+                            (
+                                box,
+                                depth,
+                                tuple(index_of[constraint] for constraint in remaining),
+                            )
+                        )
+                    continue
+                child_depth = depth + 1
+                child_key = child_depth if dyadic else -(volume / 2)
+                if exact_floats:
+                    # Split the float rows alongside the exact split.  The
+                    # unchanged side of each child shares the parent's list
+                    # (rows are never mutated once stored), the changed
+                    # side is a one-element copy-and-patch.
+                    row_lo, row_hi = chunk_rows[position]
+                    axis = depth % dimension
+                    mid_float = (row_lo[axis] + row_hi[axis]) / 2
+                    left_hi = row_hi.copy()
+                    left_hi[axis] = mid_float
+                    right_lo = row_lo.copy()
+                    right_lo[axis] = mid_float
+                    low_child, high_child = _dyadic_split(box, depth)
+                    heapq.heappush(
+                        heap, (child_key, pushes, low_child, child_depth, remaining)
+                    )
+                    float_rows[pushes] = (row_lo, left_hi)
+                    pushes += 1
+                    heapq.heappush(
+                        heap, (child_key, pushes, high_child, child_depth, remaining)
+                    )
+                    float_rows[pushes] = (right_lo, row_hi)
+                    pushes += 1
+                else:
+                    for child in _dyadic_split(box, depth) if dyadic else box.split():
+                        heapq.heappush(
+                            heap, (child_key, pushes, child, child_depth, remaining)
+                        )
+                        pushes += 1
+                if dyadic:
+                    pending_scaled += scaled
+                else:
+                    pending = pending + volume
+                # The scalar sweep still holds this chunk's unprocessed
+                # suffix on its heap; fold it into the peak.
+                virtual_size = len(heap) + (len(chunk) - position - 1)
+                if virtual_size > heap_peak:
+                    heap_peak = virtual_size
+            if interrupted:
+                break
+    if dyadic:
+        lower = Fraction(lower_scaled, unit)
+        undecided = Fraction(undecided_scaled, unit)
     if stats is not None:
         # Work counters reflect the work *this* traversal performed: a
         # resumed sweep reports only its refinement here, while the result
@@ -289,6 +711,12 @@ def _sweep(
             stats.sweep_early_exits += 1
         if heap_peak > stats.sweep_heap_peak:
             stats.sweep_heap_peak = heap_peak
+        if kernel_batches:
+            stats.kernel_batches += kernel_batches
+            stats.kernel_boxes += kernel_boxes
+        if contractions:
+            stats.contractions += contractions
+            stats.contracted_volume += contracted_volume
     frontier = None
     if frontier_boxes is not None and not early_exit:
         frontier = SweepFrontier(
@@ -350,6 +778,10 @@ def sweep_measure(
     max_boxes: Optional[int] = None,
     resume: Optional[SweepFrontier] = None,
     collect_frontier: bool = False,
+    use_kernel: bool = False,
+    contract: bool = False,
+    kernel_chunk: int = _KERNEL_CHUNK,
+    kernel_warmup: int = _KERNEL_WARMUP,
 ) -> SweepResult:
     """Certified lower/upper bounds on the measure of ``constraints`` in
     ``[0,1]^dim``.
@@ -367,6 +799,12 @@ def sweep_measure(
     work counters come out bit-identical to a from-scratch run at
     ``max_depth``, at the cost of refining only what the shallower budget
     left undecided.
+
+    ``use_kernel`` batches classification through the vectorized kernel
+    when the set compiles -- every field of the result stays bit-identical
+    (see the module docstring) -- and ``contract`` turns on the
+    interval-Newton contractor, which tightens bounds and is therefore a
+    result-changing knob.
     """
     if resume is not None and resume.max_depth >= max_depth:
         raise ValueError(
@@ -385,6 +823,10 @@ def sweep_measure(
         accepted=None,
         resume=resume,
         collect_frontier=collect_frontier,
+        use_kernel=use_kernel,
+        contract=contract,
+        kernel_chunk=kernel_chunk,
+        kernel_warmup=kernel_warmup,
     )
 
 

@@ -8,11 +8,92 @@ inputs are rational so that widths, weights and volumes are exact.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import Iterator, Tuple, Union
 
 Number = Union[Fraction, float, int]
+
+
+def _converts_exactly(value: Fraction) -> bool:
+    """Cheap sufficient condition for ``float(value)`` being exact.
+
+    Dyadic rationals with a <= 53-bit numerator and a normal-range exponent
+    -- every endpoint the sweep's bisection of the unit box ever produces --
+    convert without rounding, which lets the hot path skip the exact
+    ``Fraction`` round-trip comparison below.
+    """
+    denominator = value.denominator
+    return (
+        not (denominator & (denominator - 1))
+        and value.numerator.bit_length() <= 53
+        and denominator.bit_length() <= 900
+    )
+
+
+def float_below(value: Number) -> float:
+    """The largest float ``<= value`` (floats pass through unchanged).
+
+    ``float(Fraction)`` rounds to nearest, which can land *above* the exact
+    value; one :func:`math.nextafter` step repairs that.  This is the
+    outward-rounding primitive of the vectorized sweep kernel
+    (:mod:`repro.geometry.kernel`): converting exact rational box endpoints
+    to floats must only ever *widen* the box, so float interval evaluation
+    stays a sound enclosure of the exact one.
+    """
+    if isinstance(value, float):
+        return value
+    if isinstance(value, Fraction) and _converts_exactly(value):
+        return float(value)
+    result = float(value)
+    if math.isinf(result) or math.isnan(result):
+        return result
+    if Fraction(result) > value:
+        return math.nextafter(result, -math.inf)
+    return result
+
+
+def float_above(value: Number) -> float:
+    """The smallest float ``>= value`` (the upward mirror of :func:`float_below`)."""
+    if isinstance(value, float):
+        return value
+    if isinstance(value, Fraction) and _converts_exactly(value):
+        return float(value)
+    result = float(value)
+    if math.isinf(result) or math.isnan(result):
+        return result
+    if Fraction(result) < value:
+        return math.nextafter(result, math.inf)
+    return result
+
+
+def outward_pair(lo: Number, hi: Number) -> Tuple[float, float]:
+    """Float endpoints enclosing ``[lo, hi]``: rounded outward, never inward."""
+    return float_below(lo), float_above(hi)
+
+
+def float_pair(value: Number) -> Tuple[float, float]:
+    """``(float_below(value), float_above(value))`` with one conversion.
+
+    The sweep kernel needs both directions per endpoint (outer enclosures
+    for sound verdicts, inner ones for certified-undecided lanes); fusing
+    them shares the dyadic fast path and the exact round-trip check.
+    """
+    if isinstance(value, float):
+        return value, value
+    if isinstance(value, Fraction) and _converts_exactly(value):
+        result = float(value)
+        return result, result
+    result = float(value)
+    if math.isinf(result) or math.isnan(result):
+        return result, result
+    rounded = Fraction(result)
+    if rounded > value:
+        return math.nextafter(result, -math.inf), result
+    if rounded < value:
+        return result, math.nextafter(result, math.inf)
+    return result, result
 
 
 def _normalise(value: Number) -> Union[Fraction, float]:

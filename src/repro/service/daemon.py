@@ -76,6 +76,7 @@ class DaemonCounters:
     job_cache_hits: int = 0
     errors: int = 0
     connections: int = 0
+    sessions_evicted: int = 0
     by_method: Dict[str, int] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, Any]:
@@ -86,6 +87,7 @@ class DaemonCounters:
             "job_cache_hits": self.job_cache_hits,
             "errors": self.errors,
             "connections": self.connections,
+            "sessions_evicted": self.sessions_evicted,
             "by_method": dict(sorted(self.by_method.items())),
         }
 
@@ -112,6 +114,9 @@ class AnalysisDaemon:
         )
         self._inflight: Dict[str, asyncio.Future] = {}
         self._sessions: Dict[str, Tuple[str, Any]] = {}
+        # Last-touch stamp per named session (monotonic seconds), the basis
+        # of the --session-ttl / --max-sessions eviction policy.
+        self._session_touched: Dict[str, float] = {}
         self._stopping = asyncio.Event()
         self._run: Optional[int] = None
         self._seed_from_store()
@@ -203,6 +208,8 @@ class AnalysisDaemon:
                 name: {"program": program, "max_steps": session.max_steps}
                 for name, (program, session) in sorted(self._sessions.items())
             },
+            "sessions_live": len(self._sessions),
+            "sessions_evicted": self.counters.sessions_evicted,
             "store": {
                 "backend": type(self.store).__name__ if self.store else None,
                 "directory": self.config.cache_dir,
@@ -416,10 +423,59 @@ class AnalysisDaemon:
             "exact_measures": result.exact_measures,
         }
 
+    def _evict_sessions(self, keep: Optional[str] = None) -> None:
+        """Apply the session GC policy (engine thread only).
+
+        ``--session-ttl`` evicts sessions idle longer than the TTL;
+        ``--max-sessions`` then evicts least-recently-used sessions past
+        the cap.  ``keep`` -- the session the current request touches -- is
+        never evicted: it is in use by definition, and the cap is floored
+        at one so the active session always fits.
+        """
+        ttl = self.config.session_ttl
+        cap = self.config.max_sessions
+        if ttl is None and cap is None:
+            return
+        now = time.monotonic()
+        if ttl is not None:
+            for name in [
+                name
+                for name, touched in self._session_touched.items()
+                if name != keep and now - touched > ttl
+            ]:
+                self._evict_session(name, "idle", now)
+        if cap is not None:
+            cap = max(1, cap)
+            while len(self._sessions) > cap:
+                victims = [name for name in self._sessions if name != keep]
+                if not victims:
+                    break
+                victim = min(
+                    victims, key=lambda name: self._session_touched.get(name, 0.0)
+                )
+                self._evict_session(victim, "capacity", now)
+
+    def _evict_session(self, name: str, reason: str, now: float) -> None:
+        program, session = self._sessions.pop(name)
+        idle = now - self._session_touched.pop(name, now)
+        self.counters.sessions_evicted += 1
+        telemetry.emit(
+            "session-evicted",
+            session=name,
+            program=program,
+            reason=reason,
+            idle_seconds=round(idle, 3),
+            max_steps=session.max_steps,
+        )
+
     def _extend_session(self, name: str, program: str, depth: int, max_paths: int):
         from repro.lowerbound.engine import LowerBoundEngine
         from repro.programs import resolve_program
 
+        # Idle sessions are reaped before the lookup so a TTL-expired
+        # session cannot be deepened by accident -- except the requested one,
+        # which is being used right now and therefore stops being idle.
+        self._evict_sessions(keep=name)
         entry = self._sessions.get(name)
         if entry is not None and entry[0] != program:
             raise ValueError(
@@ -441,6 +497,9 @@ class AnalysisDaemon:
             )
         self.counters.computations += 1
         result = session.extend(depth)
+        self._session_touched[name] = time.monotonic()
+        # A newly created session can push the population past the cap.
+        self._evict_sessions(keep=name)
         return result, session.max_steps
 
 

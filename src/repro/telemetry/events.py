@@ -59,6 +59,9 @@ EVENT_KINDS = (
     "warning",             # {code, message?, count?, path?}
     "coalesce-hit",        # {method, key} (daemon: request joined an
                            # identical in-flight computation)
+    "session-evicted",     # {session, program, reason, idle_seconds,
+                           # max_steps} (daemon: named session evicted by
+                           # --session-ttl / --max-sessions)
 )
 
 _RESERVED = ("v", "ev", "t", "seq", "pid")

@@ -14,6 +14,7 @@ growing.
 
 from __future__ import annotations
 
+import importlib.util
 import sys
 import time
 from pathlib import Path
@@ -21,7 +22,7 @@ from typing import Optional, Union
 
 from repro.telemetry.analyze import TraceAccumulator
 
-__all__ = ["TraceTail", "render_watch", "watch"]
+__all__ = ["TraceTail", "render_watch", "render_bench_history", "watch"]
 
 
 class TraceTail:
@@ -101,24 +102,68 @@ def render_watch(accumulator: TraceAccumulator, path: Union[str, Path]) -> str:
     return "\n".join(lines)
 
 
+def render_bench_history(bench_dir: Union[str, Path]) -> Optional[str]:
+    """The committed ``BENCH_*.json`` trajectory table, or ``None``.
+
+    Reuses :mod:`benchmarks.compare_bench`'s ``--history`` machinery by
+    loading the script straight off disk (it is a repo script, not an
+    installed module).  Returns ``None`` when the script or the baseline
+    directory is absent, or the checkout has no baseline history -- the
+    watcher then simply shows the live dashboard alone.
+    """
+    baseline_dir = Path(bench_dir)
+    script = baseline_dir.parent / "compare_bench.py"
+    if not script.is_file() or not baseline_dir.is_dir():
+        return None
+    try:
+        spec = importlib.util.spec_from_file_location("_repro_compare_bench", script)
+        if spec is None or spec.loader is None:
+            return None
+        module = importlib.util.module_from_spec(spec)
+        # The script's @dataclass resolves its own module through
+        # sys.modules, so it must be registered before executing.
+        sys.modules[spec.name] = module
+        spec.loader.exec_module(module)
+        rows = module.baseline_history(baseline_dir, limit=10)
+        if not rows:
+            return None
+        return module.render_history(rows)
+    except Exception:  # a broken script must never take the dashboard down
+        return None
+
+
 def watch(
     path: Union[str, Path],
     interval: float = 1.0,
     once: bool = False,
     stream=None,
     max_idle: Optional[float] = None,
+    bench: Optional[str] = None,
 ) -> int:
     """Tail ``path`` until its trace ends (or forever); 0 on a clean exit.
 
     ``once`` renders a single snapshot of the current file state -- that is
     also what the tests drive.  ``max_idle`` stops after that many seconds
-    without new events (safety valve for abandoned traces).
+    without new events (safety valve for abandoned traces).  ``bench`` names
+    a committed-baselines directory whose perf-trajectory history (the same
+    table as ``compare_bench.py --history``) is appended below the live
+    dashboard, so convergence and the perf record read side by side.
     """
     stream = stream if stream is not None else sys.stdout
     tail = TraceTail(path)
     if not tail.path.exists():
         print(f"trace watch: no such file: {path}", file=sys.stderr)
         return 1
+    bench_panel = render_bench_history(bench) if bench else None
+    if bench and bench_panel is None:
+        print(f"trace watch: no bench history under {bench}", file=sys.stderr)
+
+    def _frame() -> str:
+        frame = render_watch(tail.accumulator, path)
+        if bench_panel:
+            frame += "\n\n" + bench_panel
+        return frame
+
     idle_since = time.monotonic()
     while True:
         fed = tail.poll()
@@ -126,9 +171,9 @@ def watch(
             idle_since = time.monotonic()
         if once or tail.accumulator.ended:
             tail.flush_fragment()
-            print(render_watch(tail.accumulator, path), file=stream)
+            print(_frame(), file=stream)
             return 0
-        print(render_watch(tail.accumulator, path), file=stream)
+        print(_frame(), file=stream)
         if max_idle is not None and time.monotonic() - idle_since > max_idle:
             print(f"trace watch: idle for {max_idle:.0f}s, giving up", file=stream)
             return 0

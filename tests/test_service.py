@@ -256,6 +256,80 @@ class TestSessions:
             }
 
 
+class TestSessionEviction:
+    def test_ttl_evicts_idle_sessions(self):
+        """--session-ttl 0 reaps every idle session on the next request;
+        the session the request touches is in use and survives."""
+        with in_process_daemon(ReproConfig(session_ttl=0.0)) as daemon:
+            dispatch(
+                daemon,
+                "lower-bound",
+                {"program": PROGRAM, "session": "s1", "depth": 15},
+            )
+            dispatch(
+                daemon,
+                "lower-bound",
+                {"program": PROGRAM, "session": "s2", "depth": 15},
+            )
+            stats = dispatch(daemon, "stats")
+            assert sorted(stats["sessions"]) == ["s2"]
+            assert stats["sessions_live"] == 1
+            assert stats["sessions_evicted"] == 1
+            assert daemon.counters.sessions_evicted == 1
+
+    def test_capacity_evicts_least_recently_used(self):
+        with in_process_daemon(ReproConfig(max_sessions=2)) as daemon:
+            for name in ("s1", "s2", "s3"):
+                dispatch(
+                    daemon,
+                    "lower-bound",
+                    {"program": PROGRAM, "session": name, "depth": 15},
+                )
+            # s1 is the least recently touched; s2/s3 fill the cap of two.
+            stats = dispatch(daemon, "stats")
+            assert sorted(stats["sessions"]) == ["s2", "s3"]
+            assert stats["sessions_evicted"] == 1
+
+    def test_active_session_is_never_evicted(self):
+        """A zero TTL must not reap the session being deepened right now --
+        deepening keeps working across requests."""
+        with in_process_daemon(ReproConfig(session_ttl=0.0)) as daemon:
+            dispatch(
+                daemon,
+                "lower-bound",
+                {"program": PROGRAM, "session": "s1", "depth": 15},
+            )
+            deeper = dispatch(
+                daemon,
+                "lower-bound",
+                {"program": PROGRAM, "session": "s1", "depth": 25},
+            )
+            assert deeper["session_max_steps"] == 25
+            assert daemon.counters.sessions_evicted == 0
+
+    def test_eviction_emits_telemetry(self, tmp_path):
+        from repro import telemetry
+
+        trace = tmp_path / "trace.jsonl"
+        telemetry.start(trace, command="test")
+        try:
+            with in_process_daemon(ReproConfig(max_sessions=1)) as daemon:
+                for name in ("s1", "s2"):
+                    dispatch(
+                        daemon,
+                        "lower-bound",
+                        {"program": PROGRAM, "session": name, "depth": 15},
+                    )
+        finally:
+            telemetry.stop()
+        events = [json.loads(line) for line in trace.read_text().splitlines()]
+        evicted = [event for event in events if event.get("ev") == "session-evicted"]
+        assert len(evicted) == 1
+        assert evicted[0]["session"] == "s1"
+        assert evicted[0]["reason"] == "capacity"
+        assert evicted[0]["max_steps"] == 15
+
+
 class TestSocketServer:
     def test_batch_of_identical_requests_coalesces(self, tmp_path):
         with running_daemon(tmp_path) as (socket_path, daemon):
