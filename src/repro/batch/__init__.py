@@ -15,6 +15,11 @@ this subsystem makes that batch a first-class object:
   SQLite database (concurrent readers, transactional merges, indexed GC);
   :func:`~repro.batch.store_sqlite.open_store` picks the backend and
   :func:`~repro.batch.store_sqlite.migrate_store` converts a directory,
+* :mod:`repro.batch.distribute` -- distributed anytime deepening: a
+  store-persisted exploration frontier is split into per-subtree shards and
+  extended by a work-stealing fleet of ``explore-shard`` jobs, with
+  per-depth results byte-identical to a single process
+  (``--explore-jobs``),
 * :mod:`repro.batch.faults` -- deterministic fault injection (worker kills,
   hangs, torn writes, bit flips) driving the fault-tolerance test suite,
 * :mod:`repro.batch.doctor` -- the read-only store health checks behind
@@ -27,6 +32,11 @@ The CLI surface is ``python -m repro batch`` (see :mod:`repro.cli`);
 """
 
 from repro.batch.cache import BatchCache, verify_document
+from repro.batch.distribute import (
+    DistributedScheduleReport,
+    frontier_key,
+    run_distributed_schedule,
+)
 from repro.batch.doctor import DoctorReport, Finding, diagnose
 from repro.batch.faults import Fault, FaultPlan
 from repro.batch.jobs import ANALYSES, JobResult, JobSpec, run_job
@@ -58,6 +68,7 @@ __all__ = [
     "ANALYSES",
     "BatchCache",
     "BatchReport",
+    "DistributedScheduleReport",
     "DoctorReport",
     "Fault",
     "FaultPlan",
@@ -71,11 +82,13 @@ __all__ = [
     "SqliteStore",
     "classify_suite",
     "diagnose",
+    "frontier_key",
     "load_job_file",
     "migrate_store",
     "open_store",
     "read_result_keys",
     "run_batch",
+    "run_distributed_schedule",
     "run_job",
     "scan_results_jsonl",
     "suite",

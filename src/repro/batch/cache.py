@@ -85,7 +85,7 @@ _LEGACY_CACHE_VERSION = 1
 _SHARD_PREFIX_LENGTH = 2
 """Hex digits of the key hash used as the shard name (256 shards)."""
 
-_SHARD_KINDS = ("measures", "sweeps")
+_SHARD_KINDS = ("measures", "sweeps", "frontiers")
 """The sharded entry stores (measure results and per-block sweep results)."""
 
 _LOGGER = logging.getLogger("repro.batch")
@@ -267,7 +267,11 @@ class PruneReport:
 
 
 class BatchCache:
-    """A persistent store of job results, measure entries and sweep entries."""
+    """A persistent store of job results, measure, sweep and frontier entries."""
+
+    backend_name = "json"
+    """How ``open_store(..., backend=...)`` names this layout (workers of a
+    distributed deepening reopen the supervisor's store by this name)."""
 
     def __init__(self, directory: Union[str, Path]) -> None:
         self.directory = Path(directory)
@@ -419,6 +423,21 @@ class BatchCache:
             entries.update(_document_entries(self._read_document(path), fingerprint))
         return entries
 
+    def load_frontiers(self, engine: MeasureEngine) -> Dict[str, List]:
+        """The stored exploration-frontier entries compatible with ``engine``.
+
+        Values are the encoded frontier documents written by the distributed
+        deepening scheduler (see :mod:`repro.batch.distribute`); like sweep
+        entries they are keyed under the engine's primitive-registry
+        fingerprint, since the symbolic steps a frontier froze depend on
+        primitive semantics.
+        """
+        fingerprint = engine.registry_fingerprint()
+        entries: Dict[str, List] = {}
+        for path in self._shard_paths("frontiers"):
+            entries.update(_document_entries(self._read_document(path), fingerprint))
+        return entries
+
     def export_entry_documents(self, kind: str):
         """Yield ``(fingerprint, entries, touched)`` per readable shard.
 
@@ -449,6 +468,23 @@ class BatchCache:
     def sweep_entry_count(self, engine: MeasureEngine) -> int:
         """How many compatible sweep entries the store currently holds."""
         return len(self.load_sweeps(engine))
+
+    def load_frontier_entry(self, engine: MeasureEngine, key: str):
+        """One frontier entry by key, reading only the shard that can hold it.
+
+        The distributed-deepening hot path: workers poll individual shard
+        artifacts (``<master>:<depth>:<i>:in|out``) on every scan, and a
+        master frontier encoding can run to megabytes -- re-parsing the
+        whole kind per poll would swamp the stepping the fleet is there to
+        parallelize.  Returns ``None`` for a missing (or incompatible) key.
+        """
+        fingerprint = engine.registry_fingerprint()
+        path = self.shard_path(shard_prefix(key), "frontiers")
+        return _document_entries(self._read_document(path), fingerprint).get(key)
+
+    def frontier_entry_count(self, engine: MeasureEngine) -> int:
+        """How many compatible frontier entries the store currently holds."""
+        return len(self.load_frontiers(engine))
 
     def merge_measures(
         self,
@@ -499,6 +535,22 @@ class BatchCache:
         :meth:`merge_measures` (there is no legacy single-file sweep store).
         """
         return self._merge_kind("sweeps", engine, new_entries, run, touched_keys)
+
+    def merge_frontiers(
+        self,
+        engine: MeasureEngine,
+        new_entries: Mapping[str, List],
+        run: Optional[int] = None,
+        touched_keys: Iterable[str] = (),
+    ) -> int:
+        """Fold encoded exploration frontiers into the on-disk store.
+
+        Same sharding, locking, intent-journal and touch-stamp semantics as
+        :meth:`merge_measures`; frontier entries therefore also participate
+        in ``batch prune`` GC accounting and ``doctor`` reports exactly like
+        measure and sweep entries.
+        """
+        return self._merge_kind("frontiers", engine, new_entries, run, touched_keys)
 
     def _merge_kind(
         self,

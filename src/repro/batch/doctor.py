@@ -115,6 +115,8 @@ class DoctorReport:
             ("measure entries", "measures_entries"),
             ("sweep shards", "sweeps_shards"),
             ("sweep entries", "sweeps_entries"),
+            ("frontier shards", "frontiers_shards"),
+            ("frontier entries", "frontiers_entries"),
             ("stale entries", "stale_entries"),
             ("legacy envelopes", "legacy_documents"),
             ("persisted frontiers", "frontiers"),
@@ -204,6 +206,7 @@ def diagnose(
         json_leftovers = (
             any(directory.glob("measures-*.json"))
             or any(directory.glob("sweeps-*.json"))
+            or any(directory.glob("frontiers-*.json"))
             or (directory / "jobs").is_dir()
             or (directory / "meta.json").exists()
         )
@@ -255,7 +258,8 @@ def diagnose(
                 )
     report.counts["job_files"] = job_files
 
-    # Measure and sweep shards: envelopes, fingerprints, staleness, frontiers.
+    # Measure, sweep and exploration-frontier shards: envelopes,
+    # fingerprints, staleness, persisted sweep-frontier blobs.
     stale_total = 0
     for kind in _SHARD_KINDS:
         shard_count = 0

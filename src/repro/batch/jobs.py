@@ -41,6 +41,7 @@ JOB_FORMAT_VERSION = 2
 ANALYSES: Tuple[str, ...] = (
     "lower-bound",
     "lower-bound-schedule",
+    "explore-shard",
     "verify",
     "classify",
     "estimate",
@@ -58,6 +59,21 @@ _DEFAULT_PARAMS: Dict[str, Dict[str, Any]] = {
         "max_paths": 100_000,
         "strategy": None,
         "target_gap": None,
+    },
+    # One worker slot of a distributed deepening (repro.batch.distribute):
+    # claims, extends and merges back frontier shards of ``frontier`` at
+    # ``depth``, preferring shard ``prefer`` and stealing the rest.  Shard
+    # jobs are never answered from the job cache (the runner gets
+    # ``cache=None``); their effect lives in the store's frontier entries.
+    "explore-shard": {
+        "frontier": None,
+        "depth": 50,
+        "shards": 1,
+        "prefer": 0,
+        "max_paths": 100_000,
+        "strategy": None,
+        "store_dir": None,
+        "store_backend": "auto",
     },
     "verify": {"max_steps": 5_000},
     "classify": {"max_steps": 2_000},
@@ -392,6 +408,10 @@ def _execute(spec: JobSpec, engine: MeasureEngine) -> Dict[str, Any]:
             "exhaustive": final["exhaustive"],
             "exact_measures": final["exact_measures"],
         }
+    if spec.analysis == "explore-shard":
+        from repro.batch.distribute import execute_shards
+
+        return execute_shards(program, params, engine)
     if spec.analysis == "verify":
         from repro.astcheck import verify_ast
 

@@ -200,6 +200,11 @@ class BatchReport:
                 f"{self.timeouts} timeouts, "
                 f"{self.worker_restarts} worker restarts"
             )
+        if self.stats.shards_executed or self.stats.shards_stolen:
+            lines.append(
+                f"frontier shards  : {self.stats.shards_executed} executed, "
+                f"{self.stats.shards_stolen} stolen"
+            )
         if self.quarantined_shards:
             lines.append(f"quarantined files: {self.quarantined_shards}")
         if self.corrupt_result_lines:

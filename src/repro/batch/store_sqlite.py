@@ -69,7 +69,7 @@ DB_FILENAME = "store.sqlite3"
 
 _BUSY_TIMEOUT_MS = 30_000
 
-_ENTRY_KINDS = ("measures", "sweeps")
+_ENTRY_KINDS = ("measures", "sweeps", "frontiers")
 
 _LOGGER = logging.getLogger("repro.batch")
 
@@ -117,6 +117,10 @@ class SqliteStore:
     Method-compatible with :class:`repro.batch.cache.BatchCache`; see the
     module docstring for what changes underneath.
     """
+
+    backend_name = "sqlite"
+    """How ``open_store(..., backend=...)`` names this layout (workers of a
+    distributed deepening reopen the supervisor's store by this name)."""
 
     def __init__(self, directory: Union[str, Path]) -> None:
         self.directory = Path(directory)
@@ -356,11 +360,39 @@ class SqliteStore:
         """The stored per-block sweep entries compatible with ``engine``."""
         return self._load_kind("sweeps", engine.registry_fingerprint())
 
+    def load_frontiers(self, engine: MeasureEngine) -> Dict[str, List]:
+        """The stored exploration-frontier entries compatible with ``engine``."""
+        return self._load_kind("frontiers", engine.registry_fingerprint())
+
     def measure_entry_count(self, engine: MeasureEngine) -> int:
         return self._count_kind("measures", engine.registry_fingerprint())
 
     def sweep_entry_count(self, engine: MeasureEngine) -> int:
         return self._count_kind("sweeps", engine.registry_fingerprint())
+
+    def load_frontier_entry(self, engine: MeasureEngine, key: str):
+        """One frontier entry by key (one indexed row read, not a kind scan).
+
+        Same contract as :meth:`BatchCache.load_frontier_entry`: the
+        work-stealing scan polls shard keys far too often to parse every
+        frontier entry -- master encodings included -- per poll.
+        """
+        fingerprint = engine.registry_fingerprint()
+        row = self._connection.execute(
+            "SELECT document FROM entries"
+            " WHERE kind = ? AND fingerprint = ? AND key = ?",
+            ("frontiers", fingerprint, key),
+        ).fetchone()
+        if row is None:
+            return None
+        document = self._verify_row("frontiers", key, row[0])
+        if document is None:
+            return None
+        entry = document.get("entry")
+        return entry if isinstance(entry, list) else None
+
+    def frontier_entry_count(self, engine: MeasureEngine) -> int:
+        return self._count_kind("frontiers", engine.registry_fingerprint())
 
     def _count_kind(self, kind: str, fingerprint: str) -> int:
         return self._connection.execute(
@@ -387,6 +419,21 @@ class SqliteStore:
     ) -> int:
         """Fold per-block sweep entries into the sweep store."""
         return self._merge_kind("sweeps", engine, new_entries, run, touched_keys)
+
+    def merge_frontiers(
+        self,
+        engine: MeasureEngine,
+        new_entries: Mapping[str, List],
+        run: Optional[int] = None,
+        touched_keys: Iterable[str] = (),
+    ) -> int:
+        """Fold encoded exploration frontiers into the store.
+
+        Same transaction, checksum and touch-stamp semantics as the other
+        entry kinds, so frontiers share GC (``prune``) and ``doctor``
+        coverage with measures and sweeps.
+        """
+        return self._merge_kind("frontiers", engine, new_entries, run, touched_keys)
 
     def _merge_kind(
         self,
@@ -710,8 +757,9 @@ def migrate_store(
 
     if not keep_json:
         removed = 0
-        patterns = ["measures-*.json", "sweeps-*.json", "measures-*.lock",
-                    "sweeps-*.lock", "intent-*.json"]
+        patterns = ["measures-*.json", "sweeps-*.json", "frontiers-*.json",
+                    "measures-*.lock", "sweeps-*.lock", "frontiers-*.lock",
+                    "intent-*.json"]
         for pattern in patterns:
             for path in sorted(directory.glob(pattern)):
                 path.unlink(missing_ok=True)

@@ -154,6 +154,25 @@ class PerfStats:
     merges by maximum, not by sum.
     """
 
+    frontier_restores: int = _counter("frontier restores")
+    """Exploration sessions rebuilt from a persisted frontier.
+
+    Each restore stands for a whole exploration prefix *not* re-executed:
+    the decoded session replays its recorded history and resumes stepping
+    exactly where the persisted budget stopped (its persisted counters are
+    credited to :attr:`symbolic_steps` / :attr:`paths_resumed` /
+    :attr:`frontier_peak`, so resumed runs report the same totals as
+    uninterrupted ones).
+    """
+
+    shards_executed: int = _counter("frontier shards executed")
+    """Frontier shards a distributed deepening extended to a deeper budget
+    (on workers or inline by the supervisor after exhausted retries)."""
+
+    shards_stolen: int = _counter("frontier shards stolen")
+    """Frontier shards claimed by a worker other than the one they were
+    assigned to -- the work-stealing half of the distributed scheduler."""
+
     polytope_calls: int = _counter("polytope invocations")
     """Invocations of the floating-point polytope volume oracle."""
 

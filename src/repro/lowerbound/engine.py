@@ -69,12 +69,20 @@ class LowerBoundSession:
     """
 
     def __init__(
-        self, engine: "LowerBoundEngine", term: Term, max_paths: int = 200_000
+        self,
+        engine: "LowerBoundEngine",
+        term: Term,
+        max_paths: int = 200_000,
+        exploration=None,
     ) -> None:
         if free_variables(term):
             raise ValueError("lower bounds are only defined for closed terms")
         self._engine = engine
-        self._session = engine._explorer.session(
+        # ``exploration`` lets callers hand over a pre-built (typically
+        # store-restored) ExplorationSession; the budget-monotonicity and
+        # bit-identity invariants then hold across the hand-off, because the
+        # restored session replays its history exactly.
+        self._session = exploration or engine._explorer.session(
             term, max_paths=max_paths, stats=engine.measure_engine.stats
         )
         # Measures memoized per terminated path *object*: the exploration
@@ -86,6 +94,15 @@ class LowerBoundSession:
     def max_steps(self) -> int:
         """The deepest step budget reached so far."""
         return self._session.max_steps
+
+    @property
+    def exploration(self):
+        """The underlying :class:`~repro.symbolic.execute.ExplorationSession`.
+
+        Exposed so the distributed scheduler can encode, split and absorb the
+        suspended frontier between extends.
+        """
+        return self._session
 
     def extend(self, max_steps: int) -> LowerBoundResult:
         """Deepen to ``max_steps`` and return the bound at that depth.
@@ -186,15 +203,21 @@ class LowerBoundEngine:
             strategy, self.registry, stats=self.measure_engine.stats
         )
 
-    def session(self, term: Term, max_paths: int = 200_000) -> LowerBoundSession:
+    def session(
+        self, term: Term, max_paths: int = 200_000, exploration=None
+    ) -> LowerBoundSession:
         """Open a resumable anytime computation (see :class:`LowerBoundSession`).
 
         ``max_paths`` is fixed for the session's lifetime: the safety valve
         must mean the same thing at every depth of a schedule, and a capped
         session keeps (never drops) the paths beyond the cap, so every
-        subsequent extend keeps reporting ``exhaustive=False``.
+        subsequent extend keeps reporting ``exhaustive=False``.  A
+        store-restored ``exploration`` session may be handed over in place of
+        a fresh frontier (see :class:`LowerBoundSession`).
         """
-        return LowerBoundSession(self, term, max_paths=max_paths)
+        return LowerBoundSession(
+            self, term, max_paths=max_paths, exploration=exploration
+        )
 
     def lower_bound(
         self,

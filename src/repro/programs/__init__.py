@@ -26,12 +26,14 @@ from repro.programs.library import (
 from repro.programs.extra import (
     anytime_programs,
     conditional_single_sample,
+    dist_programs,
     exponential_step_walk,
     extra_programs,
     nested_recursion,
     nonaffine_programs,
     score_gated_printer,
     sigmoid_branching,
+    sigmoid_tri_branching,
     sigmoid_retry,
     sigmoid_sum_retry,
     square_retry,
@@ -50,9 +52,12 @@ def _library():
         programs.setdefault(name, program)
     for name, program in extra_programs().items():
         programs.setdefault(name, program)
-    # The anytime workload is resolvable by name but deliberately outside
-    # the registries that define the committed BENCH_* baselines.
+    # The anytime and distributed workloads are resolvable by name but
+    # deliberately outside the registries that define the committed BENCH_*
+    # baselines.
     for name, program in anytime_programs().items():
+        programs.setdefault(name, program)
+    for name, program in dist_programs().items():
         programs.setdefault(name, program)
     return programs
 
@@ -96,6 +101,7 @@ __all__ = [
     "anytime_programs",
     "bin_walk",
     "conditional_single_sample",
+    "dist_programs",
     "exponential_step_walk",
     "extra_programs",
     "geometric",
@@ -111,6 +117,7 @@ __all__ = [
     "score_gated_printer",
     "sigmoid_branching",
     "sigmoid_retry",
+    "sigmoid_tri_branching",
     "sigmoid_sum_retry",
     "square_retry",
     "table1_programs",

@@ -30,12 +30,14 @@ Number = Union[Fraction, float, int]
 __all__ = [
     "anytime_programs",
     "conditional_single_sample",
+    "dist_programs",
     "exponential_step_walk",
     "extra_programs",
     "nested_recursion",
     "nonaffine_programs",
     "score_gated_printer",
     "sigmoid_branching",
+    "sigmoid_tri_branching",
     "sigmoid_retry",
     "sigmoid_sum_retry",
     "square_retry",
@@ -282,6 +284,50 @@ def sigmoid_branching(threshold: Number = Fraction(3, 5)) -> Program:
     )
 
 
+def sigmoid_tri_branching(
+    threshold: Number = Fraction(3, 5), padding: int = 0
+) -> Program:
+    """A rank-*3* branching recursion gated on the sigmoid of a fresh sample.
+
+    ``mu phi x. if sig(sample) - t then x else phi (phi (phi (x+1)))``: the
+    :func:`sigmoid_branching` round guard, but every failed round spawns
+    *three* recursive calls.  With per-round termination probability
+    ``p = ln(t/(1-t))``, ``Pterm`` is the least fixpoint of
+    ``q = p + (1-p) q**3`` (no closed form; computed by fixed-point
+    iteration, which converges to the *least* solution from ``q = 0``).
+    The frontier fans out a full generation wider per depth than the
+    rank-2 program, so per-subtree shards stay balanced enough for a
+    worker fleet to deepen them in parallel -- this is the distributed
+    anytime-deepening workload.
+
+    ``padding`` pads the guard's threshold with that many ``+ 0`` constant
+    folds: every round burns the extra reduction steps *inside* its branch
+    node while the folded constant leaves the path constraints (and hence
+    every probability) untouched.  That shifts work from tree structure to
+    stepping -- the compute-bound regime where distributing the stepping
+    pays, without inflating the encoded frontier.
+    """
+    p = min(1.0, max(0.0, math.log(float(threshold) / (1 - float(threshold)))))
+    q = 0.0
+    for _ in range(256):
+        q = p + (1 - p) * q**3
+    bound = Numeral(threshold)
+    for _ in range(padding):
+        bound = add(bound, 0)
+    guard = sub(Prim("sig", (Sample(),)), bound)
+    rec = App(Var("phi"), add(Var("x"), 1))
+    body = If(guard, Var("x"), App(Var("phi"), App(Var("phi"), rec)))
+    fix = Fix("phi", "x", body)
+    suffix = f",pad={padding}" if padding else ""
+    return Program(
+        name=f"sig-branch3({threshold}{suffix})",
+        fix=fix,
+        applied=App(fix, Numeral(1)),
+        description="rank-3 branching recursion gated on the sigmoid of a fresh sample",
+        known_probability=min(1.0, q),
+    )
+
+
 def nonaffine_programs() -> Dict[str, Program]:
     """The retry loops with non-affine guards (the sweep-heavy workload)."""
     programs = (
@@ -302,6 +348,24 @@ def anytime_programs() -> Dict[str, Program]:
     CLI, through the main library) reach these by name.
     """
     programs = (sigmoid_branching(Fraction(3, 5)),)
+    return {program.name: program for program in programs}
+
+
+def dist_programs() -> Dict[str, Program]:
+    """The distributed-deepening workload: rank-3 non-affine recursion.
+
+    Isolated from :func:`anytime_programs` for the same baseline-stability
+    reason that registry is isolated from the rest -- ``BENCH_anytime``'s
+    committed counters must not move when the distributed benchmark grows
+    its own workload.  ``benchmarks/test_perf_dist.py`` (and the CLI,
+    through the main library) reach these by name.  The padded variant is
+    the benchmark workload proper: its guard padding makes each round
+    compute-bound, the regime a worker fleet actually accelerates.
+    """
+    programs = (
+        sigmoid_tri_branching(Fraction(3, 5)),
+        sigmoid_tri_branching(Fraction(3, 5), padding=60),
+    )
     return {program.name: program for program in programs}
 
 

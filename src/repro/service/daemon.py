@@ -113,7 +113,12 @@ class AnalysisDaemon:
             max_workers=1, thread_name_prefix="repro-engine"
         )
         self._inflight: Dict[str, asyncio.Future] = {}
-        self._sessions: Dict[str, Tuple[str, Any]] = {}
+        # name -> (program, LowerBoundSession, {depth: trajectory row}).
+        # With a store, each session's frontier is persisted after every
+        # extend (and on eviction/close) and restored on creation, so the
+        # exploration survives daemon restarts and is shared with CLI
+        # schedule runs over the same program.
+        self._sessions: Dict[str, Tuple[str, Any, Dict[int, dict]]] = {}
         # Last-touch stamp per named session (monotonic seconds), the basis
         # of the --session-ttl / --max-sessions eviction policy.
         self._session_touched: Dict[str, float] = {}
@@ -134,6 +139,10 @@ class AnalysisDaemon:
 
     def close(self) -> None:
         """Flush GC touch stamps and release the engine thread."""
+        for program, session, rows in self._sessions.values():
+            # Live sessions survive an orderly shutdown the same way evicted
+            # ones do: frontier + trajectory to the store.
+            self._persist_frontier(program, session, rows)
         if self.store is not None:
             touched_measures, touched_sweeps = self.engine.drain_persistent_hit_keys()
             self.store.merge_measures(
@@ -206,7 +215,7 @@ class AnalysisDaemon:
             "inflight": len(self._inflight),
             "sessions": {
                 name: {"program": program, "max_steps": session.max_steps}
-                for name, (program, session) in sorted(self._sessions.items())
+                for name, (program, session, _rows) in sorted(self._sessions.items())
             },
             "sessions_live": len(self._sessions),
             "sessions_evicted": self.counters.sessions_evicted,
@@ -456,7 +465,11 @@ class AnalysisDaemon:
                 self._evict_session(victim, "capacity", now)
 
     def _evict_session(self, name: str, reason: str, now: float) -> None:
-        program, session = self._sessions.pop(name)
+        program, session, rows = self._sessions.pop(name)
+        # An evicted session's exploration is not lost: its frontier (and
+        # recorded trajectory) goes to the store, so the next client naming
+        # it -- or a CLI schedule over the same program -- resumes the math.
+        self._persist_frontier(program, session, rows)
         idle = now - self._session_touched.pop(name, now)
         self.counters.sessions_evicted += 1
         telemetry.emit(
@@ -467,6 +480,65 @@ class AnalysisDaemon:
             idle_seconds=round(idle, 3),
             max_steps=session.max_steps,
         )
+
+    def _persist_frontier(self, program: str, session, rows: Dict[int, dict]) -> None:
+        """Write a session's encoded frontier + trajectory to the store."""
+        if self.store is None:
+            return
+        from repro.batch.distribute import frontier_entry, frontier_key
+        from repro.programs import resolve_program
+        from repro.symbolic.codec import encode_session
+
+        exploration = session.exploration
+        key = frontier_key(resolve_program(program), exploration.max_paths)
+        ordered = [rows[depth] for depth in sorted(rows)]
+        self.store.merge_frontiers(
+            self.engine,
+            {key: frontier_entry(encode_session(exploration), ordered)},
+            run=self._run,
+        )
+        telemetry.emit(
+            "frontier-saved",
+            key=key,
+            depth=exploration.max_steps,
+            nodes=len(exploration._nodes),
+        )
+
+    def _restore_frontier(self, bound_engine, resolved, depth: int, max_paths: int):
+        """A persisted exploration for this program, if one fits the request.
+
+        Restores with ``credit_stats=False``: the daemon's counters describe
+        work *this process* did, and a restored frontier's steps were done
+        elsewhere (or already counted here before an eviction).  Only a
+        frontier at most as deep as the requested budget is adopted --
+        session budgets are non-decreasing.
+        """
+        if self.store is None:
+            return None, {}
+        from repro.batch.distribute import frontier_entry_parts, frontier_key
+        from repro.symbolic.codec import decode_session
+
+        key = frontier_key(resolved, max_paths)
+        parts = frontier_entry_parts(self.store.load_frontier_entry(self.engine, key))
+        if parts is None:
+            return None, {}
+        exploration = decode_session(
+            parts[0], bound_engine._explorer, credit_stats=False
+        )
+        if exploration is None or exploration.max_steps > depth:
+            return None, {}
+        rows = {
+            row["depth"]: row
+            for row in parts[1]
+            if isinstance(row.get("depth"), int) and row["depth"] <= depth
+        }
+        telemetry.emit(
+            "frontier-resumed",
+            key=key,
+            depth=exploration.max_steps,
+            nodes=len(exploration._nodes),
+        )
+        return exploration, rows
 
     def _extend_session(self, name: str, program: str, depth: int, max_paths: int):
         from repro.lowerbound.engine import LowerBoundEngine
@@ -486,10 +558,15 @@ class AnalysisDaemon:
             bound_engine = LowerBoundEngine(
                 strategy=resolved.strategy, measure_engine=self.engine
             )
-            session = bound_engine.session(resolved.applied, max_paths=max_paths)
-            self._sessions[name] = (program, session)
+            exploration, rows = self._restore_frontier(
+                bound_engine, resolved, depth, max_paths
+            )
+            session = bound_engine.session(
+                resolved.applied, max_paths=max_paths, exploration=exploration
+            )
+            self._sessions[name] = (program, session, rows)
         else:
-            session = entry[1]
+            session, rows = entry[1], entry[2]
         if depth < session.max_steps:
             raise ValueError(
                 f"session {name!r} is already at depth {session.max_steps}; "
@@ -497,6 +574,19 @@ class AnalysisDaemon:
             )
         self.counters.computations += 1
         result = session.extend(depth)
+        from repro.batch.jobs import encode_number
+
+        rows[depth] = {
+            "depth": result.max_steps,
+            "probability": encode_number(result.probability),
+            "expected_steps": encode_number(result.expected_steps),
+            "measure_gap": encode_number(result.measure_gap),
+            "anytime_gap": encode_number(result.anytime_gap()),
+            "path_count": result.path_count,
+            "exhaustive": result.exhaustive,
+            "exact_measures": result.exact_measures,
+        }
+        self._persist_frontier(program, session, rows)
         self._session_touched[name] = time.monotonic()
         # A newly created session can push the population past the cap.
         self._evict_sessions(keep=name)

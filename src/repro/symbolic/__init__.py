@@ -23,9 +23,16 @@ from repro.symbolic.values import (
 from repro.symbolic.constraints import Constraint, ConstraintSet, Relation
 from repro.symbolic.execute import (
     ExplorationSession,
+    FrontierCapError,
     SymbolicExplorer,
     SymbolicPath,
     ExplorationResult,
+)
+from repro.symbolic.codec import (
+    decode_session,
+    encode_session,
+    session_counters,
+    split_session,
 )
 
 __all__ = [
@@ -35,6 +42,7 @@ __all__ = [
     "ConstVal",
     "ExplorationResult",
     "ExplorationSession",
+    "FrontierCapError",
     "PrimVal",
     "Relation",
     "SampleVar",
@@ -45,4 +53,8 @@ __all__ = [
     "SymbolicPath",
     "const",
     "sample_var",
+    "decode_session",
+    "encode_session",
+    "session_counters",
+    "split_session",
 ]

@@ -361,6 +361,32 @@ _BRANCHED = 3
 _NodeKey = Tuple[int, Tuple[int, ...]]
 
 
+class _StepCounter:
+    """Session-local symbolic-step count.
+
+    Every extend routes :meth:`SymbolicExplorer._run_to_event` through this
+    holder and mirrors the delta into the shared stats sink, so the session
+    always knows how much stepping *it* performed -- the frontier codec
+    persists these counters, which is what lets a restored process report
+    the same ``PerfStats`` as an uninterrupted run.
+    """
+
+    __slots__ = ("symbolic_steps",)
+
+    def __init__(self) -> None:
+        self.symbolic_steps = 0
+
+
+class FrontierCapError(RuntimeError):
+    """Absorbing shard results would overrun the session's ``max_paths`` cap.
+
+    Shards each run under the full cap, so their union can exceed it -- a
+    single-process extend would instead have stopped early and left nodes
+    queued.  Callers catch this and fall back to extending the pre-split
+    session inline, which reproduces the capped result exactly.
+    """
+
+
 class _SessionNode:
     """One configuration of the branching tree, across every budget.
 
@@ -420,6 +446,55 @@ class ExplorationSession:
         self._nodes: List[Tuple[_NodeKey, _SessionNode]] = [(root.key, root)]
         self._max_steps = 0
         self._last_result: Optional[ExplorationResult] = None
+        # Session-local counters, mirrored into ``self.stats`` as they grow.
+        # The frontier codec persists them (see :mod:`repro.symbolic.codec`).
+        self._step_counter = _StepCounter()
+        self._counter_resumed = 0
+        self._counter_peak = 0
+
+    @classmethod
+    def _restore(
+        cls,
+        explorer: "SymbolicExplorer",
+        *,
+        max_paths: int,
+        max_steps: int,
+        nodes: List[Tuple[_NodeKey, _SessionNode]],
+        counters: Tuple[int, int, int],
+        stats=None,
+        credit_stats: bool = True,
+    ) -> "ExplorationSession":
+        """Rebuild a session from decoded state (used by the frontier codec).
+
+        ``counters`` is the persisted ``(symbolic_steps, paths_resumed,
+        frontier_peak)`` triple; with ``credit_stats`` (the default) it is
+        credited to the stats sink so the restored process reports the same
+        totals an uninterrupted run would.  Pass ``credit_stats=False`` when
+        the sink already counted that work -- a same-process restore, e.g. a
+        daemon re-hydrating a session it evicted earlier.
+        """
+        session = cls.__new__(cls)
+        session._explorer = explorer
+        session.max_paths = max_paths
+        session.stats = stats if stats is not None else explorer.stats
+        session._nodes = nodes
+        session._max_steps = max_steps
+        session._last_result = None
+        session._step_counter = _StepCounter()
+        steps, resumed, peak = counters
+        session._step_counter.symbolic_steps = steps
+        session._counter_resumed = resumed
+        session._counter_peak = peak
+        sink = session.stats
+        if sink is not None:
+            if credit_stats:
+                sink.symbolic_steps += steps
+                sink.paths_resumed += resumed
+                if hasattr(sink, "frontier_restores"):
+                    sink.frontier_restores += 1
+            if peak > sink.frontier_peak:
+                sink.frontier_peak = peak
+        return session
 
     @property
     def max_steps(self) -> int:
@@ -454,6 +529,8 @@ class ExplorationSession:
             writer.begin("explore", budget=max_steps) if writer is not None else None
         )
         stats = self.stats
+        counter = self._step_counter
+        steps_before = counter.symbolic_steps
         heap = self._nodes
         heapq.heapify(heap)  # kept sorted between extends; heapify is then O(n)
         processed: List[Tuple[_NodeKey, _SessionNode]] = []
@@ -467,63 +544,69 @@ class ExplorationSession:
         # :attr:`frontier_size` reports between extends.
         live = sum(1 for _, node in heap if node.state == _SUSPENDED)
         peak = live
-        while heap:
-            if explored >= self.max_paths:
-                exhausted = True
-                break
-            key, node = heapq.heappop(heap)
-            processed.append((key, node))
-            explored += 1
-            state = node.state
-            if state == _TERMINATED:
-                terminated.append(node.path)
-                continue
-            if state == _STUCK:
-                stuck += 1
-                continue
-            if state == _BRANCHED:
-                continue
-            # Suspended: resume (or start) stepping under the new budget.
-            # Only resumes with actual headroom count -- each one stands for
-            # a re-execution from the root the session avoided.
-            if (
-                node.started
-                and node.configuration.steps < max_steps
-                and stats is not None
-            ):
-                stats.paths_resumed += 1
-            node.started = True
-            kind, payload = self._explorer._run_to_event(
-                node.configuration, max_steps, stats=stats
-            )
-            if kind == "terminated":
-                node.state = _TERMINATED
-                node.path = payload
-                node.configuration = None
-                terminated.append(payload)
-                live -= 1
-            elif kind == "stuck":
-                node.state = _STUCK
-                node.reason = payload
-                node.configuration = None
-                stuck += 1
-                live -= 1
-            elif kind == "branch":
-                node.state = _BRANCHED
-                node.configuration = None
-                for configuration in payload:
-                    child = _SessionNode(
-                        _node_key(configuration.branches), configuration
-                    )
-                    heapq.heappush(heap, (child.key, child))
-                live += 1  # the node resolved, its two children are live
-                if live > peak:
-                    peak = live
-            else:  # unfinished: the budget ran out mid-path; stays suspended
-                unfinished += 1
+        try:
+            while heap:
+                if explored >= self.max_paths:
+                    exhausted = True
+                    break
+                key, node = heapq.heappop(heap)
+                processed.append((key, node))
+                explored += 1
+                state = node.state
+                if state == _TERMINATED:
+                    terminated.append(node.path)
+                    continue
+                if state == _STUCK:
+                    stuck += 1
+                    continue
+                if state == _BRANCHED:
+                    continue
+                # Suspended: resume (or start) stepping under the new budget.
+                # Only resumes with actual headroom count -- each one stands
+                # for a re-execution from the root the session avoided.
+                if node.started and node.configuration.steps < max_steps:
+                    self._counter_resumed += 1
+                    if stats is not None:
+                        stats.paths_resumed += 1
+                node.started = True
+                kind, payload = self._explorer._run_to_event(
+                    node.configuration, max_steps, stats=counter
+                )
+                if kind == "terminated":
+                    node.state = _TERMINATED
+                    node.path = payload
+                    node.configuration = None
+                    terminated.append(payload)
+                    live -= 1
+                elif kind == "stuck":
+                    node.state = _STUCK
+                    node.reason = payload
+                    node.configuration = None
+                    stuck += 1
+                    live -= 1
+                elif kind == "branch":
+                    node.state = _BRANCHED
+                    node.configuration = None
+                    for configuration in payload:
+                        child = _SessionNode(
+                            _node_key(configuration.branches), configuration
+                        )
+                        heapq.heappush(heap, (child.key, child))
+                    live += 1  # the node resolved, its two children are live
+                    if live > peak:
+                        peak = live
+                else:  # unfinished: the budget ran out mid-path; stays suspended
+                    unfinished += 1
+        finally:
+            # Stepping goes through the session-local counter; mirror the
+            # delta into the shared sink even if an extend is interrupted.
+            if stats is not None:
+                stats.symbolic_steps += counter.symbolic_steps - steps_before
         # Nodes beyond the path cap stay queued for the next extend; their
         # keys all exceed every processed key, so the node list stays sorted.
         self._nodes = processed + sorted(heap)
+        if peak > self._counter_peak:
+            self._counter_peak = peak
         if stats is not None and peak > stats.frontier_peak:
             stats.frontier_peak = peak
         result = ExplorationResult(tuple(terminated), unfinished, stuck, exhausted)
@@ -566,6 +649,105 @@ class ExplorationSession:
                 return result
             if budget >= max_steps:
                 return result
+
+    def absorb(self, shards: List["ExplorationSession"], depth: int) -> None:
+        """Merge shard sessions extended to ``depth`` back into this session.
+
+        The distributed scheduler splits this session's suspended frontier
+        into sub-sessions (:func:`repro.symbolic.codec.split_session`), has
+        workers extend each to ``depth``, and absorbs the results here.  The
+        merge is purely structural: shard node lists replace the suspended
+        nodes they descended from, keyed by the budget-independent
+        breadth-first keys, so the merged node list is exactly the one a
+        single-process ``extend(depth)`` would have produced.  Counters are
+        reconciled exactly:
+
+        * ``symbolic_steps`` / ``paths_resumed`` are summed from the shard
+          counters (both are per-node properties, independent of the global
+          pop interleaving);
+        * ``frontier_peak`` is recomputed by replaying the global pop order
+          (key order) over the merged nodes with their known final states --
+          the same ``live`` trajectory the single-process extend walks.
+
+        After absorbing, call ``extend(depth)``: every node replays in O(1)
+        (suspended nodes have no budget headroom left), rebuilding the
+        :class:`ExplorationResult` through the ordinary code path --
+        bit-identical to the single-process run.
+
+        Raises :class:`FrontierCapError` when the merged node count exceeds
+        ``max_paths`` (a single-process extend would have stopped early; the
+        caller must fall back to an inline extend) and :class:`ValueError`
+        when the shards do not exactly cover the suspended frontier.
+        """
+        if depth < self._max_steps:
+            raise ValueError(
+                f"exploration budgets are non-decreasing: asked for {depth} "
+                f"after {self._max_steps}"
+            )
+        history: dict = {}
+        frontier_keys = set()
+        for key, node in self._nodes:
+            if node.state == _SUSPENDED:
+                frontier_keys.add(key)
+            else:
+                history[key] = node
+        merged = dict(history)
+        shard_steps = 0
+        shard_resumed = 0
+        covered = set()
+        for shard in shards:
+            if shard.max_steps != depth:
+                raise ValueError(
+                    f"shard extended to {shard.max_steps}, expected {depth}"
+                )
+            shard_steps += shard._step_counter.symbolic_steps
+            shard_resumed += shard._counter_resumed
+            for key, node in shard._nodes:
+                if key in history:
+                    raise ValueError(
+                        f"shard node {key!r} collides with resolved history"
+                    )
+                if key in covered or (key in merged and key not in frontier_keys):
+                    raise ValueError(f"shards overlap on node {key!r}")
+                covered.add(key)
+                merged[key] = node
+        missing = frontier_keys - covered
+        if missing:
+            raise ValueError(
+                f"shards cover only {len(frontier_keys) - len(missing)} of "
+                f"{len(frontier_keys)} frontier nodes"
+            )
+        if len(merged) > self.max_paths:
+            raise FrontierCapError(
+                f"merged exploration has {len(merged)} nodes, "
+                f"max_paths is {self.max_paths}"
+            )
+        nodes = sorted(merged.items())
+        # Replay the global pop order with known final states to recover the
+        # exact ``live`` trajectory (see ``extend``): resolved history nodes
+        # replay, everything else was suspended when popped.
+        live = len(frontier_keys)
+        peak = live
+        for key, node in nodes:
+            if key in history:
+                continue
+            if node.state in (_TERMINATED, _STUCK):
+                live -= 1
+            elif node.state == _BRANCHED:
+                live += 1
+                if live > peak:
+                    peak = live
+        self._nodes = nodes
+        self._step_counter.symbolic_steps += shard_steps
+        self._counter_resumed += shard_resumed
+        if peak > self._counter_peak:
+            self._counter_peak = peak
+        stats = self.stats
+        if stats is not None:
+            stats.symbolic_steps += shard_steps
+            stats.paths_resumed += shard_resumed
+            if peak > stats.frontier_peak:
+                stats.frontier_peak = peak
 
 
 class SymbolicExplorer:

@@ -62,6 +62,16 @@ EVENT_KINDS = (
     "session-evicted",     # {session, program, reason, idle_seconds,
                            # max_steps} (daemon: named session evicted by
                            # --session-ttl / --max-sessions)
+    "frontier-saved",      # {key, depth, nodes} (exploration frontier
+                           # persisted to the store)
+    "frontier-resumed",    # {key, depth, nodes} (persisted frontier
+                           # restored instead of re-exploring)
+    "shard-claimed",       # {key, shard, preferred} (worker claimed its
+                           # assigned frontier shard)
+    "shard-stolen",        # {key, shard, preferred} (idle worker stole an
+                           # unclaimed shard from another assignment)
+    "shard-completed",     # {key, shard, depth, steps} (shard extended and
+                           # its result merged back to the store)
 )
 
 _RESERVED = ("v", "ev", "t", "seq", "pid")

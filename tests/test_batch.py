@@ -683,8 +683,8 @@ class TestSweepStoreAndPrune:
         cache.merge_sweeps(engine, {"fresh-sweep": self._sweep_entry("1/2")}, run=current)
 
         report = cache.prune(min_age_runs=2)
-        assert report.pruned == {"measures": 1, "sweeps": 1}
-        assert report.kept == {"measures": 1, "sweeps": 1}
+        assert report.pruned == {"measures": 1, "sweeps": 1, "frontiers": 0}
+        assert report.kept == {"measures": 1, "sweeps": 1, "frontiers": 0}
         assert report.pruned_total == 2
         assert set(cache.load_measures(engine)) == {"fresh-measure"}
         assert set(cache.load_sweeps(engine)) == {"fresh-sweep"}
